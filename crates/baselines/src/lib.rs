@@ -1,0 +1,88 @@
+//! # ocular-baselines
+//!
+//! The one-class collaborative-filtering baselines OCuLaR is compared
+//! against in Table I and Figure 5 of the paper, implemented from scratch:
+//!
+//! * [`wals`] — **wALS**, weighted alternating least squares (Pan et al.,
+//!   *One-class collaborative filtering*, ICDM 2008): matrix factorization
+//!   with unknowns down-weighted by `b < 1`, solved with the Gram trick and
+//!   `K×K` Cholesky solves. State of the art, *not* interpretable.
+//! * [`bpr`] — **BPR** (Rendle et al., UAI 2009): Bayesian personalized
+//!   ranking matrix factorization trained by SGD over sampled
+//!   (user, positive, unknown) triplets. Not interpretable.
+//! * [`neighbors`] — **user-based** and **item-based** cosine kNN
+//!   collaborative filtering (Sarwar et al. / Deshpande & Karypis): the
+//!   paper's *interpretable* competitors.
+//! * [`popularity`] — most-popular ranking; not in the paper but the
+//!   standard floor every personalised method must clear.
+//!
+//! All models implement the [`Recommender`] trait, so the evaluation harness
+//! treats them and OCuLaR uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bpr;
+pub mod neighbors;
+pub mod popularity;
+pub mod similarity;
+pub mod wals;
+
+pub use bpr::{Bpr, BprConfig};
+pub use neighbors::{ItemKnn, KnnConfig, UserKnn};
+pub use popularity::Popularity;
+pub use wals::{Wals, WalsConfig};
+
+use ocular_sparse::CsrMatrix;
+
+/// A fitted one-class recommender: anything that can score every item for a
+/// user. The evaluation protocol ([`ocular_eval::protocol::evaluate`])
+/// consumes these through a closure, and the Table I harness iterates over
+/// `Box<dyn Recommender>`.
+pub trait Recommender {
+    /// Human-readable name for reports (e.g. `"wALS"`).
+    fn name(&self) -> &'static str;
+
+    /// Fills `out` (resized to `n_items`) with relevance scores for `u`.
+    /// Higher is better; scales need not be comparable across models.
+    fn score_user(&self, u: usize, out: &mut Vec<f64>);
+
+    /// Number of users the model was fitted on.
+    fn n_users(&self) -> usize;
+
+    /// Number of items the model was fitted on.
+    fn n_items(&self) -> usize;
+}
+
+/// Fits every Table-I baseline with the given seeds and returns them as
+/// trait objects (the Table I harness's model zoo).
+pub fn all_baselines(r: &CsrMatrix, seed: u64) -> Vec<Box<dyn Recommender>> {
+    vec![
+        Box::new(Wals::fit(r, &WalsConfig { seed, ..Default::default() })),
+        Box::new(Bpr::fit(r, &BprConfig { seed, ..Default::default() })),
+        Box::new(UserKnn::fit(r, &KnnConfig::default())),
+        Box::new(ItemKnn::fit(r, &KnnConfig::default())),
+        Box::new(Popularity::fit(r)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_zoo_has_distinct_names() {
+        let r = CsrMatrix::from_pairs(4, 4, &[(0, 0), (1, 1), (2, 2), (3, 3)]).unwrap();
+        let zoo = all_baselines(&r, 0);
+        let names: Vec<&str> = zoo.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), 5);
+        let mut unique = names.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 5, "names must be distinct: {names:?}");
+        for m in &zoo {
+            assert_eq!(m.n_users(), 4);
+            assert_eq!(m.n_items(), 4);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! User-based and item-based cosine kNN collaborative filtering — the
+//! paper's interpretable baselines (Section VII-B2).
+//!
+//! * **User-based** (Sarwar et al., EC 2000): *"item i is recommended
+//!   because the similar users u₁…u_k also bought item i"* —
+//!   `score(u, i) = Σ_{v ∈ kNN(u), r_vi = 1} sim(u, v)`.
+//! * **Item-based** (Deshpande & Karypis, TOIS 2004): *"item i is
+//!   recommended because user u bought the similar items i₁…i_k"* —
+//!   `score(u, i) = Σ_{j ∈ basket(u)} sim_k(i, j)`, with similarities kept
+//!   only for each basket item's top-k neighbours.
+//!
+//! The paper grid-searches the neighbourhood size; [`KnnConfig::k`] is that
+//! knob.
+
+use crate::similarity::{top_k_neighbors, Neighbor};
+use crate::Recommender;
+use ocular_sparse::CsrMatrix;
+
+/// Configuration for both kNN models.
+#[derive(Debug, Clone, Copy)]
+pub struct KnnConfig {
+    /// Neighbourhood size (the paper tunes this by grid search).
+    pub k: usize,
+}
+
+impl Default for KnnConfig {
+    fn default() -> Self {
+        KnnConfig { k: 50 }
+    }
+}
+
+/// Fitted user-based cosine kNN model.
+pub struct UserKnn {
+    neighbors: Vec<Vec<Neighbor>>,
+    r: CsrMatrix,
+}
+
+impl UserKnn {
+    /// Computes every user's top-k neighbours.
+    pub fn fit(r: &CsrMatrix, cfg: &KnnConfig) -> Self {
+        let rt = r.transpose();
+        UserKnn { neighbors: top_k_neighbors(r, &rt, cfg.k), r: r.clone() }
+    }
+
+    /// The neighbours of `u` (for explanations: "similar users also
+    /// bought…").
+    pub fn neighbors_of(&self, u: usize) -> &[Neighbor] {
+        &self.neighbors[u]
+    }
+}
+
+impl Recommender for UserKnn {
+    fn name(&self) -> &'static str {
+        "user-based"
+    }
+
+    fn score_user(&self, u: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.r.n_cols(), 0.0);
+        for n in &self.neighbors[u] {
+            for &i in self.r.row(n.index as usize) {
+                out[i as usize] += n.similarity;
+            }
+        }
+    }
+
+    fn n_users(&self) -> usize {
+        self.r.n_rows()
+    }
+
+    fn n_items(&self) -> usize {
+        self.r.n_cols()
+    }
+}
+
+/// Fitted item-based cosine kNN model.
+pub struct ItemKnn {
+    /// `neighbors[j]` = top-k items similar to item `j`.
+    neighbors: Vec<Vec<Neighbor>>,
+    r: CsrMatrix,
+}
+
+impl ItemKnn {
+    /// Computes every item's top-k neighbours (on the transposed matrix).
+    pub fn fit(r: &CsrMatrix, cfg: &KnnConfig) -> Self {
+        let rt = r.transpose();
+        ItemKnn { neighbors: top_k_neighbors(&rt, r, cfg.k), r: r.clone() }
+    }
+
+    /// The neighbours of item `j` (for explanations: "user bought the
+    /// similar items…").
+    pub fn neighbors_of(&self, j: usize) -> &[Neighbor] {
+        &self.neighbors[j]
+    }
+}
+
+impl Recommender for ItemKnn {
+    fn name(&self) -> &'static str {
+        "item-based"
+    }
+
+    fn score_user(&self, u: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.r.n_cols(), 0.0);
+        for &j in self.r.row(u) {
+            for n in &self.neighbors[j as usize] {
+                out[n.index as usize] += n.similarity;
+            }
+        }
+    }
+
+    fn n_users(&self) -> usize {
+        self.r.n_rows()
+    }
+
+    fn n_items(&self) -> usize {
+        self.r.n_cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two user groups with one bridge: users {0,1} like items {0,1};
+    /// users {2,3} like items {2,3}; user 1 additionally owns item 2.
+    fn blocks() -> CsrMatrix {
+        CsrMatrix::from_pairs(
+            4,
+            4,
+            &[(0, 0), (0, 1), (1, 0), (1, 1), (1, 2), (2, 2), (2, 3), (3, 2), (3, 3)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn user_knn_recommends_from_neighbors() {
+        let r = blocks();
+        let model = UserKnn::fit(&r, &KnnConfig { k: 2 });
+        let mut scores = Vec::new();
+        model.score_user(0, &mut scores);
+        // user 0's only overlapping neighbour is user 1, who owns item 2
+        assert!(scores[2] > 0.0, "bridge item must get positive score");
+        assert_eq!(scores[3], 0.0, "item 3 is outside the neighbourhood");
+        // all of user 1's items receive that single neighbour's similarity
+        assert!((scores[0] - scores[2]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn item_knn_recommends_similar_items() {
+        let r = blocks();
+        let model = ItemKnn::fit(&r, &KnnConfig { k: 2 });
+        let mut scores = Vec::new();
+        model.score_user(0, &mut scores);
+        // user 0 owns {0,1}; item 2 is similar to both (via user 1)
+        assert!(scores[2] > 0.0);
+        assert!(scores[2] > scores[3], "item 3 shares no users with 0/1");
+    }
+
+    #[test]
+    fn scores_zero_for_cold_users() {
+        let r = CsrMatrix::from_pairs(3, 3, &[(0, 0), (1, 1)]).unwrap();
+        let u = UserKnn::fit(&r, &KnnConfig::default());
+        let i = ItemKnn::fit(&r, &KnnConfig::default());
+        let mut scores = Vec::new();
+        u.score_user(2, &mut scores);
+        assert!(scores.iter().all(|&s| s == 0.0));
+        i.score_user(2, &mut scores);
+        assert!(scores.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn neighbourhood_size_limits_influence() {
+        let r = blocks();
+        let narrow = UserKnn::fit(&r, &KnnConfig { k: 1 });
+        assert!(narrow.neighbors_of(0).len() <= 1);
+        let wide = UserKnn::fit(&r, &KnnConfig { k: 10 });
+        assert!(wide.neighbors_of(0).len() >= narrow.neighbors_of(0).len());
+    }
+
+    #[test]
+    fn user_knn_matches_manual_computation() {
+        let r = blocks();
+        let model = UserKnn::fit(&r, &KnnConfig { k: 10 });
+        let mut scores = Vec::new();
+        model.score_user(3, &mut scores);
+        // manual: neighbours of 3 are users 2 (shares {2,3}) and 1 (shares {2})
+        let sim32 = crate::similarity::cosine(&r, 3, 2);
+        let sim31 = crate::similarity::cosine(&r, 3, 1);
+        assert!((scores[2] - (sim32 + sim31)).abs() < 1e-12);
+        assert!((scores[3] - sim32).abs() < 1e-12);
+        assert!((scores[0] - sim31).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trait_dimensions() {
+        let r = blocks();
+        let m = ItemKnn::fit(&r, &KnnConfig::default());
+        assert_eq!(m.n_users(), 4);
+        assert_eq!(m.n_items(), 4);
+        assert_eq!(m.name(), "item-based");
+    }
+}

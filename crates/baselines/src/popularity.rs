@@ -1,0 +1,70 @@
+//! Most-popular baseline: rank items by global purchase count.
+//!
+//! Not part of the paper's Table I, but the canonical sanity floor for
+//! one-class recommenders — any personalised method that loses to raw
+//! popularity is broken. Included in the harness for calibration.
+
+use crate::Recommender;
+use ocular_sparse::CsrMatrix;
+
+/// Fitted popularity model: a single global ranking.
+pub struct Popularity {
+    scores: Vec<f64>,
+    n_users: usize,
+}
+
+impl Popularity {
+    /// Counts item degrees.
+    pub fn fit(r: &CsrMatrix) -> Self {
+        Popularity {
+            scores: r.col_degrees().into_iter().map(|d| d as f64).collect(),
+            n_users: r.n_rows(),
+        }
+    }
+}
+
+impl Recommender for Popularity {
+    fn name(&self) -> &'static str {
+        "popularity"
+    }
+
+    fn score_user(&self, _u: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.scores);
+    }
+
+    fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    fn n_items(&self) -> usize {
+        self.scores.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_equal_item_degrees() {
+        let r = CsrMatrix::from_pairs(3, 3, &[(0, 0), (1, 0), (2, 0), (0, 1)]).unwrap();
+        let m = Popularity::fit(&r);
+        let mut s = Vec::new();
+        m.score_user(0, &mut s);
+        assert_eq!(s, vec![3.0, 1.0, 0.0]);
+        // identical for every user
+        let mut s2 = Vec::new();
+        m.score_user(2, &mut s2);
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn dimensions() {
+        let r = CsrMatrix::empty(5, 7);
+        let m = Popularity::fit(&r);
+        assert_eq!(m.n_users(), 5);
+        assert_eq!(m.n_items(), 7);
+        assert_eq!(m.name(), "popularity");
+    }
+}

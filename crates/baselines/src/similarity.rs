@@ -1,0 +1,164 @@
+//! Cosine similarity between binary interaction vectors.
+//!
+//! For binary vectors the cosine reduces to co-occurrence counts:
+//! `sim(a, b) = |N(a) ∩ N(b)| / sqrt(|N(a)| · |N(b)|)`. Neighbourhoods are
+//! computed by accumulating counts through the bipartite structure (for
+//! users: via each shared item's user list), which costs
+//! `O(Σ_i deg(i)²)` overall — the standard approach for sparse data.
+
+use ocular_sparse::CsrMatrix;
+
+/// A neighbour with its similarity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index of the neighbouring entity (user or item, by context).
+    pub index: u32,
+    /// Cosine similarity in `(0, 1]`.
+    pub similarity: f64,
+}
+
+/// Computes, for every *row entity* of `m`, its `k` most cosine-similar
+/// other row entities. `mt` must be the transpose of `m`.
+///
+/// Returned lists are sorted by similarity descending (ties: index
+/// ascending) and never contain the entity itself or zero similarities.
+pub fn top_k_neighbors(m: &CsrMatrix, mt: &CsrMatrix, k: usize) -> Vec<Vec<Neighbor>> {
+    let n = m.n_rows();
+    let degrees: Vec<usize> = m.row_degrees();
+    let mut result = Vec::with_capacity(n);
+    // dense accumulator + touched list ("workhorse" buffers reused per row)
+    let mut counts = vec![0u32; n];
+    let mut touched: Vec<u32> = Vec::new();
+    for a in 0..n {
+        touched.clear();
+        for &col in m.row(a) {
+            for &b in mt.row(col as usize) {
+                let b = b as usize;
+                if b == a {
+                    continue;
+                }
+                if counts[b] == 0 {
+                    touched.push(b as u32);
+                }
+                counts[b] += 1;
+            }
+        }
+        let da = degrees[a] as f64;
+        let mut neighbors: Vec<Neighbor> = touched
+            .iter()
+            .map(|&b| Neighbor {
+                index: b,
+                similarity: counts[b as usize] as f64
+                    / (da * degrees[b as usize] as f64).sqrt(),
+            })
+            .collect();
+        neighbors.sort_by(|x, y| {
+            y.similarity
+                .partial_cmp(&x.similarity)
+                .expect("similarities are finite")
+                .then_with(|| x.index.cmp(&y.index))
+        });
+        neighbors.truncate(k);
+        for &b in &touched {
+            counts[b as usize] = 0;
+        }
+        result.push(neighbors);
+    }
+    result
+}
+
+/// Exact cosine similarity between two rows of `m` (test helper and spot
+/// queries). O(deg(a) + deg(b)).
+pub fn cosine(m: &CsrMatrix, a: usize, b: usize) -> f64 {
+    let (ra, rb) = (m.row(a), m.row(b));
+    if ra.is_empty() || rb.is_empty() {
+        return 0.0;
+    }
+    let (mut i, mut j, mut inter) = (0, 0, 0usize);
+    while i < ra.len() && j < rb.len() {
+        match ra[i].cmp(&rb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter as f64 / ((ra.len() * rb.len()) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> CsrMatrix {
+        // user 0: {0,1,2}; user 1: {0,1}; user 2: {3}; user 3: {} (cold)
+        CsrMatrix::from_pairs(4, 4, &[(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (2, 3)])
+            .unwrap()
+    }
+
+    #[test]
+    fn cosine_hand_computed() {
+        let m = m();
+        // |{0,1}| shared / sqrt(3·2)
+        assert!((cosine(&m, 0, 1) - 2.0 / 6.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(cosine(&m, 0, 2), 0.0);
+        assert_eq!(cosine(&m, 0, 3), 0.0, "cold user has similarity 0");
+        assert!((cosine(&m, 0, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_matches_pairwise_cosine() {
+        let m = m();
+        let mt = m.transpose();
+        let nn = top_k_neighbors(&m, &mt, 10);
+        assert_eq!(nn.len(), 4);
+        // user 0's only overlapping neighbour is user 1
+        assert_eq!(nn[0].len(), 1);
+        assert_eq!(nn[0][0].index, 1);
+        assert!((nn[0][0].similarity - cosine(&m, 0, 1)).abs() < 1e-12);
+        // symmetric
+        assert_eq!(nn[1][0].index, 0);
+        // user 2 overlaps nobody
+        assert!(nn[2].is_empty());
+        // cold user has no neighbours
+        assert!(nn[3].is_empty());
+    }
+
+    #[test]
+    fn truncation_keeps_best() {
+        // user 0 shares 2 items with user 1, 1 item with user 2
+        let m = CsrMatrix::from_pairs(
+            3,
+            3,
+            &[(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (2, 2)],
+        )
+        .unwrap();
+        let mt = m.transpose();
+        let nn = top_k_neighbors(&m, &mt, 1);
+        assert_eq!(nn[0].len(), 1);
+        assert_eq!(nn[0][0].index, 1, "strongest neighbour must survive truncation");
+    }
+
+    #[test]
+    fn self_never_a_neighbor() {
+        let m = m();
+        let mt = m.transpose();
+        for (a, list) in top_k_neighbors(&m, &mt, 10).into_iter().enumerate() {
+            assert!(list.iter().all(|n| n.index as usize != a));
+        }
+    }
+
+    #[test]
+    fn similarity_tie_breaks_by_index() {
+        // users 1 and 2 both share exactly item 0 with user 0 and have
+        // equal degree → equal similarity; index order must decide
+        let m = CsrMatrix::from_pairs(3, 2, &[(0, 0), (1, 0), (2, 0)]).unwrap();
+        let mt = m.transpose();
+        let nn = top_k_neighbors(&m, &mt, 2);
+        assert_eq!(nn[0][0].index, 1);
+        assert_eq!(nn[0][1].index, 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Comparative integration tests: every baseline must behave sanely on
+//! planted overlapping co-cluster data (the Table I shape, from the
+//! baselines' side).
+
+use ocular_baselines::{
+    all_baselines, Bpr, BprConfig, ItemKnn, KnnConfig, Popularity, Recommender, UserKnn, Wals,
+    WalsConfig,
+};
+use ocular_datasets::planted::{generate, PlantedConfig};
+use ocular_eval::protocol::evaluate;
+use ocular_sparse::{Split, SplitConfig};
+
+fn dataset() -> ocular_datasets::PlantedDataset {
+    generate(&PlantedConfig {
+        n_users: 200,
+        n_items: 120,
+        k: 4,
+        users_per_cluster: 60,
+        items_per_cluster: 35,
+        user_overlap: 0.5,
+        item_overlap: 0.5,
+        within_density: 0.5,
+        noise_density: 0.004,
+        seed: 13,
+    })
+}
+
+fn recall_of(model: &dyn Recommender, split: &Split, m: usize) -> f64 {
+    evaluate(|u, buf| model.score_user(u, buf), &split.train, &split.test, m).recall
+}
+
+#[test]
+fn every_personalised_baseline_beats_popularity() {
+    let data = dataset();
+    let split = Split::new(&data.matrix, &SplitConfig::default());
+    let pop = Popularity::fit(&split.train);
+    let pop_recall = recall_of(&pop, &split, 25);
+    let personalised: Vec<Box<dyn Recommender>> = vec![
+        Box::new(Wals::fit(&split.train, &WalsConfig { k: 4, ..Default::default() })),
+        Box::new(Bpr::fit(&split.train, &BprConfig { k: 4, epochs: 60, ..Default::default() })),
+        Box::new(UserKnn::fit(&split.train, &KnnConfig { k: 40 })),
+        Box::new(ItemKnn::fit(&split.train, &KnnConfig { k: 40 })),
+    ];
+    for model in &personalised {
+        let r = recall_of(model.as_ref(), &split, 25);
+        assert!(
+            r > pop_recall + 0.05,
+            "{} ({r:.3}) must beat popularity ({pop_recall:.3}) on block data",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn wals_and_bpr_scores_rank_positives_high() {
+    let data = dataset();
+    let split = Split::new(&data.matrix, &SplitConfig { seed: 1, ..Default::default() });
+    let wals = Wals::fit(&split.train, &WalsConfig { k: 4, ..Default::default() });
+    let bpr = Bpr::fit(&split.train, &BprConfig { k: 4, epochs: 60, ..Default::default() });
+    for model in [&wals as &dyn Recommender, &bpr] {
+        let mut scores = Vec::new();
+        let mut pos_better = 0usize;
+        let mut total = 0usize;
+        for u in 0..split.train.n_rows() {
+            if split.train.row_nnz(u) == 0 || split.test.row_nnz(u) == 0 {
+                continue;
+            }
+            model.score_user(u, &mut scores);
+            // a held-out positive should usually outrank a uniformly chosen
+            // unknown (AUC-style spot check on a few pairs)
+            for &i in split.test.row(u).iter().take(2) {
+                for j in 0..4 {
+                    let probe = (i as usize + 7 * j + 1) % split.train.n_cols();
+                    if split.train.contains(u, probe) || split.test.contains(u, probe) {
+                        continue;
+                    }
+                    total += 1;
+                    if scores[i as usize] > scores[probe] {
+                        pos_better += 1;
+                    }
+                }
+            }
+        }
+        let auc = pos_better as f64 / total.max(1) as f64;
+        assert!(auc > 0.7, "{}: spot AUC {auc:.3} too low", model.name());
+    }
+}
+
+#[test]
+fn knn_variants_agree_on_easy_structure() {
+    let data = dataset();
+    let split = Split::new(&data.matrix, &SplitConfig { seed: 2, ..Default::default() });
+    let user = UserKnn::fit(&split.train, &KnnConfig { k: 40 });
+    let item = ItemKnn::fit(&split.train, &KnnConfig { k: 40 });
+    let ru = recall_of(&user, &split, 25);
+    let ri = recall_of(&item, &split, 25);
+    assert!((ru - ri).abs() < 0.25, "user {ru:.3} vs item {ri:.3} should be in the same band");
+}
+
+#[test]
+fn model_zoo_is_evaluable_end_to_end() {
+    let data = dataset();
+    let split = Split::new(&data.matrix, &SplitConfig { seed: 3, ..Default::default() });
+    for model in all_baselines(&split.train, 0) {
+        let report = evaluate(
+            |u, buf| model.score_user(u, buf),
+            &split.train,
+            &split.test,
+            10,
+        );
+        assert!(report.evaluated_users > 0, "{}: nobody evaluated", model.name());
+        assert!(
+            (0.0..=1.0).contains(&report.recall) && (0.0..=1.0).contains(&report.map),
+            "{}: metrics out of range",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn baselines_deterministic_across_runs() {
+    let data = dataset();
+    let split = Split::new(&data.matrix, &SplitConfig { seed: 4, ..Default::default() });
+    let a = Wals::fit(&split.train, &WalsConfig { k: 4, seed: 9, ..Default::default() });
+    let b = Wals::fit(&split.train, &WalsConfig { k: 4, seed: 9, ..Default::default() });
+    assert_eq!(a.user_factors, b.user_factors);
+    let a = Bpr::fit(&split.train, &BprConfig { seed: 9, epochs: 5, ..Default::default() });
+    let b = Bpr::fit(&split.train, &BprConfig { seed: 9, epochs: 5, ..Default::default() });
+    assert_eq!(a.item_factors, b.item_factors);
+}

@@ -1,0 +1,74 @@
+//! Criterion benches of the serving-side paths: top-M recommendation,
+//! explanation generation, kNN similarity precomputation and wALS sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ocular_baselines::{ItemKnn, KnnConfig, Recommender, UserKnn, Wals, WalsConfig};
+use ocular_core::{
+    default_threshold, explain, extract_coclusters, fit, recommend_top_m, OcularConfig,
+};
+use ocular_datasets::powerlaw::{generate, PowerLawConfig};
+use std::hint::black_box;
+
+fn bench_serving(c: &mut Criterion) {
+    let data = generate(&PowerLawConfig {
+        n_users: 800,
+        n_items: 400,
+        k: 8,
+        target_nnz: 20_000,
+        ..Default::default()
+    });
+    let r = &data.matrix;
+    let result = fit(
+        r,
+        &OcularConfig { k: 8, lambda: 0.5, max_iters: 20, seed: 0, ..Default::default() },
+    );
+    let clusters = extract_coclusters(&result.model, default_threshold());
+
+    let mut group = c.benchmark_group("serving");
+    group.bench_function("recommend_top50_one_user", |b| {
+        b.iter(|| black_box(recommend_top_m(&result.model, r, 17, 50).len()))
+    });
+    group.bench_function("explain_one_recommendation", |b| {
+        let rec = recommend_top_m(&result.model, r, 17, 1);
+        let item = rec[0].item;
+        b.iter(|| {
+            black_box(explain(&result.model, r, &clusters, 17, item, 5).contributions.len())
+        })
+    });
+    group.bench_function("extract_coclusters", |b| {
+        b.iter(|| black_box(extract_coclusters(&result.model, default_threshold()).len()))
+    });
+    group.finish();
+}
+
+fn bench_baseline_fits(c: &mut Criterion) {
+    let data = generate(&PowerLawConfig {
+        n_users: 600,
+        n_items: 300,
+        k: 8,
+        target_nnz: 12_000,
+        ..Default::default()
+    });
+    let r = &data.matrix;
+    let mut group = c.benchmark_group("baseline_fit");
+    group.sample_size(10);
+    group.bench_function("user_knn", |b| {
+        b.iter(|| black_box(UserKnn::fit(r, &KnnConfig::default()).n_users()))
+    });
+    group.bench_function("item_knn", |b| {
+        b.iter(|| black_box(ItemKnn::fit(r, &KnnConfig::default()).n_items()))
+    });
+    group.bench_function("wals_3_sweeps", |b| {
+        b.iter(|| {
+            black_box(
+                Wals::fit(r, &WalsConfig { k: 8, iters: 3, ..Default::default() })
+                    .objective_trace
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving, bench_baseline_fits);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion benches of full training sweeps: linearity in nnz and K
+//! (the microbench behind Figure 7) and sequential vs parallel half-sweeps
+//! (the microbench behind Figure 8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocular_core::{fit, OcularConfig};
+use ocular_datasets::powerlaw::{generate, PowerLawConfig};
+use ocular_parallel::fit_parallel;
+use ocular_sparse::sample::sample_nnz_fraction;
+use std::hint::black_box;
+
+fn dataset() -> ocular_sparse::CsrMatrix {
+    generate(&PowerLawConfig {
+        n_users: 1200,
+        n_items: 500,
+        k: 10,
+        target_nnz: 30_000,
+        ..Default::default()
+    })
+    .matrix
+}
+
+fn sweep_cfg(k: usize) -> OcularConfig {
+    OcularConfig {
+        k,
+        lambda: 0.5,
+        max_iters: 1, // exactly one sweep per measurement
+        tol: 0.0,
+        seed: 0,
+        ..Default::default()
+    }
+}
+
+fn bench_sweep_vs_nnz(c: &mut Criterion) {
+    let r = dataset();
+    let mut group = c.benchmark_group("sweep_vs_nnz");
+    group.sample_size(10);
+    for frac in [0.25f64, 0.5, 1.0] {
+        let sub = sample_nnz_fraction(&r, frac, 0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}nnz", sub.nnz())),
+            &sub,
+            |b, sub| b.iter(|| black_box(fit(sub, &sweep_cfg(16)).history.iterations())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_sweep_vs_k(c: &mut Criterion) {
+    let r = dataset();
+    let mut group = c.benchmark_group("sweep_vs_k");
+    group.sample_size(10);
+    for k in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(fit(&r, &sweep_cfg(k)).history.iterations()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sequential_vs_parallel(c: &mut Criterion) {
+    let r = dataset();
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.bench_function("sequential_sweep", |b| {
+        b.iter(|| black_box(fit(&r, &sweep_cfg(32)).history.iterations()))
+    });
+    group.bench_function("parallel_sweep", |b| {
+        b.iter(|| black_box(fit_parallel(&r, &sweep_cfg(32), None).history.iterations()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sweep_vs_nnz,
+    bench_sweep_vs_k,
+    bench_sequential_vs_parallel
+);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Minimal command-line flag parsing for the experiment binaries
+//! (`--key value` pairs and bare `--flag`s; no external dependencies).
+
+use ocular_datasets::profiles::Scale;
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()`.
+    pub fn parse() -> Args {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (tests).
+    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Args {
+        let mut args = Args::default();
+        let tokens: Vec<String> = iter.into_iter().collect();
+        let mut i = 0;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            if let Some(key) = t.strip_prefix("--") {
+                let is_value = i + 1 < tokens.len() && !tokens[i + 1].starts_with("--");
+                if is_value {
+                    args.values.insert(key.to_string(), tokens[i + 1].clone());
+                    i += 2;
+                } else {
+                    args.flags.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        args
+    }
+
+    /// Typed lookup with default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Whether a bare flag was passed.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The dataset scale (`--scale small|medium|paper|<factor>`).
+    pub fn scale(&self) -> Scale {
+        match self.values.get("scale").map(String::as_str) {
+            None | Some("small") => Scale::Small,
+            Some("medium") => Scale::Medium,
+            Some("paper") => Scale::Paper,
+            Some(other) => other
+                .parse::<f64>()
+                .map(Scale::Factor)
+                .unwrap_or(Scale::Small),
+        }
+    }
+
+    /// Base RNG seed (`--seed`, default 0).
+    pub fn seed(&self) -> u64 {
+        self.get("seed", 0u64)
+    }
+
+    /// Number of problem instances to average over (`--instances`,
+    /// default 3; the paper uses 10 — pass `--instances 10` to match).
+    pub fn instances(&self) -> usize {
+        self.get("instances", 3usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::from_iter(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_values_and_flags() {
+        let a = args("--seed 7 --tune --instances 10");
+        assert_eq!(a.seed(), 7);
+        assert!(a.flag("tune"));
+        assert!(!a.flag("quick"));
+        assert_eq!(a.instances(), 10);
+    }
+
+    #[test]
+    fn scale_variants() {
+        assert_eq!(args("").scale(), Scale::Small);
+        assert_eq!(args("--scale medium").scale(), Scale::Medium);
+        assert_eq!(args("--scale paper").scale(), Scale::Paper);
+        assert_eq!(args("--scale 2.5").scale(), Scale::Factor(2.5));
+        assert_eq!(args("--scale bogus").scale(), Scale::Small);
+    }
+
+    #[test]
+    fn typed_get_with_default() {
+        let a = args("--m 50");
+        assert_eq!(a.get("m", 10usize), 50);
+        assert_eq!(a.get("missing", 10usize), 10);
+        assert_eq!(a.get("m", 0.5f64), 50.0);
+    }
+
+    #[test]
+    fn instances_floor_one() {
+        assert_eq!(args("--instances 0").instances(), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! **Figure 2** — output of non-overlapping (Modularity) and overlapping
+//! (BIGCLAM) community detection on the introductory example, next to
+//! OCuLaR's own co-clusters.
+//!
+//! Paper result: *"both fail to recover the correct community structure,
+//! and by recovering incorrect 'community' boundaries they would have
+//! identified only one (1) of the three (3) candidate recommendations"* —
+//! OCuLaR identifies all three (Figure 3).
+//!
+//! Usage: `cargo run -p ocular-bench --release --bin figure2`
+
+use ocular_bench::TextTable;
+use ocular_community::graph::Graph;
+use ocular_community::{greedy_modularity, louvain::louvain, Bigclam, BigclamConfig};
+use ocular_core::{default_threshold, extract_coclusters, fit, OcularConfig};
+use ocular_datasets::figure1::{figure1, render_ascii, HELD_OUT, N_USERS};
+use ocular_datasets::recovery::{best_match_f1, held_out_coverage, RecoveredCluster};
+
+fn from_communities(cs: &[ocular_community::Community]) -> Vec<RecoveredCluster> {
+    cs.iter()
+        .map(|c| {
+            let (users, items) = c.split_bipartite(N_USERS);
+            RecoveredCluster::new(users, items)
+        })
+        .collect()
+}
+
+fn describe(clusters: &[RecoveredCluster]) -> String {
+    clusters
+        .iter()
+        .map(|c| format!("users {:?} × items {:?}", c.users, c.items))
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+fn main() {
+    let f = figure1();
+    println!("The introductory example (■ positive, ○ held-out candidate):\n");
+    println!("{}", render_ascii(&f.matrix, &HELD_OUT));
+
+    let g = Graph::from_bipartite(&f.matrix);
+
+    // OCuLaR
+    let result = fit(
+        &f.matrix,
+        &OcularConfig { k: 3, lambda: 0.05, max_iters: 400, tol: 1e-7, seed: 42, ..Default::default() },
+    );
+    let ocular: Vec<RecoveredCluster> = extract_coclusters(&result.model, default_threshold())
+        .into_iter()
+        .map(|c| RecoveredCluster::new(c.users, c.items))
+        .collect();
+
+    // Modularity (greedy CNM) and Louvain
+    let (mod_comms, q_mod) = greedy_modularity(&g);
+    let modularity = from_communities(&mod_comms);
+    let (louv_comms, q_louv) = louvain(&g);
+    let louv = from_communities(&louv_comms);
+
+    // BIGCLAM
+    let big = Bigclam::fit(&g, &BigclamConfig { k: 3, seed: 7, ..Default::default() });
+    let bigclam = from_communities(&big.communities(Bigclam::default_threshold(&g)));
+
+    // OCuLaR yields a *ranked list*, so its candidates-found column counts
+    // held-out cells surfaced in each user's top-2 recommendations; the
+    // community methods yield only an assignment (the paper's point:
+    // "they yield an assignment of users/items to communities, but not a
+    // ranked list of recommendations"), so for them a candidate counts as
+    // found if a recovered community contains both endpoints.
+    let ocular_found = HELD_OUT
+        .iter()
+        .filter(|&&(u, i)| {
+            ocular_core::recommend_top_m(&result.model, &f.matrix, u, 2)
+                .iter()
+                .any(|rec| rec.item == i)
+        })
+        .count();
+
+    let mut table = TextTable::new(["method", "clusters", "best-match F1", "candidates found"]);
+    let f1_ocular = best_match_f1(&f.truth, &ocular);
+    table.row([
+        "OCuLaR".to_string(),
+        ocular.len().to_string(),
+        format!("{f1_ocular:.3}"),
+        format!("{ocular_found} / {} (ranked)", HELD_OUT.len()),
+    ]);
+    for (name, clusters) in [
+        ("Modularity", &modularity),
+        ("Louvain", &louv),
+        ("BIGCLAM", &bigclam),
+    ] {
+        let f1 = best_match_f1(&f.truth, clusters);
+        let found = (held_out_coverage(&HELD_OUT, clusters) * HELD_OUT.len() as f64).round();
+        table.row([
+            name.to_string(),
+            clusters.len().to_string(),
+            format!("{f1:.3}"),
+            format!("{found:.0} / {}", HELD_OUT.len()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("modularity Q: greedy {q_mod:.3}, louvain {q_louv:.3}\n");
+
+    for (name, clusters) in [("OCuLaR", &ocular), ("Modularity", &modularity), ("BIGCLAM", &bigclam)] {
+        println!("{name}: {}", describe(clusters));
+    }
+    println!("\npaper reference: Modularity and BIGCLAM both fail to recover the");
+    println!("overlapping structure and identify only 1 of the 3 candidates.");
+}

@@ -1,0 +1,80 @@
+//! **Figure 5** — recall@M and MAP@M versus M on the Movielens dataset for
+//! OCuLaR, R-OCuLaR, wALS, BPR, user-based and item-based CF.
+//!
+//! Paper result: *"OCuLaR and R-OCuLaR are consistently better or at least
+//! as good as the other recommendation techniques"* across the whole range
+//! of M.
+//!
+//! Usage: `cargo run -p ocular-bench --release --bin figure5 --
+//!   [--scale …] [--seed S] [--max-m 100] [--csv]`
+
+use ocular_baselines::{
+    Bpr, BprConfig, ItemKnn, KnnConfig, Recommender, UserKnn, Wals, WalsConfig,
+};
+use ocular_bench::harness::{default_ocular_config, OcularRecommender};
+use ocular_bench::{Args, TextTable};
+use ocular_datasets::profiles;
+use ocular_eval::curves::metric_curves;
+use ocular_sparse::{Split, SplitConfig};
+
+fn main() {
+    let args = Args::parse();
+    let seed = args.seed();
+    let max_m = args.get("max-m", 100usize);
+    let data = profiles::movielens_like(args.scale(), seed);
+    let split = Split::new(&data.matrix, &SplitConfig { seed, ..Default::default() });
+    let k_hint = data.truth.k();
+
+    let ocfg = default_ocular_config(k_hint, seed);
+    let models: Vec<Box<dyn Recommender>> = vec![
+        Box::new(OcularRecommender::fit_absolute(&split.train, &ocfg)),
+        Box::new(OcularRecommender::fit_relative(&split.train, &ocfg)),
+        Box::new(Wals::fit(&split.train, &WalsConfig { k: k_hint, seed, ..Default::default() })),
+        Box::new(Bpr::fit(&split.train, &BprConfig { k: k_hint, seed, ..Default::default() })),
+        Box::new(UserKnn::fit(&split.train, &KnnConfig::default())),
+        Box::new(ItemKnn::fit(&split.train, &KnnConfig::default())),
+    ];
+
+    println!("Figure 5 — recall@M and MAP@M vs M (Movielens-like, scale {:?})\n", args.scale());
+    let curves: Vec<(_, _)> = models
+        .iter()
+        .map(|model| {
+            let c = metric_curves(
+                |u, buf| model.score_user(u, buf),
+                &split.train,
+                &split.test,
+                max_m,
+            );
+            eprintln!("[figure5] {} done", model.name());
+            (model.name(), c)
+        })
+        .collect();
+
+    let checkpoints: Vec<usize> = [1, 2, 5, 10, 20, 50, 100]
+        .into_iter()
+        .filter(|&m| m <= max_m)
+        .collect();
+    for metric in ["recall", "MAP"] {
+        let mut table = TextTable::new(
+            std::iter::once("M".to_string())
+                .chain(curves.iter().map(|(n, _)| n.to_string())),
+        );
+        for &m in &checkpoints {
+            table.row(std::iter::once(m.to_string()).chain(curves.iter().map(
+                |(_, c)| {
+                    let v = if metric == "recall" { c.recall_at(m) } else { c.map_at(m) };
+                    format!("{v:.4}")
+                },
+            )));
+        }
+        println!("{metric}@M:");
+        println!("{}", table.render());
+    }
+
+    if args.flag("csv") {
+        for (name, c) in &curves {
+            println!("# {name}");
+            println!("{}", c.to_csv());
+        }
+    }
+}

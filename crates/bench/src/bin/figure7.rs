@@ -1,0 +1,103 @@
+//! **Figure 7** — running time per iteration on increasing fractions of
+//! the (synthetic) Netflix dataset, for K ∈ {10, 50, 100}.
+//!
+//! Paper result: *"the training time is indeed linear in the number of
+//! positive examples and linear in the number of co-clusters K"*. This
+//! binary measures seconds per sweep at each (fraction, K), prints the
+//! series, and fits a least-squares line per K reporting R² — linearity is
+//! the claim, so R² ≈ 1 is the reproduction target.
+//!
+//! Usage: `cargo run -p ocular-bench --release --bin figure7 --
+//!   [--scale …] [--seed S] [--sweeps 3] [--csv]`
+
+use ocular_bench::{Args, TextTable};
+use ocular_core::{fit, OcularConfig};
+use ocular_datasets::profiles;
+use ocular_sparse::sample::sample_nnz_fraction;
+
+/// Least-squares fit `y = a + b·x`; returns `(a, b, r²)`.
+fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let b = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+    let a = my - b * mx;
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - (a + b * x);
+            e * e
+        })
+        .sum();
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    (a, b, r2)
+}
+
+fn main() {
+    let args = Args::parse();
+    let seed = args.seed();
+    let sweeps = args.get("sweeps", 3usize).max(1);
+    let data = profiles::netflix_like(args.scale(), seed);
+    let fractions = [0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0];
+    let ks = [10usize, 50, 100];
+
+    println!(
+        "Figure 7 — seconds per sweep vs fraction of the Netflix-like dataset ({} positives at fraction 1.0, scale {:?})\n",
+        data.matrix.nnz(),
+        args.scale()
+    );
+
+    let mut table = TextTable::new(
+        std::iter::once("fraction".to_string())
+            .chain(std::iter::once("nnz".to_string()))
+            .chain(ks.iter().map(|k| format!("K={k} (s/it)"))),
+    );
+    let mut per_k_points: Vec<(Vec<f64>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); ks.len()];
+    for &frac in &fractions {
+        let sub = sample_nnz_fraction(&data.matrix, frac, seed);
+        let mut cells = vec![format!("{frac}"), sub.nnz().to_string()];
+        for (ki, &k) in ks.iter().enumerate() {
+            let cfg = OcularConfig {
+                k,
+                lambda: 0.5,
+                max_iters: sweeps,
+                tol: 0.0, // never early-stop: we are timing sweeps
+                seed,
+                ..Default::default()
+            };
+            let result = fit(&sub, &cfg);
+            let s_per_it = result.history.mean_sweep_seconds();
+            per_k_points[ki].0.push(sub.nnz() as f64);
+            per_k_points[ki].1.push(s_per_it);
+            cells.push(format!("{s_per_it:.4}"));
+        }
+        eprintln!("[figure7] fraction {frac} done");
+        table.row(cells);
+    }
+    println!("{}", table.render());
+
+    println!("linearity in nnz (per K):");
+    let mut slopes = Vec::new();
+    for (ki, &k) in ks.iter().enumerate() {
+        let (a, b, r2) = linear_fit(&per_k_points[ki].0, &per_k_points[ki].1);
+        println!("  K={k:>3}: time ≈ {a:.4} + {b:.3e}·nnz, R² = {r2:.4}");
+        slopes.push(b);
+    }
+    // the paper's own Figure 7 shows sublinear slope ratios (≈3.3× from
+    // K=10→50 and ≈2.7× from 50→100 at the full dataset) because fixed
+    // per-sweep costs and vectorisation don't scale with K; compare shape,
+    // not the nominal 5×/2×
+    println!(
+        "linearity in K: slope(K=50)/slope(K=10) = {:.2}, slope(K=100)/slope(K=50) = {:.2} (paper's measured ratios ≈3.3 and ≈2.7)",
+        slopes[1] / slopes[0].max(1e-12),
+        slopes[2] / slopes[1].max(1e-12)
+    );
+
+    if args.flag("csv") {
+        println!("{}", table.to_csv());
+    }
+}

@@ -1,0 +1,288 @@
+//! BIGCLAM — Cluster Affiliation Model for Big Networks
+//! (Yang & Leskovec, WSDM 2013).
+//!
+//! The overlapping community detector most related to OCuLaR (Section II):
+//! non-negative affiliation vectors `F_v ∈ R₊^K` generate edges with
+//! `P[(u,v) ∈ E] = 1 − exp(−⟨F_u, F_v⟩)` and are fitted by maximising
+//!
+//! ```text
+//! l(F) = Σ_{(u,v)∈E} log(1 − e^{−⟨F_u,F_v⟩}) − Σ_{(u,v)∉E} ⟨F_u, F_v⟩
+//! ```
+//!
+//! by projected gradient ascent per node with the same `Σ_v F_v` sum-trick
+//! OCuLaR borrows. The two deliberate differences from OCuLaR, which the
+//! paper shows to matter (Figure 2): BIGCLAM sees only the *unipartite*
+//! graph (users and items mixed into one node set) and has **no**
+//! regularization.
+
+use crate::graph::{Community, Graph};
+use ocular_linalg::{ops, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Clamp guard shared with OCuLaR's loss (see `ocular_core::model::P_MIN`).
+const P_MIN: f64 = 1e-10;
+
+/// BIGCLAM hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BigclamConfig {
+    /// Number of communities `K`.
+    pub k: usize,
+    /// Maximum full passes over the nodes.
+    pub max_iters: usize,
+    /// Relative log-likelihood improvement below which training stops.
+    pub tol: f64,
+    /// Initial ascent step; halved on failure up to `backtracks` times.
+    pub step: f64,
+    /// Backtracking halvings per node update.
+    pub backtracks: usize,
+    /// Initialisation scale and RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BigclamConfig {
+    fn default() -> Self {
+        BigclamConfig { k: 4, max_iters: 200, tol: 1e-6, step: 0.5, backtracks: 12, seed: 0 }
+    }
+}
+
+/// A fitted BIGCLAM model.
+pub struct Bigclam {
+    /// `n_nodes × k` non-negative affiliations.
+    pub factors: Matrix,
+    /// Log-likelihood after each pass (ascending).
+    pub loglik_trace: Vec<f64>,
+}
+
+#[inline]
+fn edge_ll(p: f64) -> f64 {
+    (-(-p.max(P_MIN)).exp_m1()).ln()
+}
+
+/// Full log-likelihood via the sum-trick:
+/// `Σ_{∉E} ⟨F_u,F_v⟩ = ½(⟨S,S⟩ − Σ_v ‖F_v‖²) − Σ_{∈E} ⟨F_u,F_v⟩`.
+fn loglik(g: &Graph, f: &Matrix) -> f64 {
+    let mut ll = 0.0;
+    let mut pos_aff = 0.0;
+    for (a, b) in g.edges() {
+        let p = ops::dot(f.row(a), f.row(b));
+        ll += edge_ll(p);
+        pos_aff += p;
+    }
+    let s = f.column_sums();
+    let all_pairs = 0.5 * (ops::dot(&s, &s) - f.frobenius_sq());
+    ll - (all_pairs - pos_aff)
+}
+
+impl Bigclam {
+    /// Fits the affiliation model on `g`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn fit(g: &Graph, cfg: &BigclamConfig) -> Bigclam {
+        assert!(cfg.k > 0, "k must be positive");
+        let n = g.n_nodes();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let scale = (1.0 / cfg.k as f64).sqrt();
+        let mut f = Matrix::zeros(n, cfg.k);
+        for v in f.as_mut_slice() {
+            *v = rng.gen::<f64>() * scale;
+        }
+        let mut s = f.column_sums();
+        let mut trace = vec![loglik(g, &f)];
+        let mut grad = vec![0.0; cfg.k];
+        let mut negsum = vec![0.0; cfg.k];
+        let mut candidate = vec![0.0; cfg.k];
+        for _ in 0..cfg.max_iters {
+            for u in 0..n {
+                if g.degree(u) == 0 {
+                    continue; // isolated nodes stay at their init (no signal)
+                }
+                // negsum = S − f_u − Σ_{v∈N(u)} f_v  (held fixed this step)
+                negsum.copy_from_slice(&s);
+                for (ns, &fv) in negsum.iter_mut().zip(f.row(u)) {
+                    *ns -= fv;
+                }
+                for &v in g.neighbors(u) {
+                    for (ns, &fv) in negsum.iter_mut().zip(f.row(v as usize)) {
+                        *ns -= fv;
+                    }
+                }
+                // local objective (negated ll restricted to u, negsum fixed)
+                let local = |own: &[f64], f: &Matrix| -> f64 {
+                    let mut l = -ops::dot(own, &negsum);
+                    for &v in g.neighbors(u) {
+                        l += edge_ll(ops::dot(own, f.row(v as usize)));
+                    }
+                    l
+                };
+                // gradient of the local objective
+                grad.copy_from_slice(&negsum);
+                for g_i in grad.iter_mut() {
+                    *g_i = -*g_i;
+                }
+                for &v in g.neighbors(u) {
+                    let row = f.row(v as usize);
+                    let p = ops::dot(f.row(u), row);
+                    let coef = 1.0 / p.max(P_MIN).exp_m1();
+                    ops::axpy(coef, row, &mut grad);
+                }
+                let l0 = local(f.row(u), &f);
+                let mut eta = cfg.step;
+                for _ in 0..cfg.backtracks {
+                    for ((c, &o), &gr) in
+                        candidate.iter_mut().zip(f.row(u)).zip(grad.iter())
+                    {
+                        *c = (o + eta * gr).max(0.0);
+                    }
+                    if local(&candidate, &f) > l0 {
+                        // accept: maintain S incrementally
+                        for (sv, (&new, &old)) in
+                            s.iter_mut().zip(candidate.iter().zip(f.row(u)))
+                        {
+                            *sv += new - old;
+                        }
+                        f.row_mut(u).copy_from_slice(&candidate);
+                        break;
+                    }
+                    eta *= 0.5;
+                }
+            }
+            let ll = loglik(g, &f);
+            let prev = *trace.last().expect("trace non-empty");
+            trace.push(ll);
+            if ll - prev <= cfg.tol * prev.abs().max(1.0) {
+                break;
+            }
+        }
+        Bigclam { factors: f, loglik_trace: trace }
+    }
+
+    /// The membership threshold of the BIGCLAM paper:
+    /// `δ = sqrt(−log(1−ε))` with `ε` the background edge probability
+    /// `2m / (n(n−1))`.
+    pub fn default_threshold(g: &Graph) -> f64 {
+        let n = g.n_nodes() as f64;
+        if n < 2.0 {
+            return f64::INFINITY;
+        }
+        let eps = (2.0 * g.n_edges() as f64 / (n * (n - 1.0))).clamp(1e-9, 1.0 - 1e-9);
+        (-(1.0 - eps).ln()).sqrt()
+    }
+
+    /// Extracts communities: node `v` belongs to community `c` iff
+    /// `F_vc ≥ threshold`. Empty communities are dropped.
+    pub fn communities(&self, threshold: f64) -> Vec<Community> {
+        let mut out = Vec::new();
+        for c in 0..self.factors.cols() {
+            let members: Vec<usize> = (0..self.factors.rows())
+                .filter(|&v| self.factors.row(v)[c] >= threshold)
+                .collect();
+            if !members.is_empty() {
+                out.push(Community::new(members));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two 5-cliques sharing one node (the canonical overlap case).
+    fn overlapping_cliques() -> Graph {
+        let mut edges = Vec::new();
+        for a in 0..5 {
+            for b in a + 1..5 {
+                edges.push((a, b)); // clique A: nodes 0–4
+                edges.push((a + 4, b + 4)); // clique B: nodes 4–8
+            }
+        }
+        Graph::from_edges(9, &edges)
+    }
+
+    fn cfg() -> BigclamConfig {
+        BigclamConfig { k: 2, max_iters: 300, seed: 1, ..Default::default() }
+    }
+
+    #[test]
+    fn loglik_increases() {
+        let g = overlapping_cliques();
+        let m = Bigclam::fit(&g, &cfg());
+        for w in m.loglik_trace.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "ll must ascend: {} -> {}", w[0], w[1]);
+        }
+        assert!(m.loglik_trace.len() >= 2);
+    }
+
+    #[test]
+    fn factors_nonnegative() {
+        let g = overlapping_cliques();
+        let m = Bigclam::fit(&g, &cfg());
+        assert!(m.factors.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn recovers_overlapping_cliques() {
+        let g = overlapping_cliques();
+        let m = Bigclam::fit(&g, &cfg());
+        let communities = m.communities(Bigclam::default_threshold(&g));
+        assert_eq!(communities.len(), 2, "got {communities:?}");
+        // the shared node 4 must appear in both
+        let containing: usize =
+            communities.iter().filter(|c| c.nodes.contains(&4)).count();
+        assert_eq!(containing, 2, "node 4 should overlap: {communities:?}");
+        // each community covers its clique
+        let mut sizes: Vec<usize> = communities.iter().map(|c| c.nodes.len()).collect();
+        sizes.sort_unstable();
+        assert!(sizes[0] >= 4, "communities too small: {communities:?}");
+    }
+
+    #[test]
+    fn edge_probabilities_fit_structure() {
+        let g = overlapping_cliques();
+        let m = Bigclam::fit(&g, &cfg());
+        let p_edge = ops::dot(m.factors.row(0), m.factors.row(1));
+        let p_non = ops::dot(m.factors.row(0), m.factors.row(8));
+        assert!(
+            p_edge > 3.0 * p_non + 0.1,
+            "clique pair {p_edge} must dominate non-edge {p_non}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = overlapping_cliques();
+        let a = Bigclam::fit(&g, &cfg());
+        let b = Bigclam::fit(&g, &cfg());
+        assert_eq!(a.factors, b.factors);
+    }
+
+    #[test]
+    fn threshold_formula() {
+        let g = overlapping_cliques();
+        let delta = Bigclam::default_threshold(&g);
+        // ε = 2·24 / (9·8) = 0.666…; δ = sqrt(−ln(1/3))
+        let eps = 2.0 * g.n_edges() as f64 / (9.0 * 8.0);
+        assert!((delta - (-(1.0 - eps).ln()).sqrt()).abs() < 1e-12);
+        // tiny graphs
+        assert_eq!(Bigclam::default_threshold(&Graph::from_edges(1, &[])), f64::INFINITY);
+    }
+
+    #[test]
+    fn isolated_nodes_join_nothing() {
+        let mut edges = Vec::new();
+        for a in 0..4 {
+            for b in a + 1..4 {
+                edges.push((a, b));
+            }
+        }
+        let g = Graph::from_edges(6, &edges); // nodes 4, 5 isolated
+        let m = Bigclam::fit(&g, &BigclamConfig { k: 1, seed: 3, ..Default::default() });
+        let communities = m.communities(Bigclam::default_threshold(&g));
+        for c in &communities {
+            assert!(!c.nodes.contains(&4) || !c.nodes.contains(&5));
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Undirected graph substrate for the community detectors.
+//!
+//! The positive examples of the interaction matrix are *"the edges in a
+//! bipartite graph of users and items"* (Section II); community detection
+//! operates on that graph with users mapped to nodes `0..n_users` and items
+//! to nodes `n_users..n_users+n_items`.
+
+use ocular_sparse::CsrMatrix;
+
+/// A simple undirected graph with sorted adjacency lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    adjacency: Vec<Vec<u32>>,
+    n_edges: usize,
+}
+
+impl Graph {
+    /// Builds from an edge list; duplicate and self edges are discarded.
+    pub fn from_edges(n_nodes: usize, edges: &[(usize, usize)]) -> Graph {
+        let mut adjacency = vec![Vec::new(); n_nodes];
+        let mut cleaned: Vec<(usize, usize)> = edges
+            .iter()
+            .filter(|&&(a, b)| a != b && a < n_nodes && b < n_nodes)
+            .map(|&(a, b)| if a < b { (a, b) } else { (b, a) })
+            .collect();
+        cleaned.sort_unstable();
+        cleaned.dedup();
+        for &(a, b) in &cleaned {
+            adjacency[a].push(b as u32);
+            adjacency[b].push(a as u32);
+        }
+        for list in adjacency.iter_mut() {
+            list.sort_unstable();
+        }
+        Graph { adjacency, n_edges: cleaned.len() }
+    }
+
+    /// Builds the user-item bipartite graph of an interaction matrix: node
+    /// `u` for each user, node `n_users + i` for each item, one edge per
+    /// positive example.
+    pub fn from_bipartite(r: &CsrMatrix) -> Graph {
+        let n_users = r.n_rows();
+        let edges: Vec<(usize, usize)> =
+            r.iter_nnz().map(|(u, i)| (u, n_users + i)).collect();
+        Graph::from_edges(n_users + r.n_cols(), &edges)
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of (undirected) edges `m`.
+    pub fn n_edges(&self) -> usize {
+        self.n_edges
+    }
+
+    /// Sorted neighbours of `v`.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.adjacency[v]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adjacency[v].len()
+    }
+
+    /// Whether `{a, b}` is an edge. O(log deg).
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.adjacency[a].binary_search(&(b as u32)).is_ok()
+    }
+
+    /// Iterator over all edges `(a, b)` with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n_nodes()).flat_map(move |a| {
+            self.adjacency[a]
+                .iter()
+                .filter(move |&&b| (b as usize) > a)
+                .map(move |&b| (a, b as usize))
+        })
+    }
+}
+
+/// A set of nodes forming one community (sorted).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Community {
+    /// Sorted member nodes.
+    pub nodes: Vec<usize>,
+}
+
+impl Community {
+    /// Builds with sorted, deduplicated members.
+    pub fn new(mut nodes: Vec<usize>) -> Self {
+        nodes.sort_unstable();
+        nodes.dedup();
+        Community { nodes }
+    }
+
+    /// Splits a community of a bipartite graph back into (users, items).
+    pub fn split_bipartite(&self, n_users: usize) -> (Vec<usize>, Vec<usize>) {
+        let users: Vec<usize> =
+            self.nodes.iter().copied().filter(|&v| v < n_users).collect();
+        let items: Vec<usize> = self
+            .nodes
+            .iter()
+            .copied()
+            .filter(|&v| v >= n_users)
+            .map(|v| v - n_users)
+            .collect();
+        (users, items)
+    }
+}
+
+/// Converts a node→community assignment into community node sets, dropping
+/// empty labels.
+pub fn assignment_to_communities(assignment: &[usize]) -> Vec<Community> {
+    let max = assignment.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+    let mut sets: Vec<Vec<usize>> = vec![Vec::new(); max];
+    for (node, &c) in assignment.iter().enumerate() {
+        sets[c].push(node);
+    }
+    sets.into_iter()
+        .filter(|s| !s.is_empty())
+        .map(Community::new)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_dedups_and_drops_self_loops() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 0), (2, 2), (1, 3), (9, 1)]);
+        assert_eq!(g.n_edges(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(3, 1));
+        assert!(!g.has_edge(2, 2));
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn bipartite_mapping() {
+        let r = CsrMatrix::from_pairs(2, 3, &[(0, 0), (1, 2)]).unwrap();
+        let g = Graph::from_bipartite(&r);
+        assert_eq!(g.n_nodes(), 5);
+        assert_eq!(g.n_edges(), 2);
+        assert!(g.has_edge(0, 2)); // user 0 – item 0 (node 2)
+        assert!(g.has_edge(1, 4)); // user 1 – item 2 (node 4)
+        assert!(!g.has_edge(0, 1), "users never connect directly");
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_once() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        for (a, b) in edges {
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn community_split() {
+        let c = Community::new(vec![0, 3, 2, 5, 3]);
+        assert_eq!(c.nodes, vec![0, 2, 3, 5]);
+        let (users, items) = c.split_bipartite(3);
+        assert_eq!(users, vec![0, 2]);
+        assert_eq!(items, vec![0, 2]); // nodes 3, 5 → items 0, 2
+    }
+
+    #[test]
+    fn assignment_conversion() {
+        let communities = assignment_to_communities(&[0, 2, 0, 2]);
+        assert_eq!(communities.len(), 2, "label 1 is empty and dropped");
+        assert_eq!(communities[0].nodes, vec![0, 2]);
+        assert_eq!(communities[1].nodes, vec![1, 3]);
+    }
+}

@@ -1,0 +1,245 @@
+//! Louvain method (Blondel et al. 2008): multi-level modularity
+//! optimisation on a weighted working graph. Included as the scalable
+//! non-overlapping detector (the greedy agglomeration of
+//! [`crate::modularity`] matches the paper's Figure 2 reference but is
+//! quadratic in the node count).
+
+use crate::graph::{assignment_to_communities, Community, Graph};
+use crate::modularity::modularity_score;
+use std::collections::BTreeMap;
+
+/// Weighted undirected working graph used across aggregation levels.
+struct WGraph {
+    /// `adj[v]` = (neighbour, weight) pairs, excluding self-loops.
+    adj: Vec<Vec<(u32, f64)>>,
+    /// Self-loop weight per node (intra-community weight after folding).
+    self_loop: Vec<f64>,
+    /// Total edge weight `m` (each edge once, self-loops included once).
+    m: f64,
+}
+
+impl WGraph {
+    fn from_graph(g: &Graph) -> WGraph {
+        let adj = (0..g.n_nodes())
+            .map(|v| g.neighbors(v).iter().map(|&u| (u, 1.0)).collect())
+            .collect();
+        WGraph { adj, self_loop: vec![0.0; g.n_nodes()], m: g.n_edges() as f64 }
+    }
+
+    fn n_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Weighted degree: Σ neighbour weights + 2 × self-loop.
+    fn degree(&self, v: usize) -> f64 {
+        self.adj[v].iter().map(|&(_, w)| w).sum::<f64>() + 2.0 * self.self_loop[v]
+    }
+}
+
+/// One local-move phase. Returns true if any node moved.
+fn local_moves(g: &WGraph, assignment: &mut [usize]) -> bool {
+    let m = g.m;
+    if m == 0.0 {
+        return false;
+    }
+    let n = g.n_nodes();
+    let mut sigma_tot = vec![0.0f64; n];
+    for v in 0..n {
+        sigma_tot[assignment[v]] += g.degree(v);
+    }
+    let mut links = vec![0.0f64; n];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut moved_any = false;
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for v in 0..n {
+            let kv = g.degree(v);
+            if kv == 0.0 {
+                continue;
+            }
+            let home = assignment[v];
+            touched.clear();
+            for &(u, w) in &g.adj[v] {
+                let c = assignment[u as usize];
+                if links[c] == 0.0 {
+                    touched.push(c);
+                }
+                links[c] += w;
+            }
+            sigma_tot[home] -= kv;
+            // gain of placing v in community c (standard Louvain):
+            //   Δ(c) = links[c]/m − k_v·Σ_tot(c)/(2m²)
+            let gain = |c: usize| links[c] / m - kv * sigma_tot[c] / (2.0 * m * m);
+            let mut best_c = home;
+            let mut best_gain = gain(home);
+            for &c in &touched {
+                if c == home {
+                    continue;
+                }
+                let gc = gain(c);
+                if gc > best_gain + 1e-12 {
+                    best_gain = gc;
+                    best_c = c;
+                }
+            }
+            sigma_tot[best_c] += kv;
+            if best_c != home {
+                assignment[v] = best_c;
+                improved = true;
+                moved_any = true;
+            }
+            for &c in &touched {
+                links[c] = 0.0;
+            }
+        }
+    }
+    moved_any
+}
+
+/// Folds communities into single nodes, summing edge weights; intra-
+/// community weight becomes a self-loop. Returns the aggregated graph and
+/// the node→aggregated-node map.
+fn aggregate(g: &WGraph, assignment: &[usize]) -> (WGraph, Vec<usize>) {
+    let n = g.n_nodes();
+    let mut remap = vec![usize::MAX; n];
+    let mut next = 0usize;
+    for v in 0..n {
+        let c = assignment[v];
+        if remap[c] == usize::MAX {
+            remap[c] = next;
+            next += 1;
+        }
+    }
+    let compact: Vec<usize> = (0..n).map(|v| remap[assignment[v]]).collect();
+    let mut weights: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    let mut self_loop = vec![0.0f64; next];
+    for v in 0..n {
+        self_loop[compact[v]] += g.self_loop[v];
+        for &(u, w) in &g.adj[v] {
+            let u = u as usize;
+            if u < v {
+                continue; // visit each edge once
+            }
+            let (a, b) = (compact[v], compact[u]);
+            if a == b {
+                self_loop[a] += w;
+            } else {
+                let key = if a < b { (a, b) } else { (b, a) };
+                *weights.entry(key).or_insert(0.0) += w;
+            }
+        }
+    }
+    let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); next];
+    let mut m = self_loop.iter().sum::<f64>();
+    for (&(a, b), &w) in &weights {
+        adj[a].push((b as u32, w));
+        adj[b].push((a as u32, w));
+        m += w;
+    }
+    (WGraph { adj, self_loop, m }, compact)
+}
+
+/// Runs multi-level Louvain; returns communities of the *original* graph
+/// and their (unweighted) modularity.
+pub fn louvain(g: &Graph) -> (Vec<Community>, f64) {
+    let n = g.n_nodes();
+    let mut membership: Vec<usize> = (0..n).collect(); // original node → community
+    let mut work = WGraph::from_graph(g);
+    let mut level_assignment: Vec<usize> = (0..work.n_nodes()).collect();
+    for _level in 0..16 {
+        let moved = local_moves(&work, &mut level_assignment);
+        if !moved {
+            break;
+        }
+        let (agg, compact) = aggregate(&work, &level_assignment);
+        // fold this level into the original membership
+        for slot in membership.iter_mut() {
+            *slot = compact[*slot];
+        }
+        work = agg;
+        level_assignment = (0..work.n_nodes()).collect();
+    }
+    let q = modularity_score(g, &membership);
+    (assignment_to_communities(&membership), q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cliques() -> Graph {
+        let mut edges = Vec::new();
+        for a in 0..5 {
+            for b in a + 1..5 {
+                edges.push((a, b));
+                edges.push((a + 5, b + 5));
+            }
+        }
+        edges.push((0, 5));
+        Graph::from_edges(10, &edges)
+    }
+
+    #[test]
+    fn separates_cliques() {
+        let (communities, q) = louvain(&two_cliques());
+        assert_eq!(communities.len(), 2, "got {communities:?}");
+        assert!(q > 0.3, "q = {q}");
+    }
+
+    #[test]
+    fn agrees_with_greedy_on_easy_graphs() {
+        let g = two_cliques();
+        let (_, q_louvain) = louvain(&g);
+        let (_, q_greedy) = crate::modularity::greedy_modularity(&g);
+        assert!((q_louvain - q_greedy).abs() < 0.05, "{q_louvain} vs {q_greedy}");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(4, &[]);
+        let (communities, q) = louvain(&g);
+        assert_eq!(q, 0.0);
+        assert_eq!(communities.len(), 4);
+    }
+
+    #[test]
+    fn star_graph_single_community() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let (communities, _) = louvain(&g);
+        // a star has no community structure to split profitably
+        assert!(communities.len() <= 2, "got {communities:?}");
+    }
+
+    #[test]
+    fn ring_of_cliques() {
+        let mut edges = vec![];
+        for c in 0..4 {
+            let base = c * 4;
+            for a in 0..4 {
+                for b in a + 1..4 {
+                    edges.push((base + a, base + b));
+                }
+            }
+        }
+        edges.extend([(3, 4), (7, 8), (11, 12), (15, 0)]);
+        let g = Graph::from_edges(16, &edges);
+        let (communities, q) = louvain(&g);
+        assert_eq!(communities.len(), 4, "got {communities:?}");
+        assert!(q > 0.5, "q = {q}");
+    }
+
+    #[test]
+    fn partition_covers_all_connected_nodes() {
+        let g = two_cliques();
+        let (communities, _) = louvain(&g);
+        let mut seen = vec![false; 10];
+        for c in &communities {
+            for &v in &c.nodes {
+                assert!(!seen[v]);
+                seen[v] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+}

@@ -1,0 +1,205 @@
+//! Greedy modularity maximisation (Newman, PNAS 2006 / Clauset-Newman-Moore
+//! agglomeration) — the non-overlapping "Modularity" baseline of Figure 2.
+//!
+//! Modularity of a partition: `Q = Σ_c (e_c/m − (a_c/2m)²)` where `e_c` is
+//! the number of intra-community edges and `a_c` the total degree of `c`.
+//! The greedy algorithm starts from singleton communities and repeatedly
+//! merges the connected pair with the largest ΔQ while ΔQ > 0 — it
+//! *"automatically discovers the number of communities"* (Section II) but
+//! cannot produce overlapping ones, which is exactly why it fails on the
+//! paper's toy example.
+
+use crate::graph::{assignment_to_communities, Community, Graph};
+use std::collections::BTreeMap;
+
+/// Modularity `Q` of a node→community assignment.
+pub fn modularity_score(g: &Graph, assignment: &[usize]) -> f64 {
+    assert_eq!(assignment.len(), g.n_nodes(), "assignment length mismatch");
+    let m = g.n_edges() as f64;
+    if m == 0.0 {
+        return 0.0;
+    }
+    let n_comm = assignment.iter().copied().max().map(|x| x + 1).unwrap_or(0);
+    let mut intra = vec![0.0f64; n_comm];
+    let mut degree = vec![0.0f64; n_comm];
+    for (a, b) in g.edges() {
+        if assignment[a] == assignment[b] {
+            intra[assignment[a]] += 1.0;
+        }
+    }
+    for v in 0..g.n_nodes() {
+        degree[assignment[v]] += g.degree(v) as f64;
+    }
+    (0..n_comm)
+        .map(|c| intra[c] / m - (degree[c] / (2.0 * m)).powi(2))
+        .sum()
+}
+
+/// Runs greedy agglomerative modularity maximisation. Returns the detected
+/// communities and the final modularity. O(n² log n)-ish on dense merge
+/// structures — intended for the paper-scale comparisons, not web graphs
+/// (use [`crate::louvain`] for those).
+pub fn greedy_modularity(g: &Graph) -> (Vec<Community>, f64) {
+    let n = g.n_nodes();
+    let m2 = (2 * g.n_edges()) as f64;
+    if g.n_edges() == 0 {
+        let communities = (0..n).map(|v| Community::new(vec![v])).collect();
+        return (communities, 0.0);
+    }
+    // community bookkeeping: label = representative index
+    let mut label: Vec<usize> = (0..n).collect();
+    // e[(c,d)] = number of edges between communities c and d (c < d)
+    let mut between: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    for (a, b) in g.edges() {
+        let key = if a < b { (a, b) } else { (b, a) };
+        *between.entry(key).or_insert(0.0) += 1.0;
+    }
+    let mut total_degree: Vec<f64> = (0..n).map(|v| g.degree(v) as f64).collect();
+    let mut alive: Vec<bool> = (0..n).map(|v| g.degree(v) > 0).collect();
+
+    loop {
+        // find the best merge among connected community pairs
+        let mut best: Option<((usize, usize), f64)> = None;
+        for (&(c, d), &e_cd) in &between {
+            if !alive[c] || !alive[d] {
+                continue;
+            }
+            let dq = 2.0 * (e_cd / m2 - (total_degree[c] / m2) * (total_degree[d] / m2));
+            if best.map(|(_, b)| dq > b).unwrap_or(true) {
+                best = Some(((c, d), dq));
+            }
+        }
+        let Some(((c, d), dq)) = best else { break };
+        if dq <= 1e-12 {
+            break;
+        }
+        // merge d into c
+        for l in label.iter_mut() {
+            if *l == d {
+                *l = c;
+            }
+        }
+        total_degree[c] += total_degree[d];
+        alive[d] = false;
+        // rewire `between`: edges touching d now touch c
+        let touching: Vec<((usize, usize), f64)> = between
+            .iter()
+            .filter(|(&(x, y), _)| x == d || y == d)
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        for (k, v) in touching {
+            between.remove(&k);
+            let other = if k.0 == d { k.1 } else { k.0 };
+            if other == c {
+                continue; // now internal
+            }
+            let nk = if other < c { (other, c) } else { (c, other) };
+            *between.entry(nk).or_insert(0.0) += v;
+        }
+    }
+
+    // compact labels
+    let mut remap: Vec<usize> = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut assignment = vec![0usize; n];
+    for v in 0..n {
+        let l = label[v];
+        if remap[l] == usize::MAX {
+            remap[l] = next;
+            next += 1;
+        }
+        assignment[v] = remap[l];
+    }
+    let q = modularity_score(g, &assignment);
+    (assignment_to_communities(&assignment), q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two 4-cliques joined by a single bridge edge.
+    fn two_cliques() -> Graph {
+        let mut edges = Vec::new();
+        for a in 0..4 {
+            for b in a + 1..4 {
+                edges.push((a, b));
+                edges.push((a + 4, b + 4));
+            }
+        }
+        edges.push((0, 4));
+        Graph::from_edges(8, &edges)
+    }
+
+    #[test]
+    fn two_cliques_found() {
+        let g = two_cliques();
+        let (communities, q) = greedy_modularity(&g);
+        assert_eq!(communities.len(), 2, "got {communities:?}");
+        let mut sizes: Vec<usize> = communities.iter().map(|c| c.nodes.len()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![4, 4]);
+        assert!(q > 0.3, "modularity {q}");
+    }
+
+    #[test]
+    fn score_matches_known_partition() {
+        let g = two_cliques();
+        // perfect partition
+        let assignment = [0, 0, 0, 0, 1, 1, 1, 1];
+        let q = modularity_score(&g, &assignment);
+        // m = 13; intra each = 6; degree each = 13
+        let expected = 2.0 * (6.0 / 13.0 - (13.0 / 26.0f64).powi(2));
+        assert!((q - expected).abs() < 1e-12, "q {q} vs {expected}");
+        // the all-in-one partition scores 0
+        assert!(modularity_score(&g, &[0; 8]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_beats_trivial_partitions() {
+        let g = two_cliques();
+        let (_, q) = greedy_modularity(&g);
+        assert!(q >= modularity_score(&g, &[0; 8]));
+    }
+
+    #[test]
+    fn empty_graph_all_singletons() {
+        let g = Graph::from_edges(3, &[]);
+        let (communities, q) = greedy_modularity(&g);
+        assert_eq!(communities.len(), 3);
+        assert_eq!(q, 0.0);
+    }
+
+    #[test]
+    fn ring_of_cliques() {
+        // three triangles in a ring
+        let mut edges = vec![];
+        for c in 0..3 {
+            let base = c * 3;
+            edges.push((base, base + 1));
+            edges.push((base, base + 2));
+            edges.push((base + 1, base + 2));
+        }
+        edges.push((2, 3));
+        edges.push((5, 6));
+        edges.push((8, 0));
+        let g = Graph::from_edges(9, &edges);
+        let (communities, q) = greedy_modularity(&g);
+        assert_eq!(communities.len(), 3, "got {communities:?}");
+        assert!(q > 0.4);
+    }
+
+    #[test]
+    fn communities_are_nonoverlapping_partition() {
+        let g = two_cliques();
+        let (communities, _) = greedy_modularity(&g);
+        let mut seen = vec![false; 8];
+        for c in &communities {
+            for &v in &c.nodes {
+                assert!(!seen[v], "node {v} in two communities");
+                seen[v] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s), "partition must cover all nodes");
+    }
+}

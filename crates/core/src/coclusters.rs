@@ -1,0 +1,322 @@
+//! Co-cluster extraction and statistics (Sections IV-C and VII-C).
+//!
+//! *"The user-item co-cluster c is determined as the subset of users and
+//! items for which `[f_u]_c` and `[f_i]_c`, respectively, are large."* The
+//! paper leaves "large" application-specific; our default threshold is
+//! `δ = sqrt(ln 2)` ≈ 0.8326, chosen so that two members sitting exactly at
+//! the threshold connect with probability `1 − e^{−δ²} = ½`.
+//!
+//! Figure 6 reports, per (K, λ): the number of users per co-cluster, items
+//! per co-cluster, and co-cluster densities — all computed here by
+//! [`cocluster_stats`].
+
+use crate::model::FactorModel;
+use ocular_sparse::CsrMatrix;
+
+/// Default membership threshold `sqrt(ln 2)`.
+pub fn default_threshold() -> f64 {
+    (2.0f64).ln().sqrt()
+}
+
+/// One extracted co-cluster: members on both sides with their affiliation
+/// strengths, sorted by strength descending.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoCluster {
+    /// Index `c` of the factor dimension this cluster corresponds to.
+    pub index: usize,
+    /// Member users, strongest affiliation first.
+    pub users: Vec<usize>,
+    /// `strength[j]` = `[f_{users[j]}]_c`.
+    pub user_strengths: Vec<f64>,
+    /// Member items, strongest affiliation first.
+    pub items: Vec<usize>,
+    /// `strength[j]` = `[f_{items[j]}]_c`.
+    pub item_strengths: Vec<f64>,
+}
+
+impl CoCluster {
+    /// Whether the pair `(u, i)` lies in this co-cluster.
+    pub fn contains_pair(&self, u: usize, i: usize) -> bool {
+        self.users.contains(&u) && self.items.contains(&i)
+    }
+
+    /// Number of (user, item) cells spanned by the cluster.
+    pub fn area(&self) -> usize {
+        self.users.len() * self.items.len()
+    }
+}
+
+/// Extracts all co-clusters whose membership strength exceeds `threshold`.
+/// Bias columns (if present) are never clusters. Empty co-clusters (no user
+/// or no item above threshold) are dropped — the model requires a co-cluster
+/// to contain at least one user *and* one item.
+pub fn extract_coclusters(model: &FactorModel, threshold: f64) -> Vec<CoCluster> {
+    let mut out = Vec::new();
+    for c in 0..model.n_clusters() {
+        let mut users: Vec<(usize, f64)> = (0..model.n_users())
+            .filter_map(|u| {
+                let s = model.user_factors.row(u)[c];
+                (s >= threshold).then_some((u, s))
+            })
+            .collect();
+        let mut items: Vec<(usize, f64)> = (0..model.n_items())
+            .filter_map(|i| {
+                let s = model.item_factors.row(i)[c];
+                (s >= threshold).then_some((i, s))
+            })
+            .collect();
+        if users.is_empty() || items.is_empty() {
+            continue;
+        }
+        users.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        items.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        out.push(CoCluster {
+            index: c,
+            users: users.iter().map(|x| x.0).collect(),
+            user_strengths: users.iter().map(|x| x.1).collect(),
+            items: items.iter().map(|x| x.0).collect(),
+            item_strengths: items.iter().map(|x| x.1).collect(),
+        });
+    }
+    out
+}
+
+/// Extracts co-clusters with a *relative* per-side threshold: entity `e`
+/// belongs to cluster `c` iff its strength is at least `rel` times the
+/// strongest strength on its side of that cluster. More faithful for
+/// cluster-size statistics than the absolute [`default_threshold`] because
+/// regularised training splits magnitude asymmetrically between the large
+/// side (many users, individually small strengths) and the small side (few
+/// items, individually large strengths) of a co-cluster.
+///
+/// # Panics
+/// Panics if `rel` is outside `(0, 1]`.
+pub fn extract_coclusters_relative(model: &FactorModel, rel: f64) -> Vec<CoCluster> {
+    assert!(rel > 0.0 && rel <= 1.0, "rel must lie in (0, 1]");
+    let mut out = Vec::new();
+    for c in 0..model.n_clusters() {
+        let max_u = (0..model.n_users())
+            .map(|u| model.user_factors.row(u)[c])
+            .fold(0.0f64, f64::max);
+        let max_i = (0..model.n_items())
+            .map(|i| model.item_factors.row(i)[c])
+            .fold(0.0f64, f64::max);
+        // require the strongest pair to connect with probability ≥ ~39%
+        // (p ≥ 0.5) so dead dimensions are not reported as clusters
+        if max_u * max_i < 0.5 {
+            continue;
+        }
+        let mut users: Vec<(usize, f64)> = (0..model.n_users())
+            .filter_map(|u| {
+                let s = model.user_factors.row(u)[c];
+                (s >= rel * max_u).then_some((u, s))
+            })
+            .collect();
+        let mut items: Vec<(usize, f64)> = (0..model.n_items())
+            .filter_map(|i| {
+                let s = model.item_factors.row(i)[c];
+                (s >= rel * max_i).then_some((i, s))
+            })
+            .collect();
+        if users.is_empty() || items.is_empty() {
+            continue;
+        }
+        users.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        items.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        out.push(CoCluster {
+            index: c,
+            users: users.iter().map(|x| x.0).collect(),
+            user_strengths: users.iter().map(|x| x.1).collect(),
+            items: items.iter().map(|x| x.0).collect(),
+            item_strengths: items.iter().map(|x| x.1).collect(),
+        });
+    }
+    out
+}
+
+/// Aggregate co-cluster metrics — the three lower panels of Figure 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoClusterStats {
+    /// Number of non-empty co-clusters.
+    pub count: usize,
+    /// Mean users per co-cluster.
+    pub mean_users: f64,
+    /// Mean items per co-cluster.
+    pub mean_items: f64,
+    /// Mean within-cluster density: fraction of a cluster's (user, item)
+    /// cells that are positive examples in `r`.
+    pub mean_density: f64,
+    /// Mean number of co-clusters a (clustered) user belongs to.
+    pub mean_user_memberships: f64,
+}
+
+/// Computes [`CoClusterStats`] against the training matrix.
+pub fn cocluster_stats(clusters: &[CoCluster], r: &CsrMatrix) -> CoClusterStats {
+    if clusters.is_empty() {
+        return CoClusterStats {
+            count: 0,
+            mean_users: 0.0,
+            mean_items: 0.0,
+            mean_density: 0.0,
+            mean_user_memberships: 0.0,
+        };
+    }
+    let n = clusters.len() as f64;
+    let mean_users = clusters.iter().map(|c| c.users.len() as f64).sum::<f64>() / n;
+    let mean_items = clusters.iter().map(|c| c.items.len() as f64).sum::<f64>() / n;
+    let mut density_sum = 0.0;
+    for c in clusters {
+        let mut inside = 0usize;
+        for &u in &c.users {
+            for &i in &c.items {
+                if r.contains(u, i) {
+                    inside += 1;
+                }
+            }
+        }
+        density_sum += inside as f64 / c.area().max(1) as f64;
+    }
+    let mut memberships = vec![0usize; r.n_rows()];
+    for c in clusters {
+        for &u in &c.users {
+            memberships[u] += 1;
+        }
+    }
+    let clustered: Vec<usize> = memberships.into_iter().filter(|&m| m > 0).collect();
+    let mean_user_memberships = if clustered.is_empty() {
+        0.0
+    } else {
+        clustered.iter().sum::<usize>() as f64 / clustered.len() as f64
+    };
+    CoClusterStats {
+        count: clusters.len(),
+        mean_users,
+        mean_items,
+        mean_density: density_sum / n,
+        mean_user_memberships,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocular_linalg::Matrix;
+
+    fn model() -> FactorModel {
+        // cluster 0: users {0,1}, items {0}; cluster 1: users {1}, items {1}
+        FactorModel::new(
+            Matrix::from_rows(&[&[1.5, 0.0], &[1.0, 2.0], &[0.1, 0.1]]),
+            Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 1.2], &[0.2, 0.0]]),
+            false,
+        )
+    }
+
+    #[test]
+    fn threshold_splits_membership() {
+        let clusters = extract_coclusters(&model(), 0.9);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].users, vec![0, 1]);
+        assert_eq!(clusters[0].items, vec![0]);
+        assert_eq!(clusters[1].users, vec![1]);
+        assert_eq!(clusters[1].items, vec![1]);
+    }
+
+    #[test]
+    fn members_sorted_by_strength() {
+        let clusters = extract_coclusters(&model(), 0.9);
+        // user 0 (1.5) before user 1 (1.0) in cluster 0
+        assert_eq!(clusters[0].users, vec![0, 1]);
+        assert!(clusters[0].user_strengths[0] > clusters[0].user_strengths[1]);
+    }
+
+    #[test]
+    fn empty_side_drops_cluster() {
+        // very high threshold: cluster 1's item (1.2) survives at 1.3? no →
+        // cluster dropped entirely
+        let clusters = extract_coclusters(&model(), 1.3);
+        assert_eq!(clusters.len(), 1, "only cluster 0 has both sides ≥ 1.3");
+        assert_eq!(clusters[0].index, 0);
+        assert_eq!(clusters[0].users, vec![0]);
+    }
+
+    #[test]
+    fn default_threshold_halfway_probability() {
+        let d = default_threshold();
+        let p = 1.0 - (-d * d).exp();
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_density_hand_computed() {
+        let clusters = extract_coclusters(&model(), 0.9);
+        // r: (0,0) and (1,1) positive
+        let r = CsrMatrix::from_pairs(3, 3, &[(0, 0), (1, 1)]).unwrap();
+        let stats = cocluster_stats(&clusters, &r);
+        assert_eq!(stats.count, 2);
+        // cluster 0: cells {(0,0),(1,0)} → density 1/2; cluster 1: {(1,1)} → 1
+        assert!((stats.mean_density - 0.75).abs() < 1e-12);
+        assert!((stats.mean_users - 1.5).abs() < 1e-12);
+        assert!((stats.mean_items - 1.0).abs() < 1e-12);
+        // user 0: 1 membership; user 1: 2 → mean over clustered users = 1.5
+        assert!((stats.mean_user_memberships - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_extraction_stats() {
+        let stats = cocluster_stats(&[], &CsrMatrix::empty(2, 2));
+        assert_eq!(stats.count, 0);
+        assert_eq!(stats.mean_density, 0.0);
+    }
+
+    #[test]
+    fn contains_pair_and_area() {
+        let clusters = extract_coclusters(&model(), 0.9);
+        assert!(clusters[0].contains_pair(0, 0));
+        assert!(!clusters[0].contains_pair(0, 1));
+        assert_eq!(clusters[0].area(), 2);
+    }
+
+    #[test]
+    fn relative_extraction_scales_with_side_maxima() {
+        // user strengths 1.5 / 1.0 / 0.1: at rel = 0.5 the cutoff is 0.75
+        let clusters = extract_coclusters_relative(&model(), 0.5);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].users, vec![0, 1]);
+        // tighter rel keeps only the strongest member
+        let tight = extract_coclusters_relative(&model(), 0.9);
+        assert_eq!(tight[0].users, vec![0]);
+    }
+
+    #[test]
+    fn relative_extraction_drops_dead_dimensions() {
+        // a dimension whose best pair product < 0.5 is not a cluster
+        let m = FactorModel::new(
+            Matrix::from_rows(&[&[2.0, 0.3]]),
+            Matrix::from_rows(&[&[2.0, 0.3]]),
+            false,
+        );
+        let clusters = extract_coclusters_relative(&m, 0.3);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].index, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rel must lie")]
+    fn relative_extraction_validates_rel() {
+        extract_coclusters_relative(&model(), 0.0);
+    }
+
+    #[test]
+    fn bias_columns_excluded_from_extraction() {
+        // k=1 with bias: only dim 0 is a cluster even though bias values are
+        // large
+        let m = FactorModel::new(
+            Matrix::from_rows(&[&[2.0, 9.0, 1.0]]),
+            Matrix::from_rows(&[&[2.0, 1.0, 9.0]]),
+            true,
+        );
+        let clusters = extract_coclusters(&m, 0.5);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].index, 0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Model diagnostics for practitioners.
+//!
+//! The paper selects `K` so that *"the size of the co-clusters is neither
+//! too big nor too small, and … each user or item does not belong to too
+//! many co-clusters"* (Section VII-C). These diagnostics surface exactly
+//! those quantities from a fitted model, plus dead-dimension detection —
+//! the operational signal that `K` was set too high.
+
+use crate::model::FactorModel;
+use ocular_linalg::ops;
+use ocular_sparse::CsrMatrix;
+
+/// Per-dimension health of a fitted model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimensionReport {
+    /// Factor dimension index.
+    pub dim: usize,
+    /// `Σ_u [f_u]_c` — total user mass on the dimension.
+    pub user_mass: f64,
+    /// `Σ_i [f_i]_c` — total item mass.
+    pub item_mass: f64,
+    /// Largest user strength.
+    pub max_user: f64,
+    /// Largest item strength.
+    pub max_item: f64,
+    /// Whether the dimension can explain any pair with probability ≥ 50%
+    /// (`max_user · max_item ≥ ln 2`). Dead dimensions waste capacity.
+    pub alive: bool,
+}
+
+/// Aggregate diagnostics of a fitted model against its training matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelDiagnostics {
+    /// Per-dimension reports (cluster dimensions only; bias columns are
+    /// excluded).
+    pub dimensions: Vec<DimensionReport>,
+    /// Number of alive dimensions.
+    pub alive_dimensions: usize,
+    /// Mean training-positive probability `P[r_ui = 1]` under the model —
+    /// calibration of the fit (≈ in-cluster density for a well-fitted
+    /// model).
+    pub mean_positive_probability: f64,
+    /// Mean probability over a deterministic sample of unknown pairs —
+    /// should sit far below `mean_positive_probability`.
+    pub mean_unknown_probability: f64,
+    /// Fraction of users whose factor row is numerically zero (the model
+    /// cannot recommend for them beyond ties).
+    pub cold_user_fraction: f64,
+}
+
+impl ModelDiagnostics {
+    /// Separation between positives and unknowns (higher = better fit);
+    /// `mean_pos / max(mean_unknown, ε)`.
+    pub fn separation(&self) -> f64 {
+        self.mean_positive_probability / self.mean_unknown_probability.max(1e-12)
+    }
+}
+
+/// Computes diagnostics. O(nnz·K + (n_u + n_i)·K).
+pub fn diagnose(model: &FactorModel, r: &CsrMatrix) -> ModelDiagnostics {
+    let ln2 = std::f64::consts::LN_2;
+    let mut dimensions = Vec::with_capacity(model.n_clusters());
+    for c in 0..model.n_clusters() {
+        let (mut user_mass, mut max_user) = (0.0f64, 0.0f64);
+        for u in 0..model.n_users() {
+            let v = model.user_factors.row(u)[c];
+            user_mass += v;
+            max_user = max_user.max(v);
+        }
+        let (mut item_mass, mut max_item) = (0.0f64, 0.0f64);
+        for i in 0..model.n_items() {
+            let v = model.item_factors.row(i)[c];
+            item_mass += v;
+            max_item = max_item.max(v);
+        }
+        dimensions.push(DimensionReport {
+            dim: c,
+            user_mass,
+            item_mass,
+            max_user,
+            max_item,
+            alive: max_user * max_item >= ln2,
+        });
+    }
+    let alive_dimensions = dimensions.iter().filter(|d| d.alive).count();
+
+    let mut pos_sum = 0.0;
+    for (u, i) in r.iter_nnz() {
+        pos_sum += model.prob(u, i);
+    }
+    let mean_positive_probability = if r.nnz() > 0 { pos_sum / r.nnz() as f64 } else { 0.0 };
+
+    // deterministic unknown sample: stride over the grid, skipping positives
+    let mut unk_sum = 0.0;
+    let mut unk_n = 0usize;
+    let stride = (r.n_rows() * r.n_cols() / 10_000).max(1);
+    let mut cell = 0usize;
+    while cell < r.n_rows() * r.n_cols() {
+        let (u, i) = (cell / r.n_cols(), cell % r.n_cols());
+        if !r.contains(u, i) {
+            unk_sum += model.prob(u, i);
+            unk_n += 1;
+        }
+        cell += stride;
+    }
+    let mean_unknown_probability = if unk_n > 0 { unk_sum / unk_n as f64 } else { 0.0 };
+
+    let cold = (0..model.n_users())
+        .filter(|&u| ops::norm_sq(model.user_factors.row(u)) < 1e-16)
+        .count();
+    ModelDiagnostics {
+        dimensions,
+        alive_dimensions,
+        mean_positive_probability,
+        mean_unknown_probability,
+        cold_user_fraction: cold as f64 / model.n_users().max(1) as f64,
+    }
+}
+
+impl std::fmt::Display for ModelDiagnostics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}/{} dimensions alive; P(pos) = {:.3}, P(unknown) = {:.4} (separation {:.1}×); {:.1}% cold users",
+            self.alive_dimensions,
+            self.dimensions.len(),
+            self.mean_positive_probability,
+            self.mean_unknown_probability,
+            self.separation(),
+            self.cold_user_fraction * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fit, OcularConfig};
+
+    fn blocks() -> CsrMatrix {
+        let mut pairs = Vec::new();
+        for b in 0..2 {
+            for u in 0..5 {
+                for i in 0..5 {
+                    pairs.push((b * 5 + u, b * 5 + i));
+                }
+            }
+        }
+        CsrMatrix::from_pairs(10, 10, &pairs).unwrap()
+    }
+
+    #[test]
+    fn well_fitted_model_separates() {
+        let r = blocks();
+        let model =
+            fit(&r, &OcularConfig { k: 2, lambda: 0.1, max_iters: 60, seed: 1, ..Default::default() })
+                .model;
+        let d = diagnose(&model, &r);
+        assert_eq!(d.alive_dimensions, 2, "both blocks should be claimed");
+        assert!(d.mean_positive_probability > 0.7);
+        assert!(d.mean_unknown_probability < 0.2);
+        assert!(d.separation() > 4.0, "separation {}", d.separation());
+        assert_eq!(d.cold_user_fraction, 0.0);
+    }
+
+    #[test]
+    fn excess_k_produces_dead_dimensions() {
+        let r = blocks();
+        let model = fit(
+            &r,
+            &OcularConfig { k: 8, lambda: 0.5, max_iters: 60, seed: 1, ..Default::default() },
+        )
+        .model;
+        let d = diagnose(&model, &r);
+        assert!(
+            d.alive_dimensions < 8,
+            "with 2 blocks and K=8 some dimensions must die: {d}"
+        );
+        assert!(d.alive_dimensions >= 2);
+    }
+
+    #[test]
+    fn zero_model_all_dead_and_cold() {
+        let model = FactorModel::new(
+            ocular_linalg::Matrix::zeros(3, 2),
+            ocular_linalg::Matrix::zeros(4, 2),
+            false,
+        );
+        let r = CsrMatrix::empty(3, 4);
+        let d = diagnose(&model, &r);
+        assert_eq!(d.alive_dimensions, 0);
+        assert_eq!(d.cold_user_fraction, 1.0);
+        assert_eq!(d.mean_positive_probability, 0.0);
+    }
+
+    #[test]
+    fn display_renders() {
+        let r = blocks();
+        let model =
+            fit(&r, &OcularConfig { k: 2, lambda: 0.1, max_iters: 30, seed: 1, ..Default::default() })
+                .model;
+        let text = diagnose(&model, &r).to_string();
+        assert!(text.contains("dimensions alive"));
+        assert!(text.contains("separation"));
+    }
+}

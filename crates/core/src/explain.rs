@@ -1,0 +1,271 @@
+//! Interpretable recommendation rationales (Sections IV-C and VIII).
+//!
+//! A recommendation's probability is large exactly when `⟨f_u, f_i⟩ =
+//! Σ_c [f_u]_c [f_i]_c` is large, so the per-cluster products decompose the
+//! *why*: each contributing co-cluster names the similar clients who bought
+//! the item and the items the client already owns from the same bundle —
+//! the B2B rationale of Figure 10 ("explicit names of similar clients" are
+//! fine in B2B, unlike B2C).
+
+use crate::coclusters::CoCluster;
+use crate::model::FactorModel;
+use ocular_sparse::CsrMatrix;
+
+/// The part of an explanation contributed by one co-cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterContribution {
+    /// Factor dimension of the contributing co-cluster.
+    pub cluster: usize,
+    /// `[f_u]_c · [f_i]_c` — this cluster's share of the affinity.
+    pub product: f64,
+    /// `product / ⟨f_u, f_i⟩` ∈ [0, 1].
+    pub share: f64,
+    /// Similar clients: cluster members (strongest first) who *bought* the
+    /// recommended item, excluding the target user.
+    pub co_users: Vec<usize>,
+    /// Supporting purchases: cluster items the target user already owns.
+    pub supporting_items: Vec<usize>,
+}
+
+/// A full, renderable recommendation rationale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation {
+    /// The user receiving the recommendation.
+    pub user: usize,
+    /// The recommended item.
+    pub item: usize,
+    /// Model confidence `P[r_ui = 1]`.
+    pub probability: f64,
+    /// Contributing co-clusters, largest contribution first. Clusters
+    /// contributing less than 1% of the affinity are omitted.
+    pub contributions: Vec<ClusterContribution>,
+}
+
+/// Builds the explanation for recommending `item` to `user`.
+///
+/// `clusters` is an extraction from [`crate::extract_coclusters`]; only
+/// clusters containing both the user and the item contribute names, but the
+/// probability decomposition uses the raw factors, so the shares always sum
+/// to ≈ 1 even with a coarse threshold. At most `max_co_users` similar
+/// clients are listed per cluster.
+pub fn explain(
+    model: &FactorModel,
+    r: &CsrMatrix,
+    clusters: &[CoCluster],
+    user: usize,
+    item: usize,
+    max_co_users: usize,
+) -> Explanation {
+    let total = model.affinity(user, item);
+    let products = model.cluster_contributions(user, item);
+    let mut contributions: Vec<ClusterContribution> = Vec::new();
+    for (c, &product) in products.iter().enumerate() {
+        let share = if total > 0.0 { product / total } else { 0.0 };
+        if share < 0.01 {
+            continue;
+        }
+        let (co_users, supporting_items) = match clusters.iter().find(|cl| cl.index == c) {
+            Some(cl) => {
+                let co_users: Vec<usize> = cl
+                    .users
+                    .iter()
+                    .copied()
+                    .filter(|&v| v != user && r.contains(v, item))
+                    .take(max_co_users)
+                    .collect();
+                let supporting: Vec<usize> = cl
+                    .items
+                    .iter()
+                    .copied()
+                    .filter(|&j| r.contains(user, j))
+                    .collect();
+                (co_users, supporting)
+            }
+            None => (Vec::new(), Vec::new()),
+        };
+        contributions.push(ClusterContribution {
+            cluster: c,
+            product,
+            share,
+            co_users,
+            supporting_items,
+        });
+    }
+    contributions.sort_by(|a, b| {
+        b.product
+            .partial_cmp(&a.product)
+            .expect("finite products")
+            .then_with(|| a.cluster.cmp(&b.cluster))
+    });
+    Explanation {
+        user,
+        item,
+        probability: model.prob(user, item),
+        contributions,
+    }
+}
+
+impl Explanation {
+    /// Renders the rationale as text with generic labels
+    /// (`Client 6`, `Item 4`).
+    pub fn render(&self) -> String {
+        self.render_with(&|u| format!("Client {u}"), &|i| format!("Item {i}"))
+    }
+
+    /// Renders with custom naming functions — the deployment path of
+    /// Figure 10, where co-clusters list real company and product names.
+    pub fn render_with(
+        &self,
+        user_name: &dyn Fn(usize) -> String,
+        item_name: &dyn Fn(usize) -> String,
+    ) -> String {
+        let mut out = format!(
+            "{item} is recommended to {user} with confidence {conf:.1}%, because:\n",
+            item = item_name(self.item),
+            user = user_name(self.user),
+            conf = self.probability * 100.0
+        );
+        if self.contributions.is_empty() {
+            out.push_str("  (no co-cluster evidence: the model assigns this pair background probability)\n");
+            return out;
+        }
+        for (rank, c) in self.contributions.iter().enumerate() {
+            out.push_str(&format!(
+                "  {}. Co-cluster {} contributes {:.0}% of the confidence.\n",
+                (b'A' + rank as u8) as char,
+                c.cluster,
+                c.share * 100.0
+            ));
+            if !c.supporting_items.is_empty() {
+                let items: Vec<String> =
+                    c.supporting_items.iter().map(|&i| item_name(i)).collect();
+                out.push_str(&format!(
+                    "     {} has already purchased {} from this bundle.\n",
+                    user_name(self.user),
+                    items.join(", ")
+                ));
+            }
+            if !c.co_users.is_empty() {
+                let users: Vec<String> = c.co_users.iter().map(|&u| user_name(u)).collect();
+                out.push_str(&format!(
+                    "     Clients with similar purchase history ({}) also bought {}.\n",
+                    users.join(", "),
+                    item_name(self.item)
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coclusters::extract_coclusters;
+    use ocular_linalg::Matrix;
+
+    /// Two co-clusters; user 0 in both, item 0 in both; user 1 in cluster 0
+    /// only; item 1 in cluster 1 only.
+    fn setup() -> (FactorModel, CsrMatrix) {
+        let model = FactorModel::new(
+            Matrix::from_rows(&[&[1.0, 1.0], &[1.2, 0.0]]),
+            Matrix::from_rows(&[&[1.5, 1.0], &[0.0, 1.4]]),
+            false,
+        );
+        // user 1 bought item 0; user 0 bought item 1
+        let r = CsrMatrix::from_pairs(2, 2, &[(1, 0), (0, 1)]).unwrap();
+        (model, r)
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let (model, r) = setup();
+        let clusters = extract_coclusters(&model, 0.9);
+        let e = explain(&model, &r, &clusters, 0, 0, 5);
+        let total: f64 = e.contributions.iter().map(|c| c.share).sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
+    }
+
+    #[test]
+    fn contributions_sorted_desc() {
+        let (model, r) = setup();
+        let clusters = extract_coclusters(&model, 0.9);
+        let e = explain(&model, &r, &clusters, 0, 0, 5);
+        assert_eq!(e.contributions.len(), 2);
+        assert!(e.contributions[0].product >= e.contributions[1].product);
+        // cluster 0 contributes 1.0·1.5 = 1.5 > cluster 1's 1.0·1.0
+        assert_eq!(e.contributions[0].cluster, 0);
+    }
+
+    #[test]
+    fn co_users_bought_the_item() {
+        let (model, r) = setup();
+        let clusters = extract_coclusters(&model, 0.9);
+        let e = explain(&model, &r, &clusters, 0, 0, 5);
+        let c0 = &e.contributions[0];
+        // user 1 is in cluster 0 and bought item 0
+        assert_eq!(c0.co_users, vec![1]);
+    }
+
+    #[test]
+    fn supporting_items_owned_by_user() {
+        let (model, r) = setup();
+        let clusters = extract_coclusters(&model, 0.9);
+        let e = explain(&model, &r, &clusters, 0, 0, 5);
+        // cluster 1 contains item 1, which user 0 owns
+        let c1 = e.contributions.iter().find(|c| c.cluster == 1).unwrap();
+        assert_eq!(c1.supporting_items, vec![1]);
+    }
+
+    #[test]
+    fn target_user_never_a_co_user() {
+        let (model, r) = setup();
+        let clusters = extract_coclusters(&model, 0.9);
+        let e = explain(&model, &r, &clusters, 0, 0, 5);
+        for c in &e.contributions {
+            assert!(!c.co_users.contains(&0));
+        }
+    }
+
+    #[test]
+    fn zero_affinity_pair_has_no_contributions() {
+        let (model, r) = setup();
+        let clusters = extract_coclusters(&model, 0.9);
+        // user 1 × item 1: affinity = 1.2·0 + 0·1.4 = 0
+        let e = explain(&model, &r, &clusters, 1, 1, 5);
+        assert!(e.contributions.is_empty());
+        assert_eq!(e.probability, 0.0);
+        assert!(e.render().contains("no co-cluster evidence"));
+    }
+
+    #[test]
+    fn render_mentions_names_and_confidence() {
+        let (model, r) = setup();
+        let clusters = extract_coclusters(&model, 0.9);
+        let e = explain(&model, &r, &clusters, 0, 0, 5);
+        let text = e.render();
+        assert!(text.contains("Item 0 is recommended to Client 0"));
+        assert!(text.contains("confidence"));
+        assert!(text.contains("Client 1"), "similar client must be named: {text}");
+        let custom = e.render_with(
+            &|u| format!("ACME-{u}"),
+            &|i| format!("\"Custom Cloud {i}\""),
+        );
+        assert!(custom.contains("ACME-1"));
+        assert!(custom.contains("\"Custom Cloud 0\""));
+    }
+
+    #[test]
+    fn max_co_users_respected() {
+        // many similar users
+        let model = FactorModel::new(
+            Matrix::from_rows(&[&[1.0], &[1.0], &[1.0], &[1.0], &[1.0]]),
+            Matrix::from_rows(&[&[1.5]]),
+            false,
+        );
+        let r = CsrMatrix::from_pairs(5, 1, &[(1, 0), (2, 0), (3, 0), (4, 0)]).unwrap();
+        let clusters = extract_coclusters(&model, 0.9);
+        let e = explain(&model, &r, &clusters, 0, 0, 2);
+        assert_eq!(e.contributions[0].co_users.len(), 2);
+    }
+}

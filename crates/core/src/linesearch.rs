@@ -1,0 +1,246 @@
+//! Armijo backtracking line search along the projection arc (Section IV-D).
+//!
+//! The factor update is `f^{k+1} = (f^k − α_k ∇Q(f^k))₊` with
+//! `α_k = β^{t_k}`, `t_k` the smallest integer such that
+//!
+//! ```text
+//! Q(f^{k+1}) − Q(f^k) ≤ σ ⟨∇Q(f^k), f^{k+1} − f^k⟩
+//! ```
+//!
+//! (the Armijo rule along the projection arc, Bertsekas §2.3). Because the
+//! right-hand side is non-positive for a projected gradient step, every
+//! accepted update decreases the local objective, which makes the overall
+//! block-coordinate sweep monotone.
+
+use crate::gradient::LocalProblem;
+use ocular_linalg::ops;
+
+/// Line-search constants (paper: user-set `σ, β ∈ (0,1)`).
+#[derive(Debug, Clone, Copy)]
+pub struct LineSearch {
+    /// Sufficient-decrease constant σ.
+    pub sigma: f64,
+    /// Backtracking factor β.
+    pub beta: f64,
+    /// Maximum trials before giving up on this factor for the sweep.
+    pub max_backtracks: usize,
+}
+
+/// Outcome of one factor update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepOutcome {
+    /// The row was updated; contains the new local objective and the
+    /// accepted step size.
+    Accepted {
+        /// Local objective after the step.
+        q_new: f64,
+        /// The accepted `α = β^t`.
+        alpha: f64,
+    },
+    /// No candidate satisfied the Armijo test within `max_backtracks`; the
+    /// row is unchanged.
+    Rejected,
+    /// The gradient step didn't move the row (already stationary on the
+    /// active constraints).
+    Stationary,
+}
+
+/// Performs one projected gradient step with backtracking on `own`.
+///
+/// `grad` must hold `∇Q(own)`; `candidate` is caller-provided scratch of the
+/// same length. On acceptance `own` is overwritten with the new row.
+pub fn armijo_step(
+    own: &mut [f64],
+    grad: &[f64],
+    q0: f64,
+    problem: &LocalProblem<'_>,
+    params: &LineSearch,
+    candidate: &mut [f64],
+) -> StepOutcome {
+    debug_assert_eq!(own.len(), grad.len());
+    debug_assert_eq!(own.len(), candidate.len());
+    let mut alpha = 1.0;
+    for _ in 0..params.max_backtracks {
+        ops::projected_step(own, grad, alpha, candidate);
+        let predicted = ops::dot_diff(grad, candidate, own);
+        if predicted == 0.0 {
+            // projection absorbed the whole step: stationary w.r.t. the
+            // active set (e.g. zero row with non-negative gradient)
+            if candidate == own {
+                return StepOutcome::Stationary;
+            }
+        }
+        let q1 = problem.objective(candidate);
+        if q1 - q0 <= params.sigma * predicted {
+            own.copy_from_slice(candidate);
+            return StepOutcome::Accepted { q_new: q1, alpha };
+        }
+        alpha *= params.beta;
+    }
+    StepOutcome::Rejected
+}
+
+/// Fixed-step variant (ablation: `line_search = false`). Always applies
+/// `(own − α ∇Q)₊`; returns the new local objective, which may be *worse* —
+/// that is the point of the ablation.
+pub fn fixed_step(
+    own: &mut [f64],
+    grad: &[f64],
+    alpha: f64,
+    problem: &LocalProblem<'_>,
+    candidate: &mut [f64],
+) -> f64 {
+    ops::projected_step(own, grad, alpha, candidate);
+    own.copy_from_slice(candidate);
+    problem.objective(own)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradient::{negative_sum, PosWeights};
+    use ocular_linalg::Matrix;
+
+    fn params() -> LineSearch {
+        LineSearch { sigma: 0.1, beta: 0.5, max_backtracks: 30 }
+    }
+
+    /// A small concrete subproblem: one positive counterpart, light
+    /// regularisation.
+    fn setup() -> (Matrix, Vec<u32>, Vec<f64>) {
+        let other = Matrix::from_rows(&[&[1.0, 0.2], &[0.1, 0.1]]);
+        let positives = vec![0u32];
+        let sum = other.column_sums();
+        let mut negsum = vec![0.0; 2];
+        negative_sum(&other, &sum, &positives, &mut negsum);
+        (other, positives, negsum)
+    }
+
+    #[test]
+    fn accepted_step_decreases_objective() {
+        let (other, positives, negsum) = setup();
+        let problem = LocalProblem {
+            positives: &positives,
+            other: &other,
+            weights: PosWeights::Uniform(1.0),
+            negsum: &negsum,
+            lambda: 0.1,
+            fixed_dim: None,
+        };
+        let mut own = vec![0.5, 0.5];
+        let q0 = problem.objective(&own);
+        let mut grad = vec![0.0; 2];
+        problem.gradient(&own, &mut grad);
+        let mut scratch = vec![0.0; 2];
+        match armijo_step(&mut own, &grad, q0, &problem, &params(), &mut scratch) {
+            StepOutcome::Accepted { q_new, alpha } => {
+                assert!(q_new < q0, "objective must decrease: {q_new} vs {q0}");
+                assert!(alpha > 0.0 && alpha <= 1.0);
+            }
+            other => panic!("expected acceptance, got {other:?}"),
+        }
+        assert!(own.iter().all(|&v| v >= 0.0), "projection keeps non-negativity");
+    }
+
+    #[test]
+    fn repeated_steps_converge_to_stationary_point() {
+        let (other, positives, negsum) = setup();
+        let problem = LocalProblem {
+            positives: &positives,
+            other: &other,
+            weights: PosWeights::Uniform(1.0),
+            negsum: &negsum,
+            lambda: 0.1,
+            fixed_dim: None,
+        };
+        let mut own = vec![0.5, 0.5];
+        let mut grad = vec![0.0; 2];
+        let mut scratch = vec![0.0; 2];
+        let mut q = problem.objective(&own);
+        for _ in 0..200 {
+            problem.gradient(&own, &mut grad);
+            match armijo_step(&mut own, &grad, q, &problem, &params(), &mut scratch) {
+                StepOutcome::Accepted { q_new, .. } => q = q_new,
+                _ => break,
+            }
+        }
+        // at a stationary point the projected gradient must (approximately)
+        // vanish: grad ≥ 0 where own = 0, grad ≈ 0 where own > 0
+        problem.gradient(&own, &mut grad);
+        for (o, g) in own.iter().zip(&grad) {
+            if *o > 1e-9 {
+                assert!(g.abs() < 1e-4, "free coordinate gradient {g} should vanish");
+            } else {
+                assert!(*g > -1e-4, "active coordinate gradient {g} should be ≥ 0");
+            }
+        }
+    }
+
+    #[test]
+    fn stationary_zero_row_detected() {
+        // no positives: objective = ⟨own, negsum⟩ + λ‖own‖², negsum ≥ 0,
+        // so own = 0 is optimal and the step must not move
+        let other = Matrix::from_rows(&[&[0.4, 0.6]]);
+        let positives: Vec<u32> = vec![];
+        let sum = other.column_sums();
+        let mut negsum = vec![0.0; 2];
+        negative_sum(&other, &sum, &positives, &mut negsum);
+        let problem = LocalProblem {
+            positives: &positives,
+            other: &other,
+            weights: PosWeights::Uniform(1.0),
+            negsum: &negsum,
+            lambda: 0.1,
+            fixed_dim: None,
+        };
+        let mut own = vec![0.0, 0.0];
+        let q0 = problem.objective(&own);
+        let mut grad = vec![0.0; 2];
+        problem.gradient(&own, &mut grad);
+        let mut scratch = vec![0.0; 2];
+        let outcome = armijo_step(&mut own, &grad, q0, &problem, &params(), &mut scratch);
+        assert_eq!(outcome, StepOutcome::Stationary);
+        assert_eq!(own, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn fixed_dim_never_moves() {
+        let (other, positives, negsum) = setup();
+        let problem = LocalProblem {
+            positives: &positives,
+            other: &other,
+            weights: PosWeights::Uniform(1.0),
+            negsum: &negsum,
+            lambda: 0.1,
+            fixed_dim: Some(1),
+        };
+        let mut own = vec![0.5, 1.0];
+        let q0 = problem.objective(&own);
+        let mut grad = vec![0.0; 2];
+        problem.gradient(&own, &mut grad);
+        let mut scratch = vec![0.0; 2];
+        armijo_step(&mut own, &grad, q0, &problem, &params(), &mut scratch);
+        assert_eq!(own[1], 1.0, "frozen dimension must stay at 1.0");
+    }
+
+    #[test]
+    fn fixed_step_applies_unconditionally() {
+        let (other, positives, negsum) = setup();
+        let problem = LocalProblem {
+            positives: &positives,
+            other: &other,
+            weights: PosWeights::Uniform(1.0),
+            negsum: &negsum,
+            lambda: 0.1,
+            fixed_dim: None,
+        };
+        let mut own = vec![0.5, 0.5];
+        let mut grad = vec![0.0; 2];
+        problem.gradient(&own, &mut grad);
+        let before = own.clone();
+        let mut scratch = vec![0.0; 2];
+        fixed_step(&mut own, &grad, 0.05, &problem, &mut scratch);
+        assert_ne!(own, before, "fixed step must move the row");
+        assert!(own.iter().all(|&v| v >= 0.0));
+    }
+}

@@ -1,0 +1,282 @@
+//! The factor model: non-negative co-cluster affiliation vectors.
+
+use ocular_linalg::{ops, Matrix};
+use std::io::{BufRead, Write};
+
+/// Smallest affinity used inside logs/denominators. With non-negative
+/// factors the loss `−log(1 − e^{−p})` is singular at `p = 0`; clamping to
+/// `P_MIN` (the guard BIGCLAM uses as well) keeps gradients finite without
+/// measurably distorting the objective.
+pub const P_MIN: f64 = 1e-10;
+
+/// `P[r_ui = 1] = 1 − e^{−p}` computed as `−expm1(−p)` for accuracy at
+/// small affinities.
+#[inline]
+pub fn prob_from_affinity(p: f64) -> f64 {
+    -(-p).exp_m1()
+}
+
+/// A fitted OCuLaR model.
+///
+/// Rows of [`FactorModel::user_factors`] / [`FactorModel::item_factors`] are
+/// the affiliation vectors `f_u`, `f_i`. When the bias extension is enabled
+/// the last two columns are `(b_u, 1)` for users and `(1, b_i)` for items,
+/// so that `⟨f'_u, f'_i⟩ = ⟨f_u, f_i⟩ + b_u + b_i`; co-cluster semantics
+/// apply only to the first [`FactorModel::n_clusters`] columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactorModel {
+    /// `n_users × k_total` affiliation matrix.
+    pub user_factors: Matrix,
+    /// `n_items × k_total` affiliation matrix.
+    pub item_factors: Matrix,
+    /// Number of co-cluster dimensions (excludes bias columns).
+    n_clusters: usize,
+    /// Whether the two trailing bias columns are present.
+    has_bias: bool,
+}
+
+impl FactorModel {
+    /// Wraps factor matrices into a model.
+    ///
+    /// # Panics
+    /// Panics if the factor matrices disagree on `k`, or if `bias` is set
+    /// but there is no room for the two bias columns.
+    pub fn new(user_factors: Matrix, item_factors: Matrix, has_bias: bool) -> Self {
+        assert_eq!(
+            user_factors.cols(),
+            item_factors.cols(),
+            "user and item factors must share k"
+        );
+        let k_total = user_factors.cols();
+        let n_clusters = if has_bias {
+            assert!(k_total >= 3, "bias model needs k ≥ 1 plus two bias columns");
+            k_total - 2
+        } else {
+            k_total
+        };
+        FactorModel { user_factors, item_factors, n_clusters, has_bias }
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.user_factors.rows()
+    }
+
+    /// Number of items.
+    pub fn n_items(&self) -> usize {
+        self.item_factors.rows()
+    }
+
+    /// Total factor dimensionality (co-clusters + bias columns).
+    pub fn k_total(&self) -> usize {
+        self.user_factors.cols()
+    }
+
+    /// Number of co-cluster dimensions `K`.
+    pub fn n_clusters(&self) -> usize {
+        self.n_clusters
+    }
+
+    /// Whether the bias extension is active.
+    pub fn has_bias(&self) -> bool {
+        self.has_bias
+    }
+
+    /// Affinity `⟨f_u, f_i⟩` (including bias terms when present).
+    #[inline]
+    pub fn affinity(&self, u: usize, i: usize) -> f64 {
+        ops::dot(self.user_factors.row(u), self.item_factors.row(i))
+    }
+
+    /// `P[r_ui = 1] = 1 − e^{−⟨f_u, f_i⟩}` (Eq. 1).
+    #[inline]
+    pub fn prob(&self, u: usize, i: usize) -> f64 {
+        prob_from_affinity(self.affinity(u, i))
+    }
+
+    /// Per-cluster contribution `[f_u]_c · [f_i]_c` for `c` in the cluster
+    /// dimensions — the quantities the explanation engine decomposes.
+    pub fn cluster_contributions(&self, u: usize, i: usize) -> Vec<f64> {
+        let fu = self.user_factors.row(u);
+        let fi = self.item_factors.row(i);
+        (0..self.n_clusters).map(|c| fu[c] * fi[c]).collect()
+    }
+
+    /// Fills `buf` (resized to `n_items`) with `P[r_ui = 1]` for every item.
+    pub fn score_user(&self, u: usize, buf: &mut Vec<f64>) {
+        buf.clear();
+        buf.resize(self.n_items(), 0.0);
+        let fu = self.user_factors.row(u);
+        for i in 0..self.n_items() {
+            buf[i] = prob_from_affinity(ops::dot(fu, self.item_factors.row(i)));
+        }
+    }
+
+    /// User bias `b_u` (0 when the extension is off).
+    pub fn user_bias(&self, u: usize) -> f64 {
+        if self.has_bias {
+            self.user_factors.row(u)[self.n_clusters]
+        } else {
+            0.0
+        }
+    }
+
+    /// Item bias `b_i` (0 when the extension is off).
+    pub fn item_bias(&self, i: usize) -> f64 {
+        if self.has_bias {
+            self.item_factors.row(i)[self.n_clusters + 1]
+        } else {
+            0.0
+        }
+    }
+
+    /// Serialises the model to a writer in a line-oriented text format
+    /// (`ocular-model v1`). Factors are written in full `f64` precision.
+    pub fn save<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let mut w = std::io::BufWriter::new(w);
+        writeln!(
+            w,
+            "ocular-model v1 {} {} {} {}",
+            self.n_users(),
+            self.n_items(),
+            self.k_total(),
+            u8::from(self.has_bias)
+        )?;
+        for side in [&self.user_factors, &self.item_factors] {
+            for r in 0..side.rows() {
+                let row: Vec<String> =
+                    side.row(r).iter().map(|v| format!("{v:e}")).collect();
+                writeln!(w, "{}", row.join(" "))?;
+            }
+        }
+        w.flush()
+    }
+
+    /// Loads a model produced by [`FactorModel::save`].
+    pub fn load<R: BufRead>(r: &mut R) -> std::io::Result<FactorModel> {
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let mut header = String::new();
+        r.read_line(&mut header)?;
+        let parts: Vec<&str> = header.split_whitespace().collect();
+        if parts.len() != 6 || parts[0] != "ocular-model" || parts[1] != "v1" {
+            return Err(bad("bad header"));
+        }
+        let n_users: usize = parts[2].parse().map_err(|_| bad("bad n_users"))?;
+        let n_items: usize = parts[3].parse().map_err(|_| bad("bad n_items"))?;
+        let k: usize = parts[4].parse().map_err(|_| bad("bad k"))?;
+        let has_bias = parts[5] == "1";
+        let mut read_matrix = |rows: usize| -> std::io::Result<Matrix> {
+            let mut data = Vec::with_capacity(rows * k);
+            let mut line = String::new();
+            for _ in 0..rows {
+                line.clear();
+                if r.read_line(&mut line)? == 0 {
+                    return Err(bad("truncated model file"));
+                }
+                for field in line.split_whitespace() {
+                    data.push(field.parse::<f64>().map_err(|_| bad("bad factor value"))?);
+                }
+            }
+            if data.len() != rows * k {
+                return Err(bad("wrong number of factor values"));
+            }
+            Ok(Matrix::from_vec(rows, k, data))
+        };
+        let user_factors = read_matrix(n_users)?;
+        let item_factors = read_matrix(n_items)?;
+        Ok(FactorModel::new(user_factors, item_factors, has_bias))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> FactorModel {
+        let u = Matrix::from_rows(&[&[1.0, 0.0], &[0.5, 0.5]]);
+        let i = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 2.0], &[1.0, 1.0]]);
+        FactorModel::new(u, i, false)
+    }
+
+    #[test]
+    fn probability_formula() {
+        let m = toy();
+        // affinity(0,0) = 2.0
+        assert!((m.affinity(0, 0) - 2.0).abs() < 1e-12);
+        assert!((m.prob(0, 0) - (1.0 - (-2.0f64).exp())).abs() < 1e-12);
+        // orthogonal pair → probability 0
+        assert_eq!(m.prob(0, 1), 0.0);
+    }
+
+    #[test]
+    fn prob_is_bounded() {
+        let m = toy();
+        for u in 0..2 {
+            for i in 0..3 {
+                let p = m.prob(u, i);
+                assert!((0.0..1.0).contains(&p) || p == 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn prob_from_affinity_small_values_accurate() {
+        // for tiny p, 1 - e^{-p} ≈ p
+        let p = 1e-14;
+        let v = prob_from_affinity(p);
+        assert!((v - p).abs() < 1e-20, "expm1 path must stay accurate");
+    }
+
+    #[test]
+    fn score_user_matches_pointwise() {
+        let m = toy();
+        let mut buf = Vec::new();
+        m.score_user(1, &mut buf);
+        assert_eq!(buf.len(), 3);
+        for i in 0..3 {
+            assert!((buf[i] - m.prob(1, i)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn cluster_contributions_sum_to_affinity() {
+        let m = toy();
+        let contr = m.cluster_contributions(1, 2);
+        let total: f64 = contr.iter().sum();
+        assert!((total - m.affinity(1, 2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bias_columns_accounted() {
+        // k=1 cluster + bias: user row [f, b_u, 1], item row [f, 1, b_i]
+        let u = Matrix::from_rows(&[&[2.0, 0.3, 1.0]]);
+        let i = Matrix::from_rows(&[&[1.0, 1.0, 0.2]]);
+        let m = FactorModel::new(u, i, true);
+        assert_eq!(m.n_clusters(), 1);
+        assert!((m.affinity(0, 0) - (2.0 + 0.3 + 0.2)).abs() < 1e-12);
+        assert!((m.user_bias(0) - 0.3).abs() < 1e-12);
+        assert!((m.item_bias(0) - 0.2).abs() < 1e-12);
+        assert_eq!(m.cluster_contributions(0, 0), vec![2.0]);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let m = toy();
+        let mut buf: Vec<u8> = Vec::new();
+        m.save(&mut buf).unwrap();
+        let loaded = FactorModel::load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded, m);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(FactorModel::load(&mut "not a model".as_bytes()).is_err());
+        assert!(FactorModel::load(&mut "ocular-model v1 2 2 2 0\n1 2\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "share k")]
+    fn mismatched_k_panics() {
+        FactorModel::new(Matrix::zeros(2, 3), Matrix::zeros(2, 4), false);
+    }
+}

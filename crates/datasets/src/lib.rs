@@ -1,0 +1,46 @@
+//! # ocular-datasets
+//!
+//! Dataset substrate for the OCuLaR reproduction: synthetic generators with
+//! *known* overlapping co-cluster structure, plus parameterised stand-ins for
+//! the four datasets of the paper's evaluation (Section VII-A).
+//!
+//! ## Why synthetic stand-ins
+//!
+//! The paper evaluates on one proprietary dataset (**B2B-DB**, 80,000 clients
+//! × 3,000 products from IBM) and three public ones (**CiteULike**,
+//! **MovieLens-1M**, **Netflix**). None of these files can ship with the
+//! repository, so each profile in [`profiles`] generates a matrix with the
+//! same *shape characteristics* — user/item counts (scaled), density,
+//! heavy-tailed degree distributions, and planted overlapping co-cluster
+//! structure. The recommendation algorithms only ever see a sparse binary
+//! matrix, and the relative ordering of methods in Table I is driven by the
+//! presence of overlapping block structure plus noise, which the generators
+//! control explicitly. Loaders for the real file formats live in
+//! [`ocular_sparse::io`], so anyone holding the actual datasets can
+//! reproduce the original numbers with the same harness.
+//!
+//! ## Contents
+//!
+//! * [`planted`] — the core generator: overlapping user-item co-clusters with
+//!   configurable sizes, overlap, in-cluster density and background noise,
+//!   returning the ground truth alongside the matrix;
+//! * [`figure1`] — the 12×12 toy example of Figures 1–3;
+//! * [`powerlaw`] — heavy-tailed degree machinery layered on the planted
+//!   generator;
+//! * [`profiles`] — per-dataset presets (`movielens_like`, `citeulike_like`,
+//!   `b2b_like`, `netflix_like`);
+//! * [`ratings`] — 1–5 star rating synthesis + the paper's ≥3 thresholding;
+//! * [`recovery`] — set-overlap metrics scoring recovered co-clusters
+//!   against the planted truth (used for the Figure 2 comparison).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figure1;
+pub mod planted;
+pub mod powerlaw;
+pub mod profiles;
+pub mod ratings;
+pub mod recovery;
+
+pub use planted::{CoClusterTruth, PlantedConfig, PlantedDataset};

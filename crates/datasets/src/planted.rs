@@ -1,0 +1,334 @@
+//! Planted overlapping co-cluster generator.
+//!
+//! This is the synthetic ground-truth machine behind every experiment that
+//! needs to *know* the co-cluster structure: a set of `K` co-clusters, each a
+//! (user-set × item-set) block; users and items may belong to several
+//! blocks (the paper's central modelling assumption); positives appear
+//! within blocks with probability `within_density` and anywhere with
+//! probability `noise_density`.
+
+use ocular_sparse::{CsrMatrix, Triplets};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Ground-truth overlapping co-clusters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoClusterTruth {
+    /// `user_sets[c]` = sorted users belonging to co-cluster `c`.
+    pub user_sets: Vec<Vec<usize>>,
+    /// `item_sets[c]` = sorted items belonging to co-cluster `c`.
+    pub item_sets: Vec<Vec<usize>>,
+}
+
+impl CoClusterTruth {
+    /// Number of co-clusters.
+    pub fn k(&self) -> usize {
+        self.user_sets.len()
+    }
+
+    /// Whether the pair `(u, i)` lies inside at least one co-cluster.
+    pub fn pair_in_some_cluster(&self, u: usize, i: usize) -> bool {
+        self.user_sets
+            .iter()
+            .zip(&self.item_sets)
+            .any(|(us, is)| us.binary_search(&u).is_ok() && is.binary_search(&i).is_ok())
+    }
+
+    /// Co-clusters containing the pair `(u, i)`.
+    pub fn clusters_of_pair(&self, u: usize, i: usize) -> Vec<usize> {
+        (0..self.k())
+            .filter(|&c| {
+                self.user_sets[c].binary_search(&u).is_ok()
+                    && self.item_sets[c].binary_search(&i).is_ok()
+            })
+            .collect()
+    }
+
+    /// Number of co-clusters user `u` belongs to.
+    pub fn user_membership_count(&self, u: usize) -> usize {
+        self.user_sets.iter().filter(|s| s.binary_search(&u).is_ok()).count()
+    }
+}
+
+/// Configuration of the planted generator.
+#[derive(Debug, Clone)]
+pub struct PlantedConfig {
+    /// Number of users (rows).
+    pub n_users: usize,
+    /// Number of items (columns).
+    pub n_items: usize,
+    /// Number of planted co-clusters.
+    pub k: usize,
+    /// Cap on users per co-cluster (oversized clusters are trimmed; natural
+    /// size before trimming is `n_users · (1 + user_overlap) / k`).
+    pub users_per_cluster: usize,
+    /// Cap on items per co-cluster.
+    pub items_per_cluster: usize,
+    /// Expected number of *extra* cluster memberships per user beyond the
+    /// first; `0.0` reproduces non-overlapping co-clustering.
+    pub user_overlap: f64,
+    /// Expected number of extra cluster memberships per item.
+    pub item_overlap: f64,
+    /// Probability that an in-cluster `(u, i)` pair is a positive example.
+    pub within_density: f64,
+    /// Probability that an arbitrary pair is a positive example regardless
+    /// of structure (background noise).
+    pub noise_density: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PlantedConfig {
+    fn default() -> Self {
+        PlantedConfig {
+            n_users: 300,
+            n_items: 200,
+            k: 6,
+            users_per_cluster: 50,
+            items_per_cluster: 30,
+            user_overlap: 0.5,
+            item_overlap: 0.5,
+            within_density: 0.6,
+            noise_density: 0.002,
+            seed: 0,
+        }
+    }
+}
+
+/// A generated dataset together with its ground truth.
+#[derive(Debug, Clone)]
+pub struct PlantedDataset {
+    /// The binary interaction matrix.
+    pub matrix: CsrMatrix,
+    /// Planted co-cluster structure.
+    pub truth: CoClusterTruth,
+    /// The configuration that produced it.
+    pub config: PlantedConfig,
+}
+
+/// Generates a dataset with planted overlapping co-clusters.
+///
+/// Memberships: every user joins one uniformly chosen cluster, plus each
+/// other cluster independently with probability `user_overlap / (k-1)`
+/// (so the expected extra memberships equal `user_overlap`); items likewise.
+/// Cluster sizes are then trimmed/padded towards the configured sizes by
+/// random selection, keeping the membership distribution unbiased.
+///
+/// # Panics
+/// Panics if `k == 0`, if densities are outside `[0, 1]`, or if cluster
+/// sizes exceed the matrix dimensions.
+pub fn generate(cfg: &PlantedConfig) -> PlantedDataset {
+    assert!(cfg.k > 0, "need at least one co-cluster");
+    assert!((0.0..=1.0).contains(&cfg.within_density), "within_density in [0,1]");
+    assert!((0.0..=1.0).contains(&cfg.noise_density), "noise_density in [0,1]");
+    assert!(cfg.users_per_cluster <= cfg.n_users, "users_per_cluster > n_users");
+    assert!(cfg.items_per_cluster <= cfg.n_items, "items_per_cluster > n_items");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let user_sets = assign_sets(
+        cfg.n_users,
+        cfg.k,
+        cfg.users_per_cluster,
+        cfg.user_overlap,
+        &mut rng,
+    );
+    let item_sets = assign_sets(
+        cfg.n_items,
+        cfg.k,
+        cfg.items_per_cluster,
+        cfg.item_overlap,
+        &mut rng,
+    );
+
+    let mut t = Triplets::new(cfg.n_users, cfg.n_items);
+    // in-cluster positives
+    for c in 0..cfg.k {
+        for &u in &user_sets[c] {
+            for &i in &item_sets[c] {
+                if rng.gen::<f64>() < cfg.within_density {
+                    t.push(u, i).expect("in-bounds by construction");
+                }
+            }
+        }
+    }
+    // background noise: sample the expected count of noise edges uniformly
+    if cfg.noise_density > 0.0 {
+        let cells = cfg.n_users as f64 * cfg.n_items as f64;
+        let n_noise = (cells * cfg.noise_density).round() as usize;
+        for _ in 0..n_noise {
+            let u = rng.gen_range(0..cfg.n_users);
+            let i = rng.gen_range(0..cfg.n_items);
+            t.push(u, i).expect("in-bounds");
+        }
+    }
+
+    PlantedDataset {
+        matrix: t.into_csr(),
+        truth: CoClusterTruth { user_sets, item_sets },
+        config: cfg.clone(),
+    }
+}
+
+/// Assigns `n` entities to `k` clusters with the requested expected overlap.
+/// Every entity joins one uniformly chosen home cluster plus each other
+/// cluster independently with probability `overlap / (k-1)`; `size` acts as
+/// a *cap* — oversized clusters are trimmed at random (no padding, so the
+/// overlap parameter genuinely controls membership counts). Empty clusters
+/// receive one random member so that every co-cluster contains at least one
+/// user and one item, as the model requires.
+fn assign_sets(
+    n: usize,
+    k: usize,
+    size: usize,
+    overlap: f64,
+    rng: &mut StdRng,
+) -> Vec<Vec<usize>> {
+    let extra_p = if k > 1 { (overlap / (k - 1) as f64).min(1.0) } else { 0.0 };
+    let mut sets: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for e in 0..n {
+        let home = rng.gen_range(0..k);
+        sets[home].push(e);
+        for (c, set) in sets.iter_mut().enumerate() {
+            if c != home && rng.gen::<f64>() < extra_p {
+                set.push(e);
+            }
+        }
+    }
+    for set in sets.iter_mut() {
+        if set.len() > size {
+            set.shuffle(rng);
+            set.truncate(size);
+        }
+        if set.is_empty() && n > 0 {
+            set.push(rng.gen_range(0..n));
+        }
+        set.sort_unstable();
+        set.dedup();
+    }
+    sets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_sizes() {
+        let cfg = PlantedConfig::default();
+        let d = generate(&cfg);
+        assert_eq!(d.matrix.n_rows(), cfg.n_users);
+        assert_eq!(d.matrix.n_cols(), cfg.n_items);
+        assert_eq!(d.truth.k(), cfg.k);
+        for c in 0..cfg.k {
+            assert!(!d.truth.user_sets[c].is_empty());
+            assert!(d.truth.user_sets[c].len() <= cfg.users_per_cluster);
+            assert!(!d.truth.item_sets[c].is_empty());
+            assert!(d.truth.item_sets[c].len() <= cfg.items_per_cluster);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = PlantedConfig::default();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.matrix, b.matrix);
+        assert_eq!(a.truth, b.truth);
+        let c = generate(&PlantedConfig { seed: 1, ..cfg });
+        assert_ne!(a.matrix, c.matrix);
+    }
+
+    #[test]
+    fn in_cluster_density_dominates_noise() {
+        let cfg = PlantedConfig {
+            within_density: 0.8,
+            noise_density: 0.001,
+            ..Default::default()
+        };
+        let d = generate(&cfg);
+        // measure density inside cluster 0 vs far outside any cluster
+        let us = &d.truth.user_sets[0];
+        let is = &d.truth.item_sets[0];
+        let mut inside = 0usize;
+        for &u in us {
+            for &i in is {
+                if d.matrix.contains(u, i) {
+                    inside += 1;
+                }
+            }
+        }
+        let inside_density = inside as f64 / (us.len() * is.len()) as f64;
+        assert!(inside_density > 0.6, "inside density {inside_density}");
+        let mut outside = 0usize;
+        let mut outside_cells = 0usize;
+        for u in 0..cfg.n_users {
+            for i in 0..cfg.n_items {
+                if !d.truth.pair_in_some_cluster(u, i) {
+                    outside_cells += 1;
+                    if d.matrix.contains(u, i) {
+                        outside += 1;
+                    }
+                }
+            }
+        }
+        let outside_density = outside as f64 / outside_cells as f64;
+        assert!(outside_density < 0.01, "outside density {outside_density}");
+    }
+
+    #[test]
+    fn overlap_zero_gives_single_membership() {
+        let cfg = PlantedConfig {
+            user_overlap: 0.0,
+            users_per_cluster: 300, // unbinding cap
+            k: 6,
+            n_users: 300,
+            ..Default::default()
+        };
+        let d = generate(&cfg);
+        let multi = (0..cfg.n_users)
+            .filter(|&u| d.truth.user_membership_count(u) > 1)
+            .count();
+        // only the empty-cluster rescue path could add memberships
+        assert!(multi <= cfg.k, "{multi} users have multiple memberships");
+    }
+
+    #[test]
+    fn overlap_increases_membership() {
+        // caps set high enough not to bind, so overlap drives membership
+        let base = PlantedConfig {
+            user_overlap: 0.0,
+            users_per_cluster: 300,
+            items_per_cluster: 200,
+            ..Default::default()
+        };
+        let heavy = PlantedConfig { user_overlap: 2.0, ..base.clone() };
+        let a = generate(&base);
+        let b = generate(&heavy);
+        let avg = |d: &PlantedDataset| {
+            (0..d.config.n_users)
+                .map(|u| d.truth.user_membership_count(u))
+                .sum::<usize>() as f64
+                / d.config.n_users as f64
+        };
+        assert!(
+            avg(&b) > avg(&a) + 0.5,
+            "overlap 2.0 should raise avg membership: {} vs {}",
+            avg(&b),
+            avg(&a)
+        );
+    }
+
+    #[test]
+    fn truth_pair_queries() {
+        let truth = CoClusterTruth {
+            user_sets: vec![vec![0, 1], vec![1, 2]],
+            item_sets: vec![vec![5], vec![5, 6]],
+        };
+        assert!(truth.pair_in_some_cluster(0, 5));
+        assert!(truth.pair_in_some_cluster(2, 6));
+        assert!(!truth.pair_in_some_cluster(0, 6));
+        assert_eq!(truth.clusters_of_pair(1, 5), vec![0, 1]);
+        assert_eq!(truth.user_membership_count(1), 2);
+    }
+}

@@ -1,0 +1,151 @@
+//! Star-rating synthesis and the paper's thresholding convention.
+//!
+//! *"In both the Movielens and the Netflix dataset, the users provide
+//! ratings between 1 and 5 stars. … we adopt the convention from many
+//! previous works to only consider ratings greater than or equal to 3 as
+//! positive examples and ignore all other ratings."* (Section VII-A)
+//!
+//! This module generates 1–5 star ratings on top of a planted structure and
+//! applies the ≥ threshold conversion, exercising the same pipeline a user
+//! of the real MovieLens/Netflix files would run through
+//! [`ocular_sparse::io::read_movielens`].
+
+use crate::planted::PlantedDataset;
+use ocular_sparse::{CsrMatrix, Triplets};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A rated interaction `(user, item, stars)`.
+pub type Rating = (usize, usize, u8);
+
+/// The paper's positive-example threshold for star ratings.
+pub const PAPER_THRESHOLD: u8 = 3;
+
+/// Generates star ratings for a planted dataset: every positive pair of the
+/// planted matrix is rated, with in-cluster pairs skewed towards high stars
+/// and noise pairs towards low stars. Mean in-cluster rating ≈ 4, noise ≈ 2.
+pub fn synthesize_ratings(d: &PlantedDataset, seed: u64) -> Vec<Rating> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(d.matrix.nnz());
+    for (u, i) in d.matrix.iter_nnz() {
+        let in_cluster = d.truth.pair_in_some_cluster(u, i);
+        let base: f64 = if in_cluster { 4.0 } else { 2.0 };
+        let noise: f64 = rng.gen_range(-1.5..1.5);
+        let stars = (base + noise).round().clamp(1.0, 5.0) as u8;
+        out.push((u, i, stars));
+    }
+    out
+}
+
+/// Applies the threshold conversion: ratings `>= threshold` become positive
+/// examples; everything else is dropped (treated as unknown, *not* negative).
+pub fn threshold_ratings(
+    ratings: &[Rating],
+    n_users: usize,
+    n_items: usize,
+    threshold: u8,
+) -> CsrMatrix {
+    let mut t = Triplets::new(n_users, n_items);
+    for &(u, i, s) in ratings {
+        if s >= threshold {
+            t.push(u, i).expect("caller guarantees bounds");
+        }
+    }
+    t.into_csr()
+}
+
+/// End-to-end convenience: planted dataset → star ratings → thresholded
+/// one-class matrix (the exact preprocessing the paper applies to
+/// MovieLens/Netflix).
+pub fn rated_one_class(d: &PlantedDataset, threshold: u8, seed: u64) -> CsrMatrix {
+    let ratings = synthesize_ratings(d, seed);
+    threshold_ratings(&ratings, d.matrix.n_rows(), d.matrix.n_cols(), threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planted::{generate, PlantedConfig};
+
+    fn small() -> PlantedDataset {
+        generate(&PlantedConfig {
+            n_users: 60,
+            n_items: 40,
+            k: 3,
+            users_per_cluster: 20,
+            items_per_cluster: 12,
+            noise_density: 0.02,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn ratings_cover_all_positives() {
+        let d = small();
+        let r = synthesize_ratings(&d, 0);
+        assert_eq!(r.len(), d.matrix.nnz());
+        for &(u, i, s) in &r {
+            assert!(d.matrix.contains(u, i));
+            assert!((1..=5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn in_cluster_ratings_are_higher() {
+        let d = small();
+        let r = synthesize_ratings(&d, 0);
+        let (mut in_sum, mut in_n, mut out_sum, mut out_n) = (0.0, 0, 0.0, 0);
+        for &(u, i, s) in &r {
+            if d.truth.pair_in_some_cluster(u, i) {
+                in_sum += s as f64;
+                in_n += 1;
+            } else {
+                out_sum += s as f64;
+                out_n += 1;
+            }
+        }
+        if in_n > 0 && out_n > 0 {
+            assert!(in_sum / in_n as f64 > out_sum / out_n as f64 + 0.8);
+        }
+    }
+
+    #[test]
+    fn threshold_keeps_only_high_ratings() {
+        let ratings = vec![(0, 0, 5), (0, 1, 3), (1, 0, 2), (1, 1, 1)];
+        let m = threshold_ratings(&ratings, 2, 2, PAPER_THRESHOLD);
+        assert_eq!(m.nnz(), 2);
+        assert!(m.contains(0, 0));
+        assert!(m.contains(0, 1));
+        assert!(!m.contains(1, 0));
+    }
+
+    #[test]
+    fn thresholding_filters_noise_disproportionately() {
+        let d = small();
+        let m = rated_one_class(&d, PAPER_THRESHOLD, 0);
+        assert!(m.nnz() < d.matrix.nnz());
+        // the kept positives should be biased towards in-cluster pairs
+        let kept_in = m
+            .iter_nnz()
+            .filter(|&(u, i)| d.truth.pair_in_some_cluster(u, i))
+            .count();
+        let orig_in = d
+            .matrix
+            .iter_nnz()
+            .filter(|&(u, i)| d.truth.pair_in_some_cluster(u, i))
+            .count();
+        let kept_frac = kept_in as f64 / m.nnz() as f64;
+        let orig_frac = orig_in as f64 / d.matrix.nnz() as f64;
+        assert!(
+            kept_frac >= orig_frac,
+            "thresholding should not reduce the in-cluster fraction"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = small();
+        assert_eq!(synthesize_ratings(&d, 5), synthesize_ratings(&d, 5));
+        assert_ne!(synthesize_ratings(&d, 5), synthesize_ratings(&d, 6));
+    }
+}

@@ -1,0 +1,142 @@
+//! recall@M and MAP@M as functions of M — the Figure 5 curves.
+//!
+//! Each user is ranked once to depth `max_m`; prefix sums then yield the
+//! whole curve, so computing 100 cutoffs costs the same as computing one.
+
+use crate::metrics::prefix_metrics;
+use crate::ranking::top_m_excluding;
+use ocular_sparse::CsrMatrix;
+
+/// A metric curve over cutoffs `1..=max_m`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricCurves {
+    /// `recall[m-1]` = mean recall@m.
+    pub recall: Vec<f64>,
+    /// `map[m-1]` = mean MAP@m.
+    pub map: Vec<f64>,
+    /// Users included in the averages.
+    pub evaluated_users: usize,
+}
+
+impl MetricCurves {
+    /// recall@m (1-based cutoff).
+    pub fn recall_at(&self, m: usize) -> f64 {
+        self.recall[m - 1]
+    }
+
+    /// MAP@m (1-based cutoff).
+    pub fn map_at(&self, m: usize) -> f64 {
+        self.map[m - 1]
+    }
+
+    /// Serialises as CSV (`m,recall,map` with a header).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("m,recall,map\n");
+        for m in 1..=self.recall.len() {
+            out.push_str(&format!(
+                "{m},{:.6},{:.6}\n",
+                self.recall[m - 1],
+                self.map[m - 1]
+            ));
+        }
+        out
+    }
+}
+
+/// Computes the curves for a scorer over all cutoffs `1..=max_m`.
+pub fn metric_curves<F>(
+    score_user: F,
+    train: &CsrMatrix,
+    test: &CsrMatrix,
+    max_m: usize,
+) -> MetricCurves
+where
+    F: FnMut(usize, &mut Vec<f64>),
+{
+    let mut score_user = score_user;
+    let mut recall_sum = vec![0.0; max_m];
+    let mut map_sum = vec![0.0; max_m];
+    let mut n = 0usize;
+    let mut buf: Vec<f64> = vec![0.0; train.n_cols()];
+    for u in 0..train.n_rows() {
+        let held_out = test.row(u);
+        if held_out.is_empty() {
+            continue;
+        }
+        buf.clear();
+        buf.resize(train.n_cols(), 0.0);
+        score_user(u, &mut buf);
+        let ranked = top_m_excluding(&buf, train.row(u), max_m);
+        let (r, a) = prefix_metrics(&ranked, held_out, max_m);
+        for m in 0..max_m {
+            recall_sum[m] += r[m];
+            map_sum[m] += a[m];
+        }
+        n += 1;
+    }
+    let denom = n.max(1) as f64;
+    MetricCurves {
+        recall: recall_sum.into_iter().map(|v| v / denom).collect(),
+        map: map_sum.into_iter().map(|v| v / denom).collect(),
+        evaluated_users: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::evaluate;
+
+    #[test]
+    fn curves_match_pointwise_evaluation() {
+        let train = CsrMatrix::from_pairs(3, 8, &[(0, 0), (1, 1), (2, 2)]).unwrap();
+        let test =
+            CsrMatrix::from_pairs(3, 8, &[(0, 3), (0, 4), (1, 5), (2, 6), (2, 7)]).unwrap();
+        // an arbitrary deterministic scorer
+        let scorer = |u: usize, buf: &mut Vec<f64>| {
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = ((u * 31 + i * 17) % 13) as f64;
+            }
+        };
+        let curves = metric_curves(scorer, &train, &test, 8);
+        for m in [1usize, 2, 4, 8] {
+            let point = evaluate(scorer, &train, &test, m);
+            assert!(
+                (curves.recall_at(m) - point.recall).abs() < 1e-12,
+                "recall mismatch at m={m}"
+            );
+            assert!(
+                (curves.map_at(m) - point.map).abs() < 1e-12,
+                "map mismatch at m={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn recall_curve_is_monotone() {
+        let train = CsrMatrix::from_pairs(2, 10, &[(0, 0), (1, 9)]).unwrap();
+        let test = CsrMatrix::from_pairs(2, 10, &[(0, 5), (1, 2), (1, 3)]).unwrap();
+        let curves = metric_curves(
+            |u, buf| {
+                for (i, b) in buf.iter_mut().enumerate() {
+                    *b = ((u + 3) * i % 7) as f64;
+                }
+            },
+            &train,
+            &test,
+            9,
+        );
+        for w in curves.recall.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "recall@M must be non-decreasing in M");
+        }
+    }
+
+    #[test]
+    fn csv_round_numbers() {
+        let c = MetricCurves { recall: vec![0.5, 1.0], map: vec![0.25, 0.5], evaluated_users: 2 };
+        let csv = c.to_csv();
+        assert!(csv.starts_with("m,recall,map\n"));
+        assert!(csv.contains("1,0.500000,0.250000"));
+        assert!(csv.contains("2,1.000000,0.500000"));
+    }
+}

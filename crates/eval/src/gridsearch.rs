@@ -1,0 +1,173 @@
+//! (K, λ) hyper-parameter grid search — Figures 6 and 9.
+//!
+//! The paper selects K and λ by cross-validated grid search on recall@M and
+//! accelerates the search by fanning the 625 parameter pairs out over a
+//! Spark cluster of GPU machines (Section VII-E). Here the same
+//! embarrassingly parallel structure is expressed with rayon: each `(K, λ)`
+//! cell runs the user-supplied train-and-evaluate closure independently.
+
+use rayon::prelude::*;
+
+/// Result of a grid search: the metric surface plus the best cell.
+#[derive(Debug, Clone)]
+pub struct GridResult {
+    /// The K values of the grid (rows of `scores`).
+    pub ks: Vec<usize>,
+    /// The λ values of the grid (columns of `scores`).
+    pub lambdas: Vec<f64>,
+    /// `scores[ki][li]` = metric for `(ks[ki], lambdas[li])`.
+    pub scores: Vec<Vec<f64>>,
+    /// Best (K, λ) and its score.
+    pub best: (usize, f64, f64),
+}
+
+impl GridResult {
+    /// Score at a grid cell.
+    pub fn score(&self, ki: usize, li: usize) -> f64 {
+        self.scores[ki][li]
+    }
+
+    /// Renders the surface as a textual heatmap (the Figure 9 artefact):
+    /// one row per K, one column per λ, shaded by score decile.
+    pub fn render_heatmap(&self) -> String {
+        let (lo, hi) = self.bounds();
+        let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+        let mut out = String::new();
+        out.push_str("        λ → ");
+        for l in &self.lambdas {
+            out.push_str(&format!("{l:>8.2}"));
+        }
+        out.push('\n');
+        for (ki, k) in self.ks.iter().enumerate() {
+            out.push_str(&format!("K = {k:>5}   "));
+            for li in 0..self.lambdas.len() {
+                let v = self.scores[ki][li];
+                let t = if hi > lo { (v - lo) / (hi - lo) } else { 0.0 };
+                let shade = shades[((t * 9.0).round() as usize).min(9)];
+                out.push_str(&format!("  {shade}{shade}{shade}  "));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "best: K = {}, λ = {} (score {:.4}); range [{:.4}, {:.4}]\n",
+            self.best.0, self.best.1, self.best.2, lo, hi
+        ));
+        out
+    }
+
+    /// Serialises the surface as CSV (`k,lambda,score`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("k,lambda,score\n");
+        for (ki, k) in self.ks.iter().enumerate() {
+            for (li, l) in self.lambdas.iter().enumerate() {
+                out.push_str(&format!("{k},{l},{:.6}\n", self.scores[ki][li]));
+            }
+        }
+        out
+    }
+
+    fn bounds(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for row in &self.scores {
+            for &v in row {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        (lo, hi)
+    }
+}
+
+/// Runs the grid search. `eval_cell(k, λ)` trains a model with those
+/// hyper-parameters and returns the validation metric (higher = better).
+/// Cells are evaluated in parallel (rayon), mirroring the paper's cluster
+/// fan-out; results are deterministic because each cell is independent and
+/// seeded by the caller.
+///
+/// # Panics
+/// Panics if either axis is empty.
+pub fn grid_search<F>(ks: &[usize], lambdas: &[f64], eval_cell: F) -> GridResult
+where
+    F: Fn(usize, f64) -> f64 + Sync,
+{
+    assert!(!ks.is_empty() && !lambdas.is_empty(), "grid axes must be non-empty");
+    let cells: Vec<(usize, usize)> = (0..ks.len())
+        .flat_map(|ki| (0..lambdas.len()).map(move |li| (ki, li)))
+        .collect();
+    let flat: Vec<f64> = cells
+        .par_iter()
+        .map(|&(ki, li)| eval_cell(ks[ki], lambdas[li]))
+        .collect();
+    let mut scores = vec![vec![0.0; lambdas.len()]; ks.len()];
+    for (&(ki, li), &v) in cells.iter().zip(&flat) {
+        scores[ki][li] = v;
+    }
+    let mut best = (ks[0], lambdas[0], f64::NEG_INFINITY);
+    for (ki, &k) in ks.iter().enumerate() {
+        for (li, &l) in lambdas.iter().enumerate() {
+            if scores[ki][li] > best.2 {
+                best = (k, l, scores[ki][li]);
+            }
+        }
+    }
+    GridResult { ks: ks.to_vec(), lambdas: lambdas.to_vec(), scores, best }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_the_peak() {
+        // synthetic unimodal surface peaked at K=100, λ=30
+        let ks = vec![50usize, 100, 200];
+        let lambdas = vec![0.0, 30.0, 100.0];
+        let result = grid_search(&ks, &lambdas, |k, l| {
+            let dk = (k as f64 - 100.0) / 100.0;
+            let dl = (l - 30.0) / 50.0;
+            1.0 - dk * dk - dl * dl
+        });
+        assert_eq!(result.best.0, 100);
+        assert_eq!(result.best.1, 30.0);
+        assert!((result.best.2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn surface_shape_matches_grid() {
+        let result = grid_search(&[1, 2], &[0.1, 0.2, 0.3], |k, l| k as f64 + l);
+        assert_eq!(result.scores.len(), 2);
+        assert_eq!(result.scores[0].len(), 3);
+        assert!((result.score(1, 2) - 2.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let ks: Vec<usize> = (1..20).collect();
+        let lambdas: Vec<f64> = (0..15).map(|i| i as f64).collect();
+        let f = |k: usize, l: f64| (k as f64 * 13.7).sin() + (l * 3.1).cos();
+        let par = grid_search(&ks, &lambdas, f);
+        for (ki, &k) in ks.iter().enumerate() {
+            for (li, &l) in lambdas.iter().enumerate() {
+                assert_eq!(par.score(ki, li), f(k, l));
+            }
+        }
+    }
+
+    #[test]
+    fn heatmap_and_csv_render() {
+        let result = grid_search(&[10, 20], &[1.0, 2.0], |k, l| k as f64 * l);
+        let art = result.render_heatmap();
+        assert!(art.contains("K ="));
+        assert!(art.contains("best: K = 20"));
+        let csv = result.to_csv();
+        assert!(csv.contains("k,lambda,score"));
+        assert!(csv.contains("20,2,40.000000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_grid_panics() {
+        grid_search(&[], &[1.0], |_, _| 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # ocular-eval
+//!
+//! Evaluation machinery for the OCuLaR reproduction (paper Section VII-B):
+//!
+//! * [`metrics`] — recall@M, precision@M, AP@M / MAP@M (exactly the paper's
+//!   definitions, with deterministic tie handling per McSherry & Najork) and
+//!   NDCG@M as an extra;
+//! * [`ranking`] — top-M selection from dense score vectors, excluding
+//!   training positives;
+//! * [`protocol`] — the 75/25 split evaluation loop, averaged over problem
+//!   instances, parameterised by a scoring closure so any recommender
+//!   (OCuLaR, wALS, BPR, kNN) plugs in without a dependency edge;
+//! * [`curves`] — recall@M / MAP@M as functions of M (Figure 5) computed in
+//!   one ranking pass per user;
+//! * [`gridsearch`] — the (K, λ) grid search of Figures 6 and 9,
+//!   parallelised over parameter pairs exactly like the paper's Spark × GPU
+//!   cluster fan-out.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crossval;
+pub mod curves;
+pub mod gridsearch;
+pub mod metrics;
+pub mod protocol;
+pub mod ranking;
+
+pub use metrics::{average_precision_at, precision_at, recall_at};
+pub use protocol::{evaluate, EvalReport};
+pub use ranking::top_m_excluding;

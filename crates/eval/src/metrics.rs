@@ -1,0 +1,202 @@
+//! Ranking metrics, as defined in Section VII-B1 of the paper.
+//!
+//! Given an ordered list of `M` recommendations `i₁, …, i_M` for user `u`
+//! and the user's held-out positives `{i : r_ui = 1}`:
+//!
+//! * `recall@M(u) = |positives ∩ {i₁,…,i_M}| / |positives|`
+//! * `Prec(m) = |positives ∩ {i₁,…,i_m}| / m`
+//! * `AP@M(u) = Σ_{m=1}^{M} Prec(m) · 1{i_m positive} / min(|positives|, M)`
+//! * `MAP@M` / overall `recall@M` = means over users (users without held-out
+//!   positives are skipped — both metrics are undefined for them).
+//!
+//! Ties: rankings handed to these functions are already ordered; the
+//! [`crate::ranking`] module breaks score ties deterministically
+//! (score descending, item index ascending), the convention recommended by
+//! McSherry & Najork (ECIR 2008) for reproducible tied-score evaluation.
+
+/// Membership test against a *sorted* positive set.
+#[inline]
+fn is_relevant(relevant_sorted: &[u32], item: usize) -> bool {
+    relevant_sorted.binary_search(&(item as u32)).is_ok()
+}
+
+/// recall@M for one user. `ranked` is the ordered recommendation list
+/// (longer lists are truncated to `m`); `relevant_sorted` the user's held-out
+/// positives, sorted ascending. Returns 0 when there are no positives.
+pub fn recall_at(ranked: &[usize], relevant_sorted: &[u32], m: usize) -> f64 {
+    if relevant_sorted.is_empty() {
+        return 0.0;
+    }
+    let hits = ranked
+        .iter()
+        .take(m)
+        .filter(|&&i| is_relevant(relevant_sorted, i))
+        .count();
+    hits as f64 / relevant_sorted.len() as f64
+}
+
+/// precision@M for one user (`Prec(m)` of the paper).
+pub fn precision_at(ranked: &[usize], relevant_sorted: &[u32], m: usize) -> f64 {
+    if m == 0 {
+        return 0.0;
+    }
+    let cut = m.min(ranked.len());
+    if cut == 0 {
+        return 0.0;
+    }
+    let hits = ranked
+        .iter()
+        .take(m)
+        .filter(|&&i| is_relevant(relevant_sorted, i))
+        .count();
+    hits as f64 / m as f64
+}
+
+/// AP@M for one user, per the paper's definition (denominator
+/// `min(|positives|, M)` so AP@M ≤ 1). Returns 0 when there are no
+/// positives.
+pub fn average_precision_at(ranked: &[usize], relevant_sorted: &[u32], m: usize) -> f64 {
+    if relevant_sorted.is_empty() || m == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (pos, &item) in ranked.iter().take(m).enumerate() {
+        if is_relevant(relevant_sorted, item) {
+            hits += 1;
+            sum += hits as f64 / (pos + 1) as f64;
+        }
+    }
+    sum / relevant_sorted.len().min(m) as f64
+}
+
+/// NDCG@M with binary gains (extra metric, not in the paper but standard).
+pub fn ndcg_at(ranked: &[usize], relevant_sorted: &[u32], m: usize) -> f64 {
+    if relevant_sorted.is_empty() || m == 0 {
+        return 0.0;
+    }
+    let dcg: f64 = ranked
+        .iter()
+        .take(m)
+        .enumerate()
+        .filter(|(_, &i)| is_relevant(relevant_sorted, i))
+        .map(|(pos, _)| 1.0 / ((pos + 2) as f64).log2())
+        .sum();
+    let ideal: f64 = (0..relevant_sorted.len().min(m))
+        .map(|pos| 1.0 / ((pos + 2) as f64).log2())
+        .sum();
+    dcg / ideal
+}
+
+/// Prefix metrics for one user in a single pass: returns
+/// `(recall@m, ap@m)` for every `m` in `1..=max_m`. Used by the Figure 5
+/// curves so each user is ranked once.
+pub fn prefix_metrics(
+    ranked: &[usize],
+    relevant_sorted: &[u32],
+    max_m: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let n_rel = relevant_sorted.len();
+    let mut recall = Vec::with_capacity(max_m);
+    let mut ap = Vec::with_capacity(max_m);
+    let mut hits = 0usize;
+    let mut ap_numerator = 0.0;
+    for m in 1..=max_m {
+        if m <= ranked.len() && is_relevant(relevant_sorted, ranked[m - 1]) {
+            hits += 1;
+            ap_numerator += hits as f64 / m as f64;
+        }
+        if n_rel == 0 {
+            recall.push(0.0);
+            ap.push(0.0);
+        } else {
+            recall.push(hits as f64 / n_rel as f64);
+            ap.push(ap_numerator / n_rel.min(m) as f64);
+        }
+    }
+    (recall, ap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // ranked list: [5, 2, 9, 1]; relevant: {2, 1, 7}
+    const RANKED: [usize; 4] = [5, 2, 9, 1];
+    const REL: [u32; 3] = [1, 2, 7];
+
+    #[test]
+    fn recall_hand_computed() {
+        assert_eq!(recall_at(&RANKED, &REL, 1), 0.0);
+        assert!((recall_at(&RANKED, &REL, 2) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((recall_at(&RANKED, &REL, 4) - 2.0 / 3.0).abs() < 1e-12);
+        // truncation beyond list length changes nothing
+        assert_eq!(recall_at(&RANKED, &REL, 10), recall_at(&RANKED, &REL, 4));
+    }
+
+    #[test]
+    fn precision_hand_computed() {
+        assert_eq!(precision_at(&RANKED, &REL, 1), 0.0);
+        assert!((precision_at(&RANKED, &REL, 2) - 0.5).abs() < 1e-12);
+        assert!((precision_at(&RANKED, &REL, 4) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_hand_computed() {
+        // hits at ranks 2 (item 2) and 4 (item 1):
+        // AP@4 = (1/2 + 2/4) / min(3, 4) = 1/3
+        assert!((average_precision_at(&RANKED, &REL, 4) - 1.0 / 3.0).abs() < 1e-12);
+        // AP@2 = (1/2) / min(3, 2) = 0.25
+        assert!((average_precision_at(&RANKED, &REL, 2) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let ranked = [1usize, 2, 7];
+        assert_eq!(recall_at(&ranked, &REL, 3), 1.0);
+        assert_eq!(average_precision_at(&ranked, &REL, 3), 1.0);
+        assert_eq!(ndcg_at(&ranked, &REL, 3), 1.0);
+    }
+
+    #[test]
+    fn empty_relevant_set_scores_zero() {
+        assert_eq!(recall_at(&RANKED, &[], 4), 0.0);
+        assert_eq!(average_precision_at(&RANKED, &[], 4), 0.0);
+        assert_eq!(ndcg_at(&RANKED, &[], 4), 0.0);
+    }
+
+    #[test]
+    fn m_zero_scores_zero() {
+        assert_eq!(precision_at(&RANKED, &REL, 0), 0.0);
+        assert_eq!(average_precision_at(&RANKED, &REL, 0), 0.0);
+    }
+
+    #[test]
+    fn metrics_bounded() {
+        assert!(average_precision_at(&RANKED, &REL, 4) <= 1.0);
+        assert!(recall_at(&RANKED, &REL, 4) <= 1.0);
+        assert!(ndcg_at(&RANKED, &REL, 4) <= 1.0);
+    }
+
+    #[test]
+    fn ndcg_prefers_early_hits() {
+        let early = [1usize, 5, 9];
+        let late = [5usize, 9, 1];
+        assert!(ndcg_at(&early, &REL, 3) > ndcg_at(&late, &REL, 3));
+    }
+
+    #[test]
+    fn prefix_matches_pointwise() {
+        let (recall, ap) = prefix_metrics(&RANKED, &REL, 6);
+        for m in 1..=6 {
+            assert!(
+                (recall[m - 1] - recall_at(&RANKED, &REL, m)).abs() < 1e-12,
+                "recall mismatch at m={m}"
+            );
+            assert!(
+                (ap[m - 1] - average_precision_at(&RANKED, &REL, m)).abs() < 1e-12,
+                "ap mismatch at m={m}"
+            );
+        }
+    }
+}

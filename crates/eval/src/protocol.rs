@@ -1,0 +1,174 @@
+//! The paper's evaluation protocol.
+//!
+//! Train on the 75% split, score every user against every unseen item,
+//! take the top-M, and average recall@M / MAP@M over users that have at
+//! least one held-out positive; repeat over independent problem instances
+//! and average (Section VII-B2). The recommender is abstracted as a scoring
+//! closure so this crate has no dependency on any model crate.
+
+use crate::metrics::{average_precision_at, ndcg_at, recall_at};
+use crate::ranking::top_m_excluding;
+use ocular_sparse::CsrMatrix;
+
+/// Aggregated evaluation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalReport {
+    /// Cutoff M used.
+    pub m: usize,
+    /// Mean recall@M over evaluated users.
+    pub recall: f64,
+    /// Mean AP@M over evaluated users (the paper's MAP@M).
+    pub map: f64,
+    /// Mean NDCG@M (extra).
+    pub ndcg: f64,
+    /// Number of users with ≥1 held-out positive (the averaging population).
+    pub evaluated_users: usize,
+}
+
+impl std::fmt::Display for EvalReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "recall@{m} = {recall:.4}, MAP@{m} = {map:.4} ({users} users)",
+            m = self.m,
+            recall = self.recall,
+            map = self.map,
+            users = self.evaluated_users
+        )
+    }
+}
+
+/// Evaluates a scorer at cutoff `m`.
+///
+/// `score_user(u, buf)` must fill `buf` (length `n_items`) with relevance
+/// scores for user `u` against every item; training positives are excluded
+/// from the ranking here, so the scorer does not need to mask them.
+pub fn evaluate<F>(score_user: F, train: &CsrMatrix, test: &CsrMatrix, m: usize) -> EvalReport
+where
+    F: FnMut(usize, &mut Vec<f64>),
+{
+    let mut score_user = score_user;
+    assert_eq!(train.n_rows(), test.n_rows(), "train/test user mismatch");
+    assert_eq!(train.n_cols(), test.n_cols(), "train/test item mismatch");
+    let mut buf: Vec<f64> = vec![0.0; train.n_cols()];
+    let (mut recall_sum, mut map_sum, mut ndcg_sum, mut n) = (0.0, 0.0, 0.0, 0usize);
+    for u in 0..train.n_rows() {
+        let held_out = test.row(u);
+        if held_out.is_empty() {
+            continue;
+        }
+        buf.clear();
+        buf.resize(train.n_cols(), 0.0);
+        score_user(u, &mut buf);
+        let ranked = top_m_excluding(&buf, train.row(u), m);
+        recall_sum += recall_at(&ranked, held_out, m);
+        map_sum += average_precision_at(&ranked, held_out, m);
+        ndcg_sum += ndcg_at(&ranked, held_out, m);
+        n += 1;
+    }
+    let denom = n.max(1) as f64;
+    EvalReport {
+        m,
+        recall: recall_sum / denom,
+        map: map_sum / denom,
+        ndcg: ndcg_sum / denom,
+        evaluated_users: n,
+    }
+}
+
+/// Averages reports from independent problem instances (the paper averages
+/// over 10). All reports must share the same cutoff.
+pub fn average_reports(reports: &[EvalReport]) -> EvalReport {
+    assert!(!reports.is_empty(), "need at least one report");
+    let m = reports[0].m;
+    assert!(reports.iter().all(|r| r.m == m), "cutoff mismatch across instances");
+    let n = reports.len() as f64;
+    EvalReport {
+        m,
+        recall: reports.iter().map(|r| r.recall).sum::<f64>() / n,
+        map: reports.iter().map(|r| r.map).sum::<f64>() / n,
+        ndcg: reports.iter().map(|r| r.ndcg).sum::<f64>() / n,
+        evaluated_users: (reports.iter().map(|r| r.evaluated_users).sum::<usize>() as f64 / n)
+            .round() as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocular_sparse::CsrMatrix;
+
+    /// An oracle scorer that knows the test set scores perfectly.
+    fn oracle(test: &CsrMatrix) -> impl FnMut(usize, &mut Vec<f64>) + '_ {
+        move |u, buf| {
+            for &i in test.row(u) {
+                buf[i as usize] = 1.0;
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_achieves_perfect_metrics() {
+        let train = CsrMatrix::from_pairs(2, 5, &[(0, 0), (1, 1)]).unwrap();
+        let test = CsrMatrix::from_pairs(2, 5, &[(0, 2), (0, 3), (1, 4)]).unwrap();
+        let report = evaluate(oracle(&test), &train, &test, 3);
+        assert_eq!(report.evaluated_users, 2);
+        assert!((report.recall - 1.0).abs() < 1e-12);
+        assert!((report.map - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adversarial_scorer_gets_zero() {
+        let train = CsrMatrix::from_pairs(1, 6, &[(0, 0)]).unwrap();
+        let test = CsrMatrix::from_pairs(1, 6, &[(0, 5)]).unwrap();
+        // scores that rank the held-out item last
+        let report = evaluate(
+            |_, buf| {
+                for (i, b) in buf.iter_mut().enumerate() {
+                    *b = -(i as f64);
+                }
+            },
+            &train,
+            &test,
+            3,
+        );
+        assert_eq!(report.recall, 0.0);
+        assert_eq!(report.map, 0.0);
+    }
+
+    #[test]
+    fn users_without_test_positives_skipped() {
+        let train = CsrMatrix::from_pairs(3, 4, &[(0, 0), (1, 0), (2, 0)]).unwrap();
+        let test = CsrMatrix::from_pairs(3, 4, &[(1, 2)]).unwrap();
+        let report = evaluate(oracle(&test), &train, &test, 2);
+        assert_eq!(report.evaluated_users, 1);
+        assert_eq!(report.recall, 1.0);
+    }
+
+    #[test]
+    fn training_positives_never_recommended() {
+        let train = CsrMatrix::from_pairs(1, 4, &[(0, 0), (0, 1)]).unwrap();
+        let test = CsrMatrix::from_pairs(1, 4, &[(0, 3)]).unwrap();
+        // uniform scores: the ranking can only contain items 2 and 3
+        let report = evaluate(|_, buf| buf.fill(1.0), &train, &test, 2);
+        assert_eq!(report.recall, 1.0, "item 3 must appear in the top 2");
+    }
+
+    #[test]
+    fn average_reports_means() {
+        let a = EvalReport { m: 5, recall: 0.4, map: 0.2, ndcg: 0.3, evaluated_users: 10 };
+        let b = EvalReport { m: 5, recall: 0.6, map: 0.4, ndcg: 0.5, evaluated_users: 12 };
+        let avg = average_reports(&[a, b]);
+        assert!((avg.recall - 0.5).abs() < 1e-12);
+        assert!((avg.map - 0.3).abs() < 1e-12);
+        assert_eq!(avg.evaluated_users, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff mismatch")]
+    fn mismatched_cutoffs_panic() {
+        let a = EvalReport { m: 5, recall: 0.0, map: 0.0, ndcg: 0.0, evaluated_users: 1 };
+        let b = EvalReport { m: 6, ..a.clone() };
+        average_reports(&[a, b]);
+    }
+}

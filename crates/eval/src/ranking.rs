@@ -1,0 +1,136 @@
+//! Top-M selection from dense score vectors.
+//!
+//! Recommendation generation (paper Section IV-C): *"we recommend item i to
+//! user u if r_ui is among the M largest values P[r_ui' = 1], where i' is
+//! over all items that user u did not purchase"*. Training positives are
+//! therefore excluded, and ties are broken deterministically (score
+//! descending, then item index ascending) so evaluations are reproducible
+//! across runs and platforms.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A `(score, item)` candidate ordered so that a max-heap pops the *worst*
+/// kept candidate first (min-heap behaviour via reversed ordering).
+#[derive(PartialEq)]
+struct Candidate {
+    score: f64,
+    item: usize,
+}
+
+impl Eq for Candidate {}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse of the ranking order: smaller score first; among equal
+        // scores, *larger* index first (so it gets evicted first and the
+        // final ranking prefers smaller indices).
+        other
+            .score
+            .partial_cmp(&self.score)
+            .expect("scores must not be NaN")
+            .then_with(|| self.item.cmp(&other.item))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Returns the indices of the `m` largest entries of `scores`, skipping the
+/// (sorted) indices in `exclude`, ordered by score descending with
+/// ascending-index tie-breaks. O(n log m).
+///
+/// # Panics
+/// Panics if any considered score is NaN.
+pub fn top_m_excluding(scores: &[f64], exclude: &[u32], m: usize) -> Vec<usize> {
+    if m == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<Candidate> = BinaryHeap::with_capacity(m + 1);
+    for (item, &score) in scores.iter().enumerate() {
+        if exclude.binary_search(&(item as u32)).is_ok() {
+            continue;
+        }
+        if heap.len() < m {
+            heap.push(Candidate { score, item });
+        } else if let Some(worst) = heap.peek() {
+            let better = score > worst.score
+                || (score == worst.score && item < worst.item);
+            if better {
+                heap.pop();
+                heap.push(Candidate { score, item });
+            }
+        }
+    }
+    let mut out: Vec<Candidate> = heap.into_vec();
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores must not be NaN")
+            .then_with(|| a.item.cmp(&b.item))
+    });
+    out.into_iter().map(|c| c.item).collect()
+}
+
+/// Full ranking (all non-excluded items, best first). O(n log n); prefer
+/// [`top_m_excluding`] when only a prefix is needed.
+pub fn rank_all_excluding(scores: &[f64], exclude: &[u32]) -> Vec<usize> {
+    top_m_excluding(scores, exclude, scores.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_largest() {
+        let scores = [0.1, 0.9, 0.5, 0.7];
+        assert_eq!(top_m_excluding(&scores, &[], 2), vec![1, 3]);
+        assert_eq!(top_m_excluding(&scores, &[], 4), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn excludes_training_positives() {
+        let scores = [0.1, 0.9, 0.5, 0.7];
+        assert_eq!(top_m_excluding(&scores, &[1, 3], 2), vec![2, 0]);
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        assert_eq!(top_m_excluding(&scores, &[], 3), vec![0, 1, 2]);
+        assert_eq!(top_m_excluding(&scores, &[0], 3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn m_larger_than_candidates() {
+        let scores = [0.3, 0.2];
+        assert_eq!(top_m_excluding(&scores, &[0], 10), vec![1]);
+    }
+
+    #[test]
+    fn m_zero() {
+        assert!(top_m_excluding(&[1.0, 2.0], &[], 0).is_empty());
+    }
+
+    #[test]
+    fn rank_all_matches_sort() {
+        let scores = [3.0, 1.0, 2.0, 2.0, 5.0];
+        assert_eq!(rank_all_excluding(&scores, &[]), vec![4, 0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn negative_scores_fine() {
+        let scores = [-1.0, -0.5, -2.0];
+        assert_eq!(top_m_excluding(&scores, &[], 2), vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_scores_panic() {
+        top_m_excluding(&[0.0, f64::NAN, 1.0, 2.0], &[], 2);
+    }
+}

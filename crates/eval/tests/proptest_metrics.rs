@@ -1,0 +1,100 @@
+//! Property-based invariants of the evaluation machinery.
+
+use ocular_eval::metrics::{average_precision_at, ndcg_at, precision_at, prefix_metrics, recall_at};
+use ocular_eval::ranking::top_m_excluding;
+use proptest::prelude::*;
+
+/// Rankings are item lists *without repeats* (as produced by
+/// `top_m_excluding`); the metric definitions assume this.
+fn arb_case() -> impl Strategy<Value = (Vec<usize>, Vec<u32>)> {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    (1usize..50).prop_flat_map(|n_items| {
+        (
+            proptest::collection::btree_set(0..n_items, 0..20.min(n_items)),
+            proptest::collection::btree_set(0..n_items as u32, 0..10),
+            any::<u64>(),
+        )
+            .prop_map(|(ranked_set, rel, order_seed)| {
+                let mut ranked: Vec<usize> = ranked_set.into_iter().collect();
+                let mut rng = rand::rngs::StdRng::seed_from_u64(order_seed);
+                ranked.shuffle(&mut rng);
+                (ranked, rel.into_iter().collect::<Vec<u32>>())
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn metrics_are_bounded((ranked, rel) in arb_case(), m in 1usize..30) {
+        for v in [
+            recall_at(&ranked, &rel, m),
+            precision_at(&ranked, &rel, m),
+            average_precision_at(&ranked, &rel, m),
+            ndcg_at(&ranked, &rel, m),
+        ] {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "metric out of bounds: {v}");
+        }
+    }
+
+    #[test]
+    fn recall_monotone_in_m((ranked, rel) in arb_case()) {
+        let mut prev = 0.0;
+        for m in 1..=ranked.len() + 2 {
+            let r = recall_at(&ranked, &rel, m);
+            prop_assert!(r >= prev - 1e-12, "recall decreased at m={m}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn prefix_matches_pointwise((ranked, rel) in arb_case()) {
+        let max_m = 25;
+        let (recall, ap) = prefix_metrics(&ranked, &rel, max_m);
+        for m in 1..=max_m {
+            prop_assert!((recall[m - 1] - recall_at(&ranked, &rel, m)).abs() < 1e-12);
+            prop_assert!((ap[m - 1] - average_precision_at(&ranked, &rel, m)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn top_m_is_sorted_and_excludes(scores in proptest::collection::vec(-5.0f64..5.0, 1..40),
+                                    m in 1usize..20) {
+        let exclude: Vec<u32> = (0..scores.len() as u32).step_by(3).collect();
+        let ranked = top_m_excluding(&scores, &exclude, m);
+        prop_assert!(ranked.len() <= m);
+        for w in ranked.windows(2) {
+            let better = scores[w[0]] > scores[w[1]]
+                || (scores[w[0]] == scores[w[1]] && w[0] < w[1]);
+            prop_assert!(better, "ranking order violated: {:?} vs {:?}", w[0], w[1]);
+        }
+        for &i in &ranked {
+            prop_assert!(exclude.binary_search(&(i as u32)).is_err(), "excluded item {i} ranked");
+        }
+    }
+
+    #[test]
+    fn top_m_matches_full_sort(scores in proptest::collection::vec(-5.0f64..5.0, 1..40),
+                               m in 1usize..20) {
+        let ranked = top_m_excluding(&scores, &[], m);
+        let mut expected: Vec<usize> = (0..scores.len()).collect();
+        expected.sort_by(|&a, &b| {
+            scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b))
+        });
+        expected.truncate(m);
+        prop_assert_eq!(ranked, expected);
+    }
+
+    #[test]
+    fn perfect_ranking_maximises_every_metric((_, rel) in arb_case(), m in 1usize..20) {
+        if rel.is_empty() {
+            return Ok(());
+        }
+        // ranking that lists all relevant items first
+        let perfect: Vec<usize> = rel.iter().map(|&i| i as usize).collect();
+        let ap = average_precision_at(&perfect, &rel, m);
+        prop_assert!((ap - 1.0).abs() < 1e-12, "perfect AP = {ap}");
+        let expected_recall = (rel.len().min(m)) as f64 / rel.len() as f64;
+        prop_assert!((recall_at(&perfect, &rel, m) - expected_recall).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,27 @@
+//! # ocular-linalg
+//!
+//! Small dense linear algebra for the OCuLaR reproduction.
+//!
+//! The paper's algorithms need only a narrow slice of linear algebra, all of
+//! it dense and small:
+//!
+//! * factor matrices `F ∈ R^{n×K}` with fast row views — [`Matrix`];
+//! * vector kernels (dot products, axpy, non-negative projection) on factor
+//!   rows — [`ops`];
+//! * `K×K` symmetric positive-definite solves for the wALS baseline's
+//!   alternating least-squares updates — [`Cholesky`];
+//! * Gram matrices `FᵀF` (the wALS "Gram trick" that makes the one-class
+//!   objective tractable) — [`Matrix::gram`].
+//!
+//! Everything is `f64`, row-major, and allocation-conscious: the hot kernels
+//! in [`ops`] write into caller-provided buffers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cholesky;
+mod matrix;
+pub mod ops;
+
+pub use cholesky::{Cholesky, CholeskyError};
+pub use matrix::Matrix;

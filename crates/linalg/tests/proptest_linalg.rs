@@ -1,0 +1,99 @@
+//! Property tests for the dense linear-algebra substrate.
+
+use ocular_linalg::{ops, Cholesky, Matrix};
+use proptest::prelude::*;
+
+fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1usize..max_dim, 1usize..max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f64..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+/// SPD matrices built as `BᵀB + εI`.
+fn arb_spd(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (2usize..max_dim).prop_flat_map(|n| {
+        proptest::collection::vec(-3.0f64..3.0, n * n).prop_map(move |data| {
+            let b = Matrix::from_vec(n, n, data);
+            let mut a = b.transpose().matmul(&b);
+            for i in 0..n {
+                a[(i, i)] += 0.5;
+            }
+            a
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_involution(m in arb_matrix(8)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diag(m in arb_matrix(8)) {
+        let g = m.gram();
+        for i in 0..g.rows() {
+            prop_assert!(g[(i, i)] >= -1e-12, "diagonal of Gram must be non-negative");
+            for j in 0..g.cols() {
+                prop_assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn gram_matches_matmul(m in arb_matrix(7)) {
+        let g = m.gram();
+        let explicit = m.transpose().matmul(&m);
+        prop_assert!(g.max_abs_diff(&explicit) < 1e-8);
+    }
+
+    #[test]
+    fn column_sums_match_ones_vector(m in arb_matrix(8)) {
+        let sums = m.column_sums();
+        for j in 0..m.cols() {
+            let manual: f64 = (0..m.rows()).map(|i| m[(i, j)]).sum();
+            prop_assert!((sums[j] - manual).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cholesky_reconstructs(a in arb_spd(7)) {
+        let ch = Cholesky::factor(&a).unwrap();
+        let recon = ch.l().matmul(&ch.l().transpose());
+        prop_assert!(recon.max_abs_diff(&a) < 1e-6 * (1.0 + a.frobenius_sq()));
+    }
+
+    #[test]
+    fn cholesky_solves(a in arb_spd(7), seed in any::<u64>()) {
+        let n = a.rows();
+        // deterministic pseudo-rhs from the seed
+        let b: Vec<f64> = (0..n).map(|i| {
+            let x = seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+            ((x >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        }).collect();
+        let ch = Cholesky::factor(&a).unwrap();
+        let x = ch.solve(&b);
+        for i in 0..n {
+            let ax: f64 = (0..n).map(|j| a[(i, j)] * x[j]).sum();
+            prop_assert!((ax - b[i]).abs() < 1e-5, "residual too large at {}", i);
+        }
+    }
+
+    #[test]
+    fn projected_step_nonnegative(x in proptest::collection::vec(-5.0f64..5.0, 1..20),
+                                  g in proptest::collection::vec(-5.0f64..5.0, 1..20),
+                                  alpha in 0.0f64..3.0) {
+        let n = x.len().min(g.len());
+        let mut out = vec![0.0; n];
+        ops::projected_step(&x[..n], &g[..n], alpha, &mut out);
+        prop_assert!(out.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn dot_cauchy_schwarz(a in proptest::collection::vec(-5.0f64..5.0, 1..20)) {
+        let d = ops::dot(&a, &a);
+        prop_assert!(d >= 0.0);
+        prop_assert!((d.sqrt() - ops::norm(&a)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,279 @@
+//! The gradient kernel of Section VI-A, simulated.
+//!
+//! Equation (11) rewrites the item gradient as
+//!
+//! ```text
+//! ∇Q(f_i) = C + 2λ f_i − Σ_{u: r_ui=1} f_u · α(⟨f_u, f_i⟩),   α(p) = 1/(1 − e^{−p})
+//! ```
+//!
+//! with `C = Σ_u f_u` independent of the item. The GPU implementation
+//! initialises every gradient to `C + 2λ f_i`, then launches **one thread
+//! block per positive rating**; each block
+//!
+//! 1. computes the inner product by a parallel tree reduction in shared
+//!    memory (simulated by [`block_dot`]),
+//! 2. has one thread compute the scalar `α`,
+//! 3. atomically adds `−α · f_u` into the item's gradient row.
+//!
+//! Steps run concurrently over all positive ratings via rayon, with
+//! [`AtomicF64`] reproducing the semantics (and the reordering
+//! nondeterminism) of CUDA's `atomicAdd`.
+
+use ocular_core::model::P_MIN;
+use ocular_linalg::{ops, Matrix};
+use ocular_sparse::CsrMatrix;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An `f64` with atomic add, built on `AtomicU64` compare-exchange —
+/// the stand-in for CUDA `atomicAdd(double*)`.
+#[derive(Debug)]
+pub struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    /// Creates with an initial value.
+    pub fn new(v: f64) -> Self {
+        AtomicF64(AtomicU64::new(v.to_bits()))
+    }
+
+    /// Atomic read.
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Atomic `+= v` via a CAS loop.
+    pub fn fetch_add(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// Simulated block-level reduction: partial sums over `warp`-sized chunks
+/// (each chunk standing in for one warp's coalesced reads), then a final
+/// tree fold — numerically equivalent to the shared-memory reduction of
+/// [Sanders & Kandrot] the paper follows.
+pub fn block_dot(a: &[f64], b: &[f64], warp: usize) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let warp = warp.max(1);
+    let mut partials: Vec<f64> = a
+        .chunks(warp)
+        .zip(b.chunks(warp))
+        .map(|(ca, cb)| ops::dot(ca, cb))
+        .collect();
+    // tree reduction
+    while partials.len() > 1 {
+        let half = partials.len().div_ceil(2);
+        for i in 0..partials.len() / 2 {
+            partials[i] += partials[half + i];
+        }
+        partials.truncate(half);
+    }
+    partials.first().copied().unwrap_or(0.0)
+}
+
+/// `α(p) = 1/(1 − e^{−p})`, clamped like the CPU path.
+#[inline]
+pub fn alpha(p: f64) -> f64 {
+    1.0 / (-(-p.max(P_MIN)).exp_m1())
+}
+
+/// Computes the gradients of **all** item factors in one kernel launch:
+/// one logical thread block per positive rating, atomic accumulation.
+/// Returns an `n_items × k` matrix.
+///
+/// `r` is the user×item training matrix; `lambda` the regularizer. Matches
+/// the sequential [`item_gradients_sequential`] up to floating-point
+/// reassociation from atomic ordering.
+pub fn item_gradients_parallel(
+    r: &CsrMatrix,
+    user_factors: &Matrix,
+    item_factors: &Matrix,
+    lambda: f64,
+    warp: usize,
+) -> Matrix {
+    let k = user_factors.cols();
+    let n_items = item_factors.rows();
+    // C = Σ_u f_u, the item-independent constant of Eq. (11)
+    let c = user_factors.column_sums();
+    // initialise grad_i = C + 2λ f_i
+    let mut grads: Vec<AtomicF64> = Vec::with_capacity(n_items * k);
+    for i in 0..n_items {
+        let fi = item_factors.row(i);
+        for d in 0..k {
+            grads.push(AtomicF64::new(c[d] + 2.0 * lambda * fi[d]));
+        }
+    }
+    let grads = grads;
+    // one thread block per positive rating
+    let ratings: Vec<(u32, u32)> = r
+        .iter_nnz()
+        .map(|(u, i)| (u as u32, i as u32))
+        .collect();
+    ratings.par_iter().for_each(|&(u, i)| {
+        let fu = user_factors.row(u as usize);
+        let fi = item_factors.row(i as usize);
+        let p = block_dot(fu, fi, warp);
+        let a = alpha(p);
+        let base = i as usize * k;
+        for d in 0..k {
+            grads[base + d].fetch_add(-a * fu[d]);
+        }
+    });
+    Matrix::from_vec(n_items, k, grads.iter().map(AtomicF64::load).collect())
+}
+
+/// Reference sequential implementation of the same gradients (the paper's
+/// "CPU implementation"), for validation and the Figure 8 baseline.
+pub fn item_gradients_sequential(
+    r: &CsrMatrix,
+    user_factors: &Matrix,
+    item_factors: &Matrix,
+    lambda: f64,
+) -> Matrix {
+    let k = user_factors.cols();
+    let n_items = item_factors.rows();
+    let c = user_factors.column_sums();
+    let mut grads = Matrix::zeros(n_items, k);
+    for i in 0..n_items {
+        let fi = item_factors.row(i);
+        let row = grads.row_mut(i);
+        for d in 0..k {
+            row[d] = c[d] + 2.0 * lambda * fi[d];
+        }
+    }
+    for (u, i) in r.iter_nnz() {
+        let fu = user_factors.row(u);
+        let p = ops::dot(fu, item_factors.row(i));
+        let a = alpha(p);
+        let row = grads.row_mut(i);
+        for d in 0..k {
+            row[d] -= a * fu[d];
+        }
+    }
+    grads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_setup(seed: u64) -> (CsrMatrix, Matrix, Matrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (nu, ni, k) = (40, 30, 5);
+        let mut pairs = Vec::new();
+        for u in 0..nu {
+            for i in 0..ni {
+                if rng.gen::<f64>() < 0.1 {
+                    pairs.push((u, i));
+                }
+            }
+        }
+        let r = CsrMatrix::from_pairs(nu, ni, &pairs).unwrap();
+        let mut uf = Matrix::zeros(nu, k);
+        let mut itf = Matrix::zeros(ni, k);
+        for v in uf.as_mut_slice().iter_mut().chain(itf.as_mut_slice()) {
+            *v = rng.gen::<f64>();
+        }
+        (r, uf, itf)
+    }
+
+    #[test]
+    fn atomic_f64_accumulates_concurrently() {
+        let acc = AtomicF64::new(0.0);
+        (0..1000usize).into_par_iter().for_each(|_| acc.fetch_add(0.5));
+        assert!((acc.load() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_dot_matches_dot() {
+        let a: Vec<f64> = (0..37).map(|i| (i as f64) * 0.3 - 2.0).collect();
+        let b: Vec<f64> = (0..37).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        for warp in [1, 4, 32, 64] {
+            assert!(
+                (block_dot(&a, &b, warp) - ops::dot(&a, &b)).abs() < 1e-9,
+                "warp {warp}"
+            );
+        }
+        assert_eq!(block_dot(&[], &[], 32), 0.0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_gradients() {
+        let (r, uf, itf) = random_setup(3);
+        let par = item_gradients_parallel(&r, &uf, &itf, 0.5, 32);
+        let seq = item_gradients_sequential(&r, &uf, &itf, 0.5);
+        assert!(
+            par.max_abs_diff(&seq) < 1e-9,
+            "max diff {}",
+            par.max_abs_diff(&seq)
+        );
+    }
+
+    #[test]
+    fn gradients_match_core_local_problem() {
+        // cross-validate the kernel against ocular-core's LocalProblem
+        use ocular_core::gradient::{negative_sum, LocalProblem, PosWeights};
+        let (r, uf, itf) = random_setup(5);
+        let lambda = 0.3;
+        let kernel = item_gradients_sequential(&r, &uf, &itf, lambda);
+        let rt = r.transpose();
+        let sum = uf.column_sums();
+        let weights = vec![1.0; r.n_rows()];
+        let mut negsum = vec![0.0; uf.cols()];
+        let mut grad = vec![0.0; uf.cols()];
+        for i in 0..r.n_cols() {
+            negative_sum(&uf, &sum, rt.row(i), &mut negsum);
+            let problem = LocalProblem {
+                positives: rt.row(i),
+                other: &uf,
+                weights: PosWeights::PerEntity(&weights),
+                negsum: &negsum,
+                lambda,
+                fixed_dim: None,
+            };
+            problem.gradient(itf.row(i), &mut grad);
+            for d in 0..uf.cols() {
+                assert!(
+                    (grad[d] - kernel.row(i)[d]).abs() < 1e-8,
+                    "item {i} dim {d}: {} vs {}",
+                    grad[d],
+                    kernel.row(i)[d]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_is_eq11_coefficient() {
+        // α(p) = 1 + e^{−p}/(1−e^{−p}) — the identity used to derive Eq. (11)
+        for &p in &[0.1f64, 0.8, 2.5] {
+            let direct = 1.0 + (-p).exp() / (1.0 - (-p).exp());
+            assert!((alpha(p) - direct).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_gradient_is_constant_part() {
+        let (_, uf, itf) = random_setup(7);
+        let empty = CsrMatrix::empty(uf.rows(), itf.rows());
+        let g = item_gradients_parallel(&empty, &uf, &itf, 0.25, 32);
+        let c = uf.column_sums();
+        for i in 0..itf.rows() {
+            for d in 0..uf.cols() {
+                let expected = c[d] + 0.5 * itf.row(i)[d];
+                assert!((g.row(i)[d] - expected).abs() < 1e-12);
+            }
+        }
+    }
+}

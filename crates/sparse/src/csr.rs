@@ -1,0 +1,347 @@
+//! Compressed sparse-row binary matrix — the `R` of the paper.
+
+use crate::SparseError;
+
+/// An immutable binary sparse matrix in CSR layout.
+///
+/// Rows are users, columns are items; a stored index means `r_ui = 1`
+/// (a positive example), an absent one means *unknown* (`r_ui = 0`). Column
+/// indices within each row are strictly increasing and unique, which the
+/// constructors enforce; all accessors rely on this invariant.
+///
+/// The column-major (CSC) view the paper's item-sweep needs is obtained with
+/// [`CsrMatrix::transpose`]: the transpose of a CSR user×item matrix is a CSR
+/// item×user matrix, i.e. exactly the per-item list of purchasing users.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    /// `indptr[r]..indptr[r+1]` bounds row `r` in `indices`; len = n_rows+1.
+    indptr: Vec<usize>,
+    /// Column indices, strictly increasing within each row.
+    indices: Vec<u32>,
+}
+
+impl CsrMatrix {
+    /// Builds a matrix from `(row, col)` pairs that are already sorted
+    /// lexicographically and contain no duplicates (as produced by
+    /// [`crate::Triplets`]). O(nnz).
+    pub(crate) fn from_sorted_unique_pairs(
+        n_rows: usize,
+        n_cols: usize,
+        pairs: &[(u32, u32)],
+    ) -> Self {
+        let mut indptr = vec![0usize; n_rows + 1];
+        let mut indices = Vec::with_capacity(pairs.len());
+        for &(r, c) in pairs {
+            indptr[r as usize + 1] += 1;
+            indices.push(c);
+        }
+        for r in 0..n_rows {
+            indptr[r + 1] += indptr[r];
+        }
+        CsrMatrix { n_rows, n_cols, indptr, indices }
+    }
+
+    /// Builds a matrix from arbitrary `(row, col)` pairs (sorted and
+    /// deduplicated internally). Returns an error on out-of-bounds indices.
+    pub fn from_pairs(
+        n_rows: usize,
+        n_cols: usize,
+        pairs: &[(usize, usize)],
+    ) -> Result<Self, SparseError> {
+        let mut t = crate::Triplets::with_capacity(n_rows, n_cols, pairs.len());
+        t.extend_pairs(pairs.iter().copied())?;
+        Ok(t.into_csr())
+    }
+
+    /// Builds a matrix from raw CSR arrays, validating every invariant
+    /// (monotone `indptr`, in-bounds strictly-increasing column indices).
+    pub fn from_raw(
+        n_rows: usize,
+        n_cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+    ) -> Result<Self, SparseError> {
+        if indptr.len() != n_rows + 1 {
+            return Err(SparseError::MalformedCsr(format!(
+                "indptr length {} != n_rows + 1 = {}",
+                indptr.len(),
+                n_rows + 1
+            )));
+        }
+        if indptr[0] != 0 {
+            return Err(SparseError::MalformedCsr("indptr[0] != 0".into()));
+        }
+        if *indptr.last().expect("non-empty indptr") != indices.len() {
+            return Err(SparseError::MalformedCsr(format!(
+                "indptr[last] = {} != indices length {}",
+                indptr.last().unwrap(),
+                indices.len()
+            )));
+        }
+        for r in 0..n_rows {
+            if indptr[r] > indptr[r + 1] {
+                return Err(SparseError::MalformedCsr(format!(
+                    "indptr not monotone at row {r}"
+                )));
+            }
+            let row = &indices[indptr[r]..indptr[r + 1]];
+            for w in row.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(SparseError::MalformedCsr(format!(
+                        "row {r} columns not strictly increasing"
+                    )));
+                }
+            }
+            if let Some(&last) = row.last() {
+                if last as usize >= n_cols {
+                    return Err(SparseError::ColOutOfBounds {
+                        col: last as usize,
+                        n_cols,
+                    });
+                }
+            }
+        }
+        Ok(CsrMatrix { n_rows, n_cols, indptr, indices })
+    }
+
+    /// An `n_rows × n_cols` matrix with no positive examples.
+    pub fn empty(n_rows: usize, n_cols: usize) -> Self {
+        CsrMatrix { n_rows, n_cols, indptr: vec![0; n_rows + 1], indices: Vec::new() }
+    }
+
+    /// Number of rows (users).
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns (items).
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of positive examples `|{(u,i) : r_ui = 1}|`.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Column indices of the positive examples in row `r`, ascending.
+    ///
+    /// # Panics
+    /// Panics if `r >= n_rows`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[u32] {
+        &self.indices[self.indptr[r]..self.indptr[r + 1]]
+    }
+
+    /// Number of positives in row `r` (the user's degree).
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.indptr[r + 1] - self.indptr[r]
+    }
+
+    /// Whether `r_ui = 1`. O(log degree(u)) via binary search.
+    #[inline]
+    pub fn contains(&self, row: usize, col: usize) -> bool {
+        self.row(row).binary_search(&(col as u32)).is_ok()
+    }
+
+    /// Iterator over all positive `(row, col)` pairs in row-major order.
+    pub fn iter_nnz(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n_rows).flat_map(move |r| {
+            self.row(r).iter().map(move |&c| (r, c as usize))
+        })
+    }
+
+    /// Per-row degrees `|{i : r_ui = 1}|`.
+    pub fn row_degrees(&self) -> Vec<usize> {
+        (0..self.n_rows).map(|r| self.row_nnz(r)).collect()
+    }
+
+    /// Per-column degrees `|{u : r_ui = 1}|`. O(nnz).
+    pub fn col_degrees(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.n_cols];
+        for &c in &self.indices {
+            d[c as usize] += 1;
+        }
+        d
+    }
+
+    /// The exact transpose: an `n_cols × n_rows` CSR matrix. Because the
+    /// transpose of a CSR matrix in CSR layout *is* the CSC layout of the
+    /// original, this is how column (item) sweeps obtain per-item user lists.
+    /// O(nnz) counting sort; output rows are automatically sorted.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut indptr = vec![0usize; self.n_cols + 1];
+        for &c in &self.indices {
+            indptr[c as usize + 1] += 1;
+        }
+        for c in 0..self.n_cols {
+            indptr[c + 1] += indptr[c];
+        }
+        let mut cursor = indptr.clone();
+        let mut indices = vec![0u32; self.nnz()];
+        for r in 0..self.n_rows {
+            for &c in self.row(r) {
+                indices[cursor[c as usize]] = r as u32;
+                cursor[c as usize] += 1;
+            }
+        }
+        CsrMatrix { n_rows: self.n_cols, n_cols: self.n_rows, indptr, indices }
+    }
+
+    /// Density `nnz / (n_rows · n_cols)`; 0 for degenerate shapes.
+    pub fn density(&self) -> f64 {
+        let cells = self.n_rows as f64 * self.n_cols as f64;
+        if cells == 0.0 {
+            0.0
+        } else {
+            self.nnz() as f64 / cells
+        }
+    }
+
+    /// Raw parts `(n_rows, n_cols, indptr, indices)`, for zero-copy
+    /// interoperability (e.g. the parallel kernels).
+    pub fn as_parts(&self) -> (usize, usize, &[usize], &[u32]) {
+        (self.n_rows, self.n_cols, &self.indptr, &self.indices)
+    }
+
+    /// Restricts the matrix to a subset of positive entries, given as a
+    /// boolean keep-mask aligned with row-major nnz order. Used by splitters
+    /// and samplers. Preserves shape.
+    pub fn filter_nnz(&self, keep: &[bool]) -> CsrMatrix {
+        assert_eq!(keep.len(), self.nnz(), "mask length must equal nnz");
+        let mut indptr = vec![0usize; self.n_rows + 1];
+        let mut indices = Vec::with_capacity(keep.iter().filter(|&&k| k).count());
+        let mut pos = 0usize;
+        for r in 0..self.n_rows {
+            for &c in self.row(r) {
+                if keep[pos] {
+                    indices.push(c);
+                    indptr[r + 1] += 1;
+                }
+                pos += 1;
+            }
+        }
+        for r in 0..self.n_rows {
+            indptr[r + 1] += indptr[r];
+        }
+        CsrMatrix { n_rows: self.n_rows, n_cols: self.n_cols, indptr, indices }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // 3×4:
+        // row0: 0 1 . .
+        // row1: . . . 1
+        // row2: 1 . 1 .
+        CsrMatrix::from_pairs(3, 4, &[(0, 0), (0, 1), (1, 3), (2, 0), (2, 2)]).unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let m = sample();
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.n_cols(), 4);
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.row(0), &[0, 1]);
+        assert_eq!(m.row(1), &[3]);
+        assert_eq!(m.row(2), &[0, 2]);
+        assert_eq!(m.row_nnz(2), 2);
+        assert!(m.contains(1, 3));
+        assert!(!m.contains(1, 0));
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let m = sample();
+        let tt = m.transpose().transpose();
+        assert_eq!(m, tt);
+    }
+
+    #[test]
+    fn transpose_swaps_membership() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.n_rows(), 4);
+        assert_eq!(t.n_cols(), 3);
+        for (r, c) in m.iter_nnz() {
+            assert!(t.contains(c, r));
+        }
+        assert_eq!(t.nnz(), m.nnz());
+    }
+
+    #[test]
+    fn degrees() {
+        let m = sample();
+        assert_eq!(m.row_degrees(), vec![2, 1, 2]);
+        assert_eq!(m.col_degrees(), vec![2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn density() {
+        let m = sample();
+        assert!((m.density() - 5.0 / 12.0).abs() < 1e-12);
+        assert_eq!(CsrMatrix::empty(0, 0).density(), 0.0);
+    }
+
+    #[test]
+    fn iter_nnz_row_major() {
+        let m = sample();
+        let pairs: Vec<_> = m.iter_nnz().collect();
+        assert_eq!(pairs, vec![(0, 0), (0, 1), (1, 3), (2, 0), (2, 2)]);
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 1]).is_ok());
+        // wrong indptr length
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 2], vec![0, 1]).is_err());
+        // non-monotone indptr
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 2, 1], vec![0, 1]).is_err());
+        // unsorted row
+        assert!(CsrMatrix::from_raw(1, 3, vec![0, 2], vec![2, 0]).is_err());
+        // duplicate within row
+        assert!(CsrMatrix::from_raw(1, 3, vec![0, 2], vec![1, 1]).is_err());
+        // column out of bounds
+        assert!(CsrMatrix::from_raw(1, 2, vec![0, 1], vec![5]).is_err());
+        // tail mismatch
+        assert!(CsrMatrix::from_raw(1, 2, vec![0, 2], vec![0]).is_err());
+    }
+
+    #[test]
+    fn filter_nnz_keeps_selected() {
+        let m = sample();
+        let kept = m.filter_nnz(&[true, false, true, false, true]);
+        assert_eq!(kept.nnz(), 3);
+        assert!(kept.contains(0, 0));
+        assert!(!kept.contains(0, 1));
+        assert!(kept.contains(1, 3));
+        assert!(!kept.contains(2, 0));
+        assert!(kept.contains(2, 2));
+        assert_eq!(kept.n_rows(), 3);
+        assert_eq!(kept.n_cols(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length")]
+    fn filter_nnz_bad_mask_panics() {
+        sample().filter_nnz(&[true]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CsrMatrix::empty(4, 7);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.transpose().n_rows(), 7);
+        assert_eq!(m.row_degrees(), vec![0; 4]);
+    }
+}

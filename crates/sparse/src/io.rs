@@ -1,0 +1,340 @@
+//! Readers and writers for interaction data.
+//!
+//! Three on-disk formats are supported, covering the paper's public datasets
+//! so that users with the real files can reproduce the original numbers:
+//!
+//! * **Edge list / CSV** — one `user<sep>item[<sep>rating]` record per line
+//!   ([`read_edge_list`]); with a rating column, records are kept only if
+//!   `rating >= threshold` (the paper keeps MovieLens/Netflix ratings ≥ 3);
+//! * **MovieLens `::`** — `UserID::MovieID::Rating::Timestamp`
+//!   ([`read_movielens`]);
+//! * **Netflix** — per-movie files whose first line is `movie_id:` followed
+//!   by `customer,rating,date` lines ([`read_netflix_dir`]).
+//!
+//! All readers compact arbitrary (sparse, 1-based, hash-like) external ids
+//! into dense 0-based indices and return the [`IdMaps`] needed to translate
+//! recommendations back to external ids.
+
+use crate::{CsrMatrix, SparseError, Triplets};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+/// Mapping between external (file) ids and the dense internal indices.
+#[derive(Debug, Clone, Default)]
+pub struct IdMaps {
+    /// `users[u]` = external id of internal user `u`.
+    pub users: Vec<u64>,
+    /// `items[i]` = external id of internal item `i`.
+    pub items: Vec<u64>,
+}
+
+impl IdMaps {
+    /// Internal index of an external user id, if seen.
+    pub fn user_index(&self, external: u64) -> Option<usize> {
+        self.users.iter().position(|&e| e == external)
+    }
+
+    /// Internal index of an external item id, if seen.
+    pub fn item_index(&self, external: u64) -> Option<usize> {
+        self.items.iter().position(|&e| e == external)
+    }
+}
+
+struct Compactor {
+    map: HashMap<u64, u32>,
+    order: Vec<u64>,
+}
+
+impl Compactor {
+    fn new() -> Self {
+        Compactor { map: HashMap::new(), order: Vec::new() }
+    }
+
+    fn get(&mut self, external: u64) -> u32 {
+        if let Some(&ix) = self.map.get(&external) {
+            return ix;
+        }
+        let ix = self.order.len() as u32;
+        self.map.insert(external, ix);
+        self.order.push(external);
+        ix
+    }
+}
+
+/// A parsed positive-example stream plus id maps, before CSR conversion.
+#[derive(Debug)]
+pub struct ParsedInteractions {
+    /// Staged positive examples with dense indices.
+    pub triplets: Triplets,
+    /// External-id translation tables.
+    pub ids: IdMaps,
+    /// Records dropped because their rating fell below the threshold.
+    pub dropped_below_threshold: usize,
+}
+
+impl ParsedInteractions {
+    /// Finishes parsing: converts to CSR.
+    pub fn into_matrix(self) -> (CsrMatrix, IdMaps) {
+        (self.triplets.into_csr(), self.ids)
+    }
+}
+
+fn parse_records<R: BufRead>(
+    reader: R,
+    sep: &str,
+    rating_threshold: Option<f64>,
+) -> Result<ParsedInteractions, SparseError> {
+    let mut users = Compactor::new();
+    let mut items = Compactor::new();
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    let mut dropped = 0usize;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split(sep);
+        let u: u64 = fields
+            .next()
+            .ok_or_else(|| SparseError::Io(format!("line {}: missing user", lineno + 1)))?
+            .trim()
+            .parse()
+            .map_err(|e| SparseError::Io(format!("line {}: bad user id: {e}", lineno + 1)))?;
+        let i: u64 = fields
+            .next()
+            .ok_or_else(|| SparseError::Io(format!("line {}: missing item", lineno + 1)))?
+            .trim()
+            .parse()
+            .map_err(|e| SparseError::Io(format!("line {}: bad item id: {e}", lineno + 1)))?;
+        if let Some(threshold) = rating_threshold {
+            let rating: f64 = match fields.next() {
+                Some(f) => f.trim().parse().map_err(|e| {
+                    SparseError::Io(format!("line {}: bad rating: {e}", lineno + 1))
+                })?,
+                // No rating column: implicit feedback, always positive.
+                None => threshold,
+            };
+            if rating < threshold {
+                dropped += 1;
+                continue;
+            }
+        }
+        pairs.push((users.get(u), items.get(i)));
+    }
+    let mut triplets = Triplets::with_capacity(users.order.len(), items.order.len(), pairs.len());
+    for (u, i) in pairs {
+        triplets
+            .push(u as usize, i as usize)
+            .expect("compacted indices are in bounds");
+    }
+    Ok(ParsedInteractions {
+        triplets,
+        ids: IdMaps { users: users.order, items: items.order },
+        dropped_below_threshold: dropped,
+    })
+}
+
+/// Reads a separated-value edge list (`user<sep>item[<sep>rating]`).
+///
+/// With `rating_threshold = Some(t)` the third column is required to be a
+/// rating and records with `rating < t` are dropped (paper: `t = 3.0` for
+/// MovieLens and Netflix). With `None`, any third column is ignored and
+/// every record is a positive example.
+pub fn read_edge_list<P: AsRef<Path>>(
+    path: P,
+    sep: &str,
+    rating_threshold: Option<f64>,
+) -> Result<ParsedInteractions, SparseError> {
+    let file = std::fs::File::open(path.as_ref()).map_err(|e| {
+        SparseError::Io(format!("open {}: {e}", path.as_ref().display()))
+    })?;
+    parse_records(BufReader::new(file), sep, rating_threshold)
+}
+
+/// Reads edge-list records from an in-memory string (same semantics as
+/// [`read_edge_list`]); the entry point used by tests and doc examples.
+pub fn read_edge_list_str(
+    data: &str,
+    sep: &str,
+    rating_threshold: Option<f64>,
+) -> Result<ParsedInteractions, SparseError> {
+    parse_records(BufReader::new(data.as_bytes()), sep, rating_threshold)
+}
+
+/// Reads the MovieLens `UserID::MovieID::Rating::Timestamp` format, keeping
+/// ratings `>= threshold` as positive examples (paper convention: 3.0).
+pub fn read_movielens<P: AsRef<Path>>(
+    path: P,
+    threshold: f64,
+) -> Result<ParsedInteractions, SparseError> {
+    read_edge_list(path, "::", Some(threshold))
+}
+
+/// Reads a directory of Netflix-prize per-movie files (`mv_*.txt`), each
+/// starting with `movie_id:` followed by `customer,rating,date` lines.
+/// Ratings `>= threshold` become positives.
+pub fn read_netflix_dir<P: AsRef<Path>>(
+    dir: P,
+    threshold: f64,
+) -> Result<ParsedInteractions, SparseError> {
+    let mut users = Compactor::new();
+    let mut items = Compactor::new();
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    let mut dropped = 0usize;
+    let mut entries: Vec<_> = std::fs::read_dir(dir.as_ref())
+        .map_err(|e| SparseError::Io(format!("read dir {}: {e}", dir.as_ref().display())))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().map(|x| x == "txt").unwrap_or(false))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let file = std::fs::File::open(&path)
+            .map_err(|e| SparseError::Io(format!("open {}: {e}", path.display())))?;
+        let mut movie: Option<u64> = None;
+        for line in BufReader::new(file).lines() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(stripped) = line.strip_suffix(':') {
+                movie = Some(stripped.parse().map_err(|e| {
+                    SparseError::Io(format!("{}: bad movie id: {e}", path.display()))
+                })?);
+                continue;
+            }
+            let movie = movie.ok_or_else(|| {
+                SparseError::Io(format!("{}: rating before movie header", path.display()))
+            })?;
+            let mut fields = line.split(',');
+            let customer: u64 = fields
+                .next()
+                .ok_or_else(|| SparseError::Io("missing customer".into()))?
+                .parse()
+                .map_err(|e| SparseError::Io(format!("bad customer id: {e}")))?;
+            let rating: f64 = fields
+                .next()
+                .ok_or_else(|| SparseError::Io("missing rating".into()))?
+                .parse()
+                .map_err(|e| SparseError::Io(format!("bad rating: {e}")))?;
+            if rating >= threshold {
+                pairs.push((users.get(customer), items.get(movie)));
+            } else {
+                dropped += 1;
+            }
+        }
+    }
+    let mut triplets = Triplets::with_capacity(users.order.len(), items.order.len(), pairs.len());
+    for (u, i) in pairs {
+        triplets
+            .push(u as usize, i as usize)
+            .expect("compacted indices are in bounds");
+    }
+    Ok(ParsedInteractions {
+        triplets,
+        ids: IdMaps { users: users.order, items: items.order },
+        dropped_below_threshold: dropped,
+    })
+}
+
+/// Writes a matrix as a tab-separated edge list (`user\titem`), with internal
+/// dense indices. Inverse of [`read_edge_list`] with no rating column.
+pub fn write_edge_list<W: Write>(w: &mut W, r: &CsrMatrix) -> Result<(), SparseError> {
+    let mut buf = std::io::BufWriter::new(w);
+    for (u, i) in r.iter_nnz() {
+        writeln!(buf, "{u}\t{i}")?;
+    }
+    buf.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_list_roundtrip_via_string() {
+        let data = "0\t2\n1\t0\n# comment line\n\n1\t2\n";
+        let parsed = read_edge_list_str(data, "\t", None).unwrap();
+        let (m, ids) = parsed.into_matrix();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(ids.users, vec![0, 1]);
+        assert_eq!(ids.items, vec![2, 0]);
+        // internal indices are densified: external item 2 -> 0, item 0 -> 1
+        assert!(m.contains(0, 0));
+        assert!(m.contains(1, 1));
+        assert!(m.contains(1, 0));
+    }
+
+    #[test]
+    fn rating_threshold_filters() {
+        let data = "1,10,4\n1,11,2\n2,10,3\n2,12,5\n";
+        let parsed = read_edge_list_str(data, ",", Some(3.0)).unwrap();
+        assert_eq!(parsed.dropped_below_threshold, 1);
+        let (m, ids) = parsed.into_matrix();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(ids.users.len(), 2);
+        assert_eq!(ids.items.len(), 2, "item 11 never becomes positive");
+    }
+
+    #[test]
+    fn movielens_format() {
+        let dir = std::env::temp_dir().join("ocular_sparse_ml_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ratings.dat");
+        std::fs::write(&path, "1::1193::5::978300760\n1::661::3::978302109\n2::1193::1::978298413\n").unwrap();
+        let parsed = read_movielens(&path, 3.0).unwrap();
+        assert_eq!(parsed.dropped_below_threshold, 1);
+        let (m, ids) = parsed.into_matrix();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(ids.users, vec![1]);
+        assert_eq!(ids.items, vec![1193, 661]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn netflix_format() {
+        let dir = std::env::temp_dir().join("ocular_sparse_nf_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("mv_0000001.txt"), "1:\n1488844,3,2005-09-06\n822109,5,2005-05-13\n885013,1,2005-10-19\n").unwrap();
+        std::fs::write(dir.join("mv_0000002.txt"), "2:\n1488844,4,2005-09-06\n").unwrap();
+        let parsed = read_netflix_dir(&dir, 3.0).unwrap();
+        assert_eq!(parsed.dropped_below_threshold, 1);
+        let (m, ids) = parsed.into_matrix();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(ids.items, vec![1, 2]);
+        // customer 1488844 liked both movies
+        let u = ids.user_index(1488844).unwrap();
+        assert_eq!(m.row_nnz(u), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_then_read() {
+        let m = CsrMatrix::from_pairs(3, 3, &[(0, 1), (2, 0), (2, 2)]).unwrap();
+        let mut buf: Vec<u8> = Vec::new();
+        write_edge_list(&mut buf, &m).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed = read_edge_list_str(&text, "\t", None).unwrap();
+        let (back, _) = parsed.into_matrix();
+        assert_eq!(back.nnz(), m.nnz());
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(read_edge_list_str("abc\t1\n", "\t", None).is_err());
+        assert!(read_edge_list_str("1\n", "\t", None).is_err());
+        assert!(read_edge_list_str("1,2,notarating\n", ",", Some(3.0)).is_err());
+    }
+
+    #[test]
+    fn missing_rating_column_treated_positive() {
+        let parsed = read_edge_list_str("1,2\n3,4\n", ",", Some(3.0)).unwrap();
+        assert_eq!(parsed.dropped_below_threshold, 0);
+        let (m, _) = parsed.into_matrix();
+        assert_eq!(m.nnz(), 2);
+    }
+}

@@ -1,0 +1,183 @@
+//! Seeded train/test splitting of positive examples.
+//!
+//! The paper's evaluation protocol (Section VII-B2): *"We computed the
+//! recall@M and MAP@M by splitting the datasets into a training and a test
+//! dataset, with a splitting ratio of training/test of 75/25, and averaging
+//! over 10 problem instances."* A *problem instance* is one random split;
+//! instances differ only in the split seed.
+
+use crate::CsrMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How positive examples are assigned to the train or test side.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SplitStrategy {
+    /// Every positive example lands in the test set independently with
+    /// probability `1 - train_fraction`. This is the paper's protocol.
+    Global,
+    /// Like [`SplitStrategy::Global`], but a user's positives are never *all*
+    /// placed in the test set: at least one (uniformly chosen) stays in
+    /// train. Avoids fully cold users when evaluating neighbour methods on
+    /// tiny datasets; not used for headline numbers.
+    KeepOnePerUser,
+}
+
+/// Configuration of a train/test split.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitConfig {
+    /// Fraction of positives kept for training (paper: 0.75).
+    pub train_fraction: f64,
+    /// RNG seed; distinct seeds give the paper's independent instances.
+    pub seed: u64,
+    /// Assignment strategy.
+    pub strategy: SplitStrategy,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        SplitConfig { train_fraction: 0.75, seed: 0, strategy: SplitStrategy::Global }
+    }
+}
+
+/// The result of splitting an interaction matrix: two same-shaped matrices
+/// whose positive sets partition the original's.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training matrix (the model's input `R`).
+    pub train: CsrMatrix,
+    /// Held-out test matrix (the positives to be re-discovered).
+    pub test: CsrMatrix,
+}
+
+impl Split {
+    /// Splits `r` according to `cfg`.
+    ///
+    /// # Panics
+    /// Panics if `train_fraction` is outside `[0, 1]`.
+    pub fn new(r: &CsrMatrix, cfg: &SplitConfig) -> Split {
+        assert!(
+            (0.0..=1.0).contains(&cfg.train_fraction),
+            "train_fraction must be in [0, 1], got {}",
+            cfg.train_fraction
+        );
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut keep_train = vec![false; r.nnz()];
+        for k in keep_train.iter_mut() {
+            *k = rng.gen::<f64>() < cfg.train_fraction;
+        }
+        if cfg.strategy == SplitStrategy::KeepOnePerUser {
+            let mut pos = 0usize;
+            for u in 0..r.n_rows() {
+                let d = r.row_nnz(u);
+                if d > 0 && !keep_train[pos..pos + d].iter().any(|&k| k) {
+                    let pick = rng.gen_range(0..d);
+                    keep_train[pos + pick] = true;
+                }
+                pos += d;
+            }
+        }
+        let train = r.filter_nnz(&keep_train);
+        let keep_test: Vec<bool> = keep_train.iter().map(|&k| !k).collect();
+        let test = r.filter_nnz(&keep_test);
+        Split { train, test }
+    }
+
+    /// Generates the paper's `n` independent problem instances: splits with
+    /// seeds `base_seed, base_seed + 1, …`.
+    pub fn instances(r: &CsrMatrix, cfg: &SplitConfig, n: usize) -> Vec<Split> {
+        (0..n)
+            .map(|k| {
+                let inst = SplitConfig { seed: cfg.seed.wrapping_add(k as u64), ..*cfg };
+                Split::new(r, &inst)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Triplets;
+
+    fn dense_matrix(n: usize, m: usize) -> CsrMatrix {
+        let mut t = Triplets::new(n, m);
+        for u in 0..n {
+            for i in 0..m {
+                t.push(u, i).unwrap();
+            }
+        }
+        t.into_csr()
+    }
+
+    #[test]
+    fn split_partitions_nnz() {
+        let r = dense_matrix(20, 30);
+        let s = Split::new(&r, &SplitConfig::default());
+        assert_eq!(s.train.nnz() + s.test.nnz(), r.nnz());
+        // no overlap
+        for (u, i) in s.train.iter_nnz() {
+            assert!(!s.test.contains(u, i));
+            assert!(r.contains(u, i));
+        }
+        for (u, i) in s.test.iter_nnz() {
+            assert!(r.contains(u, i));
+        }
+    }
+
+    #[test]
+    fn split_ratio_approximate() {
+        let r = dense_matrix(50, 50); // 2500 entries
+        let s = Split::new(&r, &SplitConfig { train_fraction: 0.75, seed: 7, ..Default::default() });
+        let frac = s.train.nnz() as f64 / r.nnz() as f64;
+        assert!((frac - 0.75).abs() < 0.05, "observed train fraction {frac}");
+    }
+
+    #[test]
+    fn split_deterministic_per_seed() {
+        let r = dense_matrix(10, 10);
+        let a = Split::new(&r, &SplitConfig { seed: 3, ..Default::default() });
+        let b = Split::new(&r, &SplitConfig { seed: 3, ..Default::default() });
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+        let c = Split::new(&r, &SplitConfig { seed: 4, ..Default::default() });
+        assert_ne!(a.train, c.train, "different seeds should differ on 100 entries");
+    }
+
+    #[test]
+    fn keep_one_per_user_never_empties_a_row() {
+        // train_fraction 0 would normally put everything in test
+        let r = dense_matrix(10, 4);
+        let s = Split::new(
+            &r,
+            &SplitConfig {
+                train_fraction: 0.0,
+                seed: 1,
+                strategy: SplitStrategy::KeepOnePerUser,
+            },
+        );
+        for u in 0..10 {
+            assert_eq!(s.train.row_nnz(u), 1, "user {u} should keep exactly one");
+        }
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let r = dense_matrix(5, 5);
+        let all_train = Split::new(&r, &SplitConfig { train_fraction: 1.0, ..Default::default() });
+        assert_eq!(all_train.train.nnz(), 25);
+        assert_eq!(all_train.test.nnz(), 0);
+        let all_test = Split::new(&r, &SplitConfig { train_fraction: 0.0, ..Default::default() });
+        assert_eq!(all_test.train.nnz(), 0);
+        assert_eq!(all_test.test.nnz(), 25);
+    }
+
+    #[test]
+    fn instances_use_distinct_seeds() {
+        let r = dense_matrix(12, 12);
+        let insts = Split::instances(&r, &SplitConfig::default(), 3);
+        assert_eq!(insts.len(), 3);
+        assert_ne!(insts[0].train, insts[1].train);
+        assert_ne!(insts[1].train, insts[2].train);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based invariants of the sparse substrate.
+
+use ocular_sparse::io::{read_edge_list_str, write_edge_list};
+use ocular_sparse::sample::sample_nnz_fraction;
+use ocular_sparse::{CsrMatrix, Split, SplitConfig, Triplets};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary small matrix described by shape + raw (possibly
+/// duplicated, unsorted) pairs.
+fn arb_matrix() -> impl Strategy<Value = CsrMatrix> {
+    (1usize..20, 1usize..20).prop_flat_map(|(n, m)| {
+        proptest::collection::vec((0..n, 0..m), 0..100).prop_map(move |pairs| {
+            let mut t = Triplets::new(n, m);
+            t.extend_pairs(pairs).unwrap();
+            t.into_csr()
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in arb_matrix()) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_preserves_nnz_and_membership(m in arb_matrix()) {
+        let t = m.transpose();
+        prop_assert_eq!(t.nnz(), m.nnz());
+        for (u, i) in m.iter_nnz() {
+            prop_assert!(t.contains(i, u));
+        }
+    }
+
+    #[test]
+    fn rows_sorted_and_unique(m in arb_matrix()) {
+        for r in 0..m.n_rows() {
+            let row = m.row(r);
+            for w in row.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn degrees_sum_to_nnz(m in arb_matrix()) {
+        let rd: usize = m.row_degrees().iter().sum();
+        let cd: usize = m.col_degrees().iter().sum();
+        prop_assert_eq!(rd, m.nnz());
+        prop_assert_eq!(cd, m.nnz());
+    }
+
+    #[test]
+    fn split_partitions(m in arb_matrix(), frac in 0.0f64..=1.0, seed in any::<u64>()) {
+        let s = Split::new(&m, &SplitConfig { train_fraction: frac, seed, ..Default::default() });
+        prop_assert_eq!(s.train.nnz() + s.test.nnz(), m.nnz());
+        for (u, i) in s.train.iter_nnz() {
+            prop_assert!(m.contains(u, i));
+            prop_assert!(!s.test.contains(u, i));
+        }
+        for (u, i) in s.test.iter_nnz() {
+            prop_assert!(m.contains(u, i));
+        }
+    }
+
+    #[test]
+    fn sample_fraction_is_exact_subset(m in arb_matrix(), frac in 0.0f64..=1.0, seed in any::<u64>()) {
+        let s = sample_nnz_fraction(&m, frac, seed);
+        prop_assert_eq!(s.nnz(), (frac * m.nnz() as f64).round() as usize);
+        for (u, i) in s.iter_nnz() {
+            prop_assert!(m.contains(u, i));
+        }
+    }
+
+    #[test]
+    fn io_roundtrip(m in arb_matrix()) {
+        let mut buf: Vec<u8> = Vec::new();
+        write_edge_list(&mut buf, &m).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let (back, _) = read_edge_list_str(&text, "\t", None).unwrap().into_matrix();
+        // ids are compacted, so compare nnz and per-user degree multiset
+        prop_assert_eq!(back.nnz(), m.nnz());
+        let mut a = m.row_degrees().into_iter().filter(|&d| d > 0).collect::<Vec<_>>();
+        let mut b = back.row_degrees();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_raw_accepts_own_parts(m in arb_matrix()) {
+        let (n, c, indptr, indices) = m.as_parts();
+        let rebuilt = CsrMatrix::from_raw(n, c, indptr.to_vec(), indices.to_vec()).unwrap();
+        prop_assert_eq!(rebuilt, m);
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: train OCuLaR on a small synthetic purchase history, print
+//! the top recommendations for a client and the co-cluster rationale
+//! behind them.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ocular::prelude::*;
+use ocular::datasets::planted::{generate, PlantedConfig};
+
+fn main() {
+    // --- 1. data -----------------------------------------------------------
+    // A purchase matrix with 5 planted, overlapping client-product
+    // co-clusters (in practice: load your own with ocular::sparse::io).
+    let data = generate(&PlantedConfig {
+        n_users: 200,
+        n_items: 80,
+        k: 5,
+        users_per_cluster: 50,
+        items_per_cluster: 20,
+        user_overlap: 0.6,
+        item_overlap: 0.6,
+        within_density: 0.5,
+        noise_density: 0.005,
+        seed: 7,
+    });
+    println!(
+        "training on {} clients × {} products, {} purchases\n",
+        data.matrix.n_rows(),
+        data.matrix.n_cols(),
+        data.matrix.nnz()
+    );
+
+    // --- 2. train ----------------------------------------------------------
+    let cfg = OcularConfig {
+        k: 5,        // number of co-clusters (cross-validate in practice)
+        lambda: 0.5, // ℓ2 regularization
+        max_iters: 80,
+        seed: 0,
+        ..Default::default()
+    };
+    let result = fit(&data.matrix, &cfg);
+    println!(
+        "converged: {} after {} sweeps (objective {:.1} → {:.1})\n",
+        result.history.converged,
+        result.history.iterations(),
+        result.history.objective[0],
+        result.history.final_objective()
+    );
+
+    // --- 3. recommend ------------------------------------------------------
+    let client = 3;
+    let recs = recommend_top_m(&result.model, &data.matrix, client, 5);
+    println!("top-5 recommendations for client {client}:");
+    for r in &recs {
+        println!("  product {:>3}  confidence {:.1}%", r.item, r.probability * 100.0);
+    }
+
+    // --- 4. explain --------------------------------------------------------
+    let clusters = extract_coclusters(&result.model, default_threshold());
+    println!("\nmodel found {} co-clusters; rationale for the top pick:\n", clusters.len());
+    let why = explain(&result.model, &data.matrix, &clusters, client, recs[0].item, 3);
+    println!("{}", why.render());
+}

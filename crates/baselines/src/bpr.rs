@@ -92,7 +92,10 @@ impl Bpr {
             .map(|u| u as u32)
             .collect();
         if eligible.is_empty() {
-            return Bpr { user_factors: uf, item_factors: itf };
+            return Bpr {
+                user_factors: uf,
+                item_factors: itf,
+            };
         }
         let samples = cfg.epochs * r.nnz().max(1);
         let lr = cfg.learning_rate;
@@ -110,7 +113,7 @@ impl Bpr {
             };
             let x = ops::dot(uf.row(u), itf.row(i)) - ops::dot(uf.row(u), itf.row(j));
             let g = 1.0 - sigmoid(x); // = σ(−x), the gradient magnitude
-            // simultaneous updates on disjoint rows
+                                      // simultaneous updates on disjoint rows
             let (fi, fj) = itf.rows_mut_pair(i, j);
             let fu = uf.row_mut(u);
             for c in 0..cfg.k {
@@ -120,7 +123,10 @@ impl Bpr {
                 fj[c] += lr * (-g * wu - reg * wj);
             }
         }
-        Bpr { user_factors: uf, item_factors: itf }
+        Bpr {
+            user_factors: uf,
+            item_factors: itf,
+        }
     }
 
     /// Ranking score `⟨f_u, f_i⟩` (only relative order is meaningful).
@@ -189,8 +195,24 @@ mod tests {
             6,
             6,
             &[
-                (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2), (2, 0), (2, 1), (2, 2),
-                (3, 3), (3, 4), (3, 5), (4, 3), (4, 4), (4, 5), (5, 3), (5, 4), (5, 5),
+                (0, 0),
+                (0, 1),
+                (0, 2),
+                (1, 0),
+                (1, 1),
+                (1, 2),
+                (2, 0),
+                (2, 1),
+                (2, 2),
+                (3, 3),
+                (3, 4),
+                (3, 5),
+                (4, 3),
+                (4, 4),
+                (4, 5),
+                (5, 3),
+                (5, 4),
+                (5, 5),
             ],
         )
         .unwrap()
@@ -210,7 +232,15 @@ mod tests {
     #[test]
     fn ranks_positives_above_unknowns() {
         let r = two_blocks();
-        let m = Bpr::fit(&r, &BprConfig { k: 4, epochs: 120, seed: 2, ..Default::default() });
+        let m = Bpr::fit(
+            &r,
+            &BprConfig {
+                k: 4,
+                epochs: 120,
+                seed: 2,
+                ..Default::default()
+            },
+        );
         // block membership: user 0's positives must outrank the other block
         let pos = m.predict(0, 1);
         let neg = m.predict(0, 4);
@@ -222,7 +252,15 @@ mod tests {
         // hold out one cell per block; BPR should rank it above cross-block
         // items
         let r = two_blocks();
-        let m = Bpr::fit(&r, &BprConfig { k: 4, epochs: 150, seed: 3, ..Default::default() });
+        let m = Bpr::fit(
+            &r,
+            &BprConfig {
+                k: 4,
+                epochs: 150,
+                seed: 3,
+                ..Default::default()
+            },
+        );
         // within-block unknown... all block cells are positive, so test the
         // relative order directly across many pairs
         let mut correct = 0;
@@ -244,7 +282,11 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let r = two_blocks();
-        let cfg = BprConfig { epochs: 10, seed: 5, ..Default::default() };
+        let cfg = BprConfig {
+            epochs: 10,
+            seed: 5,
+            ..Default::default()
+        };
         let a = Bpr::fit(&r, &cfg);
         let b = Bpr::fit(&r, &cfg);
         assert_eq!(a.user_factors, b.user_factors);
@@ -256,7 +298,13 @@ mod tests {
     fn degenerate_matrices_do_not_hang() {
         // empty matrix: no eligible users, returns init factors
         let empty = CsrMatrix::empty(3, 3);
-        let m = Bpr::fit(&empty, &BprConfig { epochs: 5, ..Default::default() });
+        let m = Bpr::fit(
+            &empty,
+            &BprConfig {
+                epochs: 5,
+                ..Default::default()
+            },
+        );
         assert_eq!(m.n_users(), 3);
         // full matrix: no unknowns to sample → also no eligible users
         let mut pairs = Vec::new();
@@ -266,14 +314,28 @@ mod tests {
             }
         }
         let full = CsrMatrix::from_pairs(3, 3, &pairs).unwrap();
-        let m = Bpr::fit(&full, &BprConfig { epochs: 5, ..Default::default() });
+        let m = Bpr::fit(
+            &full,
+            &BprConfig {
+                epochs: 5,
+                ..Default::default()
+            },
+        );
         assert_eq!(m.n_items(), 3);
     }
 
     #[test]
     fn auc_of_oracle_model_near_one() {
         let r = two_blocks();
-        let m = Bpr::fit(&r, &BprConfig { k: 4, epochs: 120, seed: 7, ..Default::default() });
+        let m = Bpr::fit(
+            &r,
+            &BprConfig {
+                k: 4,
+                epochs: 120,
+                seed: 7,
+                ..Default::default()
+            },
+        );
         // use the training positives as "test": a fitted model should rank
         // them above random unknowns
         let auc = m.auc(&CsrMatrix::empty(6, 6), &r, 11);

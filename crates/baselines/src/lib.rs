@@ -58,8 +58,20 @@ pub trait Recommender {
 /// trait objects (the Table I harness's model zoo).
 pub fn all_baselines(r: &CsrMatrix, seed: u64) -> Vec<Box<dyn Recommender>> {
     vec![
-        Box::new(Wals::fit(r, &WalsConfig { seed, ..Default::default() })),
-        Box::new(Bpr::fit(r, &BprConfig { seed, ..Default::default() })),
+        Box::new(Wals::fit(
+            r,
+            &WalsConfig {
+                seed,
+                ..Default::default()
+            },
+        )),
+        Box::new(Bpr::fit(
+            r,
+            &BprConfig {
+                seed,
+                ..Default::default()
+            },
+        )),
         Box::new(UserKnn::fit(r, &KnnConfig::default())),
         Box::new(ItemKnn::fit(r, &KnnConfig::default())),
         Box::new(Popularity::fit(r)),

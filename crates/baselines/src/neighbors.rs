@@ -39,7 +39,10 @@ impl UserKnn {
     /// Computes every user's top-k neighbours.
     pub fn fit(r: &CsrMatrix, cfg: &KnnConfig) -> Self {
         let rt = r.transpose();
-        UserKnn { neighbors: top_k_neighbors(r, &rt, cfg.k), r: r.clone() }
+        UserKnn {
+            neighbors: top_k_neighbors(r, &rt, cfg.k),
+            r: r.clone(),
+        }
     }
 
     /// The neighbours of `u` (for explanations: "similar users also
@@ -84,7 +87,10 @@ impl ItemKnn {
     /// Computes every item's top-k neighbours (on the transposed matrix).
     pub fn fit(r: &CsrMatrix, cfg: &KnnConfig) -> Self {
         let rt = r.transpose();
-        ItemKnn { neighbors: top_k_neighbors(&rt, r, cfg.k), r: r.clone() }
+        ItemKnn {
+            neighbors: top_k_neighbors(&rt, r, cfg.k),
+            r: r.clone(),
+        }
     }
 
     /// The neighbours of item `j` (for explanations: "user bought the
@@ -128,7 +134,17 @@ mod tests {
         CsrMatrix::from_pairs(
             4,
             4,
-            &[(0, 0), (0, 1), (1, 0), (1, 1), (1, 2), (2, 2), (2, 3), (3, 2), (3, 3)],
+            &[
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (1, 2),
+                (2, 2),
+                (2, 3),
+                (3, 2),
+                (3, 3),
+            ],
         )
         .unwrap()
     }

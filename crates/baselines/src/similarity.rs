@@ -48,8 +48,7 @@ pub fn top_k_neighbors(m: &CsrMatrix, mt: &CsrMatrix, k: usize) -> Vec<Vec<Neigh
             .iter()
             .map(|&b| Neighbor {
                 index: b,
-                similarity: counts[b as usize] as f64
-                    / (da * degrees[b as usize] as f64).sqrt(),
+                similarity: counts[b as usize] as f64 / (da * degrees[b as usize] as f64).sqrt(),
             })
             .collect();
         neighbors.sort_by(|x, y| {
@@ -95,8 +94,7 @@ mod tests {
 
     fn m() -> CsrMatrix {
         // user 0: {0,1,2}; user 1: {0,1}; user 2: {3}; user 3: {} (cold)
-        CsrMatrix::from_pairs(4, 4, &[(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (2, 3)])
-            .unwrap()
+        CsrMatrix::from_pairs(4, 4, &[(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (2, 3)]).unwrap()
     }
 
     #[test]
@@ -130,16 +128,15 @@ mod tests {
     #[test]
     fn truncation_keeps_best() {
         // user 0 shares 2 items with user 1, 1 item with user 2
-        let m = CsrMatrix::from_pairs(
-            3,
-            3,
-            &[(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (2, 2)],
-        )
-        .unwrap();
+        let m =
+            CsrMatrix::from_pairs(3, 3, &[(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (2, 2)]).unwrap();
         let mt = m.transpose();
         let nn = top_k_neighbors(&m, &mt, 1);
         assert_eq!(nn[0].len(), 1);
-        assert_eq!(nn[0][0].index, 1, "strongest neighbour must survive truncation");
+        assert_eq!(
+            nn[0][0].index, 1,
+            "strongest neighbour must survive truncation"
+        );
     }
 
     #[test]

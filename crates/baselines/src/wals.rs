@@ -45,7 +45,14 @@ pub struct WalsConfig {
 
 impl Default for WalsConfig {
     fn default() -> Self {
-        WalsConfig { k: 16, b: 0.01, lambda: 0.01, iters: 15, init_scale: 0.1, seed: 0 }
+        WalsConfig {
+            k: 16,
+            b: 0.01,
+            lambda: 0.01,
+            iters: 15,
+            init_scale: 0.1,
+            seed: 0,
+        }
     }
 }
 
@@ -70,13 +77,7 @@ fn init(rows: usize, k: usize, scale: f64, rng: &mut StdRng) -> Matrix {
 
 /// One half-sweep: updates every row of `own` against `other`.
 /// `adjacency.row(e)` lists the positive counterparts of entity `e`.
-fn half_sweep(
-    own: &mut Matrix,
-    other: &Matrix,
-    adjacency: &CsrMatrix,
-    b: f64,
-    lambda: f64,
-) {
+fn half_sweep(own: &mut Matrix, other: &Matrix, adjacency: &CsrMatrix, b: f64, lambda: f64) {
     let k = own.cols();
     let gram = other.gram();
     for e in 0..own.rows() {
@@ -153,8 +154,13 @@ impl Wals {
         let mut user_factors = init(r.n_rows(), cfg.k, cfg.init_scale, &mut rng);
         let mut item_factors = init(r.n_cols(), cfg.k, cfg.init_scale, &mut rng);
         let rt = r.transpose();
-        let mut objective_trace =
-            vec![wals_objective(r, &user_factors, &item_factors, cfg.b, cfg.lambda)];
+        let mut objective_trace = vec![wals_objective(
+            r,
+            &user_factors,
+            &item_factors,
+            cfg.b,
+            cfg.lambda,
+        )];
         for _ in 0..cfg.iters {
             half_sweep(&mut user_factors, &item_factors, r, cfg.b, cfg.lambda);
             half_sweep(&mut item_factors, &user_factors, &rt, cfg.b, cfg.lambda);
@@ -166,7 +172,11 @@ impl Wals {
                 cfg.lambda,
             ));
         }
-        Wals { user_factors, item_factors, objective_trace }
+        Wals {
+            user_factors,
+            item_factors,
+            objective_trace,
+        }
     }
 
     /// Predicted preference `⟨f_u, f_i⟩`.
@@ -207,15 +217,36 @@ mod tests {
             6,
             6,
             &[
-                (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2), (2, 0), (2, 1), (2, 2),
-                (3, 3), (3, 4), (3, 5), (4, 3), (4, 4), (4, 5), (5, 3), (5, 4), (5, 5),
+                (0, 0),
+                (0, 1),
+                (0, 2),
+                (1, 0),
+                (1, 1),
+                (1, 2),
+                (2, 0),
+                (2, 1),
+                (2, 2),
+                (3, 3),
+                (3, 4),
+                (3, 5),
+                (4, 3),
+                (4, 4),
+                (4, 5),
+                (5, 3),
+                (5, 4),
+                (5, 5),
             ],
         )
         .unwrap()
     }
 
     fn cfg() -> WalsConfig {
-        WalsConfig { k: 2, iters: 20, seed: 1, ..Default::default() }
+        WalsConfig {
+            k: 2,
+            iters: 20,
+            seed: 1,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -225,7 +256,12 @@ mod tests {
         let t = &m.objective_trace;
         assert!(t.len() >= 2);
         for w in t.windows(2) {
-            assert!(w[1] <= w[0] + 1e-8, "ALS objective must not rise: {} -> {}", w[0], w[1]);
+            assert!(
+                w[1] <= w[0] + 1e-8,
+                "ALS objective must not rise: {} -> {}",
+                w[0],
+                w[1]
+            );
         }
     }
 
@@ -282,6 +318,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "b must lie in (0, 1)")]
     fn rejects_bad_b() {
-        Wals::fit(&two_blocks(), &WalsConfig { b: 1.5, ..Default::default() });
+        Wals::fit(
+            &two_blocks(),
+            &WalsConfig {
+                b: 1.5,
+                ..Default::default()
+            },
+        );
     }
 }

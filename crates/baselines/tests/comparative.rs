@@ -26,7 +26,13 @@ fn dataset() -> ocular_datasets::PlantedDataset {
 }
 
 fn recall_of(model: &dyn Recommender, split: &Split, m: usize) -> f64 {
-    evaluate(|u, buf| model.score_user(u, buf), &split.train, &split.test, m).recall
+    evaluate(
+        |u, buf| model.score_user(u, buf),
+        &split.train,
+        &split.test,
+        m,
+    )
+    .recall
 }
 
 #[test]
@@ -36,8 +42,21 @@ fn every_personalised_baseline_beats_popularity() {
     let pop = Popularity::fit(&split.train);
     let pop_recall = recall_of(&pop, &split, 25);
     let personalised: Vec<Box<dyn Recommender>> = vec![
-        Box::new(Wals::fit(&split.train, &WalsConfig { k: 4, ..Default::default() })),
-        Box::new(Bpr::fit(&split.train, &BprConfig { k: 4, epochs: 60, ..Default::default() })),
+        Box::new(Wals::fit(
+            &split.train,
+            &WalsConfig {
+                k: 4,
+                ..Default::default()
+            },
+        )),
+        Box::new(Bpr::fit(
+            &split.train,
+            &BprConfig {
+                k: 4,
+                epochs: 60,
+                ..Default::default()
+            },
+        )),
         Box::new(UserKnn::fit(&split.train, &KnnConfig { k: 40 })),
         Box::new(ItemKnn::fit(&split.train, &KnnConfig { k: 40 })),
     ];
@@ -54,9 +73,28 @@ fn every_personalised_baseline_beats_popularity() {
 #[test]
 fn wals_and_bpr_scores_rank_positives_high() {
     let data = dataset();
-    let split = Split::new(&data.matrix, &SplitConfig { seed: 1, ..Default::default() });
-    let wals = Wals::fit(&split.train, &WalsConfig { k: 4, ..Default::default() });
-    let bpr = Bpr::fit(&split.train, &BprConfig { k: 4, epochs: 60, ..Default::default() });
+    let split = Split::new(
+        &data.matrix,
+        &SplitConfig {
+            seed: 1,
+            ..Default::default()
+        },
+    );
+    let wals = Wals::fit(
+        &split.train,
+        &WalsConfig {
+            k: 4,
+            ..Default::default()
+        },
+    );
+    let bpr = Bpr::fit(
+        &split.train,
+        &BprConfig {
+            k: 4,
+            epochs: 60,
+            ..Default::default()
+        },
+    );
     for model in [&wals as &dyn Recommender, &bpr] {
         let mut scores = Vec::new();
         let mut pos_better = 0usize;
@@ -89,18 +127,33 @@ fn wals_and_bpr_scores_rank_positives_high() {
 #[test]
 fn knn_variants_agree_on_easy_structure() {
     let data = dataset();
-    let split = Split::new(&data.matrix, &SplitConfig { seed: 2, ..Default::default() });
+    let split = Split::new(
+        &data.matrix,
+        &SplitConfig {
+            seed: 2,
+            ..Default::default()
+        },
+    );
     let user = UserKnn::fit(&split.train, &KnnConfig { k: 40 });
     let item = ItemKnn::fit(&split.train, &KnnConfig { k: 40 });
     let ru = recall_of(&user, &split, 25);
     let ri = recall_of(&item, &split, 25);
-    assert!((ru - ri).abs() < 0.25, "user {ru:.3} vs item {ri:.3} should be in the same band");
+    assert!(
+        (ru - ri).abs() < 0.25,
+        "user {ru:.3} vs item {ri:.3} should be in the same band"
+    );
 }
 
 #[test]
 fn model_zoo_is_evaluable_end_to_end() {
     let data = dataset();
-    let split = Split::new(&data.matrix, &SplitConfig { seed: 3, ..Default::default() });
+    let split = Split::new(
+        &data.matrix,
+        &SplitConfig {
+            seed: 3,
+            ..Default::default()
+        },
+    );
     for model in all_baselines(&split.train, 0) {
         let report = evaluate(
             |u, buf| model.score_user(u, buf),
@@ -108,7 +161,11 @@ fn model_zoo_is_evaluable_end_to_end() {
             &split.test,
             10,
         );
-        assert!(report.evaluated_users > 0, "{}: nobody evaluated", model.name());
+        assert!(
+            report.evaluated_users > 0,
+            "{}: nobody evaluated",
+            model.name()
+        );
         assert!(
             (0.0..=1.0).contains(&report.recall) && (0.0..=1.0).contains(&report.map),
             "{}: metrics out of range",
@@ -120,11 +177,45 @@ fn model_zoo_is_evaluable_end_to_end() {
 #[test]
 fn baselines_deterministic_across_runs() {
     let data = dataset();
-    let split = Split::new(&data.matrix, &SplitConfig { seed: 4, ..Default::default() });
-    let a = Wals::fit(&split.train, &WalsConfig { k: 4, seed: 9, ..Default::default() });
-    let b = Wals::fit(&split.train, &WalsConfig { k: 4, seed: 9, ..Default::default() });
+    let split = Split::new(
+        &data.matrix,
+        &SplitConfig {
+            seed: 4,
+            ..Default::default()
+        },
+    );
+    let a = Wals::fit(
+        &split.train,
+        &WalsConfig {
+            k: 4,
+            seed: 9,
+            ..Default::default()
+        },
+    );
+    let b = Wals::fit(
+        &split.train,
+        &WalsConfig {
+            k: 4,
+            seed: 9,
+            ..Default::default()
+        },
+    );
     assert_eq!(a.user_factors, b.user_factors);
-    let a = Bpr::fit(&split.train, &BprConfig { seed: 9, epochs: 5, ..Default::default() });
-    let b = Bpr::fit(&split.train, &BprConfig { seed: 9, epochs: 5, ..Default::default() });
+    let a = Bpr::fit(
+        &split.train,
+        &BprConfig {
+            seed: 9,
+            epochs: 5,
+            ..Default::default()
+        },
+    );
+    let b = Bpr::fit(
+        &split.train,
+        &BprConfig {
+            seed: 9,
+            epochs: 5,
+            ..Default::default()
+        },
+    );
     assert_eq!(a.item_factors, b.item_factors);
 }

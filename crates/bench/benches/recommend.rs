@@ -20,7 +20,13 @@ fn bench_serving(c: &mut Criterion) {
     let r = &data.matrix;
     let result = fit(
         r,
-        &OcularConfig { k: 8, lambda: 0.5, max_iters: 20, seed: 0, ..Default::default() },
+        &OcularConfig {
+            k: 8,
+            lambda: 0.5,
+            max_iters: 20,
+            seed: 0,
+            ..Default::default()
+        },
     );
     let clusters = extract_coclusters(&result.model, default_threshold());
 
@@ -32,7 +38,11 @@ fn bench_serving(c: &mut Criterion) {
         let rec = recommend_top_m(&result.model, r, 17, 1);
         let item = rec[0].item;
         b.iter(|| {
-            black_box(explain(&result.model, r, &clusters, 17, item, 5).contributions.len())
+            black_box(
+                explain(&result.model, r, &clusters, 17, item, 5)
+                    .contributions
+                    .len(),
+            )
         })
     });
     group.bench_function("extract_coclusters", |b| {
@@ -61,9 +71,16 @@ fn bench_baseline_fits(c: &mut Criterion) {
     group.bench_function("wals_3_sweeps", |b| {
         b.iter(|| {
             black_box(
-                Wals::fit(r, &WalsConfig { k: 8, iters: 3, ..Default::default() })
-                    .objective_trace
-                    .len(),
+                Wals::fit(
+                    r,
+                    &WalsConfig {
+                        k: 8,
+                        iters: 3,
+                        ..Default::default()
+                    },
+                )
+                .objective_trace
+                .len(),
             )
         })
     });

@@ -18,6 +18,7 @@ impl Args {
     }
 
     /// Parses an explicit argument list (tests).
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Args {
         let mut args = Args::default();
         let tokens: Vec<String> = iter.into_iter().collect();

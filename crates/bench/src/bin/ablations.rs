@@ -28,26 +28,91 @@ fn main() {
     let seed = args.seed();
     let m = args.get("m", 50usize);
     let data = profiles::movielens_like(args.scale(), seed);
-    let split = Split::new(&data.matrix, &SplitConfig { seed, ..Default::default() });
+    let split = Split::new(
+        &data.matrix,
+        &SplitConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     let k = data.truth.k();
-    let base = OcularConfig { k, lambda: 0.5, max_iters: 60, seed, ..Default::default() };
+    let base = OcularConfig {
+        k,
+        lambda: 0.5,
+        max_iters: 60,
+        seed,
+        ..Default::default()
+    };
 
-    println!("Ablations (Movielens-like, scale {:?}, K={k})\n", args.scale());
+    println!(
+        "Ablations (Movielens-like, scale {:?}, K={k})\n",
+        args.scale()
+    );
 
     // 1 + 3 + 4: train variants and compare recall, time, iterations
     let variants: Vec<(&str, OcularConfig)> = vec![
         ("baseline (1 PGD step, line search, λ=0.5)", base.clone()),
-        ("inner_steps = 5 (≈ exact subproblems)", OcularConfig { inner_steps: 5, ..base.clone() }),
-        ("inner_steps = 10", OcularConfig { inner_steps: 10, ..base.clone() }),
-        ("λ = 0 (no regularization — the BIGCLAM setting)", OcularConfig { lambda: 0.0, ..base.clone() }),
-        ("λ = 10 (over-regularized)", OcularConfig { lambda: 10.0, ..base.clone() }),
-        ("fixed step 0.01 (no line search)", OcularConfig { line_search: false, fixed_step: 0.01, ..base.clone() }),
-        ("bias terms enabled", OcularConfig { bias: true, ..base.clone() }),
-        ("uniform random init (no neighbourhood seeding)", OcularConfig { init: ocular_core::InitStrategy::Random, ..base.clone() }),
+        (
+            "inner_steps = 5 (≈ exact subproblems)",
+            OcularConfig {
+                inner_steps: 5,
+                ..base.clone()
+            },
+        ),
+        (
+            "inner_steps = 10",
+            OcularConfig {
+                inner_steps: 10,
+                ..base.clone()
+            },
+        ),
+        (
+            "λ = 0 (no regularization — the BIGCLAM setting)",
+            OcularConfig {
+                lambda: 0.0,
+                ..base.clone()
+            },
+        ),
+        (
+            "λ = 10 (over-regularized)",
+            OcularConfig {
+                lambda: 10.0,
+                ..base.clone()
+            },
+        ),
+        (
+            "fixed step 0.01 (no line search)",
+            OcularConfig {
+                line_search: false,
+                fixed_step: 0.01,
+                ..base.clone()
+            },
+        ),
+        (
+            "bias terms enabled",
+            OcularConfig {
+                bias: true,
+                ..base.clone()
+            },
+        ),
+        (
+            "uniform random init (no neighbourhood seeding)",
+            OcularConfig {
+                init: ocular_core::InitStrategy::Random,
+                ..base.clone()
+            },
+        ),
         ("R-OCuLaR weighting", base.clone().relative()),
     ];
 
-    let mut table = TextTable::new(["variant", "recall@M", "MAP@M", "sweeps", "train (s)", "final Q"]);
+    let mut table = TextTable::new([
+        "variant",
+        "recall@M",
+        "MAP@M",
+        "sweeps",
+        "train (s)",
+        "final Q",
+    ]);
     let mut baseline_recall = None;
     for (name, cfg) in &variants {
         let t0 = Instant::now();
@@ -93,7 +158,10 @@ fn main() {
         .zip(&naive_buf)
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f64, f64::max);
-    println!("sum-trick ablation ({items} item negative-sums, {} users):", uf.rows());
+    println!(
+        "sum-trick ablation ({items} item negative-sums, {} users):",
+        uf.rows()
+    );
     println!("  sum-trick: {fast_t:.4} s   naive: {naive_t:.4} s   speedup {:.0}×   max |Δ| = {max_diff:.2e}",
         naive_t / fast_t.max(1e-12));
     println!("\nexpected shape (paper): extra inner steps trade wall-clock time for at");

@@ -43,7 +43,14 @@ fn main() {
     // OCuLaR
     let result = fit(
         &f.matrix,
-        &OcularConfig { k: 3, lambda: 0.05, max_iters: 400, tol: 1e-7, seed: 42, ..Default::default() },
+        &OcularConfig {
+            k: 3,
+            lambda: 0.05,
+            max_iters: 400,
+            tol: 1e-7,
+            seed: 42,
+            ..Default::default()
+        },
     );
     let ocular: Vec<RecoveredCluster> = extract_coclusters(&result.model, default_threshold())
         .into_iter()
@@ -57,7 +64,14 @@ fn main() {
     let louv = from_communities(&louv_comms);
 
     // BIGCLAM
-    let big = Bigclam::fit(&g, &BigclamConfig { k: 3, seed: 7, ..Default::default() });
+    let big = Bigclam::fit(
+        &g,
+        &BigclamConfig {
+            k: 3,
+            seed: 7,
+            ..Default::default()
+        },
+    );
     let bigclam = from_communities(&big.communities(Bigclam::default_threshold(&g)));
 
     // OCuLaR yields a *ranked list*, so its candidates-found column counts
@@ -100,7 +114,11 @@ fn main() {
     println!("{}", table.render());
     println!("modularity Q: greedy {q_mod:.3}, louvain {q_louv:.3}\n");
 
-    for (name, clusters) in [("OCuLaR", &ocular), ("Modularity", &modularity), ("BIGCLAM", &bigclam)] {
+    for (name, clusters) in [
+        ("OCuLaR", &ocular),
+        ("Modularity", &modularity),
+        ("BIGCLAM", &bigclam),
+    ] {
         println!("{name}: {}", describe(clusters));
     }
     println!("\npaper reference: Modularity and BIGCLAM both fail to recover the");

@@ -22,20 +22,43 @@ fn main() {
     let seed = args.seed();
     let max_m = args.get("max-m", 100usize);
     let data = profiles::movielens_like(args.scale(), seed);
-    let split = Split::new(&data.matrix, &SplitConfig { seed, ..Default::default() });
+    let split = Split::new(
+        &data.matrix,
+        &SplitConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     let k_hint = data.truth.k();
 
     let ocfg = default_ocular_config(k_hint, seed);
     let models: Vec<Box<dyn Recommender>> = vec![
         Box::new(OcularRecommender::fit_absolute(&split.train, &ocfg)),
         Box::new(OcularRecommender::fit_relative(&split.train, &ocfg)),
-        Box::new(Wals::fit(&split.train, &WalsConfig { k: k_hint, seed, ..Default::default() })),
-        Box::new(Bpr::fit(&split.train, &BprConfig { k: k_hint, seed, ..Default::default() })),
+        Box::new(Wals::fit(
+            &split.train,
+            &WalsConfig {
+                k: k_hint,
+                seed,
+                ..Default::default()
+            },
+        )),
+        Box::new(Bpr::fit(
+            &split.train,
+            &BprConfig {
+                k: k_hint,
+                seed,
+                ..Default::default()
+            },
+        )),
         Box::new(UserKnn::fit(&split.train, &KnnConfig::default())),
         Box::new(ItemKnn::fit(&split.train, &KnnConfig::default())),
     ];
 
-    println!("Figure 5 — recall@M and MAP@M vs M (Movielens-like, scale {:?})\n", args.scale());
+    println!(
+        "Figure 5 — recall@M and MAP@M vs M (Movielens-like, scale {:?})\n",
+        args.scale()
+    );
     let curves: Vec<(_, _)> = models
         .iter()
         .map(|model| {
@@ -56,16 +79,19 @@ fn main() {
         .collect();
     for metric in ["recall", "MAP"] {
         let mut table = TextTable::new(
-            std::iter::once("M".to_string())
-                .chain(curves.iter().map(|(n, _)| n.to_string())),
+            std::iter::once("M".to_string()).chain(curves.iter().map(|(n, _)| n.to_string())),
         );
         for &m in &checkpoints {
-            table.row(std::iter::once(m.to_string()).chain(curves.iter().map(
-                |(_, c)| {
-                    let v = if metric == "recall" { c.recall_at(m) } else { c.map_at(m) };
+            table.row(
+                std::iter::once(m.to_string()).chain(curves.iter().map(|(_, c)| {
+                    let v = if metric == "recall" {
+                        c.recall_at(m)
+                    } else {
+                        c.map_at(m)
+                    };
                     format!("{v:.4}")
-                },
-            )));
+                })),
+            );
         }
         println!("{metric}@M:");
         println!("{}", table.render());

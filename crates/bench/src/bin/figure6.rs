@@ -27,7 +27,13 @@ fn main() {
     let m = args.get("m", 50usize);
     let lambda_unit = args.get("lambda-unit", 0.01f64);
     let data = profiles::movielens_like(args.scale(), seed);
-    let split = Split::new(&data.matrix, &SplitConfig { seed, ..Default::default() });
+    let split = Split::new(
+        &data.matrix,
+        &SplitConfig {
+            seed,
+            ..Default::default()
+        },
+    );
 
     let base_k = data.truth.k();
     let ks: Vec<usize> = [base_k / 2, base_k, base_k * 2, base_k * 4]

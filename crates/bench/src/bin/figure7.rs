@@ -33,7 +33,11 @@ fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
         })
         .sum();
     let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
-    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
     (a, b, r2)
 }
 

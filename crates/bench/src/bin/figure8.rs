@@ -54,7 +54,12 @@ fn main() {
     let gpu_trace = TimedTrace::from_history(&gpu.history);
     let q_opt = cpu_trace.best().min(gpu_trace.best());
 
-    let mut table = TextTable::new(["sweep", "CPU time (s)", "GPU-sim time (s)", "distance to optimal"]);
+    let mut table = TextTable::new([
+        "sweep",
+        "CPU time (s)",
+        "GPU-sim time (s)",
+        "distance to optimal",
+    ]);
     let cpu_d = cpu_trace.distance_to(q_opt);
     for (i, d) in cpu_d.iter().enumerate() {
         table.row([

@@ -27,7 +27,13 @@ fn main() {
     let m = args.get("m", 50usize);
     let grid = args.get("grid", 5usize).max(2);
     let data = profiles::b2b_like(args.scale(), seed);
-    let split = Split::new(&data.matrix, &SplitConfig { seed, ..Default::default() });
+    let split = Split::new(
+        &data.matrix,
+        &SplitConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     let base_k = data.truth.k();
 
     // K axis: geometric range around the planted count (the paper sweeps
@@ -61,7 +67,13 @@ fn main() {
 
     let t0 = std::time::Instant::now();
     let result = grid_search(&ks, &lambdas, |k, lambda| {
-        let cfg = OcularConfig { k, lambda, max_iters: 40, seed, ..Default::default() };
+        let cfg = OcularConfig {
+            k,
+            lambda,
+            max_iters: 40,
+            seed,
+            ..Default::default()
+        };
         let rec = OcularRecommender::fit_absolute(&split.train, &cfg);
         evaluate_recommender(&rec, &split.train, &split.test, m).recall
     });

@@ -18,7 +18,13 @@ fn main() {
         "cu" => profiles::citeulike_like(args.scale(), seed),
         _ => profiles::b2b_like(args.scale(), seed),
     };
-    let split = Split::new(&data.matrix, &SplitConfig { seed, ..Default::default() });
+    let split = Split::new(
+        &data.matrix,
+        &SplitConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     let kh = data.truth.k();
     println!(
         "profile {which}: k_hint={kh}, nnz={}, density={:.4}, users/cluster≈{:.0}, items/cluster≈{:.0}",
@@ -29,7 +35,12 @@ fn main() {
     );
 
     // oracle: knows the planted clusters and global popularity
-    let item_deg: Vec<f64> = data.matrix.col_degrees().iter().map(|&d| d as f64).collect();
+    let item_deg: Vec<f64> = data
+        .matrix
+        .col_degrees()
+        .iter()
+        .map(|&d| d as f64)
+        .collect();
     let max_deg = item_deg.iter().cloned().fold(1.0, f64::max);
     let truth = &data.truth;
     let oracle = |u: usize, buf: &mut Vec<f64>| {
@@ -46,26 +57,44 @@ fn main() {
         }
     };
     let r = evaluate(oracle, &split.train, &split.test, 50);
-    println!("ORACLE (planted truth): recall@50={:.4} MAP@50={:.4}", r.recall, r.map);
+    println!(
+        "ORACLE (planted truth): recall@50={:.4} MAP@50={:.4}",
+        r.recall, r.map
+    );
 
     for knn in [20, 50, 150, 400] {
         let m = ItemKnn::fit(&split.train, &KnnConfig { k: knn });
         let r = evaluate_recommender(&m, &split.train, &split.test, 50);
-        println!("item-kNN k={knn:<4} recall@50={:.4} MAP@50={:.4}", r.recall, r.map);
+        println!(
+            "item-kNN k={knn:<4} recall@50={:.4} MAP@50={:.4}",
+            r.recall, r.map
+        );
         let m = UserKnn::fit(&split.train, &KnnConfig { k: knn });
         let r = evaluate_recommender(&m, &split.train, &split.test, 50);
-        println!("user-kNN k={knn:<4} recall@50={:.4} MAP@50={:.4}", r.recall, r.map);
+        println!(
+            "user-kNN k={knn:<4} recall@50={:.4} MAP@50={:.4}",
+            r.recall, r.map
+        );
     }
 
     for k in [kh, kh * 2] {
         for lambda in [1.0, 2.0, 5.0, 10.0] {
-            let cfg = OcularConfig { k, lambda, max_iters: 100, tol: 1e-5, seed, ..Default::default() };
+            let cfg = OcularConfig {
+                k,
+                lambda,
+                max_iters: 100,
+                tol: 1e-5,
+                seed,
+                ..Default::default()
+            };
             let t0 = std::time::Instant::now();
             let rec = OcularRecommender::fit_absolute(&split.train, &cfg);
             let r = evaluate_recommender(&rec, &split.train, &split.test, 50);
             println!(
                 "OCuLaR k={k:>3} λ={lambda:<5} recall@50={:.4} MAP@50={:.4}  ({:.1}s)",
-                r.recall, r.map, t0.elapsed().as_secs_f64()
+                r.recall,
+                r.map,
+                t0.elapsed().as_secs_f64()
             );
         }
     }

@@ -80,11 +80,25 @@ fn methods(k_hint: usize, tune: bool) -> Vec<Method> {
             .map(|&k| -> FitFn {
                 if wals {
                     Box::new(move |r, seed| {
-                        Box::new(Wals::fit(r, &WalsConfig { k, seed, ..Default::default() }))
+                        Box::new(Wals::fit(
+                            r,
+                            &WalsConfig {
+                                k,
+                                seed,
+                                ..Default::default()
+                            },
+                        ))
                     })
                 } else {
                     Box::new(move |r, seed| {
-                        Box::new(Bpr::fit(r, &BprConfig { k, seed, ..Default::default() }))
+                        Box::new(Bpr::fit(
+                            r,
+                            &BprConfig {
+                                k,
+                                seed,
+                                ..Default::default()
+                            },
+                        ))
                     })
                 }
             })
@@ -92,10 +106,22 @@ fn methods(k_hint: usize, tune: bool) -> Vec<Method> {
     };
 
     vec![
-        Method { name: "OCuLaR", candidates: ocular_cfgs(ocular_core::Weighting::Absolute) },
-        Method { name: "R-OCuLaR", candidates: ocular_cfgs(ocular_core::Weighting::Relative) },
-        Method { name: "wALS", candidates: mf_cfgs(true) },
-        Method { name: "BPR", candidates: mf_cfgs(false) },
+        Method {
+            name: "OCuLaR",
+            candidates: ocular_cfgs(ocular_core::Weighting::Absolute),
+        },
+        Method {
+            name: "R-OCuLaR",
+            candidates: ocular_cfgs(ocular_core::Weighting::Relative),
+        },
+        Method {
+            name: "wALS",
+            candidates: mf_cfgs(true),
+        },
+        Method {
+            name: "BPR",
+            candidates: mf_cfgs(false),
+        },
         Method {
             name: "user-based",
             candidates: knn_ks
@@ -155,7 +181,10 @@ fn main() {
         // best-of-grid protocol)
         let select_split = Split::new(
             &data.matrix,
-            &SplitConfig { seed, ..Default::default() },
+            &SplitConfig {
+                seed,
+                ..Default::default()
+            },
         );
         let chosen: Vec<usize> = zoo
             .iter()
@@ -191,7 +220,10 @@ fn main() {
         for inst in 0..instances {
             let split = Split::new(
                 &data.matrix,
-                &SplitConfig { seed: seed + inst as u64, ..Default::default() },
+                &SplitConfig {
+                    seed: seed + inst as u64,
+                    ..Default::default()
+                },
             );
             for (slot, method) in zoo.iter().enumerate() {
                 let model = method.candidates[chosen[slot]](&split.train, seed + inst as u64);
@@ -215,7 +247,10 @@ fn main() {
                 .into_iter()
                 .chain(averaged.iter().map(|r| format!("{:.4}", r.recall))),
         );
-        eprintln!("[table1] {name} done ({} users evaluated)", averaged[0].evaluated_users);
+        eprintln!(
+            "[table1] {name} done ({} users evaluated)",
+            averaged[0].evaluated_users
+        );
     }
 
     println!("{}", table.render());

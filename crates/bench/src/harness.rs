@@ -16,14 +16,26 @@ pub struct OcularRecommender {
 impl OcularRecommender {
     /// Fits plain OCuLaR.
     pub fn fit_absolute(r: &CsrMatrix, cfg: &OcularConfig) -> Self {
-        let cfg = OcularConfig { weighting: Weighting::Absolute, ..cfg.clone() };
-        OcularRecommender { model: fit(r, &cfg).model, name: "OCuLaR" }
+        let cfg = OcularConfig {
+            weighting: Weighting::Absolute,
+            ..cfg.clone()
+        };
+        OcularRecommender {
+            model: fit(r, &cfg).model,
+            name: "OCuLaR",
+        }
     }
 
     /// Fits R-OCuLaR (relative weighting).
     pub fn fit_relative(r: &CsrMatrix, cfg: &OcularConfig) -> Self {
-        let cfg = OcularConfig { weighting: Weighting::Relative, ..cfg.clone() };
-        OcularRecommender { model: fit(r, &cfg).model, name: "R-OCuLaR" }
+        let cfg = OcularConfig {
+            weighting: Weighting::Relative,
+            ..cfg.clone()
+        };
+        OcularRecommender {
+            model: fit(r, &cfg).model,
+            name: "R-OCuLaR",
+        }
     }
 
     /// Wraps an already fitted model.
@@ -81,8 +93,8 @@ mod tests {
 
     #[test]
     fn adapter_scores_match_model() {
-        let r = CsrMatrix::from_pairs(4, 4, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2), (3, 3)])
-            .unwrap();
+        let r =
+            CsrMatrix::from_pairs(4, 4, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2), (3, 3)]).unwrap();
         let rec = OcularRecommender::fit_absolute(&r, &default_ocular_config(2, 1));
         let mut via_trait = Vec::new();
         rec.score_user(0, &mut via_trait);

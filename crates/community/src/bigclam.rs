@@ -42,7 +42,14 @@ pub struct BigclamConfig {
 
 impl Default for BigclamConfig {
     fn default() -> Self {
-        BigclamConfig { k: 4, max_iters: 200, tol: 1e-6, step: 0.5, backtracks: 12, seed: 0 }
+        BigclamConfig {
+            k: 4,
+            max_iters: 200,
+            tol: 1e-6,
+            step: 0.5,
+            backtracks: 12,
+            seed: 0,
+        }
     }
 }
 
@@ -130,16 +137,12 @@ impl Bigclam {
                 let l0 = local(f.row(u), &f);
                 let mut eta = cfg.step;
                 for _ in 0..cfg.backtracks {
-                    for ((c, &o), &gr) in
-                        candidate.iter_mut().zip(f.row(u)).zip(grad.iter())
-                    {
+                    for ((c, &o), &gr) in candidate.iter_mut().zip(f.row(u)).zip(grad.iter()) {
                         *c = (o + eta * gr).max(0.0);
                     }
                     if local(&candidate, &f) > l0 {
                         // accept: maintain S incrementally
-                        for (sv, (&new, &old)) in
-                            s.iter_mut().zip(candidate.iter().zip(f.row(u)))
-                        {
+                        for (sv, (&new, &old)) in s.iter_mut().zip(candidate.iter().zip(f.row(u))) {
                             *sv += new - old;
                         }
                         f.row_mut(u).copy_from_slice(&candidate);
@@ -155,7 +158,10 @@ impl Bigclam {
                 break;
             }
         }
-        Bigclam { factors: f, loglik_trace: trace }
+        Bigclam {
+            factors: f,
+            loglik_trace: trace,
+        }
     }
 
     /// The membership threshold of the BIGCLAM paper:
@@ -203,7 +209,12 @@ mod tests {
     }
 
     fn cfg() -> BigclamConfig {
-        BigclamConfig { k: 2, max_iters: 300, seed: 1, ..Default::default() }
+        BigclamConfig {
+            k: 2,
+            max_iters: 300,
+            seed: 1,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -230,8 +241,7 @@ mod tests {
         let communities = m.communities(Bigclam::default_threshold(&g));
         assert_eq!(communities.len(), 2, "got {communities:?}");
         // the shared node 4 must appear in both
-        let containing: usize =
-            communities.iter().filter(|c| c.nodes.contains(&4)).count();
+        let containing: usize = communities.iter().filter(|c| c.nodes.contains(&4)).count();
         assert_eq!(containing, 2, "node 4 should overlap: {communities:?}");
         // each community covers its clique
         let mut sizes: Vec<usize> = communities.iter().map(|c| c.nodes.len()).collect();
@@ -267,7 +277,10 @@ mod tests {
         let eps = 2.0 * g.n_edges() as f64 / (9.0 * 8.0);
         assert!((delta - (-(1.0 - eps).ln()).sqrt()).abs() < 1e-12);
         // tiny graphs
-        assert_eq!(Bigclam::default_threshold(&Graph::from_edges(1, &[])), f64::INFINITY);
+        assert_eq!(
+            Bigclam::default_threshold(&Graph::from_edges(1, &[])),
+            f64::INFINITY
+        );
     }
 
     #[test]
@@ -279,7 +292,14 @@ mod tests {
             }
         }
         let g = Graph::from_edges(6, &edges); // nodes 4, 5 isolated
-        let m = Bigclam::fit(&g, &BigclamConfig { k: 1, seed: 3, ..Default::default() });
+        let m = Bigclam::fit(
+            &g,
+            &BigclamConfig {
+                k: 1,
+                seed: 3,
+                ..Default::default()
+            },
+        );
         let communities = m.communities(Bigclam::default_threshold(&g));
         for c in &communities {
             assert!(!c.nodes.contains(&4) || !c.nodes.contains(&5));

@@ -32,7 +32,10 @@ impl Graph {
         for list in adjacency.iter_mut() {
             list.sort_unstable();
         }
-        Graph { adjacency, n_edges: cleaned.len() }
+        Graph {
+            adjacency,
+            n_edges: cleaned.len(),
+        }
     }
 
     /// Builds the user-item bipartite graph of an interaction matrix: node
@@ -40,8 +43,7 @@ impl Graph {
     /// positive example.
     pub fn from_bipartite(r: &CsrMatrix) -> Graph {
         let n_users = r.n_rows();
-        let edges: Vec<(usize, usize)> =
-            r.iter_nnz().map(|(u, i)| (u, n_users + i)).collect();
+        let edges: Vec<(usize, usize)> = r.iter_nnz().map(|(u, i)| (u, n_users + i)).collect();
         Graph::from_edges(n_users + r.n_cols(), &edges)
     }
 
@@ -98,8 +100,12 @@ impl Community {
 
     /// Splits a community of a bipartite graph back into (users, items).
     pub fn split_bipartite(&self, n_users: usize) -> (Vec<usize>, Vec<usize>) {
-        let users: Vec<usize> =
-            self.nodes.iter().copied().filter(|&v| v < n_users).collect();
+        let users: Vec<usize> = self
+            .nodes
+            .iter()
+            .copied()
+            .filter(|&v| v < n_users)
+            .collect();
         let items: Vec<usize> = self
             .nodes
             .iter()

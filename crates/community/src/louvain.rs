@@ -23,7 +23,11 @@ impl WGraph {
         let adj = (0..g.n_nodes())
             .map(|v| g.neighbors(v).iter().map(|&u| (u, 1.0)).collect())
             .collect();
-        WGraph { adj, self_loop: vec![0.0; g.n_nodes()], m: g.n_edges() as f64 }
+        WGraph {
+            adj,
+            self_loop: vec![0.0; g.n_nodes()],
+            m: g.n_edges() as f64,
+        }
     }
 
     fn n_nodes(&self) -> usize {
@@ -192,7 +196,10 @@ mod tests {
         let g = two_cliques();
         let (_, q_louvain) = louvain(&g);
         let (_, q_greedy) = crate::modularity::greedy_modularity(&g);
-        assert!((q_louvain - q_greedy).abs() < 0.05, "{q_louvain} vs {q_greedy}");
+        assert!(
+            (q_louvain - q_greedy).abs() < 0.05,
+            "{q_louvain} vs {q_greedy}"
+        );
     }
 
     #[test]

@@ -200,6 +200,9 @@ mod tests {
                 seen[v] = true;
             }
         }
-        assert!(seen.into_iter().all(|s| s), "partition must cover all nodes");
+        assert!(
+            seen.into_iter().all(|s| s),
+            "partition must cover all nodes"
+        );
     }
 }

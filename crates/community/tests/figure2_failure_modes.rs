@@ -47,7 +47,14 @@ fn modularity_cannot_express_overlap() {
 fn bigclam_on_bipartite_graph_misses_structure() {
     let f = figure1();
     let g = Graph::from_bipartite(&f.matrix);
-    let m = Bigclam::fit(&g, &BigclamConfig { k: 3, seed: 7, ..Default::default() });
+    let m = Bigclam::fit(
+        &g,
+        &BigclamConfig {
+            k: 3,
+            seed: 7,
+            ..Default::default()
+        },
+    );
     let recovered = to_recovered(&m.communities(Bigclam::default_threshold(&g)));
     let f1 = best_match_f1(&f.truth, &recovered);
     assert!(
@@ -63,7 +70,14 @@ fn ocular_beats_both_on_recovery() {
     // OCuLaR
     let result = fit(
         &f.matrix,
-        &OcularConfig { k: 3, lambda: 0.05, max_iters: 400, tol: 1e-7, seed: 42, ..Default::default() },
+        &OcularConfig {
+            k: 3,
+            lambda: 0.05,
+            max_iters: 400,
+            tol: 1e-7,
+            seed: 42,
+            ..Default::default()
+        },
     );
     let oc: Vec<RecoveredCluster> = extract_coclusters(&result.model, default_threshold())
         .into_iter()
@@ -75,7 +89,14 @@ fn ocular_beats_both_on_recovery() {
     let g = Graph::from_bipartite(&f.matrix);
     let (mod_comms, _) = greedy_modularity(&g);
     let f1_modularity = best_match_f1(&f.truth, &to_recovered(&mod_comms));
-    let big = Bigclam::fit(&g, &BigclamConfig { k: 3, seed: 7, ..Default::default() });
+    let big = Bigclam::fit(
+        &g,
+        &BigclamConfig {
+            k: 3,
+            seed: 7,
+            ..Default::default()
+        },
+    );
     let f1_bigclam = best_match_f1(
         &f.truth,
         &to_recovered(&big.communities(Bigclam::default_threshold(&g))),
@@ -89,5 +110,8 @@ fn ocular_beats_both_on_recovery() {
         f1_ocular > f1_bigclam,
         "OCuLaR ({f1_ocular:.3}) must beat BIGCLAM ({f1_bigclam:.3})"
     );
-    assert!(f1_ocular > 0.75, "OCuLaR recovery should be strong, got {f1_ocular:.3}");
+    assert!(
+        f1_ocular > 0.75,
+        "OCuLaR recovery should be strong, got {f1_ocular:.3}"
+    );
 }

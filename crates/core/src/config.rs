@@ -162,28 +162,72 @@ mod tests {
 
     #[test]
     fn default_init_scale_tracks_k() {
-        let cfg = OcularConfig { k: 4, ..Default::default() };
+        let cfg = OcularConfig {
+            k: 4,
+            ..Default::default()
+        };
         assert!((cfg.effective_init_scale() - 0.5).abs() < 1e-12);
-        let explicit = OcularConfig { k: 4, init_scale: 0.1, ..Default::default() };
+        let explicit = OcularConfig {
+            k: 4,
+            init_scale: 0.1,
+            ..Default::default()
+        };
         assert_eq!(explicit.effective_init_scale(), 0.1);
     }
 
     #[test]
     fn k_total_includes_bias() {
-        let cfg = OcularConfig { k: 5, bias: true, ..Default::default() };
+        let cfg = OcularConfig {
+            k: 5,
+            bias: true,
+            ..Default::default()
+        };
         assert_eq!(cfg.k_total(), 7);
-        let plain = OcularConfig { k: 5, ..Default::default() };
+        let plain = OcularConfig {
+            k: 5,
+            ..Default::default()
+        };
         assert_eq!(plain.k_total(), 5);
     }
 
     #[test]
     fn validation_catches_bad_ranges() {
-        assert!(OcularConfig { k: 0, ..Default::default() }.validate().is_err());
-        assert!(OcularConfig { lambda: -1.0, ..Default::default() }.validate().is_err());
-        assert!(OcularConfig { sigma: 1.0, ..Default::default() }.validate().is_err());
-        assert!(OcularConfig { sigma: 0.0, ..Default::default() }.validate().is_err());
-        assert!(OcularConfig { beta: 0.0, ..Default::default() }.validate().is_err());
-        assert!(OcularConfig { inner_steps: 0, ..Default::default() }.validate().is_err());
+        assert!(OcularConfig {
+            k: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(OcularConfig {
+            lambda: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(OcularConfig {
+            sigma: 1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(OcularConfig {
+            sigma: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(OcularConfig {
+            beta: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(OcularConfig {
+            inner_steps: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         assert!(OcularConfig {
             line_search: false,
             fixed_step: 0.0,

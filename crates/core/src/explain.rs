@@ -126,7 +126,9 @@ impl Explanation {
             conf = self.probability * 100.0
         );
         if self.contributions.is_empty() {
-            out.push_str("  (no co-cluster evidence: the model assigns this pair background probability)\n");
+            out.push_str(
+                "  (no co-cluster evidence: the model assigns this pair background probability)\n",
+            );
             return out;
         }
         for (rank, c) in self.contributions.iter().enumerate() {
@@ -137,8 +139,7 @@ impl Explanation {
                 c.share * 100.0
             ));
             if !c.supporting_items.is_empty() {
-                let items: Vec<String> =
-                    c.supporting_items.iter().map(|&i| item_name(i)).collect();
+                let items: Vec<String> = c.supporting_items.iter().map(|&i| item_name(i)).collect();
                 out.push_str(&format!(
                     "     {} has already purchased {} from this bundle.\n",
                     user_name(self.user),
@@ -246,11 +247,13 @@ mod tests {
         let text = e.render();
         assert!(text.contains("Item 0 is recommended to Client 0"));
         assert!(text.contains("confidence"));
-        assert!(text.contains("Client 1"), "similar client must be named: {text}");
-        let custom = e.render_with(
-            &|u| format!("ACME-{u}"),
-            &|i| format!("\"Custom Cloud {i}\""),
+        assert!(
+            text.contains("Client 1"),
+            "similar client must be named: {text}"
         );
+        let custom = e.render_with(&|u| format!("ACME-{u}"), &|i| {
+            format!("\"Custom Cloud {i}\"")
+        });
         assert!(custom.contains("ACME-1"));
         assert!(custom.contains("\"Custom Cloud 0\""));
     }

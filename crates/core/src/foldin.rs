@@ -106,7 +106,11 @@ pub fn fold_in_user(
             StepOutcome::Rejected | StepOutcome::Stationary => break,
         }
     }
-    FoldIn { factors: own, objective: q, steps }
+    FoldIn {
+        factors: own,
+        objective: q,
+        steps,
+    }
 }
 
 /// Recommends top-M items for an *unseen* user described only by a basket,
@@ -122,7 +126,10 @@ pub fn recommend_for_basket(
         .filter(|i| !basket.contains(i))
         .map(|item| {
             let p = ocular_linalg::ops::dot(&fold.factors, model.item_factors.row(item));
-            Recommendation { item, probability: crate::model::prob_from_affinity(p) }
+            Recommendation {
+                item,
+                probability: crate::model::prob_from_affinity(p),
+            }
         })
         .collect();
     recs.sort_by(|a, b| {
@@ -152,7 +159,13 @@ mod tests {
             }
         }
         let r = CsrMatrix::from_pairs(8, 8, &pairs).unwrap();
-        let cfg = OcularConfig { k: 2, lambda: 0.1, max_iters: 80, seed: 3, ..Default::default() };
+        let cfg = OcularConfig {
+            k: 2,
+            lambda: 0.1,
+            max_iters: 80,
+            seed: 3,
+            ..Default::default()
+        };
         (fit(&r, &cfg).model, r, cfg)
     }
 
@@ -182,14 +195,20 @@ mod tests {
             })
             .sum::<f64>()
             / 4.0;
-        assert!(p_in > 3.0 * p_out + 0.1, "in-block {p_in} vs out-block {p_out}");
+        assert!(
+            p_in > 3.0 * p_out + 0.1,
+            "in-block {p_in} vs out-block {p_out}"
+        );
     }
 
     #[test]
     fn basket_recommendations_complete_the_block() {
         let (model, _r, cfg) = trained();
         let (recs, _) = recommend_for_basket(&model, &[4, 5], &cfg, 2);
-        let items: Vec<usize> = recs.iter().map(|r| r.item).collect();
+        // 6 and 7 are symmetric in the block, so their probabilities tie up
+        // to float noise and their relative order is not meaningful
+        let mut items: Vec<usize> = recs.iter().map(|r| r.item).collect();
+        items.sort_unstable();
         assert_eq!(items, vec![6, 7], "block B should be completed: {recs:?}");
     }
 
@@ -259,7 +278,14 @@ mod tests {
             }
         }
         let r = CsrMatrix::from_pairs(4, 4, &pairs).unwrap();
-        let cfg = OcularConfig { k: 2, bias: true, lambda: 0.1, max_iters: 30, seed: 1, ..Default::default() };
+        let cfg = OcularConfig {
+            k: 2,
+            bias: true,
+            lambda: 0.1,
+            max_iters: 30,
+            seed: 1,
+            ..Default::default()
+        };
         let model = fit(&r, &cfg).model;
         let fold = fold_in_user(&model, &[0, 1], &cfg, 1.0, 50);
         assert_eq!(fold.factors[3], 1.0, "frozen user column must stay 1");

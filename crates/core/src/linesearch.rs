@@ -102,7 +102,11 @@ mod tests {
     use ocular_linalg::Matrix;
 
     fn params() -> LineSearch {
-        LineSearch { sigma: 0.1, beta: 0.5, max_backtracks: 30 }
+        LineSearch {
+            sigma: 0.1,
+            beta: 0.5,
+            max_backtracks: 30,
+        }
     }
 
     /// A small concrete subproblem: one positive counterpart, light
@@ -139,7 +143,10 @@ mod tests {
             }
             other => panic!("expected acceptance, got {other:?}"),
         }
-        assert!(own.iter().all(|&v| v >= 0.0), "projection keeps non-negativity");
+        assert!(
+            own.iter().all(|&v| v >= 0.0),
+            "projection keeps non-negativity"
+        );
     }
 
     #[test]

@@ -90,12 +90,7 @@ pub fn objective_parts(
 
 /// Naive `O(n_u · n_i · K)` objective used to validate the sum-trick in
 /// tests and the ablation bench. Do not call on real data sizes.
-pub fn objective_naive(
-    r: &CsrMatrix,
-    model: &FactorModel,
-    lambda: f64,
-    weights: &[f64],
-) -> f64 {
+pub fn objective_naive(r: &CsrMatrix, model: &FactorModel, lambda: f64, weights: &[f64]) -> f64 {
     let mut q = 0.0;
     for u in 0..r.n_rows() {
         let fu = model.user_factors.row(u);

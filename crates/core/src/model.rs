@@ -54,7 +54,12 @@ impl FactorModel {
         } else {
             k_total
         };
-        FactorModel { user_factors, item_factors, n_clusters, has_bias }
+        FactorModel {
+            user_factors,
+            item_factors,
+            n_clusters,
+            has_bias,
+        }
     }
 
     /// Number of users.
@@ -144,8 +149,7 @@ impl FactorModel {
         )?;
         for side in [&self.user_factors, &self.item_factors] {
             for r in 0..side.rows() {
-                let row: Vec<String> =
-                    side.row(r).iter().map(|v| format!("{v:e}")).collect();
+                let row: Vec<String> = side.row(r).iter().map(|v| format!("{v:e}")).collect();
                 writeln!(w, "{}", row.join(" "))?;
             }
         }

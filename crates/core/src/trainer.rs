@@ -38,7 +38,10 @@ impl TrainingHistory {
 
     /// Final objective value.
     pub fn final_objective(&self) -> f64 {
-        *self.objective.last().expect("objective recorded at least once")
+        *self
+            .objective
+            .last()
+            .expect("objective recorded at least once")
     }
 
     /// Mean seconds per sweep.
@@ -119,8 +122,14 @@ fn sweep_side<'w>(
         for _ in 0..cfg.inner_steps {
             problem.gradient(row, &mut scratch.grad);
             if cfg.line_search {
-                match armijo_step(row, &scratch.grad, q_local, &problem, ls, &mut scratch.candidate)
-                {
+                match armijo_step(
+                    row,
+                    &scratch.grad,
+                    q_local,
+                    &problem,
+                    ls,
+                    &mut scratch.candidate,
+                ) {
                     StepOutcome::Accepted { q_new, .. } => {
                         q_local = q_new;
                         accepted += 1;
@@ -225,16 +234,19 @@ pub fn fit(r: &CsrMatrix, cfg: &OcularConfig) -> TrainResult {
 
     let rt = r.transpose();
     let weights = user_weights(r, cfg.weighting);
-    let ls = LineSearch { sigma: cfg.sigma, beta: cfg.beta, max_backtracks: cfg.max_backtracks };
+    let ls = LineSearch {
+        sigma: cfg.sigma,
+        beta: cfg.beta,
+        max_backtracks: cfg.max_backtracks,
+    };
     let mut scratch = SweepScratch {
         negsum: vec![0.0; cfg.k_total()],
         grad: vec![0.0; cfg.k_total()],
         candidate: vec![0.0; cfg.k_total()],
     };
 
-    let eval = |uf: &Matrix, itf: &Matrix| {
-        crate::loss::objective_parts(r, uf, itf, cfg.lambda, &weights)
-    };
+    let eval =
+        |uf: &Matrix, itf: &Matrix| crate::loss::objective_parts(r, uf, itf, cfg.lambda, &weights);
     let mut q = eval(&user_factors, &item_factors);
     let mut history = TrainingHistory {
         objective: vec![q],
@@ -296,15 +308,37 @@ mod tests {
             6,
             6,
             &[
-                (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2), (2, 0), (2, 1), (2, 2),
-                (3, 3), (3, 4), (3, 5), (4, 3), (4, 4), (4, 5), (5, 3), (5, 4), (5, 5),
+                (0, 0),
+                (0, 1),
+                (0, 2),
+                (1, 0),
+                (1, 1),
+                (1, 2),
+                (2, 0),
+                (2, 1),
+                (2, 2),
+                (3, 3),
+                (3, 4),
+                (3, 5),
+                (4, 3),
+                (4, 4),
+                (4, 5),
+                (5, 3),
+                (5, 4),
+                (5, 5),
             ],
         )
         .unwrap()
     }
 
     fn quick_cfg() -> OcularConfig {
-        OcularConfig { k: 2, lambda: 0.05, max_iters: 60, seed: 3, ..Default::default() }
+        OcularConfig {
+            k: 2,
+            lambda: 0.05,
+            max_iters: 60,
+            seed: 3,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -327,8 +361,18 @@ mod tests {
     fn factors_stay_nonnegative() {
         let r = two_blocks();
         let result = fit(&r, &quick_cfg());
-        assert!(result.model.user_factors.as_slice().iter().all(|&v| v >= 0.0));
-        assert!(result.model.item_factors.as_slice().iter().all(|&v| v >= 0.0));
+        assert!(result
+            .model
+            .user_factors
+            .as_slice()
+            .iter()
+            .all(|&v| v >= 0.0));
+        assert!(result
+            .model
+            .item_factors
+            .as_slice()
+            .iter()
+            .all(|&v| v >= 0.0));
     }
 
     #[test]
@@ -351,22 +395,40 @@ mod tests {
         let a = fit(&r, &quick_cfg());
         let b = fit(&r, &quick_cfg());
         assert_eq!(a.model, b.model);
-        let c = fit(&r, &OcularConfig { seed: 99, ..quick_cfg() });
+        let c = fit(
+            &r,
+            &OcularConfig {
+                seed: 99,
+                ..quick_cfg()
+            },
+        );
         assert_ne!(a.model, c.model);
     }
 
     #[test]
     fn converges_on_small_problem() {
         let r = two_blocks();
-        let result = fit(&r, &OcularConfig { max_iters: 200, ..quick_cfg() });
-        assert!(result.history.converged, "should converge within 200 sweeps");
+        let result = fit(
+            &r,
+            &OcularConfig {
+                max_iters: 200,
+                ..quick_cfg()
+            },
+        );
+        assert!(
+            result.history.converged,
+            "should converge within 200 sweeps"
+        );
         assert!(result.history.iterations() < 200);
     }
 
     #[test]
     fn relative_weighting_trains() {
         let r = two_blocks();
-        let cfg = OcularConfig { weighting: Weighting::Relative, ..quick_cfg() };
+        let cfg = OcularConfig {
+            weighting: Weighting::Relative,
+            ..quick_cfg()
+        };
         let result = fit(&r, &cfg);
         for w in result.history.objective.windows(2) {
             assert!(w[1] <= w[0] + 1e-9);
@@ -378,7 +440,10 @@ mod tests {
     #[test]
     fn bias_variant_trains_and_freezes_columns() {
         let r = two_blocks();
-        let cfg = OcularConfig { bias: true, ..quick_cfg() };
+        let cfg = OcularConfig {
+            bias: true,
+            ..quick_cfg()
+        };
         let result = fit(&r, &cfg);
         let m = &result.model;
         assert!(m.has_bias());
@@ -398,8 +463,22 @@ mod tests {
     #[test]
     fn multiple_inner_steps_reach_lower_objective_per_sweep() {
         let r = two_blocks();
-        let one = fit(&r, &OcularConfig { inner_steps: 1, max_iters: 3, ..quick_cfg() });
-        let five = fit(&r, &OcularConfig { inner_steps: 5, max_iters: 3, ..quick_cfg() });
+        let one = fit(
+            &r,
+            &OcularConfig {
+                inner_steps: 1,
+                max_iters: 3,
+                ..quick_cfg()
+            },
+        );
+        let five = fit(
+            &r,
+            &OcularConfig {
+                inner_steps: 5,
+                max_iters: 3,
+                ..quick_cfg()
+            },
+        );
         assert!(
             five.history.final_objective() <= one.history.final_objective() + 1e-9,
             "more inner steps should fit at least as well per sweep"
@@ -409,7 +488,14 @@ mod tests {
     #[test]
     fn empty_matrix_trains_to_zero_factors() {
         let r = CsrMatrix::empty(4, 3);
-        let result = fit(&r, &OcularConfig { max_iters: 50, tol: 1e-9, ..quick_cfg() });
+        let result = fit(
+            &r,
+            &OcularConfig {
+                max_iters: 50,
+                tol: 1e-9,
+                ..quick_cfg()
+            },
+        );
         // with no positives the optimum is all-zero factors: items collapse
         // immediately (their negative sum dominates); users decay
         // geometrically under the regulariser until tolerance
@@ -426,14 +512,20 @@ mod tests {
             .as_slice()
             .iter()
             .fold(0.0f64, |m, &v| m.max(v));
-        assert!(user_max < 0.05, "user factors should decay towards 0, max {user_max}");
+        assert!(
+            user_max < 0.05,
+            "user factors should decay towards 0, max {user_max}"
+        );
     }
 
     #[test]
     fn history_timings_recorded() {
         let r = two_blocks();
         let result = fit(&r, &quick_cfg());
-        assert_eq!(result.history.sweep_seconds.len(), result.history.iterations());
+        assert_eq!(
+            result.history.sweep_seconds.len(),
+            result.history.iterations()
+        );
         assert!(result.history.mean_sweep_seconds() >= 0.0);
         assert_eq!(
             result.history.objective.len(),
@@ -444,7 +536,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid OcularConfig")]
     fn invalid_config_panics() {
-        fit(&two_blocks(), &OcularConfig { k: 0, ..Default::default() });
+        fit(
+            &two_blocks(),
+            &OcularConfig {
+                k: 0,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
@@ -458,6 +556,9 @@ mod tests {
         };
         let result = fit(&r, &cfg);
         let m = &result.model;
-        assert!(m.prob(0, 1) > m.prob(0, 4), "fixed-step training should still fit");
+        assert!(
+            m.prob(0, 1) > m.prob(0, 4),
+            "fixed-step training should still fit"
+        );
     }
 }

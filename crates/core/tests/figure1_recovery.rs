@@ -25,10 +25,7 @@ fn held_out_cells_get_high_probability() {
     let (result, _f) = trained();
     for &(u, i) in &HELD_OUT {
         let p = result.model.prob(u, i);
-        assert!(
-            p > 0.5,
-            "held-out ({u},{i}) should score high, got {p:.3}"
-        );
+        assert!(p > 0.5, "held-out ({u},{i}) should score high, got {p:.3}");
     }
     // a far-outside pair must stay near zero
     let outside = result.model.prob(3, 0);
@@ -41,7 +38,10 @@ fn item4_recommended_to_user6() {
     // paper: "The probability estimate … for u = 6 is maximized among the
     // unknown examples for Item i = 4"
     let recs = recommend_top_m(&result.model, &f.matrix, 6, 1);
-    assert_eq!(recs[0].item, 4, "top recommendation for user 6 must be item 4");
+    assert_eq!(
+        recs[0].item, 4,
+        "top recommendation for user 6 must be item 4"
+    );
     assert!(
         recs[0].probability > 0.5,
         "paper reports ≈0.83; got {:.3}",
@@ -63,7 +63,10 @@ fn recommendation_explained_by_two_coclusters() {
     );
     // the rendered rationale names similar clients who bought item 4
     let text = e.render();
-    assert!(text.contains("also bought Item 4"), "rationale was:\n{text}");
+    assert!(
+        text.contains("also bought Item 4"),
+        "rationale was:\n{text}"
+    );
 }
 
 #[test]
@@ -71,13 +74,7 @@ fn coclusters_match_planted_structure() {
     let (result, f) = trained();
     let clusters = extract_coclusters(&result.model, default_threshold());
     // map each planted cluster to its best recovered match by user-set F1
-    for (ti, (us, is)) in f
-        .truth
-        .user_sets
-        .iter()
-        .zip(&f.truth.item_sets)
-        .enumerate()
-    {
+    for (ti, (us, is)) in f.truth.user_sets.iter().zip(&f.truth.item_sets).enumerate() {
         let best = clusters
             .iter()
             .map(|c| {

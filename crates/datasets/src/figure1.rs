@@ -63,7 +63,11 @@ pub fn figure1() -> Figure1 {
             observed.push(u, i).expect("in bounds");
         }
     }
-    Figure1 { matrix: observed.into_csr(), truth, complete }
+    Figure1 {
+        matrix: observed.into_csr(),
+        truth,
+        complete,
+    }
 }
 
 /// Renders a binary matrix as ASCII art (rows = users), with `■` for
@@ -122,7 +126,10 @@ mod tests {
         for i in 5..=9 {
             assert!(f.matrix.contains(6, i));
         }
-        assert!(!f.matrix.contains(6, 4), "item 4 is the recommendation target");
+        assert!(
+            !f.matrix.contains(6, 4),
+            "item 4 is the recommendation target"
+        );
         // "Users 7,8,9 have purchase patterns of items 4-9" (9's held-out
         // cell at item 8 aside)
         for u in [7, 8] {

@@ -47,7 +47,10 @@ impl CoClusterTruth {
 
     /// Number of co-clusters user `u` belongs to.
     pub fn user_membership_count(&self, u: usize) -> usize {
-        self.user_sets.iter().filter(|s| s.binary_search(&u).is_ok()).count()
+        self.user_sets
+            .iter()
+            .filter(|s| s.binary_search(&u).is_ok())
+            .count()
     }
 }
 
@@ -120,10 +123,22 @@ pub struct PlantedDataset {
 /// sizes exceed the matrix dimensions.
 pub fn generate(cfg: &PlantedConfig) -> PlantedDataset {
     assert!(cfg.k > 0, "need at least one co-cluster");
-    assert!((0.0..=1.0).contains(&cfg.within_density), "within_density in [0,1]");
-    assert!((0.0..=1.0).contains(&cfg.noise_density), "noise_density in [0,1]");
-    assert!(cfg.users_per_cluster <= cfg.n_users, "users_per_cluster > n_users");
-    assert!(cfg.items_per_cluster <= cfg.n_items, "items_per_cluster > n_items");
+    assert!(
+        (0.0..=1.0).contains(&cfg.within_density),
+        "within_density in [0,1]"
+    );
+    assert!(
+        (0.0..=1.0).contains(&cfg.noise_density),
+        "noise_density in [0,1]"
+    );
+    assert!(
+        cfg.users_per_cluster <= cfg.n_users,
+        "users_per_cluster > n_users"
+    );
+    assert!(
+        cfg.items_per_cluster <= cfg.n_items,
+        "items_per_cluster > n_items"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     let user_sets = assign_sets(
@@ -165,7 +180,10 @@ pub fn generate(cfg: &PlantedConfig) -> PlantedDataset {
 
     PlantedDataset {
         matrix: t.into_csr(),
-        truth: CoClusterTruth { user_sets, item_sets },
+        truth: CoClusterTruth {
+            user_sets,
+            item_sets,
+        },
         config: cfg.clone(),
     }
 }
@@ -177,14 +195,12 @@ pub fn generate(cfg: &PlantedConfig) -> PlantedDataset {
 /// overlap parameter genuinely controls membership counts). Empty clusters
 /// receive one random member so that every co-cluster contains at least one
 /// user and one item, as the model requires.
-fn assign_sets(
-    n: usize,
-    k: usize,
-    size: usize,
-    overlap: f64,
-    rng: &mut StdRng,
-) -> Vec<Vec<usize>> {
-    let extra_p = if k > 1 { (overlap / (k - 1) as f64).min(1.0) } else { 0.0 };
+fn assign_sets(n: usize, k: usize, size: usize, overlap: f64, rng: &mut StdRng) -> Vec<Vec<usize>> {
+    let extra_p = if k > 1 {
+        (overlap / (k - 1) as f64).min(1.0)
+    } else {
+        0.0
+    };
     let mut sets: Vec<Vec<usize>> = vec![Vec::new(); k];
     for e in 0..n {
         let home = rng.gen_range(0..k);
@@ -302,7 +318,10 @@ mod tests {
             items_per_cluster: 200,
             ..Default::default()
         };
-        let heavy = PlantedConfig { user_overlap: 2.0, ..base.clone() };
+        let heavy = PlantedConfig {
+            user_overlap: 2.0,
+            ..base.clone()
+        };
         let a = generate(&base);
         let b = generate(&heavy);
         let avg = |d: &PlantedDataset| {

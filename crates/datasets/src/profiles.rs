@@ -185,7 +185,10 @@ mod tests {
     #[test]
     fn b2b_shape_is_wide() {
         let d = b2b_like(Scale::Small, 0);
-        assert!(d.matrix.n_rows() > 20 * d.matrix.n_cols() / 2, "clients ≫ products");
+        assert!(
+            d.matrix.n_rows() > 20 * d.matrix.n_cols() / 2,
+            "clients ≫ products"
+        );
         assert_eq!(d.matrix.n_rows(), 8_000);
         assert_eq!(d.matrix.n_cols(), 300);
     }

@@ -99,19 +99,16 @@ pub fn best_match_f1(truth: &CoClusterTruth, recovered: &[RecoveredCluster]) -> 
 /// containing both endpoints — "how many of the three candidate
 /// recommendations would this clustering have identified" (Figure 2's
 /// criterion: Modularity/BIGCLAM identify only 1 of 3).
-pub fn held_out_coverage(
-    held_out: &[(usize, usize)],
-    recovered: &[RecoveredCluster],
-) -> f64 {
+pub fn held_out_coverage(held_out: &[(usize, usize)], recovered: &[RecoveredCluster]) -> f64 {
     if held_out.is_empty() {
         return 0.0;
     }
     let covered = held_out
         .iter()
         .filter(|&&(u, i)| {
-            recovered.iter().any(|r| {
-                r.users.binary_search(&u).is_ok() && r.items.binary_search(&i).is_ok()
-            })
+            recovered
+                .iter()
+                .any(|r| r.users.binary_search(&u).is_ok() && r.items.binary_search(&i).is_ok())
         })
         .count();
     covered as f64 / held_out.len() as f64
@@ -183,7 +180,10 @@ mod tests {
     #[test]
     fn empty_inputs_score_zero() {
         assert_eq!(best_match_f1(&toy_truth(), &[]), 0.0);
-        let empty = CoClusterTruth { user_sets: vec![], item_sets: vec![] };
+        let empty = CoClusterTruth {
+            user_sets: vec![],
+            item_sets: vec![],
+        };
         assert_eq!(best_match_f1(&empty, &[RecoveredCluster::default()]), 0.0);
     }
 }

@@ -42,8 +42,11 @@ impl Folds {
     /// Panics if `fold >= k`.
     pub fn split(&self, r: &CsrMatrix, fold: usize) -> (CsrMatrix, CsrMatrix) {
         assert!(fold < self.k, "fold {fold} out of range");
-        let keep_train: Vec<bool> =
-            self.assignment.iter().map(|&a| a as usize != fold).collect();
+        let keep_train: Vec<bool> = self
+            .assignment
+            .iter()
+            .map(|&a| a as usize != fold)
+            .collect();
         let train = r.filter_nnz(&keep_train);
         let keep_val: Vec<bool> = keep_train.iter().map(|&b| !b).collect();
         (train, r.filter_nnz(&keep_val))
@@ -101,7 +104,11 @@ where
                 })
                 .collect();
             let mean = per_fold.iter().sum::<f64>() / per_fold.len() as f64;
-            CvScore { params, mean, per_fold }
+            CvScore {
+                params,
+                mean,
+                per_fold,
+            }
         })
         .collect();
     scores.sort_by(|a, b| b.mean.partial_cmp(&a.mean).expect("finite metrics"));
@@ -212,9 +219,17 @@ mod tests {
 
     #[test]
     fn std_dev_computation() {
-        let s = CvScore { params: (), mean: 2.0, per_fold: vec![1.0, 2.0, 3.0] };
+        let s = CvScore {
+            params: (),
+            mean: 2.0,
+            per_fold: vec![1.0, 2.0, 3.0],
+        };
         assert!((s.std_dev() - 1.0).abs() < 1e-12);
-        let single = CvScore { params: (), mean: 1.0, per_fold: vec![1.0] };
+        let single = CvScore {
+            params: (),
+            mean: 1.0,
+            per_fold: vec![1.0],
+        };
         assert_eq!(single.std_dev(), 0.0);
     }
 

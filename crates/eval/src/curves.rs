@@ -90,8 +90,7 @@ mod tests {
     #[test]
     fn curves_match_pointwise_evaluation() {
         let train = CsrMatrix::from_pairs(3, 8, &[(0, 0), (1, 1), (2, 2)]).unwrap();
-        let test =
-            CsrMatrix::from_pairs(3, 8, &[(0, 3), (0, 4), (1, 5), (2, 6), (2, 7)]).unwrap();
+        let test = CsrMatrix::from_pairs(3, 8, &[(0, 3), (0, 4), (1, 5), (2, 6), (2, 7)]).unwrap();
         // an arbitrary deterministic scorer
         let scorer = |u: usize, buf: &mut Vec<f64>| {
             for (i, b) in buf.iter_mut().enumerate() {
@@ -133,7 +132,11 @@ mod tests {
 
     #[test]
     fn csv_round_numbers() {
-        let c = MetricCurves { recall: vec![0.5, 1.0], map: vec![0.25, 0.5], evaluated_users: 2 };
+        let c = MetricCurves {
+            recall: vec![0.5, 1.0],
+            map: vec![0.25, 0.5],
+            evaluated_users: 2,
+        };
         let csv = c.to_csv();
         assert!(csv.starts_with("m,recall,map\n"));
         assert!(csv.contains("1,0.500000,0.250000"));

@@ -91,7 +91,10 @@ pub fn grid_search<F>(ks: &[usize], lambdas: &[f64], eval_cell: F) -> GridResult
 where
     F: Fn(usize, f64) -> f64 + Sync,
 {
-    assert!(!ks.is_empty() && !lambdas.is_empty(), "grid axes must be non-empty");
+    assert!(
+        !ks.is_empty() && !lambdas.is_empty(),
+        "grid axes must be non-empty"
+    );
     let cells: Vec<(usize, usize)> = (0..ks.len())
         .flat_map(|ki| (0..lambdas.len()).map(move |li| (ki, li)))
         .collect();
@@ -111,7 +114,12 @@ where
             }
         }
     }
-    GridResult { ks: ks.to_vec(), lambdas: lambdas.to_vec(), scores, best }
+    GridResult {
+        ks: ks.to_vec(),
+        lambdas: lambdas.to_vec(),
+        scores,
+        best,
+    }
 }
 
 #[cfg(test)]

@@ -81,7 +81,10 @@ where
 pub fn average_reports(reports: &[EvalReport]) -> EvalReport {
     assert!(!reports.is_empty(), "need at least one report");
     let m = reports[0].m;
-    assert!(reports.iter().all(|r| r.m == m), "cutoff mismatch across instances");
+    assert!(
+        reports.iter().all(|r| r.m == m),
+        "cutoff mismatch across instances"
+    );
     let n = reports.len() as f64;
     EvalReport {
         m,
@@ -156,8 +159,20 @@ mod tests {
 
     #[test]
     fn average_reports_means() {
-        let a = EvalReport { m: 5, recall: 0.4, map: 0.2, ndcg: 0.3, evaluated_users: 10 };
-        let b = EvalReport { m: 5, recall: 0.6, map: 0.4, ndcg: 0.5, evaluated_users: 12 };
+        let a = EvalReport {
+            m: 5,
+            recall: 0.4,
+            map: 0.2,
+            ndcg: 0.3,
+            evaluated_users: 10,
+        };
+        let b = EvalReport {
+            m: 5,
+            recall: 0.6,
+            map: 0.4,
+            ndcg: 0.5,
+            evaluated_users: 12,
+        };
         let avg = average_reports(&[a, b]);
         assert!((avg.recall - 0.5).abs() < 1e-12);
         assert!((avg.map - 0.3).abs() < 1e-12);
@@ -167,7 +182,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "cutoff mismatch")]
     fn mismatched_cutoffs_panic() {
-        let a = EvalReport { m: 5, recall: 0.0, map: 0.0, ndcg: 0.0, evaluated_users: 1 };
+        let a = EvalReport {
+            m: 5,
+            recall: 0.0,
+            map: 0.0,
+            ndcg: 0.0,
+            evaluated_users: 1,
+        };
         let b = EvalReport { m: 6, ..a.clone() };
         average_reports(&[a, b]);
     }

@@ -57,8 +57,7 @@ pub fn top_m_excluding(scores: &[f64], exclude: &[u32], m: usize) -> Vec<usize> 
         if heap.len() < m {
             heap.push(Candidate { score, item });
         } else if let Some(worst) = heap.peek() {
-            let better = score > worst.score
-                || (score == worst.score && item < worst.item);
+            let better = score > worst.score || (score == worst.score && item < worst.item);
             if better {
                 heap.pop();
                 heap.push(Candidate { score, item });

@@ -1,6 +1,8 @@
 //! Property-based invariants of the evaluation machinery.
 
-use ocular_eval::metrics::{average_precision_at, ndcg_at, precision_at, prefix_metrics, recall_at};
+use ocular_eval::metrics::{
+    average_precision_at, ndcg_at, precision_at, prefix_metrics, recall_at,
+};
 use ocular_eval::ranking::top_m_excluding;
 use proptest::prelude::*;
 

@@ -34,7 +34,10 @@ impl std::fmt::Display for CholeskyError {
                 write!(f, "matrix is {rows}×{cols}, not square")
             }
             CholeskyError::NotPositiveDefinite { pivot, value } => {
-                write!(f, "non-positive pivot {value:.3e} at index {pivot}; matrix is not SPD")
+                write!(
+                    f,
+                    "non-positive pivot {value:.3e} at index {pivot}; matrix is not SPD"
+                )
             }
         }
     }
@@ -56,7 +59,10 @@ impl Cholesky {
     /// whose upper triangle is stale.
     pub fn factor(a: &Matrix) -> Result<Cholesky, CholeskyError> {
         if a.rows() != a.cols() {
-            return Err(CholeskyError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(CholeskyError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         let n = a.rows();
         let mut l = Matrix::zeros(n, n);
@@ -175,7 +181,10 @@ mod tests {
     #[test]
     fn rejects_non_square() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(Cholesky::factor(&a), Err(CholeskyError::NotSquare { .. })));
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(CholeskyError::NotSquare { .. })
+        ));
     }
 
     #[test]

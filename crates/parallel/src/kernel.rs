@@ -114,10 +114,7 @@ pub fn item_gradients_parallel(
     }
     let grads = grads;
     // one thread block per positive rating
-    let ratings: Vec<(u32, u32)> = r
-        .iter_nnz()
-        .map(|(u, i)| (u as u32, i as u32))
-        .collect();
+    let ratings: Vec<(u32, u32)> = r.iter_nnz().map(|(u, i)| (u as u32, i as u32)).collect();
     ratings.par_iter().for_each(|&(u, i)| {
         let fu = user_factors.row(u as usize);
         let fi = item_factors.row(i as usize);
@@ -191,7 +188,9 @@ mod tests {
     #[test]
     fn atomic_f64_accumulates_concurrently() {
         let acc = AtomicF64::new(0.0);
-        (0..1000usize).into_par_iter().for_each(|_| acc.fetch_add(0.5));
+        (0..1000usize)
+            .into_par_iter()
+            .for_each(|_| acc.fetch_add(0.5));
         assert!((acc.load() - 500.0).abs() < 1e-9);
     }
 

@@ -25,12 +25,24 @@ pub struct MemoryModel {
 impl MemoryModel {
     /// The paper's GPU precision (f32).
     pub fn gpu_f32(nnz: usize, n_users: usize, n_items: usize, k: usize) -> Self {
-        MemoryModel { nnz, n_users, n_items, k, bytes_per_scalar: 4 }
+        MemoryModel {
+            nnz,
+            n_users,
+            n_items,
+            k,
+            bytes_per_scalar: 4,
+        }
     }
 
     /// This crate's host simulation precision (f64).
     pub fn host_f64(nnz: usize, n_users: usize, n_items: usize, k: usize) -> Self {
-        MemoryModel { nnz, n_users, n_items, k, bytes_per_scalar: 8 }
+        MemoryModel {
+            nnz,
+            n_users,
+            n_items,
+            k,
+            bytes_per_scalar: 8,
+        }
     }
 
     /// Sparse training data in CSR + COO form: row pointers, column
@@ -44,9 +56,7 @@ impl MemoryModel {
 
     /// Factor matrices `F_u`, `F_i`.
     pub fn factor_bytes(&self) -> u64 {
-        (self.n_users as u64 + self.n_items as u64)
-            * self.k as u64
-            * self.bytes_per_scalar as u64
+        (self.n_users as u64 + self.n_items as u64) * self.k as u64 * self.bytes_per_scalar as u64
     }
 
     /// Gradient buffers (one per side, reused across half-sweeps) plus the

@@ -27,7 +27,10 @@ impl TimedTrace {
             acc += s;
             seconds.push(acc);
         }
-        TimedTrace { seconds, objective: h.objective.clone() }
+        TimedTrace {
+            seconds,
+            objective: h.objective.clone(),
+        }
     }
 
     /// First time at which the objective is `<= target`, if reached.
@@ -46,7 +49,10 @@ impl TimedTrace {
     /// The Figure 8 y-axis: `objective − q_opt` per point, with `q_opt`
     /// supplied by the caller (the best value across all compared traces).
     pub fn distance_to(&self, q_opt: f64) -> Vec<f64> {
-        self.objective.iter().map(|&q| (q - q_opt).max(0.0)).collect()
+        self.objective
+            .iter()
+            .map(|&q| (q - q_opt).max(0.0))
+            .collect()
     }
 
     /// CSV serialisation (`seconds,objective`).
@@ -62,11 +68,7 @@ impl TimedTrace {
 /// Speedup of `fast` over `slow` at the accuracy target
 /// `q_opt + rel_gap · |q_opt|`, where `q_opt` is the best objective either
 /// trace reached. Returns `None` if either trace never reaches the target.
-pub fn speedup_at_threshold(
-    slow: &TimedTrace,
-    fast: &TimedTrace,
-    rel_gap: f64,
-) -> Option<f64> {
+pub fn speedup_at_threshold(slow: &TimedTrace, fast: &TimedTrace, rel_gap: f64) -> Option<f64> {
     let q_opt = slow.best().min(fast.best());
     let target = q_opt + rel_gap * q_opt.abs();
     let ts = slow.time_to_reach(target)?;
@@ -126,22 +128,34 @@ mod tests {
 
     #[test]
     fn speedup_none_when_unreached() {
-        let slow = TimedTrace { seconds: vec![0.0, 1.0], objective: vec![100.0, 90.0] };
-        let fast = TimedTrace { seconds: vec![0.0, 1.0], objective: vec![100.0, 10.0] };
+        let slow = TimedTrace {
+            seconds: vec![0.0, 1.0],
+            objective: vec![100.0, 90.0],
+        };
+        let fast = TimedTrace {
+            seconds: vec![0.0, 1.0],
+            objective: vec![100.0, 10.0],
+        };
         // target is near 10; slow never reaches it
         assert!(speedup_at_threshold(&slow, &fast, 1e-6).is_none());
     }
 
     #[test]
     fn distance_to_optimal_clamps_at_zero() {
-        let t = TimedTrace { seconds: vec![0.0, 1.0], objective: vec![5.0, 2.0] };
+        let t = TimedTrace {
+            seconds: vec![0.0, 1.0],
+            objective: vec![5.0, 2.0],
+        };
         assert_eq!(t.distance_to(2.0), vec![3.0, 0.0]);
         assert_eq!(t.best(), 2.0);
     }
 
     #[test]
     fn csv_renders() {
-        let t = TimedTrace { seconds: vec![0.0, 0.5], objective: vec![2.0, 1.0] };
+        let t = TimedTrace {
+            seconds: vec![0.0, 0.5],
+            objective: vec![2.0, 1.0],
+        };
         let csv = t.to_csv();
         assert!(csv.contains("seconds,objective"));
         assert!(csv.contains("0.500000,1.000000"));

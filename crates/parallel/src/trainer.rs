@@ -173,7 +173,13 @@ mod tests {
     }
 
     fn cfg() -> OcularConfig {
-        OcularConfig { k: 4, lambda: 0.1, max_iters: 15, seed: 11, ..Default::default() }
+        OcularConfig {
+            k: 4,
+            lambda: 0.1,
+            max_iters: 15,
+            seed: 11,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -208,7 +214,10 @@ mod tests {
     #[test]
     fn relative_weighting_supported() {
         let r = blocks(3);
-        let c = OcularConfig { weighting: ocular_core::Weighting::Relative, ..cfg() };
+        let c = OcularConfig {
+            weighting: ocular_core::Weighting::Relative,
+            ..cfg()
+        };
         let seq = fit(&r, &c);
         let par = fit_parallel(&r, &c, None);
         assert_eq!(seq.model, par.model);
@@ -217,7 +226,10 @@ mod tests {
     #[test]
     fn bias_extension_supported() {
         let r = blocks(3);
-        let c = OcularConfig { bias: true, ..cfg() };
+        let c = OcularConfig {
+            bias: true,
+            ..cfg()
+        };
         let seq = fit(&r, &c);
         let par = fit_parallel(&r, &c, None);
         assert_eq!(seq.model, par.model);

@@ -20,12 +20,20 @@ pub struct Triplets {
 impl Triplets {
     /// Creates an empty triplet store for an `n_rows × n_cols` matrix.
     pub fn new(n_rows: usize, n_cols: usize) -> Self {
-        Triplets { n_rows, n_cols, entries: Vec::new() }
+        Triplets {
+            n_rows,
+            n_cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Creates an empty triplet store with pre-allocated capacity.
     pub fn with_capacity(n_rows: usize, n_cols: usize, cap: usize) -> Self {
-        Triplets { n_rows, n_cols, entries: Vec::with_capacity(cap) }
+        Triplets {
+            n_rows,
+            n_cols,
+            entries: Vec::with_capacity(cap),
+        }
     }
 
     /// Number of rows (users).
@@ -54,10 +62,16 @@ impl Triplets {
     /// ingestion time lets every downstream consumer skip per-access checks.
     pub fn push(&mut self, row: usize, col: usize) -> Result<(), SparseError> {
         if row >= self.n_rows {
-            return Err(SparseError::RowOutOfBounds { row, n_rows: self.n_rows });
+            return Err(SparseError::RowOutOfBounds {
+                row,
+                n_rows: self.n_rows,
+            });
         }
         if col >= self.n_cols {
-            return Err(SparseError::ColOutOfBounds { col, n_cols: self.n_cols });
+            return Err(SparseError::ColOutOfBounds {
+                col,
+                n_cols: self.n_cols,
+            });
         }
         self.entries.push((row as u32, col as u32));
         Ok(())

@@ -40,7 +40,12 @@ impl CsrMatrix {
         for r in 0..n_rows {
             indptr[r + 1] += indptr[r];
         }
-        CsrMatrix { n_rows, n_cols, indptr, indices }
+        CsrMatrix {
+            n_rows,
+            n_cols,
+            indptr,
+            indices,
+        }
     }
 
     /// Builds a matrix from arbitrary `(row, col)` pairs (sorted and
@@ -103,12 +108,22 @@ impl CsrMatrix {
                 }
             }
         }
-        Ok(CsrMatrix { n_rows, n_cols, indptr, indices })
+        Ok(CsrMatrix {
+            n_rows,
+            n_cols,
+            indptr,
+            indices,
+        })
     }
 
     /// An `n_rows × n_cols` matrix with no positive examples.
     pub fn empty(n_rows: usize, n_cols: usize) -> Self {
-        CsrMatrix { n_rows, n_cols, indptr: vec![0; n_rows + 1], indices: Vec::new() }
+        CsrMatrix {
+            n_rows,
+            n_cols,
+            indptr: vec![0; n_rows + 1],
+            indices: Vec::new(),
+        }
     }
 
     /// Number of rows (users).
@@ -152,9 +167,7 @@ impl CsrMatrix {
 
     /// Iterator over all positive `(row, col)` pairs in row-major order.
     pub fn iter_nnz(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        (0..self.n_rows).flat_map(move |r| {
-            self.row(r).iter().map(move |&c| (r, c as usize))
-        })
+        (0..self.n_rows).flat_map(move |r| self.row(r).iter().map(move |&c| (r, c as usize)))
     }
 
     /// Per-row degrees `|{i : r_ui = 1}|`.
@@ -191,7 +204,12 @@ impl CsrMatrix {
                 cursor[c as usize] += 1;
             }
         }
-        CsrMatrix { n_rows: self.n_cols, n_cols: self.n_rows, indptr, indices }
+        CsrMatrix {
+            n_rows: self.n_cols,
+            n_cols: self.n_rows,
+            indptr,
+            indices,
+        }
     }
 
     /// Density `nnz / (n_rows · n_cols)`; 0 for degenerate shapes.
@@ -230,7 +248,12 @@ impl CsrMatrix {
         for r in 0..self.n_rows {
             indptr[r + 1] += indptr[r];
         }
-        CsrMatrix { n_rows: self.n_rows, n_cols: self.n_cols, indptr, indices }
+        CsrMatrix {
+            n_rows: self.n_rows,
+            n_cols: self.n_cols,
+            indptr,
+            indices,
+        }
     }
 }
 

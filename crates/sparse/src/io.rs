@@ -48,7 +48,10 @@ struct Compactor {
 
 impl Compactor {
     fn new() -> Self {
-        Compactor { map: HashMap::new(), order: Vec::new() }
+        Compactor {
+            map: HashMap::new(),
+            order: Vec::new(),
+        }
     }
 
     fn get(&mut self, external: u64) -> u32 {
@@ -131,7 +134,10 @@ fn parse_records<R: BufRead>(
     }
     Ok(ParsedInteractions {
         triplets,
-        ids: IdMaps { users: users.order, items: items.order },
+        ids: IdMaps {
+            users: users.order,
+            items: items.order,
+        },
         dropped_below_threshold: dropped,
     })
 }
@@ -147,9 +153,8 @@ pub fn read_edge_list<P: AsRef<Path>>(
     sep: &str,
     rating_threshold: Option<f64>,
 ) -> Result<ParsedInteractions, SparseError> {
-    let file = std::fs::File::open(path.as_ref()).map_err(|e| {
-        SparseError::Io(format!("open {}: {e}", path.as_ref().display()))
-    })?;
+    let file = std::fs::File::open(path.as_ref())
+        .map_err(|e| SparseError::Io(format!("open {}: {e}", path.as_ref().display())))?;
     parse_records(BufReader::new(file), sep, rating_threshold)
 }
 
@@ -235,7 +240,10 @@ pub fn read_netflix_dir<P: AsRef<Path>>(
     }
     Ok(ParsedInteractions {
         triplets,
-        ids: IdMaps { users: users.order, items: items.order },
+        ids: IdMaps {
+            users: users.order,
+            items: items.order,
+        },
         dropped_below_threshold: dropped,
     })
 }
@@ -285,7 +293,11 @@ mod tests {
         let dir = std::env::temp_dir().join("ocular_sparse_ml_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("ratings.dat");
-        std::fs::write(&path, "1::1193::5::978300760\n1::661::3::978302109\n2::1193::1::978298413\n").unwrap();
+        std::fs::write(
+            &path,
+            "1::1193::5::978300760\n1::661::3::978302109\n2::1193::1::978298413\n",
+        )
+        .unwrap();
         let parsed = read_movielens(&path, 3.0).unwrap();
         assert_eq!(parsed.dropped_below_threshold, 1);
         let (m, ids) = parsed.into_matrix();
@@ -299,7 +311,11 @@ mod tests {
     fn netflix_format() {
         let dir = std::env::temp_dir().join("ocular_sparse_nf_test");
         std::fs::create_dir_all(&dir).unwrap();
-        std::fs::write(dir.join("mv_0000001.txt"), "1:\n1488844,3,2005-09-06\n822109,5,2005-05-13\n885013,1,2005-10-19\n").unwrap();
+        std::fs::write(
+            dir.join("mv_0000001.txt"),
+            "1:\n1488844,3,2005-09-06\n822109,5,2005-05-13\n885013,1,2005-10-19\n",
+        )
+        .unwrap();
         std::fs::write(dir.join("mv_0000002.txt"), "2:\n1488844,4,2005-09-06\n").unwrap();
         let parsed = read_netflix_dir(&dir, 3.0).unwrap();
         assert_eq!(parsed.dropped_below_threshold, 1);

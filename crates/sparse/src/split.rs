@@ -36,7 +36,11 @@ pub struct SplitConfig {
 
 impl Default for SplitConfig {
     fn default() -> Self {
-        SplitConfig { train_fraction: 0.75, seed: 0, strategy: SplitStrategy::Global }
+        SplitConfig {
+            train_fraction: 0.75,
+            seed: 0,
+            strategy: SplitStrategy::Global,
+        }
     }
 }
 
@@ -88,7 +92,10 @@ impl Split {
     pub fn instances(r: &CsrMatrix, cfg: &SplitConfig, n: usize) -> Vec<Split> {
         (0..n)
             .map(|k| {
-                let inst = SplitConfig { seed: cfg.seed.wrapping_add(k as u64), ..*cfg };
+                let inst = SplitConfig {
+                    seed: cfg.seed.wrapping_add(k as u64),
+                    ..*cfg
+                };
                 Split::new(r, &inst)
             })
             .collect()
@@ -128,7 +135,14 @@ mod tests {
     #[test]
     fn split_ratio_approximate() {
         let r = dense_matrix(50, 50); // 2500 entries
-        let s = Split::new(&r, &SplitConfig { train_fraction: 0.75, seed: 7, ..Default::default() });
+        let s = Split::new(
+            &r,
+            &SplitConfig {
+                train_fraction: 0.75,
+                seed: 7,
+                ..Default::default()
+            },
+        );
         let frac = s.train.nnz() as f64 / r.nnz() as f64;
         assert!((frac - 0.75).abs() < 0.05, "observed train fraction {frac}");
     }
@@ -136,12 +150,33 @@ mod tests {
     #[test]
     fn split_deterministic_per_seed() {
         let r = dense_matrix(10, 10);
-        let a = Split::new(&r, &SplitConfig { seed: 3, ..Default::default() });
-        let b = Split::new(&r, &SplitConfig { seed: 3, ..Default::default() });
+        let a = Split::new(
+            &r,
+            &SplitConfig {
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        let b = Split::new(
+            &r,
+            &SplitConfig {
+                seed: 3,
+                ..Default::default()
+            },
+        );
         assert_eq!(a.train, b.train);
         assert_eq!(a.test, b.test);
-        let c = Split::new(&r, &SplitConfig { seed: 4, ..Default::default() });
-        assert_ne!(a.train, c.train, "different seeds should differ on 100 entries");
+        let c = Split::new(
+            &r,
+            &SplitConfig {
+                seed: 4,
+                ..Default::default()
+            },
+        );
+        assert_ne!(
+            a.train, c.train,
+            "different seeds should differ on 100 entries"
+        );
     }
 
     #[test]
@@ -164,10 +199,22 @@ mod tests {
     #[test]
     fn extreme_fractions() {
         let r = dense_matrix(5, 5);
-        let all_train = Split::new(&r, &SplitConfig { train_fraction: 1.0, ..Default::default() });
+        let all_train = Split::new(
+            &r,
+            &SplitConfig {
+                train_fraction: 1.0,
+                ..Default::default()
+            },
+        );
         assert_eq!(all_train.train.nnz(), 25);
         assert_eq!(all_train.test.nnz(), 0);
-        let all_test = Split::new(&r, &SplitConfig { train_fraction: 0.0, ..Default::default() });
+        let all_test = Split::new(
+            &r,
+            &SplitConfig {
+                train_fraction: 0.0,
+                ..Default::default()
+            },
+        );
         assert_eq!(all_test.train.nnz(), 0);
         assert_eq!(all_test.test.nnz(), 25);
     }

@@ -26,7 +26,14 @@ pub struct DegreeSummary {
 
 fn summarize(mut degrees: Vec<usize>) -> DegreeSummary {
     if degrees.is_empty() {
-        return DegreeSummary { min: 0, max: 0, mean: 0.0, median: 0, gini: 0.0, zeros: 0 };
+        return DegreeSummary {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            median: 0,
+            gini: 0.0,
+            zeros: 0,
+        };
     }
     degrees.sort_unstable();
     let n = degrees.len();

@@ -17,8 +17,13 @@ fn client_name(u: usize) -> String {
 }
 
 fn product_name(i: usize) -> String {
-    const LINES: [&str; 5] = ["Custom Cloud", "Analytics Suite", "Mainframe Care",
-        "Security Ops", "Storage Tier"];
+    const LINES: [&str; 5] = [
+        "Custom Cloud",
+        "Analytics Suite",
+        "Mainframe Care",
+        "Security Ops",
+        "Storage Tier",
+    ];
     format!("{} v{}", LINES[i % LINES.len()], 1 + i / LINES.len())
 }
 
@@ -64,8 +69,16 @@ fn main() {
 
     // pick the client with the strongest recommendation to showcase
     let (client, rec) = (0..data.matrix.n_rows())
-        .filter_map(|u| recommend_top_m(&result.model, &data.matrix, u, 1).pop().map(|r| (u, r)))
-        .max_by(|a, b| a.1.probability.partial_cmp(&b.1.probability).expect("finite"))
+        .filter_map(|u| {
+            recommend_top_m(&result.model, &data.matrix, u, 1)
+                .pop()
+                .map(|r| (u, r))
+        })
+        .max_by(|a, b| {
+            a.1.probability
+                .partial_cmp(&b.1.probability)
+                .expect("finite")
+        })
         .expect("non-empty matrix");
 
     println!("=== opportunity sheet for the account team ===============================\n");

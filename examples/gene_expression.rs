@@ -36,7 +36,13 @@ fn main() {
         data.matrix.nnz()
     );
 
-    let cfg = OcularConfig { k: 6, lambda: 0.5, max_iters: 80, seed: 2, ..Default::default() };
+    let cfg = OcularConfig {
+        k: 6,
+        lambda: 0.5,
+        max_iters: 80,
+        seed: 2,
+        ..Default::default()
+    };
     let result = fit(&data.matrix, &cfg);
     println!(
         "fitted in {} sweeps; diagnostics: {}",
@@ -69,7 +75,13 @@ fn main() {
 
     // overlap statistics — the property non-overlapping biclustering misses
     let multi = (0..data.matrix.n_rows())
-        .filter(|&g| recovered.iter().filter(|m| m.users.binary_search(&g).is_ok()).count() > 1)
+        .filter(|&g| {
+            recovered
+                .iter()
+                .filter(|m| m.users.binary_search(&g).is_ok())
+                .count()
+                > 1
+        })
         .count();
     println!(
         "{} of {} genes participate in more than one recovered module",

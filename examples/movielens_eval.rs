@@ -28,7 +28,10 @@ fn main() {
             let (m, _ids) = parsed.into_matrix();
             (m, "MovieLens (real)")
         }
-        None => (movielens_like(Scale::Small, 0).matrix, "MovieLens-like (synthetic)"),
+        None => (
+            movielens_like(Scale::Small, 0).matrix,
+            "MovieLens-like (synthetic)",
+        ),
     };
     println!(
         "{source}: {} users × {} items, {} positives (density {:.2}%)\n",
@@ -45,10 +48,21 @@ fn main() {
     println!("training 4 models (K = {k})…");
     let ocular_model = fit(
         &split.train,
-        &OcularConfig { k, lambda: 0.5, max_iters: 80, ..Default::default() },
+        &OcularConfig {
+            k,
+            lambda: 0.5,
+            max_iters: 80,
+            ..Default::default()
+        },
     )
     .model;
-    let wals = Wals::fit(&split.train, &WalsConfig { k, ..Default::default() });
+    let wals = Wals::fit(
+        &split.train,
+        &WalsConfig {
+            k,
+            ..Default::default()
+        },
+    );
     let uknn = UserKnn::fit(&split.train, &KnnConfig::default());
     let iknn = ItemKnn::fit(&split.train, &KnnConfig::default());
 
@@ -59,7 +73,10 @@ fn main() {
         &split.test,
         m_cut,
     );
-    println!("{:<12} {:>10.4} {:>10.4}", "OCuLaR", report.recall, report.map);
+    println!(
+        "{:<12} {:>10.4} {:>10.4}",
+        "OCuLaR", report.recall, report.map
+    );
     for model in [&wals as &dyn Recommender, &uknn, &iknn] {
         let report = evaluate(
             |u, buf| model.score_user(u, buf),
@@ -67,7 +84,12 @@ fn main() {
             &split.test,
             m_cut,
         );
-        println!("{:<12} {:>10.4} {:>10.4}", model.name(), report.recall, report.map);
+        println!(
+            "{:<12} {:>10.4} {:>10.4}",
+            model.name(),
+            report.recall,
+            report.map
+        );
     }
 
     // the interpretability dividend: show why the first evaluated user gets

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use ocular::prelude::*;
 use ocular::datasets::planted::{generate, PlantedConfig};
+use ocular::prelude::*;
 
 fn main() {
     // --- 1. data -----------------------------------------------------------
@@ -52,12 +52,26 @@ fn main() {
     let recs = recommend_top_m(&result.model, &data.matrix, client, 5);
     println!("top-5 recommendations for client {client}:");
     for r in &recs {
-        println!("  product {:>3}  confidence {:.1}%", r.item, r.probability * 100.0);
+        println!(
+            "  product {:>3}  confidence {:.1}%",
+            r.item,
+            r.probability * 100.0
+        );
     }
 
     // --- 4. explain --------------------------------------------------------
     let clusters = extract_coclusters(&result.model, default_threshold());
-    println!("\nmodel found {} co-clusters; rationale for the top pick:\n", clusters.len());
-    let why = explain(&result.model, &data.matrix, &clusters, client, recs[0].item, 3);
+    println!(
+        "\nmodel found {} co-clusters; rationale for the top pick:\n",
+        clusters.len()
+    );
+    let why = explain(
+        &result.model,
+        &data.matrix,
+        &clusters,
+        client,
+        recs[0].item,
+        3,
+    );
     println!("{}", why.render());
 }

@@ -54,8 +54,8 @@ pub mod prelude {
     };
     pub use ocular_core::{
         default_threshold, diagnose, explain, extract_coclusters, fit, fold_in_user,
-        recommend_for_basket, recommend_top_m, CoCluster, Explanation, FactorModel,
-        OcularConfig, Recommendation, TrainResult, Weighting,
+        recommend_for_basket, recommend_top_m, CoCluster, Explanation, FactorModel, OcularConfig,
+        Recommendation, TrainResult, Weighting,
     };
     pub use ocular_eval::protocol::{evaluate, EvalReport};
     pub use ocular_parallel::fit_parallel;

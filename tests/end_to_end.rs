@@ -26,7 +26,13 @@ fn full_pipeline_split_train_recommend_evaluate() {
     let split = Split::new(&data.matrix, &SplitConfig::default());
     let result = fit(
         &split.train,
-        &OcularConfig { k: 4, lambda: 0.3, max_iters: 60, seed: 1, ..Default::default() },
+        &OcularConfig {
+            k: 4,
+            lambda: 0.3,
+            max_iters: 60,
+            seed: 1,
+            ..Default::default()
+        },
     );
     let report = evaluate(
         |u, buf| result.model.score_user(u, buf),
@@ -47,12 +53,24 @@ fn ocular_beats_popularity_and_neighbors_on_overlapping_structure() {
     // OCuLaR must beat the popularity floor and the one-sided neighbour
     // methods
     let data = planted();
-    let split = Split::new(&data.matrix, &SplitConfig { seed: 2, ..Default::default() });
+    let split = Split::new(
+        &data.matrix,
+        &SplitConfig {
+            seed: 2,
+            ..Default::default()
+        },
+    );
     let m = 20;
 
     let ocular_model = fit(
         &split.train,
-        &OcularConfig { k: 4, lambda: 0.3, max_iters: 60, seed: 1, ..Default::default() },
+        &OcularConfig {
+            k: 4,
+            lambda: 0.3,
+            max_iters: 60,
+            seed: 1,
+            ..Default::default()
+        },
     )
     .model;
     let ocular_recall = evaluate(
@@ -64,11 +82,21 @@ fn ocular_beats_popularity_and_neighbors_on_overlapping_structure() {
     .recall;
 
     let pop = Popularity::fit(&split.train);
-    let pop_recall = evaluate(|u, buf| pop.score_user(u, buf), &split.train, &split.test, m)
-        .recall;
+    let pop_recall = evaluate(
+        |u, buf| pop.score_user(u, buf),
+        &split.train,
+        &split.test,
+        m,
+    )
+    .recall;
     let uknn = UserKnn::fit(&split.train, &KnnConfig { k: 30 });
-    let uknn_recall =
-        evaluate(|u, buf| uknn.score_user(u, buf), &split.train, &split.test, m).recall;
+    let uknn_recall = evaluate(
+        |u, buf| uknn.score_user(u, buf),
+        &split.train,
+        &split.test,
+        m,
+    )
+    .recall;
 
     assert!(
         ocular_recall > pop_recall + 0.05,
@@ -83,7 +111,13 @@ fn ocular_beats_popularity_and_neighbors_on_overlapping_structure() {
 #[test]
 fn parallel_trainer_is_a_drop_in_replacement() {
     let data = planted();
-    let cfg = OcularConfig { k: 4, lambda: 0.3, max_iters: 20, seed: 9, ..Default::default() };
+    let cfg = OcularConfig {
+        k: 4,
+        lambda: 0.3,
+        max_iters: 20,
+        seed: 9,
+        ..Default::default()
+    };
     let seq = fit(&data.matrix, &cfg);
     let par = fit_parallel(&data.matrix, &cfg, Some(3));
     assert_eq!(seq.model, par.model);
@@ -97,7 +131,13 @@ fn explanations_reference_real_purchases() {
     let data = planted();
     let result = fit(
         &data.matrix,
-        &OcularConfig { k: 4, lambda: 0.3, max_iters: 60, seed: 1, ..Default::default() },
+        &OcularConfig {
+            k: 4,
+            lambda: 0.3,
+            max_iters: 60,
+            seed: 1,
+            ..Default::default()
+        },
     );
     let clusters = extract_coclusters(&result.model, default_threshold());
     let mut checked = 0;
@@ -106,7 +146,10 @@ fn explanations_reference_real_purchases() {
             let e = explain(&result.model, &data.matrix, &clusters, u, rec.item, 5);
             for c in &e.contributions {
                 for &j in &c.supporting_items {
-                    assert!(data.matrix.contains(u, j), "claimed purchase ({u},{j}) is false");
+                    assert!(
+                        data.matrix.contains(u, j),
+                        "claimed purchase ({u},{j}) is false"
+                    );
                 }
                 for &v in &c.co_users {
                     assert!(
@@ -119,7 +162,10 @@ fn explanations_reference_real_purchases() {
             checked += 1;
         }
     }
-    assert!(checked > 100, "should have checked many explanations, got {checked}");
+    assert!(
+        checked > 100,
+        "should have checked many explanations, got {checked}"
+    );
 }
 
 #[test]
@@ -154,7 +200,13 @@ fn model_persistence_roundtrip_through_facade() {
     let data = planted();
     let model = fit(
         &data.matrix,
-        &OcularConfig { k: 4, lambda: 0.3, max_iters: 10, seed: 4, ..Default::default() },
+        &OcularConfig {
+            k: 4,
+            lambda: 0.3,
+            max_iters: 10,
+            seed: 4,
+            ..Default::default()
+        },
     )
     .model;
     let mut buf: Vec<u8> = Vec::new();
@@ -173,10 +225,22 @@ fn model_persistence_roundtrip_through_facade() {
 fn determinism_across_full_pipeline() {
     let data = planted();
     let run = || {
-        let split = Split::new(&data.matrix, &SplitConfig { seed: 7, ..Default::default() });
+        let split = Split::new(
+            &data.matrix,
+            &SplitConfig {
+                seed: 7,
+                ..Default::default()
+            },
+        );
         let result = fit(
             &split.train,
-            &OcularConfig { k: 4, lambda: 0.3, max_iters: 30, seed: 2, ..Default::default() },
+            &OcularConfig {
+                k: 4,
+                lambda: 0.3,
+                max_iters: 30,
+                seed: 2,
+                ..Default::default()
+            },
         );
         evaluate(
             |u, buf| result.model.score_user(u, buf),

@@ -1,0 +1,642 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of proptest the workspace's property tests use:
+//! the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! range/tuple strategies, [`strategy::Strategy::prop_map`] /
+//! [`strategy::Strategy::prop_flat_map`], [`collection::vec`] /
+//! [`collection::btree_set`], [`prelude::any`], deterministic
+//! [`test_runner::TestRunner`]s and [`strategy::ValueTree`].
+//!
+//! Differences from upstream, deliberate for an offline test shim:
+//! * **No shrinking** — a failing case reports its generated inputs via the
+//!   panic message instead of a minimised counterexample.
+//! * **Deterministic seeds** — every test derives its RNG stream from the
+//!   case index, so failures reproduce exactly under `cargo test`.
+//! * Default case count is 64 (upstream: 256) to keep CI latency sane;
+//!   override per test block with `ProptestConfig::with_cases`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Strategies: value generators with combinators.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    use crate::test_runner::TestRunner;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy: Sized {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Draws a value tree (no shrinking: the tree is a single value).
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<SingleValueTree<Self::Value>, String>
+        where
+            Self::Value: Clone,
+        {
+            Ok(SingleValueTree {
+                value: self.generate(runner.rng()),
+            })
+        }
+
+        /// Maps generated values through `f`.
+        fn prop_map<F, O>(self, f: F) -> Map<Self, F>
+        where
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates an intermediate value, then draws from the strategy
+        /// `f` builds from it.
+        fn prop_flat_map<F, S>(self, f: F) -> FlatMap<Self, F>
+        where
+            F: Fn(Self::Value) -> S,
+            S: Strategy,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// A generated value; upstream trees also know how to shrink, this one
+    /// only carries the current value.
+    pub trait ValueTree {
+        /// The carried type.
+        type Value;
+
+        /// The current (here: only) value.
+        fn current(&self) -> Self::Value;
+    }
+
+    /// The only [`ValueTree`] this shim produces.
+    #[derive(Debug, Clone)]
+    pub struct SingleValueTree<T> {
+        value: T,
+    }
+
+    impl<T: Clone> ValueTree for SingleValueTree<T> {
+        type Value = T;
+
+        fn current(&self) -> T {
+            self.value.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, S2> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> S2,
+        S2: Strategy,
+    {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.gen_range(self.start..self.end)
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    if lo == hi {
+                        return lo;
+                    }
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    let offset = rng.gen_range(0u64..span);
+                    ((lo as i128) + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            if lo == hi {
+                return lo;
+            }
+            lo + rng.gen::<f64>() * (hi - lo)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident / $ix:tt),+),)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$ix.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy!(
+        (A / 0),
+        (A / 0, B / 1),
+        (A / 0, B / 1, C / 2),
+        (A / 0, B / 1, C / 2, D / 3),
+        (A / 0, B / 1, C / 2, D / 3, E / 4),
+    );
+
+    /// Size specification for collection strategies: an exact count or a
+    /// range of counts.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut StdRng) -> usize {
+            if self.lo + 1 >= self.hi_exclusive {
+                self.lo
+            } else {
+                rng.gen_range(self.lo..self.hi_exclusive)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end.max(r.start),
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// `Vec` strategy; see [`crate::collection::vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `BTreeSet` strategy; see [`crate::collection::btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            // bounded retries: duplicates don't loop forever on tiny domains
+            let mut budget = target.saturating_mul(20) + 16;
+            while out.len() < target && budget > 0 {
+                out.insert(self.element.generate(rng));
+                budget -= 1;
+            }
+            out
+        }
+    }
+
+    /// Strategy for [`crate::prelude::any`], one value type per impl.
+    #[derive(Debug, Clone)]
+    pub struct AnyStrategy<T> {
+        pub(crate) _marker: PhantomData<T>,
+    }
+
+    /// Types with a canonical "whole domain" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value from the whole domain.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_word {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_word!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut StdRng) -> f64 {
+            // finite, sign-symmetric, spanning many magnitudes
+            let mag = rng.gen::<f64>() * 200.0 - 100.0;
+            mag * (10f64).powi(rng.gen_range(-3i32..4))
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::{BTreeSetStrategy, SizeRange, Strategy, VecStrategy};
+
+    /// A `Vec` whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// A `BTreeSet` with (up to) a drawn number of distinct elements.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Test execution: configs, runners, and case-level errors.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// How many cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config with an explicit case count.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // upstream defaults to 256; 64 keeps single-core CI latency sane
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed test case (the `Err` side of a property body).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Failure with a message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Drives a property: owns the config and the deterministic RNG.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// Runner with the given config and the deterministic base seed.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner {
+                config,
+                rng: StdRng::seed_from_u64(0x0CCA_12AB),
+            }
+        }
+
+        /// The fully deterministic runner (fixed seed, default config) —
+        /// mirrors `proptest::test_runner::TestRunner::deterministic()`.
+        pub fn deterministic() -> Self {
+            Self::new(ProptestConfig::default())
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// The runner's RNG (strategies draw from this).
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+
+        /// Reseeds deterministically for case `index` so each case's stream
+        /// is independent of how much entropy earlier cases consumed.
+        pub fn start_case(&mut self, index: u32) {
+            self.rng = StdRng::seed_from_u64(
+                0x0CCA_12AB ^ u64::from(index).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+        }
+    }
+}
+
+/// The usual imports for property tests.
+pub mod prelude {
+    pub use crate::strategy::{AnyStrategy, Arbitrary, Just, Strategy, ValueTree};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    use std::marker::PhantomData;
+
+    /// Strategy over a type's whole domain.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy {
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Asserts a condition inside a property body; on failure the case errors
+/// (no shrinking) with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), lhs, rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*lhs == *rhs, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::proptest!(@run $config; $name; $($arg in $strat),+; $body);
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+    (@run $config:expr; $name:ident; $($arg:pat in $strat:expr),+; $body:block) => {{
+        let config: $crate::test_runner::ProptestConfig = $config;
+        let mut runner = $crate::test_runner::TestRunner::new(config);
+        for case in 0..runner.cases() {
+            runner.start_case(case);
+            let ($($arg,)+) =
+                ($($crate::strategy::Strategy::generate(&($strat), runner.rng()),)+);
+            let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                (|| { $body ::std::result::Result::Ok(()) })();
+            if let ::std::result::Result::Err(e) = outcome {
+                panic!(
+                    "proptest property `{}` failed at case {} of {}: {}",
+                    stringify!($name), case, runner.cases(), e
+                );
+            }
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_tuples_and_combinators_generate_in_bounds() {
+        let strat = (1usize..5, -2.0f64..2.0).prop_flat_map(|(n, x)| {
+            crate::collection::vec(0usize..n, 1..10).prop_map(move |v| (n, x, v))
+        });
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let (n, x, v) = strat.generate(&mut rng);
+            assert!((1..5).contains(&n));
+            assert!((-2.0..2.0).contains(&x));
+            assert!(!v.is_empty() && v.len() < 10);
+            assert!(v.iter().all(|&e| e < n));
+        }
+    }
+
+    #[test]
+    fn btree_set_respects_domain_and_size() {
+        let strat = crate::collection::btree_set(0usize..3, 0..3);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let s = strat.generate(&mut rng);
+            assert!(s.len() < 3);
+            assert!(s.iter().all(|&e| e < 3));
+        }
+    }
+
+    #[test]
+    fn new_tree_current_is_deterministic_per_runner() {
+        let strat = crate::collection::vec(0u64..100, 3usize);
+        let a = strat
+            .new_tree(&mut TestRunner::deterministic())
+            .unwrap()
+            .current();
+        let b = strat
+            .new_tree(&mut TestRunner::deterministic())
+            .unwrap()
+            .current();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_patterns((a, b) in (0usize..10, 0usize..10), c in 5u64..6) {
+            prop_assert_eq!(c, 5);
+            prop_assert!(a < 10 && b < 10);
+            if a == b {
+                return Ok(());
+            }
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_info() {
+        proptest!(@run ProptestConfig::with_cases(8); demo; x in 0usize..100; {
+            prop_assert!(x < 2, "x was {}", x);
+        });
+    }
+}

@@ -1,0 +1,497 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the parallel-iterator subset the workspace uses with **real OS
+//! threads** (`std::thread::scope`, contiguous block partitioning), not a
+//! simulation: `par_iter().for_each/map().collect()`, `par_chunks_mut()
+//! .enumerate().for_each_init()`, `into_par_iter()` on ranges,
+//! [`ThreadPoolBuilder`]/[`ThreadPool::install`] and
+//! [`current_num_threads`]. Names and signatures match `rayon 1.x` so the
+//! real crate can be swapped back in with a one-line manifest change.
+//!
+//! Thread count resolution, highest priority first:
+//! 1. an enclosing [`ThreadPool::install`] scope,
+//! 2. the `RAYON_NUM_THREADS` environment variable (same knob as rayon),
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Work is split into at most `current_num_threads()` contiguous blocks, one
+//! scoped thread per block. Every adapter preserves index order on collect
+//! and hands out disjoint `&mut` chunks, so data-parallel loops over
+//! independent rows are bit-reproducible regardless of thread count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads parallel operations started from this thread will use.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_OVERRIDE.with(Cell::get) {
+        return n;
+    }
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Splits `n` work units into at most `current_num_threads()` contiguous
+/// balanced blocks. Returns the `(start, end)` pairs, longest blocks first.
+fn blocks(n: usize) -> Vec<(usize, usize)> {
+    let t = current_num_threads().min(n).max(1);
+    let base = n / t;
+    let rem = n % t;
+    let mut out = Vec::with_capacity(t);
+    let mut start = 0;
+    for b in 0..t {
+        let len = base + usize::from(b < rem);
+        out.push((start, start + len));
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+/// Runs `op` on each block, one scoped thread per block beyond the first
+/// (which runs on the calling thread).
+fn run_blocks<OP>(n: usize, op: OP)
+where
+    OP: Fn(usize, usize) + Sync,
+{
+    let blocks = blocks(n);
+    if blocks.len() <= 1 {
+        if let Some(&(lo, hi)) = blocks.first() {
+            op(lo, hi);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let op = &op;
+        for &(lo, hi) in &blocks[1..] {
+            scope.spawn(move || op(lo, hi));
+        }
+        let (lo, hi) = blocks[0];
+        op(lo, hi);
+    });
+}
+
+/// Runs `op` on each block and returns the per-block results in block order.
+fn run_blocks_collect<OP, R>(n: usize, op: OP) -> Vec<R>
+where
+    OP: Fn(usize, usize) -> R + Sync,
+    R: Send,
+{
+    let blocks = blocks(n);
+    if blocks.len() <= 1 {
+        return blocks.iter().map(|&(lo, hi)| op(lo, hi)).collect();
+    }
+    std::thread::scope(|scope| {
+        let op = &op;
+        let handles: Vec<_> = blocks[1..]
+            .iter()
+            .map(|&(lo, hi)| scope.spawn(move || op(lo, hi)))
+            .collect();
+        let (lo, hi) = blocks[0];
+        let first = op(lo, hi);
+        let mut out = Vec::with_capacity(blocks.len());
+        out.push(first);
+        for h in handles {
+            out.push(h.join().expect("rayon shim: worker thread panicked"));
+        }
+        out
+    })
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Applies `f` to every element.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        let slice = self.slice;
+        run_blocks(slice.len(), |lo, hi| {
+            for x in &slice[lo..hi] {
+                f(x);
+            }
+        });
+    }
+
+    /// Maps every element; order is preserved on [`ParIterMap::collect`].
+    pub fn map<F, R>(self, f: F) -> ParIterMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParIterMap {
+            slice: self.slice,
+            f,
+        }
+    }
+}
+
+/// Result of [`ParIter::map`].
+pub struct ParIterMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F, R> ParIterMap<'a, T, F>
+where
+    T: Sync,
+    F: Fn(&'a T) -> R + Sync,
+    R: Send,
+{
+    /// Gathers the mapped values in input order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<R>,
+    {
+        let slice = self.slice;
+        let f = &self.f;
+        let per_block = run_blocks_collect(slice.len(), |lo, hi| {
+            slice[lo..hi].iter().map(f).collect::<Vec<R>>()
+        });
+        per_block.into_iter().flatten().collect()
+    }
+}
+
+/// Parallel iterator over disjoint `&mut` chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs every chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            slice: self.slice,
+            size: self.size,
+        }
+    }
+
+    /// Applies `f` to every chunk.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(move |(_, chunk)| f(chunk));
+    }
+}
+
+/// Result of [`ParChunksMut::enumerate`].
+pub struct ParChunksMutEnumerate<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Carves the slice into per-thread runs of whole chunks; the returned
+    /// parts are `(first_chunk_index, subslice)` in order.
+    fn parts(self) -> Vec<(usize, &'a mut [T])> {
+        let n_chunks = self.slice.len().div_ceil(self.size);
+        let mut rest = self.slice;
+        let mut out = Vec::new();
+        for (lo, hi) in blocks(n_chunks) {
+            let elems = ((hi - lo) * self.size).min(rest.len());
+            let (head, tail) = rest.split_at_mut(elems);
+            out.push((lo, head));
+            rest = tail;
+        }
+        out
+    }
+
+    /// Applies `f` to every `(index, chunk)` pair, with a per-thread scratch
+    /// state created by `init` (rayon's `for_each_init`).
+    pub fn for_each_init<I, S, F>(self, init: I, f: F)
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, (usize, &mut [T])) + Sync,
+    {
+        let size = self.size;
+        let parts = self.parts();
+        if parts.len() <= 1 {
+            for (first, part) in parts {
+                let mut state = init();
+                for (j, chunk) in part.chunks_mut(size).enumerate() {
+                    f(&mut state, (first + j, chunk));
+                }
+            }
+            return;
+        }
+        std::thread::scope(|scope| {
+            let init = &init;
+            let f = &f;
+            let mut parts = parts.into_iter();
+            let head = parts.next();
+            for (first, part) in parts {
+                scope.spawn(move || {
+                    let mut state = init();
+                    for (j, chunk) in part.chunks_mut(size).enumerate() {
+                        f(&mut state, (first + j, chunk));
+                    }
+                });
+            }
+            if let Some((first, part)) = head {
+                let mut state = init();
+                for (j, chunk) in part.chunks_mut(size).enumerate() {
+                    f(&mut state, (first + j, chunk));
+                }
+            }
+        });
+    }
+
+    /// Applies `f` to every `(index, chunk)` pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        self.for_each_init(|| (), move |(), item| f(item));
+    }
+}
+
+/// Parallel iterator over an owned index range.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Applies `f` to every index.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let start = self.range.start;
+        let n = self.range.end.saturating_sub(start);
+        run_blocks(n, |lo, hi| {
+            for i in lo..hi {
+                f(start + i);
+            }
+        });
+    }
+}
+
+/// `.par_iter()` on slices (and, by deref, `Vec`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type.
+    type Item: 'a;
+    /// The borrowing parallel iterator.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// `.par_chunks_mut()` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over disjoint chunks of `chunk_size` elements
+    /// (the last chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParChunksMut {
+            slice: self,
+            size: chunk_size,
+        }
+    }
+}
+
+/// `.into_par_iter()` on owned collections (ranges are the subset we use).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Error building a [`ThreadPool`] (the shim never actually fails).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pool size; `0` means "use the default".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            n: self.num_threads.unwrap_or_else(current_num_threads),
+        })
+    }
+}
+
+/// A scoped thread-count policy: parallel operations run inside
+/// [`install`](ThreadPool::install) use this pool's thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    n: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count active on the calling thread.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let _guard = Restore(POOL_OVERRIDE.with(|c| c.replace(Some(self.n))));
+        op()
+    }
+
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.n
+    }
+}
+
+/// The traits you import to get the `par_*` methods.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_iter_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_for_each_visits_everything_once() {
+        let v: Vec<usize> = (0..257).collect();
+        let count = AtomicUsize::new(0);
+        let sum = AtomicUsize::new(0);
+        v.par_iter().for_each(|&x| {
+            count.fetch_add(1, Ordering::Relaxed);
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 257);
+        assert_eq!(sum.load(Ordering::Relaxed), 256 * 257 / 2);
+    }
+
+    #[test]
+    fn par_chunks_mut_indices_and_coverage() {
+        let mut data = vec![0usize; 103];
+        data.par_chunks_mut(10).enumerate().for_each_init(
+            || (),
+            |(), (ix, chunk)| {
+                for v in chunk.iter_mut() {
+                    *v = ix + 1;
+                }
+            },
+        );
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i / 10 + 1, "element {i}");
+        }
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let sum = AtomicUsize::new(0);
+        (10..110usize).into_par_iter().for_each(|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (10..110).sum::<usize>());
+    }
+
+    #[test]
+    fn install_overrides_thread_count_and_restores() {
+        let outside = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn chunked_writes_are_deterministic_across_thread_counts() {
+        let run = |threads: usize| {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                let mut data = vec![0.0f64; 64];
+                data.par_chunks_mut(4).enumerate().for_each_init(
+                    || (),
+                    |(), (ix, chunk)| {
+                        for (d, v) in chunk.iter_mut().enumerate() {
+                            *v = (ix * 31 + d) as f64 * 0.5;
+                        }
+                    },
+                );
+                data
+            })
+        };
+        assert_eq!(run(1), run(7));
+    }
+}

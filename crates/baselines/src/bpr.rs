@@ -89,7 +89,7 @@ impl Bpr {
         // users eligible for sampling: ≥1 positive and ≥1 unknown
         let eligible: Vec<u32> = (0..r.n_rows())
             .filter(|&u| r.row_nnz(u) > 0 && r.row_nnz(u) < r.n_cols())
-            .map(|u| u as u32)
+            .map(ocular_sparse::col_index)
             .collect();
         if eligible.is_empty() {
             return Bpr {
@@ -104,10 +104,11 @@ impl Bpr {
             let u = eligible[rng.gen_range(0..eligible.len())] as usize;
             let row = r.row(u);
             let i = row[rng.gen_range(0..row.len())] as usize;
-            // rejection-sample an unknown item (row is sparse, terminates fast)
+            // rejection-sample an unknown item (row is sparse, terminates
+            // fast); widen stored u32s so huge catalogs can't wrap the test
             let j = loop {
                 let cand = rng.gen_range(0..r.n_cols());
-                if row.binary_search(&(cand as u32)).is_err() {
+                if row.binary_search_by(|&e| (e as usize).cmp(&cand)).is_err() {
                     break cand;
                 }
             };

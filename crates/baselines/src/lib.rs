@@ -36,7 +36,7 @@ pub use wals::{Wals, WalsConfig};
 use ocular_sparse::CsrMatrix;
 
 /// A fitted one-class recommender: anything that can score every item for a
-/// user. The evaluation protocol ([`ocular_eval::protocol::evaluate`])
+/// user. The evaluation protocol (`ocular_eval::protocol::evaluate`)
 /// consumes these through a closure, and the Table I harness iterates over
 /// `Box<dyn Recommender>`.
 pub trait Recommender {

@@ -1,0 +1,144 @@
+//! Criterion benches for the `ocular-serve` request path: the retired
+//! full-sort selection vs the bounded-heap kernel vs co-cluster candidate
+//! generation, plus batched throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ocular_core::{fit, recommend_top_m, OcularConfig, Recommendation};
+use ocular_datasets::powerlaw::{generate, PowerLawConfig};
+use ocular_serve::{CandidatePolicy, IndexConfig, Request, ServeConfig, ServeEngine};
+use std::hint::black_box;
+
+/// The pre-heap selection path: score everything, sort everything.
+fn full_sort_reference(
+    model: &ocular_core::FactorModel,
+    r: &ocular_sparse::CsrMatrix,
+    u: usize,
+    m: usize,
+) -> Vec<Recommendation> {
+    let mut scores = Vec::new();
+    model.score_user(u, &mut scores);
+    let owned = r.row(u);
+    let mut candidates: Vec<Recommendation> = scores
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| owned.binary_search_by(|&e| (e as usize).cmp(i)).is_err())
+        .map(|(item, probability)| Recommendation { item, probability })
+        .collect();
+    candidates.sort_by(|a, b| {
+        b.probability
+            .partial_cmp(&a.probability)
+            .expect("probabilities are finite")
+            .then_with(|| a.item.cmp(&b.item))
+    });
+    candidates.truncate(m);
+    candidates
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let data = generate(&PowerLawConfig {
+        n_users: 800,
+        n_items: 400,
+        k: 8,
+        target_nnz: 20_000,
+        ..Default::default()
+    });
+    let r = data.matrix.clone();
+    let model = fit(
+        &r,
+        &OcularConfig {
+            k: 8,
+            lambda: 0.5,
+            max_iters: 20,
+            seed: 0,
+            ..Default::default()
+        },
+    )
+    .model;
+    let clusters = ServeEngine::from_model(
+        model.clone(),
+        r.clone(),
+        &IndexConfig {
+            rel: 0.3,
+            floor: 100,
+        },
+        ServeConfig {
+            default_m: 50,
+            candidates: CandidatePolicy::Clusters { min_candidates: 50 },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let full = ServeEngine::from_model(
+        model.clone(),
+        r.clone(),
+        &IndexConfig {
+            rel: 0.3,
+            floor: 100,
+        },
+        ServeConfig {
+            default_m: 50,
+            candidates: CandidatePolicy::FullCatalog,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let user = 17;
+
+    let mut group = c.benchmark_group("serve_one");
+    group.bench_function("full_sort_reference_top50", |b| {
+        b.iter(|| black_box(full_sort_reference(&model, &r, user, 50).len()))
+    });
+    group.bench_function("heap_recommend_top50", |b| {
+        b.iter(|| black_box(recommend_top_m(&model, &r, user, 50).len()))
+    });
+    group.bench_function("engine_full_catalog_top50", |b| {
+        b.iter(|| {
+            black_box(
+                full.serve_one(&Request::Warm { user, m: 50 })
+                    .unwrap()
+                    .items
+                    .len(),
+            )
+        })
+    });
+    group.bench_function("engine_clusters_top50", |b| {
+        b.iter(|| {
+            black_box(
+                clusters
+                    .serve_one(&Request::Warm { user, m: 50 })
+                    .unwrap()
+                    .items
+                    .len(),
+            )
+        })
+    });
+    group.bench_function("engine_cold_start_top50", |b| {
+        let basket: Vec<usize> = r.row(user).iter().map(|&i| i as usize).collect();
+        b.iter(|| {
+            black_box(
+                clusters
+                    .serve_one(&Request::Cold {
+                        basket: basket.clone(),
+                        m: 50,
+                    })
+                    .unwrap()
+                    .items
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("serve_batch");
+    group.sample_size(10);
+    let requests: Vec<Request> = (0..r.n_rows())
+        .map(|user| Request::Warm { user, m: 50 })
+        .collect();
+    group.bench_function("all_users_top50", |b| {
+        b.iter(|| black_box(clusters.serve_batch(&requests).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! CI bench-regression gate.
+//!
+//! Compares fresh `BENCH_serve.json` / `BENCH_train.json` artifacts
+//! against the committed baseline (`ci/bench-baseline.json`) and exits
+//! non-zero when p50 serve latency or train time regresses more than the
+//! tolerance (default 25%). A third, machine-independent check compares
+//! cluster-mode p50 against the same run's full-sort p50, so "candidate
+//! generation stopped helping" is caught even when absolute wall-clock
+//! differs across runner hardware. Skipped entirely — exit 0 — when the
+//! `BENCH_BASELINE_RESET` environment variable is set to `1` (CI sets it
+//! from the `bench-baseline-reset` PR label), in which case the gate
+//! prints the JSON to commit as the new baseline.
+//!
+//! ```text
+//! bench_gate --baseline ci/bench-baseline.json \
+//!            --serve BENCH_serve.json --train BENCH_train.json \
+//!            [--tolerance 0.25]
+//! ```
+
+use ocular_bench::Args;
+use ocular_serve::json::{obj, Json};
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+/// Pulls a numeric field along a dotted path (`"engine_clusters.p50_us"`).
+fn field(doc: &Json, path: &str) -> Result<f64, String> {
+    let mut v = doc;
+    for key in path.split('.') {
+        v = v.get(key).ok_or(format!("missing field `{path}`"))?;
+    }
+    v.as_f64()
+        .filter(|n| *n > 0.0)
+        .ok_or(format!("field `{path}` is not a positive number"))
+}
+
+fn run() -> Result<Vec<String>, String> {
+    let args = Args::parse();
+    let tolerance = args.get("tolerance", 0.25f64);
+    let baseline_path = args.get("baseline", "ci/bench-baseline.json".to_string());
+    let serve_path = args.get("serve", "BENCH_serve.json".to_string());
+    let train_path = args.get("train", "BENCH_train.json".to_string());
+
+    let serve = load(&serve_path)?;
+    let train = load(&train_path)?;
+    let serve_p50 = field(&serve, "engine_clusters.p50_us")?;
+    let full_sort_p50 = field(&serve, "full_sort.p50_us")?;
+    let train_seconds = field(&train, "train_seconds")?;
+
+    if std::env::var("BENCH_BASELINE_RESET").as_deref() == Ok("1") {
+        let fresh = obj(vec![
+            ("serve_p50_us", Json::Num(serve_p50)),
+            ("train_seconds", Json::Num(train_seconds)),
+        ]);
+        println!("bench_gate: BENCH_BASELINE_RESET=1 — gate skipped.");
+        println!("new baseline for {baseline_path}:\n{fresh}");
+        return Ok(vec![]);
+    }
+
+    let baseline = load(&baseline_path)?;
+    let base_serve = field(&baseline, "serve_p50_us")?;
+    let base_train = field(&baseline, "train_seconds")?;
+
+    let mut failures = Vec::new();
+    let mut check = |name: &str, current: f64, base: f64| {
+        let ratio = current / base;
+        let verdict = if ratio > 1.0 + tolerance {
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "bench_gate: {name:<14} current={current:10.1}  baseline={base:10.1}  ratio={ratio:5.2}  {verdict}"
+        );
+        if ratio > 1.0 + tolerance {
+            failures.push(format!(
+                "{name} regressed {:.0}% (> {:.0}% tolerance)",
+                (ratio - 1.0) * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    };
+    check("serve_p50_us", serve_p50, base_serve);
+    check("train_seconds", train_seconds, base_train);
+    // machine-independent same-run check: candidate generation + heap
+    // selection must not serve slower than the retired full-sort path — a
+    // hardware-noise-proof signal that the serving optimization still works
+    check("vs_full_sort", serve_p50, full_sort_p50);
+    Ok(failures)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(failures) if failures.is_empty() => ExitCode::SUCCESS,
+        Ok(failures) => {
+            for f in &failures {
+                eprintln!("bench_gate: {f}");
+            }
+            eprintln!(
+                "bench_gate: to accept a new baseline, apply the `bench-baseline-reset` label \
+                 (or set BENCH_BASELINE_RESET=1) and commit the printed JSON to ci/bench-baseline.json"
+            );
+            ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("bench_gate: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

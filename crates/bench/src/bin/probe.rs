@@ -1,5 +1,9 @@
 //! Scratch probe for hyper-parameter sensitivity on one profile (not part
 //! of the documented experiment suite; used to calibrate defaults).
+//!
+//! With `--bench-out PATH` it additionally writes a `BENCH_train.json`
+//! artifact (fastest OCuLaR fit wall-clock over the sweep) for the CI
+//! bench-regression gate.
 
 use ocular_baselines::{ItemKnn, KnnConfig, UserKnn};
 use ocular_bench::harness::{evaluate_recommender, OcularRecommender};
@@ -7,6 +11,7 @@ use ocular_bench::Args;
 use ocular_core::OcularConfig;
 use ocular_datasets::profiles;
 use ocular_eval::protocol::evaluate;
+use ocular_serve::json::{obj, Json};
 use ocular_sparse::{Split, SplitConfig};
 
 fn main() {
@@ -77,6 +82,7 @@ fn main() {
         );
     }
 
+    let mut fit_seconds: Vec<f64> = Vec::new();
     for k in [kh, kh * 2] {
         for lambda in [1.0, 2.0, 5.0, 10.0] {
             let cfg = OcularConfig {
@@ -89,13 +95,34 @@ fn main() {
             };
             let t0 = std::time::Instant::now();
             let rec = OcularRecommender::fit_absolute(&split.train, &cfg);
+            let elapsed = t0.elapsed().as_secs_f64();
+            fit_seconds.push(elapsed);
             let r = evaluate_recommender(&rec, &split.train, &split.test, 50);
             println!(
-                "OCuLaR k={k:>3} λ={lambda:<5} recall@50={:.4} MAP@50={:.4}  ({:.1}s)",
-                r.recall,
-                r.map,
-                t0.elapsed().as_secs_f64()
+                "OCuLaR k={k:>3} λ={lambda:<5} recall@50={:.4} MAP@50={:.4}  ({elapsed:.1}s)",
+                r.recall, r.map,
             );
         }
+    }
+
+    let bench_out = args.get("bench-out", String::new());
+    if !bench_out.is_empty() {
+        // the fastest fit is the least noisy proxy for "did training get
+        // slower" — the sweep's slower configs vary with k and λ by design
+        let fastest = fit_seconds.iter().cloned().fold(f64::INFINITY, f64::min);
+        let doc = obj(vec![
+            ("bench", Json::Str("train".into())),
+            ("profile", Json::Str(which.clone())),
+            ("n_users", Json::Num(split.train.n_rows() as f64)),
+            ("n_items", Json::Num(split.train.n_cols() as f64)),
+            ("nnz", Json::Num(split.train.nnz() as f64)),
+            ("train_seconds", Json::Num(fastest)),
+            (
+                "sweep_seconds",
+                Json::Arr(fit_seconds.iter().map(|&s| Json::Num(s)).collect()),
+            ),
+        ]);
+        std::fs::write(&bench_out, format!("{doc}\n")).expect("write bench artifact");
+        eprintln!("artifact → {bench_out}");
     }
 }

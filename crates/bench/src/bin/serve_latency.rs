@@ -1,0 +1,218 @@
+//! Request-path latency/throughput probe for `ocular-serve`, emitting the
+//! `BENCH_serve.json` artifact the CI bench-regression gate consumes.
+//!
+//! Trains OCuLaR on the powerlaw profile, builds a serving engine, then
+//! measures per-request latency percentiles for (a) the retired
+//! score-all + full-sort path, (b) the engine in full-catalog (heap) mode
+//! and (c) the engine in cluster candidate-generation mode, plus batched
+//! throughput. Flags: `--scale`, `--seed`, `--requests N`, `--m N`,
+//! `--rel R` / `--floor N` (index build knobs), `--out PATH` (default
+//! `BENCH_serve.json`).
+
+use ocular_bench::Args;
+use ocular_core::{fit, OcularConfig, Recommendation};
+use ocular_datasets::profiles;
+use ocular_serve::json::{obj, Json};
+use ocular_serve::{CandidatePolicy, IndexConfig, Request, ServeConfig, ServeEngine};
+use std::time::Instant;
+
+/// Per-request wall-clock percentiles, in microseconds.
+struct Latency {
+    p50: f64,
+    p90: f64,
+    p99: f64,
+}
+
+fn percentiles(mut micros: Vec<f64>) -> Latency {
+    micros.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let at = |q: f64| micros[((micros.len() - 1) as f64 * q).round() as usize];
+    Latency {
+        p50: at(0.50),
+        p90: at(0.90),
+        p99: at(0.99),
+    }
+}
+
+fn measure<F: FnMut(usize)>(requests: usize, mut f: F) -> Latency {
+    let mut micros = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let t0 = Instant::now();
+        f(i);
+        micros.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    percentiles(micros)
+}
+
+/// The pre-heap selection path the engine replaces: score every item, sort
+/// the whole candidate vector.
+fn full_sort(model: &ocular_core::FactorModel, r: &ocular_sparse::CsrMatrix, u: usize, m: usize) {
+    let mut scores = Vec::new();
+    model.score_user(u, &mut scores);
+    let owned = r.row(u);
+    let mut candidates: Vec<Recommendation> = scores
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| owned.binary_search_by(|&e| (e as usize).cmp(i)).is_err())
+        .map(|(item, probability)| Recommendation { item, probability })
+        .collect();
+    candidates.sort_by(|a, b| {
+        b.probability
+            .partial_cmp(&a.probability)
+            .expect("finite")
+            .then_with(|| a.item.cmp(&b.item))
+    });
+    candidates.truncate(m);
+    std::hint::black_box(candidates.len());
+}
+
+fn main() {
+    let args = Args::parse();
+    let seed = args.seed();
+    let m = args.get("m", 50usize);
+    let n_requests = args.get("requests", 2000usize).max(1);
+    let index_cfg = IndexConfig {
+        rel: args.get("rel", 0.5f64),
+        floor: args.get("floor", 100usize),
+    };
+    let out_path = args.get("out", "BENCH_serve.json".to_string());
+
+    let data = profiles::b2b_like(args.scale(), seed);
+    let r = data.matrix;
+    let k = data.truth.k();
+    let cfg = OcularConfig {
+        k,
+        lambda: 1.0,
+        max_iters: 15,
+        seed,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let model = fit(&r, &cfg).model;
+    let train_seconds = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "powerlaw(b2b) {}×{} nnz={} k={k}: trained in {train_seconds:.2}s",
+        r.n_rows(),
+        r.n_cols(),
+        r.nnz()
+    );
+
+    let mk_engine = |candidates| {
+        ServeEngine::from_model(
+            model.clone(),
+            r.clone(),
+            &index_cfg,
+            ServeConfig {
+                default_m: m,
+                candidates,
+                foldin: cfg.clone(),
+                ..Default::default()
+            },
+        )
+        .expect("engine")
+    };
+    let engine_full = mk_engine(CandidatePolicy::FullCatalog);
+    let engine_clusters = mk_engine(CandidatePolicy::Clusters { min_candidates: m });
+
+    let user_at = |i: usize| (i * 31) % r.n_rows();
+    let lat_sort = measure(n_requests, |i| full_sort(&model, &r, user_at(i), m));
+    let lat_full = measure(n_requests, |i| {
+        std::hint::black_box(
+            engine_full
+                .serve_one(&Request::Warm {
+                    user: user_at(i),
+                    m,
+                })
+                .unwrap()
+                .items
+                .len(),
+        );
+    });
+    let mut fallbacks = 0usize;
+    let mut scored_total = 0usize;
+    let lat_clusters = measure(n_requests, |i| {
+        let served = engine_clusters
+            .serve_one(&Request::Warm {
+                user: user_at(i),
+                m,
+            })
+            .unwrap();
+        fallbacks += usize::from(served.fell_back);
+        scored_total += served.scored;
+        std::hint::black_box(served.items.len());
+    });
+    let lat_cold = measure(n_requests.min(200), |i| {
+        let basket: Vec<usize> = r
+            .row(user_at(i))
+            .iter()
+            .take(8)
+            .map(|&x| x as usize)
+            .collect();
+        std::hint::black_box(
+            engine_clusters
+                .serve_one(&Request::Cold { basket, m })
+                .map(|s| s.items.len())
+                .unwrap_or(0),
+        );
+    });
+
+    let batch: Vec<Request> = (0..n_requests)
+        .map(|i| Request::Warm {
+            user: user_at(i),
+            m,
+        })
+        .collect();
+    let t0 = Instant::now();
+    let served = engine_clusters.serve_batch(&batch);
+    let batch_seconds = t0.elapsed().as_secs_f64();
+    assert!(served.iter().all(|s| s.is_ok()));
+    let throughput = n_requests as f64 / batch_seconds;
+
+    let report = |name: &str, l: &Latency| {
+        eprintln!(
+            "{name:<28} p50={:8.1}µs  p90={:8.1}µs  p99={:8.1}µs",
+            l.p50, l.p90, l.p99
+        );
+    };
+    report("full-sort (old path)", &lat_sort);
+    report("engine full-catalog (heap)", &lat_full);
+    report("engine clusters (cand+heap)", &lat_clusters);
+    report("engine cold-start (fold-in)", &lat_cold);
+    eprintln!(
+        "cluster mode: mean scored {:.0}/{} items, {fallbacks}/{n_requests} fallbacks; batch throughput {throughput:.0} req/s",
+        scored_total as f64 / n_requests as f64,
+        r.n_cols()
+    );
+
+    let lat_json = |l: &Latency| {
+        obj(vec![
+            ("p50_us", Json::Num(l.p50)),
+            ("p90_us", Json::Num(l.p90)),
+            ("p99_us", Json::Num(l.p99)),
+        ])
+    };
+    let doc = obj(vec![
+        ("bench", Json::Str("serve".into())),
+        ("profile", Json::Str("powerlaw-b2b".into())),
+        ("n_users", Json::Num(r.n_rows() as f64)),
+        ("n_items", Json::Num(r.n_cols() as f64)),
+        ("nnz", Json::Num(r.nnz() as f64)),
+        ("m", Json::Num(m as f64)),
+        ("requests", Json::Num(n_requests as f64)),
+        ("train_seconds", Json::Num(train_seconds)),
+        ("full_sort", lat_json(&lat_sort)),
+        ("engine_full", lat_json(&lat_full)),
+        ("engine_clusters", lat_json(&lat_clusters)),
+        ("engine_cold", lat_json(&lat_cold)),
+        (
+            "mean_scored_items",
+            Json::Num(scored_total as f64 / n_requests as f64),
+        ),
+        (
+            "fallback_rate",
+            Json::Num(fallbacks as f64 / n_requests as f64),
+        ),
+        ("batch_throughput_rps", Json::Num(throughput)),
+    ]);
+    std::fs::write(&out_path, format!("{doc}\n")).expect("write bench artifact");
+    eprintln!("artifact → {out_path}");
+}

@@ -48,7 +48,7 @@ pub fn fold_in_user(
         .iter()
         .map(|&i| {
             assert!(i < model.n_items(), "basket item {i} out of range");
-            i as u32
+            ocular_sparse::col_index(i)
         })
         .collect();
     positives.sort_unstable();
@@ -115,6 +115,10 @@ pub fn fold_in_user(
 
 /// Recommends top-M items for an *unseen* user described only by a basket,
 /// excluding the basket itself. The serving path for new clients.
+///
+/// Selection runs through the bounded-heap kernel
+/// [`top_m_excluding`](crate::topm::top_m_excluding), matching the warm-user
+/// path's ties convention exactly.
 pub fn recommend_for_basket(
     model: &FactorModel,
     basket: &[usize],
@@ -122,23 +126,17 @@ pub fn recommend_for_basket(
     m: usize,
 ) -> (Vec<Recommendation>, FoldIn) {
     let fold = fold_in_user(model, basket, cfg, 1.0, 100);
-    let mut recs: Vec<Recommendation> = (0..model.n_items())
-        .filter(|i| !basket.contains(i))
-        .map(|item| {
-            let p = ocular_linalg::ops::dot(&fold.factors, model.item_factors.row(item));
-            Recommendation {
-                item,
-                probability: crate::model::prob_from_affinity(p),
-            }
-        })
+    let mut scores = vec![0.0; model.n_items()];
+    for (item, s) in scores.iter_mut().enumerate() {
+        let p = ocular_linalg::ops::dot(&fold.factors, model.item_factors.row(item));
+        *s = crate::model::prob_from_affinity(p);
+    }
+    let mut exclude: Vec<u32> = basket
+        .iter()
+        .map(|&i| ocular_sparse::col_index(i))
         .collect();
-    recs.sort_by(|a, b| {
-        b.probability
-            .partial_cmp(&a.probability)
-            .expect("finite probabilities")
-            .then_with(|| a.item.cmp(&b.item))
-    });
-    recs.truncate(m);
+    exclude.sort_unstable();
+    let recs = crate::topm::top_m_excluding(&scores, &exclude, m);
     (recs, fold)
 }
 

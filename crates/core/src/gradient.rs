@@ -102,11 +102,15 @@ pub fn negative_sum(other: &Matrix, other_sum: &[f64], positives: &[u32], out: &
     }
 }
 
-/// Naive `O(n · K)` negative sum for validation.
+/// Naive `O(n · K)` negative sum for validation. Membership is compared in
+/// the `usize` domain so entity counts past `u32::MAX` cannot wrap.
 pub fn negative_sum_naive(other: &Matrix, positives: &[u32], out: &mut [f64]) {
     out.iter_mut().for_each(|v| *v = 0.0);
     for e in 0..other.rows() {
-        if positives.binary_search(&(e as u32)).is_err() {
+        if positives
+            .binary_search_by(|&p| (p as usize).cmp(&e))
+            .is_err()
+        {
             for (o, &v) in out.iter_mut().zip(other.row(e)) {
                 *o += v;
             }

@@ -52,8 +52,9 @@
 //! | [`linesearch`] | IV-D | Armijo backtracking along the projection arc |
 //! | [`trainer`] | IV-B/D | block coordinate descent, telemetry, [`fit`] |
 //! | [`recommend`] | IV-C | top-M recommendation lists |
+//! | [`topm`] | IV-C | bounded-heap top-M selection kernel |
 //! | [`coclusters`] | IV-C | co-cluster extraction and statistics |
-//! | [`explain`] | IV-C, VIII | interpretable rationales (Figures 3 & 10) |
+//! | [`explain`](mod@explain) | IV-C, VIII | interpretable rationales (Figures 3 & 10) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -68,6 +69,7 @@ pub mod linesearch;
 pub mod loss;
 pub mod model;
 pub mod recommend;
+pub mod topm;
 pub mod trainer;
 
 pub use coclusters::{default_threshold, extract_coclusters, CoCluster};
@@ -77,4 +79,5 @@ pub use explain::{explain, Explanation};
 pub use foldin::{fold_in_user, recommend_for_basket, FoldIn};
 pub use model::FactorModel;
 pub use recommend::{recommend_top_m, Recommendation};
+pub use topm::{top_m_excluding, TopM};
 pub use trainer::{fit, TrainResult, TrainingHistory};

@@ -6,6 +6,7 @@
 //! convention, so model + evaluation agree exactly.
 
 use crate::model::FactorModel;
+use crate::topm::top_m_excluding;
 use ocular_sparse::CsrMatrix;
 
 /// One recommendation: an item and the model's confidence.
@@ -20,6 +21,12 @@ pub struct Recommendation {
 /// The top-M recommendations for user `u`, excluding items the user already
 /// has in `r` (the training matrix). Sorted by probability descending,
 /// ties by item index ascending.
+///
+/// Selection runs through the bounded-heap kernel
+/// [`top_m_excluding`] — `O(n_items log M)`
+/// instead of a full sort — and the exclusion filter compares indices in
+/// the `usize` domain, so oversized catalogs can never wrap a `u32` cast
+/// and silently corrupt filtering.
 pub fn recommend_top_m(
     model: &FactorModel,
     r: &CsrMatrix,
@@ -28,21 +35,7 @@ pub fn recommend_top_m(
 ) -> Vec<Recommendation> {
     let mut scores = Vec::new();
     model.score_user(u, &mut scores);
-    let owned = r.row(u);
-    let mut candidates: Vec<Recommendation> = scores
-        .into_iter()
-        .enumerate()
-        .filter(|(i, _)| owned.binary_search(&(*i as u32)).is_err())
-        .map(|(item, probability)| Recommendation { item, probability })
-        .collect();
-    candidates.sort_by(|a, b| {
-        b.probability
-            .partial_cmp(&a.probability)
-            .expect("probabilities are finite")
-            .then_with(|| a.item.cmp(&b.item))
-    });
-    candidates.truncate(m);
-    candidates
+    top_m_excluding(&scores, r.row(u), m)
 }
 
 /// Top-M lists for every user. Memory: `n_users × m` recommendations.

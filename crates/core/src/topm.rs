@@ -1,0 +1,149 @@
+//! Bounded top-M selection — the serving-path selection kernel.
+//!
+//! [`recommend_top_m`](crate::recommend_top_m) originally scored every item
+//! and fully sorted the candidate vector: `O(n log n)` per request. A
+//! top-M list only needs the `M` largest scores, so selection now runs
+//! through the workspace-shared bounded-heap kernel
+//! [`ocular_linalg::topk`] — `O(n log M)` with a tiny constant — which also
+//! backs `ocular_eval::ranking`, so the ties convention (probability
+//! descending, ties by ascending item index) cannot diverge between what
+//! is evaluated and what is served. This module wraps that kernel in the
+//! [`Recommendation`]-typed API the recommendation and serving paths use.
+
+use crate::recommend::Recommendation;
+use ocular_linalg::topk::{top_k_excluding, TopK};
+
+/// A bounded selector keeping the `M` best `(item, probability)` pairs seen
+/// so far — [`ocular_linalg::topk::TopK`] with [`Recommendation`] output.
+#[derive(Debug, Clone)]
+pub struct TopM(TopK);
+
+impl TopM {
+    /// An empty selector that will retain at most `m` recommendations.
+    pub fn new(m: usize) -> Self {
+        TopM(TopK::new(m))
+    }
+
+    /// Number of pairs currently retained (`≤ m`).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether nothing has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Offers `(item, score)`; keeps it only if it ranks among the best `m`
+    /// seen so far.
+    ///
+    /// # Panics
+    /// Panics if `score` is NaN.
+    #[inline]
+    pub fn push(&mut self, item: usize, score: f64) {
+        self.0.push(item, score);
+    }
+
+    /// Consumes the selector, returning the retained recommendations sorted
+    /// by probability descending, ties by ascending item — identical to
+    /// sorting all offered pairs with the same comparator and truncating to
+    /// `m`.
+    pub fn into_sorted(self) -> Vec<Recommendation> {
+        self.0
+            .into_sorted()
+            .into_iter()
+            .map(|(probability, item)| Recommendation { item, probability })
+            .collect()
+    }
+}
+
+/// Selects the top-`m` of `scores`, skipping the sorted exclusion list
+/// `exclude` (ascending `u32` item indices, the CSR row convention).
+///
+/// The exclusion walk compares in the `usize` domain, so no item index is
+/// ever narrowed to `u32` — catalogs larger than `u32::MAX` cannot
+/// silently alias into the exclusion filter (they are rejected at
+/// `CsrMatrix` construction instead).
+pub fn top_m_excluding(scores: &[f64], exclude: &[u32], m: usize) -> Vec<Recommendation> {
+    top_k_excluding(scores, exclude, m)
+        .into_iter()
+        .map(|(probability, item)| Recommendation { item, probability })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation: full sort + truncate.
+    fn by_sort(scores: &[f64], exclude: &[u32], m: usize) -> Vec<Recommendation> {
+        let mut all: Vec<Recommendation> = scores
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| exclude.binary_search(&(*i as u32)).is_err())
+            .map(|(item, &probability)| Recommendation { item, probability })
+            .collect();
+        all.sort_by(|a, b| {
+            b.probability
+                .partial_cmp(&a.probability)
+                .unwrap()
+                .then_with(|| a.item.cmp(&b.item))
+        });
+        all.truncate(m);
+        all
+    }
+
+    #[test]
+    fn matches_sort_on_ties() {
+        let scores = [0.5, 0.9, 0.5, 0.1, 0.9, 0.5];
+        for m in 0..=scores.len() + 1 {
+            assert_eq!(
+                top_m_excluding(&scores, &[], m),
+                by_sort(&scores, &[], m),
+                "m = {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn exclusion_list_skipped() {
+        let scores = [0.9, 0.8, 0.7, 0.6];
+        let got = top_m_excluding(&scores, &[0, 2], 10);
+        let items: Vec<usize> = got.iter().map(|r| r.item).collect();
+        assert_eq!(items, vec![1, 3]);
+    }
+
+    #[test]
+    fn zero_m_empty() {
+        assert!(top_m_excluding(&[1.0, 2.0], &[], 0).is_empty());
+        let mut h = TopM::new(0);
+        h.push(0, 1.0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn smaller_than_m_returns_all_sorted() {
+        let got = top_m_excluding(&[0.1, 0.3, 0.2], &[], 99);
+        let items: Vec<usize> = got.iter().map(|r| r.item).collect();
+        assert_eq!(items, vec![1, 2, 0]);
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn push_api_matches_free_function() {
+        let scores = [0.2, 0.8, 0.8, 0.4];
+        let mut heap = TopM::new(2);
+        for (i, &s) in scores.iter().enumerate() {
+            heap.push(i, s);
+        }
+        assert!(!heap.is_empty());
+        assert_eq!(heap.len(), 2);
+        assert_eq!(heap.into_sorted(), top_m_excluding(&scores, &[], 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_scores_rejected_loudly() {
+        top_m_excluding(&[0.5, f64::NAN], &[], 2);
+    }
+}

@@ -14,10 +14,13 @@
 //! (score descending, item index ascending), the convention recommended by
 //! McSherry & Najork (ECIR 2008) for reproducible tied-score evaluation.
 
-/// Membership test against a *sorted* positive set.
+/// Membership test against a *sorted* positive set. Compares in the `usize`
+/// domain so item indices past `u32::MAX` never wrap into false hits.
 #[inline]
 fn is_relevant(relevant_sorted: &[u32], item: usize) -> bool {
-    relevant_sorted.binary_search(&(item as u32)).is_ok()
+    relevant_sorted
+        .binary_search_by(|&e| (e as usize).cmp(&item))
+        .is_ok()
 }
 
 /// recall@M for one user. `ranked` is the ordered recommendation list

@@ -7,38 +7,6 @@
 //! descending, then item index ascending) so evaluations are reproducible
 //! across runs and platforms.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-/// A `(score, item)` candidate ordered so that a max-heap pops the *worst*
-/// kept candidate first (min-heap behaviour via reversed ordering).
-#[derive(PartialEq)]
-struct Candidate {
-    score: f64,
-    item: usize,
-}
-
-impl Eq for Candidate {}
-
-impl Ord for Candidate {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse of the ranking order: smaller score first; among equal
-        // scores, *larger* index first (so it gets evicted first and the
-        // final ranking prefers smaller indices).
-        other
-            .score
-            .partial_cmp(&self.score)
-            .expect("scores must not be NaN")
-            .then_with(|| self.item.cmp(&other.item))
-    }
-}
-
-impl PartialOrd for Candidate {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 /// Returns the indices of the `m` largest entries of `scores`, skipping the
 /// (sorted) indices in `exclude`, ordered by score descending with
 /// ascending-index tie-breaks. O(n log m).
@@ -46,32 +14,12 @@ impl PartialOrd for Candidate {
 /// # Panics
 /// Panics if any considered score is NaN.
 pub fn top_m_excluding(scores: &[f64], exclude: &[u32], m: usize) -> Vec<usize> {
-    if m == 0 {
-        return Vec::new();
-    }
-    let mut heap: BinaryHeap<Candidate> = BinaryHeap::with_capacity(m + 1);
-    for (item, &score) in scores.iter().enumerate() {
-        if exclude.binary_search(&(item as u32)).is_ok() {
-            continue;
-        }
-        if heap.len() < m {
-            heap.push(Candidate { score, item });
-        } else if let Some(worst) = heap.peek() {
-            let better = score > worst.score || (score == worst.score && item < worst.item);
-            if better {
-                heap.pop();
-                heap.push(Candidate { score, item });
-            }
-        }
-    }
-    let mut out: Vec<Candidate> = heap.into_vec();
-    out.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .expect("scores must not be NaN")
-            .then_with(|| a.item.cmp(&b.item))
-    });
-    out.into_iter().map(|c| c.item).collect()
+    // one shared kernel with the recommendation/serving paths, so the ties
+    // convention cannot diverge between evaluation and serving
+    ocular_linalg::topk::top_k_excluding(scores, exclude, m)
+        .into_iter()
+        .map(|(_, item)| item)
+        .collect()
 }
 
 /// Full ranking (all non-excluded items, best first). O(n log n); prefer

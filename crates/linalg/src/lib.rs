@@ -11,7 +11,9 @@
 //! * `K×K` symmetric positive-definite solves for the wALS baseline's
 //!   alternating least-squares updates — [`Cholesky`];
 //! * Gram matrices `FᵀF` (the wALS "Gram trick" that makes the one-class
-//!   objective tractable) — [`Matrix::gram`].
+//!   objective tractable) — [`Matrix::gram`];
+//! * bounded top-K selection under the workspace ranking ties convention,
+//!   shared by evaluation and serving — [`topk`].
 //!
 //! Everything is `f64`, row-major, and allocation-conscious: the hot kernels
 //! in [`ops`] write into caller-provided buffers.
@@ -22,6 +24,8 @@
 mod cholesky;
 mod matrix;
 pub mod ops;
+pub mod topk;
 
 pub use cholesky::{Cholesky, CholeskyError};
 pub use matrix::Matrix;
+pub use topk::{top_k_excluding, TopK};

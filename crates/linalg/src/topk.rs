@@ -1,0 +1,197 @@
+//! Bounded top-K selection over dense score vectors — the one shared
+//! implementation of the workspace's ranking ties convention.
+//!
+//! Both the evaluation protocol (`ocular-eval`) and the recommendation /
+//! serving paths (`ocular-core`, `ocular-serve`) select the `K` largest
+//! scores with ties broken by ascending index. Keeping a single kernel here
+//! means the convention cannot silently diverge between what is evaluated
+//! and what is served.
+//!
+//! The structure is a bounded binary min-heap of size `K`: the root is the
+//! *worst* retained pair, so a losing candidate is rejected with one
+//! comparison — `O(n log K)` total, and for skewed score distributions most
+//! pushes are single-comparison rejections. Selection is **exactly**
+//! equivalent to full-sort-then-truncate under the same total order
+//! (property-tested in `ocular-serve`).
+
+use std::cmp::Ordering;
+
+/// Returns `true` when `a` ranks strictly *below* `b` in the final list
+/// order (score descending, ties by ascending index).
+///
+/// # Panics
+/// Panics if either score is NaN — scores are probabilities or model
+/// scores in this workspace, so a NaN indicates an upstream bug worth
+/// failing loudly on.
+#[inline]
+fn ranks_below(a: (f64, usize), b: (f64, usize)) -> bool {
+    match a.0.partial_cmp(&b.0).expect("scores must not be NaN") {
+        Ordering::Less => true,
+        Ordering::Greater => false,
+        Ordering::Equal => a.1 > b.1,
+    }
+}
+
+/// A bounded binary min-heap keeping the `k` best `(score, index)` pairs
+/// seen so far; the root is the *worst* retained pair.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    /// Min-heap under [`ranks_below`]: `heap[0]` ranks below its children.
+    heap: Vec<(f64, usize)>,
+}
+
+impl TopK {
+    /// An empty selector that will retain at most `k` pairs.
+    pub fn new(k: usize) -> Self {
+        TopK {
+            k,
+            heap: Vec::with_capacity(k.min(1024)),
+        }
+    }
+
+    /// Number of pairs currently retained (`≤ k`).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Offers `(index, score)`; keeps it only if it ranks among the best
+    /// `k` seen so far.
+    #[inline]
+    pub fn push(&mut self, index: usize, score: f64) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push((score, index));
+            self.sift_up(self.heap.len() - 1);
+        } else if ranks_below(self.heap[0], (score, index)) {
+            self.heap[0] = (score, index);
+            self.sift_down(0);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if ranks_below(self.heap[i], self.heap[parent]) {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut lowest = i;
+            if l < n && ranks_below(self.heap[l], self.heap[lowest]) {
+                lowest = l;
+            }
+            if r < n && ranks_below(self.heap[r], self.heap[lowest]) {
+                lowest = r;
+            }
+            if lowest == i {
+                break;
+            }
+            self.heap.swap(i, lowest);
+            i = lowest;
+        }
+    }
+
+    /// Consumes the selector, returning the retained `(score, index)` pairs
+    /// sorted by score descending, ties by ascending index — identical to
+    /// sorting all offered pairs with the same comparator and truncating.
+    pub fn into_sorted(self) -> Vec<(f64, usize)> {
+        let mut out = self.heap;
+        out.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("scores must not be NaN")
+                .then_with(|| a.1.cmp(&b.1))
+        });
+        out
+    }
+}
+
+/// Selects the top-`k` of `scores`, skipping the sorted exclusion list
+/// `exclude` (ascending `u32` indices, the CSR row convention). Returns
+/// `(score, index)` pairs in ranking order.
+///
+/// The exclusion walk runs in the `usize` domain with a cursor over
+/// `exclude`, so no index is ever narrowed to `u32` — catalogs larger than
+/// `u32::MAX` cannot silently alias into the exclusion filter.
+pub fn top_k_excluding(scores: &[f64], exclude: &[u32], k: usize) -> Vec<(f64, usize)> {
+    let mut heap = TopK::new(k);
+    let mut cursor = 0usize;
+    for (index, &score) in scores.iter().enumerate() {
+        while cursor < exclude.len() && (exclude[cursor] as usize) < index {
+            cursor += 1;
+        }
+        if cursor < exclude.len() && exclude[cursor] as usize == index {
+            cursor += 1;
+            continue;
+        }
+        heap.push(index, score);
+    }
+    heap.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn by_sort(scores: &[f64], exclude: &[u32], k: usize) -> Vec<(f64, usize)> {
+        let mut all: Vec<(f64, usize)> = scores
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| exclude.binary_search(&(*i as u32)).is_err())
+            .map(|(i, &s)| (s, i))
+            .collect();
+        all.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then_with(|| a.1.cmp(&b.1)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn matches_sort_on_ties() {
+        let scores = [0.5, 0.9, 0.5, 0.1, 0.9, 0.5];
+        for k in 0..=scores.len() + 1 {
+            assert_eq!(
+                top_k_excluding(&scores, &[], k),
+                by_sort(&scores, &[], k),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn exclusion_and_bounds() {
+        let scores = [0.9, 0.8, 0.7, 0.6];
+        let got = top_k_excluding(&scores, &[0, 2], 10);
+        assert_eq!(got, vec![(0.8, 1), (0.6, 3)]);
+        assert!(top_k_excluding(&scores, &[], 0).is_empty());
+    }
+
+    #[test]
+    fn monotone_sequences_exercise_both_heap_paths() {
+        let inc: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let dec: Vec<f64> = (0..100).map(|i| -(i as f64)).collect();
+        for scores in [&inc, &dec] {
+            assert_eq!(top_k_excluding(scores, &[], 7), by_sort(scores, &[], 7));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_scores_rejected_loudly() {
+        top_k_excluding(&[0.5, f64::NAN], &[], 2);
+    }
+}

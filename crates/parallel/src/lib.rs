@@ -44,3 +44,24 @@ pub mod trainer;
 pub use memory::MemoryModel;
 pub use speedup::{speedup_at_threshold, TimedTrace};
 pub use trainer::fit_parallel;
+
+/// Runs `f` under an explicit rayon thread count, or on the ambient pool
+/// when `threads` is `None`.
+///
+/// This is the one thread knob shared by every data-parallel entry point in
+/// the workspace ([`fit_parallel`], `ocular-serve`'s batch path, the Figure 8
+/// harness), so "1 thread vs N threads" comparisons always mean the same
+/// thing.
+///
+/// # Panics
+/// Panics if the dedicated pool cannot be built.
+pub fn with_threads<R>(threads: Option<usize>, f: impl FnOnce() -> R) -> R {
+    match threads {
+        None => f(),
+        Some(n) => rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("failed to build rayon pool")
+            .install(f),
+    }
+}

@@ -90,14 +90,7 @@ fn parallel_sweep_side(
 /// # Panics
 /// Panics if `cfg` fails validation or the thread pool cannot be built.
 pub fn fit_parallel(r: &CsrMatrix, cfg: &OcularConfig, threads: Option<usize>) -> TrainResult {
-    match threads {
-        None => fit_parallel_inner(r, cfg),
-        Some(n) => rayon::ThreadPoolBuilder::new()
-            .num_threads(n)
-            .build()
-            .expect("failed to build rayon pool")
-            .install(|| fit_parallel_inner(r, cfg)),
-    }
+    crate::with_threads(threads, || fit_parallel_inner(r, cfg))
 }
 
 fn fit_parallel_inner(r: &CsrMatrix, cfg: &OcularConfig) -> TrainResult {

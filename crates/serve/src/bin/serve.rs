@@ -1,0 +1,273 @@
+//! JSON-lines serving CLI.
+//!
+//! Two modes:
+//!
+//! **Train & snapshot** — fit OCuLaR on an edge list and write a serving
+//! snapshot (model + co-cluster index):
+//!
+//! ```text
+//! serve --train data.tsv --snapshot model.snap \
+//!       [--k 8] [--lambda 0.5] [--iters 60] [--seed 0] [--rel 0.5] [--floor 100] [--sep '\t']
+//! ```
+//!
+//! **Serve** — load a snapshot plus the training interactions (for
+//! owned-item exclusion), read one JSON request per stdin line, write one
+//! JSON response per stdout line, in order:
+//!
+//! ```text
+//! serve --model model.snap --interactions data.tsv \
+//!       [--mode clusters|full] [--min-candidates 50] [--m 10] \
+//!       [--lambda 0.5] [--threads N] [--batch 256] [--sep '\t']
+//! ```
+//!
+//! `--lambda` is the regularization the cold-start fold-in solves with;
+//! pass the value the model was trained with (both modes default to 0.5).
+//!
+//! Requests: `{"user": 17}` or `{"user": 17, "m": 5}` for warm users,
+//! `{"basket": [0, 4, 9], "m": 5}` for cold-start fold-in. Responses echo
+//! the request key and carry `items`, `probs`, `scored`, `fallback`;
+//! failures become `{"error": "..."}` without aborting the stream.
+//! User/item indices are the snapshot's internal (compacted) ids.
+
+use ocular_core::{fit, OcularConfig};
+use ocular_serve::json::{obj, Json};
+use ocular_serve::{CandidatePolicy, Request, ServeConfig, ServeEngine, Snapshot};
+use ocular_sparse::io::read_edge_list;
+use std::io::{BufRead, BufWriter, Write};
+use std::process::ExitCode;
+
+/// `--key value` / bare `--flag` parsing (same dialect as ocular-bench).
+struct Flags {
+    values: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse() -> Flags {
+        let tokens: Vec<String> = std::env::args().skip(1).collect();
+        let mut values = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            if let Some(key) = tokens[i].strip_prefix("--") {
+                if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
+                    values.push((key.to_string(), tokens[i + 1].clone()));
+                    i += 2;
+                } else {
+                    values.push((key.to_string(), String::new()));
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Flags { values }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+fn load_matrix(path: &str, sep: &str) -> Result<ocular_sparse::CsrMatrix, String> {
+    let parsed = read_edge_list(path, sep, None).map_err(|e| e.to_string())?;
+    Ok(parsed.into_matrix().0)
+}
+
+fn train_mode(flags: &Flags) -> Result<(), String> {
+    let data = flags.get("train").expect("checked by caller");
+    let out = flags
+        .get("snapshot")
+        .ok_or("--train requires --snapshot <path>")?;
+    let sep = flags.get("sep").unwrap_or("\t");
+    let r = load_matrix(data, sep)?;
+    let cfg = OcularConfig {
+        k: flags.num("k", 8),
+        lambda: flags.num("lambda", 0.5),
+        max_iters: flags.num("iters", 60),
+        seed: flags.num("seed", 0),
+        ..Default::default()
+    };
+    let t0 = std::time::Instant::now();
+    let model = fit(&r, &cfg).model;
+    let index_cfg = ocular_serve::IndexConfig {
+        rel: flags.num("rel", 0.5),
+        floor: flags.num("floor", 100),
+    };
+    let snapshot = Snapshot::build(model, &index_cfg);
+    let mut file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    snapshot.save(&mut file).map_err(|e| e.to_string())?;
+    eprintln!(
+        "trained {}×{} (nnz={}) k={} in {:.2}s → {out}",
+        r.n_rows(),
+        r.n_cols(),
+        r.nnz(),
+        cfg.k,
+        t0.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+fn parse_request(line: &str, default_m: usize) -> Result<Request, String> {
+    let v = Json::parse(line)?;
+    let m = match v.get("m") {
+        None => default_m,
+        Some(j) => j.as_usize().ok_or("`m` must be a non-negative integer")?,
+    };
+    match (v.get("user"), v.get("basket")) {
+        (Some(u), None) => {
+            let user = u
+                .as_usize()
+                .ok_or("`user` must be a non-negative integer")?;
+            Ok(Request::Warm { user, m })
+        }
+        (None, Some(b)) => {
+            let items = b.as_array().ok_or("`basket` must be an array")?;
+            let basket = items
+                .iter()
+                .map(|j| {
+                    j.as_usize()
+                        .ok_or("basket items must be non-negative integers")
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Request::Cold { basket, m })
+        }
+        _ => Err("request needs exactly one of `user` or `basket`".into()),
+    }
+}
+
+fn render_response(
+    req: &Request,
+    result: &Result<ocular_serve::ServedList, ocular_serve::ServeError>,
+) -> Json {
+    match result {
+        Err(e) => obj(vec![("error", Json::Str(e.to_string()))]),
+        Ok(list) => {
+            let mut fields = match req {
+                Request::Warm { user, .. } => vec![("user", Json::Num(*user as f64))],
+                Request::Cold { .. } => vec![("cold", Json::Bool(true))],
+            };
+            fields.push((
+                "items",
+                Json::Arr(
+                    list.items
+                        .iter()
+                        .map(|r| Json::Num(r.item as f64))
+                        .collect(),
+                ),
+            ));
+            fields.push((
+                "probs",
+                Json::Arr(
+                    list.items
+                        .iter()
+                        .map(|r| Json::Num(r.probability))
+                        .collect(),
+                ),
+            ));
+            fields.push(("scored", Json::Num(list.scored as f64)));
+            fields.push(("fallback", Json::Bool(list.fell_back)));
+            obj(fields)
+        }
+    }
+}
+
+fn serve_mode(flags: &Flags) -> Result<(), String> {
+    let snap_path = flags.get("model").expect("checked by caller");
+    let data = flags
+        .get("interactions")
+        .ok_or("serving requires --interactions <edge list> (owned-item exclusion)")?;
+    let sep = flags.get("sep").unwrap_or("\t");
+    let file = std::fs::File::open(snap_path).map_err(|e| format!("open {snap_path}: {e}"))?;
+    let snapshot = Snapshot::load(&mut std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
+    let r = load_matrix(data, sep)?;
+
+    let candidates = match flags.get("mode").unwrap_or("clusters") {
+        "full" => CandidatePolicy::FullCatalog,
+        "clusters" => CandidatePolicy::Clusters {
+            min_candidates: flags.num("min-candidates", 50),
+        },
+        other => {
+            return Err(format!(
+                "--mode must be `full` or `clusters`, got `{other}`"
+            ))
+        }
+    };
+    let cfg = ServeConfig {
+        default_m: flags.num("m", 10),
+        candidates,
+        // cold-start fold-in solves with the regularization the model was
+        // trained with — the snapshot does not carry it, so `--lambda` here
+        // must match the training run (both default to 0.5)
+        foldin: OcularConfig {
+            lambda: flags.num("lambda", 0.5),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let engine = ServeEngine::new(snapshot, r, cfg)?;
+    let threads = flags.get("threads").and_then(|v| v.parse().ok());
+    let batch_size: usize = flags.num("batch", 256).max(1);
+
+    let stdin = std::io::stdin();
+    let mut out = BufWriter::new(std::io::stdout().lock());
+    let mut pending: Vec<Result<Request, String>> = Vec::with_capacity(batch_size);
+    let flush_batch = |pending: &mut Vec<Result<Request, String>>,
+                       out: &mut BufWriter<std::io::StdoutLock<'_>>|
+     -> Result<(), String> {
+        let requests: Vec<Request> = pending
+            .iter()
+            .filter_map(|p| p.as_ref().ok().cloned())
+            .collect();
+        let mut served = engine.serve_batch_threads(&requests, threads).into_iter();
+        for parsed in pending.drain(..) {
+            let line = match parsed {
+                Err(e) => obj(vec![("error", Json::Str(e))]),
+                Ok(req) => {
+                    let result = served.next().expect("one response per request");
+                    render_response(&req, &result)
+                }
+            };
+            writeln!(out, "{line}").map_err(|e| e.to_string())?;
+        }
+        out.flush().map_err(|e| e.to_string())
+    };
+
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        pending.push(parse_request(&line, 0));
+        if pending.len() >= batch_size {
+            flush_batch(&mut pending, &mut out)?;
+        }
+    }
+    flush_batch(&mut pending, &mut out)?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let flags = Flags::parse();
+    let result = if flags.get("train").is_some() {
+        train_mode(&flags)
+    } else if flags.get("model").is_some() {
+        serve_mode(&flags)
+    } else {
+        Err("usage: serve --train <edges> --snapshot <out> | serve --model <snap> --interactions <edges>  (see crate docs)".into())
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("serve: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

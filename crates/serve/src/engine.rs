@@ -1,0 +1,508 @@
+//! The in-process serving engine: candidate generation, heap selection,
+//! cold-start fold-in, and rayon-parallel batching.
+
+use crate::index::{ClusterIndex, IndexConfig};
+use crate::snapshot::Snapshot;
+use ocular_core::model::prob_from_affinity;
+use ocular_core::topm::{top_m_excluding, TopM};
+use ocular_core::{fold_in_user, FactorModel, OcularConfig, Recommendation};
+use ocular_linalg::ops;
+use ocular_sparse::{col_index, CsrMatrix};
+use rayon::prelude::*;
+use std::fmt;
+
+/// How the engine picks the items a request scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidatePolicy {
+    /// Score every item — exact: output is bitwise identical to
+    /// [`ocular_core::recommend_top_m`] for warm users.
+    FullCatalog,
+    /// Score only items reachable from the requester's co-clusters via the
+    /// [`ClusterIndex`]. Falls back to the full catalog when fewer than
+    /// `max(m, min_candidates)` un-owned candidates are reachable, so thin
+    /// cluster coverage degrades to exact serving instead of short lists.
+    Clusters {
+        /// Fallback floor on usable (un-owned) candidates.
+        min_candidates: usize,
+    },
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Top-M length used when a request does not specify `m`.
+    pub default_m: usize,
+    /// Candidate-generation policy.
+    pub candidates: CandidatePolicy,
+    /// Solver budget for cold-start fold-in (projected-gradient steps).
+    pub foldin_steps: usize,
+    /// Training hyper-parameters reused by the cold-start fold-in solve
+    /// (only `lambda`, `sigma`, `beta`, `max_backtracks` matter here).
+    pub foldin: OcularConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            default_m: 10,
+            candidates: CandidatePolicy::Clusters { min_candidates: 50 },
+            foldin_steps: 100,
+            foldin: OcularConfig::default(),
+        }
+    }
+}
+
+/// One serving request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// A user present in the training matrix, addressed by row index.
+    Warm {
+        /// Training-matrix row of the user.
+        user: usize,
+        /// List length; 0 means the engine's `default_m`.
+        m: usize,
+    },
+    /// A cold-start user described only by a basket of item indices; the
+    /// affiliation vector is folded in at request time (Section VIII).
+    Cold {
+        /// Items the unseen user has interacted with.
+        basket: Vec<usize>,
+        /// List length; 0 means the engine's `default_m`.
+        m: usize,
+    },
+}
+
+/// A served recommendation list plus serving telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedList {
+    /// The top-M list, probability descending, ties by ascending item.
+    pub items: Vec<Recommendation>,
+    /// Number of items actually scored for this request.
+    pub scored: usize,
+    /// Whether the cluster policy fell back to the full catalog.
+    pub fell_back: bool,
+}
+
+/// Request-level serving failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// A warm request named a row outside the training matrix.
+    UnknownUser {
+        /// The requested user index.
+        user: usize,
+        /// Number of users the engine knows.
+        n_users: usize,
+    },
+    /// A cold request's basket was unusable (out-of-range or duplicate
+    /// items).
+    BadBasket(
+        /// Human-readable description.
+        String,
+    ),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownUser { user, n_users } => {
+                write!(f, "unknown user {user} (engine has {n_users} warm users)")
+            }
+            ServeError::BadBasket(msg) => write!(f, "bad basket: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The in-process serving engine.
+///
+/// Holds a fitted [`FactorModel`], the [`ClusterIndex`] for candidate
+/// generation, and the training interactions (for owned-item exclusion).
+/// All serving methods take `&self`, so one engine can be shared across
+/// threads; [`ServeEngine::serve_batch`] does exactly that via rayon.
+#[derive(Debug, Clone)]
+pub struct ServeEngine {
+    model: FactorModel,
+    index: ClusterIndex,
+    owned: CsrMatrix,
+    cfg: ServeConfig,
+}
+
+impl ServeEngine {
+    /// Builds an engine from a loaded snapshot and the training
+    /// interactions. The interactions must match the model's shape.
+    pub fn new(
+        snapshot: Snapshot,
+        interactions: CsrMatrix,
+        cfg: ServeConfig,
+    ) -> Result<Self, String> {
+        if interactions.n_rows() != snapshot.model.n_users()
+            || interactions.n_cols() != snapshot.model.n_items()
+        {
+            return Err(format!(
+                "interactions are {}×{} but the model is {}×{}",
+                interactions.n_rows(),
+                interactions.n_cols(),
+                snapshot.model.n_users(),
+                snapshot.model.n_items()
+            ));
+        }
+        Ok(ServeEngine {
+            model: snapshot.model,
+            index: snapshot.index,
+            owned: interactions,
+            cfg,
+        })
+    }
+
+    /// Convenience constructor: derives the snapshot (index included) from
+    /// a model with the given index build parameters (see
+    /// [`ClusterIndex::build`]).
+    pub fn from_model(
+        model: FactorModel,
+        interactions: CsrMatrix,
+        index_cfg: &IndexConfig,
+        cfg: ServeConfig,
+    ) -> Result<Self, String> {
+        Self::new(Snapshot::build(model, index_cfg), interactions, cfg)
+    }
+
+    /// The engine's model.
+    pub fn model(&self) -> &FactorModel {
+        &self.model
+    }
+
+    /// The engine's candidate-generation index.
+    pub fn index(&self) -> &ClusterIndex {
+        &self.index
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Serves one request.
+    pub fn serve_one(&self, req: &Request) -> Result<ServedList, ServeError> {
+        match req {
+            Request::Warm { user, m } => self.serve_warm(*user, self.effective_m(*m)),
+            Request::Cold { basket, m } => self.serve_cold(basket, self.effective_m(*m)),
+        }
+    }
+
+    /// Serves a batch of requests in parallel on the ambient rayon pool.
+    /// Responses are returned in request order, and every response is
+    /// identical to what [`ServeEngine::serve_one`] returns for that
+    /// request — batching changes wall-clock, never output.
+    pub fn serve_batch(&self, requests: &[Request]) -> Vec<Result<ServedList, ServeError>> {
+        requests.par_iter().map(|r| self.serve_one(r)).collect()
+    }
+
+    /// [`ServeEngine::serve_batch`] under an explicit thread count
+    /// (`None` = ambient pool) — the same knob as
+    /// [`ocular_parallel::fit_parallel`].
+    pub fn serve_batch_threads(
+        &self,
+        requests: &[Request],
+        threads: Option<usize>,
+    ) -> Vec<Result<ServedList, ServeError>> {
+        ocular_parallel::with_threads(threads, || self.serve_batch(requests))
+    }
+
+    fn effective_m(&self, m: usize) -> usize {
+        if m == 0 {
+            self.cfg.default_m
+        } else {
+            m
+        }
+    }
+
+    fn serve_warm(&self, user: usize, m: usize) -> Result<ServedList, ServeError> {
+        if user >= self.model.n_users() {
+            return Err(ServeError::UnknownUser {
+                user,
+                n_users: self.model.n_users(),
+            });
+        }
+        let factors = self.model.user_factors.row(user);
+        Ok(self.select(factors, self.owned.row(user), m))
+    }
+
+    fn serve_cold(&self, basket: &[usize], m: usize) -> Result<ServedList, ServeError> {
+        let mut exclude: Vec<u32> = Vec::with_capacity(basket.len());
+        for &i in basket {
+            if i >= self.model.n_items() {
+                return Err(ServeError::BadBasket(format!(
+                    "item {i} out of range for {} items",
+                    self.model.n_items()
+                )));
+            }
+            exclude.push(col_index(i));
+        }
+        exclude.sort_unstable();
+        if exclude.windows(2).any(|w| w[0] == w[1]) {
+            return Err(ServeError::BadBasket("duplicate items".into()));
+        }
+        let fold = fold_in_user(
+            &self.model,
+            basket,
+            &self.cfg.foldin,
+            1.0,
+            self.cfg.foldin_steps,
+        );
+        Ok(self.select(&fold.factors, &exclude, m))
+    }
+
+    /// Core selection: candidate generation per policy, then bounded-heap
+    /// top-M with the workspace ties convention (probability descending,
+    /// ties by ascending item index). `exclude` is ascending.
+    fn select(&self, factors: &[f64], exclude: &[u32], m: usize) -> ServedList {
+        if let CandidatePolicy::Clusters { min_candidates } = self.cfg.candidates {
+            let candidates = self.index.candidates(factors);
+            // usable = candidates not excluded (both lists ascending)
+            let usable = candidates.len() - intersection_size(&candidates, exclude);
+            if usable >= m.max(min_candidates) {
+                return self.select_candidates(factors, &candidates, exclude, m);
+            }
+        }
+        self.select_full(factors, exclude, m)
+    }
+
+    /// Scores the full catalog. For a warm user this computes exactly the
+    /// floats of [`FactorModel::score_user`] and selects through the same
+    /// kernel as [`ocular_core::recommend_top_m`], hence bitwise-identical
+    /// lists.
+    fn select_full(&self, factors: &[f64], exclude: &[u32], m: usize) -> ServedList {
+        let n = self.model.n_items();
+        let mut scores = vec![0.0; n];
+        for (i, s) in scores.iter_mut().enumerate() {
+            *s = prob_from_affinity(ops::dot(factors, self.model.item_factors.row(i)));
+        }
+        let items = top_m_excluding(&scores, exclude, m);
+        ServedList {
+            items,
+            scored: n,
+            fell_back: !matches!(self.cfg.candidates, CandidatePolicy::FullCatalog),
+        }
+    }
+
+    /// Scores only the candidate list (ascending), skipping exclusions.
+    fn select_candidates(
+        &self,
+        factors: &[f64],
+        candidates: &[u32],
+        exclude: &[u32],
+        m: usize,
+    ) -> ServedList {
+        let mut heap = TopM::new(m);
+        let mut cursor = 0usize;
+        let mut scored = 0usize;
+        for &c in candidates {
+            let item = c as usize;
+            while cursor < exclude.len() && (exclude[cursor] as usize) < item {
+                cursor += 1;
+            }
+            if cursor < exclude.len() && exclude[cursor] as usize == item {
+                cursor += 1;
+                continue;
+            }
+            let p = prob_from_affinity(ops::dot(factors, self.model.item_factors.row(item)));
+            heap.push(item, p);
+            scored += 1;
+        }
+        ServedList {
+            items: heap.into_sorted(),
+            scored,
+            fell_back: false,
+        }
+    }
+}
+
+/// Size of the intersection of two ascending `u32` lists.
+fn intersection_size(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocular_core::{fit, recommend_top_m};
+    use ocular_datasets::planted::{generate, PlantedConfig};
+
+    fn trained() -> (FactorModel, CsrMatrix, OcularConfig) {
+        let data = generate(&PlantedConfig {
+            n_users: 60,
+            n_items: 40,
+            k: 3,
+            users_per_cluster: 20,
+            items_per_cluster: 14,
+            user_overlap: 0.2,
+            item_overlap: 0.2,
+            within_density: 0.6,
+            noise_density: 0.01,
+            seed: 5,
+        });
+        let cfg = OcularConfig {
+            k: 3,
+            lambda: 0.2,
+            max_iters: 40,
+            seed: 2,
+            ..Default::default()
+        };
+        let model = fit(&data.matrix, &cfg).model;
+        (model, data.matrix, cfg)
+    }
+
+    fn engine(policy: CandidatePolicy) -> (ServeEngine, CsrMatrix) {
+        let (model, r, train_cfg) = trained();
+        let cfg = ServeConfig {
+            default_m: 5,
+            candidates: policy,
+            foldin: train_cfg,
+            ..Default::default()
+        };
+        let e = ServeEngine::from_model(
+            model,
+            r.clone(),
+            &IndexConfig {
+                rel: 0.5,
+                floor: 10,
+            },
+            cfg,
+        )
+        .unwrap();
+        (e, r)
+    }
+
+    #[test]
+    fn full_catalog_matches_recommend_top_m_bitwise() {
+        let (e, r) = engine(CandidatePolicy::FullCatalog);
+        for u in 0..e.model().n_users() {
+            let served = e.serve_one(&Request::Warm { user: u, m: 10 }).unwrap();
+            assert_eq!(served.items, recommend_top_m(e.model(), &r, u, 10));
+            assert!(!served.fell_back);
+            assert_eq!(served.scored, e.model().n_items());
+        }
+    }
+
+    #[test]
+    fn cluster_policy_scores_fewer_items() {
+        let (e, _) = engine(CandidatePolicy::Clusters { min_candidates: 1 });
+        let mut restricted = 0;
+        for u in 0..e.model().n_users() {
+            let served = e.serve_one(&Request::Warm { user: u, m: 3 }).unwrap();
+            assert_eq!(served.items.len(), 3);
+            if !served.fell_back {
+                assert!(served.scored <= e.model().n_items());
+                restricted += usize::from(served.scored < e.model().n_items());
+            }
+        }
+        assert!(
+            restricted > 0,
+            "a planted-cluster model must restrict at least one user's candidates"
+        );
+    }
+
+    #[test]
+    fn cluster_fallback_when_coverage_thin() {
+        // min_candidates above the catalog forces fallback for everyone
+        let (e, r) = engine(CandidatePolicy::Clusters {
+            min_candidates: 10_000,
+        });
+        let served = e.serve_one(&Request::Warm { user: 0, m: 5 }).unwrap();
+        assert!(served.fell_back);
+        assert_eq!(served.items, recommend_top_m(e.model(), &r, 0, 5));
+    }
+
+    #[test]
+    fn unknown_user_rejected() {
+        let (e, _) = engine(CandidatePolicy::FullCatalog);
+        let err = e
+            .serve_one(&Request::Warm { user: 9999, m: 5 })
+            .unwrap_err();
+        assert!(matches!(err, ServeError::UnknownUser { user: 9999, .. }));
+    }
+
+    #[test]
+    fn cold_request_served_and_validated() {
+        let (e, _) = engine(CandidatePolicy::Clusters { min_candidates: 1 });
+        let served = e
+            .serve_one(&Request::Cold {
+                basket: vec![0, 1, 2],
+                m: 5,
+            })
+            .unwrap();
+        assert_eq!(served.items.len(), 5);
+        assert!(served.items.iter().all(|r| ![0, 1, 2].contains(&r.item)));
+        // invalid baskets are errors, not panics
+        assert!(matches!(
+            e.serve_one(&Request::Cold {
+                basket: vec![9999],
+                m: 5
+            }),
+            Err(ServeError::BadBasket(_))
+        ));
+        assert!(matches!(
+            e.serve_one(&Request::Cold {
+                basket: vec![1, 1],
+                m: 5
+            }),
+            Err(ServeError::BadBasket(_))
+        ));
+    }
+
+    #[test]
+    fn batch_matches_serve_one_in_order() {
+        let (e, _) = engine(CandidatePolicy::Clusters { min_candidates: 5 });
+        let reqs: Vec<Request> = (0..e.model().n_users())
+            .map(|user| Request::Warm { user, m: 7 })
+            .chain([Request::Cold {
+                basket: vec![3, 4],
+                m: 7,
+            }])
+            .collect();
+        let batch = e.serve_batch_threads(&reqs, Some(4));
+        assert_eq!(batch.len(), reqs.len());
+        for (req, got) in reqs.iter().zip(&batch) {
+            assert_eq!(got, &e.serve_one(req));
+        }
+    }
+
+    #[test]
+    fn default_m_applies_when_zero() {
+        let (e, _) = engine(CandidatePolicy::FullCatalog);
+        let served = e.serve_one(&Request::Warm { user: 1, m: 0 }).unwrap();
+        assert_eq!(served.items.len(), e.config().default_m);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let (model, _r, _) = trained();
+        let bad = CsrMatrix::empty(3, 3);
+        assert!(ServeEngine::from_model(
+            model,
+            bad,
+            &IndexConfig::default(),
+            ServeConfig::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn intersection_size_counts() {
+        assert_eq!(intersection_size(&[1, 3, 5], &[2, 3, 5, 7]), 2);
+        assert_eq!(intersection_size(&[], &[1]), 0);
+    }
+}

@@ -1,0 +1,296 @@
+//! Per-cluster inverted item lists — the candidate-generation index.
+//!
+//! The paper's pitch is that co-cluster factors make serving *scalable*: a
+//! user's plausible recommendations live in the co-clusters the user
+//! belongs to, so a request does not have to score the full catalog
+//! (Section IV-C; candidate generation via clusters is the standard
+//! production pattern for clustering-based recommenders). The index is
+//! built once — at snapshot time or engine load — and maps each co-cluster
+//! dimension to the items affiliated with it.
+//!
+//! Membership is **relative**, mirroring
+//! [`extract_coclusters_relative`](ocular_core::coclusters::extract_coclusters_relative):
+//! regularised training splits affiliation magnitude asymmetrically between
+//! the large side (many users, individually small strengths) and the small
+//! side of a co-cluster, so one absolute cutoff cannot fit both. Instead:
+//!
+//! * item `i` is indexed under cluster `c` iff `[f_i]_c ≥ rel · max_i [f_i]_c`;
+//! * a requester (warm row or folded cold-start vector) *activates* cluster
+//!   `c` iff `f[c] ≥ rel · max_c f[c]` — relative to its own strongest
+//!   dimension, which also works for fold-in vectors never seen in training.
+//!
+//! Dimensions whose best user·item product cannot reach connection
+//! probability ½ (`max_u · max_i < ln 2`) are dead — never clusters — and
+//! get empty lists, pushing their (hopeless) requests to the fallback path.
+
+use ocular_core::FactorModel;
+use ocular_sparse::col_index;
+
+/// Dead-dimension rule: the strongest pair must connect with probability
+/// ≥ ½, i.e. affinity ≥ ln 2 (the same rule as co-cluster extraction).
+const MIN_TOP_PAIR_AFFINITY: f64 = core::f64::consts::LN_2;
+
+/// Index build parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexConfig {
+    /// Relative membership cutoff in `(0, 1]`: item `i` joins cluster `c`'s
+    /// list when `[f_i]_c ≥ rel · max_i [f_i]_c`, and a requester activates
+    /// `c` when `f[c] ≥ rel · max_c f[c]`.
+    pub rel: f64,
+    /// Minimum list length per live cluster: lists shorter than this under
+    /// the relative rule are topped up with the cluster's next-strongest
+    /// items (power-law item strengths otherwise leave lists of a handful
+    /// of items, starving candidate generation). Capped by the catalog.
+    pub floor: usize,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig {
+            rel: 0.5,
+            floor: 100,
+        }
+    }
+}
+
+/// Inverted item lists, one per co-cluster dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterIndex {
+    rel: f64,
+    n_items: usize,
+    /// `items[c]` = ascending item indices with `[f_i]_c ≥ rel · max_i`.
+    items: Vec<Vec<u32>>,
+}
+
+impl ClusterIndex {
+    /// Builds the index from a fitted model's factors. Bias columns (when
+    /// present) are never indexed — they are not co-clusters.
+    ///
+    /// Each live cluster's list holds the items within `cfg.rel` of the
+    /// cluster's strongest item, topped up to `cfg.floor` items by strength
+    /// (ties by ascending item index, so the build is deterministic).
+    ///
+    /// # Panics
+    /// Panics if `cfg.rel` is outside `(0, 1]`.
+    pub fn build(model: &FactorModel, cfg: &IndexConfig) -> Self {
+        assert!(
+            cfg.rel > 0.0 && cfg.rel <= 1.0,
+            "relative membership cutoff must lie in (0, 1]"
+        );
+        let items = (0..model.n_clusters())
+            .map(|c| {
+                let max_u = (0..model.n_users())
+                    .map(|u| model.user_factors.row(u)[c])
+                    .fold(0.0f64, f64::max);
+                let max_i = (0..model.n_items())
+                    .map(|i| model.item_factors.row(i)[c])
+                    .fold(0.0f64, f64::max);
+                if max_u * max_i < MIN_TOP_PAIR_AFFINITY {
+                    return Vec::new(); // dead dimension
+                }
+                // strength descending, ties by ascending item
+                let mut by_strength: Vec<(f64, usize)> = (0..model.n_items())
+                    .map(|i| (model.item_factors.row(i)[c], i))
+                    .collect();
+                by_strength.sort_by(|a, b| {
+                    b.0.partial_cmp(&a.0)
+                        .expect("finite factors")
+                        .then_with(|| a.1.cmp(&b.1))
+                });
+                let mut list: Vec<u32> = by_strength
+                    .into_iter()
+                    .enumerate()
+                    .take_while(|&(rank, (s, _))| {
+                        s > 0.0 && (rank < cfg.floor || s >= cfg.rel * max_i)
+                    })
+                    .map(|(_, (_, i))| col_index(i))
+                    .collect();
+                list.sort_unstable();
+                list
+            })
+            .collect();
+        ClusterIndex {
+            rel: cfg.rel,
+            n_items: model.n_items(),
+            items,
+        }
+    }
+
+    /// Assembles an index from raw parts (the snapshot loader). Validates
+    /// that `rel` is in range and every list is strictly ascending and
+    /// in-bounds.
+    pub fn from_parts(rel: f64, n_items: usize, items: Vec<Vec<u32>>) -> Result<Self, String> {
+        if !(rel > 0.0 && rel <= 1.0) {
+            return Err(format!("bad index rel cutoff {rel}"));
+        }
+        for (c, list) in items.iter().enumerate() {
+            if list.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("cluster {c} item list not strictly ascending"));
+            }
+            if let Some(&last) = list.last() {
+                if last as usize >= n_items {
+                    return Err(format!(
+                        "cluster {c} item {last} out of bounds for {n_items} items"
+                    ));
+                }
+            }
+        }
+        Ok(ClusterIndex {
+            rel,
+            n_items,
+            items,
+        })
+    }
+
+    /// The relative membership cutoff the index was built with.
+    pub fn rel(&self) -> f64 {
+        self.rel
+    }
+
+    /// Number of indexed co-cluster dimensions.
+    pub fn n_clusters(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Number of items in the catalog the index was built over.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// The ascending item list of cluster `c`.
+    pub fn cluster_items(&self, c: usize) -> &[u32] {
+        &self.items[c]
+    }
+
+    /// The clusters a factor vector activates: dimensions within `rel` of
+    /// the vector's own strongest cluster dimension. Bias columns (entries
+    /// past `n_clusters()`) never activate.
+    pub fn active_clusters(&self, factors: &[f64]) -> Vec<usize> {
+        let k = self.n_clusters().min(factors.len());
+        let own_max = factors[..k].iter().copied().fold(0.0f64, f64::max);
+        if own_max <= 0.0 {
+            return Vec::new();
+        }
+        (0..k)
+            .filter(|&c| factors[c] >= self.rel * own_max)
+            .collect()
+    }
+
+    /// Candidate items for a factor vector: the sorted, deduplicated union
+    /// of the item lists of its active clusters. Empty when the vector
+    /// activates no (live) cluster — callers fall back to the full catalog.
+    pub fn candidates(&self, factors: &[f64]) -> Vec<u32> {
+        let active = self.active_clusters(factors);
+        match active.len() {
+            0 => Vec::new(),
+            1 => self.items[active[0]].clone(),
+            _ => {
+                let mut union: Vec<u32> = active
+                    .iter()
+                    .flat_map(|&c| self.items[c].iter().copied())
+                    .collect();
+                union.sort_unstable();
+                union.dedup();
+                union
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocular_linalg::Matrix;
+
+    /// A config with no floor top-up: the pure relative rule.
+    fn rel_only(rel: f64) -> IndexConfig {
+        IndexConfig { rel, floor: 0 }
+    }
+
+    fn model() -> FactorModel {
+        // cluster 0: strong items {0, 1}; cluster 1: strong items {1, 3};
+        // item 2 weak everywhere
+        FactorModel::new(
+            Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[0.1, 0.1]]),
+            Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 1.5], &[0.2, 0.2], &[0.0, 3.0]]),
+            false,
+        )
+    }
+
+    #[test]
+    fn build_inverts_item_memberships_relative() {
+        // cluster 0 max_i = 2.0, rel 0.5 → cutoff 1.0 keeps items 0, 1;
+        // cluster 1 max_i = 3.0 → cutoff 1.5 keeps items 1, 3
+        let idx = ClusterIndex::build(&model(), &rel_only(0.5));
+        assert_eq!(idx.n_clusters(), 2);
+        assert_eq!(idx.cluster_items(0), &[0, 1]);
+        assert_eq!(idx.cluster_items(1), &[1, 3]);
+        // tighter cutoff keeps only the strongest item per side
+        let tight = ClusterIndex::build(&model(), &rel_only(0.9));
+        assert_eq!(tight.cluster_items(0), &[0]);
+        assert_eq!(tight.cluster_items(1), &[3]);
+    }
+
+    #[test]
+    fn active_clusters_relative_to_own_max() {
+        let idx = ClusterIndex::build(&model(), &rel_only(0.5));
+        assert_eq!(idx.active_clusters(&[1.0, 0.3]), vec![0]);
+        assert_eq!(idx.active_clusters(&[1.0, 0.6]), vec![0, 1]);
+        assert_eq!(idx.active_clusters(&[0.2, 1.0]), vec![1]);
+        // all-zero vector activates nothing
+        assert!(idx.active_clusters(&[0.0, 0.0]).is_empty());
+    }
+
+    #[test]
+    fn candidates_union_active_clusters() {
+        let idx = ClusterIndex::build(&model(), &rel_only(0.5));
+        assert_eq!(idx.candidates(&[1.0, 0.1]), vec![0, 1]);
+        assert_eq!(idx.candidates(&[0.1, 1.0]), vec![1, 3]);
+        // overlap deduplicated
+        assert_eq!(idx.candidates(&[1.0, 1.0]), vec![0, 1, 3]);
+        assert!(idx.candidates(&[0.0, 0.0]).is_empty());
+    }
+
+    #[test]
+    fn dead_dimensions_get_empty_lists() {
+        // best pair product 0.3 · 0.3 = 0.09 < ln 2 → dead
+        let m = FactorModel::new(
+            Matrix::from_rows(&[&[2.0, 0.3]]),
+            Matrix::from_rows(&[&[2.0, 0.3]]),
+            false,
+        );
+        let idx = ClusterIndex::build(&m, &rel_only(0.5));
+        assert_eq!(idx.cluster_items(0), &[0]);
+        assert!(idx.cluster_items(1).is_empty());
+    }
+
+    #[test]
+    fn bias_columns_never_indexed() {
+        let m = FactorModel::new(
+            Matrix::from_rows(&[&[2.0, 9.0, 1.0]]),
+            Matrix::from_rows(&[&[2.0, 1.0, 9.0]]),
+            true,
+        );
+        let idx = ClusterIndex::build(&m, &rel_only(0.5));
+        assert_eq!(idx.n_clusters(), 1);
+        // and bias entries in a request vector never activate clusters
+        assert_eq!(idx.active_clusters(&[2.0, 9.0, 1.0]), vec![0]);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(ClusterIndex::from_parts(0.5, 4, vec![vec![0, 1], vec![3]]).is_ok());
+        assert!(ClusterIndex::from_parts(0.5, 4, vec![vec![1, 0]]).is_err());
+        assert!(ClusterIndex::from_parts(0.5, 4, vec![vec![2, 2]]).is_err());
+        assert!(ClusterIndex::from_parts(0.5, 4, vec![vec![4]]).is_err());
+        assert!(ClusterIndex::from_parts(0.0, 4, vec![]).is_err());
+        assert!(ClusterIndex::from_parts(f64::NAN, 4, vec![]).is_err());
+        assert!(ClusterIndex::from_parts(1.5, 4, vec![]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff")]
+    fn build_rejects_bad_rel() {
+        ClusterIndex::build(&model(), &rel_only(0.0));
+    }
+}

@@ -1,0 +1,60 @@
+//! # ocular-serve
+//!
+//! The online serving subsystem for the OCuLaR reproduction — the piece
+//! that turns trained co-cluster factors into a request-path engine, per
+//! the paper's scalability pitch (*"Scalable and interpretable product
+//! recommendations via overlapping co-clustering"*, Heckel et al., ICDE
+//! 2017, Sections IV-C and VIII).
+//!
+//! ## What serving adds over batch evaluation
+//!
+//! * **Snapshots** ([`snapshot`]) — a versioned on-disk artifact wrapping
+//!   the `ocular-model v1` format plus a `cocluster-index v1` section, with
+//!   truncation/corruption detection, so trainer and server can disagree
+//!   loudly instead of silently.
+//! * **Candidate generation** ([`index`]) — per-cluster inverted item
+//!   lists built once at load; a request scores only items reachable from
+//!   the requester's co-clusters, with a full-catalog fallback knob
+//!   ([`CandidatePolicy`]).
+//! * **Bounded-heap selection** — top-M via
+//!   [`ocular_core::topm`], `O(candidates · log M)` instead of a full
+//!   sort; in [`CandidatePolicy::FullCatalog`] mode the served lists are
+//!   **bitwise identical** to [`ocular_core::recommend_top_m`].
+//! * **Cold start** — unseen users are folded in at request time
+//!   ([`ocular_core::fold_in_user`]), then served through the same
+//!   selection path.
+//! * **Batching** ([`ServeEngine::serve_batch`]) — rayon-parallel over
+//!   requests, deterministic in request order and output regardless of
+//!   thread count.
+//! * **A CLI** (`serve` binary) — JSON-lines requests on stdin, JSON-lines
+//!   responses on stdout, plus a `--train` mode that fits a model from an
+//!   edge list and writes a snapshot. See the README's *Serving* section.
+//!
+//! ## Example
+//!
+//! ```
+//! use ocular_serve::{CandidatePolicy, IndexConfig, Request, ServeConfig, ServeEngine};
+//! use ocular_core::{fit, OcularConfig};
+//! use ocular_sparse::CsrMatrix;
+//!
+//! let r = CsrMatrix::from_pairs(4, 4, &[
+//!     (0, 0), (0, 1), (1, 0), (1, 1),
+//!     (2, 2), (2, 3), (3, 2), (3, 3),
+//! ]).unwrap();
+//! let model = fit(&r, &OcularConfig { k: 2, lambda: 0.05, seed: 7, ..Default::default() }).model;
+//! let engine = ServeEngine::from_model(model, r, &IndexConfig::default(), ServeConfig::default()).unwrap();
+//! let out = engine.serve_one(&Request::Warm { user: 0, m: 2 }).unwrap();
+//! assert_eq!(out.items.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod index;
+pub mod json;
+pub mod snapshot;
+
+pub use engine::{CandidatePolicy, Request, ServeConfig, ServeEngine, ServeError, ServedList};
+pub use index::{ClusterIndex, IndexConfig};
+pub use snapshot::Snapshot;

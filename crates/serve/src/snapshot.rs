@@ -1,0 +1,223 @@
+//! Versioned serving snapshots: factor model + co-cluster index.
+//!
+//! A snapshot is what training ships to the serving tier. It wraps the
+//! existing [`FactorModel::save`] text format (`ocular-model v1`) in an
+//! outer envelope and appends a versioned co-cluster index section, so an
+//! engine can come up without re-deriving the inverted lists from the
+//! factors, and so format drift between trainer and server fails loudly at
+//! load instead of corrupting lists at request time.
+//!
+//! ```text
+//! ocular-snapshot v1
+//! ocular-model v1 <n_users> <n_items> <k_total> <bias>
+//! <n_users + n_items factor lines>
+//! cocluster-index v1 <n_clusters> <n_items> <rel>
+//! <n_clusters lines: "<len> <ascending item ids>">
+//! ocular-snapshot end
+//! ```
+//!
+//! The trailing sentinel makes truncation detectable: a snapshot cut off at
+//! any point — mid-factors, mid-index, or missing the last line — is
+//! rejected with `InvalidData`.
+
+use crate::index::{ClusterIndex, IndexConfig};
+use ocular_core::FactorModel;
+use std::io::{BufRead, Write};
+
+/// Magic first line of the snapshot envelope.
+const HEADER: &str = "ocular-snapshot v1";
+/// Magic line opening the index section.
+const INDEX_HEADER: &str = "cocluster-index v1";
+/// Trailing sentinel proving the snapshot was written to completion.
+const FOOTER: &str = "ocular-snapshot end";
+
+/// A serving snapshot: the fitted model plus its candidate-generation index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// The fitted factor model.
+    pub model: FactorModel,
+    /// Per-cluster inverted item lists built at snapshot time.
+    pub index: ClusterIndex,
+}
+
+impl Snapshot {
+    /// Builds a snapshot from a fitted model, deriving the index with the
+    /// given build parameters (see [`ClusterIndex::build`]).
+    pub fn build(model: FactorModel, cfg: &IndexConfig) -> Self {
+        let index = ClusterIndex::build(&model, cfg);
+        Snapshot { model, index }
+    }
+
+    /// Serialises the snapshot (model + index + sentinel) to a writer.
+    pub fn save<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let mut w = std::io::BufWriter::new(w);
+        writeln!(w, "{HEADER}")?;
+        self.model.save(&mut w)?;
+        writeln!(
+            w,
+            "{INDEX_HEADER} {} {} {:e}",
+            self.index.n_clusters(),
+            self.index.n_items(),
+            self.index.rel()
+        )?;
+        for c in 0..self.index.n_clusters() {
+            let list = self.index.cluster_items(c);
+            write!(w, "{}", list.len())?;
+            for &i in list {
+                write!(w, " {i}")?;
+            }
+            writeln!(w)?;
+        }
+        writeln!(w, "{FOOTER}")?;
+        w.flush()
+    }
+
+    /// Loads a snapshot produced by [`Snapshot::save`], validating the
+    /// envelope, the index section shape, bounds, ordering, and the
+    /// trailing sentinel. Any corruption or truncation is an
+    /// `InvalidData` error.
+    pub fn load<R: BufRead>(r: &mut R) -> std::io::Result<Snapshot> {
+        let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let read_line = |r: &mut R| -> std::io::Result<String> {
+            let mut line = String::new();
+            if r.read_line(&mut line)? == 0 {
+                return Err(bad("truncated snapshot".into()));
+            }
+            Ok(line.trim_end_matches(['\n', '\r']).to_string())
+        };
+
+        if read_line(r)? != HEADER {
+            return Err(bad(format!("bad snapshot header, expected `{HEADER}`")));
+        }
+        let model = FactorModel::load(r)?;
+
+        let header = read_line(r)?;
+        let rest = header
+            .strip_prefix(INDEX_HEADER)
+            .ok_or_else(|| bad(format!("bad index header, expected `{INDEX_HEADER} …`")))?;
+        let fields: Vec<&str> = rest.split_whitespace().collect();
+        if fields.len() != 3 {
+            return Err(bad("index header needs n_clusters n_items rel".into()));
+        }
+        let n_clusters: usize = fields[0]
+            .parse()
+            .map_err(|_| bad("bad index n_clusters".into()))?;
+        let n_items: usize = fields[1]
+            .parse()
+            .map_err(|_| bad("bad index n_items".into()))?;
+        let rel: f64 = fields[2]
+            .parse()
+            .map_err(|_| bad("bad index rel cutoff".into()))?;
+        if n_clusters != model.n_clusters() {
+            return Err(bad(format!(
+                "index has {n_clusters} clusters but model has {}",
+                model.n_clusters()
+            )));
+        }
+        if n_items != model.n_items() {
+            return Err(bad(format!(
+                "index covers {n_items} items but model has {}",
+                model.n_items()
+            )));
+        }
+
+        let mut items = Vec::with_capacity(n_clusters);
+        for c in 0..n_clusters {
+            let line = read_line(r)?;
+            let mut fields = line.split_whitespace();
+            let len: usize = fields
+                .next()
+                .and_then(|f| f.parse().ok())
+                .ok_or_else(|| bad(format!("cluster {c}: bad list length")))?;
+            let list: Vec<u32> = fields
+                .map(|f| f.parse::<u32>())
+                .collect::<Result<_, _>>()
+                .map_err(|_| bad(format!("cluster {c}: bad item id")))?;
+            if list.len() != len {
+                return Err(bad(format!(
+                    "cluster {c}: declared {len} items, found {}",
+                    list.len()
+                )));
+            }
+            items.push(list);
+        }
+        let index = ClusterIndex::from_parts(rel, n_items, items).map_err(bad)?;
+
+        if read_line(r)? != FOOTER {
+            return Err(bad(format!("missing `{FOOTER}` sentinel")));
+        }
+        Ok(Snapshot { model, index })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocular_linalg::Matrix;
+
+    fn snapshot() -> Snapshot {
+        let model = FactorModel::new(
+            Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.2]]),
+            Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 1.5], &[0.0, 3.0]]),
+            false,
+        );
+        Snapshot::build(model, &IndexConfig { rel: 0.5, floor: 0 })
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = snapshot();
+        let mut buf = Vec::new();
+        s.save(&mut buf).unwrap();
+        let loaded = Snapshot::load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded, s);
+    }
+
+    #[test]
+    fn truncation_at_every_line_rejected() {
+        let s = snapshot();
+        let mut buf = Vec::new();
+        s.save(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        for keep in 0..lines.len() {
+            let partial = lines[..keep].join("\n");
+            assert!(
+                Snapshot::load(&mut partial.as_bytes()).is_err(),
+                "truncation after {keep} lines must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_sections_rejected() {
+        let s = snapshot();
+        let mut buf = Vec::new();
+        s.save(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // wrong envelope
+        assert!(Snapshot::load(&mut "nope\n".as_bytes()).is_err());
+        // tamper with the index header's cluster count
+        let tampered = text.replace("cocluster-index v1 2", "cocluster-index v1 3");
+        assert!(Snapshot::load(&mut tampered.as_bytes()).is_err());
+        // non-numeric item id
+        let tampered = text.replace("cocluster-index v1", "cocluster-index v9");
+        assert!(Snapshot::load(&mut tampered.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn list_length_mismatch_rejected() {
+        let s = snapshot();
+        let mut buf = Vec::new();
+        s.save(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // cluster 0's list line is "2 0 1" (rel 0.5 keeps items 0, 1);
+        // lie about its length
+        assert!(text.contains("\n2 0 1\n"), "fixture drifted: {text}");
+        let tampered = text.replace("\n2 0 1\n", "\n3 0 1\n");
+        assert!(Snapshot::load(&mut tampered.as_bytes()).is_err());
+        // out-of-order ids
+        let tampered = text.replace("\n2 0 1\n", "\n2 1 0\n");
+        assert!(Snapshot::load(&mut tampered.as_bytes()).is_err());
+    }
+}

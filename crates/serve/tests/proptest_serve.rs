@@ -1,0 +1,116 @@
+//! Property-based guards for the serving subsystem.
+//!
+//! 1. The bounded-heap top-M kernel equals sort-based selection on random
+//!    score vectors — including heavy ties, which is where a wrong
+//!    comparator or heap invariant would diverge.
+//! 2. Snapshots round-trip exactly, and corrupted/truncated snapshot bytes
+//!    are rejected rather than mis-loaded.
+
+use ocular_core::topm::top_m_excluding;
+use ocular_core::{FactorModel, Recommendation};
+use ocular_linalg::Matrix;
+use ocular_serve::{IndexConfig, Snapshot};
+use proptest::prelude::*;
+
+/// Reference: score everything, full sort (probability descending, ties by
+/// ascending item), truncate — the selection the heap kernel replaced.
+fn sort_based(scores: &[f64], exclude: &[u32], m: usize) -> Vec<Recommendation> {
+    let mut all: Vec<Recommendation> = scores
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| exclude.binary_search_by(|&e| (e as usize).cmp(i)).is_err())
+        .map(|(item, &probability)| Recommendation { item, probability })
+        .collect();
+    all.sort_by(|a, b| {
+        b.probability
+            .partial_cmp(&a.probability)
+            .expect("finite")
+            .then_with(|| a.item.cmp(&b.item))
+    });
+    all.truncate(m);
+    all
+}
+
+/// Score vectors drawn from a *small* value set so ties are common, plus a
+/// sorted exclusion list over the same index range.
+fn arb_scores() -> impl Strategy<Value = (Vec<f64>, Vec<u32>)> {
+    (1usize..120).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0u8..6, n),
+            proptest::collection::btree_set(0..n as u32, 0..n.min(20)),
+        )
+            .prop_map(|(levels, excl)| {
+                let scores: Vec<f64> = levels.into_iter().map(|l| l as f64 / 5.0).collect();
+                (scores, excl.into_iter().collect::<Vec<u32>>())
+            })
+    })
+}
+
+fn arb_model() -> impl Strategy<Value = FactorModel> {
+    (1usize..6, 1usize..8, 1usize..4).prop_flat_map(|(n_users, n_items, k)| {
+        (
+            proptest::collection::vec(0u8..40, n_users * k),
+            proptest::collection::vec(0u8..40, n_items * k),
+        )
+            .prop_map(move |(u, i)| {
+                let scale = |v: Vec<u8>| v.into_iter().map(|x| x as f64 / 10.0).collect();
+                FactorModel::new(
+                    Matrix::from_vec(n_users, k, scale(u)),
+                    Matrix::from_vec(n_items, k, scale(i)),
+                    false,
+                )
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn heap_equals_sort_including_ties((scores, exclude) in arb_scores(), m in 0usize..60) {
+        let heap = top_m_excluding(&scores, &exclude, m);
+        let sorted = sort_based(&scores, &exclude, m);
+        prop_assert_eq!(heap, sorted);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_exactly(model in arb_model(), rel in 0.1f64..=1.0, floor in 0usize..8) {
+        let snap = Snapshot::build(model, &IndexConfig { rel, floor });
+        let mut buf = Vec::new();
+        snap.save(&mut buf).unwrap();
+        let loaded = Snapshot::load(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(loaded, snap);
+    }
+
+    #[test]
+    fn truncated_snapshots_rejected(model in arb_model(), cut in 0usize..400) {
+        let snap = Snapshot::build(model, &IndexConfig::default());
+        let mut buf = Vec::new();
+        snap.save(&mut buf).unwrap();
+        // dropping only the final newline still leaves a complete document,
+        // so cut at least one byte of the footer sentinel itself
+        let cut = cut.min(buf.len().saturating_sub(2));
+        prop_assert!(
+            Snapshot::load(&mut &buf[..cut]).is_err(),
+            "loading only {cut}/{} bytes must fail",
+            buf.len()
+        );
+    }
+
+    #[test]
+    fn corrupted_snapshots_never_misload(model in arb_model(), pos in 0usize..400, byte in 0u8..=255) {
+        let snap = Snapshot::build(model, &IndexConfig::default());
+        let mut buf = Vec::new();
+        snap.save(&mut buf).unwrap();
+        let pos = pos % buf.len();
+        if buf[pos] == byte {
+            return Ok(()); // not a corruption
+        }
+        buf[pos] = byte;
+        // either rejected, or the parse is still self-consistent — but it
+        // must never panic, and a "successful" load must differ from the
+        // original only if the flipped byte was inside a value it parsed
+        if let Ok(loaded) = Snapshot::load(&mut buf.as_slice()) {
+            prop_assert_eq!(loaded.index.n_items(), snap.index.n_items());
+            prop_assert_eq!(loaded.model.n_users(), snap.model.n_users());
+        }
+    }
+}

@@ -73,7 +73,10 @@ impl Triplets {
                 n_cols: self.n_cols,
             });
         }
-        self.entries.push((row as u32, col as u32));
+        // checked: the in-bounds test above does not imply u32 range when
+        // the logical shape itself exceeds u32 addressing
+        self.entries
+            .push((crate::col_index(row), crate::col_index(col)));
         Ok(())
     }
 

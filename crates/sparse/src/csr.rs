@@ -160,9 +160,15 @@ impl CsrMatrix {
     }
 
     /// Whether `r_ui = 1`. O(log degree(u)) via binary search.
+    ///
+    /// A `col` beyond `u32` addressing is never stored, so it is reported
+    /// absent rather than wrapped into a spurious match.
     #[inline]
     pub fn contains(&self, row: usize, col: usize) -> bool {
-        self.row(row).binary_search(&(col as u32)).is_ok()
+        match u32::try_from(col) {
+            Ok(c) => self.row(row).binary_search(&c).is_ok(),
+            Err(_) => false,
+        }
     }
 
     /// Iterator over all positive `(row, col)` pairs in row-major order.

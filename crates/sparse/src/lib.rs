@@ -59,6 +59,21 @@ pub use split::{Split, SplitConfig};
 
 use std::fmt;
 
+/// Checked conversion of an item/column index to the CSR storage type.
+///
+/// Column indices are stored as `u32`; a bare `as u32` cast on a catalog
+/// near or above `u32::MAX` wraps silently and corrupts membership and
+/// exclusion filtering downstream. Every cast site in the workspace routes
+/// through this helper (or compares in the `usize` domain), so oversized
+/// catalogs fail loudly here instead.
+///
+/// # Panics
+/// Panics if `i > u32::MAX`.
+#[inline]
+pub fn col_index(i: usize) -> u32 {
+    u32::try_from(i).expect("item index exceeds u32::MAX: catalog too large for CsrMatrix columns")
+}
+
 /// Errors produced while constructing or manipulating sparse matrices.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SparseError {

@@ -17,6 +17,7 @@
 //! | [`baselines`] | wALS, BPR, user-/item-based kNN, popularity |
 //! | [`community`] | Modularity, Louvain, BIGCLAM comparators |
 //! | [`parallel`] | simulated GPU kernels, parallel trainer, memory model |
+//! | [`serve`] | online serving: snapshots, candidate generation, batching |
 //!
 //! ## Five-minute tour
 //!
@@ -45,6 +46,7 @@ pub use ocular_datasets as datasets;
 pub use ocular_eval as eval;
 pub use ocular_linalg as linalg;
 pub use ocular_parallel as parallel;
+pub use ocular_serve as serve;
 pub use ocular_sparse as sparse;
 
 /// The most commonly used items in one import.
@@ -59,5 +61,8 @@ pub mod prelude {
     };
     pub use ocular_eval::protocol::{evaluate, EvalReport};
     pub use ocular_parallel::fit_parallel;
+    pub use ocular_serve::{
+        CandidatePolicy, Request, ServeConfig, ServeEngine, ServedList, Snapshot,
+    };
     pub use ocular_sparse::{CsrMatrix, Split, SplitConfig, Triplets};
 }

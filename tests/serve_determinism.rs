@@ -1,0 +1,151 @@
+//! Guard for the serving engine's exactness and determinism: in
+//! full-catalog mode, `serve_batch` must return **bitwise-identical**
+//! top-M lists to `recommend_top_m` for every warm user, at every thread
+//! count — batching and the bounded-heap kernel change wall-clock, never
+//! output. Cluster candidate generation is an explicit approximation, but
+//! it too must be deterministic across thread counts, and its fallback
+//! path must coincide with the exact lists.
+
+use ocular::datasets::planted::{generate, PlantedConfig};
+use ocular::prelude::*;
+use ocular::serve::IndexConfig;
+
+fn trained() -> (FactorModel, ocular::sparse::CsrMatrix, OcularConfig) {
+    let data = generate(&PlantedConfig {
+        n_users: 120,
+        n_items: 80,
+        k: 4,
+        users_per_cluster: 36,
+        items_per_cluster: 24,
+        user_overlap: 0.4,
+        item_overlap: 0.4,
+        within_density: 0.5,
+        noise_density: 0.005,
+        seed: 11,
+    });
+    let cfg = OcularConfig {
+        k: 4,
+        lambda: 0.3,
+        max_iters: 40,
+        seed: 6,
+        ..Default::default()
+    };
+    let model = fit(&data.matrix, &cfg).model;
+    (model, data.matrix, cfg)
+}
+
+fn engine(policy: CandidatePolicy) -> (ServeEngine, ocular::sparse::CsrMatrix) {
+    let (model, r, train_cfg) = trained();
+    let cfg = ServeConfig {
+        default_m: 20,
+        candidates: policy,
+        foldin: train_cfg,
+        ..Default::default()
+    };
+    let e = ServeEngine::from_model(
+        model,
+        r.clone(),
+        &IndexConfig {
+            rel: 0.5,
+            floor: 10,
+        },
+        cfg,
+    )
+    .unwrap();
+    (e, r)
+}
+
+/// The tentpole acceptance criterion: full-catalog serving is bitwise
+/// `recommend_top_m` for every warm user, at 1, 2, 4 and 8 threads.
+#[test]
+fn serve_batch_bitwise_identical_to_recommend_top_m_across_threads() {
+    let (e, r) = engine(CandidatePolicy::FullCatalog);
+    let m = 20;
+    let requests: Vec<Request> = (0..e.model().n_users())
+        .map(|user| Request::Warm { user, m })
+        .collect();
+    let expected: Vec<Vec<Recommendation>> = (0..e.model().n_users())
+        .map(|u| recommend_top_m(e.model(), &r, u, m))
+        .collect();
+
+    for threads in [1usize, 2, 4, 8] {
+        let served = e.serve_batch_threads(&requests, Some(threads));
+        assert_eq!(served.len(), expected.len());
+        for (u, (got, want)) in served.iter().zip(&expected).enumerate() {
+            let got = got.as_ref().expect("warm users must serve");
+            assert_eq!(
+                got.items, *want,
+                "user {u} at {threads} threads must match recommend_top_m bitwise"
+            );
+        }
+    }
+}
+
+/// Cluster candidate generation must also be thread-count invariant, and
+/// its lists must agree with single-request serving.
+#[test]
+fn cluster_mode_deterministic_across_threads() {
+    let (e, _r) = engine(CandidatePolicy::Clusters { min_candidates: 5 });
+    let requests: Vec<Request> = (0..e.model().n_users())
+        .map(|user| Request::Warm { user, m: 10 })
+        .chain([
+            Request::Cold {
+                basket: vec![0, 1, 2],
+                m: 10,
+            },
+            Request::Cold {
+                basket: vec![40, 41],
+                m: 10,
+            },
+        ])
+        .collect();
+    let reference = e.serve_batch_threads(&requests, Some(1));
+    for threads in [2usize, 4, 8] {
+        assert_eq!(
+            e.serve_batch_threads(&requests, Some(threads)),
+            reference,
+            "{threads}-thread batch must be identical to the 1-thread batch"
+        );
+    }
+    // and batching is a no-op semantically
+    for (req, want) in requests.iter().zip(&reference) {
+        assert_eq!(&e.serve_one(req), want);
+    }
+}
+
+/// When the cluster policy falls back (thin coverage), the served list is
+/// exactly the full-catalog list; when it doesn't, the served items carry
+/// the same probabilities the model assigns.
+#[test]
+fn cluster_fallback_is_exact_and_scores_are_model_probabilities() {
+    let (e, r) = engine(CandidatePolicy::Clusters { min_candidates: 5 });
+    for u in 0..e.model().n_users() {
+        let served = e.serve_one(&Request::Warm { user: u, m: 10 }).unwrap();
+        if served.fell_back {
+            assert_eq!(served.items, recommend_top_m(e.model(), &r, u, 10));
+        }
+        for rec in &served.items {
+            assert_eq!(
+                rec.probability,
+                e.model().prob(u, rec.item),
+                "user {u} item {} must carry the model probability",
+                rec.item
+            );
+            assert!(!r.contains(u, rec.item), "owned items must be excluded");
+        }
+    }
+}
+
+/// Cold-start serving is a pure function of the request.
+#[test]
+fn cold_start_deterministic() {
+    let (e, _) = engine(CandidatePolicy::Clusters { min_candidates: 5 });
+    let req = Request::Cold {
+        basket: vec![3, 7, 11],
+        m: 15,
+    };
+    let a = e.serve_one(&req).unwrap();
+    let b = e.serve_one(&req).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(a.items.len(), 15);
+}

@@ -15,14 +15,15 @@
 //! non-interpretable baseline of Table I; the OCuLaR paper used the
 //! `theano-bpr` implementation, which this module replaces from scratch.
 
-use crate::Recommender;
+use crate::persist::{bad, read_line, read_matrix, write_matrix};
+use ocular_api::{OcularError, Recommender, ScoreItems, SnapshotModel};
 use ocular_linalg::{ops, Matrix};
 use ocular_sparse::CsrMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// BPR hyper-parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BprConfig {
     /// Latent dimensionality.
     pub k: usize,
@@ -52,11 +53,14 @@ impl Default for BprConfig {
 }
 
 /// A fitted BPR model.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Bpr {
     /// `n_users × k` latent factors.
     pub user_factors: Matrix,
     /// `n_items × k` latent factors.
     pub item_factors: Matrix,
+    /// The hyper-parameters the model was fitted with.
+    pub config: BprConfig,
 }
 
 #[inline]
@@ -70,16 +74,34 @@ fn sigmoid(x: f64) -> f64 {
 }
 
 impl Bpr {
+    /// Model name in reports and error messages.
+    pub const NAME: &'static str = "BPR";
+    /// Snapshot kind tag.
+    pub const KIND: &'static str = "bpr";
+
     /// Fits by LearnBPR (bootstrap SGD).
     ///
     /// Users with no positives, or with a full row (no unknowns to sample),
     /// are never drawn.
     ///
     /// # Panics
-    /// Panics if `k == 0` or the learning rate is not positive.
+    /// Panics if `k == 0` or the learning rate is not positive. Use
+    /// [`Bpr::try_fit`] for a fallible variant.
     pub fn fit(r: &CsrMatrix, cfg: &BprConfig) -> Self {
-        assert!(cfg.k > 0, "k must be positive");
-        assert!(cfg.learning_rate > 0.0, "learning rate must be positive");
+        Self::try_fit(r, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Bpr::fit`]: returns [`OcularError::InvalidConfig`] on a
+    /// bad configuration instead of panicking.
+    pub fn try_fit(r: &CsrMatrix, cfg: &BprConfig) -> Result<Self, OcularError> {
+        if cfg.k == 0 {
+            return Err(OcularError::InvalidConfig("k must be positive".into()));
+        }
+        if cfg.learning_rate <= 0.0 {
+            return Err(OcularError::InvalidConfig(
+                "learning rate must be positive".into(),
+            ));
+        }
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut uf = Matrix::zeros(r.n_rows(), cfg.k);
         let mut itf = Matrix::zeros(r.n_cols(), cfg.k);
@@ -92,10 +114,11 @@ impl Bpr {
             .map(ocular_sparse::col_index)
             .collect();
         if eligible.is_empty() {
-            return Bpr {
+            return Ok(Bpr {
                 user_factors: uf,
                 item_factors: itf,
-            };
+                config: *cfg,
+            });
         }
         let samples = cfg.epochs * r.nnz().max(1);
         let lr = cfg.learning_rate;
@@ -124,10 +147,11 @@ impl Bpr {
                 fj[c] += lr * (-g * wu - reg * wj);
             }
         }
-        Bpr {
+        Ok(Bpr {
             user_factors: uf,
             item_factors: itf,
-        }
+            config: *cfg,
+        })
     }
 
     /// Ranking score `⟨f_u, f_i⟩` (only relative order is meaningful).
@@ -164,9 +188,17 @@ impl Bpr {
     }
 }
 
-impl Recommender for Bpr {
+impl ScoreItems for Bpr {
     fn name(&self) -> &'static str {
-        "BPR"
+        Self::NAME
+    }
+
+    fn n_users(&self) -> usize {
+        self.user_factors.rows()
+    }
+
+    fn n_items(&self) -> usize {
+        self.item_factors.rows()
     }
 
     fn score_user(&self, u: usize, out: &mut Vec<f64>) {
@@ -177,13 +209,62 @@ impl Recommender for Bpr {
             *o = ops::dot(fu, self.item_factors.row(i));
         }
     }
+}
 
-    fn n_users(&self) -> usize {
-        self.user_factors.rows()
+// BPR has no closed-form fold-in (its criterion is defined over sampled
+// triplets), so `as_fold_in` stays `None`: cold-start requests against a
+// BPR snapshot are a typed `Unsupported` error, not a panic.
+impl Recommender for Bpr {}
+
+impl SnapshotModel for Bpr {
+    fn kind(&self) -> &'static str {
+        Self::KIND
     }
 
-    fn n_items(&self) -> usize {
-        self.item_factors.rows()
+    fn save_model(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+        let c = &self.config;
+        writeln!(
+            w,
+            "bpr-model v1 {} {} {} {:e} {:e} {} {:e} {}",
+            self.user_factors.rows(),
+            self.item_factors.rows(),
+            c.k,
+            c.lambda,
+            c.learning_rate,
+            c.epochs,
+            c.init_scale,
+            c.seed
+        )?;
+        write_matrix(w, &self.user_factors)?;
+        write_matrix(w, &self.item_factors)
+    }
+
+    fn load_model(r: &mut dyn std::io::BufRead) -> Result<Self, OcularError> {
+        let header = read_line(r)?;
+        let f: Vec<&str> = header.split_whitespace().collect();
+        if f.len() != 10 || f[0] != "bpr-model" || f[1] != "v1" {
+            return Err(bad("bad bpr-model header"));
+        }
+        let n_users: usize = f[2].parse().map_err(|_| bad("bad n_users"))?;
+        let n_items: usize = f[3].parse().map_err(|_| bad("bad n_items"))?;
+        let config = BprConfig {
+            k: f[4].parse().map_err(|_| bad("bad k"))?,
+            lambda: f[5].parse().map_err(|_| bad("bad lambda"))?,
+            learning_rate: f[6].parse().map_err(|_| bad("bad learning_rate"))?,
+            epochs: f[7].parse().map_err(|_| bad("bad epochs"))?,
+            init_scale: f[8].parse().map_err(|_| bad("bad init_scale"))?,
+            seed: f[9].parse().map_err(|_| bad("bad seed"))?,
+        };
+        if config.k == 0 || config.learning_rate <= 0.0 {
+            return Err(bad("bpr-model header fails config validation"));
+        }
+        let user_factors = read_matrix(r, n_users, config.k)?;
+        let item_factors = read_matrix(r, n_items, config.k)?;
+        Ok(Bpr {
+            user_factors,
+            item_factors,
+            config,
+        })
     }
 }
 
@@ -323,6 +404,50 @@ mod tests {
             },
         );
         assert_eq!(m.n_items(), 3);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_bitwise() {
+        let r = two_blocks();
+        let m = Bpr::fit(
+            &r,
+            &BprConfig {
+                k: 3,
+                epochs: 10,
+                seed: 4,
+                ..Default::default()
+            },
+        );
+        let mut buf: Vec<u8> = Vec::new();
+        m.save_model(&mut buf).unwrap();
+        let loaded = <Bpr as SnapshotModel>::load_model(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded, m);
+        assert!(<Bpr as SnapshotModel>::load_model(&mut "junk".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn try_fit_reports_bad_configs() {
+        let r = two_blocks();
+        assert!(matches!(
+            Bpr::try_fit(
+                &r,
+                &BprConfig {
+                    k: 0,
+                    ..Default::default()
+                }
+            ),
+            Err(OcularError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            Bpr::try_fit(
+                &r,
+                &BprConfig {
+                    learning_rate: 0.0,
+                    ..Default::default()
+                }
+            ),
+            Err(OcularError::InvalidConfig(_))
+        ));
     }
 
     #[test]

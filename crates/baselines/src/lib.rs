@@ -16,14 +16,20 @@
 //! * [`popularity`] — most-popular ranking; not in the paper but the
 //!   standard floor every personalised method must clear.
 //!
-//! All models implement the [`Recommender`] trait, so the evaluation harness
-//! treats them and OCuLaR uniformly.
+//! Every model implements the workspace trait hierarchy
+//! ([`ocular_api`]): [`ScoreItems`] → [`Recommender`], plus
+//! [`SnapshotModel`] (kind-tagged persistence, so the serving tier can
+//! load and serve any of them) and, where the algorithm admits it,
+//! [`FoldIn`] request-time cold start (wALS via a ridge solve, item-kNN
+//! via basket scoring, popularity trivially). Evaluation, the Table I
+//! harness and `ocular-serve` all consume them as `&dyn Recommender`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bpr;
 pub mod neighbors;
+mod persist;
 pub mod popularity;
 pub mod similarity;
 pub mod wals;
@@ -33,49 +39,76 @@ pub use neighbors::{ItemKnn, KnnConfig, UserKnn};
 pub use popularity::Popularity;
 pub use wals::{Wals, WalsConfig};
 
+// the trait hierarchy these models implement, re-exported so downstream
+// code can keep importing it from here
+pub use ocular_api::{
+    FoldIn, Model, OcularError, Recommender, ScoreItems, ScoredItem, SnapshotModel,
+};
+
 use ocular_sparse::CsrMatrix;
 
-/// A fitted one-class recommender: anything that can score every item for a
-/// user. The evaluation protocol (`ocular_eval::protocol::evaluate`)
-/// consumes these through a closure, and the Table I harness iterates over
-/// `Box<dyn Recommender>`.
-pub trait Recommender {
-    /// Human-readable name for reports (e.g. `"wALS"`).
-    fn name(&self) -> &'static str;
-
-    /// Fills `out` (resized to `n_items`) with relevance scores for `u`.
-    /// Higher is better; scales need not be comparable across models.
-    fn score_user(&self, u: usize, out: &mut Vec<f64>);
-
-    /// Number of users the model was fitted on.
-    fn n_users(&self) -> usize;
-
-    /// Number of items the model was fitted on.
-    fn n_items(&self) -> usize;
+/// Per-model hyper-parameters for the Table-I model zoo, so harnesses stop
+/// hard-coding each baseline's knobs inline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineConfigs {
+    /// wALS hyper-parameters.
+    pub wals: WalsConfig,
+    /// BPR hyper-parameters.
+    pub bpr: BprConfig,
+    /// User-based kNN neighbourhood size.
+    pub user_knn: KnnConfig,
+    /// Item-based kNN neighbourhood size.
+    pub item_knn: KnnConfig,
 }
 
-/// Fits every Table-I baseline with the given seeds and returns them as
-/// trait objects (the Table I harness's model zoo).
-pub fn all_baselines(r: &CsrMatrix, seed: u64) -> Vec<Box<dyn Recommender>> {
-    vec![
-        Box::new(Wals::fit(
-            r,
-            &WalsConfig {
+impl BaselineConfigs {
+    /// Every model's defaults with the given RNG seed threaded into the
+    /// seeded fitters (wALS, BPR). The kNN variants are deterministic and
+    /// take no seed.
+    pub fn seeded(seed: u64) -> Self {
+        BaselineConfigs {
+            wals: WalsConfig {
                 seed,
                 ..Default::default()
             },
-        )),
-        Box::new(Bpr::fit(
-            r,
-            &BprConfig {
+            bpr: BprConfig {
                 seed,
                 ..Default::default()
             },
-        )),
-        Box::new(UserKnn::fit(r, &KnnConfig::default())),
-        Box::new(ItemKnn::fit(r, &KnnConfig::default())),
+            user_knn: KnnConfig::default(),
+            item_knn: KnnConfig::default(),
+        }
+    }
+}
+
+impl Default for BaselineConfigs {
+    fn default() -> Self {
+        Self::seeded(0)
+    }
+}
+
+/// Fits every Table-I baseline (plus the popularity floor) with the given
+/// per-model configurations and returns `(name, model)` pairs — the name
+/// is each model's [`ScoreItems::name`], so report columns and bench
+/// tables share one source of truth instead of duplicating the list.
+pub fn all_baselines(
+    r: &CsrMatrix,
+    cfgs: &BaselineConfigs,
+) -> Vec<(&'static str, Box<dyn Recommender>)> {
+    let models: Vec<Box<dyn Recommender>> = vec![
+        Box::new(Wals::fit(r, &cfgs.wals)),
+        Box::new(Bpr::fit(r, &cfgs.bpr)),
+        Box::new(UserKnn::fit(r, &cfgs.user_knn)),
+        Box::new(ItemKnn::fit(r, &cfgs.item_knn)),
         Box::new(Popularity::fit(r)),
-    ]
+    ];
+    models
+        .into_iter()
+        .map(|m| {
+            let name = m.name();
+            (name, m)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -85,16 +118,30 @@ mod tests {
     #[test]
     fn model_zoo_has_distinct_names() {
         let r = CsrMatrix::from_pairs(4, 4, &[(0, 0), (1, 1), (2, 2), (3, 3)]).unwrap();
-        let zoo = all_baselines(&r, 0);
-        let names: Vec<&str> = zoo.iter().map(|m| m.name()).collect();
+        let zoo = all_baselines(&r, &BaselineConfigs::seeded(0));
+        let names: Vec<&str> = zoo.iter().map(|(name, _)| *name).collect();
         assert_eq!(names.len(), 5);
         let mut unique = names.clone();
         unique.sort();
         unique.dedup();
         assert_eq!(unique.len(), 5, "names must be distinct: {names:?}");
-        for m in &zoo {
+        for (name, m) in &zoo {
+            assert_eq!(*name, m.name(), "pair name must be the model's name");
             assert_eq!(m.n_users(), 4);
             assert_eq!(m.n_items(), 4);
         }
+    }
+
+    #[test]
+    fn zoo_respects_per_model_configs() {
+        let r = CsrMatrix::from_pairs(4, 4, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2)]).unwrap();
+        let a = all_baselines(&r, &BaselineConfigs::seeded(1));
+        let b = all_baselines(&r, &BaselineConfigs::seeded(2));
+        // the seeded fitters must actually see the seed
+        let mut sa = Vec::new();
+        let mut sb = Vec::new();
+        a[0].1.score_user(0, &mut sa);
+        b[0].1.score_user(0, &mut sb);
+        assert_ne!(sa, sb, "wALS must differ across seeds");
     }
 }

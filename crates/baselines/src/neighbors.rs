@@ -10,14 +10,19 @@
 //!   only for each basket item's top-k neighbours.
 //!
 //! The paper grid-searches the neighbourhood size; [`KnnConfig::k`] is that
-//! knob.
+//! knob. Item-based kNN scores a basket directly, so it supports
+//! request-time cold start ([`ocular_api::FoldIn`]); user-based kNN needs
+//! the new user's similarity to every training user, which this
+//! implementation does not precompute — its `as_fold_in` stays `None`.
 
+use crate::persist::{bad, read_csr, read_line, write_csr};
 use crate::similarity::{top_k_neighbors, Neighbor};
-use crate::Recommender;
+use ocular_api::{validate_basket, FoldIn, OcularError, Recommender, ScoreItems, SnapshotModel};
 use ocular_sparse::CsrMatrix;
+use std::io::{BufRead, Write};
 
 /// Configuration for both kNN models.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KnnConfig {
     /// Neighbourhood size (the paper tunes this by grid search).
     pub k: usize,
@@ -29,13 +34,88 @@ impl Default for KnnConfig {
     }
 }
 
+/// Writes neighbour lists, one `len idx:sim …` line per entity.
+fn write_neighbors(w: &mut dyn Write, lists: &[Vec<Neighbor>]) -> std::io::Result<()> {
+    for list in lists {
+        write!(w, "{}", list.len())?;
+        for n in list {
+            write!(w, " {}:{:e}", n.index, n.similarity)?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Reads `n` neighbour-list lines written by [`write_neighbors`].
+fn read_neighbors(r: &mut dyn BufRead, n: usize) -> Result<Vec<Vec<Neighbor>>, OcularError> {
+    let mut lists = Vec::with_capacity(n);
+    for e in 0..n {
+        let line = read_line(r)?;
+        let mut fields = line.split_whitespace();
+        let len: usize = fields
+            .next()
+            .and_then(|f| f.parse().ok())
+            .ok_or_else(|| bad(format!("entity {e}: bad neighbour count")))?;
+        let list: Vec<Neighbor> = fields
+            .map(|f| {
+                let (idx, sim) = f
+                    .split_once(':')
+                    .ok_or_else(|| bad(format!("entity {e}: bad neighbour entry")))?;
+                let neighbor = Neighbor {
+                    index: idx
+                        .parse()
+                        .map_err(|_| bad(format!("entity {e}: bad neighbour index")))?,
+                    similarity: sim
+                        .parse()
+                        .map_err(|_| bad(format!("entity {e}: bad similarity")))?,
+                };
+                if !neighbor.similarity.is_finite() {
+                    return Err(bad(format!("entity {e}: non-finite similarity")));
+                }
+                Ok(neighbor)
+            })
+            .collect::<Result<_, OcularError>>()?;
+        if list.len() != len {
+            return Err(bad(format!(
+                "entity {e}: declared {len} neighbours, found {}",
+                list.len()
+            )));
+        }
+        lists.push(list);
+    }
+    Ok(lists)
+}
+
+/// Validates that every neighbour index in `lists` addresses an entity
+/// below `bound` — corrupt snapshots must be rejected at load, not panic
+/// at request time.
+fn check_neighbor_bounds(lists: &[Vec<Neighbor>], bound: usize) -> Result<(), OcularError> {
+    for (e, list) in lists.iter().enumerate() {
+        for n in list {
+            if n.index as usize >= bound {
+                return Err(bad(format!(
+                    "entity {e}: neighbour index {} out of bounds for {bound} entities",
+                    n.index
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Fitted user-based cosine kNN model.
+#[derive(Debug, Clone, PartialEq)]
 pub struct UserKnn {
     neighbors: Vec<Vec<Neighbor>>,
     r: CsrMatrix,
 }
 
 impl UserKnn {
+    /// Model name in reports and error messages.
+    pub const NAME: &'static str = "user-based";
+    /// Snapshot kind tag.
+    pub const KIND: &'static str = "user-knn";
+
     /// Computes every user's top-k neighbours.
     pub fn fit(r: &CsrMatrix, cfg: &KnnConfig) -> Self {
         let rt = r.transpose();
@@ -52,9 +132,17 @@ impl UserKnn {
     }
 }
 
-impl Recommender for UserKnn {
+impl ScoreItems for UserKnn {
     fn name(&self) -> &'static str {
-        "user-based"
+        Self::NAME
+    }
+
+    fn n_users(&self) -> usize {
+        self.r.n_rows()
+    }
+
+    fn n_items(&self) -> usize {
+        self.r.n_cols()
     }
 
     fn score_user(&self, u: usize, out: &mut Vec<f64>) {
@@ -66,17 +154,46 @@ impl Recommender for UserKnn {
             }
         }
     }
+}
 
-    fn n_users(&self) -> usize {
-        self.r.n_rows()
+// Scoring a cold basket user-based would need similarities against every
+// training user, which are not precomputed — `as_fold_in` stays `None`.
+impl Recommender for UserKnn {}
+
+impl SnapshotModel for UserKnn {
+    fn kind(&self) -> &'static str {
+        Self::KIND
     }
 
-    fn n_items(&self) -> usize {
-        self.r.n_cols()
+    fn save_model(&self, w: &mut dyn Write) -> std::io::Result<()> {
+        writeln!(w, "user-knn-model v1 {}", self.neighbors.len())?;
+        write_neighbors(w, &self.neighbors)?;
+        write_csr(w, &self.r)
+    }
+
+    fn load_model(r: &mut dyn BufRead) -> Result<Self, OcularError> {
+        let header = read_line(r)?;
+        let f: Vec<&str> = header.split_whitespace().collect();
+        if f.len() != 3 || f[0] != "user-knn-model" || f[1] != "v1" {
+            return Err(bad("bad user-knn-model header"));
+        }
+        let n: usize = f[2].parse().map_err(|_| bad("bad entity count"))?;
+        let neighbors = read_neighbors(r, n)?;
+        let matrix = read_csr(r)?;
+        if matrix.n_rows() != n {
+            return Err(bad("neighbour lists and interactions disagree on users"));
+        }
+        // user neighbours index rows of the interaction matrix
+        check_neighbor_bounds(&neighbors, matrix.n_rows())?;
+        Ok(UserKnn {
+            neighbors,
+            r: matrix,
+        })
     }
 }
 
 /// Fitted item-based cosine kNN model.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ItemKnn {
     /// `neighbors[j]` = top-k items similar to item `j`.
     neighbors: Vec<Vec<Neighbor>>,
@@ -84,6 +201,11 @@ pub struct ItemKnn {
 }
 
 impl ItemKnn {
+    /// Model name in reports and error messages.
+    pub const NAME: &'static str = "item-based";
+    /// Snapshot kind tag.
+    pub const KIND: &'static str = "item-knn";
+
     /// Computes every item's top-k neighbours (on the transposed matrix).
     pub fn fit(r: &CsrMatrix, cfg: &KnnConfig) -> Self {
         let rt = r.transpose();
@@ -98,21 +220,23 @@ impl ItemKnn {
     pub fn neighbors_of(&self, j: usize) -> &[Neighbor] {
         &self.neighbors[j]
     }
-}
 
-impl Recommender for ItemKnn {
-    fn name(&self) -> &'static str {
-        "item-based"
-    }
-
-    fn score_user(&self, u: usize, out: &mut Vec<f64>) {
+    /// Scores an arbitrary basket of items — the shared core of warm
+    /// scoring (`basket` = the user's training row) and cold-start fold-in.
+    fn score_items(&self, basket: impl Iterator<Item = usize>, out: &mut Vec<f64>) {
         out.clear();
         out.resize(self.r.n_cols(), 0.0);
-        for &j in self.r.row(u) {
-            for n in &self.neighbors[j as usize] {
+        for j in basket {
+            for n in &self.neighbors[j] {
                 out[n.index as usize] += n.similarity;
             }
         }
+    }
+}
+
+impl ScoreItems for ItemKnn {
+    fn name(&self) -> &'static str {
+        Self::NAME
     }
 
     fn n_users(&self) -> usize {
@@ -121,6 +245,56 @@ impl Recommender for ItemKnn {
 
     fn n_items(&self) -> usize {
         self.r.n_cols()
+    }
+
+    fn score_user(&self, u: usize, out: &mut Vec<f64>) {
+        self.score_items(self.r.row(u).iter().map(|&j| j as usize), out);
+    }
+}
+
+impl Recommender for ItemKnn {
+    fn as_fold_in(&self) -> Option<&dyn FoldIn> {
+        Some(self)
+    }
+}
+
+impl FoldIn for ItemKnn {
+    fn score_basket(&self, basket: &[usize], out: &mut Vec<f64>) -> Result<(), OcularError> {
+        validate_basket(basket, self.r.n_cols())?;
+        self.score_items(basket.iter().copied(), out);
+        Ok(())
+    }
+}
+
+impl SnapshotModel for ItemKnn {
+    fn kind(&self) -> &'static str {
+        Self::KIND
+    }
+
+    fn save_model(&self, w: &mut dyn Write) -> std::io::Result<()> {
+        writeln!(w, "item-knn-model v1 {}", self.neighbors.len())?;
+        write_neighbors(w, &self.neighbors)?;
+        write_csr(w, &self.r)
+    }
+
+    fn load_model(r: &mut dyn BufRead) -> Result<Self, OcularError> {
+        let header = read_line(r)?;
+        let f: Vec<&str> = header.split_whitespace().collect();
+        if f.len() != 3 || f[0] != "item-knn-model" || f[1] != "v1" {
+            return Err(bad("bad item-knn-model header"));
+        }
+        let n: usize = f[2].parse().map_err(|_| bad("bad entity count"))?;
+        let neighbors = read_neighbors(r, n)?;
+        let matrix = read_csr(r)?;
+        if matrix.n_cols() != n {
+            return Err(bad("neighbour lists and interactions disagree on items"));
+        }
+        // item neighbours index columns of the interaction matrix
+        check_neighbor_bounds(&neighbors, matrix.n_cols())?;
+        Ok(ItemKnn {
+            neighbors,
+            r: matrix,
+        })
     }
 }
 
@@ -174,6 +348,26 @@ mod tests {
     }
 
     #[test]
+    fn item_knn_cold_basket_matches_warm_row() {
+        let r = blocks();
+        let model = ItemKnn::fit(&r, &KnnConfig { k: 2 });
+        // a cold basket equal to user 0's row scores identically
+        let mut cold = Vec::new();
+        model.score_basket(&[0, 1], &mut cold).unwrap();
+        let mut warm = Vec::new();
+        model.score_user(0, &mut warm);
+        assert_eq!(cold, warm);
+        // invalid baskets are typed errors
+        assert!(matches!(
+            model.score_basket(&[9], &mut cold),
+            Err(OcularError::BadBasket(_))
+        ));
+        assert!(model.as_fold_in().is_some());
+        let user_model = UserKnn::fit(&r, &KnnConfig { k: 2 });
+        assert!(user_model.as_fold_in().is_none());
+    }
+
+    #[test]
     fn scores_zero_for_cold_users() {
         let r = CsrMatrix::from_pairs(3, 3, &[(0, 0), (1, 1)]).unwrap();
         let u = UserKnn::fit(&r, &KnnConfig::default());
@@ -206,6 +400,60 @@ mod tests {
         assert!((scores[2] - (sim32 + sim31)).abs() < 1e-12);
         assert!((scores[3] - sim32).abs() < 1e-12);
         assert!((scores[0] - sim31).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_bitwise_for_both_variants() {
+        let r = blocks();
+        let user_model = UserKnn::fit(&r, &KnnConfig { k: 2 });
+        let mut buf: Vec<u8> = Vec::new();
+        user_model.save_model(&mut buf).unwrap();
+        assert_eq!(
+            <UserKnn as SnapshotModel>::load_model(&mut buf.as_slice()).unwrap(),
+            user_model
+        );
+        let item_model = ItemKnn::fit(&r, &KnnConfig { k: 2 });
+        buf.clear();
+        item_model.save_model(&mut buf).unwrap();
+        assert_eq!(
+            <ItemKnn as SnapshotModel>::load_model(&mut buf.as_slice()).unwrap(),
+            item_model
+        );
+        // payloads are kind-tagged: loading one as the other is rejected
+        assert!(<UserKnn as SnapshotModel>::load_model(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn corrupt_neighbour_payloads_rejected_at_load() {
+        let r = blocks();
+        let model = ItemKnn::fit(&r, &KnnConfig { k: 2 });
+        let mut buf: Vec<u8> = Vec::new();
+        model.save_model(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // out-of-bounds neighbour index: must fail at load, not panic when
+        // a request later indexes the score buffer
+        let first_entry_pos = text.find(" 1:").or_else(|| text.find(" 0:")).unwrap();
+        let tampered = format!(
+            "{}{}{}",
+            &text[..first_entry_pos],
+            " 999:",
+            &text[first_entry_pos + 3..]
+        );
+        assert!(matches!(
+            <ItemKnn as SnapshotModel>::load_model(&mut tampered.as_bytes()),
+            Err(OcularError::Corrupt(msg)) if msg.contains("out of bounds")
+        ));
+        // non-finite similarity: rejected instead of panicking in topk
+        let sim_pos = text.find(':').unwrap();
+        let end = text[sim_pos..]
+            .find([' ', '\n'])
+            .map(|o| sim_pos + o)
+            .unwrap();
+        let tampered = format!("{}:NaN{}", &text[..sim_pos], &text[end..]);
+        assert!(matches!(
+            <ItemKnn as SnapshotModel>::load_model(&mut tampered.as_bytes()),
+            Err(OcularError::Corrupt(msg)) if msg.contains("similarity")
+        ));
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Shared text-format persistence helpers for the baseline models'
+//! [`ocular_api::SnapshotModel`] impls.
+//!
+//! Everything is line-oriented like `ocular-model v1`: floats are written
+//! with `{:e}` (Rust's shortest round-trippable representation), so a
+//! save/load cycle reproduces every `f64` bitwise.
+
+use ocular_api::OcularError;
+use ocular_linalg::Matrix;
+use ocular_sparse::CsrMatrix;
+use std::io::{BufRead, Write};
+
+/// Shorthand for a corrupt-payload error.
+pub(crate) fn bad(msg: impl Into<String>) -> OcularError {
+    OcularError::Corrupt(msg.into())
+}
+
+/// Reads one line (without the trailing newline); EOF is an error.
+pub(crate) fn read_line(r: &mut dyn BufRead) -> Result<String, OcularError> {
+    let mut line = String::new();
+    if r.read_line(&mut line).map_err(OcularError::from)? == 0 {
+        return Err(bad("truncated model payload"));
+    }
+    Ok(line.trim_end_matches(['\n', '\r']).to_string())
+}
+
+/// Writes a float slice as one space-separated line.
+pub(crate) fn write_floats(w: &mut dyn Write, vals: &[f64]) -> std::io::Result<()> {
+    let row: Vec<String> = vals.iter().map(|v| format!("{v:e}")).collect();
+    writeln!(w, "{}", row.join(" "))
+}
+
+/// Parses one space-separated float line of exactly `n` values.
+pub(crate) fn read_floats(r: &mut dyn BufRead, n: usize) -> Result<Vec<f64>, OcularError> {
+    let line = read_line(r)?;
+    let vals: Vec<f64> = line
+        .split_whitespace()
+        .map(|f| f.parse::<f64>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| bad("bad float value"))?;
+    if vals.len() != n {
+        return Err(bad(format!("expected {n} floats, found {}", vals.len())));
+    }
+    Ok(vals)
+}
+
+/// Writes a dense matrix, one row per line.
+pub(crate) fn write_matrix(w: &mut dyn Write, m: &Matrix) -> std::io::Result<()> {
+    for r in 0..m.rows() {
+        write_floats(w, m.row(r))?;
+    }
+    Ok(())
+}
+
+/// Reads a `rows × cols` matrix written by [`write_matrix`].
+pub(crate) fn read_matrix(
+    r: &mut dyn BufRead,
+    rows: usize,
+    cols: usize,
+) -> Result<Matrix, OcularError> {
+    let mut data = Vec::with_capacity(rows * cols);
+    for _ in 0..rows {
+        data.extend(read_floats(r, cols)?);
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+/// Writes a binary CSR matrix: a shape line, then one `len id id …` line
+/// per row.
+pub(crate) fn write_csr(w: &mut dyn Write, m: &CsrMatrix) -> std::io::Result<()> {
+    writeln!(w, "interactions {} {}", m.n_rows(), m.n_cols())?;
+    for u in 0..m.n_rows() {
+        let row = m.row(u);
+        write!(w, "{}", row.len())?;
+        for &i in row {
+            write!(w, " {i}")?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Reads a matrix written by [`write_csr`].
+pub(crate) fn read_csr(r: &mut dyn BufRead) -> Result<CsrMatrix, OcularError> {
+    let header = read_line(r)?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() != 3 || fields[0] != "interactions" {
+        return Err(bad("bad interactions header"));
+    }
+    let n_rows: usize = fields[1].parse().map_err(|_| bad("bad n_rows"))?;
+    let n_cols: usize = fields[2].parse().map_err(|_| bad("bad n_cols"))?;
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for u in 0..n_rows {
+        let line = read_line(r)?;
+        let mut fields = line.split_whitespace();
+        let len: usize = fields
+            .next()
+            .and_then(|f| f.parse().ok())
+            .ok_or_else(|| bad(format!("row {u}: bad length")))?;
+        let ids: Vec<usize> = fields
+            .map(|f| f.parse::<usize>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| bad(format!("row {u}: bad item id")))?;
+        if ids.len() != len {
+            return Err(bad(format!(
+                "row {u}: declared {len} items, found {}",
+                ids.len()
+            )));
+        }
+        pairs.extend(ids.into_iter().map(|i| (u, i)));
+    }
+    CsrMatrix::from_pairs(n_rows, n_cols, &pairs).map_err(|e| bad(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_roundtrip_is_bitwise() {
+        let m = Matrix::from_vec(
+            2,
+            3,
+            vec![0.1, -2.5e-17, 3.0, f64::MIN_POSITIVE, 1e300, 0.0],
+        );
+        let mut buf: Vec<u8> = Vec::new();
+        write_matrix(&mut buf, &m).unwrap();
+        let loaded = read_matrix(&mut buf.as_slice(), 2, 3).unwrap();
+        assert_eq!(loaded, m);
+    }
+
+    #[test]
+    fn csr_roundtrip_and_validation() {
+        let m = CsrMatrix::from_pairs(3, 4, &[(0, 1), (0, 3), (2, 0)]).unwrap();
+        let mut buf: Vec<u8> = Vec::new();
+        write_csr(&mut buf, &m).unwrap();
+        assert_eq!(read_csr(&mut buf.as_slice()).unwrap(), m);
+        assert!(read_csr(&mut "nope 1 1\n".as_bytes()).is_err());
+        assert!(read_csr(&mut "interactions 1 1\n2 0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn float_lines_validated() {
+        assert!(read_floats(&mut "1.0 2.0\n".as_bytes(), 3).is_err());
+        assert!(read_floats(&mut "1.0 x\n".as_bytes(), 2).is_err());
+        assert_eq!(
+            read_floats(&mut "1.0 2.0\n".as_bytes(), 2).unwrap(),
+            [1.0, 2.0]
+        );
+    }
+}

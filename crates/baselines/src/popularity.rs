@@ -2,18 +2,28 @@
 //!
 //! Not part of the paper's Table I, but the canonical sanity floor for
 //! one-class recommenders — any personalised method that loses to raw
-//! popularity is broken. Included in the harness for calibration.
+//! popularity is broken. Included in the harness for calibration. The
+//! ranking is user-independent, so cold-start fold-in is trivially
+//! supported: a basket request gets the same global ranking with the
+//! basket excluded.
 
-use crate::Recommender;
+use crate::persist::{bad, read_floats, read_line, write_floats};
+use ocular_api::{validate_basket, FoldIn, OcularError, Recommender, ScoreItems, SnapshotModel};
 use ocular_sparse::CsrMatrix;
 
 /// Fitted popularity model: a single global ranking.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Popularity {
     scores: Vec<f64>,
     n_users: usize,
 }
 
 impl Popularity {
+    /// Model name in reports and error messages.
+    pub const NAME: &'static str = "popularity";
+    /// Snapshot kind tag.
+    pub const KIND: &'static str = "popularity";
+
     /// Counts item degrees.
     pub fn fit(r: &CsrMatrix) -> Self {
         Popularity {
@@ -23,14 +33,9 @@ impl Popularity {
     }
 }
 
-impl Recommender for Popularity {
+impl ScoreItems for Popularity {
     fn name(&self) -> &'static str {
-        "popularity"
-    }
-
-    fn score_user(&self, _u: usize, out: &mut Vec<f64>) {
-        out.clear();
-        out.extend_from_slice(&self.scores);
+        Self::NAME
     }
 
     fn n_users(&self) -> usize {
@@ -39,6 +44,54 @@ impl Recommender for Popularity {
 
     fn n_items(&self) -> usize {
         self.scores.len()
+    }
+
+    fn score_user(&self, _u: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.scores);
+    }
+}
+
+impl Recommender for Popularity {
+    fn as_fold_in(&self) -> Option<&dyn FoldIn> {
+        Some(self)
+    }
+}
+
+impl FoldIn for Popularity {
+    fn score_basket(&self, basket: &[usize], out: &mut Vec<f64>) -> Result<(), OcularError> {
+        validate_basket(basket, self.scores.len())?;
+        out.clear();
+        out.extend_from_slice(&self.scores);
+        Ok(())
+    }
+}
+
+impl SnapshotModel for Popularity {
+    fn kind(&self) -> &'static str {
+        Self::KIND
+    }
+
+    fn save_model(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+        writeln!(
+            w,
+            "popularity-model v1 {} {}",
+            self.n_users,
+            self.scores.len()
+        )?;
+        write_floats(w, &self.scores)
+    }
+
+    fn load_model(r: &mut dyn std::io::BufRead) -> Result<Self, OcularError> {
+        let header = read_line(r)?;
+        let f: Vec<&str> = header.split_whitespace().collect();
+        if f.len() != 4 || f[0] != "popularity-model" || f[1] != "v1" {
+            return Err(bad("bad popularity-model header"));
+        }
+        let n_users: usize = f[2].parse().map_err(|_| bad("bad n_users"))?;
+        let n_items: usize = f[3].parse().map_err(|_| bad("bad n_items"))?;
+        let scores = read_floats(r, n_items)?;
+        Ok(Popularity { scores, n_users })
     }
 }
 
@@ -57,6 +110,30 @@ mod tests {
         let mut s2 = Vec::new();
         m.score_user(2, &mut s2);
         assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn cold_baskets_get_the_global_ranking() {
+        let r = CsrMatrix::from_pairs(3, 3, &[(0, 0), (1, 0), (2, 0), (0, 1)]).unwrap();
+        let m = Popularity::fit(&r);
+        let recs = m.recommend_for_basket(&[0], 2).unwrap();
+        let items: Vec<usize> = recs.iter().map(|s| s.item).collect();
+        assert_eq!(items, vec![1, 2], "basket item 0 must be excluded");
+        assert!(matches!(
+            m.recommend_for_basket(&[9], 2),
+            Err(OcularError::BadBasket(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_bitwise() {
+        let r = CsrMatrix::from_pairs(5, 7, &[(0, 0), (1, 6), (2, 3)]).unwrap();
+        let m = Popularity::fit(&r);
+        let mut buf: Vec<u8> = Vec::new();
+        m.save_model(&mut buf).unwrap();
+        let loaded = <Popularity as SnapshotModel>::load_model(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded, m);
+        assert!(<Popularity as SnapshotModel>::load_model(&mut "junk".as_bytes()).is_err());
     }
 
     #[test]

@@ -19,15 +19,20 @@
 //! per half-sweep. Unlike OCuLaR the factors are unconstrained (may go
 //! negative), which is exactly why the paper calls the latent space hard to
 //! interpret.
+//!
+//! The same per-entity solve doubles as request-time **cold start**
+//! ([`ocular_api::FoldIn`]): a new user's factor vector is one ridge solve
+//! against the frozen item factors — `O(K³ + basket·K²)` per request.
 
-use crate::Recommender;
+use crate::persist::{bad, read_line, read_matrix, write_matrix};
+use ocular_api::{validate_basket, FoldIn, OcularError, Recommender, ScoreItems, SnapshotModel};
 use ocular_linalg::{ops, Cholesky, Matrix};
 use ocular_sparse::CsrMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// wALS hyper-parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WalsConfig {
     /// Latent dimensionality (the paper grid-searches this).
     pub k: usize,
@@ -56,7 +61,26 @@ impl Default for WalsConfig {
     }
 }
 
+impl WalsConfig {
+    /// Validates parameter ranges.
+    fn validate(&self) -> Result<(), OcularError> {
+        if self.k == 0 {
+            return Err(OcularError::InvalidConfig("k must be positive".into()));
+        }
+        if !(self.b > 0.0 && self.b < 1.0) {
+            return Err(OcularError::InvalidConfig("b must lie in (0, 1)".into()));
+        }
+        if self.lambda <= 0.0 {
+            return Err(OcularError::InvalidConfig(
+                "lambda must be positive for SPD solves".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// A fitted wALS model.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Wals {
     /// `n_users × k` latent factors.
     pub user_factors: Matrix,
@@ -65,6 +89,11 @@ pub struct Wals {
     /// Weighted squared-error objective after each sweep (for convergence
     /// diagnostics and the Figure 8-style comparisons).
     pub objective_trace: Vec<f64>,
+    /// The hyper-parameters the model was fitted with (cold-start fold-in
+    /// reuses `b` and `lambda`).
+    pub config: WalsConfig,
+    /// `FᵀF` of the item factors, cached for request-time fold-in.
+    item_gram: Matrix,
 }
 
 fn init(rows: usize, k: usize, scale: f64, rng: &mut StdRng) -> Matrix {
@@ -75,37 +104,46 @@ fn init(rows: usize, k: usize, scale: f64, rng: &mut StdRng) -> Matrix {
     m
 }
 
-/// One half-sweep: updates every row of `own` against `other`.
-/// `adjacency.row(e)` lists the positive counterparts of entity `e`.
-fn half_sweep(own: &mut Matrix, other: &Matrix, adjacency: &CsrMatrix, b: f64, lambda: f64) {
-    let k = own.cols();
-    let gram = other.gram();
-    for e in 0..own.rows() {
-        // A = b·G + (1−b)·Σ_pos f fᵀ + λI  (lower triangle suffices)
-        let mut a = Matrix::zeros(k, k);
-        for r in 0..k {
-            for c in 0..=r {
-                a[(r, c)] = b * gram[(r, c)];
-            }
-            a[(r, r)] += lambda;
+/// One weighted ridge solve: the factor vector of an entity whose positive
+/// counterparts (rows of `other`) are `positives`, against the precomputed
+/// Gram matrix `gram = otherᵀ·other`. This is the per-entity step of
+/// [`half_sweep`] and, with a basket as `positives`, the fold-in solve.
+fn solve_entity(other: &Matrix, gram: &Matrix, positives: &[u32], b: f64, lambda: f64) -> Vec<f64> {
+    let k = other.cols();
+    // A = b·G + (1−b)·Σ_pos f fᵀ + λI  (lower triangle suffices)
+    let mut a = Matrix::zeros(k, k);
+    for r in 0..k {
+        for c in 0..=r {
+            a[(r, c)] = b * gram[(r, c)];
         }
-        let mut rhs = vec![0.0; k];
-        for &i in adjacency.row(e) {
-            let f = other.row(i as usize);
-            for r in 0..k {
-                let fr = f[r];
-                rhs[r] += fr;
-                if fr != 0.0 {
-                    let w = (1.0 - b) * fr;
-                    for c in 0..=r {
-                        a[(r, c)] += w * f[c];
-                    }
+        a[(r, r)] += lambda;
+    }
+    let mut rhs = vec![0.0; k];
+    for &i in positives {
+        let f = other.row(i as usize);
+        for r in 0..k {
+            let fr = f[r];
+            rhs[r] += fr;
+            if fr != 0.0 {
+                let w = (1.0 - b) * fr;
+                for c in 0..=r {
+                    a[(r, c)] += w * f[c];
                 }
             }
         }
-        let chol = Cholesky::factor(&a).expect("A = b·G + ΣffT + λI is SPD for λ > 0");
-        chol.solve_in_place(&mut rhs);
-        own.row_mut(e).copy_from_slice(&rhs);
+    }
+    let chol = Cholesky::factor(&a).expect("A = b·G + ΣffT + λI is SPD for λ > 0");
+    chol.solve_in_place(&mut rhs);
+    rhs
+}
+
+/// One half-sweep: updates every row of `own` against `other`.
+/// `adjacency.row(e)` lists the positive counterparts of entity `e`.
+fn half_sweep(own: &mut Matrix, other: &Matrix, adjacency: &CsrMatrix, b: f64, lambda: f64) {
+    let gram = other.gram();
+    for e in 0..own.rows() {
+        let solved = solve_entity(other, &gram, adjacency.row(e), b, lambda);
+        own.row_mut(e).copy_from_slice(&solved);
     }
 }
 
@@ -141,15 +179,25 @@ fn wals_objective(r: &CsrMatrix, uf: &Matrix, itf: &Matrix, b: f64, lambda: f64)
 }
 
 impl Wals {
+    /// Model name in reports and error messages.
+    pub const NAME: &'static str = "wALS";
+    /// Snapshot kind tag.
+    pub const KIND: &'static str = "wals";
+
     /// Fits by alternating least squares.
     ///
     /// # Panics
     /// Panics if `k == 0`, `b` is outside `(0, 1)`, or `lambda <= 0`
-    /// (λ must be positive for the normal equations to stay SPD).
+    /// (λ must be positive for the normal equations to stay SPD). Use
+    /// [`Wals::try_fit`] for a fallible variant.
     pub fn fit(r: &CsrMatrix, cfg: &WalsConfig) -> Self {
-        assert!(cfg.k > 0, "k must be positive");
-        assert!(cfg.b > 0.0 && cfg.b < 1.0, "b must lie in (0, 1)");
-        assert!(cfg.lambda > 0.0, "lambda must be positive for SPD solves");
+        Self::try_fit(r, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Wals::fit`]: returns [`OcularError::InvalidConfig`] on a
+    /// bad configuration instead of panicking.
+    pub fn try_fit(r: &CsrMatrix, cfg: &WalsConfig) -> Result<Self, OcularError> {
+        cfg.validate()?;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut user_factors = init(r.n_rows(), cfg.k, cfg.init_scale, &mut rng);
         let mut item_factors = init(r.n_cols(), cfg.k, cfg.init_scale, &mut rng);
@@ -172,22 +220,50 @@ impl Wals {
                 cfg.lambda,
             ));
         }
-        Wals {
+        let item_gram = item_factors.gram();
+        Ok(Wals {
             user_factors,
             item_factors,
             objective_trace,
-        }
+            config: *cfg,
+            item_gram,
+        })
     }
 
     /// Predicted preference `⟨f_u, f_i⟩`.
     pub fn predict(&self, u: usize, i: usize) -> f64 {
         ops::dot(self.user_factors.row(u), self.item_factors.row(i))
     }
+
+    /// Folds in an unseen user with the given basket: one weighted ridge
+    /// solve against the frozen item factors (the exact user-subproblem of
+    /// the training sweep, so an existing user's basket reproduces their
+    /// training-time update). Out-of-range or duplicate basket items are
+    /// [`OcularError::BadBasket`].
+    pub fn fold_in(&self, basket: &[u32]) -> Result<Vec<f64>, OcularError> {
+        let items: Vec<usize> = basket.iter().map(|&i| i as usize).collect();
+        validate_basket(&items, self.item_factors.rows())?;
+        Ok(solve_entity(
+            &self.item_factors,
+            &self.item_gram,
+            basket,
+            self.config.b,
+            self.config.lambda,
+        ))
+    }
 }
 
-impl Recommender for Wals {
+impl ScoreItems for Wals {
     fn name(&self) -> &'static str {
-        "wALS"
+        Self::NAME
+    }
+
+    fn n_users(&self) -> usize {
+        self.user_factors.rows()
+    }
+
+    fn n_items(&self) -> usize {
+        self.item_factors.rows()
     }
 
     fn score_user(&self, u: usize, out: &mut Vec<f64>) {
@@ -198,13 +274,106 @@ impl Recommender for Wals {
             *o = ops::dot(fu, self.item_factors.row(i));
         }
     }
+}
 
-    fn n_users(&self) -> usize {
-        self.user_factors.rows()
+impl Recommender for Wals {
+    fn as_fold_in(&self) -> Option<&dyn FoldIn> {
+        Some(self)
+    }
+}
+
+impl FoldIn for Wals {
+    fn score_basket(&self, basket: &[usize], out: &mut Vec<f64>) -> Result<(), OcularError> {
+        let positives = validate_basket(basket, self.item_factors.rows())?;
+        // already validated — solve directly rather than through fold_in's
+        // second validation pass
+        let fu = solve_entity(
+            &self.item_factors,
+            &self.item_gram,
+            &positives,
+            self.config.b,
+            self.config.lambda,
+        );
+        out.clear();
+        out.resize(self.item_factors.rows(), 0.0);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = ops::dot(&fu, self.item_factors.row(i));
+        }
+        Ok(())
+    }
+}
+
+impl SnapshotModel for Wals {
+    fn kind(&self) -> &'static str {
+        Self::KIND
     }
 
-    fn n_items(&self) -> usize {
-        self.item_factors.rows()
+    fn save_model(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+        let c = &self.config;
+        writeln!(
+            w,
+            "wals-model v1 {} {} {} {:e} {:e} {} {:e} {}",
+            self.user_factors.rows(),
+            self.item_factors.rows(),
+            c.k,
+            c.b,
+            c.lambda,
+            c.iters,
+            c.init_scale,
+            c.seed
+        )?;
+        write_matrix(w, &self.user_factors)?;
+        write_matrix(w, &self.item_factors)?;
+        write!(w, "trace {}", self.objective_trace.len())?;
+        for v in &self.objective_trace {
+            write!(w, " {v:e}")?;
+        }
+        writeln!(w)
+    }
+
+    fn load_model(r: &mut dyn std::io::BufRead) -> Result<Self, OcularError> {
+        let header = read_line(r)?;
+        let f: Vec<&str> = header.split_whitespace().collect();
+        if f.len() != 10 || f[0] != "wals-model" || f[1] != "v1" {
+            return Err(bad("bad wals-model header"));
+        }
+        let n_users: usize = f[2].parse().map_err(|_| bad("bad n_users"))?;
+        let n_items: usize = f[3].parse().map_err(|_| bad("bad n_items"))?;
+        let config = WalsConfig {
+            k: f[4].parse().map_err(|_| bad("bad k"))?,
+            b: f[5].parse().map_err(|_| bad("bad b"))?,
+            lambda: f[6].parse().map_err(|_| bad("bad lambda"))?,
+            iters: f[7].parse().map_err(|_| bad("bad iters"))?,
+            init_scale: f[8].parse().map_err(|_| bad("bad init_scale"))?,
+            seed: f[9].parse().map_err(|_| bad("bad seed"))?,
+        };
+        config.validate()?;
+        let user_factors = read_matrix(r, n_users, config.k)?;
+        let item_factors = read_matrix(r, n_items, config.k)?;
+        let trace_line = read_line(r)?;
+        let mut fields = trace_line.split_whitespace();
+        if fields.next() != Some("trace") {
+            return Err(bad("missing trace section"));
+        }
+        let len: usize = fields
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| bad("bad trace length"))?;
+        let objective_trace: Vec<f64> = fields
+            .map(|v| v.parse::<f64>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| bad("bad trace value"))?;
+        if objective_trace.len() != len {
+            return Err(bad("trace length mismatch"));
+        }
+        let item_gram = item_factors.gram();
+        Ok(Wals {
+            user_factors,
+            item_factors,
+            objective_trace,
+            config,
+            item_gram,
+        })
     }
 }
 
@@ -316,6 +485,56 @@ mod tests {
     }
 
     #[test]
+    fn fold_in_lands_near_training_solution() {
+        // folding in an existing user's full basket is the same ridge
+        // solve as the training half-sweep, but against the *final* item
+        // factors (training's user sweep ran before the last item sweep),
+        // so the vectors agree closely rather than bitwise
+        let r = two_blocks();
+        let m = Wals::fit(&r, &cfg());
+        let fu = m.fold_in(r.row(0)).unwrap();
+        for (a, b) in fu.iter().zip(m.user_factors.row(0)) {
+            assert!((a - b).abs() < 0.1, "fold {a} vs trained {b}");
+        }
+        // and the induced predictions preserve the block structure
+        let p_in = ops::dot(&fu, m.item_factors.row(1));
+        let p_out = ops::dot(&fu, m.item_factors.row(4));
+        assert!(p_in > p_out + 0.3, "in-block {p_in} vs out-block {p_out}");
+        // invalid baskets are typed errors, not index panics
+        assert!(matches!(m.fold_in(&[99]), Err(OcularError::BadBasket(_))));
+    }
+
+    #[test]
+    fn score_basket_validates_and_ranks_in_block() {
+        let r = two_blocks();
+        let m = Wals::fit(&r, &cfg());
+        let mut scores = Vec::new();
+        m.score_basket(&[0, 1], &mut scores).unwrap();
+        assert!(
+            scores[2] > scores[4],
+            "basket in block A must rank item 2 up"
+        );
+        assert!(matches!(
+            m.score_basket(&[99], &mut scores),
+            Err(OcularError::BadBasket(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_bitwise() {
+        let r = two_blocks();
+        let m = Wals::fit(&r, &cfg());
+        let mut buf: Vec<u8> = Vec::new();
+        m.save_model(&mut buf).unwrap();
+        let loaded = <Wals as SnapshotModel>::load_model(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded, m);
+        assert!(matches!(
+            <Wals as SnapshotModel>::load_model(&mut "junk".as_bytes()),
+            Err(OcularError::Corrupt(_))
+        ));
+    }
+
+    #[test]
     #[should_panic(expected = "b must lie in (0, 1)")]
     fn rejects_bad_b() {
         Wals::fit(
@@ -325,5 +544,24 @@ mod tests {
                 ..Default::default()
             },
         );
+    }
+
+    #[test]
+    fn try_fit_reports_bad_configs() {
+        let r = two_blocks();
+        assert!(matches!(
+            Wals::try_fit(&r, &WalsConfig { k: 0, ..cfg() }),
+            Err(OcularError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            Wals::try_fit(
+                &r,
+                &WalsConfig {
+                    lambda: 0.0,
+                    ..cfg()
+                }
+            ),
+            Err(OcularError::InvalidConfig(_))
+        ));
     }
 }

@@ -3,8 +3,8 @@
 //! baselines' side).
 
 use ocular_baselines::{
-    all_baselines, Bpr, BprConfig, ItemKnn, KnnConfig, Popularity, Recommender, UserKnn, Wals,
-    WalsConfig,
+    all_baselines, BaselineConfigs, Bpr, BprConfig, ItemKnn, KnnConfig, Popularity, Recommender,
+    UserKnn, Wals, WalsConfig,
 };
 use ocular_datasets::planted::{generate, PlantedConfig};
 use ocular_eval::protocol::evaluate;
@@ -26,13 +26,7 @@ fn dataset() -> ocular_datasets::PlantedDataset {
 }
 
 fn recall_of(model: &dyn Recommender, split: &Split, m: usize) -> f64 {
-    evaluate(
-        |u, buf| model.score_user(u, buf),
-        &split.train,
-        &split.test,
-        m,
-    )
-    .recall
+    evaluate(model, &split.train, &split.test, m).recall
 }
 
 #[test]
@@ -154,22 +148,13 @@ fn model_zoo_is_evaluable_end_to_end() {
             ..Default::default()
         },
     );
-    for model in all_baselines(&split.train, 0) {
-        let report = evaluate(
-            |u, buf| model.score_user(u, buf),
-            &split.train,
-            &split.test,
-            10,
-        );
-        assert!(
-            report.evaluated_users > 0,
-            "{}: nobody evaluated",
-            model.name()
-        );
+    for (name, model) in all_baselines(&split.train, &BaselineConfigs::seeded(0)) {
+        let report = evaluate(model.as_ref(), &split.train, &split.test, 10);
+        assert_eq!(name, model.name(), "zoo pair must carry the model's name");
+        assert!(report.evaluated_users > 0, "{name}: nobody evaluated");
         assert!(
             (0.0..=1.0).contains(&report.recall) && (0.0..=1.0).contains(&report.map),
-            "{}: metrics out of range",
-            model.name()
+            "{name}: metrics out of range"
         );
     }
 }

@@ -2,7 +2,7 @@
 //! explanation generation, kNN similarity precomputation and wALS sweeps.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ocular_baselines::{ItemKnn, KnnConfig, Recommender, UserKnn, Wals, WalsConfig};
+use ocular_baselines::{ItemKnn, KnnConfig, ScoreItems, UserKnn, Wals, WalsConfig};
 use ocular_core::{
     default_threshold, explain, extract_coclusters, fit, recommend_top_m, OcularConfig,
 };

@@ -49,12 +49,29 @@ fn run() -> Result<Vec<String>, String> {
     let serve_p50 = field(&serve, "engine_clusters.p50_us")?;
     let full_sort_p50 = field(&serve, "full_sort.p50_us")?;
     let train_seconds = field(&train, "train_seconds")?;
+    // per-model-kind serving rows (baseline key = "<kind>_p50_us", with
+    // `-` mapped to `_`)
+    let kinds = ["wals", "bpr", "item-knn", "popularity"];
+    let kind_p50 = kinds
+        .iter()
+        .map(|kind| field(&serve, &format!("kinds.{kind}.p50_us")))
+        .collect::<Result<Vec<f64>, _>>()?;
 
     if std::env::var("BENCH_BASELINE_RESET").as_deref() == Ok("1") {
-        let fresh = obj(vec![
-            ("serve_p50_us", Json::Num(serve_p50)),
-            ("train_seconds", Json::Num(train_seconds)),
-        ]);
+        let mut fields = vec![
+            ("serve_p50_us".to_string(), Json::Num(serve_p50)),
+            ("train_seconds".to_string(), Json::Num(train_seconds)),
+        ];
+        for (kind, p50) in kinds.iter().zip(&kind_p50) {
+            fields.push((
+                format!("{}_p50_us", kind.replace('-', "_")),
+                Json::Num(*p50),
+            ));
+        }
+        let fresh = obj(fields
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.clone()))
+            .collect());
         println!("bench_gate: BENCH_BASELINE_RESET=1 — gate skipped.");
         println!("new baseline for {baseline_path}:\n{fresh}");
         return Ok(vec![]);
@@ -89,6 +106,13 @@ fn run() -> Result<Vec<String>, String> {
     // selection must not serve slower than the retired full-sort path — a
     // hardware-noise-proof signal that the serving optimization still works
     check("vs_full_sort", serve_p50, full_sort_p50);
+    // per-model-kind serving gates (baseline entries are required once the
+    // kinds exist in the artifact, so a silently dropped row fails loudly)
+    for (kind, p50) in kinds.iter().zip(&kind_p50) {
+        let key = format!("{}_p50_us", kind.replace('-', "_"));
+        let base = field(&baseline, &key)?;
+        check(&key, *p50, base);
+    }
     Ok(failures)
 }
 

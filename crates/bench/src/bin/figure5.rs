@@ -8,9 +8,7 @@
 //! Usage: `cargo run -p ocular-bench --release --bin figure5 --
 //!   [--scale …] [--seed S] [--max-m 100] [--csv]`
 
-use ocular_baselines::{
-    Bpr, BprConfig, ItemKnn, KnnConfig, Recommender, UserKnn, Wals, WalsConfig,
-};
+use ocular_baselines::{all_baselines, BaselineConfigs, BprConfig, Recommender, WalsConfig};
 use ocular_bench::harness::{default_ocular_config, OcularRecommender};
 use ocular_bench::{Args, TextTable};
 use ocular_datasets::profiles;
@@ -32,28 +30,34 @@ fn main() {
     let k_hint = data.truth.k();
 
     let ocfg = default_ocular_config(k_hint, seed);
-    let models: Vec<Box<dyn Recommender>> = vec![
-        Box::new(OcularRecommender::fit_absolute(&split.train, &ocfg)),
-        Box::new(OcularRecommender::fit_relative(&split.train, &ocfg)),
-        Box::new(Wals::fit(
-            &split.train,
-            &WalsConfig {
-                k: k_hint,
-                seed,
-                ..Default::default()
-            },
-        )),
-        Box::new(Bpr::fit(
-            &split.train,
-            &BprConfig {
-                k: k_hint,
-                seed,
-                ..Default::default()
-            },
-        )),
-        Box::new(UserKnn::fit(&split.train, &KnnConfig::default())),
-        Box::new(ItemKnn::fit(&split.train, &KnnConfig::default())),
+    let mut models: Vec<(&'static str, Box<dyn Recommender>)> = vec![
+        (
+            "OCuLaR",
+            Box::new(OcularRecommender::fit_absolute(&split.train, &ocfg)),
+        ),
+        (
+            "R-OCuLaR",
+            Box::new(OcularRecommender::fit_relative(&split.train, &ocfg)),
+        ),
     ];
+    // the named baseline zoo, with the latent dimensionality matched to the
+    // profile's planted scale (the kNN variants keep their defaults)
+    models.extend(all_baselines(
+        &split.train,
+        &BaselineConfigs {
+            wals: WalsConfig {
+                k: k_hint,
+                seed,
+                ..Default::default()
+            },
+            bpr: BprConfig {
+                k: k_hint,
+                seed,
+                ..Default::default()
+            },
+            ..BaselineConfigs::seeded(seed)
+        },
+    ));
 
     println!(
         "Figure 5 — recall@M and MAP@M vs M (Movielens-like, scale {:?})\n",
@@ -61,15 +65,10 @@ fn main() {
     );
     let curves: Vec<(_, _)> = models
         .iter()
-        .map(|model| {
-            let c = metric_curves(
-                |u, buf| model.score_user(u, buf),
-                &split.train,
-                &split.test,
-                max_m,
-            );
-            eprintln!("[figure5] {} done", model.name());
-            (model.name(), c)
+        .map(|(name, model)| {
+            let c = metric_curves(model.as_ref(), &split.train, &split.test, max_m);
+            eprintln!("[figure5] {name} done");
+            (*name, c)
         })
         .collect();
 

@@ -13,7 +13,6 @@
 //! Usage: `cargo run -p ocular-bench --release --bin figure9 --
 //!   [--scale …] [--seed S] [--grid 5] [--m 50] [--csv]`
 
-use ocular_bench::harness::evaluate_recommender;
 use ocular_bench::harness::OcularRecommender;
 use ocular_bench::Args;
 use ocular_core::OcularConfig;
@@ -66,7 +65,7 @@ fn main() {
     );
 
     let t0 = std::time::Instant::now();
-    let result = grid_search(&ks, &lambdas, |k, lambda| {
+    let result = grid_search(&ks, &lambdas, &split.train, &split.test, m, |k, lambda| {
         let cfg = OcularConfig {
             k,
             lambda,
@@ -74,8 +73,7 @@ fn main() {
             seed,
             ..Default::default()
         };
-        let rec = OcularRecommender::fit_absolute(&split.train, &cfg);
-        evaluate_recommender(&rec, &split.train, &split.test, m).recall
+        Box::new(OcularRecommender::fit_absolute(&split.train, &cfg))
     });
     let elapsed = t0.elapsed().as_secs_f64();
 

@@ -48,7 +48,7 @@ fn main() {
         .collect();
     let max_deg = item_deg.iter().cloned().fold(1.0, f64::max);
     let truth = &data.truth;
-    let oracle = |u: usize, buf: &mut Vec<f64>| {
+    let oracle_fn = |u: usize, buf: &mut Vec<f64>| {
         for (i, b) in buf.iter_mut().enumerate() {
             let mut s = 0.0;
             for c in 0..truth.k() {
@@ -61,7 +61,13 @@ fn main() {
             *b = s + 0.01 * item_deg[i] / max_deg;
         }
     };
-    let r = evaluate(oracle, &split.train, &split.test, 50);
+    let oracle = ocular_api::FnScorer::new(
+        "oracle",
+        split.train.n_rows(),
+        split.train.n_cols(),
+        oracle_fn,
+    );
+    let r = evaluate(&oracle, &split.train, &split.test, 50);
     println!(
         "ORACLE (planted truth): recall@50={:.4} MAP@50={:.4}",
         r.recall, r.map

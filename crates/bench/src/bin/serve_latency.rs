@@ -5,10 +5,14 @@
 //! measures per-request latency percentiles for (a) the retired
 //! score-all + full-sort path, (b) the engine in full-catalog (heap) mode
 //! and (c) the engine in cluster candidate-generation mode, plus batched
-//! throughput. Flags: `--scale`, `--seed`, `--requests N`, `--m N`,
+//! throughput and a per-model-kind warm-request row for every baseline
+//! the polymorphic engine can serve (wals, bpr, item-knn, popularity).
+//! Flags: `--scale`, `--seed`, `--requests N`, `--m N`,
 //! `--rel R` / `--floor N` (index build knobs), `--out PATH` (default
 //! `BENCH_serve.json`).
 
+use ocular_api::Model;
+use ocular_baselines::{BaselineConfigs, Bpr, ItemKnn, Popularity, Wals};
 use ocular_bench::Args;
 use ocular_core::{fit, OcularConfig, Recommendation};
 use ocular_datasets::profiles;
@@ -183,6 +187,48 @@ fn main() {
         r.n_cols()
     );
 
+    // per-model-kind rows: every baseline kind the polymorphic engine can
+    // serve, measured on the same warm-request mix (full-catalog — the
+    // cluster policy degrades to exactly this path for these kinds)
+    let bl = BaselineConfigs::seeded(seed);
+    let kind_models: Vec<Box<dyn Model>> = vec![
+        Box::new(Wals::fit(
+            &r,
+            &ocular_baselines::WalsConfig { k, ..bl.wals },
+        )),
+        Box::new(Bpr::fit(&r, &ocular_baselines::BprConfig { k, ..bl.bpr })),
+        Box::new(ItemKnn::fit(&r, &bl.item_knn)),
+        Box::new(Popularity::fit(&r)),
+    ];
+    let mut kind_rows: Vec<(&'static str, Latency)> = Vec::new();
+    for model in kind_models {
+        let kind = model.kind();
+        let engine = ServeEngine::from_recommender(
+            model,
+            r.clone(),
+            ServeConfig {
+                default_m: m,
+                candidates: CandidatePolicy::FullCatalog,
+                ..Default::default()
+            },
+        )
+        .expect("baseline engine");
+        let lat = measure(n_requests, |i| {
+            std::hint::black_box(
+                engine
+                    .serve_one(&Request::Warm {
+                        user: user_at(i),
+                        m,
+                    })
+                    .unwrap()
+                    .items
+                    .len(),
+            );
+        });
+        report(&format!("engine {kind}"), &lat);
+        kind_rows.push((kind, lat));
+    }
+
     let lat_json = |l: &Latency| {
         obj(vec![
             ("p50_us", Json::Num(l.p50)),
@@ -212,6 +258,13 @@ fn main() {
             Json::Num(fallbacks as f64 / n_requests as f64),
         ),
         ("batch_throughput_rps", Json::Num(throughput)),
+        (
+            "kinds",
+            obj(kind_rows
+                .iter()
+                .map(|(kind, lat)| (*kind, lat_json(lat)))
+                .collect()),
+        ),
     ]);
     std::fs::write(&out_path, format!("{doc}\n")).expect("write bench artifact");
     eprintln!("artifact → {out_path}");

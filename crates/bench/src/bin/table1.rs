@@ -17,7 +17,8 @@
 //!   [--no-tune] [--csv]`
 
 use ocular_baselines::{
-    Bpr, BprConfig, ItemKnn, KnnConfig, Popularity, Recommender, UserKnn, Wals, WalsConfig,
+    BaselineConfigs, Bpr, BprConfig, ItemKnn, KnnConfig, Popularity, Recommender, UserKnn, Wals,
+    WalsConfig,
 };
 use ocular_bench::harness::{evaluate_recommender, OcularRecommender};
 use ocular_bench::{Args, TextTable};
@@ -75,30 +76,27 @@ fn methods(k_hint: usize, tune: bool) -> Vec<Method> {
         v
     };
 
+    // each candidate varies one knob (k) on top of the zoo's seeded
+    // per-model defaults, so the default hyper-parameters live in exactly
+    // one place (`BaselineConfigs::seeded`)
     let mf_cfgs = |wals: bool| -> Vec<FitFn> {
         ks.iter()
             .map(|&k| -> FitFn {
                 if wals {
                     Box::new(move |r, seed| {
-                        Box::new(Wals::fit(
-                            r,
-                            &WalsConfig {
-                                k,
-                                seed,
-                                ..Default::default()
-                            },
-                        ))
+                        let cfg = WalsConfig {
+                            k,
+                            ..BaselineConfigs::seeded(seed).wals
+                        };
+                        Box::new(Wals::fit(r, &cfg))
                     })
                 } else {
                     Box::new(move |r, seed| {
-                        Box::new(Bpr::fit(
-                            r,
-                            &BprConfig {
-                                k,
-                                seed,
-                                ..Default::default()
-                            },
-                        ))
+                        let cfg = BprConfig {
+                            k,
+                            ..BaselineConfigs::seeded(seed).bpr
+                        };
+                        Box::new(Bpr::fit(r, &cfg))
                     })
                 }
             })
@@ -115,15 +113,15 @@ fn methods(k_hint: usize, tune: bool) -> Vec<Method> {
             candidates: ocular_cfgs(ocular_core::Weighting::Relative),
         },
         Method {
-            name: "wALS",
+            name: Wals::NAME,
             candidates: mf_cfgs(true),
         },
         Method {
-            name: "BPR",
+            name: Bpr::NAME,
             candidates: mf_cfgs(false),
         },
         Method {
-            name: "user-based",
+            name: UserKnn::NAME,
             candidates: knn_ks
                 .iter()
                 .map(|&k| -> FitFn {
@@ -132,7 +130,7 @@ fn methods(k_hint: usize, tune: bool) -> Vec<Method> {
                 .collect(),
         },
         Method {
-            name: "item-based",
+            name: ItemKnn::NAME,
             candidates: knn_ks
                 .iter()
                 .map(|&k| -> FitFn {
@@ -141,7 +139,7 @@ fn methods(k_hint: usize, tune: bool) -> Vec<Method> {
                 .collect(),
         },
         Method {
-            name: "popularity",
+            name: Popularity::NAME,
             candidates: vec![Box::new(|r, _| Box::new(Popularity::fit(r)))],
         },
     ]

@@ -1,12 +1,13 @@
 //! Bridges between the model crates and the evaluation protocol.
 
-use ocular_baselines::Recommender;
+use ocular_api::{Recommender, ScoreItems};
 use ocular_core::{fit, FactorModel, OcularConfig, Weighting};
 use ocular_eval::protocol::{evaluate, EvalReport};
 use ocular_sparse::CsrMatrix;
 
-/// Adapter giving the OCuLaR [`FactorModel`] the same [`Recommender`]
-/// interface as the baselines, so the Table I harness can iterate one zoo.
+/// [`FactorModel`] under a display name, so the Table I harness can carry
+/// "OCuLaR" and "R-OCuLaR" columns side by side in one `dyn Recommender`
+/// zoo (the model itself always reports `"OCuLaR"`).
 pub struct OcularRecommender {
     /// The fitted model.
     pub model: FactorModel,
@@ -44,13 +45,9 @@ impl OcularRecommender {
     }
 }
 
-impl Recommender for OcularRecommender {
+impl ScoreItems for OcularRecommender {
     fn name(&self) -> &'static str {
         self.name
-    }
-
-    fn score_user(&self, u: usize, out: &mut Vec<f64>) {
-        self.model.score_user(u, out);
     }
 
     fn n_users(&self) -> usize {
@@ -60,16 +57,32 @@ impl Recommender for OcularRecommender {
     fn n_items(&self) -> usize {
         self.model.n_items()
     }
+
+    fn score_user(&self, u: usize, out: &mut Vec<f64>) {
+        self.model.score_user(u, out);
+    }
 }
 
-/// Evaluates any [`Recommender`] under the paper's protocol at cutoff `m`.
+impl Recommender for OcularRecommender {
+    fn as_fold_in(&self) -> Option<&dyn ocular_api::FoldIn> {
+        self.model.as_fold_in()
+    }
+
+    fn as_explain(&self) -> Option<&dyn ocular_api::Explain> {
+        self.model.as_explain()
+    }
+}
+
+/// Evaluates any [`Recommender`] under the paper's protocol at cutoff `m`
+/// (thin alias for [`ocular_eval::protocol::evaluate`], kept for the bench
+/// binaries' vocabulary).
 pub fn evaluate_recommender(
     model: &dyn Recommender,
     train: &CsrMatrix,
     test: &CsrMatrix,
     m: usize,
 ) -> EvalReport {
-    evaluate(|u, buf| model.score_user(u, buf), train, test, m)
+    evaluate(model, train, test, m)
 }
 
 /// Default OCuLaR hyper-parameters for a dataset with `k_hint` planted

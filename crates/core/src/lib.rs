@@ -53,6 +53,7 @@
 //! | [`trainer`] | IV-B/D | block coordinate descent, telemetry, [`fit`] |
 //! | [`recommend`] | IV-C | top-M recommendation lists |
 //! | [`topm`] | IV-C | bounded-heap top-M selection kernel |
+//! | [`recommender`] | — | [`ocular_api`] trait hierarchy impls for [`FactorModel`] |
 //! | [`coclusters`] | IV-C | co-cluster extraction and statistics |
 //! | [`explain`](mod@explain) | IV-C, VIII | interpretable rationales (Figures 3 & 10) |
 
@@ -69,6 +70,7 @@ pub mod linesearch;
 pub mod loss;
 pub mod model;
 pub mod recommend;
+pub mod recommender;
 pub mod topm;
 pub mod trainer;
 
@@ -80,4 +82,4 @@ pub use foldin::{fold_in_user, recommend_for_basket, FoldIn};
 pub use model::FactorModel;
 pub use recommend::{recommend_top_m, Recommendation};
 pub use topm::{top_m_excluding, TopM};
-pub use trainer::{fit, TrainResult, TrainingHistory};
+pub use trainer::{fit, try_fit, TrainResult, TrainingHistory};

@@ -40,26 +40,45 @@ impl FactorModel {
     ///
     /// # Panics
     /// Panics if the factor matrices disagree on `k`, or if `bias` is set
-    /// but there is no room for the two bias columns.
+    /// but there is no room for the two bias columns. Use
+    /// [`FactorModel::try_new`] for a fallible variant.
     pub fn new(user_factors: Matrix, item_factors: Matrix, has_bias: bool) -> Self {
-        assert_eq!(
-            user_factors.cols(),
-            item_factors.cols(),
-            "user and item factors must share k"
-        );
+        Self::try_new(user_factors, item_factors, has_bias).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`FactorModel::new`]: returns
+    /// [`OcularError::InvalidConfig`](ocular_api::OcularError) instead of
+    /// panicking when the factor matrices disagree on `k` or the bias
+    /// layout has no room for its two columns.
+    pub fn try_new(
+        user_factors: Matrix,
+        item_factors: Matrix,
+        has_bias: bool,
+    ) -> Result<Self, ocular_api::OcularError> {
+        if user_factors.cols() != item_factors.cols() {
+            return Err(ocular_api::OcularError::InvalidConfig(format!(
+                "user and item factors must share k ({} vs {})",
+                user_factors.cols(),
+                item_factors.cols()
+            )));
+        }
         let k_total = user_factors.cols();
         let n_clusters = if has_bias {
-            assert!(k_total >= 3, "bias model needs k ≥ 1 plus two bias columns");
+            if k_total < 3 {
+                return Err(ocular_api::OcularError::InvalidConfig(
+                    "bias model needs k ≥ 1 plus two bias columns".into(),
+                ));
+            }
             k_total - 2
         } else {
             k_total
         };
-        FactorModel {
+        Ok(FactorModel {
             user_factors,
             item_factors,
             n_clusters,
             has_bias,
-        }
+        })
     }
 
     /// Number of users.

@@ -224,7 +224,8 @@ pub fn initial_factors(r: &CsrMatrix, cfg: &OcularConfig) -> (Matrix, Matrix) {
 /// Fits an OCuLaR (or R-OCuLaR) model to the one-class matrix `r`.
 ///
 /// # Panics
-/// Panics if `cfg` fails [`OcularConfig::validate`].
+/// Panics if `cfg` fails [`OcularConfig::validate`]. Use [`try_fit`] for a
+/// fallible variant.
 pub fn fit(r: &CsrMatrix, cfg: &OcularConfig) -> TrainResult {
     if let Err(msg) = cfg.validate() {
         panic!("invalid OcularConfig: {msg}");
@@ -296,6 +297,15 @@ pub fn fit(r: &CsrMatrix, cfg: &OcularConfig) -> TrainResult {
         model: FactorModel::new(user_factors, item_factors, cfg.bias),
         history,
     }
+}
+
+/// Fallible [`fit`]: returns
+/// [`OcularError::InvalidConfig`](ocular_api::OcularError) instead of
+/// panicking when `cfg` fails [`OcularConfig::validate`].
+pub fn try_fit(r: &CsrMatrix, cfg: &OcularConfig) -> Result<TrainResult, ocular_api::OcularError> {
+    cfg.validate()
+        .map_err(ocular_api::OcularError::InvalidConfig)?;
+    Ok(fit(r, cfg))
 }
 
 #[cfg(test)]

@@ -5,10 +5,13 @@
 //! we train a model on a subset of the given data for different choices of
 //! (K, λ), and select the pair for which the corresponding model performs
 //! best on the test set."* This module implements the full k-fold variant:
-//! positives are partitioned into folds; each candidate is trained on
-//! k−1 folds and scored on the held-out fold; scores are averaged.
+//! positives are partitioned into folds; each candidate is fitted on
+//! k−1 folds as a [`Recommender`] and scored on the held-out fold under
+//! the paper's protocol ([`crate::protocol::evaluate`]); recall@M is
+//! averaged across folds.
 
-use crate::protocol::EvalReport;
+use crate::protocol::evaluate;
+use ocular_api::Recommender;
 use ocular_sparse::CsrMatrix;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -58,9 +61,9 @@ impl Folds {
 pub struct CvScore<P> {
     /// The candidate's parameters.
     pub params: P,
-    /// Mean validation metric across folds.
+    /// Mean validation recall@M across folds.
     pub mean: f64,
-    /// Per-fold metrics.
+    /// Per-fold recall@M.
     pub per_fold: Vec<f64>,
 }
 
@@ -81,18 +84,20 @@ impl<P> CvScore<P> {
     }
 }
 
-/// Cross-validates a list of candidates. `eval_fold(params, train, val)`
-/// trains a model on `train` and returns the validation metric on `val`
-/// (higher = better). Returns all scores, best first.
+/// Cross-validates a list of candidates. `fit(params, train)` fits the
+/// candidate's model on the fold's training matrix; the model is then
+/// scored on the held-out fold with recall@`m` under the evaluation
+/// protocol. Returns all scores, best first.
 pub fn cross_validate<P, F>(
     r: &CsrMatrix,
     candidates: Vec<P>,
     folds: &Folds,
-    eval_fold: F,
+    m: usize,
+    fit: F,
 ) -> Vec<CvScore<P>>
 where
     P: Clone,
-    F: Fn(&P, &CsrMatrix, &EvalContext) -> f64 + Sync,
+    F: Fn(&P, &CsrMatrix) -> Box<dyn Recommender>,
 {
     let mut scores: Vec<CvScore<P>> = candidates
         .into_iter()
@@ -100,7 +105,8 @@ where
             let per_fold: Vec<f64> = (0..folds.k)
                 .map(|fold| {
                     let (train, val) = folds.split(r, fold);
-                    eval_fold(&params, &train, &EvalContext { validation: val })
+                    let model = fit(&params, &train);
+                    evaluate(model.as_ref(), &train, &val, m).recall
                 })
                 .collect();
             let mean = per_fold.iter().sum::<f64>() / per_fold.len() as f64;
@@ -115,26 +121,10 @@ where
     scores
 }
 
-/// Wrapper handing the validation matrix to the candidate evaluator.
-pub struct EvalContext {
-    /// Held-out positives of the current fold.
-    pub validation: CsrMatrix,
-}
-
-impl EvalContext {
-    /// Evaluates a scorer closure at cutoff `m` against this fold
-    /// (delegates to [`crate::protocol::evaluate`]).
-    pub fn evaluate<S>(&self, scorer: S, train: &CsrMatrix, m: usize) -> EvalReport
-    where
-        S: FnMut(usize, &mut Vec<f64>),
-    {
-        crate::protocol::evaluate(scorer, train, &self.validation, m)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ocular_api::FnScorer;
     use ocular_sparse::Triplets;
 
     fn matrix() -> CsrMatrix {
@@ -195,21 +185,21 @@ mod tests {
     fn cross_validation_ranks_candidates() {
         let r = matrix();
         let folds = Folds::new(&r, 3, 0);
-        // candidates are "noise levels"; the evaluator prefers low noise —
-        // a synthetic stand-in for model quality
-        let scores = cross_validate(&r, vec![0.9f64, 0.1, 0.5], &folds, |&noise, train, ctx| {
-            // oracle-ish scorer degraded by the candidate's noise level
-            let report = ctx.evaluate(
-                |u, buf| {
+        // candidates are "noise levels"; the fitted stand-in model scores
+        // the true block structure degraded by the candidate's noise, so
+        // lower noise must win the cross-validation
+        let scores = cross_validate(&r, vec![0.9f64, 0.1, 0.5], &folds, 6, |&noise, train| {
+            Box::new(FnScorer::new(
+                "noisy-oracle",
+                train.n_rows(),
+                train.n_cols(),
+                move |u, buf| {
                     for (i, b) in buf.iter_mut().enumerate() {
                         let aligned = (u < 6) == (i < 6);
                         *b = if aligned { 1.0 - noise } else { noise };
                     }
                 },
-                train,
-                6,
-            );
-            report.recall
+            ))
         });
         assert_eq!(scores.len(), 3);
         assert_eq!(scores[0].params, 0.1, "least-noisy candidate must win");

@@ -43,17 +43,13 @@ impl MetricCurves {
     }
 }
 
-/// Computes the curves for a scorer over all cutoffs `1..=max_m`.
-pub fn metric_curves<F>(
-    score_user: F,
+/// Computes the curves for a recommender over all cutoffs `1..=max_m`.
+pub fn metric_curves(
+    model: &dyn ocular_api::Recommender,
     train: &CsrMatrix,
     test: &CsrMatrix,
     max_m: usize,
-) -> MetricCurves
-where
-    F: FnMut(usize, &mut Vec<f64>),
-{
-    let mut score_user = score_user;
+) -> MetricCurves {
     let mut recall_sum = vec![0.0; max_m];
     let mut map_sum = vec![0.0; max_m];
     let mut n = 0usize;
@@ -63,9 +59,7 @@ where
         if held_out.is_empty() {
             continue;
         }
-        buf.clear();
-        buf.resize(train.n_cols(), 0.0);
-        score_user(u, &mut buf);
+        model.score_user(u, &mut buf);
         let ranked = top_m_excluding(&buf, train.row(u), max_m);
         let (r, a) = prefix_metrics(&ranked, held_out, max_m);
         for m in 0..max_m {
@@ -86,20 +80,21 @@ where
 mod tests {
     use super::*;
     use crate::protocol::evaluate;
+    use ocular_api::FnScorer;
 
     #[test]
     fn curves_match_pointwise_evaluation() {
         let train = CsrMatrix::from_pairs(3, 8, &[(0, 0), (1, 1), (2, 2)]).unwrap();
         let test = CsrMatrix::from_pairs(3, 8, &[(0, 3), (0, 4), (1, 5), (2, 6), (2, 7)]).unwrap();
         // an arbitrary deterministic scorer
-        let scorer = |u: usize, buf: &mut Vec<f64>| {
+        let scorer = FnScorer::new("synthetic", 3, 8, |u: usize, buf: &mut Vec<f64>| {
             for (i, b) in buf.iter_mut().enumerate() {
                 *b = ((u * 31 + i * 17) % 13) as f64;
             }
-        };
-        let curves = metric_curves(scorer, &train, &test, 8);
+        });
+        let curves = metric_curves(&scorer, &train, &test, 8);
         for m in [1usize, 2, 4, 8] {
-            let point = evaluate(scorer, &train, &test, m);
+            let point = evaluate(&scorer, &train, &test, m);
             assert!(
                 (curves.recall_at(m) - point.recall).abs() < 1e-12,
                 "recall mismatch at m={m}"
@@ -115,16 +110,12 @@ mod tests {
     fn recall_curve_is_monotone() {
         let train = CsrMatrix::from_pairs(2, 10, &[(0, 0), (1, 9)]).unwrap();
         let test = CsrMatrix::from_pairs(2, 10, &[(0, 5), (1, 2), (1, 3)]).unwrap();
-        let curves = metric_curves(
-            |u, buf| {
-                for (i, b) in buf.iter_mut().enumerate() {
-                    *b = ((u + 3) * i % 7) as f64;
-                }
-            },
-            &train,
-            &test,
-            9,
-        );
+        let scorer = FnScorer::new("synthetic", 2, 10, |u: usize, buf: &mut Vec<f64>| {
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = ((u + 3) * i % 7) as f64;
+            }
+        });
+        let curves = metric_curves(&scorer, &train, &test, 9);
         for w in curves.recall.windows(2) {
             assert!(w[1] >= w[0] - 1e-12, "recall@M must be non-decreasing in M");
         }

@@ -4,8 +4,14 @@
 //! accelerates the search by fanning the 625 parameter pairs out over a
 //! Spark cluster of GPU machines (Section VII-E). Here the same
 //! embarrassingly parallel structure is expressed with rayon: each `(K, λ)`
-//! cell runs the user-supplied train-and-evaluate closure independently.
+//! cell fits a [`Recommender`] independently, and every fitted model is
+//! scored with recall@M under the one evaluation protocol
+//! ([`crate::protocol::evaluate`]) — the cells cannot drift apart on
+//! metric definitions.
 
+use crate::protocol::evaluate;
+use ocular_api::Recommender;
+use ocular_sparse::CsrMatrix;
 use rayon::prelude::*;
 
 /// Result of a grid search: the metric surface plus the best cell.
@@ -79,17 +85,25 @@ impl GridResult {
     }
 }
 
-/// Runs the grid search. `eval_cell(k, λ)` trains a model with those
-/// hyper-parameters and returns the validation metric (higher = better).
-/// Cells are evaluated in parallel (rayon), mirroring the paper's cluster
-/// fan-out; results are deterministic because each cell is independent and
-/// seeded by the caller.
+/// Runs the grid search. `fit_cell(k, λ)` fits a model with those
+/// hyper-parameters on `train`; the model is scored with recall@`m` on
+/// `test` under the evaluation protocol. Cells are evaluated in parallel
+/// (rayon), mirroring the paper's cluster fan-out; results are
+/// deterministic because each cell is independent and seeded by the
+/// caller.
 ///
 /// # Panics
 /// Panics if either axis is empty.
-pub fn grid_search<F>(ks: &[usize], lambdas: &[f64], eval_cell: F) -> GridResult
+pub fn grid_search<F>(
+    ks: &[usize],
+    lambdas: &[f64],
+    train: &CsrMatrix,
+    test: &CsrMatrix,
+    m: usize,
+    fit_cell: F,
+) -> GridResult
 where
-    F: Fn(usize, f64) -> f64 + Sync,
+    F: Fn(usize, f64) -> Box<dyn Recommender> + Sync,
 {
     assert!(
         !ks.is_empty() && !lambdas.is_empty(),
@@ -100,7 +114,10 @@ where
         .collect();
     let flat: Vec<f64> = cells
         .par_iter()
-        .map(|&(ki, li)| eval_cell(ks[ki], lambdas[li]))
+        .map(|&(ki, li)| {
+            let model = fit_cell(ks[ki], lambdas[li]);
+            evaluate(model.as_ref(), train, test, m).recall
+        })
         .collect();
     let mut scores = vec![vec![0.0; lambdas.len()]; ks.len()];
     for (&(ki, li), &v) in cells.iter().zip(&flat) {
@@ -125,57 +142,94 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ocular_api::FnScorer;
+
+    const T: usize = 100;
+
+    /// `T` users each own item 0 in training and hold out item 3.
+    fn fixture() -> (CsrMatrix, CsrMatrix) {
+        let train: Vec<(usize, usize)> = (0..T).map(|u| (u, 0)).collect();
+        let test: Vec<(usize, usize)> = (0..T).map(|u| (u, 3)).collect();
+        (
+            CsrMatrix::from_pairs(T, 4, &train).unwrap(),
+            CsrMatrix::from_pairs(T, 4, &test).unwrap(),
+        )
+    }
+
+    /// A stand-in fitted model whose recall@1 equals `quality` (clamped to
+    /// `[0, 1]`, quantised to 1/T): the first `quality·T` users rank their
+    /// held-out item first, the rest rank it last.
+    fn cell_model(quality: f64) -> Box<dyn Recommender> {
+        let winners = (quality.clamp(0.0, 1.0) * T as f64).round() as usize;
+        Box::new(FnScorer::new("synthetic-cell", T, 4, move |u, buf| {
+            buf[1] = 0.5;
+            buf[2] = 0.25;
+            buf[3] = if u < winners { 1.0 } else { -1.0 };
+        }))
+    }
+
+    fn surface(k: usize, l: f64) -> f64 {
+        let dk = (k as f64 - 100.0) / 100.0;
+        let dl = (l - 30.0) / 50.0;
+        1.0 - dk * dk - dl * dl
+    }
 
     #[test]
     fn finds_the_peak() {
         // synthetic unimodal surface peaked at K=100, λ=30
+        let (train, test) = fixture();
         let ks = vec![50usize, 100, 200];
         let lambdas = vec![0.0, 30.0, 100.0];
-        let result = grid_search(&ks, &lambdas, |k, l| {
-            let dk = (k as f64 - 100.0) / 100.0;
-            let dl = (l - 30.0) / 50.0;
-            1.0 - dk * dk - dl * dl
+        let result = grid_search(&ks, &lambdas, &train, &test, 1, |k, l| {
+            cell_model(surface(k, l))
         });
         assert_eq!(result.best.0, 100);
         assert_eq!(result.best.1, 30.0);
-        assert!((result.best.2 - 1.0).abs() < 1e-12);
+        assert!(
+            (result.best.2 - 1.0).abs() < 1e-12,
+            "peak recall {}",
+            result.best.2
+        );
     }
 
     #[test]
-    fn surface_shape_matches_grid() {
-        let result = grid_search(&[1, 2], &[0.1, 0.2, 0.3], |k, l| k as f64 + l);
-        assert_eq!(result.scores.len(), 2);
-        assert_eq!(result.scores[0].len(), 3);
-        assert!((result.score(1, 2) - 2.3).abs() < 1e-12);
-    }
-
-    #[test]
-    fn parallel_matches_sequential() {
-        let ks: Vec<usize> = (1..20).collect();
-        let lambdas: Vec<f64> = (0..15).map(|i| i as f64).collect();
-        let f = |k: usize, l: f64| (k as f64 * 13.7).sin() + (l * 3.1).cos();
-        let par = grid_search(&ks, &lambdas, f);
+    fn surface_matches_direct_protocol_evaluation() {
+        // the parallel fan-out must produce exactly what a sequential
+        // evaluate() of each cell's model produces
+        let (train, test) = fixture();
+        let ks: Vec<usize> = vec![50, 80, 130, 200];
+        let lambdas: Vec<f64> = vec![0.0, 10.0, 30.0, 80.0];
+        let result = grid_search(&ks, &lambdas, &train, &test, 1, |k, l| {
+            cell_model(surface(k, l))
+        });
         for (ki, &k) in ks.iter().enumerate() {
             for (li, &l) in lambdas.iter().enumerate() {
-                assert_eq!(par.score(ki, li), f(k, l));
+                let direct =
+                    crate::protocol::evaluate(cell_model(surface(k, l)).as_ref(), &train, &test, 1)
+                        .recall;
+                assert_eq!(result.score(ki, li), direct, "cell ({k}, {l})");
             }
         }
     }
 
     #[test]
     fn heatmap_and_csv_render() {
-        let result = grid_search(&[10, 20], &[1.0, 2.0], |k, l| k as f64 * l);
+        let (train, test) = fixture();
+        let result = grid_search(&[10, 20], &[1.0, 2.0], &train, &test, 1, |k, l| {
+            cell_model(k as f64 * l / 100.0)
+        });
         let art = result.render_heatmap();
         assert!(art.contains("K ="));
         assert!(art.contains("best: K = 20"));
         let csv = result.to_csv();
         assert!(csv.contains("k,lambda,score"));
-        assert!(csv.contains("20,2,40.000000"));
+        assert!(csv.contains("20,2,0.400000"));
     }
 
     #[test]
     #[should_panic(expected = "non-empty")]
     fn empty_grid_panics() {
-        grid_search(&[], &[1.0], |_, _| 0.0);
+        let (train, test) = fixture();
+        grid_search(&[], &[1.0], &train, &test, 1, |_, _| cell_model(0.0));
     }
 }

@@ -8,8 +8,9 @@
 //! * [`ranking`] — top-M selection from dense score vectors, excluding
 //!   training positives;
 //! * [`protocol`] — the 75/25 split evaluation loop, averaged over problem
-//!   instances, parameterised by a scoring closure so any recommender
-//!   (OCuLaR, wALS, BPR, kNN) plugs in without a dependency edge;
+//!   instances, consuming any [`ocular_api::Recommender`] so every model
+//!   kind (OCuLaR, wALS, BPR, kNN, popularity) plugs in through the one
+//!   workspace trait hierarchy;
 //! * [`curves`] — recall@M / MAP@M as functions of M (Figure 5) computed in
 //!   one ranking pass per user;
 //! * [`gridsearch`] — the (K, λ) grid search of Figures 6 and 9,

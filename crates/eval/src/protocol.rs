@@ -3,11 +3,14 @@
 //! Train on the 75% split, score every user against every unseen item,
 //! take the top-M, and average recall@M / MAP@M over users that have at
 //! least one held-out positive; repeat over independent problem instances
-//! and average (Section VII-B2). The recommender is abstracted as a scoring
-//! closure so this crate has no dependency on any model crate.
+//! and average (Section VII-B2). The recommender is consumed through the
+//! workspace trait hierarchy ([`ocular_api::Recommender`]) — any model
+//! kind plugs in, and synthetic oracles wrap a closure in
+//! [`ocular_api::FnScorer`].
 
 use crate::metrics::{average_precision_at, ndcg_at, recall_at};
 use crate::ranking::top_m_excluding;
+use ocular_api::Recommender;
 use ocular_sparse::CsrMatrix;
 
 /// Aggregated evaluation result.
@@ -38,16 +41,17 @@ impl std::fmt::Display for EvalReport {
     }
 }
 
-/// Evaluates a scorer at cutoff `m`.
+/// Evaluates a recommender at cutoff `m` under the paper's protocol.
 ///
-/// `score_user(u, buf)` must fill `buf` (length `n_items`) with relevance
-/// scores for user `u` against every item; training positives are excluded
-/// from the ranking here, so the scorer does not need to mask them.
-pub fn evaluate<F>(score_user: F, train: &CsrMatrix, test: &CsrMatrix, m: usize) -> EvalReport
-where
-    F: FnMut(usize, &mut Vec<f64>),
-{
-    let mut score_user = score_user;
+/// The model's [`score_user`](ocular_api::ScoreItems::score_user) fills the
+/// per-user score buffer; training positives are excluded from the ranking
+/// here, so the model does not need to mask them.
+pub fn evaluate(
+    model: &dyn Recommender,
+    train: &CsrMatrix,
+    test: &CsrMatrix,
+    m: usize,
+) -> EvalReport {
     assert_eq!(train.n_rows(), test.n_rows(), "train/test user mismatch");
     assert_eq!(train.n_cols(), test.n_cols(), "train/test item mismatch");
     let mut buf: Vec<f64> = vec![0.0; train.n_cols()];
@@ -57,9 +61,7 @@ where
         if held_out.is_empty() {
             continue;
         }
-        buf.clear();
-        buf.resize(train.n_cols(), 0.0);
-        score_user(u, &mut buf);
+        model.score_user(u, &mut buf);
         let ranked = top_m_excluding(&buf, train.row(u), m);
         recall_sum += recall_at(&ranked, held_out, m);
         map_sum += average_precision_at(&ranked, held_out, m);
@@ -99,22 +101,23 @@ pub fn average_reports(reports: &[EvalReport]) -> EvalReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ocular_api::FnScorer;
     use ocular_sparse::CsrMatrix;
 
     /// An oracle scorer that knows the test set scores perfectly.
-    fn oracle(test: &CsrMatrix) -> impl FnMut(usize, &mut Vec<f64>) + '_ {
-        move |u, buf| {
+    fn oracle(test: &CsrMatrix) -> FnScorer<impl Fn(usize, &mut Vec<f64>) + Send + Sync + '_> {
+        FnScorer::new("oracle", test.n_rows(), test.n_cols(), move |u, buf| {
             for &i in test.row(u) {
                 buf[i as usize] = 1.0;
             }
-        }
+        })
     }
 
     #[test]
     fn oracle_achieves_perfect_metrics() {
         let train = CsrMatrix::from_pairs(2, 5, &[(0, 0), (1, 1)]).unwrap();
         let test = CsrMatrix::from_pairs(2, 5, &[(0, 2), (0, 3), (1, 4)]).unwrap();
-        let report = evaluate(oracle(&test), &train, &test, 3);
+        let report = evaluate(&oracle(&test), &train, &test, 3);
         assert_eq!(report.evaluated_users, 2);
         assert!((report.recall - 1.0).abs() < 1e-12);
         assert!((report.map - 1.0).abs() < 1e-12);
@@ -125,16 +128,12 @@ mod tests {
         let train = CsrMatrix::from_pairs(1, 6, &[(0, 0)]).unwrap();
         let test = CsrMatrix::from_pairs(1, 6, &[(0, 5)]).unwrap();
         // scores that rank the held-out item last
-        let report = evaluate(
-            |_, buf| {
-                for (i, b) in buf.iter_mut().enumerate() {
-                    *b = -(i as f64);
-                }
-            },
-            &train,
-            &test,
-            3,
-        );
+        let worst = FnScorer::new("adversary", 1, 6, |_, buf| {
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = -(i as f64);
+            }
+        });
+        let report = evaluate(&worst, &train, &test, 3);
         assert_eq!(report.recall, 0.0);
         assert_eq!(report.map, 0.0);
     }
@@ -143,7 +142,7 @@ mod tests {
     fn users_without_test_positives_skipped() {
         let train = CsrMatrix::from_pairs(3, 4, &[(0, 0), (1, 0), (2, 0)]).unwrap();
         let test = CsrMatrix::from_pairs(3, 4, &[(1, 2)]).unwrap();
-        let report = evaluate(oracle(&test), &train, &test, 2);
+        let report = evaluate(&oracle(&test), &train, &test, 2);
         assert_eq!(report.evaluated_users, 1);
         assert_eq!(report.recall, 1.0);
     }
@@ -153,7 +152,8 @@ mod tests {
         let train = CsrMatrix::from_pairs(1, 4, &[(0, 0), (0, 1)]).unwrap();
         let test = CsrMatrix::from_pairs(1, 4, &[(0, 3)]).unwrap();
         // uniform scores: the ranking can only contain items 2 and 3
-        let report = evaluate(|_, buf| buf.fill(1.0), &train, &test, 2);
+        let uniform = FnScorer::new("uniform", 1, 4, |_, buf| buf.fill(1.0));
+        let report = evaluate(&uniform, &train, &test, 2);
         assert_eq!(report.recall, 1.0, "item 3 must appear in the top 2");
     }
 

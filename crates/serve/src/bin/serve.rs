@@ -1,18 +1,26 @@
-//! JSON-lines serving CLI.
+//! JSON-lines serving CLI — polymorphic over model kinds.
 //!
 //! Two modes:
 //!
-//! **Train & snapshot** — fit OCuLaR on an edge list and write a serving
-//! snapshot (model + co-cluster index):
+//! **Train & snapshot** — fit a model on an edge list and write a
+//! kind-tagged serving snapshot:
 //!
 //! ```text
 //! serve --train data.tsv --snapshot model.snap \
-//!       [--k 8] [--lambda 0.5] [--iters 60] [--seed 0] [--rel 0.5] [--floor 100] [--sep '\t']
+//!       [--algo ocular|wals|bpr|user-knn|item-knn|popularity] \
+//!       [--k 8] [--lambda 0.5] [--iters 60] [--seed 0] [--sep '\t'] \
+//!       [--rel 0.5] [--floor 100]        (ocular index build) \
+//!       [--b 0.01] [--lr 0.05]           (wals / bpr)
 //! ```
 //!
-//! **Serve** — load a snapshot plus the training interactions (for
-//! owned-item exclusion), read one JSON request per stdin line, write one
-//! JSON response per stdout line, in order:
+//! `--k` is the latent dimensionality for the factor models and the
+//! neighbourhood size for the kNN variants; `--iters` maps to each
+//! fitter's sweep/epoch knob; `--lambda` is each model's own
+//! regularization (defaults differ per algorithm).
+//!
+//! **Serve** — load a snapshot of *any* kind plus the training
+//! interactions (for owned-item exclusion), read one JSON request per
+//! stdin line, write one JSON response per stdout line, in order:
 //!
 //! ```text
 //! serve --model model.snap --interactions data.tsv \
@@ -20,18 +28,23 @@
 //!       [--lambda 0.5] [--threads N] [--batch 256] [--sep '\t']
 //! ```
 //!
-//! `--lambda` is the regularization the cold-start fold-in solves with;
-//! pass the value the model was trained with (both modes default to 0.5).
+//! `--lambda` here is the regularization the OCuLaR cold-start fold-in
+//! solves with; pass the value the model was trained with (both modes
+//! default to 0.5). Baseline kinds carry their fold-in parameters inside
+//! the snapshot. The `clusters` candidate mode only applies to `ocular`
+//! snapshots; other kinds are always served against the full catalog.
 //!
 //! Requests: `{"user": 17}` or `{"user": 17, "m": 5}` for warm users,
 //! `{"basket": [0, 4, 9], "m": 5}` for cold-start fold-in. Responses echo
 //! the request key and carry `items`, `probs`, `scored`, `fallback`;
-//! failures become `{"error": "..."}` without aborting the stream.
+//! failures (including cold requests against kinds without fold-in)
+//! become `{"error": "..."}` without aborting the stream.
 //! User/item indices are the snapshot's internal (compacted) ids.
 
+use ocular_baselines::{Bpr, BprConfig, ItemKnn, KnnConfig, Popularity, UserKnn, Wals, WalsConfig};
 use ocular_core::{fit, OcularConfig};
 use ocular_serve::json::{obj, Json};
-use ocular_serve::{CandidatePolicy, Request, ServeConfig, ServeEngine, Snapshot};
+use ocular_serve::{AnySnapshot, CandidatePolicy, Request, ServeConfig, ServeEngine, Snapshot};
 use ocular_sparse::io::read_edge_list;
 use std::io::{BufRead, BufWriter, Write};
 use std::process::ExitCode;
@@ -87,29 +100,77 @@ fn train_mode(flags: &Flags) -> Result<(), String> {
         .get("snapshot")
         .ok_or("--train requires --snapshot <path>")?;
     let sep = flags.get("sep").unwrap_or("\t");
+    let algo = flags.get("algo").unwrap_or("ocular");
     let r = load_matrix(data, sep)?;
-    let cfg = OcularConfig {
-        k: flags.num("k", 8),
-        lambda: flags.num("lambda", 0.5),
-        max_iters: flags.num("iters", 60),
-        seed: flags.num("seed", 0),
-        ..Default::default()
-    };
+    let seed = flags.num("seed", 0u64);
     let t0 = std::time::Instant::now();
-    let model = fit(&r, &cfg).model;
-    let index_cfg = ocular_serve::IndexConfig {
-        rel: flags.num("rel", 0.5),
-        floor: flags.num("floor", 100),
+    let snapshot: AnySnapshot = match algo {
+        "ocular" => {
+            let cfg = OcularConfig {
+                k: flags.num("k", 8),
+                lambda: flags.num("lambda", 0.5),
+                max_iters: flags.num("iters", 60),
+                seed,
+                ..Default::default()
+            };
+            let model = fit(&r, &cfg).model;
+            let index_cfg = ocular_serve::IndexConfig {
+                rel: flags.num("rel", 0.5),
+                floor: flags.num("floor", 100),
+            };
+            AnySnapshot::Ocular(Snapshot::build(model, &index_cfg))
+        }
+        "wals" => {
+            let cfg = WalsConfig {
+                k: flags.num("k", 16),
+                b: flags.num("b", 0.01),
+                lambda: flags.num("lambda", 0.01),
+                iters: flags.num("iters", 15),
+                seed,
+                ..Default::default()
+            };
+            AnySnapshot::Other(Box::new(
+                Wals::try_fit(&r, &cfg).map_err(|e| e.to_string())?,
+            ))
+        }
+        "bpr" => {
+            let cfg = BprConfig {
+                k: flags.num("k", 16),
+                lambda: flags.num("lambda", 0.01),
+                learning_rate: flags.num("lr", 0.05),
+                epochs: flags.num("iters", 30),
+                seed,
+                ..Default::default()
+            };
+            AnySnapshot::Other(Box::new(Bpr::try_fit(&r, &cfg).map_err(|e| e.to_string())?))
+        }
+        "user-knn" => {
+            let cfg = KnnConfig {
+                k: flags.num("k", 50),
+            };
+            AnySnapshot::Other(Box::new(UserKnn::fit(&r, &cfg)))
+        }
+        "item-knn" => {
+            let cfg = KnnConfig {
+                k: flags.num("k", 50),
+            };
+            AnySnapshot::Other(Box::new(ItemKnn::fit(&r, &cfg)))
+        }
+        "popularity" => AnySnapshot::Other(Box::new(Popularity::fit(&r))),
+        other => {
+            return Err(format!(
+                "--algo must be one of ocular|wals|bpr|user-knn|item-knn|popularity, got `{other}`"
+            ))
+        }
     };
-    let snapshot = Snapshot::build(model, &index_cfg);
     let mut file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
     snapshot.save(&mut file).map_err(|e| e.to_string())?;
     eprintln!(
-        "trained {}×{} (nnz={}) k={} in {:.2}s → {out}",
+        "trained {} on {}×{} (nnz={}) in {:.2}s → {out}",
+        snapshot.kind(),
         r.n_rows(),
         r.n_cols(),
         r.nnz(),
-        cfg.k,
         t0.elapsed().as_secs_f64()
     );
     Ok(())
@@ -186,7 +247,9 @@ fn serve_mode(flags: &Flags) -> Result<(), String> {
         .ok_or("serving requires --interactions <edge list> (owned-item exclusion)")?;
     let sep = flags.get("sep").unwrap_or("\t");
     let file = std::fs::File::open(snap_path).map_err(|e| format!("open {snap_path}: {e}"))?;
-    let snapshot = Snapshot::load(&mut std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
+    let snapshot =
+        AnySnapshot::load(&mut std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
+    let kind = snapshot.kind();
     let r = load_matrix(data, sep)?;
 
     let candidates = match flags.get("mode").unwrap_or("clusters") {
@@ -212,7 +275,8 @@ fn serve_mode(flags: &Flags) -> Result<(), String> {
         },
         ..Default::default()
     };
-    let engine = ServeEngine::new(snapshot, r, cfg)?;
+    let engine = ServeEngine::from_any(snapshot, r, cfg).map_err(|e| e.to_string())?;
+    eprintln!("serving `{kind}` snapshot from {snap_path}");
     let threads = flags.get("threads").and_then(|v| v.parse().ok());
     let batch_size: usize = flags.num("batch", 256).max(1);
 

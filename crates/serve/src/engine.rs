@@ -1,15 +1,23 @@
 //! The in-process serving engine: candidate generation, heap selection,
-//! cold-start fold-in, and rayon-parallel batching.
+//! cold-start fold-in, and rayon-parallel batching — polymorphic over
+//! model kinds.
+//!
+//! OCuLaR models keep their specialised request path (co-cluster candidate
+//! generation against the [`ClusterIndex`], factor-level scoring); every
+//! other kind is served through the [`ocular_api`] trait hierarchy, with
+//! [`CandidatePolicy::Clusters`] degrading gracefully to the full catalog
+//! — non-co-clustered models have no cluster structure to generate
+//! candidates from, so they are served exactly.
 
 use crate::index::{ClusterIndex, IndexConfig};
-use crate::snapshot::Snapshot;
+use crate::snapshot::{AnySnapshot, Snapshot, OCULAR_KIND};
+use ocular_api::{validate_basket, Model, OcularError};
 use ocular_core::model::prob_from_affinity;
 use ocular_core::topm::{top_m_excluding, TopM};
 use ocular_core::{fold_in_user, FactorModel, OcularConfig, Recommendation};
 use ocular_linalg::ops;
-use ocular_sparse::{col_index, CsrMatrix};
+use ocular_sparse::CsrMatrix;
 use rayon::prelude::*;
-use std::fmt;
 
 /// How the engine picks the items a request scores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,6 +29,7 @@ pub enum CandidatePolicy {
     /// [`ClusterIndex`]. Falls back to the full catalog when fewer than
     /// `max(m, min_candidates)` un-owned candidates are reachable, so thin
     /// cluster coverage degrades to exact serving instead of short lists.
+    /// Non-co-clustered model kinds always take the full-catalog path.
     Clusters {
         /// Fallback floor on usable (un-owned) candidates.
         min_candidates: usize,
@@ -36,8 +45,9 @@ pub struct ServeConfig {
     pub candidates: CandidatePolicy,
     /// Solver budget for cold-start fold-in (projected-gradient steps).
     pub foldin_steps: usize,
-    /// Training hyper-parameters reused by the cold-start fold-in solve
-    /// (only `lambda`, `sigma`, `beta`, `max_backtracks` matter here).
+    /// Training hyper-parameters reused by the OCuLaR cold-start fold-in
+    /// solve (only `lambda`, `sigma`, `beta`, `max_backtracks` matter
+    /// here).
     pub foldin: OcularConfig,
 }
 
@@ -63,7 +73,9 @@ pub enum Request {
         m: usize,
     },
     /// A cold-start user described only by a basket of item indices; the
-    /// affiliation vector is folded in at request time (Section VIII).
+    /// model's [`ocular_api::FoldIn`] capability scores it at request time
+    /// (Section VIII). Model kinds without that capability answer with
+    /// [`OcularError::Unsupported`].
     Cold {
         /// Items the unseen user has interacted with.
         basket: Vec<usize>,
@@ -75,106 +87,155 @@ pub enum Request {
 /// A served recommendation list plus serving telemetry.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServedList {
-    /// The top-M list, probability descending, ties by ascending item.
+    /// The top-M list, score descending, ties by ascending item.
     pub items: Vec<Recommendation>,
     /// Number of items actually scored for this request.
     pub scored: usize,
-    /// Whether the cluster policy fell back to the full catalog.
+    /// Whether the cluster policy fell back to the full catalog (always
+    /// true under [`CandidatePolicy::Clusters`] for non-co-clustered
+    /// kinds).
     pub fell_back: bool,
 }
 
-/// Request-level serving failures.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ServeError {
-    /// A warm request named a row outside the training matrix.
-    UnknownUser {
-        /// The requested user index.
-        user: usize,
-        /// Number of users the engine knows.
-        n_users: usize,
+/// Request-level serving failures — the workspace-wide
+/// [`OcularError`].
+pub type ServeError = OcularError;
+
+/// The model a loaded snapshot put behind the engine.
+enum EngineModel {
+    /// OCuLaR: factor model + co-cluster candidate index (the specialised
+    /// fast path).
+    Ocular {
+        model: FactorModel,
+        index: ClusterIndex,
     },
-    /// A cold request's basket was unusable (out-of-range or duplicate
-    /// items).
-    BadBasket(
-        /// Human-readable description.
-        String,
-    ),
+    /// Any other kind, served through the trait hierarchy.
+    Generic(Box<dyn Model>),
 }
 
-impl fmt::Display for ServeError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl EngineModel {
+    fn n_users(&self) -> usize {
         match self {
-            ServeError::UnknownUser { user, n_users } => {
-                write!(f, "unknown user {user} (engine has {n_users} warm users)")
-            }
-            ServeError::BadBasket(msg) => write!(f, "bad basket: {msg}"),
+            EngineModel::Ocular { model, .. } => model.n_users(),
+            EngineModel::Generic(m) => m.n_users(),
+        }
+    }
+
+    fn n_items(&self) -> usize {
+        match self {
+            EngineModel::Ocular { model, .. } => model.n_items(),
+            EngineModel::Generic(m) => m.n_items(),
         }
     }
 }
 
-impl std::error::Error for ServeError {}
-
 /// The in-process serving engine.
 ///
-/// Holds a fitted [`FactorModel`], the [`ClusterIndex`] for candidate
-/// generation, and the training interactions (for owned-item exclusion).
-/// All serving methods take `&self`, so one engine can be shared across
-/// threads; [`ServeEngine::serve_batch`] does exactly that via rayon.
-#[derive(Debug, Clone)]
+/// Holds the loaded model (any snapshot kind) and the training
+/// interactions (for owned-item exclusion). All serving methods take
+/// `&self`, so one engine can be shared across threads;
+/// [`ServeEngine::serve_batch`] does exactly that via rayon.
 pub struct ServeEngine {
-    model: FactorModel,
-    index: ClusterIndex,
+    model: EngineModel,
     owned: CsrMatrix,
     cfg: ServeConfig,
 }
 
 impl ServeEngine {
-    /// Builds an engine from a loaded snapshot and the training
+    /// Builds an engine from a loaded OCuLaR snapshot and the training
     /// interactions. The interactions must match the model's shape.
     pub fn new(
         snapshot: Snapshot,
         interactions: CsrMatrix,
         cfg: ServeConfig,
-    ) -> Result<Self, String> {
-        if interactions.n_rows() != snapshot.model.n_users()
-            || interactions.n_cols() != snapshot.model.n_items()
-        {
-            return Err(format!(
-                "interactions are {}×{} but the model is {}×{}",
-                interactions.n_rows(),
-                interactions.n_cols(),
-                snapshot.model.n_users(),
-                snapshot.model.n_items()
-            ));
+    ) -> Result<Self, OcularError> {
+        Self::from_any(AnySnapshot::Ocular(snapshot), interactions, cfg)
+    }
+
+    /// Builds an engine from a snapshot of *any* model kind.
+    pub fn from_any(
+        snapshot: AnySnapshot,
+        interactions: CsrMatrix,
+        cfg: ServeConfig,
+    ) -> Result<Self, OcularError> {
+        let model = match snapshot {
+            AnySnapshot::Ocular(s) => EngineModel::Ocular {
+                model: s.model,
+                index: s.index,
+            },
+            AnySnapshot::Other(m) => EngineModel::Generic(m),
+        };
+        if interactions.n_rows() != model.n_users() || interactions.n_cols() != model.n_items() {
+            return Err(OcularError::ShapeMismatch {
+                expected: (model.n_users(), model.n_items()),
+                found: (interactions.n_rows(), interactions.n_cols()),
+            });
         }
         Ok(ServeEngine {
-            model: snapshot.model,
-            index: snapshot.index,
+            model,
             owned: interactions,
             cfg,
         })
     }
 
+    /// Builds an engine around any boxed [`Model`] (no snapshot file
+    /// involved) — the programmatic path for baseline kinds.
+    pub fn from_recommender(
+        model: Box<dyn Model>,
+        interactions: CsrMatrix,
+        cfg: ServeConfig,
+    ) -> Result<Self, OcularError> {
+        Self::from_any(AnySnapshot::Other(model), interactions, cfg)
+    }
+
     /// Convenience constructor: derives the snapshot (index included) from
-    /// a model with the given index build parameters (see
+    /// an OCuLaR model with the given index build parameters (see
     /// [`ClusterIndex::build`]).
     pub fn from_model(
         model: FactorModel,
         interactions: CsrMatrix,
         index_cfg: &IndexConfig,
         cfg: ServeConfig,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, OcularError> {
         Self::new(Snapshot::build(model, index_cfg), interactions, cfg)
     }
 
-    /// The engine's model.
+    /// The engine's factor model.
+    ///
+    /// # Panics
+    /// Panics if the engine serves a non-OCuLaR kind; check
+    /// [`ServeEngine::kind`] first, or use the trait-level accessors.
     pub fn model(&self) -> &FactorModel {
-        &self.model
+        match &self.model {
+            EngineModel::Ocular { model, .. } => model,
+            EngineModel::Generic(m) => {
+                panic!("engine serves kind `{}`, not an OCuLaR model", m.kind())
+            }
+        }
     }
 
     /// The engine's candidate-generation index.
+    ///
+    /// # Panics
+    /// Panics if the engine serves a non-OCuLaR kind (no index exists).
     pub fn index(&self) -> &ClusterIndex {
-        &self.index
+        match &self.model {
+            EngineModel::Ocular { index, .. } => index,
+            EngineModel::Generic(m) => {
+                panic!(
+                    "engine serves kind `{}`, which has no cluster index",
+                    m.kind()
+                )
+            }
+        }
+    }
+
+    /// The kind tag of the model being served.
+    pub fn kind(&self) -> &'static str {
+        match &self.model {
+            EngineModel::Ocular { .. } => OCULAR_KIND,
+            EngineModel::Generic(m) => m.kind(),
+        }
     }
 
     /// The engine's configuration.
@@ -219,76 +280,101 @@ impl ServeEngine {
 
     fn serve_warm(&self, user: usize, m: usize) -> Result<ServedList, ServeError> {
         if user >= self.model.n_users() {
-            return Err(ServeError::UnknownUser {
+            return Err(OcularError::UnknownUser {
                 user,
                 n_users: self.model.n_users(),
             });
         }
-        let factors = self.model.user_factors.row(user);
-        Ok(self.select(factors, self.owned.row(user), m))
+        match &self.model {
+            EngineModel::Ocular { model, .. } => {
+                let factors = model.user_factors.row(user);
+                Ok(self.select(model, factors, self.owned.row(user), m))
+            }
+            EngineModel::Generic(model) => {
+                let mut scores = Vec::new();
+                model.score_user(user, &mut scores);
+                Ok(self.select_scores(&scores, self.owned.row(user), m))
+            }
+        }
     }
 
     fn serve_cold(&self, basket: &[usize], m: usize) -> Result<ServedList, ServeError> {
-        let mut exclude: Vec<u32> = Vec::with_capacity(basket.len());
-        for &i in basket {
-            if i >= self.model.n_items() {
-                return Err(ServeError::BadBasket(format!(
-                    "item {i} out of range for {} items",
-                    self.model.n_items()
-                )));
+        let exclude = validate_basket(basket, self.model.n_items())?;
+        match &self.model {
+            EngineModel::Ocular { model, .. } => {
+                let fold =
+                    fold_in_user(model, basket, &self.cfg.foldin, 1.0, self.cfg.foldin_steps);
+                Ok(self.select(model, &fold.factors, &exclude, m))
             }
-            exclude.push(col_index(i));
+            EngineModel::Generic(model) => {
+                let fold_in = model.as_fold_in().ok_or(OcularError::Unsupported {
+                    kind: model.name(),
+                    capability: "cold-start fold-in",
+                })?;
+                let mut scores = Vec::new();
+                fold_in.score_basket(basket, &mut scores)?;
+                Ok(self.select_scores(&scores, &exclude, m))
+            }
         }
-        exclude.sort_unstable();
-        if exclude.windows(2).any(|w| w[0] == w[1]) {
-            return Err(ServeError::BadBasket("duplicate items".into()));
-        }
-        let fold = fold_in_user(
-            &self.model,
-            basket,
-            &self.cfg.foldin,
-            1.0,
-            self.cfg.foldin_steps,
-        );
-        Ok(self.select(&fold.factors, &exclude, m))
     }
 
-    /// Core selection: candidate generation per policy, then bounded-heap
-    /// top-M with the workspace ties convention (probability descending,
-    /// ties by ascending item index). `exclude` is ascending.
-    fn select(&self, factors: &[f64], exclude: &[u32], m: usize) -> ServedList {
+    /// Generic selection over a dense score vector: the whole catalog is
+    /// scored, then selected through the shared bounded-heap kernel. Under
+    /// the cluster policy this *is* the fallback path, so `fell_back`
+    /// reports it as such.
+    fn select_scores(&self, scores: &[f64], exclude: &[u32], m: usize) -> ServedList {
+        ServedList {
+            items: top_m_excluding(scores, exclude, m),
+            scored: scores.len(),
+            fell_back: !matches!(self.cfg.candidates, CandidatePolicy::FullCatalog),
+        }
+    }
+
+    /// OCuLaR core selection: candidate generation per policy, then
+    /// bounded-heap top-M with the workspace ties convention (probability
+    /// descending, ties by ascending item index). `exclude` is ascending.
+    fn select(
+        &self,
+        model: &FactorModel,
+        factors: &[f64],
+        exclude: &[u32],
+        m: usize,
+    ) -> ServedList {
         if let CandidatePolicy::Clusters { min_candidates } = self.cfg.candidates {
-            let candidates = self.index.candidates(factors);
+            let index = self.index();
+            let candidates = index.candidates(factors);
             // usable = candidates not excluded (both lists ascending)
             let usable = candidates.len() - intersection_size(&candidates, exclude);
             if usable >= m.max(min_candidates) {
-                return self.select_candidates(factors, &candidates, exclude, m);
+                return self.select_candidates(model, factors, &candidates, exclude, m);
             }
         }
-        self.select_full(factors, exclude, m)
+        self.select_full(model, factors, exclude, m)
     }
 
     /// Scores the full catalog. For a warm user this computes exactly the
     /// floats of [`FactorModel::score_user`] and selects through the same
     /// kernel as [`ocular_core::recommend_top_m`], hence bitwise-identical
     /// lists.
-    fn select_full(&self, factors: &[f64], exclude: &[u32], m: usize) -> ServedList {
-        let n = self.model.n_items();
+    fn select_full(
+        &self,
+        model: &FactorModel,
+        factors: &[f64],
+        exclude: &[u32],
+        m: usize,
+    ) -> ServedList {
+        let n = model.n_items();
         let mut scores = vec![0.0; n];
         for (i, s) in scores.iter_mut().enumerate() {
-            *s = prob_from_affinity(ops::dot(factors, self.model.item_factors.row(i)));
+            *s = prob_from_affinity(ops::dot(factors, model.item_factors.row(i)));
         }
-        let items = top_m_excluding(&scores, exclude, m);
-        ServedList {
-            items,
-            scored: n,
-            fell_back: !matches!(self.cfg.candidates, CandidatePolicy::FullCatalog),
-        }
+        self.select_scores(&scores, exclude, m)
     }
 
     /// Scores only the candidate list (ascending), skipping exclusions.
     fn select_candidates(
         &self,
+        model: &FactorModel,
         factors: &[f64],
         candidates: &[u32],
         exclude: &[u32],
@@ -306,7 +392,7 @@ impl ServeEngine {
                 cursor += 1;
                 continue;
             }
-            let p = prob_from_affinity(ops::dot(factors, self.model.item_factors.row(item)));
+            let p = prob_from_affinity(ops::dot(factors, model.item_factors.row(item)));
             heap.push(item, p);
             scored += 1;
         }
@@ -338,6 +424,8 @@ fn intersection_size(a: &[u32], b: &[u32]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ocular_api::Recommender as _;
+    use ocular_baselines::{ItemKnn, KnnConfig, Popularity, UserKnn};
     use ocular_core::{fit, recommend_top_m};
     use ocular_datasets::planted::{generate, PlantedConfig};
 
@@ -389,6 +477,7 @@ mod tests {
     #[test]
     fn full_catalog_matches_recommend_top_m_bitwise() {
         let (e, r) = engine(CandidatePolicy::FullCatalog);
+        assert_eq!(e.kind(), "ocular");
         for u in 0..e.model().n_users() {
             let served = e.serve_one(&Request::Warm { user: u, m: 10 }).unwrap();
             assert_eq!(served.items, recommend_top_m(e.model(), &r, u, 10));
@@ -491,13 +580,84 @@ mod tests {
     fn shape_mismatch_rejected() {
         let (model, _r, _) = trained();
         let bad = CsrMatrix::empty(3, 3);
-        assert!(ServeEngine::from_model(
-            model,
-            bad,
-            &IndexConfig::default(),
-            ServeConfig::default()
+        assert!(matches!(
+            ServeEngine::from_model(model, bad, &IndexConfig::default(), ServeConfig::default()),
+            Err(OcularError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn generic_kind_served_exactly_with_cluster_policy_degrading() {
+        let (_, r, _) = trained();
+        let knn = ItemKnn::fit(&r, &KnnConfig { k: 10 });
+        let e = ServeEngine::from_recommender(
+            Box::new(knn.clone()),
+            r.clone(),
+            ServeConfig {
+                default_m: 5,
+                candidates: CandidatePolicy::Clusters { min_candidates: 5 },
+                ..Default::default()
+            },
         )
-        .is_err());
+        .unwrap();
+        assert_eq!(e.kind(), "item-knn");
+        for u in 0..r.n_rows() {
+            let served = e.serve_one(&Request::Warm { user: u, m: 7 }).unwrap();
+            assert!(served.fell_back, "cluster policy must degrade to exact");
+            assert_eq!(served.scored, r.n_cols());
+            let want = knn.recommend(u, r.row(u), 7).unwrap();
+            assert_eq!(served.items.len(), want.len());
+            for (a, b) in served.items.iter().zip(&want) {
+                assert_eq!((a.item, a.probability), (b.item, b.score));
+            }
+        }
+        // cold start flows through the model's FoldIn capability
+        let served = e
+            .serve_one(&Request::Cold {
+                basket: vec![0, 1],
+                m: 5,
+            })
+            .unwrap();
+        assert_eq!(served.items.len(), 5);
+        assert!(served.items.iter().all(|x| ![0, 1].contains(&x.item)));
+    }
+
+    #[test]
+    fn generic_kind_without_fold_in_rejects_cold_requests() {
+        let (_, r, _) = trained();
+        let e = ServeEngine::from_recommender(
+            Box::new(UserKnn::fit(&r, &KnnConfig { k: 10 })),
+            r.clone(),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        assert!(matches!(
+            e.serve_one(&Request::Cold {
+                basket: vec![0],
+                m: 3
+            }),
+            Err(OcularError::Unsupported { .. })
+        ));
+        // warm requests still serve
+        assert!(e.serve_one(&Request::Warm { user: 0, m: 3 }).is_ok());
+    }
+
+    #[test]
+    fn generic_batch_deterministic_across_threads() {
+        let (_, r, _) = trained();
+        let e = ServeEngine::from_recommender(
+            Box::new(Popularity::fit(&r)),
+            r.clone(),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        let reqs: Vec<Request> = (0..r.n_rows())
+            .map(|user| Request::Warm { user, m: 6 })
+            .collect();
+        let reference = e.serve_batch_threads(&reqs, Some(1));
+        for threads in [2usize, 4] {
+            assert_eq!(e.serve_batch_threads(&reqs, Some(threads)), reference);
+        }
     }
 
     #[test]

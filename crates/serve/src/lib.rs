@@ -8,10 +8,12 @@
 //!
 //! ## What serving adds over batch evaluation
 //!
-//! * **Snapshots** ([`snapshot`]) — a versioned on-disk artifact wrapping
-//!   the `ocular-model v1` format plus a `cocluster-index v1` section, with
-//!   truncation/corruption detection, so trainer and server can disagree
-//!   loudly instead of silently.
+//! * **Snapshots** ([`snapshot`]) — a versioned, **kind-tagged** on-disk
+//!   artifact (`ocular-snapshot v2 <kind>`) with truncation/corruption
+//!   detection. Every model kind in the workspace zoo (`ocular`, `wals`,
+//!   `bpr`, `user-knn`, `item-knn`, `popularity`) snapshots through
+//!   [`ocular_api::SnapshotModel`] and loads back through
+//!   [`AnySnapshot`]; legacy v1 OCuLaR snapshots still load.
 //! * **Candidate generation** ([`index`]) — per-cluster inverted item
 //!   lists built once at load; a request scores only items reachable from
 //!   the requester's co-clusters, with a full-catalog fallback knob
@@ -21,8 +23,10 @@
 //!   sort; in [`CandidatePolicy::FullCatalog`] mode the served lists are
 //!   **bitwise identical** to [`ocular_core::recommend_top_m`].
 //! * **Cold start** — unseen users are folded in at request time
-//!   ([`ocular_core::fold_in_user`]), then served through the same
-//!   selection path.
+//!   (OCuLaR via [`ocular_core::fold_in_user`]; other kinds through their
+//!   [`ocular_api::FoldIn`] capability, with a typed
+//!   [`ocular_api::OcularError::Unsupported`] answer where the algorithm
+//!   admits none), then served through the same selection path.
 //! * **Batching** ([`ServeEngine::serve_batch`]) — rayon-parallel over
 //!   requests, deterministic in request order and output regardless of
 //!   thread count.
@@ -57,4 +61,4 @@ pub mod snapshot;
 
 pub use engine::{CandidatePolicy, Request, ServeConfig, ServeEngine, ServeError, ServedList};
 pub use index::{ClusterIndex, IndexConfig};
-pub use snapshot::Snapshot;
+pub use snapshot::{AnySnapshot, Snapshot, OCULAR_KIND};

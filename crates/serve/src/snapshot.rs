@@ -1,37 +1,63 @@
-//! Versioned serving snapshots: factor model + co-cluster index.
+//! Versioned serving snapshots — kind-tagged, polymorphic over model kinds.
 //!
-//! A snapshot is what training ships to the serving tier. It wraps the
-//! existing [`FactorModel::save`] text format (`ocular-model v1`) in an
-//! outer envelope and appends a versioned co-cluster index section, so an
-//! engine can come up without re-deriving the inverted lists from the
-//! factors, and so format drift between trainer and server fails loudly at
-//! load instead of corrupting lists at request time.
+//! A snapshot is what training ships to the serving tier. The **v2**
+//! envelope tags the payload with its model kind, so one serving binary
+//! loads and serves *any* model in the workspace zoo:
 //!
 //! ```text
-//! ocular-snapshot v1
-//! ocular-model v1 <n_users> <n_items> <k_total> <bias>
-//! <n_users + n_items factor lines>
-//! cocluster-index v1 <n_clusters> <n_items> <rel>
-//! <n_clusters lines: "<len> <ascending item ids>">
+//! ocular-snapshot v2 <kind>
+//! <kind-specific model payload, self-delimiting>
+//! [cocluster-index v1 <n_clusters> <n_items> <rel>      (kind = ocular only)
+//!  <n_clusters lines: "<len> <ascending item ids>">]
 //! ocular-snapshot end
 //! ```
 //!
-//! The trailing sentinel makes truncation detectable: a snapshot cut off at
-//! any point — mid-factors, mid-index, or missing the last line — is
-//! rejected with `InvalidData`.
+//! For `kind = ocular` the payload is the `ocular-model v1` text format
+//! plus the co-cluster candidate-generation index (built at snapshot time
+//! so an engine can come up without re-deriving the inverted lists). For
+//! the baselines the payload is each model's
+//! [`SnapshotModel`] format (`wals-model v1`, `bpr-model v1`, …).
+//!
+//! **v1 snapshots still load**: the v1 envelope (`ocular-snapshot v1`) is
+//! the OCuLaR-only predecessor with a byte-identical body, and both
+//! [`Snapshot::load`] and [`AnySnapshot::load`] accept it.
+//!
+//! The trailing sentinel makes truncation detectable: a snapshot cut off
+//! at any point — mid-factors, mid-index, or missing the last line — is
+//! rejected instead of mis-loading.
 
 use crate::index::{ClusterIndex, IndexConfig};
+use ocular_api::{Model, OcularError, SnapshotModel};
+use ocular_baselines::{Bpr, ItemKnn, Popularity, UserKnn, Wals};
 use ocular_core::FactorModel;
 use std::io::{BufRead, Write};
 
-/// Magic first line of the snapshot envelope.
-const HEADER: &str = "ocular-snapshot v1";
+/// Magic first line of the legacy (OCuLaR-only) snapshot envelope.
+const V1_HEADER: &str = "ocular-snapshot v1";
+/// Prefix of the kind-tagged v2 envelope header.
+const V2_PREFIX: &str = "ocular-snapshot v2";
 /// Magic line opening the index section.
 const INDEX_HEADER: &str = "cocluster-index v1";
 /// Trailing sentinel proving the snapshot was written to completion.
 const FOOTER: &str = "ocular-snapshot end";
+/// The kind tag of OCuLaR snapshots (canonically defined on
+/// [`FactorModel::KIND`], mirrored here for envelope dispatch).
+pub const OCULAR_KIND: &str = FactorModel::KIND;
 
-/// A serving snapshot: the fitted model plus its candidate-generation index.
+fn bad(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+fn read_line<R: BufRead + ?Sized>(r: &mut R) -> std::io::Result<String> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(bad("truncated snapshot".into()));
+    }
+    Ok(line.trim_end_matches(['\n', '\r']).to_string())
+}
+
+/// An OCuLaR serving snapshot: the fitted factor model plus its
+/// candidate-generation index.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
     /// The fitted factor model.
@@ -48,10 +74,11 @@ impl Snapshot {
         Snapshot { model, index }
     }
 
-    /// Serialises the snapshot (model + index + sentinel) to a writer.
+    /// Serialises the snapshot (v2 envelope: model + index + sentinel) to
+    /// a writer.
     pub fn save<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
         let mut w = std::io::BufWriter::new(w);
-        writeln!(w, "{HEADER}")?;
+        writeln!(w, "{V2_PREFIX} {OCULAR_KIND}")?;
         self.model.save(&mut w)?;
         writeln!(
             w,
@@ -72,23 +99,23 @@ impl Snapshot {
         w.flush()
     }
 
-    /// Loads a snapshot produced by [`Snapshot::save`], validating the
-    /// envelope, the index section shape, bounds, ordering, and the
-    /// trailing sentinel. Any corruption or truncation is an
-    /// `InvalidData` error.
+    /// Loads an OCuLaR snapshot, accepting both the v1 envelope and a v2
+    /// envelope tagged `ocular`, and validating the envelope, the index
+    /// section shape, bounds, ordering, and the trailing sentinel. Any
+    /// corruption or truncation is an `InvalidData` error.
     pub fn load<R: BufRead>(r: &mut R) -> std::io::Result<Snapshot> {
-        let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
-        let read_line = |r: &mut R| -> std::io::Result<String> {
-            let mut line = String::new();
-            if r.read_line(&mut line)? == 0 {
-                return Err(bad("truncated snapshot".into()));
-            }
-            Ok(line.trim_end_matches(['\n', '\r']).to_string())
-        };
-
-        if read_line(r)? != HEADER {
-            return Err(bad(format!("bad snapshot header, expected `{HEADER}`")));
+        let header = read_line(r)?;
+        if header != V1_HEADER && header != format!("{V2_PREFIX} {OCULAR_KIND}") {
+            return Err(bad(format!(
+                "bad snapshot header, expected `{V1_HEADER}` or `{V2_PREFIX} {OCULAR_KIND}`"
+            )));
         }
+        Self::load_body(r)
+    }
+
+    /// Parses the envelope body after the header line: model, index,
+    /// footer.
+    fn load_body<R: BufRead>(r: &mut R) -> std::io::Result<Snapshot> {
         let model = FactorModel::load(r)?;
 
         let header = read_line(r)?;
@@ -141,7 +168,8 @@ impl Snapshot {
             }
             items.push(list);
         }
-        let index = ClusterIndex::from_parts(rel, n_items, items).map_err(bad)?;
+        let index =
+            ClusterIndex::from_parts(rel, n_items, items).map_err(|e| bad(e.to_string()))?;
 
         if read_line(r)? != FOOTER {
             return Err(bad(format!("missing `{FOOTER}` sentinel")));
@@ -150,10 +178,103 @@ impl Snapshot {
     }
 }
 
+/// A snapshot of *any* model kind — what the polymorphic serving path
+/// loads. OCuLaR snapshots keep their candidate-generation index; every
+/// other kind is a bare [`Model`] trait object.
+pub enum AnySnapshot {
+    /// An OCuLaR model with its co-cluster index.
+    Ocular(Snapshot),
+    /// Any other model kind, served through the trait hierarchy.
+    Other(Box<dyn Model>),
+}
+
+impl AnySnapshot {
+    /// The snapshot's kind tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AnySnapshot::Ocular(_) => OCULAR_KIND,
+            AnySnapshot::Other(m) => m.kind(),
+        }
+    }
+
+    /// Serialises the snapshot in the v2 envelope.
+    ///
+    /// An `Other` payload whose kind tag is `ocular` is rejected: the
+    /// `ocular` kind's on-disk format includes the co-cluster index
+    /// section, which only [`AnySnapshot::Ocular`] carries — saving a bare
+    /// `FactorModel` under that tag would produce an envelope the loader
+    /// (correctly) refuses.
+    pub fn save<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        match self {
+            AnySnapshot::Ocular(s) => s.save(w),
+            AnySnapshot::Other(m) => {
+                if m.kind() == OCULAR_KIND {
+                    return Err(bad(format!(
+                        "kind `{OCULAR_KIND}` must be snapshotted as AnySnapshot::Ocular \
+                         (its format carries the co-cluster index)"
+                    )));
+                }
+                let mut w = std::io::BufWriter::new(w);
+                writeln!(w, "{V2_PREFIX} {}", m.kind())?;
+                m.save_model(&mut w)?;
+                writeln!(w, "{FOOTER}")?;
+                w.flush()
+            }
+        }
+    }
+
+    /// Loads a snapshot of any kind: the v1 envelope (implicitly
+    /// `ocular`), or a v2 envelope whose kind tag is dispatched against
+    /// the registry of known model kinds. Unknown kinds are
+    /// [`OcularError::UnknownModelKind`]; corruption and truncation are
+    /// [`OcularError::Corrupt`].
+    pub fn load<R: BufRead>(r: &mut R) -> Result<AnySnapshot, OcularError> {
+        let header = read_line(r).map_err(OcularError::from)?;
+        if header == V1_HEADER {
+            return Ok(AnySnapshot::Ocular(
+                Snapshot::load_body(r).map_err(OcularError::from)?,
+            ));
+        }
+        // the separator is part of the required prefix, so `v2wals` (no
+        // space) and version strings like `v2.1` are rejected instead of
+        // mis-binning into a kind tag
+        let kind = header
+            .strip_prefix(V2_PREFIX)
+            .and_then(|rest| rest.strip_prefix(' '))
+            .filter(|kind| !kind.is_empty() && !kind.contains(char::is_whitespace))
+            .ok_or_else(|| {
+                OcularError::Corrupt(format!(
+                    "bad snapshot header, expected `{V1_HEADER}` or `{V2_PREFIX} <kind>`"
+                ))
+            })?;
+        if kind == OCULAR_KIND {
+            return Ok(AnySnapshot::Ocular(
+                Snapshot::load_body(r).map_err(OcularError::from)?,
+            ));
+        }
+        let model: Box<dyn Model> = match kind {
+            Wals::KIND => Box::new(Wals::load_model(r)?),
+            Bpr::KIND => Box::new(Bpr::load_model(r)?),
+            UserKnn::KIND => Box::new(UserKnn::load_model(r)?),
+            ItemKnn::KIND => Box::new(ItemKnn::load_model(r)?),
+            Popularity::KIND => Box::new(Popularity::load_model(r)?),
+            other => return Err(OcularError::UnknownModelKind(other.to_string())),
+        };
+        let footer = read_line(r).map_err(OcularError::from)?;
+        if footer != FOOTER {
+            return Err(OcularError::Corrupt(format!("missing `{FOOTER}` sentinel")));
+        }
+        Ok(AnySnapshot::Other(model))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ocular_api::ScoreItems;
+    use ocular_baselines::WalsConfig;
     use ocular_linalg::Matrix;
+    use ocular_sparse::CsrMatrix;
 
     fn snapshot() -> Snapshot {
         let model = FactorModel::new(
@@ -174,6 +295,23 @@ mod tests {
     }
 
     #[test]
+    fn v1_envelope_still_loads() {
+        let s = snapshot();
+        let mut buf = Vec::new();
+        s.save(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("ocular-snapshot v2 ocular\n"));
+        let v1 = text.replacen("ocular-snapshot v2 ocular", V1_HEADER, 1);
+        let loaded = Snapshot::load(&mut v1.as_bytes()).unwrap();
+        assert_eq!(loaded, s);
+        // and through the polymorphic loader
+        match AnySnapshot::load(&mut v1.as_bytes()).unwrap() {
+            AnySnapshot::Ocular(loaded) => assert_eq!(loaded, s),
+            AnySnapshot::Other(_) => panic!("v1 must load as ocular"),
+        }
+    }
+
+    #[test]
     fn truncation_at_every_line_rejected() {
         let s = snapshot();
         let mut buf = Vec::new();
@@ -185,6 +323,10 @@ mod tests {
             assert!(
                 Snapshot::load(&mut partial.as_bytes()).is_err(),
                 "truncation after {keep} lines must be rejected"
+            );
+            assert!(
+                AnySnapshot::load(&mut partial.as_bytes()).is_err(),
+                "AnySnapshot: truncation after {keep} lines must be rejected"
             );
         }
     }
@@ -219,5 +361,83 @@ mod tests {
         // out-of-order ids
         let tampered = text.replace("\n2 0 1\n", "\n2 1 0\n");
         assert!(Snapshot::load(&mut tampered.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn baseline_kind_roundtrips_through_any_snapshot() {
+        let r =
+            CsrMatrix::from_pairs(4, 4, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2), (3, 3)]).unwrap();
+        let wals = Wals::fit(
+            &r,
+            &WalsConfig {
+                k: 2,
+                iters: 5,
+                ..Default::default()
+            },
+        );
+        let mut want = Vec::new();
+        wals.score_user(1, &mut want);
+        let snap = AnySnapshot::Other(Box::new(wals));
+        assert_eq!(snap.kind(), "wals");
+        let mut buf = Vec::new();
+        snap.save(&mut buf).unwrap();
+        let loaded = AnySnapshot::load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.kind(), "wals");
+        match loaded {
+            AnySnapshot::Other(m) => {
+                let mut got = Vec::new();
+                m.score_user(1, &mut got);
+                assert_eq!(got, want, "scores must round-trip bitwise");
+            }
+            AnySnapshot::Ocular(_) => panic!("wals must not load as ocular"),
+        }
+        // truncation of a baseline payload is rejected
+        let text = String::from_utf8(buf).unwrap();
+        let cut: String = text.lines().take(3).collect::<Vec<_>>().join("\n");
+        assert!(AnySnapshot::load(&mut cut.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn unknown_kind_rejected_with_typed_error() {
+        let doc = "ocular-snapshot v2 neural-net\nwhatever\nocular-snapshot end\n";
+        assert!(matches!(
+            AnySnapshot::load(&mut doc.as_bytes()),
+            Err(OcularError::UnknownModelKind(k)) if k == "neural-net"
+        ));
+    }
+
+    #[test]
+    fn malformed_v2_headers_are_corrupt_not_misbinned() {
+        // no separator: must not parse as kind `wals`
+        assert!(matches!(
+            AnySnapshot::load(&mut "ocular-snapshot v2wals\n".as_bytes()),
+            Err(OcularError::Corrupt(_))
+        ));
+        // future version strings must not strip into a bogus kind
+        assert!(matches!(
+            AnySnapshot::load(&mut "ocular-snapshot v2.1 wals\n".as_bytes()),
+            Err(OcularError::Corrupt(_))
+        ));
+        // empty kind tag
+        assert!(matches!(
+            AnySnapshot::load(&mut "ocular-snapshot v2 \n".as_bytes()),
+            Err(OcularError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn bare_factor_model_rejected_in_other_arm_at_save() {
+        let model = FactorModel::new(
+            Matrix::from_rows(&[&[1.0]]),
+            Matrix::from_rows(&[&[1.0]]),
+            false,
+        );
+        let snap = AnySnapshot::Other(Box::new(model));
+        let mut buf = Vec::new();
+        let err = snap.save(&mut buf).unwrap_err();
+        assert!(
+            err.to_string().contains("AnySnapshot::Ocular"),
+            "saving a bare ocular payload must fail loudly: {err}"
+        );
     }
 }

@@ -67,23 +67,13 @@ fn main() {
     let iknn = ItemKnn::fit(&split.train, &KnnConfig::default());
 
     println!("\n{:<12} {:>10} {:>10}", "model", "recall@50", "MAP@50");
-    let report = evaluate(
-        |u, buf| ocular_model.score_user(u, buf),
-        &split.train,
-        &split.test,
-        m_cut,
-    );
+    let report = evaluate(&ocular_model, &split.train, &split.test, m_cut);
     println!(
         "{:<12} {:>10.4} {:>10.4}",
         "OCuLaR", report.recall, report.map
     );
     for model in [&wals as &dyn Recommender, &uknn, &iknn] {
-        let report = evaluate(
-            |u, buf| model.score_user(u, buf),
-            &split.train,
-            &split.test,
-            m_cut,
-        );
+        let report = evaluate(model, &split.train, &split.test, m_cut);
         println!(
             "{:<12} {:>10.4} {:>10.4}",
             model.name(),

@@ -9,6 +9,7 @@
 //!
 //! | crate | contents |
 //! |---|---|
+//! | [`api`] | the canonical trait hierarchy every model implements |
 //! | [`sparse`] | binary interaction matrices, splits, samplers, loaders |
 //! | [`linalg`] | dense factor matrices, Cholesky, vector kernels |
 //! | [`datasets`] | synthetic generators and the paper's dataset profiles |
@@ -39,6 +40,7 @@
 //! println!("{}", why.render());
 //! ```
 
+pub use ocular_api as api;
 pub use ocular_baselines as baselines;
 pub use ocular_community as community;
 pub use ocular_core as core;
@@ -51,8 +53,13 @@ pub use ocular_sparse as sparse;
 
 /// The most commonly used items in one import.
 pub mod prelude {
+    pub use ocular_api::{
+        FoldIn as FoldInModel, Model, OcularError, Recommender, ScoreItems, ScoredItem,
+        SnapshotModel,
+    };
     pub use ocular_baselines::{
-        Bpr, BprConfig, ItemKnn, KnnConfig, Popularity, Recommender, UserKnn, Wals, WalsConfig,
+        all_baselines, BaselineConfigs, Bpr, BprConfig, ItemKnn, KnnConfig, Popularity, UserKnn,
+        Wals, WalsConfig,
     };
     pub use ocular_core::{
         default_threshold, diagnose, explain, extract_coclusters, fit, fold_in_user,
@@ -62,7 +69,7 @@ pub mod prelude {
     pub use ocular_eval::protocol::{evaluate, EvalReport};
     pub use ocular_parallel::fit_parallel;
     pub use ocular_serve::{
-        CandidatePolicy, Request, ServeConfig, ServeEngine, ServedList, Snapshot,
+        AnySnapshot, CandidatePolicy, Request, ServeConfig, ServeEngine, ServedList, Snapshot,
     };
     pub use ocular_sparse::{CsrMatrix, Split, SplitConfig, Triplets};
 }

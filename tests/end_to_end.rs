@@ -34,12 +34,7 @@ fn full_pipeline_split_train_recommend_evaluate() {
             ..Default::default()
         },
     );
-    let report = evaluate(
-        |u, buf| result.model.score_user(u, buf),
-        &split.train,
-        &split.test,
-        20,
-    );
+    let report = evaluate(&result.model, &split.train, &split.test, 20);
     assert!(
         report.recall > 0.45,
         "planted structure should be easy to recover: {report}"
@@ -73,30 +68,12 @@ fn ocular_beats_popularity_and_neighbors_on_overlapping_structure() {
         },
     )
     .model;
-    let ocular_recall = evaluate(
-        |u, buf| ocular_model.score_user(u, buf),
-        &split.train,
-        &split.test,
-        m,
-    )
-    .recall;
+    let ocular_recall = evaluate(&ocular_model, &split.train, &split.test, m).recall;
 
     let pop = Popularity::fit(&split.train);
-    let pop_recall = evaluate(
-        |u, buf| pop.score_user(u, buf),
-        &split.train,
-        &split.test,
-        m,
-    )
-    .recall;
+    let pop_recall = evaluate(&pop, &split.train, &split.test, m).recall;
     let uknn = UserKnn::fit(&split.train, &KnnConfig { k: 30 });
-    let uknn_recall = evaluate(
-        |u, buf| uknn.score_user(u, buf),
-        &split.train,
-        &split.test,
-        m,
-    )
-    .recall;
+    let uknn_recall = evaluate(&uknn, &split.train, &split.test, m).recall;
 
     assert!(
         ocular_recall > pop_recall + 0.05,
@@ -183,12 +160,7 @@ fn profile_dataset_trains_under_protocol() {
             ..Default::default()
         },
     );
-    let report = evaluate(
-        |u, buf| result.model.score_user(u, buf),
-        &split.train,
-        &split.test,
-        50,
-    );
+    let report = evaluate(&result.model, &split.train, &split.test, 50);
     assert!(report.recall > 0.2, "profile recall too low: {report}");
     // objective decreased substantially
     let h = &result.history;
@@ -242,12 +214,7 @@ fn determinism_across_full_pipeline() {
                 ..Default::default()
             },
         );
-        evaluate(
-            |u, buf| result.model.score_user(u, buf),
-            &split.train,
-            &split.test,
-            10,
-        )
+        evaluate(&result.model, &split.train, &split.test, 10)
     };
     let a = run();
     let b = run();

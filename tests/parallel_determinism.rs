@@ -39,12 +39,7 @@ fn recall_identical_across_thread_counts() {
     let mut reports = Vec::new();
     for threads in [1usize, 2, 4, 8] {
         let result = fit_parallel(&split.train, &cfg, Some(threads));
-        let report = ocular::eval::protocol::evaluate(
-            |u, buf| result.model.score_user(u, buf),
-            &split.train,
-            &split.test,
-            20,
-        );
+        let report = ocular::eval::protocol::evaluate(&result.model, &split.train, &split.test, 20);
         models.push((threads, result.model));
         reports.push((threads, report));
     }

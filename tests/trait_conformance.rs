@@ -1,0 +1,241 @@
+//! Trait-conformance suite: every model kind in the workspace zoo must
+//! honour the `ocular-api` hierarchy contracts identically —
+//!
+//! 1. the default [`Recommender::recommend`] equals brute-force
+//!    sort-and-truncate under heavy ties (the shared `ocular_linalg::topk`
+//!    kernel's convention: score descending, ties by ascending item);
+//! 2. kind-tagged snapshots round-trip **bitwise** through
+//!    [`AnySnapshot`];
+//! 3. legacy v1 OCuLaR snapshots still load;
+//! 4. the serving engine's batched output equals offline `recommend` for
+//!    every kind, at 1/2/4/8 threads.
+
+use ocular::datasets::planted::{generate, PlantedConfig};
+use ocular::prelude::*;
+use ocular::serve::IndexConfig;
+
+fn dataset() -> ocular::sparse::CsrMatrix {
+    generate(&PlantedConfig {
+        n_users: 50,
+        n_items: 40,
+        k: 3,
+        users_per_cluster: 18,
+        items_per_cluster: 15,
+        user_overlap: 0.3,
+        item_overlap: 0.3,
+        within_density: 0.6,
+        noise_density: 0.01,
+        seed: 21,
+    })
+    .matrix
+}
+
+fn ocular_model(r: &ocular::sparse::CsrMatrix) -> FactorModel {
+    fit(
+        r,
+        &OcularConfig {
+            k: 3,
+            lambda: 0.3,
+            max_iters: 30,
+            seed: 4,
+            ..Default::default()
+        },
+    )
+    .model
+}
+
+/// Every model kind as a kind-tagged snapshot (the serving artifact).
+fn snapshot_zoo(r: &ocular::sparse::CsrMatrix) -> Vec<AnySnapshot> {
+    let cfgs = BaselineConfigs::seeded(7);
+    vec![
+        AnySnapshot::Ocular(ocular::serve::Snapshot::build(
+            ocular_model(r),
+            &IndexConfig::default(),
+        )),
+        AnySnapshot::Other(Box::new(Wals::fit(
+            r,
+            &WalsConfig {
+                k: 3,
+                iters: 8,
+                ..cfgs.wals
+            },
+        ))),
+        AnySnapshot::Other(Box::new(Bpr::fit(
+            r,
+            &BprConfig {
+                k: 3,
+                epochs: 10,
+                ..cfgs.bpr
+            },
+        ))),
+        AnySnapshot::Other(Box::new(UserKnn::fit(r, &cfgs.user_knn))),
+        AnySnapshot::Other(Box::new(ItemKnn::fit(r, &cfgs.item_knn))),
+        AnySnapshot::Other(Box::new(Popularity::fit(r))),
+    ]
+}
+
+/// Scores user `u` through whichever model a snapshot carries.
+fn scores_of(snap: &AnySnapshot, u: usize) -> Vec<f64> {
+    let mut out = Vec::new();
+    match snap {
+        AnySnapshot::Ocular(s) => s.model.score_user(u, &mut out),
+        AnySnapshot::Other(m) => m.score_user(u, &mut out),
+    }
+    out
+}
+
+/// Offline reference lists via the trait-default `recommend`.
+fn recommend_of(snap: &AnySnapshot, u: usize, exclude: &[u32], m: usize) -> Vec<ScoredItem> {
+    match snap {
+        AnySnapshot::Ocular(s) => s.model.recommend(u, exclude, m).unwrap(),
+        AnySnapshot::Other(model) => model.recommend(u, exclude, m).unwrap(),
+    }
+}
+
+/// Reference implementation: full sort (score descending, ties by
+/// ascending item), truncate.
+fn by_sort(scores: &[f64], exclude: &[u32], m: usize) -> Vec<ScoredItem> {
+    let mut all: Vec<ScoredItem> = scores
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| exclude.binary_search(&(*i as u32)).is_err())
+        .map(|(item, &score)| ScoredItem { item, score })
+        .collect();
+    all.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("finite scores")
+            .then_with(|| a.item.cmp(&b.item))
+    });
+    all.truncate(m);
+    all
+}
+
+#[test]
+fn default_recommend_equals_sort_under_heavy_ties_for_every_kind() {
+    let r = dataset();
+    let mut tie_witnessed = false;
+    for snap in snapshot_zoo(&r) {
+        let kind = snap.kind();
+        for u in 0..r.n_rows() {
+            let scores = scores_of(&snap, u);
+            // heavy ties actually occur (popularity/kNN score by counts)
+            let mut sorted = scores.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            tie_witnessed |= sorted.windows(2).any(|w| w[0] == w[1]);
+            for m in [0usize, 1, 3, 10, r.n_cols() + 5] {
+                let got = recommend_of(&snap, u, r.row(u), m);
+                let want = by_sort(&scores, r.row(u), m);
+                assert_eq!(got, want, "kind {kind}, user {u}, m {m}");
+            }
+        }
+    }
+    assert!(tie_witnessed, "fixture must actually produce tied scores");
+}
+
+#[test]
+fn unknown_users_rejected_for_every_kind() {
+    let r = dataset();
+    for snap in snapshot_zoo(&r) {
+        let err = match &snap {
+            AnySnapshot::Ocular(s) => s.model.recommend(10_000, &[], 3).unwrap_err(),
+            AnySnapshot::Other(m) => m.recommend(10_000, &[], 3).unwrap_err(),
+        };
+        assert!(
+            matches!(err, OcularError::UnknownUser { user: 10_000, .. }),
+            "kind {}: {err}",
+            snap.kind()
+        );
+    }
+}
+
+#[test]
+fn snapshots_roundtrip_bitwise_for_every_kind() {
+    let r = dataset();
+    for snap in snapshot_zoo(&r) {
+        let kind = snap.kind();
+        let mut buf = Vec::new();
+        snap.save(&mut buf).unwrap();
+        let loaded = AnySnapshot::load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.kind(), kind);
+        for u in 0..r.n_rows() {
+            assert_eq!(
+                scores_of(&loaded, u),
+                scores_of(&snap, u),
+                "kind {kind}: user {u} scores must round-trip bitwise"
+            );
+            assert_eq!(
+                recommend_of(&loaded, u, r.row(u), 10),
+                recommend_of(&snap, u, r.row(u), 10),
+                "kind {kind}: user {u} lists must round-trip bitwise"
+            );
+        }
+        // and the serialised bytes are a fixed point
+        let mut again = Vec::new();
+        loaded.save(&mut again).unwrap();
+        assert_eq!(again, buf, "kind {kind}: serialisation must be stable");
+    }
+}
+
+#[test]
+fn v1_ocular_snapshots_still_load() {
+    let r = dataset();
+    let snap = ocular::serve::Snapshot::build(ocular_model(&r), &IndexConfig::default());
+    let mut buf = Vec::new();
+    snap.save(&mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    assert!(text.starts_with("ocular-snapshot v2 ocular\n"));
+    // a v1 snapshot is the identical body under the v1 envelope header
+    let v1 = text.replacen("ocular-snapshot v2 ocular", "ocular-snapshot v1", 1);
+    let direct = ocular::serve::Snapshot::load(&mut v1.as_bytes()).unwrap();
+    assert_eq!(direct, snap);
+    match AnySnapshot::load(&mut v1.as_bytes()).unwrap() {
+        AnySnapshot::Ocular(s) => assert_eq!(s, snap),
+        AnySnapshot::Other(_) => panic!("v1 must load as the ocular kind"),
+    }
+}
+
+#[test]
+fn serve_batch_equals_offline_recommend_for_every_kind_across_threads() {
+    let r = dataset();
+    let m = 10;
+    for snap in snapshot_zoo(&r) {
+        let kind = snap.kind();
+        // offline reference before the engine consumes the snapshot
+        let expected: Vec<Vec<ScoredItem>> = (0..r.n_rows())
+            .map(|u| recommend_of(&snap, u, r.row(u), m))
+            .collect();
+        let engine = ServeEngine::from_any(
+            snap,
+            r.clone(),
+            ServeConfig {
+                default_m: m,
+                candidates: CandidatePolicy::FullCatalog,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(engine.kind(), kind);
+        let requests: Vec<Request> = (0..r.n_rows())
+            .map(|user| Request::Warm { user, m })
+            .collect();
+        for threads in [1usize, 2, 4, 8] {
+            let served = engine.serve_batch_threads(&requests, Some(threads));
+            for (u, (got, want)) in served.iter().zip(&expected).enumerate() {
+                let got = got.as_ref().expect("warm users must serve");
+                assert_eq!(
+                    got.items.len(),
+                    want.len(),
+                    "kind {kind}, user {u}, {threads} threads"
+                );
+                for (a, b) in got.items.iter().zip(want) {
+                    assert_eq!(
+                        (a.item, a.probability),
+                        (b.item, b.score),
+                        "kind {kind}, user {u}, {threads} threads: bitwise"
+                    );
+                }
+            }
+        }
+    }
+}

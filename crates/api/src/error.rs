@@ -40,6 +40,15 @@ pub enum OcularError {
         /// Number of items the model was fitted on.
         n_items: usize,
     },
+    /// A request referenced an external id absent from the dataset's id
+    /// maps (serving with external ids requires the id to have been seen
+    /// at ingestion time).
+    UnknownExternalId {
+        /// The external id as it appeared in the request.
+        external: u64,
+        /// Which axis was addressed: `"user"` or `"item"`.
+        entity: &'static str,
+    },
     /// A cold-start basket was unusable (out-of-range or duplicate items).
     BadBasket(String),
     /// The model kind does not implement the requested capability (e.g.
@@ -73,6 +82,9 @@ impl fmt::Display for OcularError {
             }
             OcularError::UnknownItem { item, n_items } => {
                 write!(f, "unknown item {item} (model has {n_items} items)")
+            }
+            OcularError::UnknownExternalId { external, entity } => {
+                write!(f, "unknown external {entity} id {external}")
             }
             OcularError::BadBasket(msg) => write!(f, "bad basket: {msg}"),
             OcularError::Unsupported { kind, capability } => {

@@ -18,7 +18,7 @@
 use crate::persist::{bad, read_line, read_matrix, write_matrix};
 use ocular_api::{OcularError, Recommender, ScoreItems, SnapshotModel};
 use ocular_linalg::{ops, Matrix};
-use ocular_sparse::CsrMatrix;
+use ocular_sparse::{CsrMatrix, Dataset};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -87,13 +87,13 @@ impl Bpr {
     /// # Panics
     /// Panics if `k == 0` or the learning rate is not positive. Use
     /// [`Bpr::try_fit`] for a fallible variant.
-    pub fn fit(r: &CsrMatrix, cfg: &BprConfig) -> Self {
-        Self::try_fit(r, cfg).unwrap_or_else(|e| panic!("{e}"))
+    pub fn fit(data: &Dataset, cfg: &BprConfig) -> Self {
+        Self::try_fit(data, cfg).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fallible [`Bpr::fit`]: returns [`OcularError::InvalidConfig`] on a
     /// bad configuration instead of panicking.
-    pub fn try_fit(r: &CsrMatrix, cfg: &BprConfig) -> Result<Self, OcularError> {
+    pub fn try_fit(data: &Dataset, cfg: &BprConfig) -> Result<Self, OcularError> {
         if cfg.k == 0 {
             return Err(OcularError::InvalidConfig("k must be positive".into()));
         }
@@ -102,6 +102,7 @@ impl Bpr {
                 "learning rate must be positive".into(),
             ));
         }
+        let r: &CsrMatrix = data.matrix();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut uf = Matrix::zeros(r.n_rows(), cfg.k);
         let mut itf = Matrix::zeros(r.n_cols(), cfg.k);
@@ -272,7 +273,11 @@ impl SnapshotModel for Bpr {
 mod tests {
     use super::*;
 
-    fn two_blocks() -> CsrMatrix {
+    fn two_blocks() -> Dataset {
+        Dataset::from_matrix(two_blocks_matrix())
+    }
+
+    fn two_blocks_matrix() -> CsrMatrix {
         CsrMatrix::from_pairs(
             6,
             6,
@@ -379,7 +384,7 @@ mod tests {
     #[test]
     fn degenerate_matrices_do_not_hang() {
         // empty matrix: no eligible users, returns init factors
-        let empty = CsrMatrix::empty(3, 3);
+        let empty = Dataset::from_matrix(CsrMatrix::empty(3, 3));
         let m = Bpr::fit(
             &empty,
             &BprConfig {
@@ -395,7 +400,7 @@ mod tests {
                 pairs.push((u, i));
             }
         }
-        let full = CsrMatrix::from_pairs(3, 3, &pairs).unwrap();
+        let full = Dataset::from_matrix(CsrMatrix::from_pairs(3, 3, &pairs).unwrap());
         let m = Bpr::fit(
             &full,
             &BprConfig {

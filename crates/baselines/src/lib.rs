@@ -45,7 +45,7 @@ pub use ocular_api::{
     FoldIn, Model, OcularError, Recommender, ScoreItems, ScoredItem, SnapshotModel,
 };
 
-use ocular_sparse::CsrMatrix;
+use ocular_sparse::Dataset;
 
 /// Per-model hyper-parameters for the Table-I model zoo, so harnesses stop
 /// hard-coding each baseline's knobs inline.
@@ -92,7 +92,7 @@ impl Default for BaselineConfigs {
 /// is each model's [`ScoreItems::name`], so report columns and bench
 /// tables share one source of truth instead of duplicating the list.
 pub fn all_baselines(
-    r: &CsrMatrix,
+    r: &Dataset,
     cfgs: &BaselineConfigs,
 ) -> Vec<(&'static str, Box<dyn Recommender>)> {
     let models: Vec<Box<dyn Recommender>> = vec![
@@ -114,10 +114,13 @@ pub fn all_baselines(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ocular_sparse::CsrMatrix;
 
     #[test]
     fn model_zoo_has_distinct_names() {
-        let r = CsrMatrix::from_pairs(4, 4, &[(0, 0), (1, 1), (2, 2), (3, 3)]).unwrap();
+        let r = Dataset::from_matrix(
+            CsrMatrix::from_pairs(4, 4, &[(0, 0), (1, 1), (2, 2), (3, 3)]).unwrap(),
+        );
         let zoo = all_baselines(&r, &BaselineConfigs::seeded(0));
         let names: Vec<&str> = zoo.iter().map(|(name, _)| *name).collect();
         assert_eq!(names.len(), 5);
@@ -134,7 +137,9 @@ mod tests {
 
     #[test]
     fn zoo_respects_per_model_configs() {
-        let r = CsrMatrix::from_pairs(4, 4, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2)]).unwrap();
+        let r = Dataset::from_matrix(
+            CsrMatrix::from_pairs(4, 4, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2)]).unwrap(),
+        );
         let a = all_baselines(&r, &BaselineConfigs::seeded(1));
         let b = all_baselines(&r, &BaselineConfigs::seeded(2));
         // the seeded fitters must actually see the seed

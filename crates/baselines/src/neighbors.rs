@@ -18,7 +18,7 @@
 use crate::persist::{bad, read_csr, read_line, write_csr};
 use crate::similarity::{top_k_neighbors, Neighbor};
 use ocular_api::{validate_basket, FoldIn, OcularError, Recommender, ScoreItems, SnapshotModel};
-use ocular_sparse::CsrMatrix;
+use ocular_sparse::{CsrMatrix, Dataset};
 use std::io::{BufRead, Write};
 
 /// Configuration for both kNN models.
@@ -116,12 +116,12 @@ impl UserKnn {
     /// Snapshot kind tag.
     pub const KIND: &'static str = "user-knn";
 
-    /// Computes every user's top-k neighbours.
-    pub fn fit(r: &CsrMatrix, cfg: &KnnConfig) -> Self {
-        let rt = r.transpose();
+    /// Computes every user's top-k neighbours; similarity accumulation
+    /// walks the dataset's build-once CSC dual view.
+    pub fn fit(data: &Dataset, cfg: &KnnConfig) -> Self {
         UserKnn {
-            neighbors: top_k_neighbors(r, &rt, cfg.k),
-            r: r.clone(),
+            neighbors: top_k_neighbors(data.matrix(), data.item_view(), cfg.k),
+            r: data.matrix().clone(),
         }
     }
 
@@ -206,12 +206,12 @@ impl ItemKnn {
     /// Snapshot kind tag.
     pub const KIND: &'static str = "item-knn";
 
-    /// Computes every item's top-k neighbours (on the transposed matrix).
-    pub fn fit(r: &CsrMatrix, cfg: &KnnConfig) -> Self {
-        let rt = r.transpose();
+    /// Computes every item's top-k neighbours (on the dataset's item×user
+    /// dual view — no transpose is built here).
+    pub fn fit(data: &Dataset, cfg: &KnnConfig) -> Self {
         ItemKnn {
-            neighbors: top_k_neighbors(&rt, r, cfg.k),
-            r: r.clone(),
+            neighbors: top_k_neighbors(data.item_view(), data.matrix(), cfg.k),
+            r: data.matrix().clone(),
         }
     }
 
@@ -304,7 +304,11 @@ mod tests {
 
     /// Two user groups with one bridge: users {0,1} like items {0,1};
     /// users {2,3} like items {2,3}; user 1 additionally owns item 2.
-    fn blocks() -> CsrMatrix {
+    fn blocks() -> Dataset {
+        Dataset::from_matrix(blocks_matrix())
+    }
+
+    fn blocks_matrix() -> CsrMatrix {
         CsrMatrix::from_pairs(
             4,
             4,
@@ -369,7 +373,7 @@ mod tests {
 
     #[test]
     fn scores_zero_for_cold_users() {
-        let r = CsrMatrix::from_pairs(3, 3, &[(0, 0), (1, 1)]).unwrap();
+        let r = Dataset::from_matrix(CsrMatrix::from_pairs(3, 3, &[(0, 0), (1, 1)]).unwrap());
         let u = UserKnn::fit(&r, &KnnConfig::default());
         let i = ItemKnn::fit(&r, &KnnConfig::default());
         let mut scores = Vec::new();

@@ -9,7 +9,7 @@
 
 use crate::persist::{bad, read_floats, read_line, write_floats};
 use ocular_api::{validate_basket, FoldIn, OcularError, Recommender, ScoreItems, SnapshotModel};
-use ocular_sparse::CsrMatrix;
+use ocular_sparse::Dataset;
 
 /// Fitted popularity model: a single global ranking.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,11 +24,11 @@ impl Popularity {
     /// Snapshot kind tag.
     pub const KIND: &'static str = "popularity";
 
-    /// Counts item degrees.
-    pub fn fit(r: &CsrMatrix) -> Self {
+    /// Reads the dataset's cached item-degree (popularity) stats.
+    pub fn fit(data: &Dataset) -> Self {
         Popularity {
-            scores: r.col_degrees().into_iter().map(|d| d as f64).collect(),
-            n_users: r.n_rows(),
+            scores: data.item_degrees().iter().map(|&d| d as f64).collect(),
+            n_users: data.n_users(),
         }
     }
 }
@@ -98,10 +98,13 @@ impl SnapshotModel for Popularity {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ocular_sparse::CsrMatrix;
 
     #[test]
     fn scores_equal_item_degrees() {
-        let r = CsrMatrix::from_pairs(3, 3, &[(0, 0), (1, 0), (2, 0), (0, 1)]).unwrap();
+        let r = Dataset::from_matrix(
+            CsrMatrix::from_pairs(3, 3, &[(0, 0), (1, 0), (2, 0), (0, 1)]).unwrap(),
+        );
         let m = Popularity::fit(&r);
         let mut s = Vec::new();
         m.score_user(0, &mut s);
@@ -114,7 +117,9 @@ mod tests {
 
     #[test]
     fn cold_baskets_get_the_global_ranking() {
-        let r = CsrMatrix::from_pairs(3, 3, &[(0, 0), (1, 0), (2, 0), (0, 1)]).unwrap();
+        let r = Dataset::from_matrix(
+            CsrMatrix::from_pairs(3, 3, &[(0, 0), (1, 0), (2, 0), (0, 1)]).unwrap(),
+        );
         let m = Popularity::fit(&r);
         let recs = m.recommend_for_basket(&[0], 2).unwrap();
         let items: Vec<usize> = recs.iter().map(|s| s.item).collect();
@@ -127,7 +132,8 @@ mod tests {
 
     #[test]
     fn snapshot_roundtrip_bitwise() {
-        let r = CsrMatrix::from_pairs(5, 7, &[(0, 0), (1, 6), (2, 3)]).unwrap();
+        let r =
+            Dataset::from_matrix(CsrMatrix::from_pairs(5, 7, &[(0, 0), (1, 6), (2, 3)]).unwrap());
         let m = Popularity::fit(&r);
         let mut buf: Vec<u8> = Vec::new();
         m.save_model(&mut buf).unwrap();
@@ -138,7 +144,7 @@ mod tests {
 
     #[test]
     fn dimensions() {
-        let r = CsrMatrix::empty(5, 7);
+        let r = Dataset::from_matrix(CsrMatrix::empty(5, 7));
         let m = Popularity::fit(&r);
         assert_eq!(m.n_users(), 5);
         assert_eq!(m.n_items(), 7);

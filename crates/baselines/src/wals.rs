@@ -27,7 +27,7 @@
 use crate::persist::{bad, read_line, read_matrix, write_matrix};
 use ocular_api::{validate_basket, FoldIn, OcularError, Recommender, ScoreItems, SnapshotModel};
 use ocular_linalg::{ops, Cholesky, Matrix};
-use ocular_sparse::CsrMatrix;
+use ocular_sparse::{CsrMatrix, Dataset};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -190,18 +190,20 @@ impl Wals {
     /// Panics if `k == 0`, `b` is outside `(0, 1)`, or `lambda <= 0`
     /// (λ must be positive for the normal equations to stay SPD). Use
     /// [`Wals::try_fit`] for a fallible variant.
-    pub fn fit(r: &CsrMatrix, cfg: &WalsConfig) -> Self {
-        Self::try_fit(r, cfg).unwrap_or_else(|e| panic!("{e}"))
+    pub fn fit(data: &Dataset, cfg: &WalsConfig) -> Self {
+        Self::try_fit(data, cfg).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fallible [`Wals::fit`]: returns [`OcularError::InvalidConfig`] on a
-    /// bad configuration instead of panicking.
-    pub fn try_fit(r: &CsrMatrix, cfg: &WalsConfig) -> Result<Self, OcularError> {
+    /// bad configuration instead of panicking. The item half-sweep reads
+    /// the dataset's build-once CSC dual view instead of re-transposing.
+    pub fn try_fit(data: &Dataset, cfg: &WalsConfig) -> Result<Self, OcularError> {
         cfg.validate()?;
+        let r: &CsrMatrix = data.matrix();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut user_factors = init(r.n_rows(), cfg.k, cfg.init_scale, &mut rng);
         let mut item_factors = init(r.n_cols(), cfg.k, cfg.init_scale, &mut rng);
-        let rt = r.transpose();
+        let rt = data.item_view();
         let mut objective_trace = vec![wals_objective(
             r,
             &user_factors,
@@ -211,7 +213,7 @@ impl Wals {
         )];
         for _ in 0..cfg.iters {
             half_sweep(&mut user_factors, &item_factors, r, cfg.b, cfg.lambda);
-            half_sweep(&mut item_factors, &user_factors, &rt, cfg.b, cfg.lambda);
+            half_sweep(&mut item_factors, &user_factors, rt, cfg.b, cfg.lambda);
             objective_trace.push(wals_objective(
                 r,
                 &user_factors,
@@ -381,7 +383,11 @@ impl SnapshotModel for Wals {
 mod tests {
     use super::*;
 
-    fn two_blocks() -> CsrMatrix {
+    fn two_blocks() -> Dataset {
+        Dataset::from_matrix(two_blocks_matrix())
+    }
+
+    fn two_blocks_matrix() -> CsrMatrix {
         CsrMatrix::from_pairs(
             6,
             6,
@@ -476,7 +482,7 @@ mod tests {
 
     #[test]
     fn handles_cold_entities() {
-        let r = CsrMatrix::from_pairs(3, 3, &[(0, 0)]).unwrap();
+        let r = Dataset::from_matrix(CsrMatrix::from_pairs(3, 3, &[(0, 0)]).unwrap());
         let m = Wals::fit(&r, &cfg());
         // cold user factors shrink towards zero (pure ridge against b-weighted
         // unknowns); predictions stay finite and small

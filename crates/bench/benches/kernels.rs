@@ -14,7 +14,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
-fn setup(k: usize) -> (ocular_sparse::CsrMatrix, Matrix, Matrix) {
+fn setup(k: usize) -> (ocular_sparse::Dataset, Matrix, Matrix) {
     let d = generate(&PlantedConfig {
         n_users: 400,
         n_items: 300,
@@ -34,7 +34,7 @@ fn setup(k: usize) -> (ocular_sparse::CsrMatrix, Matrix, Matrix) {
 
 fn bench_negative_sum(c: &mut Criterion) {
     let (r, uf, _) = setup(16);
-    let rt = r.transpose();
+    let rt = r.item_view();
     let sums = uf.column_sums();
     let mut buf = vec![0.0; 16];
     let mut group = c.benchmark_group("negative_sum");
@@ -75,7 +75,7 @@ fn bench_gradient(c: &mut Criterion) {
     let mut group = c.benchmark_group("item_gradient");
     for k in [8usize, 32, 128] {
         let (r, uf, itf) = setup(k);
-        let rt = r.transpose();
+        let rt = r.item_view();
         let sums = uf.column_sums();
         let weights = vec![1.0; r.n_rows()];
         let mut negsum = vec![0.0; k];

@@ -9,7 +9,7 @@ use ocular_parallel::fit_parallel;
 use ocular_sparse::sample::sample_nnz_fraction;
 use std::hint::black_box;
 
-fn dataset() -> ocular_sparse::CsrMatrix {
+fn dataset() -> ocular_sparse::Dataset {
     generate(&PowerLawConfig {
         n_users: 1200,
         n_items: 500,
@@ -36,7 +36,7 @@ fn bench_sweep_vs_nnz(c: &mut Criterion) {
     let mut group = c.benchmark_group("sweep_vs_nnz");
     group.sample_size(10);
     for frac in [0.25f64, 0.5, 1.0] {
-        let sub = sample_nnz_fraction(&r, frac, 0);
+        let sub = ocular_sparse::Dataset::from_matrix(sample_nnz_fraction(&r, frac, 0));
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{}nnz", sub.nnz())),
             &sub,

@@ -137,7 +137,7 @@ fn main() {
 
     // 5: sum-trick vs naive negative sums (microbenchmark, exactness check)
     let (uf, _) = ocular_core::trainer::initial_factors(&split.train, &base);
-    let rt = split.train.transpose();
+    let rt = split.train.item_view();
     let sums = uf.column_sums();
     let mut fast_buf = vec![0.0; base.k_total()];
     let mut naive_buf = vec![0.0; base.k_total()];

@@ -49,6 +49,25 @@ fn run() -> Result<Vec<String>, String> {
     let serve_p50 = field(&serve, "engine_clusters.p50_us")?;
     let full_sort_p50 = field(&serve, "full_sort.p50_us")?;
     let train_seconds = field(&train, "train_seconds")?;
+    let ingest_seconds = field(&train, "ingest_seconds")?;
+    // mean per-sweep seconds of the fixed-work flatness run
+    let per_sweep = train
+        .get("per_sweep_seconds")
+        .and_then(|v| v.as_array())
+        .ok_or("missing field `per_sweep_seconds`")?;
+    let sweep_times: Vec<f64> = per_sweep
+        .iter()
+        .map(|j| {
+            j.as_f64()
+                .filter(|n| *n > 0.0)
+                .ok_or("`per_sweep_seconds` entries must be positive numbers")
+        })
+        .collect::<Result<_, _>>()?;
+    if sweep_times.is_empty() {
+        return Err("`per_sweep_seconds` is empty".into());
+    }
+    let train_sweep_seconds = sweep_times.iter().sum::<f64>() / sweep_times.len() as f64;
+    let sweep_flatness = field(&train, "sweep_flatness")?;
     // per-model-kind serving rows (baseline key = "<kind>_p50_us", with
     // `-` mapped to `_`)
     let kinds = ["wals", "bpr", "item-knn", "popularity"];
@@ -61,6 +80,11 @@ fn run() -> Result<Vec<String>, String> {
         let mut fields = vec![
             ("serve_p50_us".to_string(), Json::Num(serve_p50)),
             ("train_seconds".to_string(), Json::Num(train_seconds)),
+            ("ingest_seconds".to_string(), Json::Num(ingest_seconds)),
+            (
+                "train_sweep_seconds".to_string(),
+                Json::Num(train_sweep_seconds),
+            ),
         ];
         for (kind, p50) in kinds.iter().zip(&kind_p50) {
             fields.push((
@@ -102,6 +126,20 @@ fn run() -> Result<Vec<String>, String> {
     };
     check("serve_p50_us", serve_p50, base_serve);
     check("train_seconds", train_seconds, base_train);
+    check(
+        "ingest_seconds",
+        ingest_seconds,
+        field(&baseline, "ingest_seconds")?,
+    );
+    check(
+        "train_sweep_s",
+        train_sweep_seconds,
+        field(&baseline, "train_sweep_seconds")?,
+    );
+    // machine-independent same-run check: per-sweep time must stay flat
+    // across a training run — last sweep within tolerance of the fastest
+    // (the probe asserts a 1.2× bound on the same ratio at run time)
+    check("sweep_flatness", sweep_flatness, 1.0);
     // machine-independent same-run check: candidate generation + heap
     // selection must not serve slower than the retired full-sort path — a
     // hardware-noise-proof signal that the serving optimization still works

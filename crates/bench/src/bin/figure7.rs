@@ -62,7 +62,8 @@ fn main() {
     );
     let mut per_k_points: Vec<(Vec<f64>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); ks.len()];
     for &frac in &fractions {
-        let sub = sample_nnz_fraction(&data.matrix, frac, seed);
+        let sub =
+            ocular_sparse::Dataset::from_matrix(sample_nnz_fraction(&data.matrix, frac, seed));
         let mut cells = vec![format!("{frac}"), sub.nnz().to_string()];
         for (ki, &k) in ks.iter().enumerate() {
             let cfg = OcularConfig {

@@ -1,9 +1,18 @@
 //! Scratch probe for hyper-parameter sensitivity on one profile (not part
 //! of the documented experiment suite; used to calibrate defaults).
 //!
+//! Beyond the sweep it runs two data-backbone guards:
+//!
+//! * a fixed-work training run whose **per-sweep** wall-clock must stay
+//!   flat (last sweep ≤ 1.2× the fastest sweep) — the regression guard
+//!   for per-sweep allocation churn, which once crept 0.138 s → 0.226 s
+//!   over a run;
+//! * a streaming-**ingestion** timing (edge-list text → [`Dataset`] via
+//!   the chunked reader).
+//!
 //! With `--bench-out PATH` it additionally writes a `BENCH_train.json`
-//! artifact (fastest OCuLaR fit wall-clock over the sweep) for the CI
-//! bench-regression gate.
+//! artifact (fastest OCuLaR fit wall-clock over the sweep, per-sweep
+//! times, ingestion seconds) for the CI bench-regression gate.
 
 use ocular_baselines::{ItemKnn, KnnConfig, UserKnn};
 use ocular_bench::harness::{evaluate_recommender, OcularRecommender};
@@ -12,7 +21,8 @@ use ocular_core::OcularConfig;
 use ocular_datasets::profiles;
 use ocular_eval::protocol::evaluate;
 use ocular_serve::json::{obj, Json};
-use ocular_sparse::{Split, SplitConfig};
+use ocular_sparse::io::{read_edge_list_str, write_edge_list};
+use ocular_sparse::{Dataset, Split, SplitConfig};
 
 fn main() {
     let args = Args::parse();
@@ -111,6 +121,54 @@ fn main() {
         }
     }
 
+    // per-sweep flatness guard: fixed K, tol 0 and no convergence break
+    // below the iteration budget, so every sweep does comparable work —
+    // a monotone per-sweep slowdown means state is leaking across sweeps
+    // (the seed-era symptom was allocation churn: 0.138 s → 0.226 s)
+    let flat_cfg = OcularConfig {
+        k: kh * 2,
+        lambda: 2.0,
+        max_iters: 12,
+        tol: 0.0,
+        seed,
+        ..Default::default()
+    };
+    let per_sweep = ocular_core::fit(&split.train, &flat_cfg)
+        .history
+        .sweep_seconds;
+    let min_sweep = per_sweep.iter().cloned().fold(f64::INFINITY, f64::min);
+    let last_sweep = *per_sweep.last().expect("at least one sweep");
+    let flatness = last_sweep / min_sweep;
+    println!(
+        "per-sweep seconds (K={}): min={min_sweep:.4} last={last_sweep:.4} last/min={flatness:.2}",
+        flat_cfg.k
+    );
+    assert!(
+        flatness <= 1.2,
+        "per-sweep time is not flat: last sweep {last_sweep:.4}s > 1.2× min sweep \
+         {min_sweep:.4}s — per-sweep state is leaking (allocation churn?)"
+    );
+
+    // streaming-ingestion timing: render the training interactions as an
+    // edge list and stream them back through the chunked reader
+    let mut edge_text: Vec<u8> = Vec::new();
+    write_edge_list(&mut edge_text, &data.matrix).expect("render edge list");
+    let edge_text = String::from_utf8(edge_text).expect("ascii edge list");
+    let t0 = std::time::Instant::now();
+    let ingested: Dataset = read_edge_list_str(&edge_text, "\t", None)
+        .expect("re-ingest the rendered edge list")
+        .into_dataset();
+    let ingest_seconds = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        ingested.nnz(),
+        data.matrix.nnz(),
+        "ingestion must be lossless"
+    );
+    println!(
+        "streaming ingestion: {} records in {ingest_seconds:.4}s",
+        ingested.nnz()
+    );
+
     let bench_out = args.get("bench-out", String::new());
     if !bench_out.is_empty() {
         // the fastest fit is the least noisy proxy for "did training get
@@ -127,6 +185,12 @@ fn main() {
                 "sweep_seconds",
                 Json::Arr(fit_seconds.iter().map(|&s| Json::Num(s)).collect()),
             ),
+            (
+                "per_sweep_seconds",
+                Json::Arr(per_sweep.iter().map(|&s| Json::Num(s)).collect()),
+            ),
+            ("sweep_flatness", Json::Num(flatness)),
+            ("ingest_seconds", Json::Num(ingest_seconds)),
         ]);
         std::fs::write(&bench_out, format!("{doc}\n")).expect("write bench artifact");
         eprintln!("artifact → {bench_out}");

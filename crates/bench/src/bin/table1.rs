@@ -25,11 +25,11 @@ use ocular_bench::{Args, TextTable};
 use ocular_core::OcularConfig;
 use ocular_datasets::profiles;
 use ocular_eval::protocol::average_reports;
-use ocular_sparse::{CsrMatrix, Split, SplitConfig};
+use ocular_sparse::{Dataset, Split, SplitConfig};
 
 /// One method = a name plus a list of candidate configurations; each
 /// candidate is a fit closure.
-type FitFn = Box<dyn Fn(&CsrMatrix, u64) -> Box<dyn Recommender>>;
+type FitFn = Box<dyn Fn(&Dataset, u64) -> Box<dyn Recommender>>;
 
 struct Method {
     name: &'static str,

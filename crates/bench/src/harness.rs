@@ -3,7 +3,7 @@
 use ocular_api::{Recommender, ScoreItems};
 use ocular_core::{fit, FactorModel, OcularConfig, Weighting};
 use ocular_eval::protocol::{evaluate, EvalReport};
-use ocular_sparse::CsrMatrix;
+use ocular_sparse::{CsrMatrix, Dataset};
 
 /// [`FactorModel`] under a display name, so the Table I harness can carry
 /// "OCuLaR" and "R-OCuLaR" columns side by side in one `dyn Recommender`
@@ -16,7 +16,7 @@ pub struct OcularRecommender {
 
 impl OcularRecommender {
     /// Fits plain OCuLaR.
-    pub fn fit_absolute(r: &CsrMatrix, cfg: &OcularConfig) -> Self {
+    pub fn fit_absolute(r: &Dataset, cfg: &OcularConfig) -> Self {
         let cfg = OcularConfig {
             weighting: Weighting::Absolute,
             ..cfg.clone()
@@ -28,7 +28,7 @@ impl OcularRecommender {
     }
 
     /// Fits R-OCuLaR (relative weighting).
-    pub fn fit_relative(r: &CsrMatrix, cfg: &OcularConfig) -> Self {
+    pub fn fit_relative(r: &Dataset, cfg: &OcularConfig) -> Self {
         let cfg = OcularConfig {
             weighting: Weighting::Relative,
             ..cfg.clone()
@@ -106,8 +106,9 @@ mod tests {
 
     #[test]
     fn adapter_scores_match_model() {
-        let r =
-            CsrMatrix::from_pairs(4, 4, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2), (3, 3)]).unwrap();
+        let r = Dataset::from_matrix(
+            CsrMatrix::from_pairs(4, 4, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2), (3, 3)]).unwrap(),
+        );
         let rec = OcularRecommender::fit_absolute(&r, &default_ocular_config(2, 1));
         let mut via_trait = Vec::new();
         rec.score_user(0, &mut via_trait);
@@ -127,7 +128,7 @@ mod tests {
                 }
             }
         }
-        let r = CsrMatrix::from_pairs(16, 16, &pairs).unwrap();
+        let r = Dataset::from_matrix(CsrMatrix::from_pairs(16, 16, &pairs).unwrap());
         let split = Split::new(&r, &SplitConfig::default());
         let rec = OcularRecommender::fit_absolute(&split.train, &default_ocular_config(2, 3));
         let report = evaluate_recommender(&rec, &split.train, &split.test, 10);

@@ -161,7 +161,7 @@ mod tests {
     fn well_fitted_model_separates() {
         let r = blocks();
         let model = fit(
-            &r,
+            &r.clone().into(),
             &OcularConfig {
                 k: 2,
                 lambda: 0.1,
@@ -184,7 +184,7 @@ mod tests {
         let r = blocks();
         // seed chosen so both planted blocks survive the λ=0.5 pruning
         let model = fit(
-            &r,
+            &r.clone().into(),
             &OcularConfig {
                 k: 8,
                 lambda: 0.5,
@@ -220,7 +220,7 @@ mod tests {
     fn display_renders() {
         let r = blocks();
         let model = fit(
-            &r,
+            &r.clone().into(),
             &OcularConfig {
                 k: 2,
                 lambda: 0.1,

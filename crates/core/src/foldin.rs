@@ -164,7 +164,7 @@ mod tests {
             seed: 3,
             ..Default::default()
         };
-        (fit(&r, &cfg).model, r, cfg)
+        (fit(&r.clone().into(), &cfg).model, r, cfg)
     }
 
     #[test]
@@ -284,7 +284,7 @@ mod tests {
             seed: 1,
             ..Default::default()
         };
-        let model = fit(&r, &cfg).model;
+        let model = fit(&r.clone().into(), &cfg).model;
         let fold = fold_in_user(&model, &[0, 1], &cfg, 1.0, 50);
         assert_eq!(fold.factors[3], 1.0, "frozen user column must stay 1");
     }

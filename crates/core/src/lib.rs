@@ -29,13 +29,13 @@
 //!
 //! ```
 //! use ocular_core::{fit, OcularConfig};
-//! use ocular_sparse::CsrMatrix;
+//! use ocular_sparse::{CsrMatrix, Dataset};
 //!
 //! // two obvious co-clusters
-//! let r = CsrMatrix::from_pairs(4, 4, &[
+//! let r: Dataset = CsrMatrix::from_pairs(4, 4, &[
 //!     (0, 0), (0, 1), (1, 0), (1, 1),
 //!     (2, 2), (2, 3), (3, 2), (3, 3),
-//! ]).unwrap();
+//! ]).unwrap().into();
 //! let result = fit(&r, &OcularConfig { k: 2, lambda: 0.05, seed: 7, ..Default::default() });
 //! // inside-cluster pairs score far higher than cross-cluster pairs
 //! assert!(result.model.prob(0, 1) > 5.0 * result.model.prob(0, 3));

@@ -152,7 +152,7 @@ mod tests {
             seed: 3,
             ..Default::default()
         };
-        (fit(&r, &cfg).model, r)
+        (fit(&r.clone().into(), &cfg).model, r)
     }
 
     #[test]

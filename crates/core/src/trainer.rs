@@ -13,7 +13,7 @@ use crate::linesearch::{armijo_step, fixed_step, LineSearch, StepOutcome};
 use crate::loss::user_weights;
 use crate::model::FactorModel;
 use ocular_linalg::Matrix;
-use ocular_sparse::CsrMatrix;
+use ocular_sparse::{CsrMatrix, Dataset};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -104,11 +104,11 @@ fn sweep_side<'w>(
     ls: &LineSearch,
     scratch: &mut SweepScratch,
 ) -> usize {
-    let other_sum = other.column_sums();
+    other.column_sums_into(&mut scratch.other_sum);
     let mut accepted = 0usize;
     for e in 0..own.rows() {
         let positives = adjacency.row(e);
-        negative_sum(other, &other_sum, positives, &mut scratch.negsum);
+        negative_sum(other, &scratch.other_sum, positives, &mut scratch.negsum);
         let problem = LocalProblem {
             positives,
             other,
@@ -151,11 +151,24 @@ fn sweep_side<'w>(
     accepted
 }
 
-/// Reusable per-sweep buffers (one allocation for the whole training run).
+/// Reusable per-sweep buffers (one allocation for the whole training run,
+/// including the fixed side's column sums — no per-sweep churn).
 struct SweepScratch {
     negsum: Vec<f64>,
     grad: Vec<f64>,
     candidate: Vec<f64>,
+    other_sum: Vec<f64>,
+}
+
+impl SweepScratch {
+    fn new(k_total: usize) -> Self {
+        SweepScratch {
+            negsum: vec![0.0; k_total],
+            grad: vec![0.0; k_total],
+            candidate: vec![0.0; k_total],
+            other_sum: Vec::with_capacity(k_total),
+        }
+    }
 }
 
 /// The bias-extension column layout: `(user_frozen, user_bias, item_frozen,
@@ -221,30 +234,30 @@ pub fn initial_factors(r: &CsrMatrix, cfg: &OcularConfig) -> (Matrix, Matrix) {
     }
 }
 
-/// Fits an OCuLaR (or R-OCuLaR) model to the one-class matrix `r`.
+/// Fits an OCuLaR (or R-OCuLaR) model to the one-class interaction store
+/// `data`. The item half-sweep reads the dataset's build-once CSC dual
+/// view ([`Dataset::item_view`]) — nothing is re-transposed per fit — and
+/// all per-sweep buffers are allocated once up front.
 ///
 /// # Panics
 /// Panics if `cfg` fails [`OcularConfig::validate`]. Use [`try_fit`] for a
 /// fallible variant.
-pub fn fit(r: &CsrMatrix, cfg: &OcularConfig) -> TrainResult {
+pub fn fit(data: &Dataset, cfg: &OcularConfig) -> TrainResult {
     if let Err(msg) = cfg.validate() {
         panic!("invalid OcularConfig: {msg}");
     }
+    let r: &CsrMatrix = data.matrix();
     let (user_frozen, _, item_frozen, _) = bias_layout(cfg);
     let (mut user_factors, mut item_factors) = initial_factors(r, cfg);
 
-    let rt = r.transpose();
+    let rt = data.item_view();
     let weights = user_weights(r, cfg.weighting);
     let ls = LineSearch {
         sigma: cfg.sigma,
         beta: cfg.beta,
         max_backtracks: cfg.max_backtracks,
     };
-    let mut scratch = SweepScratch {
-        negsum: vec![0.0; cfg.k_total()],
-        grad: vec![0.0; cfg.k_total()],
-        candidate: vec![0.0; cfg.k_total()],
-    };
+    let mut scratch = SweepScratch::new(cfg.k_total());
 
     let eval =
         |uf: &Matrix, itf: &Matrix| crate::loss::objective_parts(r, uf, itf, cfg.lambda, &weights);
@@ -262,7 +275,7 @@ pub fn fit(r: &CsrMatrix, cfg: &OcularConfig) -> TrainResult {
         sweep_side(
             &mut item_factors,
             &user_factors,
-            &rt,
+            rt,
             &|_| PosWeights::PerEntity(&weights),
             cfg,
             item_frozen,
@@ -302,10 +315,10 @@ pub fn fit(r: &CsrMatrix, cfg: &OcularConfig) -> TrainResult {
 /// Fallible [`fit`]: returns
 /// [`OcularError::InvalidConfig`](ocular_api::OcularError) instead of
 /// panicking when `cfg` fails [`OcularConfig::validate`].
-pub fn try_fit(r: &CsrMatrix, cfg: &OcularConfig) -> Result<TrainResult, ocular_api::OcularError> {
+pub fn try_fit(data: &Dataset, cfg: &OcularConfig) -> Result<TrainResult, ocular_api::OcularError> {
     cfg.validate()
         .map_err(ocular_api::OcularError::InvalidConfig)?;
-    Ok(fit(r, cfg))
+    Ok(fit(data, cfg))
 }
 
 #[cfg(test)]
@@ -313,7 +326,11 @@ mod tests {
     use super::*;
     use crate::config::Weighting;
 
-    fn two_blocks() -> CsrMatrix {
+    fn two_blocks() -> Dataset {
+        Dataset::from_matrix(two_blocks_matrix())
+    }
+
+    fn two_blocks_matrix() -> CsrMatrix {
         CsrMatrix::from_pairs(
             6,
             6,
@@ -497,7 +514,7 @@ mod tests {
 
     #[test]
     fn empty_matrix_trains_to_zero_factors() {
-        let r = CsrMatrix::empty(4, 3);
+        let r = Dataset::from_matrix(CsrMatrix::empty(4, 3));
         let result = fit(
             &r,
             &OcularConfig {

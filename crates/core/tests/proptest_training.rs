@@ -56,7 +56,7 @@ proptest! {
             seed,
             ..Default::default()
         };
-        let result = fit(&r, &cfg);
+        let result = fit(&r.clone().into(), &cfg);
         for w in result.history.objective.windows(2) {
             prop_assert!(w[1] <= w[0] + 1e-7, "objective rose: {} -> {}", w[0], w[1]);
         }
@@ -67,7 +67,7 @@ proptest! {
     #[test]
     fn probabilities_always_valid(r in arb_matrix(), seed in 0u64..1000) {
         let cfg = OcularConfig { k: 2, lambda: 0.1, max_iters: 5, seed, ..Default::default() };
-        let result = fit(&r, &cfg);
+        let result = fit(&r.clone().into(), &cfg);
         for u in 0..r.n_rows() {
             for i in 0..r.n_cols() {
                 let p = result.model.prob(u, i);
@@ -86,7 +86,7 @@ proptest! {
             weighting: Weighting::Relative,
             ..Default::default()
         };
-        let result = fit(&r, &cfg);
+        let result = fit(&r.clone().into(), &cfg);
         for w in result.history.objective.windows(2) {
             prop_assert!(w[1] <= w[0] + 1e-7);
         }
@@ -95,7 +95,7 @@ proptest! {
     #[test]
     fn save_load_roundtrip_preserves_model(r in arb_matrix(), seed in 0u64..100) {
         let cfg = OcularConfig { k: 2, lambda: 0.2, max_iters: 3, seed, ..Default::default() };
-        let model = fit(&r, &cfg).model;
+        let model = fit(&r.clone().into(), &cfg).model;
         let mut buf: Vec<u8> = Vec::new();
         model.save(&mut buf).unwrap();
         let loaded = FactorModel::load(&mut buf.as_slice()).unwrap();

@@ -22,7 +22,7 @@
 //! cold-start edge case).
 
 use crate::planted::CoClusterTruth;
-use ocular_sparse::{CsrMatrix, Triplets};
+use ocular_sparse::{CsrMatrix, Dataset, Triplets};
 
 /// Number of users in the toy example.
 pub const N_USERS: usize = 12;
@@ -34,8 +34,8 @@ pub const HELD_OUT: [(usize, usize); 3] = [(1, 5), (6, 4), (9, 8)];
 /// The toy dataset: matrix, ground-truth co-clusters and the held-out cells.
 #[derive(Debug, Clone)]
 pub struct Figure1 {
-    /// The observed binary matrix (held-out cells are *absent*).
-    pub matrix: CsrMatrix,
+    /// The observed interaction store (held-out cells are *absent*).
+    pub matrix: Dataset,
     /// The three overlapping co-clusters.
     pub truth: CoClusterTruth,
     /// The complete matrix including the held-out cells, for reference.
@@ -64,7 +64,7 @@ pub fn figure1() -> Figure1 {
         }
     }
     Figure1 {
-        matrix: observed.into_csr(),
+        matrix: Dataset::from_matrix(observed.into_csr()),
         truth,
         complete,
     }

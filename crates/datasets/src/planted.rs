@@ -7,7 +7,7 @@
 //! within blocks with probability `within_density` and anywhere with
 //! probability `noise_density`.
 
-use ocular_sparse::{CsrMatrix, Triplets};
+use ocular_sparse::{Dataset, Triplets};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -102,8 +102,9 @@ impl Default for PlantedConfig {
 /// A generated dataset together with its ground truth.
 #[derive(Debug, Clone)]
 pub struct PlantedDataset {
-    /// The binary interaction matrix.
-    pub matrix: CsrMatrix,
+    /// The binary interaction store (identity id maps — synthetic data has
+    /// no external ids).
+    pub matrix: Dataset,
     /// Planted co-cluster structure.
     pub truth: CoClusterTruth,
     /// The configuration that produced it.
@@ -179,7 +180,7 @@ pub fn generate(cfg: &PlantedConfig) -> PlantedDataset {
     }
 
     PlantedDataset {
-        matrix: t.into_csr(),
+        matrix: Dataset::from_matrix(t.into_csr()),
         truth: CoClusterTruth {
             user_sets,
             item_sets,

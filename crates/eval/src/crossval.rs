@@ -12,7 +12,7 @@
 
 use crate::protocol::evaluate;
 use ocular_api::Recommender;
-use ocular_sparse::CsrMatrix;
+use ocular_sparse::{CsrMatrix, Dataset};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -39,11 +39,12 @@ impl Folds {
         Folds { assignment, k }
     }
 
-    /// The train/validation matrices for fold `fold`.
+    /// The train/validation datasets for fold `fold`; both sides share
+    /// `r`'s id maps, so external ids resolve identically across folds.
     ///
     /// # Panics
     /// Panics if `fold >= k`.
-    pub fn split(&self, r: &CsrMatrix, fold: usize) -> (CsrMatrix, CsrMatrix) {
+    pub fn split(&self, r: &Dataset, fold: usize) -> (Dataset, Dataset) {
         assert!(fold < self.k, "fold {fold} out of range");
         let keep_train: Vec<bool> = self
             .assignment
@@ -85,11 +86,11 @@ impl<P> CvScore<P> {
 }
 
 /// Cross-validates a list of candidates. `fit(params, train)` fits the
-/// candidate's model on the fold's training matrix; the model is then
+/// candidate's model on the fold's training dataset; the model is then
 /// scored on the held-out fold with recall@`m` under the evaluation
 /// protocol. Returns all scores, best first.
 pub fn cross_validate<P, F>(
-    r: &CsrMatrix,
+    r: &Dataset,
     candidates: Vec<P>,
     folds: &Folds,
     m: usize,
@@ -97,7 +98,7 @@ pub fn cross_validate<P, F>(
 ) -> Vec<CvScore<P>>
 where
     P: Clone,
-    F: Fn(&P, &CsrMatrix) -> Box<dyn Recommender>,
+    F: Fn(&P, &Dataset) -> Box<dyn Recommender>,
 {
     let mut scores: Vec<CvScore<P>> = candidates
         .into_iter()
@@ -127,7 +128,7 @@ mod tests {
     use ocular_api::FnScorer;
     use ocular_sparse::Triplets;
 
-    fn matrix() -> CsrMatrix {
+    fn matrix() -> Dataset {
         let mut t = Triplets::new(12, 12);
         for u in 0..12 {
             for i in 0..12 {
@@ -136,7 +137,7 @@ mod tests {
                 }
             }
         }
-        t.into_csr()
+        Dataset::from_matrix(t.into_csr())
     }
 
     #[test]

@@ -125,13 +125,22 @@ impl Matrix {
     /// Sum of every row: `out[j] = Σ_r self[r, j]`. This is the paper's
     /// precomputed `Σ_u f_u` (Section IV-D sum-trick).
     pub fn column_sums(&self) -> Vec<f64> {
-        let mut out = vec![0.0; self.cols];
+        let mut out = Vec::new();
+        self.column_sums_into(&mut out);
+        out
+    }
+
+    /// [`Matrix::column_sums`] into a caller-owned buffer (cleared and
+    /// resized), so per-sweep callers reuse one allocation for the whole
+    /// training run.
+    pub fn column_sums_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.cols, 0.0);
         for r in 0..self.rows {
             for (o, &v) in out.iter_mut().zip(self.row(r)) {
                 *o += v;
             }
         }
-        out
     }
 
     /// Gram matrix `AᵀA` (`cols × cols`, symmetric PSD). The wALS baseline

@@ -19,7 +19,7 @@ use ocular_core::loss::{objective_parts, user_weights};
 use ocular_core::model::FactorModel;
 use ocular_core::trainer::{bias_layout, initial_factors, TrainResult, TrainingHistory};
 use ocular_linalg::Matrix;
-use ocular_sparse::CsrMatrix;
+use ocular_sparse::{CsrMatrix, Dataset};
 use rayon::prelude::*;
 use std::time::Instant;
 
@@ -32,6 +32,7 @@ enum SideWeights<'a> {
 }
 
 /// One parallel half-sweep over all rows of `own`.
+#[allow(clippy::too_many_arguments)]
 fn parallel_sweep_side(
     own: &mut Matrix,
     other: &Matrix,
@@ -40,8 +41,10 @@ fn parallel_sweep_side(
     cfg: &OcularConfig,
     fixed_dim: Option<usize>,
     ls: &LineSearch,
+    other_sum: &mut Vec<f64>,
 ) {
-    let other_sum = other.column_sums();
+    other.column_sums_into(other_sum);
+    let other_sum: &[f64] = other_sum;
     let k = own.cols();
     own.as_mut_slice()
         .par_chunks_mut(k)
@@ -50,7 +53,7 @@ fn parallel_sweep_side(
             || (vec![0.0; k], vec![0.0; k], vec![0.0; k]),
             |(negsum, grad, candidate), (e, row)| {
                 let positives = adjacency.row(e);
-                negative_sum(other, &other_sum, positives, negsum);
+                negative_sum(other, other_sum, positives, negsum);
                 let weights = match side_weights {
                     SideWeights::PerCounterpart(w) => PosWeights::PerEntity(w),
                     SideWeights::OwnWeight(w) => PosWeights::Uniform(w[e]),
@@ -89,18 +92,21 @@ fn parallel_sweep_side(
 ///
 /// # Panics
 /// Panics if `cfg` fails validation or the thread pool cannot be built.
-pub fn fit_parallel(r: &CsrMatrix, cfg: &OcularConfig, threads: Option<usize>) -> TrainResult {
-    crate::with_threads(threads, || fit_parallel_inner(r, cfg))
+pub fn fit_parallel(data: &Dataset, cfg: &OcularConfig, threads: Option<usize>) -> TrainResult {
+    crate::with_threads(threads, || fit_parallel_inner(data, cfg))
 }
 
-fn fit_parallel_inner(r: &CsrMatrix, cfg: &OcularConfig) -> TrainResult {
+fn fit_parallel_inner(data: &Dataset, cfg: &OcularConfig) -> TrainResult {
     if let Err(msg) = cfg.validate() {
         panic!("invalid OcularConfig: {msg}");
     }
+    let r: &CsrMatrix = data.matrix();
     let (user_frozen, _, item_frozen, _) = bias_layout(cfg);
     let (mut user_factors, mut item_factors) = initial_factors(r, cfg);
-    let rt = r.transpose();
+    let rt = data.item_view();
     let weights = user_weights(r, cfg.weighting);
+    // one reusable column-sum buffer for the whole run (no per-sweep churn)
+    let mut sum_buf: Vec<f64> = Vec::with_capacity(cfg.k_total());
     let ls = LineSearch {
         sigma: cfg.sigma,
         beta: cfg.beta,
@@ -117,11 +123,12 @@ fn fit_parallel_inner(r: &CsrMatrix, cfg: &OcularConfig) -> TrainResult {
         parallel_sweep_side(
             &mut item_factors,
             &user_factors,
-            &rt,
+            rt,
             &SideWeights::PerCounterpart(&weights),
             cfg,
             item_frozen,
             &ls,
+            &mut sum_buf,
         );
         parallel_sweep_side(
             &mut user_factors,
@@ -131,6 +138,7 @@ fn fit_parallel_inner(r: &CsrMatrix, cfg: &OcularConfig) -> TrainResult {
             cfg,
             user_frozen,
             &ls,
+            &mut sum_buf,
         );
         history.sweep_seconds.push(t0.elapsed().as_secs_f64());
         let q_new = objective_parts(r, &user_factors, &item_factors, cfg.lambda, &weights);
@@ -153,7 +161,7 @@ mod tests {
     use super::*;
     use ocular_core::fit;
 
-    fn blocks(n: usize) -> CsrMatrix {
+    fn blocks(n: usize) -> Dataset {
         let mut pairs = Vec::new();
         for b in 0..4 {
             for u in 0..n {
@@ -162,7 +170,7 @@ mod tests {
                 }
             }
         }
-        CsrMatrix::from_pairs(4 * n, 4 * n, &pairs).unwrap()
+        Dataset::from_matrix(CsrMatrix::from_pairs(4 * n, 4 * n, &pairs).unwrap())
     }
 
     fn cfg() -> OcularConfig {

@@ -34,20 +34,28 @@
 //! the snapshot. The `clusters` candidate mode only applies to `ocular`
 //! snapshots; other kinds are always served against the full catalog.
 //!
-//! Requests: `{"user": 17}` or `{"user": 17, "m": 5}` for warm users,
-//! `{"basket": [0, 4, 9], "m": 5}` for cold-start fold-in. Responses echo
-//! the request key and carry `items`, `probs`, `scored`, `fallback`;
-//! failures (including cold requests against kinds without fold-in)
-//! become `{"error": "..."}` without aborting the stream.
-//! User/item indices are the snapshot's internal (compacted) ids.
+//! Requests: `{"user": 17}` or `{"user": 17, "m": 5}` for warm users by
+//! **internal** (compacted) index, `{"basket": [0, 4, 9], "m": 5}` for
+//! cold-start fold-in over internal item indices — or the **external-id**
+//! forms `{"user_id": 90210}` and `{"basket_ids": [1193, 661]}`, which
+//! resolve through the id maps the training run embedded in the snapshot
+//! (falling back to the maps derived from `--interactions`). Responses
+//! echo the request key and carry `items`, `probs`, `scored`, `fallback`;
+//! when id maps are available they also carry `item_ids` — the served
+//! items as external ids, completing the external→external round trip.
+//! Failures (including cold requests against kinds without fold-in, and
+//! unknown external ids) become `{"error": "..."}` without aborting the
+//! stream.
 
 use ocular_baselines::{Bpr, BprConfig, ItemKnn, KnnConfig, Popularity, UserKnn, Wals, WalsConfig};
 use ocular_core::{fit, OcularConfig};
 use ocular_serve::json::{obj, Json};
 use ocular_serve::{AnySnapshot, CandidatePolicy, Request, ServeConfig, ServeEngine, Snapshot};
 use ocular_sparse::io::read_edge_list;
+use ocular_sparse::{Dataset, IdMaps, StreamingTriplets};
 use std::io::{BufRead, BufWriter, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// `--key value` / bare `--flag` parsing (same dialect as ocular-bench).
 struct Flags {
@@ -89,9 +97,44 @@ impl Flags {
     }
 }
 
-fn load_matrix(path: &str, sep: &str) -> Result<ocular_sparse::CsrMatrix, String> {
+/// Streams the edge list into a [`Dataset`] (chunked ingestion; external
+/// ids compacted in first-appearance order and kept as the id maps).
+fn load_dataset(path: &str, sep: &str) -> Result<Dataset, String> {
     let parsed = read_edge_list(path, sep, None).map_err(|e| e.to_string())?;
-    Ok(parsed.into_matrix().0)
+    Ok(parsed.into_dataset())
+}
+
+/// Aligns an interaction log to a snapshot's id space: every record is
+/// translated external→internal through the snapshot's maps, so the
+/// exclusion lists land on the model's rows no matter what order the
+/// serving-side file lists them in. Records referencing ids the model
+/// never saw are an error (they cannot map to any row/column). Serving
+/// with the training file itself reproduces the snapshot's maps exactly,
+/// in which case the log is already aligned and no rebuild happens.
+fn align_to_ids(d: Dataset, ids: IdMaps) -> Result<Dataset, String> {
+    if d.ids() == Some(&ids) {
+        return Ok(d);
+    }
+    let mut staged = StreamingTriplets::new();
+    for (u, i) in d.iter_nnz() {
+        let user = ids.user_index(d.external_user(u)).ok_or_else(|| {
+            format!(
+                "interactions user {} unknown to the snapshot",
+                d.external_user(u)
+            )
+        })?;
+        let item = ids.item_index(d.external_item(i)).ok_or_else(|| {
+            format!(
+                "interactions item {} unknown to the snapshot",
+                d.external_item(i)
+            )
+        })?;
+        staged.push(user, item).map_err(|e| e.to_string())?;
+    }
+    let matrix = staged
+        .finish(ids.n_users(), ids.n_items())
+        .map_err(|e| e.to_string())?;
+    Dataset::with_ids(matrix, Arc::new(ids)).map_err(|e| e.to_string())
 }
 
 fn train_mode(flags: &Flags) -> Result<(), String> {
@@ -101,7 +144,7 @@ fn train_mode(flags: &Flags) -> Result<(), String> {
         .ok_or("--train requires --snapshot <path>")?;
     let sep = flags.get("sep").unwrap_or("\t");
     let algo = flags.get("algo").unwrap_or("ocular");
-    let r = load_matrix(data, sep)?;
+    let r = load_dataset(data, sep)?;
     let seed = flags.num("seed", 0u64);
     let t0 = std::time::Instant::now();
     let snapshot: AnySnapshot = match algo {
@@ -164,12 +207,14 @@ fn train_mode(flags: &Flags) -> Result<(), String> {
         }
     };
     let mut file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
-    snapshot.save(&mut file).map_err(|e| e.to_string())?;
+    snapshot
+        .save_with_ids(r.ids(), &mut file)
+        .map_err(|e| e.to_string())?;
     eprintln!(
-        "trained {} on {}×{} (nnz={}) in {:.2}s → {out}",
+        "trained {} on {}×{} (nnz={}) in {:.2}s → {out} (id maps embedded)",
         snapshot.kind(),
-        r.n_rows(),
-        r.n_cols(),
+        r.n_users(),
+        r.n_items(),
         r.nnz(),
         t0.elapsed().as_secs_f64()
     );
@@ -182,29 +227,54 @@ fn parse_request(line: &str, default_m: usize) -> Result<Request, String> {
         None => default_m,
         Some(j) => j.as_usize().ok_or("`m` must be a non-negative integer")?,
     };
-    match (v.get("user"), v.get("basket")) {
-        (Some(u), None) => {
-            let user = u
-                .as_usize()
-                .ok_or("`user` must be a non-negative integer")?;
-            Ok(Request::Warm { user, m })
-        }
-        (None, Some(b)) => {
-            let items = b.as_array().ok_or("`basket` must be an array")?;
-            let basket = items
-                .iter()
-                .map(|j| {
-                    j.as_usize()
-                        .ok_or("basket items must be non-negative integers")
-                })
-                .collect::<Result<Vec<_>, _>>()?;
-            Ok(Request::Cold { basket, m })
-        }
-        _ => Err("request needs exactly one of `user` or `basket`".into()),
+    let keys = [
+        v.get("user"),
+        v.get("basket"),
+        v.get("user_id"),
+        v.get("basket_ids"),
+    ];
+    if keys.iter().filter(|k| k.is_some()).count() != 1 {
+        return Err(
+            "request needs exactly one of `user`, `basket`, `user_id` or `basket_ids`".into(),
+        );
     }
+    if let Some(u) = v.get("user") {
+        let user = u
+            .as_usize()
+            .ok_or("`user` must be a non-negative integer")?;
+        return Ok(Request::Warm { user, m });
+    }
+    if let Some(b) = v.get("basket") {
+        let items = b.as_array().ok_or("`basket` must be an array")?;
+        let basket = items
+            .iter()
+            .map(|j| {
+                j.as_usize()
+                    .ok_or("basket items must be non-negative integers")
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(Request::Cold { basket, m });
+    }
+    if let Some(u) = v.get("user_id") {
+        let user = u
+            .as_u64()
+            .ok_or("`user_id` must be a non-negative integer below 2^53")?;
+        return Ok(Request::WarmExternal { user, m });
+    }
+    let b = v.get("basket_ids").expect("one key is present");
+    let items = b.as_array().ok_or("`basket_ids` must be an array")?;
+    let basket = items
+        .iter()
+        .map(|j| {
+            j.as_u64()
+                .ok_or("basket ids must be non-negative integers below 2^53")
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Request::ColdExternal { basket, m })
 }
 
 fn render_response(
+    engine: &ServeEngine,
     req: &Request,
     result: &Result<ocular_serve::ServedList, ocular_serve::ServeError>,
 ) -> Json {
@@ -213,7 +283,12 @@ fn render_response(
         Ok(list) => {
             let mut fields = match req {
                 Request::Warm { user, .. } => vec![("user", Json::Num(*user as f64))],
-                Request::Cold { .. } => vec![("cold", Json::Bool(true))],
+                Request::WarmExternal { user, .. } => {
+                    vec![("user_id", Json::Int(*user))]
+                }
+                Request::Cold { .. } | Request::ColdExternal { .. } => {
+                    vec![("cold", Json::Bool(true))]
+                }
             };
             fields.push((
                 "items",
@@ -224,6 +299,17 @@ fn render_response(
                         .collect(),
                 ),
             ));
+            if engine.dataset().ids().is_some() {
+                fields.push((
+                    "item_ids",
+                    Json::Arr(
+                        list.items
+                            .iter()
+                            .map(|r| Json::Int(engine.external_item(r.item)))
+                            .collect(),
+                    ),
+                ));
+            }
             fields.push((
                 "probs",
                 Json::Arr(
@@ -247,10 +333,19 @@ fn serve_mode(flags: &Flags) -> Result<(), String> {
         .ok_or("serving requires --interactions <edge list> (owned-item exclusion)")?;
     let sep = flags.get("sep").unwrap_or("\t");
     let file = std::fs::File::open(snap_path).map_err(|e| format!("open {snap_path}: {e}"))?;
-    let snapshot =
-        AnySnapshot::load(&mut std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
+    let (snapshot, snap_ids) = AnySnapshot::load_with_ids(&mut std::io::BufReader::new(file))
+        .map_err(|e| e.to_string())?;
     let kind = snapshot.kind();
-    let r = load_matrix(data, sep)?;
+    let r = load_dataset(data, sep)?;
+    // When the snapshot embeds id maps, they are authoritative for the
+    // model's row/column space: re-align the interaction log to them so
+    // exclusion lists land on the model's rows regardless of the file's
+    // record order. Otherwise the file's own first-appearance compaction
+    // must reproduce the training-time mapping (same file → same maps).
+    let r = match snap_ids {
+        Some(ids) => align_to_ids(r, ids)?,
+        None => r,
+    };
 
     let candidates = match flags.get("mode").unwrap_or("clusters") {
         "full" => CandidatePolicy::FullCatalog,
@@ -296,7 +391,7 @@ fn serve_mode(flags: &Flags) -> Result<(), String> {
                 Err(e) => obj(vec![("error", Json::Str(e))]),
                 Ok(req) => {
                     let result = served.next().expect("one response per request");
-                    render_response(&req, &result)
+                    render_response(&engine, &req, &result)
                 }
             };
             writeln!(out, "{line}").map_err(|e| e.to_string())?;

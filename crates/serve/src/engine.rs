@@ -16,7 +16,7 @@ use ocular_core::model::prob_from_affinity;
 use ocular_core::topm::{top_m_excluding, TopM};
 use ocular_core::{fold_in_user, FactorModel, OcularConfig, Recommendation};
 use ocular_linalg::ops;
-use ocular_sparse::CsrMatrix;
+use ocular_sparse::Dataset;
 use rayon::prelude::*;
 
 /// How the engine picks the items a request scores.
@@ -82,6 +82,24 @@ pub enum Request {
         /// List length; 0 means the engine's `default_m`.
         m: usize,
     },
+    /// A warm user addressed by **external** id, resolved through the
+    /// engine dataset's id maps (O(1)); unknown ids answer with
+    /// [`OcularError::UnknownExternalId`]. Under the identity mapping
+    /// (no id maps) any in-range id resolves to itself.
+    WarmExternal {
+        /// External id of the user, as it appeared at ingestion time.
+        user: u64,
+        /// List length; 0 means the engine's `default_m`.
+        m: usize,
+    },
+    /// A cold-start basket of **external** item ids, each resolved
+    /// through the engine dataset's id maps before fold-in.
+    ColdExternal {
+        /// External ids of the items the unseen user interacted with.
+        basket: Vec<u64>,
+        /// List length; 0 means the engine's `default_m`.
+        m: usize,
+    },
 }
 
 /// A served recommendation list plus serving telemetry.
@@ -132,12 +150,13 @@ impl EngineModel {
 /// The in-process serving engine.
 ///
 /// Holds the loaded model (any snapshot kind) and the training
-/// interactions (for owned-item exclusion). All serving methods take
-/// `&self`, so one engine can be shared across threads;
-/// [`ServeEngine::serve_batch`] does exactly that via rayon.
+/// interaction [`Dataset`] — used both for owned-item exclusion and for
+/// resolving external-id requests through the dataset's id maps. All
+/// serving methods take `&self`, so one engine can be shared across
+/// threads; [`ServeEngine::serve_batch`] does exactly that via rayon.
 pub struct ServeEngine {
     model: EngineModel,
-    owned: CsrMatrix,
+    owned: Dataset,
     cfg: ServeConfig,
 }
 
@@ -146,7 +165,7 @@ impl ServeEngine {
     /// interactions. The interactions must match the model's shape.
     pub fn new(
         snapshot: Snapshot,
-        interactions: CsrMatrix,
+        interactions: Dataset,
         cfg: ServeConfig,
     ) -> Result<Self, OcularError> {
         Self::from_any(AnySnapshot::Ocular(snapshot), interactions, cfg)
@@ -155,7 +174,7 @@ impl ServeEngine {
     /// Builds an engine from a snapshot of *any* model kind.
     pub fn from_any(
         snapshot: AnySnapshot,
-        interactions: CsrMatrix,
+        interactions: Dataset,
         cfg: ServeConfig,
     ) -> Result<Self, OcularError> {
         let model = match snapshot {
@@ -165,10 +184,10 @@ impl ServeEngine {
             },
             AnySnapshot::Other(m) => EngineModel::Generic(m),
         };
-        if interactions.n_rows() != model.n_users() || interactions.n_cols() != model.n_items() {
+        if interactions.n_users() != model.n_users() || interactions.n_items() != model.n_items() {
             return Err(OcularError::ShapeMismatch {
                 expected: (model.n_users(), model.n_items()),
-                found: (interactions.n_rows(), interactions.n_cols()),
+                found: (interactions.n_users(), interactions.n_items()),
             });
         }
         Ok(ServeEngine {
@@ -182,7 +201,7 @@ impl ServeEngine {
     /// involved) — the programmatic path for baseline kinds.
     pub fn from_recommender(
         model: Box<dyn Model>,
-        interactions: CsrMatrix,
+        interactions: Dataset,
         cfg: ServeConfig,
     ) -> Result<Self, OcularError> {
         Self::from_any(AnySnapshot::Other(model), interactions, cfg)
@@ -193,11 +212,27 @@ impl ServeEngine {
     /// [`ClusterIndex::build`]).
     pub fn from_model(
         model: FactorModel,
-        interactions: CsrMatrix,
+        interactions: Dataset,
         index_cfg: &IndexConfig,
         cfg: ServeConfig,
     ) -> Result<Self, OcularError> {
         Self::new(Snapshot::build(model, index_cfg), interactions, cfg)
+    }
+
+    /// The training interaction store behind the engine — owned-item
+    /// exclusion lists plus the external↔internal id maps.
+    pub fn dataset(&self) -> &Dataset {
+        &self.owned
+    }
+
+    /// External id of internal item `i` (identity when the dataset has no
+    /// id maps) — what responses should print when requests arrived with
+    /// external ids.
+    ///
+    /// # Panics
+    /// Panics if `i >= n_items`.
+    pub fn external_item(&self, i: usize) -> u64 {
+        self.owned.external_item(i)
     }
 
     /// The engine's factor model.
@@ -243,11 +278,36 @@ impl ServeEngine {
         &self.cfg
     }
 
-    /// Serves one request.
+    /// Serves one request. External-id requests resolve through the
+    /// dataset's id maps first and then take exactly the warm/cold paths.
     pub fn serve_one(&self, req: &Request) -> Result<ServedList, ServeError> {
         match req {
             Request::Warm { user, m } => self.serve_warm(*user, self.effective_m(*m)),
             Request::Cold { basket, m } => self.serve_cold(basket, self.effective_m(*m)),
+            Request::WarmExternal { user, m } => {
+                let internal =
+                    self.owned
+                        .user_index(*user)
+                        .ok_or(OcularError::UnknownExternalId {
+                            external: *user,
+                            entity: "user",
+                        })?;
+                self.serve_warm(internal, self.effective_m(*m))
+            }
+            Request::ColdExternal { basket, m } => {
+                let internal = basket
+                    .iter()
+                    .map(|&ext| {
+                        self.owned
+                            .item_index(ext)
+                            .ok_or(OcularError::UnknownExternalId {
+                                external: ext,
+                                entity: "item",
+                            })
+                    })
+                    .collect::<Result<Vec<usize>, _>>()?;
+                self.serve_cold(&internal, self.effective_m(*m))
+            }
         }
     }
 
@@ -429,7 +489,7 @@ mod tests {
     use ocular_core::{fit, recommend_top_m};
     use ocular_datasets::planted::{generate, PlantedConfig};
 
-    fn trained() -> (FactorModel, CsrMatrix, OcularConfig) {
+    fn trained() -> (FactorModel, Dataset, OcularConfig) {
         let data = generate(&PlantedConfig {
             n_users: 60,
             n_items: 40,
@@ -453,7 +513,7 @@ mod tests {
         (model, data.matrix, cfg)
     }
 
-    fn engine(policy: CandidatePolicy) -> (ServeEngine, CsrMatrix) {
+    fn engine(policy: CandidatePolicy) -> (ServeEngine, Dataset) {
         let (model, r, train_cfg) = trained();
         let cfg = ServeConfig {
             default_m: 5,
@@ -579,7 +639,7 @@ mod tests {
     #[test]
     fn shape_mismatch_rejected() {
         let (model, _r, _) = trained();
-        let bad = CsrMatrix::empty(3, 3);
+        let bad = Dataset::from_matrix(ocular_sparse::CsrMatrix::empty(3, 3));
         assert!(matches!(
             ServeEngine::from_model(model, bad, &IndexConfig::default(), ServeConfig::default()),
             Err(OcularError::ShapeMismatch { .. })
@@ -664,5 +724,121 @@ mod tests {
     fn intersection_size_counts() {
         assert_eq!(intersection_size(&[1, 3, 5], &[2, 3, 5, 7]), 2);
         assert_eq!(intersection_size(&[], &[1]), 0);
+    }
+
+    /// Attaches non-trivial external ids (user `u` ↔ `1000 + 7u`, item `i`
+    /// ↔ `500 + 3i`) to the trained interactions.
+    fn engine_with_ids(policy: CandidatePolicy) -> (ServeEngine, Dataset) {
+        let (model, r, train_cfg) = trained();
+        let users: Vec<u64> = (0..r.n_users() as u64).map(|u| 1000 + 7 * u).collect();
+        let items: Vec<u64> = (0..r.n_items() as u64).map(|i| 500 + 3 * i).collect();
+        let ids = ocular_sparse::IdMaps::new(users, items).unwrap();
+        let d = Dataset::new(r.matrix().clone(), ids).unwrap();
+        let cfg = ServeConfig {
+            default_m: 5,
+            candidates: policy,
+            foldin: train_cfg,
+            ..Default::default()
+        };
+        let e = ServeEngine::from_model(
+            model,
+            d.clone(),
+            &IndexConfig {
+                rel: 0.5,
+                floor: 10,
+            },
+            cfg,
+        )
+        .unwrap();
+        (e, d)
+    }
+
+    #[test]
+    fn external_id_requests_resolve_to_internal_paths() {
+        let (e, d) = engine_with_ids(CandidatePolicy::FullCatalog);
+        for u in 0..d.n_users() {
+            let via_external = e
+                .serve_one(&Request::WarmExternal {
+                    user: d.external_user(u),
+                    m: 8,
+                })
+                .unwrap();
+            let via_internal = e.serve_one(&Request::Warm { user: u, m: 8 }).unwrap();
+            assert_eq!(
+                via_external, via_internal,
+                "external addressing must be a pure id translation for user {u}"
+            );
+        }
+        // items in the response translate back through the engine's maps
+        let served = e
+            .serve_one(&Request::WarmExternal { user: 1000, m: 3 })
+            .unwrap();
+        for rec in &served.items {
+            assert_eq!(e.external_item(rec.item), 500 + 3 * rec.item as u64);
+            assert_eq!(
+                e.dataset().item_index(e.external_item(rec.item)),
+                Some(rec.item)
+            );
+        }
+    }
+
+    #[test]
+    fn external_cold_basket_resolves_items() {
+        let (e, d) = engine_with_ids(CandidatePolicy::Clusters { min_candidates: 5 });
+        let internal = vec![0usize, 1, 2];
+        let external: Vec<u64> = internal.iter().map(|&i| d.external_item(i)).collect();
+        let a = e
+            .serve_one(&Request::ColdExternal {
+                basket: external,
+                m: 5,
+            })
+            .unwrap();
+        let b = e
+            .serve_one(&Request::Cold {
+                basket: internal,
+                m: 5,
+            })
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_external_ids_rejected_with_typed_error() {
+        let (e, _) = engine_with_ids(CandidatePolicy::FullCatalog);
+        assert!(matches!(
+            e.serve_one(&Request::WarmExternal { user: 1, m: 3 }),
+            Err(OcularError::UnknownExternalId {
+                external: 1,
+                entity: "user"
+            })
+        ));
+        assert!(matches!(
+            e.serve_one(&Request::ColdExternal {
+                basket: vec![500, 2],
+                m: 3
+            }),
+            Err(OcularError::UnknownExternalId {
+                external: 2,
+                entity: "item"
+            })
+        ));
+    }
+
+    #[test]
+    fn identity_mapping_serves_external_ids_in_range() {
+        // no id maps: external ids are the internal indices
+        let (e, _) = engine(CandidatePolicy::FullCatalog);
+        let a = e
+            .serve_one(&Request::WarmExternal { user: 3, m: 4 })
+            .unwrap();
+        let b = e.serve_one(&Request::Warm { user: 3, m: 4 }).unwrap();
+        assert_eq!(a, b);
+        assert!(matches!(
+            e.serve_one(&Request::WarmExternal {
+                user: u64::MAX,
+                m: 4
+            }),
+            Err(OcularError::UnknownExternalId { .. })
+        ));
     }
 }

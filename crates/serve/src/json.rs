@@ -19,6 +19,12 @@ pub enum Json {
     Bool(bool),
     /// Any JSON number (parsed as `f64`).
     Num(f64),
+    /// An exact unsigned integer — used when **rendering** external ids,
+    /// which are `u64` and would silently lose precision past 2^53 if
+    /// routed through `Num`'s `f64`. The parser never produces this
+    /// variant (JSON numbers parse as `f64`); it exists so responses can
+    /// carry any ingested id verbatim.
+    Int(u64),
     /// A string.
     Str(String),
     /// An array.
@@ -51,10 +57,12 @@ impl Json {
         }
     }
 
-    /// The value as a finite `f64`, if it is a number.
+    /// The value as a finite `f64`, if it is a number (exact for `Int`
+    /// values up to 2^53).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
+            Json::Int(n) => Some(*n as f64),
             _ => None,
         }
     }
@@ -65,6 +73,22 @@ impl Json {
             Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= usize::MAX as f64 => {
                 Some(*n as usize)
             }
+            Json::Int(n) => usize::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative 64-bit integer, if it is one. Parsed
+    /// numbers are stored as `f64`, so integers are only unambiguous
+    /// strictly below 2^53 (2^53 itself is the first value a larger
+    /// integer collapses onto) — anything past that is rejected rather
+    /// than silently resolved to a neighbouring id.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < (1u64 << 53) as f64 => {
+                Some(*n as u64)
+            }
+            Json::Int(n) => Some(*n),
             _ => None,
         }
     }
@@ -99,6 +123,7 @@ impl fmt::Display for Json {
                     write!(f, "null")
                 }
             }
+            Json::Int(n) => write!(f, "{n}"),
             Json::Str(s) => {
                 write!(f, "\"")?;
                 for c in s.chars() {
@@ -335,6 +360,28 @@ mod tests {
         let basket = cold.get("basket").unwrap().as_array().unwrap();
         assert_eq!(basket.len(), 3);
         assert_eq!(basket[2].as_usize(), Some(3));
+    }
+
+    #[test]
+    fn int_renders_u64_exactly_past_f64_precision() {
+        // 2^53 + 1 is the first integer f64 cannot represent
+        let big = (1u64 << 53) + 1;
+        assert_eq!(Json::Int(big).to_string(), big.to_string());
+        assert_eq!(Json::Int(u64::MAX).to_string(), u64::MAX.to_string());
+        assert_eq!(Json::Int(7).as_u64(), Some(7));
+        assert_eq!(Json::Int(big).as_u64(), Some(big));
+        assert_eq!(Json::Int(3).as_usize(), Some(3));
+        assert_eq!(Json::Int(4).as_f64(), Some(4.0));
+    }
+
+    #[test]
+    fn parsed_ids_at_the_f64_ambiguity_boundary_are_rejected() {
+        // 2^53 parses exactly, but 2^53 + 1 collapses onto the same f64 —
+        // a request for either must not silently resolve to a neighbour
+        let at = Json::parse(&(1u64 << 53).to_string()).unwrap();
+        assert_eq!(at.as_u64(), None);
+        let below = Json::parse(&((1u64 << 53) - 1).to_string()).unwrap();
+        assert_eq!(below.as_u64(), Some((1 << 53) - 1));
     }
 
     #[test]

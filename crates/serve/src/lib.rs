@@ -39,15 +39,17 @@
 //! ```
 //! use ocular_serve::{CandidatePolicy, IndexConfig, Request, ServeConfig, ServeEngine};
 //! use ocular_core::{fit, OcularConfig};
-//! use ocular_sparse::CsrMatrix;
+//! use ocular_sparse::io::read_edge_list_str;
 //!
-//! let r = CsrMatrix::from_pairs(4, 4, &[
-//!     (0, 0), (0, 1), (1, 0), (1, 1),
-//!     (2, 2), (2, 3), (3, 2), (3, 3),
-//! ]).unwrap();
+//! // ingestion → Dataset: external ids compacted, id maps kept
+//! let r = read_edge_list_str(
+//!     "100\t7\n100\t8\n200\t7\n200\t8\n300\t55\n300\t56\n400\t55\n400\t56\n",
+//!     "\t", None,
+//! ).unwrap().into_dataset();
 //! let model = fit(&r, &OcularConfig { k: 2, lambda: 0.05, seed: 7, ..Default::default() }).model;
 //! let engine = ServeEngine::from_model(model, r, &IndexConfig::default(), ServeConfig::default()).unwrap();
-//! let out = engine.serve_one(&Request::Warm { user: 0, m: 2 }).unwrap();
+//! // requests can arrive with the ingestion-time external ids
+//! let out = engine.serve_one(&Request::WarmExternal { user: 100, m: 2 }).unwrap();
 //! assert_eq!(out.items.len(), 2);
 //! ```
 

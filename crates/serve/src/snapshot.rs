@@ -9,8 +9,20 @@
 //! <kind-specific model payload, self-delimiting>
 //! [cocluster-index v1 <n_clusters> <n_items> <rel>      (kind = ocular only)
 //!  <n_clusters lines: "<len> <ascending item ids>">]
+//! [id-maps v1 <n_users> <n_items>                       (optional)
+//!  <n_users external user ids, one line>
+//!  <n_items external item ids, one line>]
 //! ocular-snapshot end
 //! ```
+//!
+//! The optional `id-maps` section carries the training
+//! [`Dataset`](ocular_sparse::Dataset)'s external↔internal id tables, so
+//! the serving tier can answer requests addressed by external ids without
+//! re-deriving the compaction from the raw interaction file — the
+//! snapshot and the dataset agree on the id space by construction. Write
+//! it with [`AnySnapshot::save_with_ids`]; [`AnySnapshot::load_with_ids`]
+//! returns it alongside the model. Snapshots without the section (all
+//! pre-existing ones) still load.
 //!
 //! For `kind = ocular` the payload is the `ocular-model v1` text format
 //! plus the co-cluster candidate-generation index (built at snapshot time
@@ -30,6 +42,7 @@ use crate::index::{ClusterIndex, IndexConfig};
 use ocular_api::{Model, OcularError, SnapshotModel};
 use ocular_baselines::{Bpr, ItemKnn, Popularity, UserKnn, Wals};
 use ocular_core::FactorModel;
+use ocular_sparse::IdMaps;
 use std::io::{BufRead, Write};
 
 /// Magic first line of the legacy (OCuLaR-only) snapshot envelope.
@@ -38,6 +51,8 @@ const V1_HEADER: &str = "ocular-snapshot v1";
 const V2_PREFIX: &str = "ocular-snapshot v2";
 /// Magic line opening the index section.
 const INDEX_HEADER: &str = "cocluster-index v1";
+/// Magic line opening the optional external-id-maps section.
+const IDS_HEADER: &str = "id-maps v1";
 /// Trailing sentinel proving the snapshot was written to completion.
 const FOOTER: &str = "ocular-snapshot end";
 /// The kind tag of OCuLaR snapshots (canonically defined on
@@ -75,11 +90,20 @@ impl Snapshot {
     }
 
     /// Serialises the snapshot (v2 envelope: model + index + sentinel) to
-    /// a writer.
+    /// a writer. Use [`AnySnapshot::save_with_ids`] to also embed the
+    /// dataset's external-id tables.
     pub fn save<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
         let mut w = std::io::BufWriter::new(w);
         writeln!(w, "{V2_PREFIX} {OCULAR_KIND}")?;
-        self.model.save(&mut w)?;
+        self.write_payload(&mut w)?;
+        writeln!(w, "{FOOTER}")?;
+        w.flush()
+    }
+
+    /// Writes the kind-specific payload (model + index), without envelope
+    /// header or footer.
+    fn write_payload<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        self.model.save(w)?;
         writeln!(
             w,
             "{INDEX_HEADER} {} {} {:e}",
@@ -95,8 +119,7 @@ impl Snapshot {
             }
             writeln!(w)?;
         }
-        writeln!(w, "{FOOTER}")?;
-        w.flush()
+        Ok(())
     }
 
     /// Loads an OCuLaR snapshot, accepting both the v1 envelope and a v2
@@ -113,9 +136,17 @@ impl Snapshot {
         Self::load_body(r)
     }
 
-    /// Parses the envelope body after the header line: model, index,
-    /// footer.
+    /// Parses the envelope body after the header line: model, index, an
+    /// optional (discarded) id-maps section, footer.
     fn load_body<R: BufRead>(r: &mut R) -> std::io::Result<Snapshot> {
+        let snapshot = Self::load_payload(r)?;
+        read_ids_then_footer(r).map_err(|e| bad(e.to_string()))?;
+        Ok(snapshot)
+    }
+
+    /// Parses the kind-specific payload: model + index, stopping before
+    /// any trailing section.
+    fn load_payload<R: BufRead>(r: &mut R) -> std::io::Result<Snapshot> {
         let model = FactorModel::load(r)?;
 
         let header = read_line(r)?;
@@ -170,12 +201,88 @@ impl Snapshot {
         }
         let index =
             ClusterIndex::from_parts(rel, n_items, items).map_err(|e| bad(e.to_string()))?;
-
-        if read_line(r)? != FOOTER {
-            return Err(bad(format!("missing `{FOOTER}` sentinel")));
-        }
         Ok(Snapshot { model, index })
     }
+}
+
+/// Writes the optional external-id-maps section (header + one line per
+/// axis).
+fn write_ids_section<W: Write>(w: &mut W, ids: &IdMaps) -> std::io::Result<()> {
+    writeln!(w, "{IDS_HEADER} {} {}", ids.n_users(), ids.n_items())?;
+    for axis in [ids.users(), ids.items()] {
+        let mut first = true;
+        for &id in axis {
+            if first {
+                write!(w, "{id}")?;
+                first = false;
+            } else {
+                write!(w, " {id}")?;
+            }
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Reads one line of exactly `n` external ids.
+fn read_ids_line<R: BufRead + ?Sized>(
+    r: &mut R,
+    n: usize,
+    what: &str,
+) -> Result<Vec<u64>, OcularError> {
+    let line = read_line(r)?;
+    let ids: Vec<u64> = line
+        .split_whitespace()
+        .map(|f| f.parse::<u64>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| OcularError::Corrupt(format!("id-maps: bad {what} id")))?;
+    if ids.len() != n {
+        return Err(OcularError::Corrupt(format!(
+            "id-maps: declared {n} {what} ids, found {}",
+            ids.len()
+        )));
+    }
+    Ok(ids)
+}
+
+/// After the payload: parses an optional `id-maps v1` section, then the
+/// trailing sentinel. Returns the id maps if the section was present.
+fn read_ids_then_footer<R: BufRead + ?Sized>(r: &mut R) -> Result<Option<IdMaps>, OcularError> {
+    let line = read_line(r)?;
+    if line == FOOTER {
+        return Ok(None);
+    }
+    // the separator is part of the required prefix (same convention as
+    // the v2 envelope header), so `id-maps v10 …` is corruption, not a
+    // v1 section with a mis-binned count
+    let rest = line
+        .strip_prefix(IDS_HEADER)
+        .and_then(|rest| rest.strip_prefix(' '))
+        .ok_or_else(|| {
+            OcularError::Corrupt(format!(
+                "expected `{IDS_HEADER} …` or `{FOOTER}`, got `{line}`"
+            ))
+        })?;
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    if fields.len() != 2 {
+        return Err(OcularError::Corrupt(
+            "id-maps header needs n_users n_items".into(),
+        ));
+    }
+    let n_users: usize = fields[0]
+        .parse()
+        .map_err(|_| OcularError::Corrupt("bad id-maps n_users".into()))?;
+    let n_items: usize = fields[1]
+        .parse()
+        .map_err(|_| OcularError::Corrupt("bad id-maps n_items".into()))?;
+    let users = read_ids_line(r, n_users, "user")?;
+    let items = read_ids_line(r, n_items, "item")?;
+    let ids =
+        IdMaps::new(users, items).map_err(|e| OcularError::Corrupt(format!("id-maps: {e}")))?;
+    if read_line(r)? != FOOTER {
+        return Err(OcularError::Corrupt(format!("missing `{FOOTER}` sentinel")));
+    }
+    Ok(Some(ids))
 }
 
 /// A snapshot of *any* model kind — what the polymorphic serving path
@@ -205,8 +312,20 @@ impl AnySnapshot {
     /// `FactorModel` under that tag would produce an envelope the loader
     /// (correctly) refuses.
     pub fn save<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        self.save_with_ids(None, w)
+    }
+
+    /// [`AnySnapshot::save`] plus the optional `id-maps` section: passing
+    /// the training dataset's [`IdMaps`] makes the snapshot carry the
+    /// external↔internal id tables to the serving tier, so external-id
+    /// requests resolve without access to the original interaction file.
+    pub fn save_with_ids<W: Write>(&self, ids: Option<&IdMaps>, w: &mut W) -> std::io::Result<()> {
+        let mut w = std::io::BufWriter::new(w);
         match self {
-            AnySnapshot::Ocular(s) => s.save(w),
+            AnySnapshot::Ocular(s) => {
+                writeln!(w, "{V2_PREFIX} {OCULAR_KIND}")?;
+                s.write_payload(&mut w)?;
+            }
             AnySnapshot::Other(m) => {
                 if m.kind() == OCULAR_KIND {
                     return Err(bad(format!(
@@ -214,13 +333,15 @@ impl AnySnapshot {
                          (its format carries the co-cluster index)"
                     )));
                 }
-                let mut w = std::io::BufWriter::new(w);
                 writeln!(w, "{V2_PREFIX} {}", m.kind())?;
                 m.save_model(&mut w)?;
-                writeln!(w, "{FOOTER}")?;
-                w.flush()
             }
         }
+        if let Some(ids) = ids {
+            write_ids_section(&mut w, ids)?;
+        }
+        writeln!(w, "{FOOTER}")?;
+        w.flush()
     }
 
     /// Loads a snapshot of any kind: the v1 envelope (implicitly
@@ -229,11 +350,19 @@ impl AnySnapshot {
     /// [`OcularError::UnknownModelKind`]; corruption and truncation are
     /// [`OcularError::Corrupt`].
     pub fn load<R: BufRead>(r: &mut R) -> Result<AnySnapshot, OcularError> {
+        Ok(Self::load_with_ids(r)?.0)
+    }
+
+    /// [`AnySnapshot::load`] that also surfaces the optional `id-maps`
+    /// section (`None` for snapshots written without one).
+    pub fn load_with_ids<R: BufRead>(
+        r: &mut R,
+    ) -> Result<(AnySnapshot, Option<IdMaps>), OcularError> {
         let header = read_line(r).map_err(OcularError::from)?;
         if header == V1_HEADER {
-            return Ok(AnySnapshot::Ocular(
-                Snapshot::load_body(r).map_err(OcularError::from)?,
-            ));
+            let snapshot = Snapshot::load_payload(r).map_err(OcularError::from)?;
+            let ids = read_ids_then_footer(r)?;
+            return Ok((AnySnapshot::Ocular(snapshot), ids));
         }
         // the separator is part of the required prefix, so `v2wals` (no
         // space) and version strings like `v2.1` are rejected instead of
@@ -248,9 +377,9 @@ impl AnySnapshot {
                 ))
             })?;
         if kind == OCULAR_KIND {
-            return Ok(AnySnapshot::Ocular(
-                Snapshot::load_body(r).map_err(OcularError::from)?,
-            ));
+            let snapshot = Snapshot::load_payload(r).map_err(OcularError::from)?;
+            let ids = read_ids_then_footer(r)?;
+            return Ok((AnySnapshot::Ocular(snapshot), ids));
         }
         let model: Box<dyn Model> = match kind {
             Wals::KIND => Box::new(Wals::load_model(r)?),
@@ -260,11 +389,8 @@ impl AnySnapshot {
             Popularity::KIND => Box::new(Popularity::load_model(r)?),
             other => return Err(OcularError::UnknownModelKind(other.to_string())),
         };
-        let footer = read_line(r).map_err(OcularError::from)?;
-        if footer != FOOTER {
-            return Err(OcularError::Corrupt(format!("missing `{FOOTER}` sentinel")));
-        }
-        Ok(AnySnapshot::Other(model))
+        let ids = read_ids_then_footer(r)?;
+        Ok((AnySnapshot::Other(model), ids))
     }
 }
 
@@ -365,8 +491,9 @@ mod tests {
 
     #[test]
     fn baseline_kind_roundtrips_through_any_snapshot() {
-        let r =
-            CsrMatrix::from_pairs(4, 4, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2), (3, 3)]).unwrap();
+        let r = ocular_sparse::Dataset::from_matrix(
+            CsrMatrix::from_pairs(4, 4, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2), (3, 3)]).unwrap(),
+        );
         let wals = Wals::fit(
             &r,
             &WalsConfig {
@@ -421,6 +548,90 @@ mod tests {
         // empty kind tag
         assert!(matches!(
             AnySnapshot::load(&mut "ocular-snapshot v2 \n".as_bytes()),
+            Err(OcularError::Corrupt(_))
+        ));
+    }
+
+    fn sample_ids() -> IdMaps {
+        IdMaps::new(vec![101, 7], vec![900, 4, 55]).unwrap()
+    }
+
+    #[test]
+    fn id_maps_section_round_trips_for_ocular() {
+        let s = AnySnapshot::Ocular(snapshot());
+        let ids = sample_ids();
+        let mut buf = Vec::new();
+        s.save_with_ids(Some(&ids), &mut buf).unwrap();
+        let (loaded, got) = AnySnapshot::load_with_ids(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.kind(), "ocular");
+        assert_eq!(got, Some(ids.clone()));
+        // the typed loader tolerates (and discards) the section
+        let via_typed = Snapshot::load(&mut buf.as_slice()).unwrap();
+        match s {
+            AnySnapshot::Ocular(inner) => assert_eq!(via_typed, inner),
+            AnySnapshot::Other(_) => unreachable!(),
+        }
+        // truncation anywhere inside the ids section is rejected
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        for keep in 0..lines.len() {
+            let partial = lines[..keep].join("\n");
+            assert!(
+                AnySnapshot::load_with_ids(&mut partial.as_bytes()).is_err(),
+                "truncation after {keep} lines must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn id_maps_section_round_trips_for_baseline_kinds() {
+        let r = CsrMatrix::from_pairs(2, 3, &[(0, 0), (0, 2), (1, 1)]).unwrap();
+        let pop = ocular_baselines::Popularity::fit(&r.into());
+        let ids = sample_ids();
+        let mut buf = Vec::new();
+        AnySnapshot::Other(Box::new(pop))
+            .save_with_ids(Some(&ids), &mut buf)
+            .unwrap();
+        let (loaded, got) = AnySnapshot::load_with_ids(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.kind(), "popularity");
+        assert_eq!(got, Some(ids));
+        // ids-free load still works on the same bytes
+        assert_eq!(
+            AnySnapshot::load(&mut buf.as_slice()).unwrap().kind(),
+            "popularity"
+        );
+    }
+
+    #[test]
+    fn snapshots_without_ids_load_with_none() {
+        let s = AnySnapshot::Ocular(snapshot());
+        let mut buf = Vec::new();
+        s.save(&mut buf).unwrap();
+        let (_, ids) = AnySnapshot::load_with_ids(&mut buf.as_slice()).unwrap();
+        assert_eq!(ids, None);
+    }
+
+    #[test]
+    fn corrupt_id_maps_rejected() {
+        let s = AnySnapshot::Ocular(snapshot());
+        let ids = sample_ids();
+        let mut buf = Vec::new();
+        s.save_with_ids(Some(&ids), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // wrong count
+        let tampered = text.replace("id-maps v1 2 3", "id-maps v1 3 3");
+        assert!(AnySnapshot::load_with_ids(&mut tampered.as_bytes()).is_err());
+        // duplicate external id
+        let tampered = text.replace("101 7", "101 101");
+        assert!(AnySnapshot::load_with_ids(&mut tampered.as_bytes()).is_err());
+        // non-numeric id
+        let tampered = text.replace("900 4 55", "900 x 55");
+        assert!(AnySnapshot::load_with_ids(&mut tampered.as_bytes()).is_err());
+        // a future/corrupt section version must not mis-bin into v1
+        // (`id-maps v10 …` would otherwise strip to a valid-looking count)
+        let tampered = text.replace("id-maps v1 ", "id-maps v10 ");
+        assert!(matches!(
+            AnySnapshot::load_with_ids(&mut tampered.as_bytes()),
             Err(OcularError::Corrupt(_))
         ));
     }

@@ -1,4 +1,5 @@
-//! Readers and writers for interaction data.
+//! Readers and writers for interaction data — streaming, chunked, and
+//! id-mapping.
 //!
 //! Three on-disk formats are supported, covering the paper's public datasets
 //! so that users with the real files can reproduce the original numbers:
@@ -13,31 +14,109 @@
 //!
 //! All readers compact arbitrary (sparse, 1-based, hash-like) external ids
 //! into dense 0-based indices and return the [`IdMaps`] needed to translate
-//! recommendations back to external ids.
+//! recommendations back to external ids. Parsing is **streaming**: records
+//! flow one at a time into a [`crate::StreamingTriplets`] chunked builder,
+//! so a repeat-heavy interaction log never materialises its raw record
+//! list — peak memory is `O(unique pairs + entities + chunk)`.
 
-use crate::{CsrMatrix, SparseError, Triplets};
+use crate::{CsrMatrix, Dataset, SparseError, StreamingTriplets};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::path::Path;
 
-/// Mapping between external (file) ids and the dense internal indices.
-#[derive(Debug, Clone, Default)]
+/// Mapping between external (file) ids and the dense internal indices,
+/// with O(1) hash-backed lookups in both directions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IdMaps {
     /// `users[u]` = external id of internal user `u`.
-    pub users: Vec<u64>,
+    users: Vec<u64>,
     /// `items[i]` = external id of internal item `i`.
-    pub items: Vec<u64>,
+    items: Vec<u64>,
+    user_lookup: HashMap<u64, u32>,
+    item_lookup: HashMap<u64, u32>,
+}
+
+fn build_lookup(order: &[u64], what: &str) -> Result<HashMap<u64, u32>, SparseError> {
+    if order.len() > u32::MAX as usize {
+        return Err(SparseError::Io(format!(
+            "{what} id map exceeds u32 addressing ({} entries)",
+            order.len()
+        )));
+    }
+    let mut map = HashMap::with_capacity(order.len());
+    for (ix, &external) in order.iter().enumerate() {
+        if map.insert(external, ix as u32).is_some() {
+            return Err(SparseError::Io(format!(
+                "duplicate external {what} id {external} in id map"
+            )));
+        }
+    }
+    Ok(map)
 }
 
 impl IdMaps {
-    /// Internal index of an external user id, if seen.
-    pub fn user_index(&self, external: u64) -> Option<usize> {
-        self.users.iter().position(|&e| e == external)
+    /// Builds maps from the external-id tables (`users[u]` = external id of
+    /// internal user `u`). Rejects duplicate external ids.
+    pub fn new(users: Vec<u64>, items: Vec<u64>) -> Result<Self, SparseError> {
+        let user_lookup = build_lookup(&users, "user")?;
+        let item_lookup = build_lookup(&items, "item")?;
+        Ok(IdMaps {
+            users,
+            items,
+            user_lookup,
+            item_lookup,
+        })
     }
 
-    /// Internal index of an external item id, if seen.
+    /// Internal-constructor used by the readers: the compactors already
+    /// hold exactly the lookup tables, so nothing is rebuilt.
+    fn from_compactors(users: Compactor, items: Compactor) -> Self {
+        IdMaps {
+            users: users.order,
+            items: items.order,
+            user_lookup: users.map,
+            item_lookup: items.map,
+        }
+    }
+
+    /// External user ids in internal order.
+    pub fn users(&self) -> &[u64] {
+        &self.users
+    }
+
+    /// External item ids in internal order.
+    pub fn items(&self) -> &[u64] {
+        &self.items
+    }
+
+    /// Number of mapped users.
+    pub fn n_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of mapped items.
+    pub fn n_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Internal index of an external user id, if seen. O(1).
+    pub fn user_index(&self, external: u64) -> Option<usize> {
+        self.user_lookup.get(&external).map(|&ix| ix as usize)
+    }
+
+    /// Internal index of an external item id, if seen. O(1).
     pub fn item_index(&self, external: u64) -> Option<usize> {
-        self.items.iter().position(|&e| e == external)
+        self.item_lookup.get(&external).map(|&ix| ix as usize)
+    }
+
+    /// External id of internal user `u`, if in bounds.
+    pub fn external_user(&self, u: usize) -> Option<u64> {
+        self.users.get(u).copied()
+    }
+
+    /// External id of internal item `i`, if in bounds.
+    pub fn external_item(&self, i: usize) -> Option<u64> {
+        self.items.get(i).copied()
     }
 }
 
@@ -65,11 +144,11 @@ impl Compactor {
     }
 }
 
-/// A parsed positive-example stream plus id maps, before CSR conversion.
+/// A parsed positive-example stream: the compacted matrix plus id maps.
 #[derive(Debug)]
 pub struct ParsedInteractions {
-    /// Staged positive examples with dense indices.
-    pub triplets: Triplets,
+    /// The compacted interaction matrix.
+    pub matrix: CsrMatrix,
     /// External-id translation tables.
     pub ids: IdMaps,
     /// Records dropped because their rating fell below the threshold.
@@ -77,9 +156,15 @@ pub struct ParsedInteractions {
 }
 
 impl ParsedInteractions {
-    /// Finishes parsing: converts to CSR.
+    /// Splits into the matrix and the id maps (legacy entry point).
     pub fn into_matrix(self) -> (CsrMatrix, IdMaps) {
-        (self.triplets.into_csr(), self.ids)
+        (self.matrix, self.ids)
+    }
+
+    /// Finishes parsing into the shared [`Dataset`] abstraction the rest
+    /// of the workspace trains, evaluates and serves from.
+    pub fn into_dataset(self) -> Dataset {
+        Dataset::new(self.matrix, self.ids).expect("reader shapes are consistent")
     }
 }
 
@@ -87,10 +172,11 @@ fn parse_records<R: BufRead>(
     reader: R,
     sep: &str,
     rating_threshold: Option<f64>,
+    chunk_capacity: usize,
 ) -> Result<ParsedInteractions, SparseError> {
     let mut users = Compactor::new();
     let mut items = Compactor::new();
-    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    let mut staged = StreamingTriplets::with_chunk_capacity(chunk_capacity);
     let mut dropped = 0usize;
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
@@ -124,23 +210,18 @@ fn parse_records<R: BufRead>(
                 continue;
             }
         }
-        pairs.push((users.get(u), items.get(i)));
+        staged.push(users.get(u) as usize, items.get(i) as usize)?;
     }
-    let mut triplets = Triplets::with_capacity(users.order.len(), items.order.len(), pairs.len());
-    for (u, i) in pairs {
-        triplets
-            .push(u as usize, i as usize)
-            .expect("compacted indices are in bounds");
-    }
+    let matrix = staged.finish(users.order.len(), items.order.len())?;
     Ok(ParsedInteractions {
-        triplets,
-        ids: IdMaps {
-            users: users.order,
-            items: items.order,
-        },
+        matrix,
+        ids: IdMaps::from_compactors(users, items),
         dropped_below_threshold: dropped,
     })
 }
+
+/// Default staging-chunk capacity for the file readers.
+const READER_CHUNK: usize = 1 << 20;
 
 /// Reads a separated-value edge list (`user<sep>item[<sep>rating]`).
 ///
@@ -155,7 +236,7 @@ pub fn read_edge_list<P: AsRef<Path>>(
 ) -> Result<ParsedInteractions, SparseError> {
     let file = std::fs::File::open(path.as_ref())
         .map_err(|e| SparseError::Io(format!("open {}: {e}", path.as_ref().display())))?;
-    parse_records(BufReader::new(file), sep, rating_threshold)
+    parse_records(BufReader::new(file), sep, rating_threshold, READER_CHUNK)
 }
 
 /// Reads edge-list records from an in-memory string (same semantics as
@@ -165,7 +246,29 @@ pub fn read_edge_list_str(
     sep: &str,
     rating_threshold: Option<f64>,
 ) -> Result<ParsedInteractions, SparseError> {
-    parse_records(BufReader::new(data.as_bytes()), sep, rating_threshold)
+    parse_records(
+        BufReader::new(data.as_bytes()),
+        sep,
+        rating_threshold,
+        READER_CHUNK,
+    )
+}
+
+/// [`read_edge_list_str`] with an explicit staging-chunk capacity —
+/// exercises the chunked merge machinery with tiny chunks; the property
+/// tests assert the result is identical for every capacity.
+pub fn read_edge_list_str_chunked(
+    data: &str,
+    sep: &str,
+    rating_threshold: Option<f64>,
+    chunk_capacity: usize,
+) -> Result<ParsedInteractions, SparseError> {
+    parse_records(
+        BufReader::new(data.as_bytes()),
+        sep,
+        rating_threshold,
+        chunk_capacity,
+    )
 }
 
 /// Reads the MovieLens `UserID::MovieID::Rating::Timestamp` format, keeping
@@ -179,14 +282,15 @@ pub fn read_movielens<P: AsRef<Path>>(
 
 /// Reads a directory of Netflix-prize per-movie files (`mv_*.txt`), each
 /// starting with `movie_id:` followed by `customer,rating,date` lines.
-/// Ratings `>= threshold` become positives.
+/// Ratings `>= threshold` become positives. Streams each file through the
+/// chunked builder; nothing holds the raw record list.
 pub fn read_netflix_dir<P: AsRef<Path>>(
     dir: P,
     threshold: f64,
 ) -> Result<ParsedInteractions, SparseError> {
     let mut users = Compactor::new();
     let mut items = Compactor::new();
-    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    let mut staged = StreamingTriplets::with_chunk_capacity(READER_CHUNK);
     let mut dropped = 0usize;
     let mut entries: Vec<_> = std::fs::read_dir(dir.as_ref())
         .map_err(|e| SparseError::Io(format!("read dir {}: {e}", dir.as_ref().display())))?
@@ -226,24 +330,16 @@ pub fn read_netflix_dir<P: AsRef<Path>>(
                 .parse()
                 .map_err(|e| SparseError::Io(format!("bad rating: {e}")))?;
             if rating >= threshold {
-                pairs.push((users.get(customer), items.get(movie)));
+                staged.push(users.get(customer) as usize, items.get(movie) as usize)?;
             } else {
                 dropped += 1;
             }
         }
     }
-    let mut triplets = Triplets::with_capacity(users.order.len(), items.order.len(), pairs.len());
-    for (u, i) in pairs {
-        triplets
-            .push(u as usize, i as usize)
-            .expect("compacted indices are in bounds");
-    }
+    let matrix = staged.finish(users.order.len(), items.order.len())?;
     Ok(ParsedInteractions {
-        triplets,
-        ids: IdMaps {
-            users: users.order,
-            items: items.order,
-        },
+        matrix,
+        ids: IdMaps::from_compactors(users, items),
         dropped_below_threshold: dropped,
     })
 }
@@ -269,8 +365,8 @@ mod tests {
         let parsed = read_edge_list_str(data, "\t", None).unwrap();
         let (m, ids) = parsed.into_matrix();
         assert_eq!(m.nnz(), 3);
-        assert_eq!(ids.users, vec![0, 1]);
-        assert_eq!(ids.items, vec![2, 0]);
+        assert_eq!(ids.users(), &[0, 1]);
+        assert_eq!(ids.items(), &[2, 0]);
         // internal indices are densified: external item 2 -> 0, item 0 -> 1
         assert!(m.contains(0, 0));
         assert!(m.contains(1, 1));
@@ -284,8 +380,8 @@ mod tests {
         assert_eq!(parsed.dropped_below_threshold, 1);
         let (m, ids) = parsed.into_matrix();
         assert_eq!(m.nnz(), 3);
-        assert_eq!(ids.users.len(), 2);
-        assert_eq!(ids.items.len(), 2, "item 11 never becomes positive");
+        assert_eq!(ids.n_users(), 2);
+        assert_eq!(ids.n_items(), 2, "item 11 never becomes positive");
     }
 
     #[test]
@@ -302,8 +398,8 @@ mod tests {
         assert_eq!(parsed.dropped_below_threshold, 1);
         let (m, ids) = parsed.into_matrix();
         assert_eq!(m.nnz(), 2);
-        assert_eq!(ids.users, vec![1]);
-        assert_eq!(ids.items, vec![1193, 661]);
+        assert_eq!(ids.users(), &[1]);
+        assert_eq!(ids.items(), &[1193, 661]);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -321,7 +417,7 @@ mod tests {
         assert_eq!(parsed.dropped_below_threshold, 1);
         let (m, ids) = parsed.into_matrix();
         assert_eq!(m.nnz(), 3);
-        assert_eq!(ids.items, vec![1, 2]);
+        assert_eq!(ids.items(), &[1, 2]);
         // customer 1488844 liked both movies
         let u = ids.user_index(1488844).unwrap();
         assert_eq!(m.row_nnz(u), 2);
@@ -352,5 +448,43 @@ mod tests {
         assert_eq!(parsed.dropped_below_threshold, 0);
         let (m, _) = parsed.into_matrix();
         assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn into_dataset_carries_id_maps() {
+        let data = "1000\t77\n1000\t78\n2000\t77\n";
+        let d = read_edge_list_str(data, "\t", None).unwrap().into_dataset();
+        assert_eq!(d.n_users(), 2);
+        assert_eq!(d.n_items(), 2);
+        assert_eq!(d.user_index(2000), Some(1));
+        assert_eq!(d.item_index(78), Some(1));
+        assert_eq!(d.external_user(0), 1000);
+        assert_eq!(d.external_item(0), 77);
+        assert!(d.contains(d.user_index(2000).unwrap(), d.item_index(77).unwrap()));
+    }
+
+    #[test]
+    fn chunked_reader_matches_default() {
+        let mut data = String::new();
+        for k in 0..500u64 {
+            // duplicate-heavy stream with sparse external ids
+            data.push_str(&format!("{}\t{}\n", 10 + (k % 40) * 3, 7 + (k % 23) * 5));
+        }
+        let full = read_edge_list_str(&data, "\t", None).unwrap();
+        for cap in [1usize, 2, 7, 64] {
+            let chunked = read_edge_list_str_chunked(&data, "\t", None, cap).unwrap();
+            assert_eq!(chunked.matrix, full.matrix, "chunk capacity {cap}");
+            assert_eq!(chunked.ids, full.ids);
+        }
+    }
+
+    #[test]
+    fn id_maps_reject_duplicates() {
+        assert!(IdMaps::new(vec![1, 2, 1], vec![]).is_err());
+        assert!(IdMaps::new(vec![], vec![5, 5]).is_err());
+        let ids = IdMaps::new(vec![3, 1], vec![2]).unwrap();
+        assert_eq!(ids.user_index(1), Some(1));
+        assert_eq!(ids.external_user(0), Some(3));
+        assert_eq!(ids.external_user(9), None);
     }
 }

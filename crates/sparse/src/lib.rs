@@ -12,12 +12,17 @@
 //! meaning *unknown* (One-Class Collaborative Filtering). This crate provides
 //! that substrate:
 //!
+//! * [`Dataset`] — the shared dual-view interaction store every layer
+//!   trains, evaluates and serves from: the CSR matrix plus a build-once
+//!   CSC (item×user) view, cached degree stats and O(1) external↔internal
+//!   id maps;
 //! * [`Triplets`] — a COO staging area for incrementally collected
-//!   `(user, item)` pairs with deduplication;
+//!   `(user, item)` pairs with deduplication, and [`StreamingTriplets`] —
+//!   its chunked streaming counterpart for ingestion;
 //! * [`CsrMatrix`] — the compressed sparse-row matrix used everywhere else,
 //!   with O(1) row access, O(log d) membership tests and an exact
-//!   [`CsrMatrix::transpose`] (which doubles as the CSC view needed for
-//!   column sweeps);
+//!   [`CsrMatrix::transpose`] (constructed once per dataset through
+//!   [`Dataset::item_view`]);
 //! * [`split`] — seeded train/test splitting (the paper's 75/25 protocol);
 //! * [`sample`] — uniform sub-sampling of positive examples (used for the
 //!   Figure 7 scalability sweep over fractions of the Netflix dataset);
@@ -28,19 +33,20 @@
 //! ## Example
 //!
 //! ```
-//! use ocular_sparse::{Triplets, CsrMatrix};
+//! use ocular_sparse::{Dataset, Triplets};
 //!
 //! let mut t = Triplets::new(3, 4);
 //! t.push(0, 1).unwrap();
 //! t.push(0, 2).unwrap();
 //! t.push(2, 3).unwrap();
 //! t.push(2, 3).unwrap(); // duplicates collapse
-//! let r: CsrMatrix = t.to_csr();
+//! let r = Dataset::from_matrix(t.to_csr());
 //! assert_eq!(r.nnz(), 3);
 //! assert!(r.contains(0, 2));
 //! assert!(!r.contains(1, 0));
-//! let rt = r.transpose();
-//! assert!(rt.contains(2, 0));
+//! // the CSC dual view is built once and cached — every consumer
+//! // shares this one copy instead of re-transposing
+//! assert!(r.item_view().contains(2, 0));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -48,6 +54,7 @@
 
 mod coo;
 mod csr;
+pub mod dataset;
 pub mod io;
 pub mod sample;
 pub mod split;
@@ -55,6 +62,8 @@ pub mod stats;
 
 pub use coo::Triplets;
 pub use csr::CsrMatrix;
+pub use dataset::{Dataset, StreamingTriplets};
+pub use io::IdMaps;
 pub use split::{Split, SplitConfig};
 
 use std::fmt;

@@ -6,7 +6,7 @@
 //! over 10 problem instances."* A *problem instance* is one random split;
 //! instances differ only in the split seed.
 
-use crate::CsrMatrix;
+use crate::Dataset;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -44,14 +44,16 @@ impl Default for SplitConfig {
     }
 }
 
-/// The result of splitting an interaction matrix: two same-shaped matrices
-/// whose positive sets partition the original's.
+/// The result of splitting an interaction dataset: two same-shaped
+/// datasets whose positive sets partition the original's. Both sides
+/// share the parent's external-id maps (one `Arc`), so train and test
+/// agree on the id space by construction.
 #[derive(Debug, Clone)]
 pub struct Split {
-    /// Training matrix (the model's input `R`).
-    pub train: CsrMatrix,
-    /// Held-out test matrix (the positives to be re-discovered).
-    pub test: CsrMatrix,
+    /// Training dataset (the model's input `R`).
+    pub train: Dataset,
+    /// Held-out test dataset (the positives to be re-discovered).
+    pub test: Dataset,
 }
 
 impl Split {
@@ -59,7 +61,7 @@ impl Split {
     ///
     /// # Panics
     /// Panics if `train_fraction` is outside `[0, 1]`.
-    pub fn new(r: &CsrMatrix, cfg: &SplitConfig) -> Split {
+    pub fn new(r: &Dataset, cfg: &SplitConfig) -> Split {
         assert!(
             (0.0..=1.0).contains(&cfg.train_fraction),
             "train_fraction must be in [0, 1], got {}",
@@ -89,7 +91,7 @@ impl Split {
 
     /// Generates the paper's `n` independent problem instances: splits with
     /// seeds `base_seed, base_seed + 1, …`.
-    pub fn instances(r: &CsrMatrix, cfg: &SplitConfig, n: usize) -> Vec<Split> {
+    pub fn instances(r: &Dataset, cfg: &SplitConfig, n: usize) -> Vec<Split> {
         (0..n)
             .map(|k| {
                 let inst = SplitConfig {
@@ -107,14 +109,14 @@ mod tests {
     use super::*;
     use crate::Triplets;
 
-    fn dense_matrix(n: usize, m: usize) -> CsrMatrix {
+    fn dense_matrix(n: usize, m: usize) -> Dataset {
         let mut t = Triplets::new(n, m);
         for u in 0..n {
             for i in 0..m {
                 t.push(u, i).unwrap();
             }
         }
-        t.into_csr()
+        Dataset::from_matrix(t.into_csr())
     }
 
     #[test]

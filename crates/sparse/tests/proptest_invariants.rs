@@ -52,7 +52,7 @@ proptest! {
 
     #[test]
     fn split_partitions(m in arb_matrix(), frac in 0.0f64..=1.0, seed in any::<u64>()) {
-        let s = Split::new(&m, &SplitConfig { train_fraction: frac, seed, ..Default::default() });
+        let s = Split::new(&m.clone().into(), &SplitConfig { train_fraction: frac, seed, ..Default::default() });
         prop_assert_eq!(s.train.nnz() + s.test.nnz(), m.nnz());
         for (u, i) in s.train.iter_nnz() {
             prop_assert!(m.contains(u, i));

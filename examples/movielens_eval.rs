@@ -25,8 +25,7 @@ fn main() {
                 "loaded {path}: {} ratings below threshold dropped",
                 parsed.dropped_below_threshold
             );
-            let (m, _ids) = parsed.into_matrix();
-            (m, "MovieLens (real)")
+            (parsed.into_dataset(), "MovieLens (real)")
         }
         None => (
             movielens_like(Scale::Small, 0).matrix,

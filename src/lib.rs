@@ -71,5 +71,7 @@ pub mod prelude {
     pub use ocular_serve::{
         AnySnapshot, CandidatePolicy, Request, ServeConfig, ServeEngine, ServedList, Snapshot,
     };
-    pub use ocular_sparse::{CsrMatrix, Split, SplitConfig, Triplets};
+    pub use ocular_sparse::{
+        CsrMatrix, Dataset, IdMaps, Split, SplitConfig, StreamingTriplets, Triplets,
+    };
 }

@@ -7,7 +7,7 @@
 use ocular::datasets::planted::{generate, PlantedConfig};
 use ocular::prelude::*;
 
-fn dataset() -> ocular::sparse::CsrMatrix {
+fn dataset() -> ocular::sparse::Dataset {
     generate(&PlantedConfig {
         n_users: 120,
         n_items: 80,

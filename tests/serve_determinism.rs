@@ -10,7 +10,7 @@ use ocular::datasets::planted::{generate, PlantedConfig};
 use ocular::prelude::*;
 use ocular::serve::IndexConfig;
 
-fn trained() -> (FactorModel, ocular::sparse::CsrMatrix, OcularConfig) {
+fn trained() -> (FactorModel, ocular::sparse::Dataset, OcularConfig) {
     let data = generate(&PlantedConfig {
         n_users: 120,
         n_items: 80,
@@ -34,7 +34,7 @@ fn trained() -> (FactorModel, ocular::sparse::CsrMatrix, OcularConfig) {
     (model, data.matrix, cfg)
 }
 
-fn engine(policy: CandidatePolicy) -> (ServeEngine, ocular::sparse::CsrMatrix) {
+fn engine(policy: CandidatePolicy) -> (ServeEngine, ocular::sparse::Dataset) {
     let (model, r, train_cfg) = trained();
     let cfg = ServeConfig {
         default_m: 20,

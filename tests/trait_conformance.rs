@@ -14,7 +14,7 @@ use ocular::datasets::planted::{generate, PlantedConfig};
 use ocular::prelude::*;
 use ocular::serve::IndexConfig;
 
-fn dataset() -> ocular::sparse::CsrMatrix {
+fn dataset() -> ocular::sparse::Dataset {
     generate(&PlantedConfig {
         n_users: 50,
         n_items: 40,
@@ -30,7 +30,7 @@ fn dataset() -> ocular::sparse::CsrMatrix {
     .matrix
 }
 
-fn ocular_model(r: &ocular::sparse::CsrMatrix) -> FactorModel {
+fn ocular_model(r: &ocular::sparse::Dataset) -> FactorModel {
     fit(
         r,
         &OcularConfig {
@@ -45,7 +45,7 @@ fn ocular_model(r: &ocular::sparse::CsrMatrix) -> FactorModel {
 }
 
 /// Every model kind as a kind-tagged snapshot (the serving artifact).
-fn snapshot_zoo(r: &ocular::sparse::CsrMatrix) -> Vec<AnySnapshot> {
+fn snapshot_zoo(r: &ocular::sparse::Dataset) -> Vec<AnySnapshot> {
     let cfgs = BaselineConfigs::seeded(7);
     vec![
         AnySnapshot::Ocular(ocular::serve::Snapshot::build(

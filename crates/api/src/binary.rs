@@ -1,0 +1,448 @@
+//! The `ocular-snapshot v3` binary container — a magic-tagged,
+//! checksummed, **mmap-able** section file.
+//!
+//! ## Layout (all integers little-endian)
+//!
+//! ```text
+//! offset    size  field
+//! 0         8     magic  "OCULAR3\0"
+//! 8         16    model kind tag, NUL-padded ("ocular", "wals", …)
+//! 24        …     payload sections, each starting on an 8-byte boundary
+//!                 (zero-padded between sections)
+//! T         24·n  section table: n entries of
+//!                   { name: [u8; 8] NUL-padded, offset: u64, len: u64 }
+//! len-24    8     T  (table offset)
+//! len-16    8     n  (section count)
+//! len-8     8     FNV-1a 64 checksum of bytes[0 .. len-8]
+//! ```
+//!
+//! Payload sections are flat little-endian arrays of `f64`/`u64`/`u32`
+//! (or raw bytes). Because every section starts 8-aligned inside an
+//! 8-aligned region ([`ocular_bytes::ModelBytes`]), a little-endian
+//! target can hand out **borrowed** typed slices over the file bytes —
+//! loading a snapshot performs no per-payload allocation, and N serving
+//! processes mapping the same file share one page cache.
+//!
+//! The trailing checksum covers the entire file, so truncation and bit
+//! corruption anywhere (header, payload, table, padding) are detected at
+//! open — a corrupt snapshot is a typed
+//! [`OcularError::Corrupt`], never garbage scores.
+//!
+//! [`SectionWriter`] builds the container; [`SectionReader`] validates
+//! and serves it. Model kinds plug in through
+//! [`SnapshotModel::write_sections`](crate::SnapshotModel::write_sections)
+//! / [`SnapshotModel::read_sections`](crate::SnapshotModel::read_sections).
+
+use crate::error::OcularError;
+use ocular_bytes::{fnv1a64, F64Buf, ModelBytes, Pod, PodBuf, U32Buf, U64Buf};
+use std::sync::Arc;
+
+/// First eight bytes of every v3 binary snapshot.
+pub const MAGIC: [u8; 8] = *b"OCULAR3\0";
+
+/// Maximum kind-tag length (the header reserves a fixed field for it).
+const KIND_FIELD: usize = 16;
+
+/// Maximum section-name length (one table entry reserves 8 bytes).
+const NAME_FIELD: usize = 8;
+
+/// Bytes of the fixed header (magic + kind field).
+const HEADER: usize = 8 + KIND_FIELD;
+
+/// Bytes of the fixed footer (table offset + section count + checksum).
+const FOOTER: usize = 24;
+
+/// Whether a byte prefix is a v3 binary snapshot — the magic sniff the
+/// serving CLI uses to keep v1/v2 text snapshots loading transparently.
+pub fn is_v3(prefix: &[u8]) -> bool {
+    prefix.len() >= MAGIC.len() && prefix[..MAGIC.len()] == MAGIC
+}
+
+fn corrupt(msg: impl Into<String>) -> OcularError {
+    OcularError::Corrupt(msg.into())
+}
+
+/// Builds a v3 container: typed `put_*` calls append aligned sections,
+/// [`SectionWriter::finish`] appends the table and checksum.
+pub struct SectionWriter {
+    buf: Vec<u8>,
+    sections: Vec<([u8; NAME_FIELD], u64, u64)>,
+}
+
+impl SectionWriter {
+    /// Starts a container for the given model kind tag.
+    ///
+    /// # Panics
+    /// Panics if the kind tag is empty, longer than 16 bytes, or contains
+    /// NUL — kind tags are compile-time constants, so this is a
+    /// programmer error, not input validation.
+    pub fn new(kind: &str) -> SectionWriter {
+        assert!(
+            !kind.is_empty() && kind.len() <= KIND_FIELD && !kind.contains('\0'),
+            "kind tag must be 1..=16 NUL-free bytes, got {kind:?}"
+        );
+        let mut buf = Vec::with_capacity(256);
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(kind.as_bytes());
+        buf.resize(HEADER, 0);
+        SectionWriter {
+            buf,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Pads to an 8-byte boundary and records a new section's start.
+    fn begin(&mut self, name: &str) -> usize {
+        assert!(
+            !name.is_empty() && name.len() <= NAME_FIELD && !name.contains('\0'),
+            "section name must be 1..=8 NUL-free bytes, got {name:?}"
+        );
+        assert!(
+            !self
+                .sections
+                .iter()
+                .any(|(n, _, _)| &n[..name.len()] == name.as_bytes()
+                    && n[name.len()..] == [0; NAME_FIELD][name.len()..]),
+            "duplicate section name {name:?}"
+        );
+        while self.buf.len() % 8 != 0 {
+            self.buf.push(0);
+        }
+        self.buf.len()
+    }
+
+    fn end(&mut self, name: &str, offset: usize) {
+        let mut tag = [0u8; NAME_FIELD];
+        tag[..name.len()].copy_from_slice(name.as_bytes());
+        self.sections
+            .push((tag, offset as u64, (self.buf.len() - offset) as u64));
+    }
+
+    fn put_pod<T: Pod>(&mut self, name: &str, vals: &[T]) {
+        let offset = self.begin(name);
+        self.buf.reserve(vals.len() * T::WIDTH);
+        for &v in vals {
+            v.write_le(&mut self.buf);
+        }
+        self.end(name, offset);
+    }
+
+    /// Appends an `f64` array section.
+    pub fn put_f64s(&mut self, name: &str, vals: &[f64]) {
+        self.put_pod(name, vals);
+    }
+
+    /// Appends a `u64` array section.
+    pub fn put_u64s(&mut self, name: &str, vals: &[u64]) {
+        self.put_pod(name, vals);
+    }
+
+    /// Appends a `u32` array section.
+    pub fn put_u32s(&mut self, name: &str, vals: &[u32]) {
+        self.put_pod(name, vals);
+    }
+
+    /// Appends a raw byte section.
+    pub fn put_bytes(&mut self, name: &str, bytes: &[u8]) {
+        let offset = self.begin(name);
+        self.buf.extend_from_slice(bytes);
+        self.end(name, offset);
+    }
+
+    /// Appends the section table and trailing checksum, returning the
+    /// complete container bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        while self.buf.len() % 8 != 0 {
+            self.buf.push(0);
+        }
+        let table_offset = self.buf.len() as u64;
+        for (name, offset, len) in &self.sections {
+            self.buf.extend_from_slice(name);
+            self.buf.extend_from_slice(&offset.to_le_bytes());
+            self.buf.extend_from_slice(&len.to_le_bytes());
+        }
+        self.buf.extend_from_slice(&table_offset.to_le_bytes());
+        self.buf
+            .extend_from_slice(&(self.sections.len() as u64).to_le_bytes());
+        let checksum = fnv1a64(&self.buf);
+        self.buf.extend_from_slice(&checksum.to_le_bytes());
+        self.buf
+    }
+}
+
+/// A validated, open v3 container serving typed section views that
+/// **borrow** the underlying (possibly memory-mapped) byte region.
+pub struct SectionReader {
+    region: Arc<ModelBytes>,
+    kind: String,
+    /// `(name, byte offset, byte length)` per section.
+    sections: Vec<(String, usize, usize)>,
+}
+
+fn read_u64_at(bytes: &[u8], offset: usize) -> u64 {
+    u64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("8-byte read"))
+}
+
+/// Decodes a NUL-padded fixed field: UTF-8 content followed only by NULs.
+fn padded_str(bytes: &[u8], what: &str) -> Result<String, OcularError> {
+    let end = bytes.iter().position(|&b| b == 0).unwrap_or(bytes.len());
+    if bytes[end..].iter().any(|&b| b != 0) {
+        return Err(corrupt(format!("{what} field has bytes after the NUL pad")));
+    }
+    let s = std::str::from_utf8(&bytes[..end])
+        .map_err(|_| corrupt(format!("{what} field is not UTF-8")))?;
+    if s.is_empty() {
+        return Err(corrupt(format!("empty {what} field")));
+    }
+    Ok(s.to_string())
+}
+
+impl SectionReader {
+    /// Validates a byte region as a v3 container: magic, checksum, header
+    /// fields, section-table shape and every section's bounds/alignment.
+    /// Any failure is a typed [`OcularError::Corrupt`].
+    pub fn open(region: ModelBytes) -> Result<SectionReader, OcularError> {
+        let region = Arc::new(region);
+        let bytes = region.as_bytes();
+        if bytes.len() < HEADER + FOOTER {
+            return Err(corrupt(format!(
+                "{} bytes is too short for a v3 snapshot",
+                bytes.len()
+            )));
+        }
+        if !is_v3(bytes) {
+            return Err(corrupt("bad magic, not an ocular-snapshot v3"));
+        }
+        let checksum = read_u64_at(bytes, bytes.len() - 8);
+        let computed = fnv1a64(&bytes[..bytes.len() - 8]);
+        if checksum != computed {
+            return Err(corrupt(format!(
+                "checksum mismatch: file says {checksum:#018x}, content hashes to {computed:#018x} \
+                 (truncated or corrupt snapshot)"
+            )));
+        }
+        let kind = padded_str(&bytes[8..HEADER], "kind")?;
+        let table_offset = read_u64_at(bytes, bytes.len() - FOOTER);
+        let n_sections = read_u64_at(bytes, bytes.len() - 16);
+        let table_offset = usize::try_from(table_offset)
+            .ok()
+            .filter(|&t| t >= HEADER && t % 8 == 0 && t <= bytes.len() - FOOTER)
+            .ok_or_else(|| corrupt("section table offset out of range"))?;
+        let table_bytes = bytes.len() - FOOTER - table_offset;
+        if table_bytes % 24 != 0 || n_sections != (table_bytes / 24) as u64 {
+            return Err(corrupt(format!(
+                "section table of {table_bytes} bytes does not hold {n_sections} entries"
+            )));
+        }
+        let mut sections = Vec::with_capacity(table_bytes / 24);
+        for e in 0..table_bytes / 24 {
+            let at = table_offset + e * 24;
+            let name = padded_str(&bytes[at..at + NAME_FIELD], "section name")?;
+            let offset = read_u64_at(bytes, at + 8);
+            let len = read_u64_at(bytes, at + 16);
+            let offset = usize::try_from(offset)
+                .ok()
+                .filter(|&o| o >= HEADER && o % 8 == 0)
+                .ok_or_else(|| corrupt(format!("section `{name}` offset out of range")))?;
+            let len = usize::try_from(len)
+                .ok()
+                .filter(|&l| offset.checked_add(l).is_some_and(|end| end <= table_offset))
+                .ok_or_else(|| corrupt(format!("section `{name}` exceeds the payload area")))?;
+            if sections.iter().any(|(n, _, _)| n == &name) {
+                return Err(corrupt(format!("duplicate section `{name}`")));
+            }
+            sections.push((name, offset, len));
+        }
+        Ok(SectionReader {
+            region,
+            kind,
+            sections,
+        })
+    }
+
+    /// The container's model kind tag.
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    /// Whether a section is present.
+    pub fn has(&self, name: &str) -> bool {
+        self.sections.iter().any(|(n, _, _)| n == name)
+    }
+
+    /// The names of all sections, in file order.
+    pub fn section_names(&self) -> Vec<&str> {
+        self.sections.iter().map(|(n, _, _)| n.as_str()).collect()
+    }
+
+    fn find(&self, name: &str) -> Result<(usize, usize), OcularError> {
+        self.sections
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|&(_, offset, len)| (offset, len))
+            .ok_or_else(|| corrupt(format!("missing section `{name}`")))
+    }
+
+    fn pods<T: Pod>(&self, name: &str) -> Result<PodBuf<T>, OcularError> {
+        let (offset, len) = self.find(name)?;
+        if len % T::WIDTH != 0 {
+            return Err(corrupt(format!(
+                "section `{name}` of {len} bytes is not a whole number of {}-byte elements",
+                T::WIDTH
+            )));
+        }
+        PodBuf::from_region(&self.region, offset, len / T::WIDTH)
+            .map_err(|e| corrupt(format!("section `{name}`: {e}")))
+    }
+
+    /// A (zero-copy where possible) `f64` view of a section.
+    pub fn f64s(&self, name: &str) -> Result<F64Buf, OcularError> {
+        self.pods(name)
+    }
+
+    /// A (zero-copy where possible) `u64` view of a section.
+    pub fn u64s(&self, name: &str) -> Result<U64Buf, OcularError> {
+        self.pods(name)
+    }
+
+    /// A (zero-copy where possible) `u32` view of a section.
+    pub fn u32s(&self, name: &str) -> Result<U32Buf, OcularError> {
+        self.pods(name)
+    }
+
+    /// A raw byte view of a section.
+    pub fn bytes(&self, name: &str) -> Result<&[u8], OcularError> {
+        let (offset, len) = self.find(name)?;
+        Ok(&self.region.as_bytes()[offset..offset + len])
+    }
+
+    /// Reads a fixed-shape `u64` metadata section into a small owned
+    /// array, validating the element count — the conventional shape of
+    /// each kind's `meta` section.
+    pub fn u64_meta<const N: usize>(&self, name: &str) -> Result<[u64; N], OcularError> {
+        let buf = self.u64s(name)?;
+        let slice: &[u64] = &buf;
+        <[u64; N]>::try_from(slice).map_err(|_| {
+            corrupt(format!(
+                "section `{name}` holds {} values, expected {N}",
+                buf.len()
+            ))
+        })
+    }
+
+    /// Reads a fixed-shape `f64` metadata section, validating the count.
+    pub fn f64_meta<const N: usize>(&self, name: &str) -> Result<[f64; N], OcularError> {
+        let buf = self.f64s(name)?;
+        let slice: &[f64] = &buf;
+        <[f64; N]>::try_from(slice).map_err(|_| {
+            corrupt(format!(
+                "section `{name}` holds {} values, expected {N}",
+                buf.len()
+            ))
+        })
+    }
+
+    /// Converts a `u64` metadata value into a `usize` shape, rejecting
+    /// values outside the platform's address space.
+    pub fn shape(value: u64, what: &str) -> Result<usize, OcularError> {
+        usize::try_from(value).map_err(|_| corrupt(format!("{what} {value} exceeds usize")))
+    }
+
+    /// Whether the underlying region is a file mapping (serving telemetry
+    /// and tests).
+    pub fn is_mapped(&self) -> bool {
+        self.region.is_mapped()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut w = SectionWriter::new("test-kind");
+        w.put_u64s("meta", &[3, 4]);
+        w.put_f64s("facts", &[1.5, -2.0, 1e-300]);
+        w.put_u32s("ids", &[7, 8, 9, 10, 11]);
+        w.put_bytes("blob", b"hello");
+        w.finish()
+    }
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let bytes = sample();
+        assert!(is_v3(&bytes));
+        let r = SectionReader::open(ModelBytes::from_vec(bytes)).unwrap();
+        assert_eq!(r.kind(), "test-kind");
+        assert_eq!(r.u64_meta::<2>("meta").unwrap(), [3, 4]);
+        assert_eq!(&*r.f64s("facts").unwrap(), &[1.5, -2.0, 1e-300]);
+        assert_eq!(&*r.u32s("ids").unwrap(), &[7, 8, 9, 10, 11]);
+        assert_eq!(r.bytes("blob").unwrap(), b"hello");
+        assert!(r.has("blob"));
+        assert!(!r.has("nope"));
+        assert_eq!(r.section_names(), vec!["meta", "facts", "ids", "blob"]);
+        // zero-copy on little-endian targets
+        if cfg!(target_endian = "little") {
+            assert!(r.f64s("facts").unwrap().is_shared());
+        }
+        assert!(matches!(
+            r.f64s("nope"),
+            Err(OcularError::Corrupt(msg)) if msg.contains("missing section")
+        ));
+        // wrong element width rejected
+        assert!(r.f64s("blob").is_err());
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_length() {
+        let bytes = sample();
+        for keep in 0..bytes.len() {
+            let partial = ModelBytes::from_vec(bytes[..keep].to_vec());
+            assert!(
+                matches!(SectionReader::open(partial), Err(OcularError::Corrupt(_))),
+                "truncation to {keep} bytes must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_rejected() {
+        let bytes = sample();
+        for byte in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[byte] ^= 1;
+            assert!(
+                SectionReader::open(ModelBytes::from_vec(flipped)).is_err(),
+                "bit flip at byte {byte} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_container_is_valid() {
+        let bytes = SectionWriter::new("k").finish();
+        let r = SectionReader::open(ModelBytes::from_vec(bytes)).unwrap();
+        assert_eq!(r.kind(), "k");
+        assert!(r.section_names().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate section")]
+    fn duplicate_sections_panic_in_writer() {
+        let mut w = SectionWriter::new("k");
+        w.put_u64s("a", &[1]);
+        w.put_u64s("a", &[2]);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        for doc in [
+            &b""[..],
+            &b"OCULAR3\0"[..],
+            &b"ocular-snapshot v2 wals\n..."[..],
+            &[0u8; 64][..],
+        ] {
+            assert!(SectionReader::open(ModelBytes::from_vec(doc.to_vec())).is_err());
+        }
+    }
+}

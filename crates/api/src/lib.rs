@@ -26,9 +26,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binary;
 pub mod error;
+pub mod textio;
 pub mod traits;
 
+pub use binary::{SectionReader, SectionWriter};
 pub use error::OcularError;
 pub use traits::{
     validate_basket, ClusterEvidence, Explain, FnScorer, FoldIn, Model, Provenance, Recommender,

@@ -1,22 +1,26 @@
-//! Shared text-format persistence helpers for the baseline models'
-//! [`ocular_api::SnapshotModel`] impls.
+//! Shared line-oriented **text** persistence helpers — the one
+//! implementation of the workspace's `{:e}` float round-trip convention.
 //!
-//! Everything is line-oriented like `ocular-model v1`: floats are written
-//! with `{:e}` (Rust's shortest round-trippable representation), so a
-//! save/load cycle reproduces every `f64` bitwise.
+//! Every text model payload (`ocular-model v1`, `wals-model v1`, …) and
+//! the text snapshot envelope are line-oriented: floats are written with
+//! `{:e}` (Rust's shortest round-trippable representation), so a
+//! save/load cycle reproduces every `f64` **bitwise**. These helpers used
+//! to be duplicated between `ocular-serve`'s snapshot module and
+//! `ocular-baselines`' persistence module; they live here so the text
+//! and binary codecs sit side by side under one roof and cannot drift.
 
-use ocular_api::OcularError;
+use crate::error::OcularError;
 use ocular_linalg::Matrix;
 use ocular_sparse::CsrMatrix;
 use std::io::{BufRead, Write};
 
 /// Shorthand for a corrupt-payload error.
-pub(crate) fn bad(msg: impl Into<String>) -> OcularError {
+pub fn bad(msg: impl Into<String>) -> OcularError {
     OcularError::Corrupt(msg.into())
 }
 
 /// Reads one line (without the trailing newline); EOF is an error.
-pub(crate) fn read_line(r: &mut dyn BufRead) -> Result<String, OcularError> {
+pub fn read_line(r: &mut dyn BufRead) -> Result<String, OcularError> {
     let mut line = String::new();
     if r.read_line(&mut line).map_err(OcularError::from)? == 0 {
         return Err(bad("truncated model payload"));
@@ -24,14 +28,14 @@ pub(crate) fn read_line(r: &mut dyn BufRead) -> Result<String, OcularError> {
     Ok(line.trim_end_matches(['\n', '\r']).to_string())
 }
 
-/// Writes a float slice as one space-separated line.
-pub(crate) fn write_floats(w: &mut dyn Write, vals: &[f64]) -> std::io::Result<()> {
+/// Writes a float slice as one space-separated `{:e}` line.
+pub fn write_floats(w: &mut dyn Write, vals: &[f64]) -> std::io::Result<()> {
     let row: Vec<String> = vals.iter().map(|v| format!("{v:e}")).collect();
     writeln!(w, "{}", row.join(" "))
 }
 
 /// Parses one space-separated float line of exactly `n` values.
-pub(crate) fn read_floats(r: &mut dyn BufRead, n: usize) -> Result<Vec<f64>, OcularError> {
+pub fn read_floats(r: &mut dyn BufRead, n: usize) -> Result<Vec<f64>, OcularError> {
     let line = read_line(r)?;
     let vals: Vec<f64> = line
         .split_whitespace()
@@ -45,7 +49,7 @@ pub(crate) fn read_floats(r: &mut dyn BufRead, n: usize) -> Result<Vec<f64>, Ocu
 }
 
 /// Writes a dense matrix, one row per line.
-pub(crate) fn write_matrix(w: &mut dyn Write, m: &Matrix) -> std::io::Result<()> {
+pub fn write_matrix(w: &mut dyn Write, m: &Matrix) -> std::io::Result<()> {
     for r in 0..m.rows() {
         write_floats(w, m.row(r))?;
     }
@@ -53,11 +57,7 @@ pub(crate) fn write_matrix(w: &mut dyn Write, m: &Matrix) -> std::io::Result<()>
 }
 
 /// Reads a `rows × cols` matrix written by [`write_matrix`].
-pub(crate) fn read_matrix(
-    r: &mut dyn BufRead,
-    rows: usize,
-    cols: usize,
-) -> Result<Matrix, OcularError> {
+pub fn read_matrix(r: &mut dyn BufRead, rows: usize, cols: usize) -> Result<Matrix, OcularError> {
     let mut data = Vec::with_capacity(rows * cols);
     for _ in 0..rows {
         data.extend(read_floats(r, cols)?);
@@ -67,7 +67,7 @@ pub(crate) fn read_matrix(
 
 /// Writes a binary CSR matrix: a shape line, then one `len id id …` line
 /// per row.
-pub(crate) fn write_csr(w: &mut dyn Write, m: &CsrMatrix) -> std::io::Result<()> {
+pub fn write_csr(w: &mut dyn Write, m: &CsrMatrix) -> std::io::Result<()> {
     writeln!(w, "interactions {} {}", m.n_rows(), m.n_cols())?;
     for u in 0..m.n_rows() {
         let row = m.row(u);
@@ -81,7 +81,7 @@ pub(crate) fn write_csr(w: &mut dyn Write, m: &CsrMatrix) -> std::io::Result<()>
 }
 
 /// Reads a matrix written by [`write_csr`].
-pub(crate) fn read_csr(r: &mut dyn BufRead) -> Result<CsrMatrix, OcularError> {
+pub fn read_csr(r: &mut dyn BufRead) -> Result<CsrMatrix, OcularError> {
     let header = read_line(r)?;
     let fields: Vec<&str> = header.split_whitespace().collect();
     if fields.len() != 3 || fields[0] != "interactions" {

@@ -15,6 +15,7 @@
 //! request against a model without [`FoldIn`] is a typed
 //! [`OcularError::Unsupported`], not a panic.
 
+use crate::binary::{SectionReader, SectionWriter};
 use crate::error::OcularError;
 use ocular_linalg::topk::top_k_excluding;
 use ocular_sparse::CsrMatrix;
@@ -169,6 +170,18 @@ pub trait Explain: ScoreItems {
 /// Versioned model persistence with a kind tag, so a serving snapshot can
 /// carry *any* model kind and the loader dispatches on the tag instead of
 /// guessing at bytes.
+///
+/// Two codecs per kind, same kind tag, same bitwise content:
+///
+/// * **text** ([`SnapshotModel::save_model`] / [`SnapshotModel::load_model`])
+///   — the line-oriented v1/v2 envelope payloads, human-inspectable and
+///   the compatibility format old snapshots keep loading through;
+/// * **binary v3** ([`SnapshotModel::write_sections`] /
+///   [`SnapshotModel::read_sections`]) — typed sections in the mmap-able
+///   [`crate::binary`] container. `read_sections` should **borrow** its
+///   large payloads from the reader's byte region
+///   ([`SectionReader::f64s`] and friends return region-backed buffers),
+///   so loading a binary snapshot is allocation-free for the bulk data.
 pub trait SnapshotModel: ScoreItems {
     /// The stable kind tag written into snapshot envelopes (e.g. `"wals"`).
     /// Lowercase, no spaces; distinct per implementing type.
@@ -181,6 +194,19 @@ pub trait SnapshotModel: ScoreItems {
     /// Reads a payload written by [`SnapshotModel::save_model`], validating
     /// shape and values.
     fn load_model(r: &mut dyn BufRead) -> Result<Self, OcularError>
+    where
+        Self: Sized;
+
+    /// Writes the model's payload as typed sections of a v3 binary
+    /// snapshot. Must round-trip bitwise against
+    /// [`SnapshotModel::read_sections`] *and* agree with the text codec
+    /// (the conformance suite asserts both).
+    fn write_sections(&self, w: &mut SectionWriter) -> Result<(), OcularError>;
+
+    /// Reads a payload written by [`SnapshotModel::write_sections`],
+    /// validating shapes and values, borrowing large buffers from the
+    /// reader's byte region where the platform allows.
+    fn read_sections(r: &SectionReader) -> Result<Self, OcularError>
     where
         Self: Sized;
 }

@@ -15,7 +15,7 @@
 //! non-interpretable baseline of Table I; the OCuLaR paper used the
 //! `theano-bpr` implementation, which this module replaces from scratch.
 
-use crate::persist::{bad, read_line, read_matrix, write_matrix};
+use ocular_api::textio::{bad, read_line, read_matrix, write_matrix};
 use ocular_api::{OcularError, Recommender, ScoreItems, SnapshotModel};
 use ocular_linalg::{ops, Matrix};
 use ocular_sparse::{CsrMatrix, Dataset};
@@ -261,6 +261,52 @@ impl SnapshotModel for Bpr {
         }
         let user_factors = read_matrix(r, n_users, config.k)?;
         let item_factors = read_matrix(r, n_items, config.k)?;
+        Ok(Bpr {
+            user_factors,
+            item_factors,
+            config,
+        })
+    }
+
+    fn write_sections(&self, w: &mut ocular_api::SectionWriter) -> Result<(), OcularError> {
+        let c = &self.config;
+        w.put_u64s(
+            "meta",
+            &[
+                self.user_factors.rows() as u64,
+                self.item_factors.rows() as u64,
+                c.k as u64,
+                c.epochs as u64,
+                c.seed,
+            ],
+        );
+        w.put_f64s("cfg", &[c.lambda, c.learning_rate, c.init_scale]);
+        w.put_f64s("ufact", self.user_factors.as_slice());
+        w.put_f64s("ifact", self.item_factors.as_slice());
+        Ok(())
+    }
+
+    fn read_sections(r: &ocular_api::SectionReader) -> Result<Self, OcularError> {
+        use ocular_api::SectionReader;
+        let [n_users, n_items, k, epochs, seed] = r.u64_meta::<5>("meta")?;
+        let [lambda, learning_rate, init_scale] = r.f64_meta::<3>("cfg")?;
+        let config = BprConfig {
+            k: SectionReader::shape(k, "k")?,
+            lambda,
+            learning_rate,
+            epochs: SectionReader::shape(epochs, "epochs")?,
+            init_scale,
+            seed,
+        };
+        if config.k == 0 || config.learning_rate <= 0.0 {
+            return Err(bad("bpr-model metadata fails config validation"));
+        }
+        let n_users = SectionReader::shape(n_users, "n_users")?;
+        let n_items = SectionReader::shape(n_items, "n_items")?;
+        let user_factors = Matrix::from_shared(n_users, config.k, r.f64s("ufact")?)
+            .map_err(OcularError::Corrupt)?;
+        let item_factors = Matrix::from_shared(n_items, config.k, r.f64s("ifact")?)
+            .map_err(OcularError::Corrupt)?;
         Ok(Bpr {
             user_factors,
             item_factors,

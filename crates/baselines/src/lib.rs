@@ -29,7 +29,7 @@
 
 pub mod bpr;
 pub mod neighbors;
-mod persist;
+
 pub mod popularity;
 pub mod similarity;
 pub mod wals;

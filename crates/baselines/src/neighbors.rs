@@ -15,8 +15,8 @@
 //! the new user's similarity to every training user, which this
 //! implementation does not precompute — its `as_fold_in` stays `None`.
 
-use crate::persist::{bad, read_csr, read_line, write_csr};
 use crate::similarity::{top_k_neighbors, Neighbor};
+use ocular_api::textio::{bad, read_csr, read_line, write_csr};
 use ocular_api::{validate_basket, FoldIn, OcularError, Recommender, ScoreItems, SnapshotModel};
 use ocular_sparse::{CsrMatrix, Dataset};
 use std::io::{BufRead, Write};
@@ -84,6 +84,90 @@ fn read_neighbors(r: &mut dyn BufRead, n: usize) -> Result<Vec<Vec<Neighbor>>, O
         lists.push(list);
     }
     Ok(lists)
+}
+
+/// Writes neighbour lists (as a CSR triple) plus the interaction matrix
+/// as v3 binary sections — the payload shape shared by both kNN kinds.
+fn write_knn_sections(w: &mut ocular_api::SectionWriter, lists: &[Vec<Neighbor>], r: &CsrMatrix) {
+    let total: usize = lists.iter().map(Vec::len).sum();
+    let mut nbrptr: Vec<u64> = Vec::with_capacity(lists.len() + 1);
+    let mut nbridx: Vec<u32> = Vec::with_capacity(total);
+    let mut nbrsim: Vec<f64> = Vec::with_capacity(total);
+    nbrptr.push(0);
+    for list in lists {
+        for n in list {
+            nbridx.push(n.index);
+            nbrsim.push(n.similarity);
+        }
+        nbrptr.push(nbridx.len() as u64);
+    }
+    w.put_u64s("nbrptr", &nbrptr);
+    w.put_u32s("nbridx", &nbridx);
+    w.put_f64s("nbrsim", &nbrsim);
+    let (rows, cols, indptr, col_ixs) = r.as_parts();
+    w.put_u64s("rmeta", &[rows as u64, cols as u64]);
+    let rptr: Vec<u64> = indptr.iter().map(|&x| x as u64).collect();
+    w.put_u64s("rptr", &rptr);
+    w.put_u32s("rcol", col_ixs);
+}
+
+/// Validates that a CSR row-pointer array is well-formed for `rows` rows
+/// over `nnz` entries: length, leading zero, monotonicity, total.
+fn check_indptr(ptr: &[u64], rows: usize, nnz: usize, what: &str) -> Result<(), OcularError> {
+    if ptr.len() != rows + 1 || ptr.first() != Some(&0) || ptr.last() != Some(&(nnz as u64)) {
+        return Err(bad(format!("{what}: malformed row-pointer array")));
+    }
+    if ptr.windows(2).any(|w| w[0] > w[1]) {
+        return Err(bad(format!("{what}: row pointers must be monotonic")));
+    }
+    Ok(())
+}
+
+/// Reads the payload written by [`write_knn_sections`], validating every
+/// shape (corrupt bytes are typed errors, never panics or garbage).
+fn read_knn_sections(
+    r: &ocular_api::SectionReader,
+) -> Result<(Vec<Vec<Neighbor>>, CsrMatrix), OcularError> {
+    use ocular_api::SectionReader;
+    let nbrptr = r.u64s("nbrptr")?;
+    let nbridx = r.u32s("nbridx")?;
+    let nbrsim = r.f64s("nbrsim")?;
+    if nbridx.len() != nbrsim.len() {
+        return Err(bad("neighbour index and similarity arrays disagree"));
+    }
+    if nbrptr.is_empty() {
+        return Err(bad("empty neighbour row-pointer array"));
+    }
+    let n = nbrptr.len() - 1;
+    check_indptr(&nbrptr, n, nbridx.len(), "neighbour lists")?;
+    let mut lists = Vec::with_capacity(n);
+    for e in 0..n {
+        let (lo, hi) = (nbrptr[e] as usize, nbrptr[e + 1] as usize);
+        let list: Vec<Neighbor> = (lo..hi)
+            .map(|at| Neighbor {
+                index: nbridx[at],
+                similarity: nbrsim[at],
+            })
+            .collect();
+        if list.iter().any(|nb| !nb.similarity.is_finite()) {
+            return Err(bad(format!("entity {e}: non-finite similarity")));
+        }
+        lists.push(list);
+    }
+    let [rows, cols] = r.u64_meta::<2>("rmeta")?;
+    let rows = SectionReader::shape(rows, "n_rows")?;
+    let cols = SectionReader::shape(cols, "n_cols")?;
+    let rptr = r.u64s("rptr")?;
+    let rcol = r.u32s("rcol")?;
+    check_indptr(&rptr, rows, rcol.len(), "interactions")?;
+    let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(rcol.len());
+    for u in 0..rows {
+        for at in rptr[u] as usize..rptr[u + 1] as usize {
+            pairs.push((u, rcol[at] as usize));
+        }
+    }
+    let matrix = CsrMatrix::from_pairs(rows, cols, &pairs).map_err(|e| bad(e.to_string()))?;
+    Ok((lists, matrix))
 }
 
 /// Validates that every neighbour index in `lists` addresses an entity
@@ -190,6 +274,23 @@ impl SnapshotModel for UserKnn {
             r: matrix,
         })
     }
+
+    fn write_sections(&self, w: &mut ocular_api::SectionWriter) -> Result<(), OcularError> {
+        write_knn_sections(w, &self.neighbors, &self.r);
+        Ok(())
+    }
+
+    fn read_sections(r: &ocular_api::SectionReader) -> Result<Self, OcularError> {
+        let (neighbors, matrix) = read_knn_sections(r)?;
+        if matrix.n_rows() != neighbors.len() {
+            return Err(bad("neighbour lists and interactions disagree on users"));
+        }
+        check_neighbor_bounds(&neighbors, matrix.n_rows())?;
+        Ok(UserKnn {
+            neighbors,
+            r: matrix,
+        })
+    }
 }
 
 /// Fitted item-based cosine kNN model.
@@ -290,6 +391,23 @@ impl SnapshotModel for ItemKnn {
             return Err(bad("neighbour lists and interactions disagree on items"));
         }
         // item neighbours index columns of the interaction matrix
+        check_neighbor_bounds(&neighbors, matrix.n_cols())?;
+        Ok(ItemKnn {
+            neighbors,
+            r: matrix,
+        })
+    }
+
+    fn write_sections(&self, w: &mut ocular_api::SectionWriter) -> Result<(), OcularError> {
+        write_knn_sections(w, &self.neighbors, &self.r);
+        Ok(())
+    }
+
+    fn read_sections(r: &ocular_api::SectionReader) -> Result<Self, OcularError> {
+        let (neighbors, matrix) = read_knn_sections(r)?;
+        if matrix.n_cols() != neighbors.len() {
+            return Err(bad("neighbour lists and interactions disagree on items"));
+        }
         check_neighbor_bounds(&neighbors, matrix.n_cols())?;
         Ok(ItemKnn {
             neighbors,

@@ -7,7 +7,7 @@
 //! supported: a basket request gets the same global ranking with the
 //! basket excluded.
 
-use crate::persist::{bad, read_floats, read_line, write_floats};
+use ocular_api::textio::{bad, read_floats, read_line, write_floats};
 use ocular_api::{validate_basket, FoldIn, OcularError, Recommender, ScoreItems, SnapshotModel};
 use ocular_sparse::Dataset;
 
@@ -92,6 +92,30 @@ impl SnapshotModel for Popularity {
         let n_items: usize = f[3].parse().map_err(|_| bad("bad n_items"))?;
         let scores = read_floats(r, n_items)?;
         Ok(Popularity { scores, n_users })
+    }
+
+    fn write_sections(&self, w: &mut ocular_api::SectionWriter) -> Result<(), OcularError> {
+        w.put_u64s("meta", &[self.n_users as u64, self.scores.len() as u64]);
+        w.put_f64s("scores", &self.scores);
+        Ok(())
+    }
+
+    fn read_sections(r: &ocular_api::SectionReader) -> Result<Self, OcularError> {
+        use ocular_api::SectionReader;
+        let [n_users, n_items] = r.u64_meta::<2>("meta")?;
+        let n_users = SectionReader::shape(n_users, "n_users")?;
+        let n_items = SectionReader::shape(n_items, "n_items")?;
+        let scores = r.f64s("scores")?;
+        if scores.len() != n_items {
+            return Err(bad(format!(
+                "scores section holds {} values but metadata says {n_items} items",
+                scores.len()
+            )));
+        }
+        Ok(Popularity {
+            scores: scores.into_vec(),
+            n_users,
+        })
     }
 }
 

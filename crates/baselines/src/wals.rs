@@ -24,7 +24,7 @@
 //! ([`ocular_api::FoldIn`]): a new user's factor vector is one ridge solve
 //! against the frozen item factors — `O(K³ + basket·K²)` per request.
 
-use crate::persist::{bad, read_line, read_matrix, write_matrix};
+use ocular_api::textio::{bad, read_line, read_matrix, write_matrix};
 use ocular_api::{validate_basket, FoldIn, OcularError, Recommender, ScoreItems, SnapshotModel};
 use ocular_linalg::{ops, Cholesky, Matrix};
 use ocular_sparse::{CsrMatrix, Dataset};
@@ -373,6 +373,54 @@ impl SnapshotModel for Wals {
             user_factors,
             item_factors,
             objective_trace,
+            config,
+            item_gram,
+        })
+    }
+
+    fn write_sections(&self, w: &mut ocular_api::SectionWriter) -> Result<(), OcularError> {
+        let c = &self.config;
+        w.put_u64s(
+            "meta",
+            &[
+                self.user_factors.rows() as u64,
+                self.item_factors.rows() as u64,
+                c.k as u64,
+                c.iters as u64,
+                c.seed,
+            ],
+        );
+        w.put_f64s("cfg", &[c.b, c.lambda, c.init_scale]);
+        w.put_f64s("ufact", self.user_factors.as_slice());
+        w.put_f64s("ifact", self.item_factors.as_slice());
+        w.put_f64s("trace", &self.objective_trace);
+        Ok(())
+    }
+
+    fn read_sections(r: &ocular_api::SectionReader) -> Result<Self, OcularError> {
+        use ocular_api::SectionReader;
+        let [n_users, n_items, k, iters, seed] = r.u64_meta::<5>("meta")?;
+        let [b, lambda, init_scale] = r.f64_meta::<3>("cfg")?;
+        let config = WalsConfig {
+            k: SectionReader::shape(k, "k")?,
+            b,
+            lambda,
+            iters: SectionReader::shape(iters, "iters")?,
+            init_scale,
+            seed,
+        };
+        config.validate()?;
+        let n_users = SectionReader::shape(n_users, "n_users")?;
+        let n_items = SectionReader::shape(n_items, "n_items")?;
+        let user_factors = Matrix::from_shared(n_users, config.k, r.f64s("ufact")?)
+            .map_err(OcularError::Corrupt)?;
+        let item_factors = Matrix::from_shared(n_items, config.k, r.f64s("ifact")?)
+            .map_err(OcularError::Corrupt)?;
+        let item_gram = item_factors.gram();
+        Ok(Wals {
+            user_factors,
+            item_factors,
+            objective_trace: r.f64s("trace")?.into_vec(),
             config,
             item_gram,
         })

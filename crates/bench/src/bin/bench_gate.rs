@@ -75,6 +75,9 @@ fn run() -> Result<Vec<String>, String> {
         .iter()
         .map(|kind| field(&serve, &format!("kinds.{kind}.p50_us")))
         .collect::<Result<Vec<f64>, _>>()?;
+    // snapshot cold-start cost, both formats (the v3 zero-copy claim)
+    let load_text = field(&serve, "snapshot_load.text_seconds")?;
+    let load_binary = field(&serve, "snapshot_load.binary_seconds")?;
 
     if std::env::var("BENCH_BASELINE_RESET").as_deref() == Ok("1") {
         let mut fields = vec![
@@ -92,6 +95,14 @@ fn run() -> Result<Vec<String>, String> {
                 Json::Num(*p50),
             ));
         }
+        fields.push((
+            "snapshot_load_text_seconds".to_string(),
+            Json::Num(load_text),
+        ));
+        fields.push((
+            "snapshot_load_binary_seconds".to_string(),
+            Json::Num(load_binary),
+        ));
         let fresh = obj(fields
             .iter()
             .map(|(k, v)| (k.as_str(), v.clone()))
@@ -150,6 +161,32 @@ fn run() -> Result<Vec<String>, String> {
         let key = format!("{}_p50_us", kind.replace('-', "_"));
         let base = field(&baseline, &key)?;
         check(&key, *p50, base);
+    }
+    // snapshot cold-start gates: neither format may regress…
+    check(
+        "snap_text_s",
+        load_text,
+        field(&baseline, "snapshot_load_text_seconds")?,
+    );
+    check(
+        "snap_binary_s",
+        load_binary,
+        field(&baseline, "snapshot_load_binary_seconds")?,
+    );
+    // …and, machine-independently within the same run, the v3 mmap load
+    // must be *strictly* faster than parsing the text snapshot of the
+    // same model — the zero-copy start-up claim, gated not asserted
+    println!(
+        "bench_gate: bin_vs_text    binary={:10.5}s text={:10.5}s  ({:.0}× faster)",
+        load_binary,
+        load_text,
+        load_text / load_binary
+    );
+    if load_binary >= load_text {
+        failures.push(format!(
+            "binary snapshot load ({load_binary:.5}s) is not strictly below the text path \
+             ({load_text:.5}s)"
+        ));
     }
     Ok(failures)
 }

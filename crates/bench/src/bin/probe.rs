@@ -133,9 +133,8 @@ fn main() {
         seed,
         ..Default::default()
     };
-    let per_sweep = ocular_core::fit(&split.train, &flat_cfg)
-        .history
-        .sweep_seconds;
+    let flat_fit = ocular_core::fit(&split.train, &flat_cfg);
+    let per_sweep = flat_fit.history.sweep_seconds;
     let min_sweep = per_sweep.iter().cloned().fold(f64::INFINITY, f64::min);
     let last_sweep = *per_sweep.last().expect("at least one sweep");
     let flatness = last_sweep / min_sweep;
@@ -169,6 +168,19 @@ fn main() {
         ingested.nnz()
     );
 
+    // snapshot persistence: text parse vs v3 binary mmap load on the
+    // model the flatness run just fitted
+    let snap = ocular_serve::AnySnapshot::Ocular(ocular_serve::Snapshot::build(
+        flat_fit.model,
+        &ocular_serve::IndexConfig::default(),
+    ));
+    let (load_text_s, load_binary_s) =
+        ocular_bench::persistence::snapshot_load_seconds(&snap, data.matrix.ids(), 7);
+    println!(
+        "snapshot load: text {:.4}s vs binary(mmap) {:.5}s",
+        load_text_s, load_binary_s
+    );
+
     let bench_out = args.get("bench-out", String::new());
     if !bench_out.is_empty() {
         // the fastest fit is the least noisy proxy for "did training get
@@ -191,6 +203,13 @@ fn main() {
             ),
             ("sweep_flatness", Json::Num(flatness)),
             ("ingest_seconds", Json::Num(ingest_seconds)),
+            (
+                "snapshot_load",
+                obj(vec![
+                    ("text_seconds", Json::Num(load_text_s)),
+                    ("binary_seconds", Json::Num(load_binary_s)),
+                ]),
+            ),
         ]);
         std::fs::write(&bench_out, format!("{doc}\n")).expect("write bench artifact");
         eprintln!("artifact → {bench_out}");

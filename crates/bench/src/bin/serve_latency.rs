@@ -159,6 +159,20 @@ fn main() {
         );
     });
 
+    // snapshot cold-start cost on the same model: text parse vs v3 mmap.
+    // This is the number the O(1)-start-up claim is gated on — bench_gate
+    // fails if the binary path is not strictly below the text path.
+    let snap =
+        ocular_serve::AnySnapshot::Ocular(ocular_serve::Snapshot::build(model.clone(), &index_cfg));
+    let (load_text_s, load_binary_s) =
+        ocular_bench::persistence::snapshot_load_seconds(&snap, r.ids(), 7);
+    eprintln!(
+        "snapshot load: text {:.2}ms vs binary(mmap) {:.3}ms ({:.0}× faster)",
+        load_text_s * 1e3,
+        load_binary_s * 1e3,
+        load_text_s / load_binary_s
+    );
+
     let batch: Vec<Request> = (0..n_requests)
         .map(|i| Request::Warm {
             user: user_at(i),
@@ -258,6 +272,13 @@ fn main() {
             Json::Num(fallbacks as f64 / n_requests as f64),
         ),
         ("batch_throughput_rps", Json::Num(throughput)),
+        (
+            "snapshot_load",
+            obj(vec![
+                ("text_seconds", Json::Num(load_text_s)),
+                ("binary_seconds", Json::Num(load_binary_s)),
+            ]),
+        ),
         (
             "kinds",
             obj(kind_rows

@@ -26,6 +26,7 @@
 
 pub mod args;
 pub mod harness;
+pub mod persistence;
 pub mod table;
 
 pub use args::Args;

@@ -167,10 +167,7 @@ impl FactorModel {
             u8::from(self.has_bias)
         )?;
         for side in [&self.user_factors, &self.item_factors] {
-            for r in 0..side.rows() {
-                let row: Vec<String> = side.row(r).iter().map(|v| format!("{v:e}")).collect();
-                writeln!(w, "{}", row.join(" "))?;
-            }
+            ocular_api::textio::write_matrix(&mut w, side)?;
         }
         w.flush()
     }

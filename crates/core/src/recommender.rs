@@ -14,7 +14,7 @@ use ocular_api::{
     validate_basket, ClusterEvidence, Explain, FoldIn, OcularError, Provenance, Recommender,
     ScoreItems, SnapshotModel,
 };
-use ocular_linalg::ops;
+use ocular_linalg::{ops, Matrix};
 use ocular_sparse::CsrMatrix;
 
 /// The solver configuration the trait-level cold-start path folds in with:
@@ -126,6 +126,42 @@ impl SnapshotModel for FactorModel {
 
     fn load_model(mut r: &mut dyn std::io::BufRead) -> Result<Self, OcularError> {
         FactorModel::load(&mut r).map_err(OcularError::from)
+    }
+
+    fn write_sections(&self, w: &mut ocular_api::SectionWriter) -> Result<(), OcularError> {
+        w.put_u64s(
+            "meta",
+            &[
+                self.n_users() as u64,
+                self.n_items() as u64,
+                self.k_total() as u64,
+                u64::from(self.has_bias()),
+            ],
+        );
+        w.put_f64s("ufact", self.user_factors.as_slice());
+        w.put_f64s("ifact", self.item_factors.as_slice());
+        Ok(())
+    }
+
+    fn read_sections(r: &ocular_api::SectionReader) -> Result<Self, OcularError> {
+        use ocular_api::SectionReader;
+        let [n_users, n_items, k_total, has_bias] = r.u64_meta::<4>("meta")?;
+        if has_bias > 1 {
+            return Err(OcularError::Corrupt(format!(
+                "bias flag must be 0 or 1, got {has_bias}"
+            )));
+        }
+        let n_users = SectionReader::shape(n_users, "n_users")?;
+        let n_items = SectionReader::shape(n_items, "n_items")?;
+        let k_total = SectionReader::shape(k_total, "k_total")?;
+        // the factor matrices borrow the reader's byte region — the
+        // zero-copy serving path
+        let user_factors = Matrix::from_shared(n_users, k_total, r.f64s("ufact")?)
+            .map_err(OcularError::Corrupt)?;
+        let item_factors = Matrix::from_shared(n_items, k_total, r.f64s("ifact")?)
+            .map_err(OcularError::Corrupt)?;
+        FactorModel::try_new(user_factors, item_factors, has_bias == 1)
+            .map_err(|e| OcularError::Corrupt(e.to_string()))
     }
 }
 

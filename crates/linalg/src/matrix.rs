@@ -1,15 +1,24 @@
 //! Row-major dense matrix.
 
+use ocular_bytes::F64Buf;
+
 /// A dense row-major `rows × cols` matrix of `f64`.
 ///
 /// Used throughout the workspace for factor matrices (`n_users × K`,
 /// `n_items × K`) and for the small `K×K` systems of the wALS baseline.
 /// Row views are contiguous slices, which is what every hot kernel wants.
+///
+/// The element storage is an [`F64Buf`]: matrices built in memory own a
+/// `Vec<f64>` as before, while matrices loaded from a binary snapshot can
+/// **borrow** their buffer from a shared (possibly memory-mapped) byte
+/// region via [`Matrix::from_shared`] — the zero-copy serving path.
+/// Mutation promotes a shared buffer to an owned copy first
+/// (copy-on-write), so training code is unaffected.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    data: F64Buf,
 }
 
 impl Matrix {
@@ -18,7 +27,7 @@ impl Matrix {
         Matrix {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: vec![0.0; rows * cols].into(),
         }
     }
 
@@ -41,7 +50,37 @@ impl Matrix {
             rows * cols,
             "buffer length must equal rows*cols"
         );
-        Matrix { rows, cols, data }
+        Matrix {
+            rows,
+            cols,
+            data: data.into(),
+        }
+    }
+
+    /// Wraps an owned-or-borrowed [`F64Buf`] as a matrix — the zero-copy
+    /// snapshot load path hands buffers borrowed from an mmap'd region
+    /// here. Errors (instead of panicking: the buffer typically comes
+    /// from untrusted bytes) when the length is not `rows * cols`.
+    pub fn from_shared(rows: usize, cols: usize, data: F64Buf) -> Result<Self, String> {
+        // the shape comes from untrusted snapshot metadata: a checked
+        // multiply keeps a crafted rows×cols overflow a typed error
+        // instead of a wrap-around (or debug panic)
+        let need = rows
+            .checked_mul(cols)
+            .ok_or_else(|| format!("{rows}×{cols} overflows the address space"))?;
+        if data.len() != need {
+            return Err(format!(
+                "buffer holds {} values but {rows}×{cols} needs {need}",
+                data.len()
+            ));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Whether the element buffer borrows a shared byte region (zero-copy
+    /// snapshot load) rather than owning a `Vec`.
+    pub fn is_shared(&self) -> bool {
+        self.data.is_shared()
     }
 
     /// Builds from nested rows.
@@ -56,11 +95,7 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix {
-            rows: r,
-            cols: c,
-            data,
-        }
+        Matrix::from_vec(r, c, data)
     }
 
     /// Number of rows.
@@ -84,7 +119,8 @@ impl Matrix {
     /// Mutable view of row `r`.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
-        &mut self.data[r * self.cols..(r + 1) * self.cols]
+        let cols = self.cols;
+        &mut self.data.make_owned()[r * cols..(r + 1) * cols]
     }
 
     /// Two disjoint mutable row views. Needed when an update reads one factor
@@ -95,11 +131,12 @@ impl Matrix {
     pub fn rows_mut_pair(&mut self, a: usize, b: usize) -> (&mut [f64], &mut [f64]) {
         assert_ne!(a, b, "rows must be distinct");
         let c = self.cols;
+        let data = self.data.make_owned();
         if a < b {
-            let (lo, hi) = self.data.split_at_mut(b * c);
+            let (lo, hi) = data.split_at_mut(b * c);
             (&mut lo[a * c..(a + 1) * c], &mut hi[..c])
         } else {
-            let (lo, hi) = self.data.split_at_mut(a * c);
+            let (lo, hi) = data.split_at_mut(a * c);
             let (x, y) = (&mut hi[..c], &mut lo[b * c..(b + 1) * c]);
             (x, y)
         }
@@ -114,12 +151,13 @@ impl Matrix {
     /// Flat mutable row-major view of the whole buffer.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
-        &mut self.data
+        self.data.make_owned()
     }
 
-    /// Consumes the matrix, returning its flat buffer.
+    /// Consumes the matrix, returning its flat buffer (copied if the
+    /// matrix borrowed a shared region).
     pub fn into_vec(self) -> Vec<f64> {
-        self.data
+        self.data.into_vec()
     }
 
     /// Sum of every row: `out[j] = Σ_r self[r, j]`. This is the paper's
@@ -147,7 +185,7 @@ impl Matrix {
     /// recomputes this once per half-sweep. O(rows · cols²).
     pub fn gram(&self) -> Matrix {
         let k = self.cols;
-        let mut g = Matrix::zeros(k, k);
+        let mut g = vec![0.0; k * k];
         for r in 0..self.rows {
             let row = self.row(r);
             for i in 0..k {
@@ -156,17 +194,17 @@ impl Matrix {
                     continue;
                 }
                 for j in i..k {
-                    g.data[i * k + j] += ri * row[j];
+                    g[i * k + j] += ri * row[j];
                 }
             }
         }
         // mirror the upper triangle
         for i in 0..k {
             for j in 0..i {
-                g.data[i * k + j] = g.data[j * k + i];
+                g[i * k + j] = g[j * k + i];
             }
         }
-        g
+        Matrix::from_vec(k, k, g)
     }
 
     /// Matrix product `self · other`. O(n·m·p); intended for small matrices
@@ -176,7 +214,7 @@ impl Matrix {
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "inner dimensions must agree");
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        let mut out = vec![0.0; self.rows * other.cols];
         for i in 0..self.rows {
             for l in 0..self.cols {
                 let a = self.data[i * self.cols + l];
@@ -184,22 +222,22 @@ impl Matrix {
                     continue;
                 }
                 for j in 0..other.cols {
-                    out.data[i * other.cols + j] += a * other.data[l * other.cols + j];
+                    out[i * other.cols + j] += a * other.data[l * other.cols + j];
                 }
             }
         }
-        out
+        Matrix::from_vec(self.rows, other.cols, out)
     }
 
     /// Transposed copy.
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
+        let mut out = vec![0.0; self.cols * self.rows];
         for i in 0..self.rows {
             for j in 0..self.cols {
-                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+                out[j * self.rows + i] = self.data[i * self.cols + j];
             }
         }
-        out
+        Matrix::from_vec(self.cols, self.rows, out)
     }
 
     /// Frobenius norm squared `Σ a_ij²` — the regularizer `Σ ‖f‖²` of Eq. (4).
@@ -220,7 +258,7 @@ impl Matrix {
         );
         self.data
             .iter()
-            .zip(&other.data)
+            .zip(other.data.iter())
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max)
     }
@@ -240,7 +278,8 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
         debug_assert!(r < self.rows && c < self.cols);
-        &mut self.data[r * self.cols + c]
+        let cols = self.cols;
+        &mut self.data.make_owned()[r * cols + c]
     }
 }
 
@@ -269,6 +308,19 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn ragged_rows_panic() {
         Matrix::from_rows(&[&[1.0], &[1.0, 2.0]]);
+    }
+
+    #[test]
+    fn from_shared_validates_shape_without_overflow() {
+        let buf: ocular_bytes::F64Buf = vec![1.0, 2.0].into();
+        assert!(Matrix::from_shared(1, 2, buf.clone()).is_ok());
+        assert!(Matrix::from_shared(2, 2, buf.clone()).is_err());
+        // untrusted shapes whose product wraps must be a typed error,
+        // not a wrap-around that matches an empty buffer
+        let empty: ocular_bytes::F64Buf = Vec::new().into();
+        assert!(Matrix::from_shared(1 << 32, 1 << 32, empty)
+            .unwrap_err()
+            .contains("overflows"));
     }
 
     #[test]

@@ -7,11 +7,20 @@
 //!
 //! ```text
 //! serve --train data.tsv --snapshot model.snap \
+//!       [--format text|binary] \
 //!       [--algo ocular|wals|bpr|user-knn|item-knn|popularity] \
 //!       [--k 8] [--lambda 0.5] [--iters 60] [--seed 0] [--sep '\t'] \
 //!       [--rel 0.5] [--floor 100]        (ocular index build) \
 //!       [--b 0.01] [--lr 0.05]           (wals / bpr)
 //! ```
+//!
+//! `--format binary` writes the mmap-able `ocular-snapshot v3` container
+//! (`--format text` the v2 text envelope, the default for
+//! compatibility). Serving sniffs the snapshot's magic bytes, so either
+//! format loads transparently — v3 via a zero-copy memory mapping
+//! (start-up cost independent of model size, page cache shared across
+//! serve processes), v1/v2 via the line-oriented parser. The measured
+//! load time is reported on stderr as `snapshot_load_seconds=…`.
 //!
 //! `--k` is the latent dimensionality for the factor models and the
 //! neighbourhood size for the kNN variants; `--iters` maps to each
@@ -50,7 +59,9 @@
 use ocular_baselines::{Bpr, BprConfig, ItemKnn, KnnConfig, Popularity, UserKnn, Wals, WalsConfig};
 use ocular_core::{fit, OcularConfig};
 use ocular_serve::json::{obj, Json};
-use ocular_serve::{AnySnapshot, CandidatePolicy, Request, ServeConfig, ServeEngine, Snapshot};
+use ocular_serve::{
+    AnySnapshot, CandidatePolicy, Request, ServeConfig, ServeEngine, Snapshot, SnapshotFormat,
+};
 use ocular_sparse::io::read_edge_list;
 use ocular_sparse::{Dataset, IdMaps, StreamingTriplets};
 use std::io::{BufRead, BufWriter, Write};
@@ -206,12 +217,20 @@ fn train_mode(flags: &Flags) -> Result<(), String> {
             ))
         }
     };
-    let mut file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    let format = match flags.get("format").unwrap_or("text") {
+        "text" => SnapshotFormat::Text,
+        "binary" => SnapshotFormat::Binary,
+        other => {
+            return Err(format!(
+                "--format must be `text` or `binary`, got `{other}`"
+            ))
+        }
+    };
     snapshot
-        .save_with_ids(r.ids(), &mut file)
-        .map_err(|e| e.to_string())?;
+        .save_path(std::path::Path::new(out), r.ids(), format)
+        .map_err(|e| format!("write {out}: {e}"))?;
     eprintln!(
-        "trained {} on {}×{} (nnz={}) in {:.2}s → {out} (id maps embedded)",
+        "trained {} on {}×{} (nnz={}) in {:.2}s → {out} ({format:?} format, id maps embedded)",
         snapshot.kind(),
         r.n_users(),
         r.n_items(),
@@ -332,9 +351,15 @@ fn serve_mode(flags: &Flags) -> Result<(), String> {
         .get("interactions")
         .ok_or("serving requires --interactions <edge list> (owned-item exclusion)")?;
     let sep = flags.get("sep").unwrap_or("\t");
-    let file = std::fs::File::open(snap_path).map_err(|e| format!("open {snap_path}: {e}"))?;
-    let (snapshot, snap_ids) = AnySnapshot::load_with_ids(&mut std::io::BufReader::new(file))
-        .map_err(|e| e.to_string())?;
+    // magic-sniffing load: v3 binary containers are mmap'd and borrowed
+    // zero-copy, v1/v2 text snapshots parse through the legacy path
+    let t_load = std::time::Instant::now();
+    let (snapshot, snap_ids) = AnySnapshot::load_path(std::path::Path::new(snap_path))
+        .map_err(|e| format!("load {snap_path}: {e}"))?;
+    eprintln!(
+        "snapshot_load_seconds={:.6}",
+        t_load.elapsed().as_secs_f64()
+    );
     let kind = snapshot.kind();
     let r = load_dataset(data, sep)?;
     // When the snapshot embeds id maps, they are authoritative for the

@@ -23,6 +23,7 @@
 //! probability ½ (`max_u · max_i < ln 2`) are dead — never clusters — and
 //! get empty lists, pushing their (hopeless) requests to the fallback path.
 
+use ocular_bytes::{U32Buf, U64Buf};
 use ocular_core::FactorModel;
 use ocular_sparse::col_index;
 
@@ -53,13 +54,19 @@ impl Default for IndexConfig {
     }
 }
 
-/// Inverted item lists, one per co-cluster dimension.
+/// Inverted item lists, one per co-cluster dimension, stored **CSR**:
+/// one concatenated item array plus a row-pointer array. The CSR layout
+/// is exactly what the v3 binary snapshot serialises, so an index loaded
+/// from a snapshot **borrows** both arrays from the (possibly mmap'd)
+/// byte region — engine start-up rebuilds nothing.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterIndex {
     rel: f64,
     n_items: usize,
-    /// `items[c]` = ascending item indices with `[f_i]_c ≥ rel · max_i`.
-    items: Vec<Vec<u32>>,
+    /// `indptr[c]..indptr[c + 1]` bounds cluster `c`'s slice of `items`.
+    indptr: U64Buf,
+    /// Concatenated ascending item lists.
+    items: U32Buf,
 }
 
 impl ClusterIndex {
@@ -109,21 +116,73 @@ impl ClusterIndex {
                 list
             })
             .collect();
+        Self::from_lists(cfg.rel, model.n_items(), items)
+    }
+
+    /// Packs per-cluster lists into the CSR layout (trusted input: the
+    /// builder and the validated loaders).
+    fn from_lists(rel: f64, n_items: usize, lists: Vec<Vec<u32>>) -> Self {
+        let mut indptr: Vec<u64> = Vec::with_capacity(lists.len() + 1);
+        let total: usize = lists.iter().map(Vec::len).sum();
+        let mut items: Vec<u32> = Vec::with_capacity(total);
+        indptr.push(0);
+        for list in lists {
+            items.extend_from_slice(&list);
+            indptr.push(items.len() as u64);
+        }
         ClusterIndex {
-            rel: cfg.rel,
-            n_items: model.n_items(),
-            items,
+            rel,
+            n_items,
+            indptr: indptr.into(),
+            items: items.into(),
         }
     }
 
-    /// Assembles an index from raw parts (the snapshot loader). Validates
-    /// that `rel` is in range and every list is strictly ascending and
-    /// in-bounds.
+    /// Assembles an index from raw parts (the text snapshot loader).
+    /// Validates that `rel` is in range and every list is strictly
+    /// ascending and in-bounds (via [`ClusterIndex::from_csr`], which
+    /// checks the packed layout).
     pub fn from_parts(rel: f64, n_items: usize, items: Vec<Vec<u32>>) -> Result<Self, String> {
+        let lists = items;
+        Self::from_csr(
+            rel,
+            n_items,
+            {
+                let mut indptr: Vec<u64> = Vec::with_capacity(lists.len() + 1);
+                indptr.push(0);
+                for list in &lists {
+                    indptr.push(indptr.last().expect("non-empty") + list.len() as u64);
+                }
+                indptr.into()
+            },
+            lists.concat().into(),
+        )
+    }
+
+    /// Assembles an index from (possibly region-borrowed) CSR arrays —
+    /// the v3 binary snapshot load path. Validates `rel`, the row-pointer
+    /// shape and every list's ordering/bounds, so corrupt bytes are an
+    /// error here instead of wrong candidates at request time.
+    pub fn from_csr(
+        rel: f64,
+        n_items: usize,
+        indptr: U64Buf,
+        items: U32Buf,
+    ) -> Result<Self, String> {
         if !(rel > 0.0 && rel <= 1.0) {
             return Err(format!("bad index rel cutoff {rel}"));
         }
-        for (c, list) in items.iter().enumerate() {
+        if indptr.is_empty()
+            || indptr[0] != 0
+            || *indptr.last().expect("non-empty") != items.len() as u64
+        {
+            return Err("malformed index row-pointer array".into());
+        }
+        if indptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err("index row pointers must be monotonic".into());
+        }
+        for c in 0..indptr.len() - 1 {
+            let list = &items[indptr[c] as usize..indptr[c + 1] as usize];
             if list.windows(2).any(|w| w[0] >= w[1]) {
                 return Err(format!("cluster {c} item list not strictly ascending"));
             }
@@ -138,6 +197,7 @@ impl ClusterIndex {
         Ok(ClusterIndex {
             rel,
             n_items,
+            indptr,
             items,
         })
     }
@@ -149,7 +209,7 @@ impl ClusterIndex {
 
     /// Number of indexed co-cluster dimensions.
     pub fn n_clusters(&self) -> usize {
-        self.items.len()
+        self.indptr.len() - 1
     }
 
     /// Number of items in the catalog the index was built over.
@@ -159,7 +219,23 @@ impl ClusterIndex {
 
     /// The ascending item list of cluster `c`.
     pub fn cluster_items(&self, c: usize) -> &[u32] {
-        &self.items[c]
+        &self.items[self.indptr[c] as usize..self.indptr[c + 1] as usize]
+    }
+
+    /// The CSR row-pointer array (snapshot serialization).
+    pub fn indptr(&self) -> &[u64] {
+        &self.indptr
+    }
+
+    /// The concatenated item array (snapshot serialization).
+    pub fn item_data(&self) -> &[u32] {
+        &self.items
+    }
+
+    /// Whether both CSR arrays borrow a shared byte region (the zero-copy
+    /// snapshot load path) rather than owning heap allocations.
+    pub fn is_shared(&self) -> bool {
+        self.indptr.is_shared() && self.items.is_shared()
     }
 
     /// The clusters a factor vector activates: dimensions within `rel` of
@@ -183,11 +259,11 @@ impl ClusterIndex {
         let active = self.active_clusters(factors);
         match active.len() {
             0 => Vec::new(),
-            1 => self.items[active[0]].clone(),
+            1 => self.cluster_items(active[0]).to_vec(),
             _ => {
                 let mut union: Vec<u32> = active
                     .iter()
-                    .flat_map(|&c| self.items[c].iter().copied())
+                    .flat_map(|&c| self.cluster_items(c).iter().copied())
                     .collect();
                 union.sort_unstable();
                 union.dedup();

@@ -8,12 +8,17 @@
 //!
 //! ## What serving adds over batch evaluation
 //!
-//! * **Snapshots** ([`snapshot`]) — a versioned, **kind-tagged** on-disk
-//!   artifact (`ocular-snapshot v2 <kind>`) with truncation/corruption
-//!   detection. Every model kind in the workspace zoo (`ocular`, `wals`,
-//!   `bpr`, `user-knn`, `item-knn`, `popularity`) snapshots through
-//!   [`ocular_api::SnapshotModel`] and loads back through
-//!   [`AnySnapshot`]; legacy v1 OCuLaR snapshots still load.
+//! * **Snapshots** ([`snapshot`]) — versioned, **kind-tagged** on-disk
+//!   artifacts with truncation/corruption detection, in two formats:
+//!   the line-oriented text envelope (`ocular-snapshot v2 <kind>`) and
+//!   the **mmap-able binary container** (`ocular-snapshot v3`,
+//!   [`SnapshotFormat::Binary`]) whose factor matrices, cluster-index
+//!   CSR and id-map tables are **borrowed zero-copy** from the mapped
+//!   file at engine start. Every model kind in the workspace zoo
+//!   (`ocular`, `wals`, `bpr`, `user-knn`, `item-knn`, `popularity`)
+//!   snapshots through [`ocular_api::SnapshotModel`] and loads back
+//!   through [`AnySnapshot`] (magic-byte sniffing picks the codec);
+//!   legacy v1 OCuLaR snapshots still load.
 //! * **Candidate generation** ([`index`]) — per-cluster inverted item
 //!   lists built once at load; a request scores only items reachable from
 //!   the requester's co-clusters, with a full-catalog fallback knob
@@ -63,4 +68,4 @@ pub mod snapshot;
 
 pub use engine::{CandidatePolicy, Request, ServeConfig, ServeEngine, ServeError, ServedList};
 pub use index::{ClusterIndex, IndexConfig};
-pub use snapshot::{AnySnapshot, Snapshot, OCULAR_KIND};
+pub use snapshot::{AnySnapshot, Snapshot, SnapshotFormat, OCULAR_KIND};

@@ -1,8 +1,23 @@
-//! Versioned serving snapshots — kind-tagged, polymorphic over model kinds.
+//! Versioned serving snapshots — kind-tagged, polymorphic over model
+//! kinds, in two formats.
 //!
-//! A snapshot is what training ships to the serving tier. The **v2**
-//! envelope tags the payload with its model kind, so one serving binary
-//! loads and serves *any* model in the workspace zoo:
+//! A snapshot is what training ships to the serving tier. Two on-disk
+//! representations carry identical bit content:
+//!
+//! * the **v3 binary container** ([`ocular_api::binary`]) — magic +
+//!   kind tag + 8-aligned little-endian sections + trailing checksum.
+//!   [`AnySnapshot::load_path`] memory-maps it and the loaded
+//!   `FactorModel` / [`ClusterIndex`] / [`IdMaps`] **borrow** their
+//!   large buffers from the mapping ([`AnySnapshot::load_v3`]), so
+//!   engine start-up allocates nothing per payload and N serve
+//!   processes share one page cache;
+//! * the **v2 text envelope** below — human-inspectable, and the format
+//!   every pre-v3 snapshot is stored in.
+//!
+//! [`AnySnapshot::load_path`] sniffs the magic bytes, so both load
+//! transparently. The **v2** envelope tags the payload with its model
+//! kind, so one serving binary loads and serves *any* model in the
+//! workspace zoo:
 //!
 //! ```text
 //! ocular-snapshot v2 <kind>
@@ -39,11 +54,15 @@
 //! rejected instead of mis-loading.
 
 use crate::index::{ClusterIndex, IndexConfig};
+use ocular_api::binary::{is_v3, SectionReader, SectionWriter};
+use ocular_api::textio;
 use ocular_api::{Model, OcularError, SnapshotModel};
 use ocular_baselines::{Bpr, ItemKnn, Popularity, UserKnn, Wals};
+use ocular_bytes::ModelBytes;
 use ocular_core::FactorModel;
-use ocular_sparse::IdMaps;
-use std::io::{BufRead, Write};
+use ocular_sparse::{IdMaps, RawIdTable};
+use std::io::{BufRead, Read, Write};
+use std::path::Path;
 
 /// Magic first line of the legacy (OCuLaR-only) snapshot envelope.
 const V1_HEADER: &str = "ocular-snapshot v1";
@@ -63,12 +82,22 @@ fn bad(msg: String) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
 }
 
-fn read_line<R: BufRead + ?Sized>(r: &mut R) -> std::io::Result<String> {
-    let mut line = String::new();
-    if r.read_line(&mut line)? == 0 {
-        return Err(bad("truncated snapshot".into()));
-    }
-    Ok(line.trim_end_matches(['\n', '\r']).to_string())
+/// [`textio::read_line`] adapted to the `io::Result` the text-envelope
+/// loaders still speak.
+fn read_line<R: BufRead + ?Sized>(mut r: &mut R) -> std::io::Result<String> {
+    textio::read_line(&mut r).map_err(|e| bad(e.to_string()))
+}
+
+/// The on-disk representation a snapshot is written in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotFormat {
+    /// The line-oriented v2 envelope — human-inspectable, and what every
+    /// pre-v3 tool reads.
+    Text,
+    /// The `ocular-snapshot v3` binary container — mmap-able, checksummed,
+    /// loaded zero-copy by the serving tier.
+    #[default]
+    Binary,
 }
 
 /// An OCuLaR serving snapshot: the fitted factor model plus its
@@ -285,6 +314,66 @@ fn read_ids_then_footer<R: BufRead + ?Sized>(r: &mut R) -> Result<Option<IdMaps>
     Ok(Some(ids))
 }
 
+impl Snapshot {
+    /// Writes the OCuLaR payload (model + candidate index) as v3 binary
+    /// sections.
+    fn write_sections(&self, w: &mut SectionWriter) -> Result<(), OcularError> {
+        self.model.write_sections(w)?;
+        w.put_f64s("idxrel", &[self.index.rel()]);
+        w.put_u64s("idxptr", self.index.indptr());
+        w.put_u32s("idxdat", self.index.item_data());
+        Ok(())
+    }
+
+    /// Reads the payload written by [`Snapshot::write_sections`], with the
+    /// factor matrices and index arrays **borrowed** from the reader's
+    /// byte region.
+    fn read_sections(r: &SectionReader) -> Result<Snapshot, OcularError> {
+        let model = FactorModel::read_sections(r)?;
+        let [rel] = r.f64_meta::<1>("idxrel")?;
+        let index =
+            ClusterIndex::from_csr(rel, model.n_items(), r.u64s("idxptr")?, r.u32s("idxdat")?)
+                .map_err(OcularError::Corrupt)?;
+        if index.n_clusters() != model.n_clusters() {
+            return Err(OcularError::Corrupt(format!(
+                "index has {} clusters but model has {}",
+                index.n_clusters(),
+                model.n_clusters()
+            )));
+        }
+        Ok(Snapshot { model, index })
+    }
+}
+
+/// Writes the optional id-map sections: both external-id order arrays
+/// plus both raw lookup tables, so the serving tier probes the tables in
+/// place instead of rebuilding hash maps.
+fn write_ids_sections(w: &mut SectionWriter, ids: &IdMaps) {
+    w.put_u64s("uids", ids.users());
+    w.put_u64s("iids", ids.items());
+    let (ut, it) = ids.raw_tables();
+    w.put_u64s("uhk", ut.keys());
+    w.put_u32s("uhv", ut.vals());
+    w.put_u64s("ihk", it.keys());
+    w.put_u32s("ihv", it.vals());
+}
+
+/// Reads the id-map sections written by [`write_ids_sections`], if
+/// present. The tables are validated in full by
+/// [`IdMaps::from_raw`]; on success every array is borrowed from the
+/// reader's byte region.
+fn read_ids_sections(r: &SectionReader) -> Result<Option<IdMaps>, OcularError> {
+    if !r.has("uids") {
+        return Ok(None);
+    }
+    let to_corrupt = |e: ocular_sparse::SparseError| OcularError::Corrupt(e.to_string());
+    let user_table = RawIdTable::from_parts(r.u64s("uhk")?, r.u32s("uhv")?).map_err(to_corrupt)?;
+    let item_table = RawIdTable::from_parts(r.u64s("ihk")?, r.u32s("ihv")?).map_err(to_corrupt)?;
+    IdMaps::from_raw(r.u64s("uids")?, r.u64s("iids")?, user_table, item_table)
+        .map(Some)
+        .map_err(to_corrupt)
+}
+
 /// A snapshot of *any* model kind — what the polymorphic serving path
 /// loads. OCuLaR snapshots keep their candidate-generation index; every
 /// other kind is a bare [`Model`] trait object.
@@ -391,6 +480,94 @@ impl AnySnapshot {
         };
         let ids = read_ids_then_footer(r)?;
         Ok((AnySnapshot::Other(model), ids))
+    }
+
+    /// Serialises the snapshot (plus optional id maps) as an
+    /// `ocular-snapshot v3` binary container and returns the bytes.
+    ///
+    /// Unlike the text format, the co-cluster index travels as typed
+    /// sections alongside the model's own, so the `Other`-arm guard of
+    /// [`AnySnapshot::save`] applies here too.
+    pub fn to_v3_bytes(&self, ids: Option<&IdMaps>) -> Result<Vec<u8>, OcularError> {
+        let mut w = SectionWriter::new(self.kind());
+        match self {
+            AnySnapshot::Ocular(s) => s.write_sections(&mut w)?,
+            AnySnapshot::Other(m) => {
+                if m.kind() == OCULAR_KIND {
+                    return Err(OcularError::InvalidConfig(format!(
+                        "kind `{OCULAR_KIND}` must be snapshotted as AnySnapshot::Ocular \
+                         (its format carries the co-cluster index)"
+                    )));
+                }
+                m.write_sections(&mut w)?;
+            }
+        }
+        if let Some(ids) = ids {
+            write_ids_sections(&mut w, ids);
+        }
+        Ok(w.finish())
+    }
+
+    /// Writes the v3 binary container to a writer.
+    pub fn save_binary<W: Write>(
+        &self,
+        ids: Option<&IdMaps>,
+        w: &mut W,
+    ) -> Result<(), OcularError> {
+        let bytes = self.to_v3_bytes(ids)?;
+        w.write_all(&bytes).map_err(OcularError::from)
+    }
+
+    /// Saves the snapshot to a file in the chosen format.
+    pub fn save_path(
+        &self,
+        path: &Path,
+        ids: Option<&IdMaps>,
+        format: SnapshotFormat,
+    ) -> Result<(), OcularError> {
+        let mut file = std::fs::File::create(path).map_err(OcularError::from)?;
+        match format {
+            SnapshotFormat::Text => self
+                .save_with_ids(ids, &mut file)
+                .map_err(OcularError::from),
+            SnapshotFormat::Binary => self.save_binary(ids, &mut file),
+        }
+    }
+
+    /// Loads a v3 binary snapshot from a byte region (owned or mapped).
+    /// The factor matrices, cluster index and id maps **borrow** their
+    /// large buffers from the region — no per-payload allocation.
+    pub fn load_v3(region: ModelBytes) -> Result<(AnySnapshot, Option<IdMaps>), OcularError> {
+        let r = SectionReader::open(region)?;
+        let snapshot = match r.kind() {
+            OCULAR_KIND => AnySnapshot::Ocular(Snapshot::read_sections(&r)?),
+            Wals::KIND => AnySnapshot::Other(Box::new(Wals::read_sections(&r)?)),
+            Bpr::KIND => AnySnapshot::Other(Box::new(Bpr::read_sections(&r)?)),
+            UserKnn::KIND => AnySnapshot::Other(Box::new(UserKnn::read_sections(&r)?)),
+            ItemKnn::KIND => AnySnapshot::Other(Box::new(ItemKnn::read_sections(&r)?)),
+            Popularity::KIND => AnySnapshot::Other(Box::new(Popularity::read_sections(&r)?)),
+            other => return Err(OcularError::UnknownModelKind(other.to_string())),
+        };
+        let ids = read_ids_sections(&r)?;
+        Ok((snapshot, ids))
+    }
+
+    /// Loads a snapshot file of **either** format, sniffing the magic
+    /// bytes: v3 containers are memory-mapped and loaded zero-copy, v1/v2
+    /// text envelopes keep loading through the line-oriented path — old
+    /// snapshots work transparently.
+    pub fn load_path(path: &Path) -> Result<(AnySnapshot, Option<IdMaps>), OcularError> {
+        let mut prefix = [0u8; 8];
+        let mut file = std::fs::File::open(path).map_err(OcularError::from)?;
+        let n = file.read(&mut prefix).map_err(OcularError::from)?;
+        if is_v3(&prefix[..n]) {
+            drop(file);
+            let region = ModelBytes::map_file(path).map_err(OcularError::from)?;
+            return Self::load_v3(region);
+        }
+        // text path: re-open from the start (the probe consumed bytes)
+        let file = std::fs::File::open(path).map_err(OcularError::from)?;
+        Self::load_with_ids(&mut std::io::BufReader::new(file))
     }
 }
 

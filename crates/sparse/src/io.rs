@@ -20,20 +20,185 @@
 //! list — peak memory is `O(unique pairs + entities + chunk)`.
 
 use crate::{CsrMatrix, Dataset, SparseError, StreamingTriplets};
+use ocular_bytes::{fnv1a64_key, U32Buf, U64Buf};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::path::Path;
 
+/// Sentinel marking an empty slot in a [`RawIdTable`] (the internal
+/// indices themselves are bounded by `u32::MAX` entries, enforced at map
+/// construction, so the sentinel can never collide with a real index).
+const RAW_EMPTY: u32 = u32::MAX;
+
+/// A flat open-addressed hash table mapping external ids to internal
+/// indices — the **on-disk** (and mmap-servable) form of one axis of an
+/// [`IdMaps`] lookup.
+///
+/// Layout: two parallel arrays of power-of-two capacity, `keys: u64[cap]`
+/// and `vals: u32[cap]`, with `vals[slot] == u32::MAX` marking empty
+/// slots. A key hashes to `fnv1a64(key_le_bytes) & (cap - 1)` and probes
+/// linearly. The layout is part of the v3 snapshot contract: the writer
+/// builds it deterministically and the serving tier probes it **in
+/// place**, borrowed from the snapshot's byte region, so engine start-up
+/// rebuilds no hash tables.
+#[derive(Debug, Clone)]
+pub struct RawIdTable {
+    keys: U64Buf,
+    vals: U32Buf,
+}
+
+impl RawIdTable {
+    /// Builds the table for an external-id order array (`order[ix]` =
+    /// external id of internal index `ix`). Deterministic: the same order
+    /// array always produces the same bytes. Capacity is the smallest
+    /// power of two holding the entries at ≤ 50% load (minimum one empty
+    /// slot, so probes always terminate).
+    ///
+    /// # Panics
+    /// Panics if `order` holds `u32::MAX` or more entries (the internal
+    /// index domain; [`IdMaps::new`] rejects this earlier with an error).
+    pub fn build(order: &[u64]) -> RawIdTable {
+        assert!(
+            order.len() < RAW_EMPTY as usize,
+            "id table exceeds u32 addressing"
+        );
+        if order.is_empty() {
+            return RawIdTable {
+                keys: U64Buf::default(),
+                vals: U32Buf::default(),
+            };
+        }
+        let cap = (order.len() * 2).next_power_of_two();
+        let mut keys = vec![0u64; cap];
+        let mut vals = vec![RAW_EMPTY; cap];
+        for (ix, &external) in order.iter().enumerate() {
+            let mut slot = fnv1a64_key(external) as usize & (cap - 1);
+            while vals[slot] != RAW_EMPTY {
+                slot = (slot + 1) & (cap - 1);
+            }
+            keys[slot] = external;
+            vals[slot] = ix as u32;
+        }
+        RawIdTable {
+            keys: keys.into(),
+            vals: vals.into(),
+        }
+    }
+
+    /// Assembles a table from (possibly region-borrowed) arrays, checking
+    /// only structural shape — capacity a power of two (or both empty) and
+    /// arrays of equal length. Semantic validation against an order array
+    /// happens in [`IdMaps::from_raw`].
+    pub fn from_parts(keys: U64Buf, vals: U32Buf) -> Result<RawIdTable, SparseError> {
+        if keys.len() != vals.len() {
+            return Err(SparseError::Io(format!(
+                "id table arrays disagree: {} keys vs {} values",
+                keys.len(),
+                vals.len()
+            )));
+        }
+        if !keys.is_empty() && !keys.len().is_power_of_two() {
+            return Err(SparseError::Io(format!(
+                "id table capacity {} is not a power of two",
+                keys.len()
+            )));
+        }
+        Ok(RawIdTable { keys, vals })
+    }
+
+    /// The key array (serialization).
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// The value array (serialization).
+    pub fn vals(&self) -> &[u32] {
+        &self.vals
+    }
+
+    /// Looks up a key by bounded linear probing. O(1) expected.
+    fn probe(&self, key: u64) -> Option<usize> {
+        let cap = self.keys.len();
+        if cap == 0 {
+            return None;
+        }
+        let (keys, vals) = (self.keys.as_slice(), self.vals.as_slice());
+        let mut slot = fnv1a64_key(key) as usize & (cap - 1);
+        // bounded by cap so a corrupt all-full table cannot loop forever
+        for _ in 0..cap {
+            if vals[slot] == RAW_EMPTY {
+                return None;
+            }
+            if keys[slot] == key {
+                return Some(vals[slot] as usize);
+            }
+            slot = (slot + 1) & (cap - 1);
+        }
+        None
+    }
+
+    /// Number of occupied slots.
+    fn occupancy(&self) -> usize {
+        self.vals.iter().filter(|&&v| v != RAW_EMPTY).count()
+    }
+
+    fn is_shared(&self) -> bool {
+        self.keys.is_shared() && self.vals.is_shared()
+    }
+}
+
+/// One direction of id lookup: a heap `HashMap` (maps built in memory) or
+/// a [`RawIdTable`] probed in place (maps loaded from a binary snapshot).
+#[derive(Debug, Clone)]
+enum Lookup {
+    Hash(HashMap<u64, u32>),
+    Raw(RawIdTable),
+}
+
+impl Lookup {
+    fn get(&self, external: u64) -> Option<usize> {
+        match self {
+            Lookup::Hash(map) => map.get(&external).map(|&ix| ix as usize),
+            Lookup::Raw(table) => table.probe(external),
+        }
+    }
+}
+
 /// Mapping between external (file) ids and the dense internal indices,
-/// with O(1) hash-backed lookups in both directions.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// with O(1) lookups in both directions.
+///
+/// The order arrays are [`U64Buf`]s and the lookups either `HashMap`s or
+/// raw probed tables, so an `IdMaps` loaded from a binary snapshot
+/// borrows everything from the snapshot's (possibly memory-mapped) byte
+/// region — engine start-up allocates no id tables. Equality compares the
+/// order arrays (the lookups are derived).
+#[derive(Debug, Clone)]
 pub struct IdMaps {
     /// `users[u]` = external id of internal user `u`.
-    users: Vec<u64>,
+    users: U64Buf,
     /// `items[i]` = external id of internal item `i`.
-    items: Vec<u64>,
-    user_lookup: HashMap<u64, u32>,
-    item_lookup: HashMap<u64, u32>,
+    items: U64Buf,
+    user_lookup: Lookup,
+    item_lookup: Lookup,
+}
+
+impl PartialEq for IdMaps {
+    fn eq(&self, other: &Self) -> bool {
+        self.users() == other.users() && self.items() == other.items()
+    }
+}
+
+impl Eq for IdMaps {}
+
+impl Default for IdMaps {
+    fn default() -> Self {
+        IdMaps {
+            users: U64Buf::default(),
+            items: U64Buf::default(),
+            user_lookup: Lookup::Hash(HashMap::new()),
+            item_lookup: Lookup::Hash(HashMap::new()),
+        }
+    }
 }
 
 fn build_lookup(order: &[u64], what: &str) -> Result<HashMap<u64, u32>, SparseError> {
@@ -54,6 +219,34 @@ fn build_lookup(order: &[u64], what: &str) -> Result<HashMap<u64, u32>, SparseEr
     Ok(map)
 }
 
+/// Validates a raw table against its order array: every external id must
+/// probe back to its internal index, and the occupancy must be exactly
+/// `order.len()` (so the table holds no stray entries that could answer
+/// unknown ids, and — capacity exceeding occupancy — probes terminate).
+fn validate_raw(order: &[u64], table: &RawIdTable, what: &str) -> Result<(), SparseError> {
+    let n = order.len();
+    if n > 0 && table.keys.len() <= n {
+        return Err(SparseError::Io(format!(
+            "{what} id table capacity {} cannot hold {n} entries with a free slot",
+            table.keys.len()
+        )));
+    }
+    if table.occupancy() != n {
+        return Err(SparseError::Io(format!(
+            "{what} id table holds {} entries but the order array has {n}",
+            table.occupancy()
+        )));
+    }
+    for (ix, &external) in order.iter().enumerate() {
+        if table.probe(external) != Some(ix) {
+            return Err(SparseError::Io(format!(
+                "{what} id table does not resolve external id {external} to index {ix}"
+            )));
+        }
+    }
+    Ok(())
+}
+
 impl IdMaps {
     /// Builds maps from the external-id tables (`users[u]` = external id of
     /// internal user `u`). Rejects duplicate external ids.
@@ -61,21 +254,74 @@ impl IdMaps {
         let user_lookup = build_lookup(&users, "user")?;
         let item_lookup = build_lookup(&items, "item")?;
         Ok(IdMaps {
+            users: users.into(),
+            items: items.into(),
+            user_lookup: Lookup::Hash(user_lookup),
+            item_lookup: Lookup::Hash(item_lookup),
+        })
+    }
+
+    /// Assembles maps from raw, possibly region-borrowed parts — the v3
+    /// binary snapshot load path. The tables are fully validated against
+    /// the order arrays (occupancy, round-trip of every id, duplicate
+    /// rejection falls out of the round-trip check), so corrupt bytes are
+    /// an error here rather than wrong answers at request time. On
+    /// success, lookups probe the given tables **in place**.
+    pub fn from_raw(
+        users: U64Buf,
+        items: U64Buf,
+        user_table: RawIdTable,
+        item_table: RawIdTable,
+    ) -> Result<Self, SparseError> {
+        if users.len() >= RAW_EMPTY as usize || items.len() >= RAW_EMPTY as usize {
+            return Err(SparseError::Io("id map exceeds u32 addressing".into()));
+        }
+        validate_raw(&users, &user_table, "user")?;
+        validate_raw(&items, &item_table, "item")?;
+        Ok(IdMaps {
             users,
             items,
-            user_lookup,
-            item_lookup,
+            user_lookup: Lookup::Raw(user_table),
+            item_lookup: Lookup::Raw(item_table),
         })
+    }
+
+    /// The raw lookup tables for both axes, building them when the maps
+    /// are hash-backed — what the v3 snapshot writer serialises.
+    /// Deterministic for a given pair of order arrays.
+    pub fn raw_tables(&self) -> (RawIdTable, RawIdTable) {
+        let for_axis = |lookup: &Lookup, order: &[u64]| match lookup {
+            Lookup::Raw(t) => t.clone(),
+            Lookup::Hash(_) => RawIdTable::build(order),
+        };
+        (
+            for_axis(&self.user_lookup, &self.users),
+            for_axis(&self.item_lookup, &self.items),
+        )
+    }
+
+    /// Whether both order arrays and both lookup tables borrow a shared
+    /// byte region (the zero-copy snapshot load path) rather than owning
+    /// heap allocations.
+    pub fn is_shared(&self) -> bool {
+        let lookup_shared = |lookup: &Lookup| match lookup {
+            Lookup::Hash(_) => false,
+            Lookup::Raw(t) => t.is_shared(),
+        };
+        self.users.is_shared()
+            && self.items.is_shared()
+            && lookup_shared(&self.user_lookup)
+            && lookup_shared(&self.item_lookup)
     }
 
     /// Internal-constructor used by the readers: the compactors already
     /// hold exactly the lookup tables, so nothing is rebuilt.
     fn from_compactors(users: Compactor, items: Compactor) -> Self {
         IdMaps {
-            users: users.order,
-            items: items.order,
-            user_lookup: users.map,
-            item_lookup: items.map,
+            users: users.order.into(),
+            items: items.order.into(),
+            user_lookup: Lookup::Hash(users.map),
+            item_lookup: Lookup::Hash(items.map),
         }
     }
 
@@ -101,12 +347,12 @@ impl IdMaps {
 
     /// Internal index of an external user id, if seen. O(1).
     pub fn user_index(&self, external: u64) -> Option<usize> {
-        self.user_lookup.get(&external).map(|&ix| ix as usize)
+        self.user_lookup.get(external)
     }
 
     /// Internal index of an external item id, if seen. O(1).
     pub fn item_index(&self, external: u64) -> Option<usize> {
-        self.item_lookup.get(&external).map(|&ix| ix as usize)
+        self.item_lookup.get(external)
     }
 
     /// External id of internal user `u`, if in bounds.
@@ -486,5 +732,97 @@ mod tests {
         assert_eq!(ids.user_index(1), Some(1));
         assert_eq!(ids.external_user(0), Some(3));
         assert_eq!(ids.external_user(9), None);
+    }
+
+    #[test]
+    fn raw_tables_round_trip_lookups() {
+        let users: Vec<u64> = (0..500).map(|u| 1_000 + 7 * u).collect();
+        let items: Vec<u64> = (0..200).map(|i| 900 + 3 * i).collect();
+        let ids = IdMaps::new(users.clone(), items.clone()).unwrap();
+        let (ut, it) = ids.raw_tables();
+        // deterministic: building twice gives identical bytes
+        let (ut2, _) = ids.raw_tables();
+        assert_eq!(ut.keys(), ut2.keys());
+        assert_eq!(ut.vals(), ut2.vals());
+        let raw = IdMaps::from_raw(users.clone().into(), items.clone().into(), ut, it).unwrap();
+        assert_eq!(raw, ids);
+        for (u, &external) in users.iter().enumerate() {
+            assert_eq!(raw.user_index(external), Some(u));
+        }
+        for (i, &external) in items.iter().enumerate() {
+            assert_eq!(raw.item_index(external), Some(i));
+        }
+        assert_eq!(raw.user_index(999), None);
+        assert_eq!(raw.item_index(2), None);
+        // built in memory — nothing borrows a region
+        assert!(!raw.is_shared());
+    }
+
+    #[test]
+    fn raw_table_empty_axis() {
+        let ids = IdMaps::new(vec![], vec![]).unwrap();
+        let (ut, it) = ids.raw_tables();
+        assert!(ut.keys().is_empty());
+        let raw = IdMaps::from_raw(U64Buf::default(), U64Buf::default(), ut, it).unwrap();
+        assert_eq!(raw.user_index(0), None);
+    }
+
+    #[test]
+    fn corrupt_raw_tables_rejected() {
+        let users: Vec<u64> = vec![10, 20, 30];
+        let items: Vec<u64> = vec![5];
+        let ids = IdMaps::new(users.clone(), items.clone()).unwrap();
+        let (ut, it) = ids.raw_tables();
+
+        // a stray extra entry (occupancy mismatch)
+        let mut keys = ut.keys().to_vec();
+        let mut vals = ut.vals().to_vec();
+        let empty_slot = vals.iter().position(|&v| v == u32::MAX).unwrap();
+        keys[empty_slot] = 77;
+        vals[empty_slot] = 0;
+        let tampered = RawIdTable::from_parts(keys.into(), vals.into()).unwrap();
+        assert!(IdMaps::from_raw(
+            users.clone().into(),
+            items.clone().into(),
+            tampered,
+            it.clone()
+        )
+        .is_err());
+
+        // a flipped value (wrong index for an id)
+        let keys = ut.keys().to_vec();
+        let mut vals = ut.vals().to_vec();
+        let full_slot = vals.iter().position(|&v| v != u32::MAX).unwrap();
+        vals[full_slot] = (vals[full_slot] + 1) % 3;
+        let tampered = RawIdTable::from_parts(keys.into(), vals.into()).unwrap();
+        assert!(IdMaps::from_raw(
+            users.clone().into(),
+            items.clone().into(),
+            tampered,
+            it.clone()
+        )
+        .is_err());
+
+        // non-power-of-two capacity
+        let mut keys = ut.keys().to_vec();
+        let mut vals = ut.vals().to_vec();
+        keys.push(0);
+        vals.push(u32::MAX);
+        assert!(RawIdTable::from_parts(keys.into(), vals.into()).is_err());
+
+        // capacity too small to terminate probes
+        let tiny = RawIdTable::from_parts(vec![10, 20].into(), vec![0, 1].into()).unwrap();
+        assert!(IdMaps::from_raw(vec![10, 20].into(), items.into(), tiny, it).is_err());
+
+        // duplicate external ids cannot round-trip
+        let dup_order: Vec<u64> = vec![10, 10];
+        let table = RawIdTable::build(&dup_order);
+        assert!(IdMaps::from_raw(
+            dup_order.into(),
+            vec![5].into(),
+            table,
+            RawIdTable::build(&[5])
+        )
+        .is_err());
     }
 }

@@ -63,7 +63,7 @@ pub mod stats;
 pub use coo::Triplets;
 pub use csr::CsrMatrix;
 pub use dataset::{Dataset, StreamingTriplets};
-pub use io::IdMaps;
+pub use io::{IdMaps, RawIdTable};
 pub use split::{Split, SplitConfig};
 
 use std::fmt;

@@ -1,0 +1,99 @@
+//! Regenerates the golden-snapshot compatibility corpus under
+//! `tests/data/golden/` — one legacy **v1** OCuLaR snapshot plus **v2**
+//! text snapshots for every model kind in the zoo, all fitted
+//! deterministically on the same tiny planted dataset with non-trivial
+//! external ids embedded.
+//!
+//! The committed corpus is a compatibility contract: `tests/golden_snapshots.rs`
+//! asserts that these exact bytes load — and re-serialise bit-identically —
+//! forever. Run this only when *adding* a kind or a new format era, never
+//! to "refresh" existing files (that would defeat the test's purpose).
+//!
+//! Run with: `cargo run --release --example make_golden`
+
+use ocular::baselines::{
+    BaselineConfigs, Bpr, BprConfig, ItemKnn, Popularity, UserKnn, Wals, WalsConfig,
+};
+use ocular::core::{fit, OcularConfig};
+use ocular::serve::{AnySnapshot, IndexConfig, Snapshot};
+use ocular::sparse::{Dataset, IdMaps};
+
+fn dataset() -> Dataset {
+    let data = ocular::datasets::planted::generate(&ocular::datasets::planted::PlantedConfig {
+        n_users: 30,
+        n_items: 24,
+        k: 3,
+        users_per_cluster: 11,
+        items_per_cluster: 9,
+        user_overlap: 0.25,
+        item_overlap: 0.25,
+        within_density: 0.6,
+        noise_density: 0.02,
+        seed: 17,
+    })
+    .matrix;
+    let users: Vec<u64> = (0..data.n_users() as u64).map(|u| 1_000 + 7 * u).collect();
+    let items: Vec<u64> = (0..data.n_items() as u64).map(|i| 500 + 3 * i).collect();
+    Dataset::new(data.matrix().clone(), IdMaps::new(users, items).unwrap()).unwrap()
+}
+
+fn main() {
+    let out_dir = std::path::Path::new("tests/data/golden");
+    std::fs::create_dir_all(out_dir).expect("create tests/data/golden");
+    let r = dataset();
+    let cfgs = BaselineConfigs::seeded(5);
+    let ocular_model = fit(
+        &r,
+        &OcularConfig {
+            k: 3,
+            lambda: 0.3,
+            max_iters: 30,
+            seed: 6,
+            ..Default::default()
+        },
+    )
+    .model;
+    let zoo: Vec<AnySnapshot> = vec![
+        AnySnapshot::Ocular(Snapshot::build(
+            ocular_model,
+            &IndexConfig { rel: 0.5, floor: 5 },
+        )),
+        AnySnapshot::Other(Box::new(Wals::fit(
+            &r,
+            &WalsConfig {
+                k: 3,
+                iters: 6,
+                ..cfgs.wals
+            },
+        ))),
+        AnySnapshot::Other(Box::new(Bpr::fit(
+            &r,
+            &BprConfig {
+                k: 3,
+                epochs: 8,
+                ..cfgs.bpr
+            },
+        ))),
+        AnySnapshot::Other(Box::new(UserKnn::fit(&r, &cfgs.user_knn))),
+        AnySnapshot::Other(Box::new(ItemKnn::fit(&r, &cfgs.item_knn))),
+        AnySnapshot::Other(Box::new(Popularity::fit(&r))),
+    ];
+    for snap in &zoo {
+        let mut buf = Vec::new();
+        snap.save_with_ids(r.ids(), &mut buf).expect("serialise");
+        let path = out_dir.join(format!("v2-{}.snap", snap.kind()));
+        std::fs::write(&path, &buf).expect("write golden");
+        println!("wrote {} ({} bytes)", path.display(), buf.len());
+        if snap.kind() == "ocular" {
+            // the v1 era: same body, v1 envelope header, no id-maps
+            // section (v1 predates it)
+            let mut bare = Vec::new();
+            snap.save_with_ids(None, &mut bare).expect("serialise");
+            let text = String::from_utf8(bare).expect("text format");
+            let v1 = text.replacen("ocular-snapshot v2 ocular", "ocular-snapshot v1", 1);
+            let path = out_dir.join("v1-ocular.snap");
+            std::fs::write(&path, v1.as_bytes()).expect("write golden");
+            println!("wrote {} ({} bytes)", path.display(), v1.len());
+        }
+    }
+}

@@ -42,6 +42,7 @@
 
 pub use ocular_api as api;
 pub use ocular_baselines as baselines;
+pub use ocular_bytes as bytes;
 pub use ocular_community as community;
 pub use ocular_core as core;
 pub use ocular_datasets as datasets;

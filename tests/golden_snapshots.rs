@@ -1,0 +1,95 @@
+//! Golden-snapshot compatibility contract: the committed corpus under
+//! `tests/data/golden/` (one legacy v1 OCuLaR snapshot + v2 text
+//! snapshots for all six model kinds, external id maps embedded) must
+//! load — and re-serialise **bit-identically** — forever.
+//!
+//! Regenerate only when adding a kind or format era:
+//! `cargo run --release --example make_golden` (see that example's docs).
+
+use ocular::bytes::ModelBytes;
+use ocular::serve::AnySnapshot;
+use std::path::PathBuf;
+
+const KINDS: [&str; 6] = [
+    "ocular",
+    "wals",
+    "bpr",
+    "user-knn",
+    "item-knn",
+    "popularity",
+];
+
+fn golden(name: &str) -> Vec<u8> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data/golden")
+        .join(name);
+    std::fs::read(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn v2_goldens_load_and_reserialize_bit_identically_for_every_kind() {
+    for kind in KINDS {
+        let bytes = golden(&format!("v2-{kind}.snap"));
+        let (snap, ids) = AnySnapshot::load_with_ids(&mut bytes.as_slice())
+            .unwrap_or_else(|e| panic!("kind {kind}: golden must load: {e}"));
+        assert_eq!(snap.kind(), kind);
+        let ids = ids.unwrap_or_else(|| panic!("kind {kind}: golden embeds id maps"));
+        // the corpus generator attaches user u ↔ 1000+7u, item i ↔ 500+3i
+        assert_eq!(ids.users()[1], 1_007, "kind {kind}");
+        assert_eq!(ids.items()[2], 506, "kind {kind}");
+        // the loaded model re-serialises to the exact committed bytes —
+        // the parse is bitwise faithful, forever
+        let mut again = Vec::new();
+        snap.save_with_ids(Some(&ids), &mut again).unwrap();
+        assert_eq!(
+            again, bytes,
+            "kind {kind}: golden must re-serialise bit-identically"
+        );
+    }
+}
+
+#[test]
+fn v1_golden_loads_through_both_loaders() {
+    let bytes = golden("v1-ocular.snap");
+    assert!(bytes.starts_with(b"ocular-snapshot v1\n"));
+    let direct = ocular::serve::Snapshot::load(&mut bytes.as_slice()).expect("v1 must load");
+    let (snap, ids) = AnySnapshot::load_with_ids(&mut bytes.as_slice()).expect("v1 must load");
+    assert_eq!(snap.kind(), "ocular");
+    assert_eq!(ids, None, "the v1 era predates id-map sections");
+    match &snap {
+        AnySnapshot::Ocular(s) => assert_eq!(s, &direct),
+        AnySnapshot::Other(_) => panic!("v1 must load as the ocular kind"),
+    }
+    // re-serialising yields the identical body under the v2 header
+    let mut v2 = Vec::new();
+    snap.save(&mut v2).unwrap();
+    let v2_text = String::from_utf8(v2).unwrap();
+    let downgraded = v2_text.replacen("ocular-snapshot v2 ocular", "ocular-snapshot v1", 1);
+    assert_eq!(
+        downgraded.as_bytes(),
+        &bytes[..],
+        "v1 golden must round-trip bit-identically modulo the envelope header"
+    );
+}
+
+#[test]
+fn goldens_survive_a_binary_v3_cycle_bit_identically() {
+    // the v3 codec must preserve the bit content of every historical
+    // snapshot: golden → load → v3 bytes → load → re-serialise text ==
+    // golden
+    for kind in KINDS {
+        let bytes = golden(&format!("v2-{kind}.snap"));
+        let (snap, ids) = AnySnapshot::load_with_ids(&mut bytes.as_slice()).unwrap();
+        let v3 = snap.to_v3_bytes(ids.as_ref()).unwrap();
+        let (reloaded, ids_again) = AnySnapshot::load_v3(ModelBytes::from_vec(v3)).unwrap();
+        assert_eq!(ids_again, ids, "kind {kind}");
+        let mut again = Vec::new();
+        reloaded
+            .save_with_ids(ids_again.as_ref(), &mut again)
+            .unwrap();
+        assert_eq!(
+            again, bytes,
+            "kind {kind}: a v3 cycle must preserve the golden bit-for-bit"
+        );
+    }
+}

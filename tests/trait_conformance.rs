@@ -178,6 +178,34 @@ fn snapshots_roundtrip_bitwise_for_every_kind() {
 }
 
 #[test]
+fn v3_binary_snapshots_agree_with_text_bitwise_for_every_kind() {
+    let r = dataset();
+    for snap in snapshot_zoo(&r) {
+        let kind = snap.kind();
+        let mut text = Vec::new();
+        snap.save(&mut text).unwrap();
+        let v3 = snap.to_v3_bytes(None).unwrap();
+        let (loaded, ids) =
+            AnySnapshot::load_v3(ocular::bytes::ModelBytes::from_vec(v3.clone())).unwrap();
+        assert_eq!(loaded.kind(), kind);
+        assert_eq!(ids, None);
+        // the text rendering of the binary-cycled model is bit-identical
+        let mut text_again = Vec::new();
+        loaded.save(&mut text_again).unwrap();
+        assert_eq!(
+            text_again, text,
+            "kind {kind}: binary↔text must agree bitwise"
+        );
+        // binary serialisation is a fixed point too
+        assert_eq!(
+            loaded.to_v3_bytes(None).unwrap(),
+            v3,
+            "kind {kind}: v3 serialisation must be stable"
+        );
+    }
+}
+
+#[test]
 fn v1_ocular_snapshots_still_load() {
     let r = dataset();
     let snap = ocular::serve::Snapshot::build(ocular_model(&r), &IndexConfig::default());

@@ -1,20 +1,22 @@
 //! CI bench-regression gate.
 //!
-//! Compares fresh `BENCH_serve.json` / `BENCH_train.json` artifacts
-//! against the committed baseline (`ci/bench-baseline.json`) and exits
-//! non-zero when p50 serve latency or train time regresses more than the
-//! tolerance (default 25%). A third, machine-independent check compares
-//! cluster-mode p50 against the same run's full-sort p50, so "candidate
-//! generation stopped helping" is caught even when absolute wall-clock
-//! differs across runner hardware. Skipped entirely — exit 0 — when the
-//! `BENCH_BASELINE_RESET` environment variable is set to `1` (CI sets it
-//! from the `bench-baseline-reset` PR label), in which case the gate
-//! prints the JSON to commit as the new baseline.
+//! Compares fresh `BENCH_serve.json` / `BENCH_train.json` /
+//! `BENCH_net.json` artifacts against the committed baseline
+//! (`ci/bench-baseline.json`) and exits non-zero when p50 serve latency,
+//! train time, or network serving performance regresses more than the
+//! tolerance (default 25%). Latencies and durations gate higher-is-worse;
+//! network throughput gates lower-is-worse. A machine-independent check
+//! compares cluster-mode p50 against the same run's full-sort p50, so
+//! "candidate generation stopped helping" is caught even when absolute
+//! wall-clock differs across runner hardware. Skipped entirely — exit 0 —
+//! when the `BENCH_BASELINE_RESET` environment variable is set to `1`
+//! (CI sets it from the `bench-baseline-reset` PR label), in which case
+//! the gate prints the JSON to commit as the new baseline.
 //!
 //! ```text
 //! bench_gate --baseline ci/bench-baseline.json \
 //!            --serve BENCH_serve.json --train BENCH_train.json \
-//!            [--tolerance 0.25]
+//!            --net BENCH_net.json [--tolerance 0.25]
 //! ```
 
 use ocular_bench::Args;
@@ -43,9 +45,11 @@ fn run() -> Result<Vec<String>, String> {
     let baseline_path = args.get("baseline", "ci/bench-baseline.json".to_string());
     let serve_path = args.get("serve", "BENCH_serve.json".to_string());
     let train_path = args.get("train", "BENCH_train.json".to_string());
+    let net_path = args.get("net", "BENCH_net.json".to_string());
 
     let serve = load(&serve_path)?;
     let train = load(&train_path)?;
+    let net = load(&net_path)?;
     let serve_p50 = field(&serve, "engine_clusters.p50_us")?;
     let full_sort_p50 = field(&serve, "full_sort.p50_us")?;
     let train_seconds = field(&train, "train_seconds")?;
@@ -78,6 +82,15 @@ fn run() -> Result<Vec<String>, String> {
     // snapshot cold-start cost, both formats (the v3 zero-copy claim)
     let load_text = field(&serve, "snapshot_load.text_seconds")?;
     let load_binary = field(&serve, "snapshot_load.binary_seconds")?;
+    // end-to-end TCP serving tier: sustained closed-loop throughput and
+    // round-trip latency quantiles from the loadgen run
+    let net_throughput = field(&net, "throughput_rps")?;
+    let net_p50 = field(&net, "p50_us")?;
+    let net_p99 = field(&net, "p99_us")?;
+    let net_errors = net
+        .get("errors")
+        .and_then(|v| v.as_f64())
+        .ok_or("missing field `errors` in net artifact")?;
 
     if std::env::var("BENCH_BASELINE_RESET").as_deref() == Ok("1") {
         let mut fields = vec![
@@ -103,6 +116,9 @@ fn run() -> Result<Vec<String>, String> {
             "snapshot_load_binary_seconds".to_string(),
             Json::Num(load_binary),
         ));
+        fields.push(("net_throughput_rps".to_string(), Json::Num(net_throughput)));
+        fields.push(("net_p50_us".to_string(), Json::Num(net_p50)));
+        fields.push(("net_p99_us".to_string(), Json::Num(net_p99)));
         let fresh = obj(fields
             .iter()
             .map(|(k, v)| (k.as_str(), v.clone()))
@@ -173,6 +189,39 @@ fn run() -> Result<Vec<String>, String> {
         load_binary,
         field(&baseline, "snapshot_load_binary_seconds")?,
     );
+    // end-to-end TCP round-trip latency gates (higher is worse, like every
+    // other latency row)
+    check("net_p50_us", net_p50, field(&baseline, "net_p50_us")?);
+    check("net_p99_us", net_p99, field(&baseline, "net_p99_us")?);
+    // sustained network throughput gates in the opposite direction: the
+    // current run must not fall more than the tolerance *below* baseline
+    {
+        let base = field(&baseline, "net_throughput_rps")?;
+        let ratio = net_throughput / base;
+        let verdict = if ratio < 1.0 - tolerance {
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "bench_gate: {:<14} current={net_throughput:10.1}  baseline={base:10.1}  ratio={ratio:5.2}  {verdict}",
+            "net_rps"
+        );
+        if ratio < 1.0 - tolerance {
+            failures.push(format!(
+                "net_throughput_rps dropped {:.0}% (> {:.0}% tolerance)",
+                (1.0 - ratio) * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    // machine-independent same-run check: a healthy server never errors
+    // under closed-loop load — shedding is typed, failures are not allowed
+    if net_errors > 0.0 {
+        failures.push(format!(
+            "loadgen observed {net_errors:.0} transport/protocol errors (must be 0)"
+        ));
+    }
     // …and, machine-independently within the same run, the v3 mmap load
     // must be *strictly* faster than parsing the text snapshot of the
     // same model — the zero-copy start-up claim, gated not asserted

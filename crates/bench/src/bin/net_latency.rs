@@ -1,0 +1,142 @@
+//! End-to-end network serving benchmark, emitting the `BENCH_net.json`
+//! artifact the CI bench-regression gate consumes (Linux only — the TCP
+//! front-end is epoll-based).
+//!
+//! Trains OCuLaR on the powerlaw profile, starts the real TCP server
+//! in-process on an ephemeral port, then drives it with the closed-loop
+//! load generator over keep-alive connections. The reported throughput
+//! and round-trip percentiles therefore cover the whole request path:
+//! socket read → HTTP parse → protocol decode → admission → batched
+//! engine serve → protocol encode → socket write.
+//!
+//! Flags: `--scale`, `--seed`, `--seconds 3`, `--connections 4`,
+//! `--m 10`, `--queue-cap 1024`, `--out BENCH_net.json`.
+
+#[cfg(target_os = "linux")]
+fn main() {
+    use ocular_bench::Args;
+    use ocular_core::{fit, OcularConfig};
+    use ocular_datasets::profiles;
+    use ocular_serve::json::{obj, Json};
+    use ocular_serve::net::loadgen::{run, LoadgenConfig};
+    use ocular_serve::net::{Server, ServerConfig};
+    use ocular_serve::{CandidatePolicy, IndexConfig, ServeConfig, ServeEngine};
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let args = Args::parse();
+    let seed = args.seed();
+    let m = args.get("m", 10usize);
+    let seconds = args.get("seconds", 3.0f64).max(0.5);
+    let connections = args.get("connections", 4usize).max(1);
+    let queue_cap = args.get("queue-cap", 1024usize);
+    let out_path = args.get("out", "BENCH_net.json".to_string());
+
+    let data = profiles::b2b_like(args.scale(), seed);
+    let r = data.matrix;
+    let k = data.truth.k();
+    let cfg = OcularConfig {
+        k,
+        lambda: 1.0,
+        max_iters: 15,
+        seed,
+        ..Default::default()
+    };
+    let model = fit(&r, &cfg).model;
+    let n_users = r.n_rows();
+    let engine = Arc::new(
+        ServeEngine::from_model(
+            model,
+            r,
+            &IndexConfig::default(),
+            ServeConfig {
+                default_m: m,
+                candidates: CandidatePolicy::Clusters { min_candidates: m },
+                foldin: cfg,
+                ..Default::default()
+            },
+        )
+        .expect("engine"),
+    );
+
+    let server = Server::bind(
+        engine,
+        "127.0.0.1:0",
+        ServerConfig {
+            queue_cap,
+            ..Default::default()
+        },
+    )
+    .expect("bind ephemeral port")
+    .spawn();
+    let addr = server.addr().to_string();
+    eprintln!("net_latency: serving {n_users} users on {addr}");
+
+    let report = run(
+        &addr,
+        &LoadgenConfig {
+            connections,
+            duration: Duration::from_secs_f64(seconds),
+            m,
+            users: n_users,
+            path: "/recommend".into(),
+        },
+    )
+    .expect("load run");
+    let stats = Arc::clone(server.stats());
+    server.shutdown().expect("clean shutdown");
+
+    assert!(report.requests > 0, "no responses received");
+    assert_eq!(report.errors, 0, "transport or protocol errors under load");
+    eprintln!(
+        "net_latency: {:.0} req/s over {} connections  p50={:.0}µs p90={:.0}µs p99={:.0}µs max={:.0}µs (ok={} shed={})",
+        report.throughput_rps,
+        connections,
+        report.p50_us,
+        report.p90_us,
+        report.p99_us,
+        report.max_us,
+        report.ok,
+        report.shed,
+    );
+
+    let served = stats.served.load(Ordering::Relaxed);
+    let doc = obj(vec![
+        ("bench", Json::Str("net".into())),
+        ("profile", Json::Str("powerlaw-b2b".into())),
+        ("connections", Json::Num(connections as f64)),
+        ("m", Json::Num(m as f64)),
+        ("seconds", Json::Num(report.seconds)),
+        ("requests", Json::Int(report.requests)),
+        ("ok", Json::Int(report.ok)),
+        ("shed", Json::Int(report.shed)),
+        ("errors", Json::Int(report.errors)),
+        ("throughput_rps", Json::Num(report.throughput_rps)),
+        ("p50_us", Json::Num(report.p50_us)),
+        ("p90_us", Json::Num(report.p90_us)),
+        ("p99_us", Json::Num(report.p99_us)),
+        ("max_us", Json::Num(report.max_us)),
+        (
+            "server",
+            obj(vec![
+                ("served", Json::Int(served)),
+                (
+                    "accepted",
+                    Json::Int(stats.accepted.load(Ordering::Relaxed)),
+                ),
+                (
+                    "bad_requests",
+                    Json::Int(stats.bad_requests.load(Ordering::Relaxed)),
+                ),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out_path, format!("{doc}\n")).expect("write bench artifact");
+    eprintln!("artifact → {out_path}");
+}
+
+#[cfg(not(target_os = "linux"))]
+fn main() {
+    eprintln!("net_latency: the TCP serving tier requires Linux (epoll); skipping");
+}

@@ -17,9 +17,11 @@
 //!   tables.
 //!
 //! This is the **only** crate in the workspace that contains `unsafe`
-//! code: the mmap syscall wrapper and the `&[u8]` → `&[T]`
-//! reinterpretation. Every unsafe block is small and carries a SAFETY
-//! comment; every crate above this one keeps `#![forbid(unsafe_code)]`.
+//! code: the mmap syscall wrapper, the `&[u8]` → `&[T]`
+//! reinterpretation, and the `epoll`/`eventfd`/signal wrappers behind the
+//! network serving tier ([`net`], Linux only). Every unsafe block is
+//! small and carries a SAFETY comment; every crate above this one keeps
+//! `#![forbid(unsafe_code)]`.
 //!
 //! Zero-copy reinterpretation is only performed on little-endian targets
 //! whose region satisfies the type's alignment (the owned backing store
@@ -29,6 +31,9 @@
 //! fast path costs nothing where it matters.
 
 #![warn(missing_docs)]
+
+#[cfg(target_os = "linux")]
+pub mod net;
 
 use std::sync::Arc;
 

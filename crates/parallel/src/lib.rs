@@ -38,10 +38,12 @@
 
 pub mod kernel;
 pub mod memory;
+pub mod pool;
 pub mod speedup;
 pub mod trainer;
 
 pub use memory::MemoryModel;
+pub use pool::WorkerPool;
 pub use speedup::{speedup_at_threshold, TimedTrace};
 pub use trainer::fit_parallel;
 

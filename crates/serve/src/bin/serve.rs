@@ -37,6 +37,23 @@
 //!       [--lambda 0.5] [--threads N] [--batch 256] [--sep '\t']
 //! ```
 //!
+//! **Listen** (Linux) — same engine behind the non-blocking TCP/HTTP
+//! front-end instead of stdin ([`ocular_serve::net::server`]): request
+//! bodies `POST`ed to `/recommend` are decoded by the identical
+//! [`ocular_serve::protocol`] path, plus `GET /stats` (counters and
+//! latency histograms) and `GET /healthz`:
+//!
+//! ```text
+//! serve --model model.snap --interactions data.tsv \
+//!       --listen 127.0.0.1:7878 \
+//!       [--queue-cap 1024] [--batch 256] [--threads 1] \
+//!       [--max-connections 1024]    (+ the serve-mode engine flags)
+//! ```
+//!
+//! `SIGINT`/`SIGTERM` drain in-flight requests and exit cleanly. When
+//! the admission queue (`--queue-cap`) is full, requests are answered
+//! with HTTP 429 and a typed `overloaded` error body — never dropped.
+//!
 //! `--lambda` here is the regularization the OCuLaR cold-start fold-in
 //! solves with; pass the value the model was trained with (both modes
 //! default to 0.5). Baseline kinds carry their fold-in parameters inside
@@ -58,9 +75,9 @@
 
 use ocular_baselines::{Bpr, BprConfig, ItemKnn, KnnConfig, Popularity, UserKnn, Wals, WalsConfig};
 use ocular_core::{fit, OcularConfig};
-use ocular_serve::json::{obj, Json};
 use ocular_serve::{
     AnySnapshot, CandidatePolicy, Request, ServeConfig, ServeEngine, Snapshot, SnapshotFormat,
+    WireReply, WireRequest,
 };
 use ocular_sparse::io::read_edge_list;
 use ocular_sparse::{Dataset, IdMaps, StreamingTriplets};
@@ -240,112 +257,9 @@ fn train_mode(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_request(line: &str, default_m: usize) -> Result<Request, String> {
-    let v = Json::parse(line)?;
-    let m = match v.get("m") {
-        None => default_m,
-        Some(j) => j.as_usize().ok_or("`m` must be a non-negative integer")?,
-    };
-    let keys = [
-        v.get("user"),
-        v.get("basket"),
-        v.get("user_id"),
-        v.get("basket_ids"),
-    ];
-    if keys.iter().filter(|k| k.is_some()).count() != 1 {
-        return Err(
-            "request needs exactly one of `user`, `basket`, `user_id` or `basket_ids`".into(),
-        );
-    }
-    if let Some(u) = v.get("user") {
-        let user = u
-            .as_usize()
-            .ok_or("`user` must be a non-negative integer")?;
-        return Ok(Request::Warm { user, m });
-    }
-    if let Some(b) = v.get("basket") {
-        let items = b.as_array().ok_or("`basket` must be an array")?;
-        let basket = items
-            .iter()
-            .map(|j| {
-                j.as_usize()
-                    .ok_or("basket items must be non-negative integers")
-            })
-            .collect::<Result<Vec<_>, _>>()?;
-        return Ok(Request::Cold { basket, m });
-    }
-    if let Some(u) = v.get("user_id") {
-        let user = u
-            .as_u64()
-            .ok_or("`user_id` must be a non-negative integer below 2^53")?;
-        return Ok(Request::WarmExternal { user, m });
-    }
-    let b = v.get("basket_ids").expect("one key is present");
-    let items = b.as_array().ok_or("`basket_ids` must be an array")?;
-    let basket = items
-        .iter()
-        .map(|j| {
-            j.as_u64()
-                .ok_or("basket ids must be non-negative integers below 2^53")
-        })
-        .collect::<Result<Vec<_>, _>>()?;
-    Ok(Request::ColdExternal { basket, m })
-}
-
-fn render_response(
-    engine: &ServeEngine,
-    req: &Request,
-    result: &Result<ocular_serve::ServedList, ocular_serve::ServeError>,
-) -> Json {
-    match result {
-        Err(e) => obj(vec![("error", Json::Str(e.to_string()))]),
-        Ok(list) => {
-            let mut fields = match req {
-                Request::Warm { user, .. } => vec![("user", Json::Num(*user as f64))],
-                Request::WarmExternal { user, .. } => {
-                    vec![("user_id", Json::Int(*user))]
-                }
-                Request::Cold { .. } | Request::ColdExternal { .. } => {
-                    vec![("cold", Json::Bool(true))]
-                }
-            };
-            fields.push((
-                "items",
-                Json::Arr(
-                    list.items
-                        .iter()
-                        .map(|r| Json::Num(r.item as f64))
-                        .collect(),
-                ),
-            ));
-            if engine.dataset().ids().is_some() {
-                fields.push((
-                    "item_ids",
-                    Json::Arr(
-                        list.items
-                            .iter()
-                            .map(|r| Json::Int(engine.external_item(r.item)))
-                            .collect(),
-                    ),
-                ));
-            }
-            fields.push((
-                "probs",
-                Json::Arr(
-                    list.items
-                        .iter()
-                        .map(|r| Json::Num(r.probability))
-                        .collect(),
-                ),
-            ));
-            fields.push(("scored", Json::Num(list.scored as f64)));
-            fields.push(("fallback", Json::Bool(list.fell_back)));
-            obj(fields)
-        }
-    }
-}
-
-fn serve_mode(flags: &Flags) -> Result<(), String> {
+/// Loads the snapshot + interactions named by the flags and builds the
+/// engine — the common front half of the stdin and TCP serve modes.
+fn build_engine(flags: &Flags) -> Result<ServeEngine, String> {
     let snap_path = flags.get("model").expect("checked by caller");
     let data = flags
         .get("interactions")
@@ -397,13 +311,23 @@ fn serve_mode(flags: &Flags) -> Result<(), String> {
     };
     let engine = ServeEngine::from_any(snapshot, r, cfg).map_err(|e| e.to_string())?;
     eprintln!("serving `{kind}` snapshot from {snap_path}");
+    Ok(engine)
+}
+
+/// The JSON-lines stdin transport: decode each line through
+/// [`ocular_serve::protocol`], serve in batches, encode every reply —
+/// success or typed error — through the same protocol. Malformed lines
+/// answer with a structured `{"error": ..., "code": "bad_request"}`
+/// object and the stream keeps going.
+fn serve_mode(flags: &Flags) -> Result<(), String> {
+    let engine = build_engine(flags)?;
     let threads = flags.get("threads").and_then(|v| v.parse().ok());
     let batch_size: usize = flags.num("batch", 256).max(1);
 
     let stdin = std::io::stdin();
     let mut out = BufWriter::new(std::io::stdout().lock());
-    let mut pending: Vec<Result<Request, String>> = Vec::with_capacity(batch_size);
-    let flush_batch = |pending: &mut Vec<Result<Request, String>>,
+    let mut pending: Vec<Result<Request, WireReply>> = Vec::with_capacity(batch_size);
+    let flush_batch = |pending: &mut Vec<Result<Request, WireReply>>,
                        out: &mut BufWriter<std::io::StdoutLock<'_>>|
      -> Result<(), String> {
         let requests: Vec<Request> = pending
@@ -412,14 +336,14 @@ fn serve_mode(flags: &Flags) -> Result<(), String> {
             .collect();
         let mut served = engine.serve_batch_threads(&requests, threads).into_iter();
         for parsed in pending.drain(..) {
-            let line = match parsed {
-                Err(e) => obj(vec![("error", Json::Str(e))]),
+            let reply = match parsed {
+                Err(reply) => reply,
                 Ok(req) => {
                     let result = served.next().expect("one response per request");
-                    render_response(&engine, &req, &result)
+                    engine.wire_reply(&req, &result)
                 }
             };
-            writeln!(out, "{line}").map_err(|e| e.to_string())?;
+            writeln!(out, "{}", reply.encode()).map_err(|e| e.to_string())?;
         }
         out.flush().map_err(|e| e.to_string())
     };
@@ -429,7 +353,11 @@ fn serve_mode(flags: &Flags) -> Result<(), String> {
         if line.trim().is_empty() {
             continue;
         }
-        pending.push(parse_request(&line, 0));
+        pending.push(
+            WireRequest::decode(&line)
+                .map(|w| w.request)
+                .map_err(WireReply::Err),
+        );
         if pending.len() >= batch_size {
             flush_batch(&mut pending, &mut out)?;
         }
@@ -438,14 +366,44 @@ fn serve_mode(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// The TCP transport (Linux): the same engine behind the epoll front-end,
+/// with `SIGINT`/`SIGTERM` honored as a drain-and-exit request.
+#[cfg(target_os = "linux")]
+fn listen_mode(flags: &Flags, addr: &str) -> Result<(), String> {
+    use ocular_serve::net::{Server, ServerConfig};
+
+    let engine = std::sync::Arc::new(build_engine(flags)?);
+    let cfg = ServerConfig {
+        queue_cap: flags.num("queue-cap", 1024),
+        batch_max: flags.num("batch", 256usize).max(1),
+        workers: flags.num("threads", 1usize).max(1),
+        max_connections: flags.num("max-connections", 1024),
+        handle_signals: true,
+    };
+    let server = Server::bind(engine, addr, cfg).map_err(|e| format!("bind {addr}: {e}"))?;
+    eprintln!("listening on {}", server.local_addr());
+    server.run().map_err(|e| e.to_string())
+}
+
+#[cfg(not(target_os = "linux"))]
+fn listen_mode(_flags: &Flags, _addr: &str) -> Result<(), String> {
+    Err("--listen requires Linux (epoll)".into())
+}
+
 fn main() -> ExitCode {
     let flags = Flags::parse();
     let result = if flags.get("train").is_some() {
         train_mode(&flags)
+    } else if let Some(addr) = flags.get("listen") {
+        if flags.get("model").is_some() {
+            listen_mode(&flags, addr)
+        } else {
+            Err("--listen requires --model <snap> --interactions <edges>".into())
+        }
     } else if flags.get("model").is_some() {
         serve_mode(&flags)
     } else {
-        Err("usage: serve --train <edges> --snapshot <out> | serve --model <snap> --interactions <edges>  (see crate docs)".into())
+        Err("usage: serve --train <edges> --snapshot <out> | serve --model <snap> --interactions <edges> [--listen <addr>]  (see crate docs)".into())
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -330,6 +330,29 @@ impl ServeEngine {
         ocular_parallel::with_threads(threads, || self.serve_batch(requests))
     }
 
+    /// Renders a serving result as the wire protocol's reply — the one
+    /// encoding every transport (stdin CLI, TCP front-end) emits.
+    /// `item_ids` are included exactly when the dataset has id maps.
+    pub fn wire_reply(
+        &self,
+        req: &Request,
+        result: &Result<ServedList, ServeError>,
+    ) -> crate::protocol::WireReply {
+        use crate::protocol::{WireReply, WireResponse};
+        match result {
+            Err(e) => WireReply::Err(e.into()),
+            Ok(list) => {
+                let external = |i: usize| self.external_item(i);
+                let translate: Option<&dyn Fn(usize) -> u64> = if self.owned.ids().is_some() {
+                    Some(&external)
+                } else {
+                    None
+                };
+                WireReply::Ok(WireResponse::new(req, list, translate))
+            }
+        }
+    }
+
     fn effective_m(&self, m: usize) -> usize {
         if m == 0 {
             self.cfg.default_m

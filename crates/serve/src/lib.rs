@@ -64,8 +64,11 @@
 pub mod engine;
 pub mod index;
 pub mod json;
+pub mod net;
+pub mod protocol;
 pub mod snapshot;
 
 pub use engine::{CandidatePolicy, Request, ServeConfig, ServeEngine, ServeError, ServedList};
 pub use index::{ClusterIndex, IndexConfig};
+pub use protocol::{WireError, WireReply, WireRequest, WireResponse, PROTOCOL_VERSION};
 pub use snapshot::{AnySnapshot, Snapshot, SnapshotFormat, OCULAR_KIND};

@@ -1,0 +1,204 @@
+//! A closed-loop load generator for the TCP serving tier, shared by the
+//! `loadgen` binary and the `net_latency` bench.
+//!
+//! Each connection is one thread driving keep-alive `POST /recommend`
+//! requests back-to-back (closed loop: the next request leaves only after
+//! the previous response arrives), recording round-trip latency into a
+//! [`LatencyHistogram`]. Closed-loop throughput with a handful of
+//! connections is the honest number for a single-core box: it measures
+//! the server's service rate without coordinated-omission games.
+
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crate::net::http;
+use crate::net::stats::LatencyHistogram;
+
+/// Load shape knobs.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent connections (one thread each).
+    pub connections: usize,
+    /// Wall-clock run length.
+    pub duration: Duration,
+    /// Requested list length per request.
+    pub m: usize,
+    /// Warm users are drawn round-robin from `0..users`.
+    pub users: usize,
+    /// Target path (the server accepts `/recommend` and `/`).
+    pub path: String,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            connections: 8,
+            duration: Duration::from_secs(5),
+            m: 10,
+            users: 64,
+            path: "/recommend".into(),
+        }
+    }
+}
+
+/// Aggregated result of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests sent (= responses received; closed loop).
+    pub requests: u64,
+    /// `200 OK` responses.
+    pub ok: u64,
+    /// `429` admission-control rejections.
+    pub shed: u64,
+    /// Any other status (decode errors, transport failures).
+    pub errors: u64,
+    /// Measured wall-clock seconds.
+    pub seconds: f64,
+    /// `requests / seconds`.
+    pub throughput_rps: f64,
+    /// Round-trip latency quantiles, microseconds.
+    pub p50_us: f64,
+    /// 90th percentile round trip, microseconds.
+    pub p90_us: f64,
+    /// 99th percentile round trip, microseconds.
+    pub p99_us: f64,
+    /// Slowest observed round trip, microseconds.
+    pub max_us: f64,
+}
+
+impl LoadReport {
+    /// The report as a JSON object (the `loadgen` binary's stdout).
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::Obj(vec![
+            ("requests".into(), Json::Int(self.requests)),
+            ("ok".into(), Json::Int(self.ok)),
+            ("shed".into(), Json::Int(self.shed)),
+            ("errors".into(), Json::Int(self.errors)),
+            ("seconds".into(), Json::Num(self.seconds)),
+            ("throughput_rps".into(), Json::Num(self.throughput_rps)),
+            ("p50_us".into(), Json::Num(self.p50_us)),
+            ("p90_us".into(), Json::Num(self.p90_us)),
+            ("p99_us".into(), Json::Num(self.p99_us)),
+            ("max_us".into(), Json::Num(self.max_us)),
+        ])
+    }
+}
+
+struct ConnTally {
+    requests: u64,
+    ok: u64,
+    shed: u64,
+    errors: u64,
+    hist: LatencyHistogram,
+}
+
+/// Runs the closed loop against `addr` and aggregates a [`LoadReport`].
+pub fn run(addr: &str, cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
+    let started = Instant::now();
+    let deadline = started + cfg.duration;
+    let tallies: Vec<ConnTally> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for conn_id in 0..cfg.connections.max(1) {
+            handles.push(scope.spawn(move || drive_connection(addr, cfg, conn_id, deadline)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen thread panicked"))
+            .collect()
+    });
+    let seconds = started.elapsed().as_secs_f64().max(1e-9);
+
+    let mut report = LoadReport {
+        requests: 0,
+        ok: 0,
+        shed: 0,
+        errors: 0,
+        seconds,
+        throughput_rps: 0.0,
+        p50_us: 0.0,
+        p90_us: 0.0,
+        p99_us: 0.0,
+        max_us: 0.0,
+    };
+    let mut hists = Vec::with_capacity(tallies.len());
+    for t in tallies {
+        report.requests += t.requests;
+        report.ok += t.ok;
+        report.shed += t.shed;
+        report.errors += t.errors;
+        hists.push(t.hist);
+    }
+    report.throughput_rps = report.requests as f64 / seconds;
+    let q = |p: f64| {
+        LatencyHistogram::quantile_merged(&hists, p)
+            .map(|ns| ns as f64 / 1000.0)
+            .unwrap_or(0.0)
+    };
+    report.p50_us = q(0.50);
+    report.p90_us = q(0.90);
+    report.p99_us = q(0.99);
+    report.max_us = q(1.0);
+    Ok(report)
+}
+
+fn drive_connection(
+    addr: &str,
+    cfg: &LoadgenConfig,
+    conn_id: usize,
+    deadline: Instant,
+) -> ConnTally {
+    let mut tally = ConnTally {
+        requests: 0,
+        ok: 0,
+        shed: 0,
+        errors: 0,
+        hist: LatencyHistogram::new(),
+    };
+    let users = cfg.users.max(1);
+    // Interleave users across connections so the request mix is uniform.
+    let mut user = (conn_id * 31) % users;
+
+    'reconnect: while Instant::now() < deadline {
+        let Ok(stream) = TcpStream::connect(addr) else {
+            tally.errors += 1;
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        let _ = stream.set_nodelay(true);
+        let mut writer = stream.try_clone().expect("clone loadgen stream");
+        let mut reader = BufReader::new(stream);
+
+        while Instant::now() < deadline {
+            let body = format!("{{\"v\":1,\"user\":{user},\"m\":{}}}", cfg.m);
+            user = (user + 1) % users;
+            let raw = http::format_request("POST", &cfg.path, body.as_bytes(), true);
+            let t0 = Instant::now();
+            if writer.write_all(&raw).is_err() {
+                tally.errors += 1;
+                continue 'reconnect;
+            }
+            match http::read_response(&mut reader) {
+                Ok(resp) => {
+                    tally.requests += 1;
+                    tally.hist.record(t0.elapsed());
+                    match resp.status {
+                        200 => tally.ok += 1,
+                        429 => tally.shed += 1,
+                        _ => tally.errors += 1,
+                    }
+                    if !resp.keep_alive {
+                        continue 'reconnect;
+                    }
+                }
+                Err(_) => {
+                    tally.errors += 1;
+                    continue 'reconnect;
+                }
+            }
+        }
+        break;
+    }
+    tally
+}

@@ -1,0 +1,130 @@
+//! Property-based guards for the wire protocol: every encodable value
+//! decodes back to itself (requests, success responses, typed errors with
+//! escape-heavy messages), and the decoder never panics on garbage.
+
+use ocular_serve::protocol::{Echo, ErrorCode};
+use ocular_serve::{Request, WireError, WireReply, WireRequest, WireResponse};
+use proptest::prelude::*;
+
+/// External ids must stay below 2^53: the JSON decoder reads numbers as
+/// `f64`, so larger ids cannot round-trip and are rejected by design.
+const MAX_EXACT: u64 = (1 << 53) - 1;
+
+/// Characters the JSON string escaper must survive: quotes, backslashes,
+/// every escape shorthand, raw control bytes, multi-byte unicode, and the
+/// structural characters of JSON itself.
+const NASTY: &[char] = &[
+    'a', 'Z', '0', ' ', '"', '\\', '\n', '\r', '\t', '\u{0}', '\u{8}', '\u{b}', '\u{1f}', '{', '}',
+    '[', ']', ':', ',', '/', 'é', '→', '𝄞', '\u{7f}',
+];
+
+fn arb_nasty_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..NASTY.len(), 0..60)
+        .prop_map(|ix| ix.into_iter().map(|i| NASTY[i]).collect())
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        0usize..4,
+        0..=MAX_EXACT,
+        proptest::collection::vec(0..=MAX_EXACT, 0..20),
+        0usize..10_000,
+    )
+        .prop_map(|(variant, id, ids, m)| match variant {
+            0 => Request::Warm {
+                user: (id & 0xf_ffff) as usize,
+                m,
+            },
+            1 => Request::Cold {
+                basket: ids.iter().map(|&i| (i & 0xf_ffff) as usize).collect(),
+                m,
+            },
+            2 => Request::WarmExternal { user: id, m },
+            _ => Request::ColdExternal { basket: ids, m },
+        })
+}
+
+fn arb_response() -> impl Strategy<Value = WireResponse> {
+    (
+        (0usize..3, 0..=MAX_EXACT),
+        proptest::collection::vec((0usize..1 << 20, any::<f64>()), 0..20),
+        (any::<bool>(), 0usize..1 << 20, any::<bool>()),
+    )
+        .prop_map(|((which, id), pairs, (with_ids, scored, fallback))| {
+            let echo = match which {
+                0 => Echo::User((id & 0xf_ffff) as usize),
+                1 => Echo::UserId(id),
+                _ => Echo::Cold,
+            };
+            let items: Vec<usize> = pairs.iter().map(|(i, _)| *i).collect();
+            let probs: Vec<f64> = pairs.iter().map(|(_, p)| p.abs()).collect();
+            let item_ids: Option<Vec<u64>> =
+                with_ids.then(|| items.iter().map(|&i| (i as u64 * 37) & MAX_EXACT).collect());
+            WireResponse {
+                echo,
+                items,
+                item_ids,
+                probs,
+                scored,
+                fallback,
+            }
+        })
+}
+
+fn arb_error() -> impl Strategy<Value = WireError> {
+    const CODES: &[ErrorCode] = &[
+        ErrorCode::BadRequest,
+        ErrorCode::UnsupportedVersion,
+        ErrorCode::UnknownUser,
+        ErrorCode::UnknownItem,
+        ErrorCode::UnknownId,
+        ErrorCode::BadBasket,
+        ErrorCode::Unsupported,
+        ErrorCode::Overloaded,
+        ErrorCode::Internal,
+    ];
+    (0usize..CODES.len(), arb_nasty_string()).prop_map(|(c, message)| WireError {
+        code: CODES[c],
+        message,
+    })
+}
+
+proptest! {
+    #[test]
+    fn requests_round_trip(req in arb_request()) {
+        let wire = WireRequest { request: req.clone() };
+        let line = wire.encode();
+        prop_assert!(!line.contains('\n'), "one-line encoding");
+        prop_assert_eq!(WireRequest::decode(&line).unwrap().request, req);
+    }
+
+    #[test]
+    fn responses_round_trip(resp in arb_response()) {
+        let line = WireReply::Ok(resp.clone()).encode();
+        prop_assert!(!line.contains('\n'));
+        prop_assert_eq!(WireReply::decode(&line).unwrap(), WireReply::Ok(resp));
+    }
+
+    #[test]
+    fn errors_round_trip_with_escape_heavy_messages(err in arb_error()) {
+        let reply = WireReply::Err(err);
+        let line = reply.encode();
+        prop_assert!(!line.contains('\n'), "escapes keep the line single");
+        prop_assert_eq!(WireReply::decode(&line).unwrap(), reply);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(text in arb_nasty_string()) {
+        // Any outcome is fine; panicking is not.
+        let _ = WireRequest::decode(&text);
+        let _ = WireReply::decode(&text);
+    }
+
+    #[test]
+    fn request_decoder_rejects_unknown_fields(n in 0usize..10_000) {
+        // `x<digits>` never collides with a known field name.
+        let text = format!("{{\"user\": 1, \"x{n}\": 2}}");
+        let err = WireRequest::decode(&text).unwrap_err();
+        prop_assert_eq!(err.code, ErrorCode::BadRequest);
+    }
+}

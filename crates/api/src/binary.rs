@@ -170,6 +170,56 @@ impl SectionWriter {
     }
 }
 
+/// Live-refresh provenance carried by a snapshot: which retrain
+/// **generation** produced it and a **watermark** of the source data it
+/// was fitted on (shape + positives at train time). The serving tier
+/// reports the generation in responses and `/stats`, and compares the
+/// watermark against its (possibly delta-extended) dataset to decide
+/// which users must be folded in at request time.
+///
+/// Stored as an optional fixed-shape `u64` section
+/// ([`SnapshotMeta::SECTION`]), so pre-existing snapshots without it
+/// keep loading unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Monotonically increasing retrain counter (1 = first train).
+    pub generation: u64,
+    /// Users in the source dataset at train time.
+    pub n_users: u64,
+    /// Items in the source dataset at train time.
+    pub n_items: u64,
+    /// Positive interactions in the source dataset at train time.
+    pub nnz: u64,
+}
+
+impl SnapshotMeta {
+    /// The v3 section name holding the metadata.
+    pub const SECTION: &'static str = "genmeta";
+
+    /// Appends the metadata section to a container under construction.
+    pub fn write_section(&self, w: &mut SectionWriter) {
+        w.put_u64s(
+            Self::SECTION,
+            &[self.generation, self.n_users, self.n_items, self.nnz],
+        );
+    }
+
+    /// Reads the metadata section if present (`None` for snapshots that
+    /// predate live refresh).
+    pub fn read_section(r: &SectionReader) -> Result<Option<SnapshotMeta>, OcularError> {
+        if !r.has(Self::SECTION) {
+            return Ok(None);
+        }
+        let [generation, n_users, n_items, nnz] = r.u64_meta::<4>(Self::SECTION)?;
+        Ok(Some(SnapshotMeta {
+            generation,
+            n_users,
+            n_items,
+            nnz,
+        }))
+    }
+}
+
 /// A validated, open v3 container serving typed section views that
 /// **borrow** the underlying (possibly memory-mapped) byte region.
 pub struct SectionReader {
@@ -416,6 +466,33 @@ mod tests {
                 "bit flip at byte {byte} must be rejected"
             );
         }
+    }
+
+    #[test]
+    fn snapshot_meta_round_trips_and_is_optional() {
+        let meta = SnapshotMeta {
+            generation: 3,
+            n_users: 10,
+            n_items: 20,
+            nnz: 55,
+        };
+        let mut w = SectionWriter::new("k");
+        w.put_u64s("meta", &[1]);
+        meta.write_section(&mut w);
+        let r = SectionReader::open(ModelBytes::from_vec(w.finish())).unwrap();
+        assert_eq!(SnapshotMeta::read_section(&r).unwrap(), Some(meta));
+
+        // absent section -> None, not an error
+        let mut w = SectionWriter::new("k");
+        w.put_u64s("meta", &[1]);
+        let r = SectionReader::open(ModelBytes::from_vec(w.finish())).unwrap();
+        assert_eq!(SnapshotMeta::read_section(&r).unwrap(), None);
+
+        // wrong shape -> typed corruption error
+        let mut w = SectionWriter::new("k");
+        w.put_u64s(SnapshotMeta::SECTION, &[1, 2]);
+        let r = SectionReader::open(ModelBytes::from_vec(w.finish())).unwrap();
+        assert!(SnapshotMeta::read_section(&r).is_err());
     }
 
     #[test]

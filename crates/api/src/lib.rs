@@ -31,7 +31,7 @@ pub mod error;
 pub mod textio;
 pub mod traits;
 
-pub use binary::{SectionReader, SectionWriter};
+pub use binary::{SectionReader, SectionWriter, SnapshotMeta};
 pub use error::OcularError;
 pub use traits::{
     validate_basket, ClusterEvidence, Explain, FnScorer, FoldIn, Model, Provenance, Recommender,

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use ocular_core::{fit, recommend_top_m, OcularConfig, Recommendation};
 use ocular_datasets::powerlaw::{generate, PowerLawConfig};
-use ocular_serve::{CandidatePolicy, IndexConfig, Request, ServeConfig, ServeEngine};
+use ocular_serve::{CandidatePolicy, EngineBuilder, IndexConfig, Request, ServeConfig};
 use std::hint::black_box;
 
 /// The pre-heap selection path: score everything, sort everything.
@@ -54,34 +54,32 @@ fn bench_serve(c: &mut Criterion) {
         },
     )
     .model;
-    let clusters = ServeEngine::from_model(
-        model.clone(),
-        r.clone(),
-        &IndexConfig {
+    let clusters = EngineBuilder::from_model(model.clone())
+        .dataset(r.clone())
+        .index_config(IndexConfig {
             rel: 0.3,
             floor: 100,
-        },
-        ServeConfig {
+        })
+        .config(ServeConfig {
             default_m: 50,
             candidates: CandidatePolicy::Clusters { min_candidates: 50 },
             ..Default::default()
-        },
-    )
-    .unwrap();
-    let full = ServeEngine::from_model(
-        model.clone(),
-        r.clone(),
-        &IndexConfig {
+        })
+        .build()
+        .unwrap();
+    let full = EngineBuilder::from_model(model.clone())
+        .dataset(r.clone())
+        .index_config(IndexConfig {
             rel: 0.3,
             floor: 100,
-        },
-        ServeConfig {
+        })
+        .config(ServeConfig {
             default_m: 50,
             candidates: CandidatePolicy::FullCatalog,
             ..Default::default()
-        },
-    )
-    .unwrap();
+        })
+        .build()
+        .unwrap();
     let user = 17;
 
     let mut group = c.benchmark_group("serve_one");

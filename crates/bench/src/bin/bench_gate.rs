@@ -54,6 +54,7 @@ fn run() -> Result<Vec<String>, String> {
     let full_sort_p50 = field(&serve, "full_sort.p50_us")?;
     let train_seconds = field(&train, "train_seconds")?;
     let ingest_seconds = field(&train, "ingest_seconds")?;
+    let delta_append_seconds = field(&train, "delta_append_seconds")?;
     // mean per-sweep seconds of the fixed-work flatness run
     let per_sweep = train
         .get("per_sweep_seconds")
@@ -167,6 +168,11 @@ fn run() -> Result<Vec<String>, String> {
     // across a training run — last sweep within tolerance of the fastest
     // (the probe asserts a 1.2× bound on the same ratio at run time)
     check("sweep_flatness", sweep_flatness, 1.0);
+    // machine-independent same-run check: merging the 10% delta must not
+    // cost as much as the full re-ingest it replaces — the live-refresh
+    // "one merge pass, never a full re-ingest" guarantee, gated on the
+    // same run so hardware noise cancels
+    check("delta_append_s", delta_append_seconds, ingest_seconds);
     // machine-independent same-run check: candidate generation + heap
     // selection must not serve slower than the retired full-sort path — a
     // hardware-noise-proof signal that the serving optimization still works

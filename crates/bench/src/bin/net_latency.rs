@@ -20,7 +20,7 @@ fn main() {
     use ocular_serve::json::{obj, Json};
     use ocular_serve::net::loadgen::{run, LoadgenConfig};
     use ocular_serve::net::{Server, ServerConfig};
-    use ocular_serve::{CandidatePolicy, IndexConfig, ServeConfig, ServeEngine};
+    use ocular_serve::{CandidatePolicy, EngineBuilder, ServeConfig, SwapEngine};
     use std::sync::atomic::Ordering;
     use std::sync::Arc;
     use std::time::Duration;
@@ -45,20 +45,18 @@ fn main() {
     };
     let model = fit(&r, &cfg).model;
     let n_users = r.n_rows();
-    let engine = Arc::new(
-        ServeEngine::from_model(
-            model,
-            r,
-            &IndexConfig::default(),
-            ServeConfig {
+    let engine = Arc::new(SwapEngine::new(
+        EngineBuilder::from_model(model)
+            .dataset(r)
+            .config(ServeConfig {
                 default_m: m,
                 candidates: CandidatePolicy::Clusters { min_candidates: m },
                 foldin: cfg,
                 ..Default::default()
-            },
-        )
-        .expect("engine"),
-    );
+            })
+            .build()
+            .expect("engine"),
+    ));
 
     let server = Server::bind(
         engine,

@@ -21,7 +21,7 @@ use ocular_core::OcularConfig;
 use ocular_datasets::profiles;
 use ocular_eval::protocol::evaluate;
 use ocular_serve::json::{obj, Json};
-use ocular_sparse::io::{read_edge_list_str, write_edge_list};
+use ocular_sparse::io::{append_edge_list_str, read_edge_list_str, write_edge_list};
 use ocular_sparse::{Dataset, Split, SplitConfig};
 
 fn main() {
@@ -168,6 +168,37 @@ fn main() {
         ingested.nnz()
     );
 
+    // delta-append timing: split the same log ~90/10, ingest the base,
+    // then merge the tail through the delta path. Live refresh rests on
+    // this being one merge pass over the existing positives — never a
+    // full re-ingest of the grown log — so the merged dataset must equal
+    // the full ingest bit-for-bit and the append must come in below the
+    // full-ingest wall-clock it replaces (same-run, machine-independent).
+    let lines: Vec<&str> = edge_text.lines().collect();
+    let cut = lines.len() - lines.len() / 10;
+    let base_text: String = lines[..cut].iter().map(|l| format!("{l}\n")).collect();
+    let delta_text: String = lines[cut..].iter().map(|l| format!("{l}\n")).collect();
+    let base: Dataset = read_edge_list_str(&base_text, "\t", None)
+        .expect("ingest the base log")
+        .into_dataset();
+    let t0 = std::time::Instant::now();
+    let merged = append_edge_list_str(&base, &delta_text, "\t", None).expect("delta merge");
+    let delta_append_seconds = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        merged, ingested,
+        "delta merge must equal a full re-ingest of the concatenated log"
+    );
+    println!(
+        "delta append: {} records merged in {delta_append_seconds:.4}s \
+         (full re-ingest: {ingest_seconds:.4}s)",
+        lines.len() - cut
+    );
+    assert!(
+        delta_append_seconds <= ingest_seconds * 1.25 + 0.01,
+        "appending a 10% delta took {delta_append_seconds:.4}s — not meaningfully cheaper \
+         than the {ingest_seconds:.4}s full re-ingest it is supposed to avoid"
+    );
+
     // snapshot persistence: text parse vs v3 binary mmap load on the
     // model the flatness run just fitted
     let snap = ocular_serve::AnySnapshot::Ocular(ocular_serve::Snapshot::build(
@@ -203,6 +234,7 @@ fn main() {
             ),
             ("sweep_flatness", Json::Num(flatness)),
             ("ingest_seconds", Json::Num(ingest_seconds)),
+            ("delta_append_seconds", Json::Num(delta_append_seconds)),
             (
                 "snapshot_load",
                 obj(vec![

@@ -17,7 +17,7 @@ use ocular_bench::Args;
 use ocular_core::{fit, OcularConfig, Recommendation};
 use ocular_datasets::profiles;
 use ocular_serve::json::{obj, Json};
-use ocular_serve::{CandidatePolicy, IndexConfig, Request, ServeConfig, ServeEngine};
+use ocular_serve::{CandidatePolicy, EngineBuilder, IndexConfig, Request, ServeConfig};
 use std::time::Instant;
 
 /// Per-request wall-clock percentiles, in microseconds.
@@ -101,18 +101,17 @@ fn main() {
     );
 
     let mk_engine = |candidates| {
-        ServeEngine::from_model(
-            model.clone(),
-            r.clone(),
-            &index_cfg,
-            ServeConfig {
+        EngineBuilder::from_model(model.clone())
+            .dataset(r.clone())
+            .index_config(index_cfg)
+            .config(ServeConfig {
                 default_m: m,
                 candidates,
                 foldin: cfg.clone(),
                 ..Default::default()
-            },
-        )
-        .expect("engine")
+            })
+            .build()
+            .expect("engine")
     };
     let engine_full = mk_engine(CandidatePolicy::FullCatalog);
     let engine_clusters = mk_engine(CandidatePolicy::Clusters { min_candidates: m });
@@ -217,16 +216,15 @@ fn main() {
     let mut kind_rows: Vec<(&'static str, Latency)> = Vec::new();
     for model in kind_models {
         let kind = model.kind();
-        let engine = ServeEngine::from_recommender(
-            model,
-            r.clone(),
-            ServeConfig {
+        let engine = EngineBuilder::from_recommender(model)
+            .dataset(r.clone())
+            .config(ServeConfig {
                 default_m: m,
                 candidates: CandidatePolicy::FullCatalog,
                 ..Default::default()
-            },
-        )
-        .expect("baseline engine");
+            })
+            .build()
+            .expect("baseline engine");
         let lat = measure(n_requests, |i| {
             std::hint::black_box(
                 engine

@@ -37,6 +37,7 @@ const EPOLLRDHUP: u32 = 0x2000;
 const EFD_CLOEXEC: i32 = 0o2000000;
 const EFD_NONBLOCK: i32 = 0o4000;
 
+const SIGHUP: i32 = 1;
 const SIGINT: i32 = 2;
 const SIGTERM: i32 = 15;
 
@@ -294,6 +295,38 @@ pub fn shutdown_flag() -> &'static AtomicBool {
     &SHUTDOWN
 }
 
+static RELOAD: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_reload_signal(_sig: i32) {
+    // async-signal-safe: a single relaxed atomic store
+    RELOAD.store(true, Ordering::Relaxed);
+}
+
+/// Installs a `SIGHUP` handler that sets a process-wide reload-request
+/// flag and returns that flag — the classic daemon convention for
+/// "re-read your configuration / pick up the new artifact". The serving
+/// event loop polls it between waits and treats it exactly like a
+/// `POST /admin/reload`.
+///
+/// Consumers take the request with [`take_reload_request`] (swap-and-
+/// clear) so one signal triggers exactly one reload. Idempotent; the
+/// flag can also be raised programmatically for tests.
+pub fn reload_flag() -> &'static AtomicBool {
+    // SAFETY: signal() installs an async-signal-safe handler (it only
+    // stores to an atomic). Re-installation is harmless.
+    #[allow(unsafe_code)]
+    unsafe {
+        signal(SIGHUP, on_reload_signal as *const () as usize);
+    }
+    &RELOAD
+}
+
+/// Atomically consumes a pending reload request: returns `true` (and
+/// clears the flag) if a `SIGHUP` arrived since the last call.
+pub fn take_reload_request(flag: &AtomicBool) -> bool {
+    flag.swap(false, Ordering::Relaxed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,6 +391,18 @@ mod tests {
         ep.wait(&mut events, 2000).unwrap();
         assert!(events.iter().any(|e| e.token == 2 && e.writable));
         ep.delete(server_side.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn reload_flag_swap_and_clear() {
+        let flag = reload_flag();
+        assert!(!take_reload_request(flag), "no request pending initially");
+        flag.store(true, Ordering::Relaxed);
+        assert!(take_reload_request(flag), "pending request consumed");
+        assert!(
+            !take_reload_request(flag),
+            "one signal triggers exactly one reload"
+        );
     }
 
     #[test]

@@ -7,12 +7,19 @@
 //!
 //! ```text
 //! serve --train data.tsv --snapshot model.snap \
+//!       [--delta more.tsv]... [--generation 1] \
 //!       [--format text|binary] \
 //!       [--algo ocular|wals|bpr|user-knn|item-knn|popularity] \
 //!       [--k 8] [--lambda 0.5] [--iters 60] [--seed 0] [--sep '\t'] \
 //!       [--rel 0.5] [--floor 100]        (ocular index build) \
 //!       [--b 0.01] [--lr 0.05]           (wals / bpr)
 //! ```
+//!
+//! Each `--delta` file is appended to the base edge list through the
+//! delta-merge ingestion path (one merge pass, never a re-ingest) before
+//! training; `--generation` stamps the snapshot's deployment generation
+//! into its metadata section alongside the source-data watermark
+//! (trained shape + nnz).
 //!
 //! `--format binary` writes the mmap-able `ocular-snapshot v3` container
 //! (`--format text` the v2 text envelope, the default for
@@ -54,6 +61,19 @@
 //! the admission queue (`--queue-cap`) is full, requests are answered
 //! with HTTP 429 and a typed `overloaded` error body — never dropped.
 //!
+//! **Live refresh**: `POST /admin/reload` (or `SIGHUP`) re-loads the
+//! snapshot and interaction log from the same `--model` /
+//! `--interactions` / `--delta` paths on a dedicated thread and
+//! hot-swaps the engine with zero dropped requests — in-flight and
+//! pipelined requests finish on the engine that admitted them, and the
+//! old snapshot's mmap is released when its last borrower completes.
+//! Responses and `GET /stats` carry `model_generation` (strictly
+//! monotone across swaps) and `kind`, so clients can watch a deploy
+//! land. A second reload while one runs answers HTTP 503 with code
+//! `reloading`. Warm requests for users that appear in the (refreshed)
+//! log but postdate the active snapshot are served by request-time
+//! fold-in (`"folded_in":true`) until the next retrain/swap.
+//!
 //! `--lambda` here is the regularization the OCuLaR cold-start fold-in
 //! solves with; pass the value the model was trained with (both modes
 //! default to 0.5). Baseline kinds carry their fold-in parameters inside
@@ -73,19 +93,20 @@
 //! unknown external ids) become `{"error": "..."}` without aborting the
 //! stream.
 
+use ocular_api::SnapshotMeta;
 use ocular_baselines::{Bpr, BprConfig, ItemKnn, KnnConfig, Popularity, UserKnn, Wals, WalsConfig};
 use ocular_core::{fit, OcularConfig};
 use ocular_serve::{
-    AnySnapshot, CandidatePolicy, Request, ServeConfig, ServeEngine, Snapshot, SnapshotFormat,
-    WireReply, WireRequest,
+    AnySnapshot, CandidatePolicy, EngineBuilder, Request, ServeConfig, ServeEngine, Snapshot,
+    SnapshotFormat, WireReply, WireRequest,
 };
-use ocular_sparse::io::read_edge_list;
-use ocular_sparse::{Dataset, IdMaps, StreamingTriplets};
+use ocular_sparse::io::{append_edge_list, read_edge_list};
+use ocular_sparse::{CsrMatrix, Dataset, IdMaps};
 use std::io::{BufRead, BufWriter, Write};
 use std::process::ExitCode;
-use std::sync::Arc;
 
 /// `--key value` / bare `--flag` parsing (same dialect as ocular-bench).
+#[derive(Clone)]
 struct Flags {
     values: Vec<(String, String)>,
 }
@@ -118,6 +139,14 @@ impl Flags {
             .map(|(_, v)| v.as_str())
     }
 
+    /// Every occurrence of a repeatable flag, in order (`--delta a --delta b`).
+    fn all<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a str> {
+        self.values
+            .iter()
+            .filter(move |(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
     fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
         self.get(key)
             .and_then(|v| v.parse().ok())
@@ -126,43 +155,55 @@ impl Flags {
 }
 
 /// Streams the edge list into a [`Dataset`] (chunked ingestion; external
-/// ids compacted in first-appearance order and kept as the id maps).
-fn load_dataset(path: &str, sep: &str) -> Result<Dataset, String> {
+/// ids compacted in first-appearance order and kept as the id maps),
+/// then appends every `--delta` file through the delta-merge path — one
+/// merge pass per delta over the already-ingested positives, never a
+/// re-ingest of the base.
+fn load_dataset(flags: &Flags, path: &str, sep: &str) -> Result<Dataset, String> {
     let parsed = read_edge_list(path, sep, None).map_err(|e| e.to_string())?;
-    Ok(parsed.into_dataset())
+    let mut d = parsed.into_dataset();
+    for delta in flags.all("delta") {
+        let t0 = std::time::Instant::now();
+        d = append_edge_list(&d, std::path::Path::new(delta), sep, None)
+            .map_err(|e| format!("append {delta}: {e}"))?;
+        eprintln!(
+            "delta_append_seconds={:.6} file={delta} now {}×{} nnz={}",
+            t0.elapsed().as_secs_f64(),
+            d.n_users(),
+            d.n_items(),
+            d.nnz()
+        );
+    }
+    Ok(d)
 }
 
-/// Aligns an interaction log to a snapshot's id space: every record is
-/// translated external→internal through the snapshot's maps, so the
-/// exclusion lists land on the model's rows no matter what order the
-/// serving-side file lists them in. Records referencing ids the model
-/// never saw are an error (they cannot map to any row/column). Serving
-/// with the training file itself reproduces the snapshot's maps exactly,
-/// in which case the log is already aligned and no rebuild happens.
+/// Aligns an interaction log to a snapshot's id space, so the exclusion
+/// lists land on the model's rows no matter what order the serving-side
+/// file lists them in.
+///
+/// Two no-copy fast paths cover the steady state and the live-refresh
+/// state: the log's maps equal the snapshot's (serving the training
+/// file), or the snapshot's maps are a **prefix** of the log's (the log
+/// grew by delta appends since the snapshot was trained — already
+/// aligned, the overhang is served by fold-in). Anything else re-aligns
+/// through the delta-merge path: the snapshot's maps seed an empty
+/// dataset and the whole log is appended as one sorted run — records
+/// with ids the model never saw extend the id space past the model and
+/// become fold-in users/items instead of errors.
 fn align_to_ids(d: Dataset, ids: IdMaps) -> Result<Dataset, String> {
-    if d.ids() == Some(&ids) {
-        return Ok(d);
+    match d.ids() {
+        Some(got) if got == &ids || ids.is_prefix_of(got) => return Ok(d),
+        _ => {}
     }
-    let mut staged = StreamingTriplets::new();
+    let empty = CsrMatrix::empty(ids.n_users(), ids.n_items());
+    let base = Dataset::new(empty, ids).map_err(|e| e.to_string())?;
+    let mut staged = base.delta_builder();
     for (u, i) in d.iter_nnz() {
-        let user = ids.user_index(d.external_user(u)).ok_or_else(|| {
-            format!(
-                "interactions user {} unknown to the snapshot",
-                d.external_user(u)
-            )
-        })?;
-        let item = ids.item_index(d.external_item(i)).ok_or_else(|| {
-            format!(
-                "interactions item {} unknown to the snapshot",
-                d.external_item(i)
-            )
-        })?;
-        staged.push(user, item).map_err(|e| e.to_string())?;
+        staged
+            .push(d.external_user(u), d.external_item(i))
+            .map_err(|e| e.to_string())?;
     }
-    let matrix = staged
-        .finish(ids.n_users(), ids.n_items())
-        .map_err(|e| e.to_string())?;
-    Dataset::with_ids(matrix, Arc::new(ids)).map_err(|e| e.to_string())
+    staged.finish().map_err(|e| e.to_string())
 }
 
 fn train_mode(flags: &Flags) -> Result<(), String> {
@@ -172,7 +213,7 @@ fn train_mode(flags: &Flags) -> Result<(), String> {
         .ok_or("--train requires --snapshot <path>")?;
     let sep = flags.get("sep").unwrap_or("\t");
     let algo = flags.get("algo").unwrap_or("ocular");
-    let r = load_dataset(data, sep)?;
+    let r = load_dataset(flags, data, sep)?;
     let seed = flags.num("seed", 0u64);
     let t0 = std::time::Instant::now();
     let snapshot: AnySnapshot = match algo {
@@ -243,12 +284,23 @@ fn train_mode(flags: &Flags) -> Result<(), String> {
             ))
         }
     };
+    // Every trained snapshot carries its deployment generation plus the
+    // source-data watermark (shape + nnz it was trained on) — what the
+    // hot-swap tier and `/stats` report, and what lets an operator check
+    // a snapshot against the log it is about to serve.
+    let meta = SnapshotMeta {
+        generation: flags.num("generation", 1u64),
+        n_users: r.n_users() as u64,
+        n_items: r.n_items() as u64,
+        nnz: r.nnz() as u64,
+    };
     snapshot
-        .save_path(std::path::Path::new(out), r.ids(), format)
+        .save_path_full(std::path::Path::new(out), r.ids(), Some(&meta), format)
         .map_err(|e| format!("write {out}: {e}"))?;
     eprintln!(
-        "trained {} on {}×{} (nnz={}) in {:.2}s → {out} ({format:?} format, id maps embedded)",
+        "trained {} gen={} on {}×{} (nnz={}) in {:.2}s → {out} ({format:?} format, id maps embedded)",
         snapshot.kind(),
+        meta.generation,
         r.n_users(),
         r.n_items(),
         r.nnz(),
@@ -258,8 +310,11 @@ fn train_mode(flags: &Flags) -> Result<(), String> {
 }
 
 /// Loads the snapshot + interactions named by the flags and builds the
-/// engine — the common front half of the stdin and TCP serve modes.
-fn build_engine(flags: &Flags) -> Result<ServeEngine, String> {
+/// engine — the common front half of the stdin and TCP serve modes, and
+/// the body of the hot-reload closure in listen mode. `floor_generation`
+/// keeps reloads monotone: the engine's generation is the larger of the
+/// snapshot's own and this floor (0 for a fresh start).
+fn build_engine(flags: &Flags, floor_generation: u64) -> Result<ServeEngine, String> {
     let snap_path = flags.get("model").expect("checked by caller");
     let data = flags
         .get("interactions")
@@ -268,20 +323,25 @@ fn build_engine(flags: &Flags) -> Result<ServeEngine, String> {
     // magic-sniffing load: v3 binary containers are mmap'd and borrowed
     // zero-copy, v1/v2 text snapshots parse through the legacy path
     let t_load = std::time::Instant::now();
-    let (snapshot, snap_ids) = AnySnapshot::load_path(std::path::Path::new(snap_path))
+    let loaded = AnySnapshot::load_path_full(std::path::Path::new(snap_path))
         .map_err(|e| format!("load {snap_path}: {e}"))?;
     eprintln!(
         "snapshot_load_seconds={:.6}",
         t_load.elapsed().as_secs_f64()
     );
-    let kind = snapshot.kind();
-    let r = load_dataset(data, sep)?;
+    let kind = loaded.snapshot.kind();
+    let generation = loaded
+        .meta
+        .map_or(0, |m| m.generation)
+        .max(floor_generation);
+    let r = load_dataset(flags, data, sep)?;
     // When the snapshot embeds id maps, they are authoritative for the
     // model's row/column space: re-align the interaction log to them so
     // exclusion lists land on the model's rows regardless of the file's
-    // record order. Otherwise the file's own first-appearance compaction
-    // must reproduce the training-time mapping (same file → same maps).
-    let r = match snap_ids {
+    // record order (no-op when the log equals or extends the training
+    // file). Otherwise the file's own first-appearance compaction must
+    // reproduce the training-time mapping (same file → same maps).
+    let r = match loaded.ids {
         Some(ids) => align_to_ids(r, ids)?,
         None => r,
     };
@@ -309,8 +369,13 @@ fn build_engine(flags: &Flags) -> Result<ServeEngine, String> {
         },
         ..Default::default()
     };
-    let engine = ServeEngine::from_any(snapshot, r, cfg).map_err(|e| e.to_string())?;
-    eprintln!("serving `{kind}` snapshot from {snap_path}");
+    let engine = EngineBuilder::from_snapshot(loaded.snapshot)
+        .dataset(r)
+        .config(cfg)
+        .generation(generation)
+        .build()
+        .map_err(|e| e.to_string())?;
+    eprintln!("serving `{kind}` snapshot from {snap_path} (generation {generation})");
     Ok(engine)
 }
 
@@ -320,7 +385,7 @@ fn build_engine(flags: &Flags) -> Result<ServeEngine, String> {
 /// answer with a structured `{"error": ..., "code": "bad_request"}`
 /// object and the stream keeps going.
 fn serve_mode(flags: &Flags) -> Result<(), String> {
-    let engine = build_engine(flags)?;
+    let engine = build_engine(flags, 0)?;
     let threads = flags.get("threads").and_then(|v| v.parse().ok());
     let batch_size: usize = flags.num("batch", 256).max(1);
 
@@ -367,12 +432,25 @@ fn serve_mode(flags: &Flags) -> Result<(), String> {
 }
 
 /// The TCP transport (Linux): the same engine behind the epoll front-end,
-/// with `SIGINT`/`SIGTERM` honored as a drain-and-exit request.
+/// with `SIGINT`/`SIGTERM` honored as a drain-and-exit request and
+/// `POST /admin/reload` / `SIGHUP` as a zero-downtime hot swap — the
+/// reload closure re-loads the snapshot and interaction log (plus any
+/// `--delta` files) from the same paths and publishes the fresh engine
+/// atomically; in-flight requests finish on the engine that admitted
+/// them.
 #[cfg(target_os = "linux")]
 fn listen_mode(flags: &Flags, addr: &str) -> Result<(), String> {
     use ocular_serve::net::{Server, ServerConfig};
+    use ocular_serve::SwapEngine;
 
-    let engine = std::sync::Arc::new(build_engine(flags)?);
+    let initial = build_engine(flags, 0)?;
+    let reload_flags = flags.clone();
+    let swap = std::sync::Arc::new(SwapEngine::with_reload(
+        initial,
+        Box::new(move |current| {
+            build_engine(&reload_flags, current + 1).map_err(ocular_api::OcularError::Io)
+        }),
+    ));
     let cfg = ServerConfig {
         queue_cap: flags.num("queue-cap", 1024),
         batch_max: flags.num("batch", 256usize).max(1),
@@ -380,7 +458,7 @@ fn listen_mode(flags: &Flags, addr: &str) -> Result<(), String> {
         max_connections: flags.num("max-connections", 1024),
         handle_signals: true,
     };
-    let server = Server::bind(engine, addr, cfg).map_err(|e| format!("bind {addr}: {e}"))?;
+    let server = Server::bind(swap, addr, cfg).map_err(|e| format!("bind {addr}: {e}"))?;
     eprintln!("listening on {}", server.local_addr());
     server.run().map_err(|e| e.to_string())
 }

@@ -10,7 +10,7 @@
 //! candidates from, so they are served exactly.
 
 use crate::index::{ClusterIndex, IndexConfig};
-use crate::snapshot::{AnySnapshot, Snapshot, OCULAR_KIND};
+use crate::snapshot::{AnySnapshot, LoadedSnapshot, Snapshot, OCULAR_KIND};
 use ocular_api::{validate_basket, Model, OcularError};
 use ocular_core::model::prob_from_affinity;
 use ocular_core::topm::{top_m_excluding, TopM};
@@ -113,6 +113,11 @@ pub struct ServedList {
     /// true under [`CandidatePolicy::Clusters`] for non-co-clustered
     /// kinds).
     pub fell_back: bool,
+    /// Whether a *warm* request was answered by request-time fold-in
+    /// because the user is newer than the active snapshot (present in the
+    /// refreshed dataset, absent from the model). Always false for cold
+    /// requests — fold-in is their normal path, not a fallback.
+    pub folded_in: bool,
 }
 
 /// Request-level serving failures — the workspace-wide
@@ -147,6 +152,166 @@ impl EngineModel {
     }
 }
 
+/// What an [`EngineBuilder`] builds an engine around.
+enum EngineSource {
+    /// A loaded snapshot of any kind.
+    Any(AnySnapshot),
+    /// An OCuLaR factor model — the builder derives the candidate index
+    /// with its configured [`IndexConfig`].
+    Model(FactorModel),
+    /// Any boxed [`Model`] (no snapshot file involved) — the programmatic
+    /// path for baseline kinds.
+    Boxed(Box<dyn Model>),
+}
+
+/// The one way to construct a [`ServeEngine`] — from a snapshot, an
+/// OCuLaR model, or any boxed [`Model`], plus the serving dataset and
+/// knobs. Replaces the accreted `new` / `from_any` / `from_recommender` /
+/// `from_model` constructors (now thin deprecated shims over this).
+///
+/// ```ignore
+/// let engine = EngineBuilder::from_loaded(loaded)   // LoadedSnapshot
+///     .dataset(interactions)
+///     .candidates(CandidatePolicy::Clusters { min_candidates: 50 })
+///     .build()?;
+/// ```
+///
+/// The dataset may be **larger** than the model on both axes (dataset ⊇
+/// model): users and items appended after the snapshot was trained are
+/// served by request-time fold-in until the next retrain/hot-swap — the
+/// live-refresh contract. A dataset *smaller* than the model is still a
+/// [`OcularError::ShapeMismatch`].
+pub struct EngineBuilder {
+    source: EngineSource,
+    dataset: Option<Dataset>,
+    cfg: ServeConfig,
+    index_cfg: IndexConfig,
+    generation: u64,
+}
+
+impl EngineBuilder {
+    /// Starts from a snapshot of any model kind.
+    pub fn from_snapshot(snapshot: AnySnapshot) -> Self {
+        EngineBuilder {
+            source: EngineSource::Any(snapshot),
+            dataset: None,
+            cfg: ServeConfig::default(),
+            index_cfg: IndexConfig::default(),
+            generation: 0,
+        }
+    }
+
+    /// Starts from a freshly loaded snapshot, adopting its generation
+    /// metadata when the file carries any (see
+    /// [`crate::snapshot::LoadedSnapshot`]).
+    pub fn from_loaded(loaded: LoadedSnapshot) -> Self {
+        let generation = loaded.meta.map_or(0, |m| m.generation);
+        Self::from_snapshot(loaded.snapshot).generation(generation)
+    }
+
+    /// Starts from an OCuLaR factor model; the builder derives the
+    /// co-cluster candidate index with the configured
+    /// [`EngineBuilder::index_config`].
+    pub fn from_model(model: FactorModel) -> Self {
+        EngineBuilder {
+            source: EngineSource::Model(model),
+            dataset: None,
+            cfg: ServeConfig::default(),
+            index_cfg: IndexConfig::default(),
+            generation: 0,
+        }
+    }
+
+    /// Starts from any boxed [`Model`] — the programmatic path for
+    /// baseline kinds.
+    pub fn from_recommender(model: Box<dyn Model>) -> Self {
+        EngineBuilder {
+            source: EngineSource::Boxed(model),
+            dataset: None,
+            cfg: ServeConfig::default(),
+            index_cfg: IndexConfig::default(),
+            generation: 0,
+        }
+    }
+
+    /// The serving interaction [`Dataset`] — owned-item exclusion, id
+    /// maps, and fold-in baskets for users newer than the model. Required.
+    pub fn dataset(mut self, dataset: Dataset) -> Self {
+        self.dataset = Some(dataset);
+        self
+    }
+
+    /// Replaces the whole [`ServeConfig`] at once.
+    pub fn config(mut self, cfg: ServeConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Candidate-generation policy knob.
+    pub fn candidates(mut self, policy: CandidatePolicy) -> Self {
+        self.cfg.candidates = policy;
+        self
+    }
+
+    /// Top-M length used when a request does not specify `m`.
+    pub fn default_m(mut self, m: usize) -> Self {
+        self.cfg.default_m = m;
+        self
+    }
+
+    /// Index build parameters, used only by [`EngineBuilder::from_model`].
+    pub fn index_config(mut self, index_cfg: IndexConfig) -> Self {
+        self.index_cfg = index_cfg;
+        self
+    }
+
+    /// Model generation served by this engine (reported in responses and
+    /// `/stats`; the hot-swap tier keeps it monotone across reloads).
+    pub fn generation(mut self, generation: u64) -> Self {
+        self.generation = generation;
+        self
+    }
+
+    /// Builds the engine, validating dataset ⊇ model.
+    pub fn build(self) -> Result<ServeEngine, OcularError> {
+        let model = match self.source {
+            EngineSource::Any(AnySnapshot::Ocular(s)) => EngineModel::Ocular {
+                model: s.model,
+                index: s.index,
+            },
+            EngineSource::Any(AnySnapshot::Other(m)) => EngineModel::Generic(m),
+            EngineSource::Model(m) => {
+                let s = Snapshot::build(m, &self.index_cfg);
+                EngineModel::Ocular {
+                    model: s.model,
+                    index: s.index,
+                }
+            }
+            EngineSource::Boxed(m) => EngineModel::Generic(m),
+        };
+        let owned = self.dataset.ok_or_else(|| {
+            OcularError::InvalidConfig(
+                "EngineBuilder needs a serving dataset (call .dataset(...))".into(),
+            )
+        })?;
+        // dataset ⊇ model: equal shapes are the steady state, a strictly
+        // larger dataset means deltas arrived since the snapshot was
+        // trained and the overhang is served by fold-in.
+        if owned.n_users() < model.n_users() || owned.n_items() < model.n_items() {
+            return Err(OcularError::ShapeMismatch {
+                expected: (model.n_users(), model.n_items()),
+                found: (owned.n_users(), owned.n_items()),
+            });
+        }
+        Ok(ServeEngine {
+            model,
+            owned,
+            cfg: self.cfg,
+            generation: self.generation,
+        })
+    }
+}
+
 /// The in-process serving engine.
 ///
 /// Holds the loaded model (any snapshot kind) and the training
@@ -154,69 +319,70 @@ impl EngineModel {
 /// resolving external-id requests through the dataset's id maps. All
 /// serving methods take `&self`, so one engine can be shared across
 /// threads; [`ServeEngine::serve_batch`] does exactly that via rayon.
+///
+/// Construct through [`EngineBuilder`].
 pub struct ServeEngine {
     model: EngineModel,
     owned: Dataset,
     cfg: ServeConfig,
+    generation: u64,
 }
 
 impl ServeEngine {
     /// Builds an engine from a loaded OCuLaR snapshot and the training
-    /// interactions. The interactions must match the model's shape.
+    /// interactions.
+    #[deprecated(since = "0.1.0", note = "use EngineBuilder::from_snapshot")]
     pub fn new(
         snapshot: Snapshot,
         interactions: Dataset,
         cfg: ServeConfig,
     ) -> Result<Self, OcularError> {
-        Self::from_any(AnySnapshot::Ocular(snapshot), interactions, cfg)
+        EngineBuilder::from_snapshot(AnySnapshot::Ocular(snapshot))
+            .dataset(interactions)
+            .config(cfg)
+            .build()
     }
 
     /// Builds an engine from a snapshot of *any* model kind.
+    #[deprecated(since = "0.1.0", note = "use EngineBuilder::from_snapshot")]
     pub fn from_any(
         snapshot: AnySnapshot,
         interactions: Dataset,
         cfg: ServeConfig,
     ) -> Result<Self, OcularError> {
-        let model = match snapshot {
-            AnySnapshot::Ocular(s) => EngineModel::Ocular {
-                model: s.model,
-                index: s.index,
-            },
-            AnySnapshot::Other(m) => EngineModel::Generic(m),
-        };
-        if interactions.n_users() != model.n_users() || interactions.n_items() != model.n_items() {
-            return Err(OcularError::ShapeMismatch {
-                expected: (model.n_users(), model.n_items()),
-                found: (interactions.n_users(), interactions.n_items()),
-            });
-        }
-        Ok(ServeEngine {
-            model,
-            owned: interactions,
-            cfg,
-        })
+        EngineBuilder::from_snapshot(snapshot)
+            .dataset(interactions)
+            .config(cfg)
+            .build()
     }
 
-    /// Builds an engine around any boxed [`Model`] (no snapshot file
-    /// involved) — the programmatic path for baseline kinds.
+    /// Builds an engine around any boxed [`Model`].
+    #[deprecated(since = "0.1.0", note = "use EngineBuilder::from_recommender")]
     pub fn from_recommender(
         model: Box<dyn Model>,
         interactions: Dataset,
         cfg: ServeConfig,
     ) -> Result<Self, OcularError> {
-        Self::from_any(AnySnapshot::Other(model), interactions, cfg)
+        EngineBuilder::from_recommender(model)
+            .dataset(interactions)
+            .config(cfg)
+            .build()
     }
 
     /// Convenience constructor: derives the snapshot (index included) from
-    /// an OCuLaR model with the given index build parameters (see
-    /// [`ClusterIndex::build`]).
+    /// an OCuLaR model with the given index build parameters.
+    #[deprecated(since = "0.1.0", note = "use EngineBuilder::from_model")]
     pub fn from_model(
         model: FactorModel,
         interactions: Dataset,
         index_cfg: &IndexConfig,
         cfg: ServeConfig,
     ) -> Result<Self, OcularError> {
-        Self::new(Snapshot::build(model, index_cfg), interactions, cfg)
+        EngineBuilder::from_model(model)
+            .dataset(interactions)
+            .index_config(*index_cfg)
+            .config(cfg)
+            .build()
     }
 
     /// The training interaction store behind the engine — owned-item
@@ -271,6 +437,24 @@ impl ServeEngine {
             EngineModel::Ocular { .. } => OCULAR_KIND,
             EngineModel::Generic(m) => m.kind(),
         }
+    }
+
+    /// The model generation this engine serves (0 when never set) —
+    /// stamped into responses and `/stats`, kept monotone across hot
+    /// swaps by [`crate::swap::SwapEngine`].
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Users the model was trained on; dataset users at or past this row
+    /// arrived after the snapshot and are served by fold-in.
+    pub fn model_users(&self) -> usize {
+        self.model.n_users()
+    }
+
+    /// Items the model was trained on (recommendable catalog).
+    pub fn model_items(&self) -> usize {
+        self.model.n_items()
     }
 
     /// The engine's configuration.
@@ -348,7 +532,10 @@ impl ServeEngine {
                 } else {
                     None
                 };
-                WireReply::Ok(WireResponse::new(req, list, translate))
+                WireReply::Ok(
+                    WireResponse::new(req, list, translate)
+                        .with_model(self.generation, self.kind()),
+                )
             }
         }
     }
@@ -363,9 +550,25 @@ impl ServeEngine {
 
     fn serve_warm(&self, user: usize, m: usize) -> Result<ServedList, ServeError> {
         if user >= self.model.n_users() {
+            // dataset ⊇ model: a row past the model but inside the dataset
+            // belongs to a user appended after the snapshot was trained —
+            // serve them by request-time fold-in on their interactions
+            // (truncated to the model's catalog) until the next hot swap.
+            if user < self.owned.n_users() {
+                let basket: Vec<usize> = self
+                    .owned
+                    .row(user)
+                    .iter()
+                    .map(|&i| i as usize)
+                    .filter(|&i| i < self.model.n_items())
+                    .collect();
+                let mut list = self.serve_cold(&basket, m)?;
+                list.folded_in = true;
+                return Ok(list);
+            }
             return Err(OcularError::UnknownUser {
                 user,
-                n_users: self.model.n_users(),
+                n_users: self.owned.n_users(),
             });
         }
         match &self.model {
@@ -410,6 +613,7 @@ impl ServeEngine {
             items: top_m_excluding(scores, exclude, m),
             scored: scores.len(),
             fell_back: !matches!(self.cfg.candidates, CandidatePolicy::FullCatalog),
+            folded_in: false,
         }
     }
 
@@ -483,6 +687,7 @@ impl ServeEngine {
             items: heap.into_sorted(),
             scored,
             fell_back: false,
+            folded_in: false,
         }
     }
 }
@@ -544,16 +749,15 @@ mod tests {
             foldin: train_cfg,
             ..Default::default()
         };
-        let e = ServeEngine::from_model(
-            model,
-            r.clone(),
-            &IndexConfig {
+        let e = EngineBuilder::from_model(model)
+            .dataset(r.clone())
+            .index_config(IndexConfig {
                 rel: 0.5,
                 floor: 10,
-            },
-            cfg,
-        )
-        .unwrap();
+            })
+            .config(cfg)
+            .build()
+            .unwrap();
         (e, r)
     }
 
@@ -661,28 +865,116 @@ mod tests {
 
     #[test]
     fn shape_mismatch_rejected() {
+        // a dataset *smaller* than the model is unusable — exclusion rows
+        // and fold-in baskets would be missing
         let (model, _r, _) = trained();
         let bad = Dataset::from_matrix(ocular_sparse::CsrMatrix::empty(3, 3));
         assert!(matches!(
-            ServeEngine::from_model(model, bad, &IndexConfig::default(), ServeConfig::default()),
+            EngineBuilder::from_model(model).dataset(bad).build(),
             Err(OcularError::ShapeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn builder_requires_a_dataset() {
+        let (model, _, _) = trained();
+        assert!(matches!(
+            EngineBuilder::from_model(model).build(),
+            Err(OcularError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn deprecated_constructors_still_build() {
+        let (model, r, _) = trained();
+        #[allow(deprecated)]
+        let e = ServeEngine::from_model(
+            model,
+            r.clone(),
+            &IndexConfig::default(),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(e.generation(), 0);
+        assert!(e.serve_one(&Request::Warm { user: 0, m: 3 }).is_ok());
+    }
+
+    #[test]
+    fn users_newer_than_the_model_are_served_by_fold_in() {
+        let (model, r, train_cfg) = trained();
+        let (model_users, model_items) = (model.n_users(), model.n_items());
+        // append a delta: one brand-new user interacting with items the
+        // model knows, plus a brand-new item the model does not
+        let grown = r
+            .append_deltas([
+                (model_users as u64, 0),
+                (model_users as u64, 3),
+                (model_users as u64, model_items as u64), // beyond the catalog
+            ])
+            .unwrap();
+        let e = EngineBuilder::from_model(model)
+            .dataset(grown)
+            .config(ServeConfig {
+                default_m: 5,
+                candidates: CandidatePolicy::FullCatalog,
+                foldin: train_cfg,
+                ..Default::default()
+            })
+            .generation(3)
+            .build()
+            .unwrap();
+        assert_eq!(e.generation(), 3);
+        assert_eq!(e.model_users(), model_users);
+
+        // the new user serves via fold-in on the model-known part of
+        // their basket, and the response says so
+        let served = e
+            .serve_one(&Request::Warm {
+                user: model_users,
+                m: 5,
+            })
+            .unwrap();
+        assert!(served.folded_in);
+        assert_eq!(served.items.len(), 5);
+        assert!(served.items.iter().all(|x| ![0, 3].contains(&x.item)));
+        // identical to the equivalent cold request, telemetry aside
+        let cold = e
+            .serve_one(&Request::Cold {
+                basket: vec![0, 3],
+                m: 5,
+            })
+            .unwrap();
+        assert_eq!(served.items, cold.items);
+        assert!(!cold.folded_in);
+
+        // existing users still serve warm
+        assert!(
+            !e.serve_one(&Request::Warm { user: 0, m: 5 })
+                .unwrap()
+                .folded_in
+        );
+        // users beyond even the dataset are still unknown, reported
+        // against the dataset's user count
+        let err = e
+            .serve_one(&Request::Warm {
+                user: model_users + 1,
+                m: 5,
+            })
+            .unwrap_err();
+        assert!(matches!(err, ServeError::UnknownUser { n_users, .. }
+            if n_users == model_users + 1));
     }
 
     #[test]
     fn generic_kind_served_exactly_with_cluster_policy_degrading() {
         let (_, r, _) = trained();
         let knn = ItemKnn::fit(&r, &KnnConfig { k: 10 });
-        let e = ServeEngine::from_recommender(
-            Box::new(knn.clone()),
-            r.clone(),
-            ServeConfig {
-                default_m: 5,
-                candidates: CandidatePolicy::Clusters { min_candidates: 5 },
-                ..Default::default()
-            },
-        )
-        .unwrap();
+        let e = EngineBuilder::from_recommender(Box::new(knn.clone()))
+            .dataset(r.clone())
+            .default_m(5)
+            .candidates(CandidatePolicy::Clusters { min_candidates: 5 })
+            .build()
+            .unwrap();
         assert_eq!(e.kind(), "item-knn");
         for u in 0..r.n_rows() {
             let served = e.serve_one(&Request::Warm { user: u, m: 7 }).unwrap();
@@ -708,12 +1000,10 @@ mod tests {
     #[test]
     fn generic_kind_without_fold_in_rejects_cold_requests() {
         let (_, r, _) = trained();
-        let e = ServeEngine::from_recommender(
-            Box::new(UserKnn::fit(&r, &KnnConfig { k: 10 })),
-            r.clone(),
-            ServeConfig::default(),
-        )
-        .unwrap();
+        let e = EngineBuilder::from_recommender(Box::new(UserKnn::fit(&r, &KnnConfig { k: 10 })))
+            .dataset(r.clone())
+            .build()
+            .unwrap();
         assert!(matches!(
             e.serve_one(&Request::Cold {
                 basket: vec![0],
@@ -728,12 +1018,10 @@ mod tests {
     #[test]
     fn generic_batch_deterministic_across_threads() {
         let (_, r, _) = trained();
-        let e = ServeEngine::from_recommender(
-            Box::new(Popularity::fit(&r)),
-            r.clone(),
-            ServeConfig::default(),
-        )
-        .unwrap();
+        let e = EngineBuilder::from_recommender(Box::new(Popularity::fit(&r)))
+            .dataset(r.clone())
+            .build()
+            .unwrap();
         let reqs: Vec<Request> = (0..r.n_rows())
             .map(|user| Request::Warm { user, m: 6 })
             .collect();
@@ -763,16 +1051,15 @@ mod tests {
             foldin: train_cfg,
             ..Default::default()
         };
-        let e = ServeEngine::from_model(
-            model,
-            d.clone(),
-            &IndexConfig {
+        let e = EngineBuilder::from_model(model)
+            .dataset(d.clone())
+            .index_config(IndexConfig {
                 rel: 0.5,
                 floor: 10,
-            },
-            cfg,
-        )
-        .unwrap();
+            })
+            .config(cfg)
+            .build()
+            .unwrap();
         (e, d)
     }
 

@@ -101,6 +101,14 @@ impl Json {
         }
     }
 
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as an array slice, if it is an array.
     pub fn as_array(&self) -> Option<&[Json]> {
         match self {

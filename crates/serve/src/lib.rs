@@ -42,7 +42,7 @@
 //! ## Example
 //!
 //! ```
-//! use ocular_serve::{CandidatePolicy, IndexConfig, Request, ServeConfig, ServeEngine};
+//! use ocular_serve::Request;
 //! use ocular_core::{fit, OcularConfig};
 //! use ocular_sparse::io::read_edge_list_str;
 //!
@@ -52,7 +52,7 @@
 //!     "\t", None,
 //! ).unwrap().into_dataset();
 //! let model = fit(&r, &OcularConfig { k: 2, lambda: 0.05, seed: 7, ..Default::default() }).model;
-//! let engine = ServeEngine::from_model(model, r, &IndexConfig::default(), ServeConfig::default()).unwrap();
+//! let engine = ocular_serve::EngineBuilder::from_model(model).dataset(r).build().unwrap();
 //! // requests can arrive with the ingestion-time external ids
 //! let out = engine.serve_one(&Request::WarmExternal { user: 100, m: 2 }).unwrap();
 //! assert_eq!(out.items.len(), 2);
@@ -67,8 +67,12 @@ pub mod json;
 pub mod net;
 pub mod protocol;
 pub mod snapshot;
+pub mod swap;
 
-pub use engine::{CandidatePolicy, Request, ServeConfig, ServeEngine, ServeError, ServedList};
+pub use engine::{
+    CandidatePolicy, EngineBuilder, Request, ServeConfig, ServeEngine, ServeError, ServedList,
+};
 pub use index::{ClusterIndex, IndexConfig};
 pub use protocol::{WireError, WireReply, WireRequest, WireResponse, PROTOCOL_VERSION};
-pub use snapshot::{AnySnapshot, Snapshot, SnapshotFormat, OCULAR_KIND};
+pub use snapshot::{AnySnapshot, LoadedSnapshot, Snapshot, SnapshotFormat, OCULAR_KIND};
+pub use swap::SwapEngine;

@@ -6,7 +6,9 @@
 //! * [`stats`] — lock-free counters and log-bucketed latency histograms
 //!   behind `GET /stats`;
 //! * [`server`] (Linux only) — the epoll event loop, worker-pool request
-//!   coalescing, keep-alive + pipelining, admission control;
+//!   coalescing, keep-alive + pipelining, admission control, and the
+//!   control plane (`POST /admin/reload` + `SIGHUP` hot swaps through
+//!   [`crate::swap::SwapEngine`]);
 //! * [`loadgen`] — the closed-loop load generator used by the `loadgen`
 //!   binary and the network benchmarks.
 //!

@@ -1,6 +1,6 @@
 //! The non-blocking TCP front-end (Linux only): one epoll-driven I/O
 //! thread feeding a [`WorkerPool`] that answers batches through
-//! [`ServeEngine::serve_batch`].
+//! [`crate::ServeEngine::serve_batch`].
 //!
 //! ## Architecture
 //!
@@ -39,10 +39,11 @@ use std::time::{Duration, Instant};
 use ocular_bytes::net::{Epoll, Event, EventFd, Interest};
 use ocular_parallel::WorkerPool;
 
-use crate::engine::{Request, ServeEngine};
+use crate::engine::Request;
 use crate::net::http::{self, ParseOutcome};
 use crate::net::stats::ServerStats;
-use crate::protocol::{WireError, WireReply, WireRequest};
+use crate::protocol::{ErrorCode, WireError, WireReply, WireRequest};
+use crate::swap::{ReloadError, SwapEngine};
 
 /// Tuning knobs for a [`Server`].
 #[derive(Debug, Clone)]
@@ -50,7 +51,7 @@ pub struct ServerConfig {
     /// Maximum engine requests in flight (queued + being served) before
     /// admission control starts answering `overloaded`.
     pub queue_cap: usize,
-    /// Maximum requests coalesced into one [`ServeEngine::serve_batch`]
+    /// Maximum requests coalesced into one [`crate::ServeEngine::serve_batch`]
     /// call.
     pub batch_max: usize,
     /// Serve worker threads (the I/O thread is separate).
@@ -164,10 +165,15 @@ struct Completion {
 
 /// The TCP serving front-end. [`Server::bind`] then [`Server::run`] on a
 /// dedicated thread (or [`Server::spawn`] to get a [`RunningServer`]).
+///
+/// The server holds a [`SwapEngine`], not a bare engine: every worker
+/// batch pins the engine current at dispatch time, so a hot swap
+/// (`POST /admin/reload` or `SIGHUP`, when the handle has a reload
+/// source) lands without dropping or mixing in-flight requests.
 pub struct Server {
     listener: TcpListener,
     addr: SocketAddr,
-    engine: Arc<ServeEngine>,
+    engine: Arc<SwapEngine>,
     cfg: ServerConfig,
     stats: Arc<ServerStats>,
     stop: Arc<AtomicBool>,
@@ -178,7 +184,7 @@ impl Server {
     /// Binds the listening socket (non-blocking) without starting the
     /// event loop.
     pub fn bind<A: ToSocketAddrs>(
-        engine: Arc<ServeEngine>,
+        engine: Arc<SwapEngine>,
         addr: A,
         cfg: ServerConfig,
     ) -> std::io::Result<Server> {
@@ -247,6 +253,7 @@ impl Server {
             wake,
         } = self;
         let signal_stop = cfg.handle_signals.then(ocular_bytes::net::shutdown_flag);
+        let signal_reload = cfg.handle_signals.then(ocular_bytes::net::reload_flag);
 
         let epoll = Epoll::new()?;
         const TOKEN_LISTENER: u64 = 0;
@@ -269,6 +276,21 @@ impl Server {
         let mut drain_deadline = Instant::now();
 
         loop {
+            // SIGHUP = hot reload, detached from the request path: the
+            // event loop only spawns the reload thread and keeps serving.
+            if let Some(flag) = signal_reload {
+                if ocular_bytes::net::take_reload_request(flag) {
+                    stats.reloads.fetch_add(1, Ordering::Relaxed);
+                    let swap = Arc::clone(&engine);
+                    let _ = std::thread::Builder::new()
+                        .name("ocular-reload".into())
+                        .spawn(move || {
+                            if let Err(e) = swap.reload() {
+                                eprintln!("reload (SIGHUP) failed: {e}");
+                            }
+                        });
+                }
+            }
             let stop_requested = stop.load(Ordering::Relaxed)
                 || signal_stop.is_some_and(|f| f.load(Ordering::Relaxed));
             if stop_requested && !draining {
@@ -328,6 +350,9 @@ impl Server {
                                     &mut inbox,
                                     &mut in_flight,
                                     cfg.queue_cap,
+                                    &engine,
+                                    &comp_tx,
+                                    &wake,
                                 );
                             }
                         }
@@ -341,7 +366,10 @@ impl Server {
                 let batch: Vec<PendingJob> = inbox.drain(..take).collect();
                 let hist_idx = (batch_counter as usize) % stats.histograms.len();
                 batch_counter += 1;
-                let engine = Arc::clone(&engine);
+                // Pin the engine current at dispatch: the whole batch is
+                // answered by one model generation, and a concurrent swap
+                // cannot unmap it until this Arc (the last borrower) drops.
+                let engine = engine.engine();
                 let stats = Arc::clone(&stats);
                 let tx = comp_tx.clone();
                 let wake = Arc::clone(&wake);
@@ -517,7 +545,9 @@ fn accept_all(
 
 /// Reads everything available, parses complete HTTP requests and routes
 /// them: engine requests into `inbox` (or an immediate `overloaded` /
-/// decode-error response), `/stats` and `/healthz` answered inline.
+/// decode-error response), `/stats` and `/healthz` answered inline,
+/// `/admin/reload` dispatched to a dedicated reload thread.
+#[allow(clippy::too_many_arguments)]
 fn read_and_route(
     conn_idx: usize,
     conn: &mut Conn,
@@ -525,6 +555,9 @@ fn read_and_route(
     inbox: &mut Vec<PendingJob>,
     in_flight: &mut usize,
     queue_cap: usize,
+    swap: &Arc<SwapEngine>,
+    comp_tx: &Sender<Completion>,
+    wake: &Arc<EventFd>,
 ) {
     let mut chunk = [0u8; 16 * 1024];
     loop {
@@ -549,7 +582,9 @@ fn read_and_route(
             Ok(ParseOutcome::Complete(req, consumed)) => {
                 conn.read_buf.drain(..consumed);
                 stats.requests.fetch_add(1, Ordering::Relaxed);
-                route(conn_idx, conn, req, stats, inbox, in_flight, queue_cap);
+                route(
+                    conn_idx, conn, req, stats, inbox, in_flight, queue_cap, swap, comp_tx, wake,
+                );
             }
             Err(e) => {
                 // Framing is broken — answer once and close; there is no
@@ -563,6 +598,7 @@ fn read_and_route(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn route(
     conn_idx: usize,
     conn: &mut Conn,
@@ -571,6 +607,9 @@ fn route(
     inbox: &mut Vec<PendingJob>,
     in_flight: &mut usize,
     queue_cap: usize,
+    swap: &Arc<SwapEngine>,
+    comp_tx: &Sender<Completion>,
+    wake: &Arc<EventFd>,
 ) {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/recommend") | ("POST", "/") => {
@@ -606,8 +645,67 @@ fn route(
                 }
             }
         }
+        ("POST", "/admin/reload") => {
+            // Claim a response slot now, run the reload on a dedicated
+            // thread, and let it complete the slot like any worker batch:
+            // the event loop never blocks on model loading, the client
+            // gets the actual outcome, and a shutdown drain waits for it.
+            stats.reloads.fetch_add(1, Ordering::Relaxed);
+            let seq = conn.claim_slot(req.keep_alive);
+            *in_flight += 1;
+            let keep_alive = req.keep_alive;
+            let conn_gen = conn.gen;
+            let swap = Arc::clone(swap);
+            let tx = comp_tx.clone();
+            let thread_wake = Arc::clone(wake);
+            let spawned = std::thread::Builder::new()
+                .name("ocular-reload".into())
+                .spawn(move || {
+                    let (status, mut body) = match swap.reload() {
+                        Ok(generation) => (
+                            200,
+                            format!("{{\"ok\":true,\"model_generation\":{generation}}}"),
+                        ),
+                        Err(e) => {
+                            let err = reload_wire_error(e);
+                            (err.code.http_status(), WireReply::Err(err).encode())
+                        }
+                    };
+                    body.push('\n');
+                    let _ = tx.send(Completion {
+                        conn_idx,
+                        gen: conn_gen,
+                        seq,
+                        bytes: http::format_response(status, body.as_bytes(), keep_alive),
+                    });
+                    thread_wake.notify();
+                });
+            if spawned.is_err() {
+                let err = WireError {
+                    code: ErrorCode::Internal,
+                    message: "failed to spawn reload thread".into(),
+                };
+                let mut body = WireReply::Err(err).encode();
+                body.push('\n');
+                let _ = comp_tx.send(Completion {
+                    conn_idx,
+                    gen: conn_gen,
+                    seq,
+                    bytes: http::format_response(500, body.as_bytes(), keep_alive),
+                });
+                wake.notify();
+            }
+        }
         ("GET", "/stats") => {
-            let mut body = stats.to_json().to_string();
+            let current = swap.engine();
+            let mut body = stats
+                .to_json_with_model(
+                    current.generation(),
+                    current.kind(),
+                    swap.swap_count(),
+                    swap.reloading(),
+                )
+                .to_string();
             body.push('\n');
             conn.push_ready(200, body.as_bytes(), req.keep_alive);
         }
@@ -620,6 +718,20 @@ fn route(
                 .to_string();
             conn.push_ready(404, body.as_bytes(), req.keep_alive);
         }
+    }
+}
+
+/// Maps a reload failure to its wire error: `Busy` → the `reloading`
+/// code (503), `NoSource` → `unsupported` (501), load/build failures →
+/// the standard [`OcularError`] taxonomy mapping.
+fn reload_wire_error(e: ReloadError) -> WireError {
+    match e {
+        ReloadError::Busy => WireError::reloading(),
+        ReloadError::NoSource => WireError {
+            code: ErrorCode::Unsupported,
+            message: "server was started without a reload source".into(),
+        },
+        ReloadError::Failed(err) => WireError::from(&err),
     }
 }
 

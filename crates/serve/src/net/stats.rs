@@ -122,6 +122,10 @@ pub struct ServerStats {
     pub shed: AtomicU64,
     /// Requests rejected before the engine (HTTP or protocol decode).
     pub bad_requests: AtomicU64,
+    /// Hot-reload attempts (`POST /admin/reload` + `SIGHUP`), successful
+    /// or not; completed swaps are reported separately from the swap
+    /// handle.
+    pub reloads: AtomicU64,
     /// Per-worker latency histograms (request arrival → response bytes
     /// queued), merged at read time.
     pub histograms: Vec<LatencyHistogram>,
@@ -137,6 +141,7 @@ impl ServerStats {
             served: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
             histograms: (0..workers.max(1))
                 .map(|_| LatencyHistogram::new())
                 .collect(),
@@ -204,6 +209,31 @@ impl ServerStats {
             ),
             ("latency_us".into(), latency),
         ])
+    }
+
+    /// The `/stats` body with the serving model's identity appended:
+    /// which `model_generation` and `kind` answer requests right now,
+    /// how many hot `swaps` have landed, whether a reload is in flight,
+    /// and how many `reloads` were attempted.
+    pub fn to_json_with_model(
+        &self,
+        generation: u64,
+        kind: &str,
+        swaps: u64,
+        reloading: bool,
+    ) -> Json {
+        let Json::Obj(mut fields) = self.to_json() else {
+            unreachable!("stats body is an object");
+        };
+        fields.push(("model_generation".into(), Json::Int(generation)));
+        fields.push(("kind".into(), Json::Str(kind.to_string())));
+        fields.push(("swaps".into(), Json::Int(swaps)));
+        fields.push(("reloading".into(), Json::Bool(reloading)));
+        fields.push((
+            "reloads".into(),
+            Json::Int(self.reloads.load(Ordering::Relaxed)),
+        ));
+        Json::Obj(fields)
     }
 }
 
@@ -279,5 +309,18 @@ mod tests {
         let lat = back.get("latency_us").unwrap();
         assert_eq!(lat.get("count").unwrap().as_u64(), Some(1));
         assert!(lat.get("p50").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn stats_json_carries_the_model_identity() {
+        let stats = ServerStats::new(1);
+        stats.reloads.store(4, Ordering::Relaxed);
+        let text = stats.to_json_with_model(9, "ocular", 3, true).to_string();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.get("model_generation").unwrap().as_u64(), Some(9));
+        assert_eq!(back.get("kind").unwrap().as_str(), Some("ocular"));
+        assert_eq!(back.get("swaps").unwrap().as_u64(), Some(3));
+        assert_eq!(back.get("reloading"), Some(&Json::Bool(true)));
+        assert_eq!(back.get("reloads").unwrap().as_u64(), Some(4));
     }
 }

@@ -34,6 +34,14 @@
 //! (`item_ids` present exactly when the engine has id maps; cold requests
 //! echo `"cold":true`, external warm requests echo `"user_id"`.)
 //!
+//! Three v1-additive trailing fields carry live-refresh telemetry:
+//! `"folded_in":true` when a warm user newer than the active snapshot was
+//! served by request-time fold-in (absent means false), and
+//! `"model_generation"` / `"kind"` identify the model that answered —
+//! what lets a client observe a hot swap land. Additive means the v1
+//! shape is unchanged: decoders that ignore unknown fields keep working,
+//! and the version stays `"v": 1`.
+//!
 //! Error response — a typed taxonomy mapped from
 //! [`OcularError`], message first for human eyes, machine-readable code
 //! second:
@@ -74,6 +82,8 @@ pub enum ErrorCode {
     Unsupported,
     /// Admission control shed the request: the pending queue was full.
     Overloaded,
+    /// A control-plane reload is already in flight (one at a time).
+    Reloading,
     /// Any other engine failure (I/O, corruption, shape mismatch).
     Internal,
 }
@@ -90,6 +100,7 @@ impl ErrorCode {
             ErrorCode::BadBasket => "bad_basket",
             ErrorCode::Unsupported => "unsupported",
             ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Reloading => "reloading",
             ErrorCode::Internal => "internal",
         }
     }
@@ -105,6 +116,7 @@ impl ErrorCode {
             "bad_basket" => ErrorCode::BadBasket,
             "unsupported" => ErrorCode::Unsupported,
             "overloaded" => ErrorCode::Overloaded,
+            "reloading" => ErrorCode::Reloading,
             "internal" => ErrorCode::Internal,
             _ => return None,
         })
@@ -118,6 +130,7 @@ impl ErrorCode {
             ErrorCode::UnknownUser | ErrorCode::UnknownItem | ErrorCode::UnknownId => 404,
             ErrorCode::Unsupported => 501,
             ErrorCode::Overloaded => 429,
+            ErrorCode::Reloading => 503,
             ErrorCode::Internal => 500,
         }
     }
@@ -139,6 +152,14 @@ impl WireError {
         WireError {
             code: ErrorCode::BadRequest,
             message: message.into(),
+        }
+    }
+
+    /// The control-plane busy response: a reload is already in flight.
+    pub fn reloading() -> WireError {
+        WireError {
+            code: ErrorCode::Reloading,
+            message: "reload already in flight; retry after it completes".into(),
         }
     }
 
@@ -373,6 +394,16 @@ pub struct WireResponse {
     pub scored: usize,
     /// Whether candidate generation fell back to the full catalog.
     pub fallback: bool,
+    /// Whether a warm request was answered by request-time fold-in
+    /// because the user is newer than the active snapshot. Encoded only
+    /// when true (v1 additive field — absent means false).
+    pub folded_in: bool,
+    /// Generation of the model that served this request (v1 additive
+    /// field, present when the engine knows it).
+    pub model_generation: Option<u64>,
+    /// Kind tag of the model that served this request (v1 additive
+    /// field, present when the engine knows it).
+    pub kind: Option<String>,
 }
 
 impl WireResponse {
@@ -396,7 +427,18 @@ impl WireResponse {
             items,
             scored: list.scored,
             fallback: list.fell_back,
+            folded_in: list.folded_in,
+            model_generation: None,
+            kind: None,
         }
+    }
+
+    /// Stamps the serving engine's identity — model generation and kind —
+    /// into the response (what lets clients observe a hot swap land).
+    pub fn with_model(mut self, generation: u64, kind: &str) -> WireResponse {
+        self.model_generation = Some(generation);
+        self.kind = Some(kind.to_string());
+        self
     }
 
     /// Encodes as the wire JSON object (field order is part of the
@@ -423,6 +465,15 @@ impl WireResponse {
         ));
         fields.push(("scored", Json::Num(self.scored as f64)));
         fields.push(("fallback", Json::Bool(self.fallback)));
+        if self.folded_in {
+            fields.push(("folded_in", Json::Bool(true)));
+        }
+        if let Some(g) = self.model_generation {
+            fields.push(("model_generation", Json::Int(g)));
+        }
+        if let Some(kind) = &self.kind {
+            fields.push(("kind", Json::Str(kind.clone())));
+        }
         obj(fields)
     }
 
@@ -475,6 +526,19 @@ impl WireResponse {
             fallback: match v.get("fallback") {
                 Some(Json::Bool(b)) => *b,
                 _ => return Err("response needs a boolean `fallback`".into()),
+            },
+            folded_in: match v.get("folded_in") {
+                None => false,
+                Some(Json::Bool(b)) => *b,
+                _ => return Err("`folded_in` must be a boolean".into()),
+            },
+            model_generation: match v.get("model_generation") {
+                None => None,
+                Some(g) => Some(g.as_u64().ok_or("`model_generation` must be an integer")?),
+            },
+            kind: match v.get("kind") {
+                None => None,
+                Some(k) => Some(k.as_str().ok_or("`kind` must be a string")?.to_string()),
             },
         })
     }
@@ -604,6 +668,7 @@ mod tests {
             ],
             scored: 42,
             fell_back: true,
+            folded_in: false,
         };
         let resp = WireResponse::new(&Request::Warm { user: 7, m: 2 }, &list, None);
         let line = WireReply::Ok(resp.clone()).encode();
@@ -676,6 +741,47 @@ mod tests {
         let shed = WireError::overloaded(128, 128);
         assert_eq!(shed.code.http_status(), 429);
         assert!(shed.message.contains("128 pending"));
+    }
+
+    #[test]
+    fn live_refresh_fields_are_additive_and_round_trip() {
+        let list = ServedList {
+            items: vec![Recommendation {
+                item: 4,
+                probability: 0.5,
+            }],
+            scored: 10,
+            fell_back: false,
+            folded_in: true,
+        };
+        let resp = WireResponse::new(&Request::Warm { user: 91, m: 1 }, &list, None)
+            .with_model(7, "ocular");
+        let line = WireReply::Ok(resp.clone()).encode();
+        assert_eq!(
+            line,
+            r#"{"user":91,"items":[4],"probs":[0.5],"scored":10,"fallback":false,"folded_in":true,"model_generation":7,"kind":"ocular"}"#
+        );
+        assert_eq!(WireReply::decode(&line).unwrap(), WireReply::Ok(resp));
+
+        // absent fields decode to their defaults — pre-refresh responses
+        // still parse
+        let old = r#"{"user":91,"items":[4],"probs":[0.5],"scored":10,"fallback":false}"#;
+        let WireReply::Ok(decoded) = WireReply::decode(old).unwrap() else {
+            panic!("expected success reply");
+        };
+        assert!(!decoded.folded_in);
+        assert_eq!(decoded.model_generation, None);
+        assert_eq!(decoded.kind, None);
+    }
+
+    #[test]
+    fn reloading_code_maps_to_503_and_round_trips() {
+        let busy = WireError::reloading();
+        assert_eq!(busy.code, ErrorCode::Reloading);
+        assert_eq!(busy.code.http_status(), 503);
+        assert_eq!(ErrorCode::parse("reloading"), Some(ErrorCode::Reloading));
+        let line = WireReply::Err(busy.clone()).encode();
+        assert_eq!(WireReply::decode(&line).unwrap(), WireReply::Err(busy));
     }
 
     #[test]

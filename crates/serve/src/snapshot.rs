@@ -54,7 +54,7 @@
 //! rejected instead of mis-loading.
 
 use crate::index::{ClusterIndex, IndexConfig};
-use ocular_api::binary::{is_v3, SectionReader, SectionWriter};
+use ocular_api::binary::{is_v3, SectionReader, SectionWriter, SnapshotMeta};
 use ocular_api::textio;
 use ocular_api::{Model, OcularError, SnapshotModel};
 use ocular_baselines::{Bpr, ItemKnn, Popularity, UserKnn, Wals};
@@ -72,6 +72,10 @@ const V2_PREFIX: &str = "ocular-snapshot v2";
 const INDEX_HEADER: &str = "cocluster-index v1";
 /// Magic line opening the optional external-id-maps section.
 const IDS_HEADER: &str = "id-maps v1";
+/// Magic line opening the optional live-refresh metadata section
+/// (generation + source-data watermark; see
+/// [`ocular_api::binary::SnapshotMeta`]).
+const META_HEADER: &str = "snapshot-meta v1";
 /// Trailing sentinel proving the snapshot was written to completion.
 const FOOTER: &str = "ocular-snapshot end";
 /// The kind tag of OCuLaR snapshots (canonically defined on
@@ -274,12 +278,46 @@ fn read_ids_line<R: BufRead + ?Sized>(
     Ok(ids)
 }
 
-/// After the payload: parses an optional `id-maps v1` section, then the
-/// trailing sentinel. Returns the id maps if the section was present.
-fn read_ids_then_footer<R: BufRead + ?Sized>(r: &mut R) -> Result<Option<IdMaps>, OcularError> {
-    let line = read_line(r)?;
+/// Writes the optional live-refresh metadata section (one line).
+fn write_meta_section<W: Write>(w: &mut W, meta: &SnapshotMeta) -> std::io::Result<()> {
+    writeln!(
+        w,
+        "{META_HEADER} {} {} {} {}",
+        meta.generation, meta.n_users, meta.n_items, meta.nnz
+    )
+}
+
+/// After the payload: parses the optional trailing sections in order —
+/// `snapshot-meta v1`, then `id-maps v1` — then the trailing sentinel.
+fn read_tail_sections<R: BufRead + ?Sized>(
+    r: &mut R,
+) -> Result<(Option<SnapshotMeta>, Option<IdMaps>), OcularError> {
+    let mut line = read_line(r)?;
+    let mut meta = None;
+    if let Some(rest) = line
+        .strip_prefix(META_HEADER)
+        .and_then(|rest| rest.strip_prefix(' '))
+    {
+        let fields: Vec<u64> = rest
+            .split_whitespace()
+            .map(|f| f.parse::<u64>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| OcularError::Corrupt("snapshot-meta: bad value".into()))?;
+        let [generation, n_users, n_items, nnz] = fields[..] else {
+            return Err(OcularError::Corrupt(
+                "snapshot-meta header needs generation n_users n_items nnz".into(),
+            ));
+        };
+        meta = Some(SnapshotMeta {
+            generation,
+            n_users,
+            n_items,
+            nnz,
+        });
+        line = read_line(r)?;
+    }
     if line == FOOTER {
-        return Ok(None);
+        return Ok((meta, None));
     }
     // the separator is part of the required prefix (same convention as
     // the v2 envelope header), so `id-maps v10 …` is corruption, not a
@@ -289,7 +327,7 @@ fn read_ids_then_footer<R: BufRead + ?Sized>(r: &mut R) -> Result<Option<IdMaps>
         .and_then(|rest| rest.strip_prefix(' '))
         .ok_or_else(|| {
             OcularError::Corrupt(format!(
-                "expected `{IDS_HEADER} …` or `{FOOTER}`, got `{line}`"
+                "expected `{META_HEADER} …`, `{IDS_HEADER} …` or `{FOOTER}`, got `{line}`"
             ))
         })?;
     let fields: Vec<&str> = rest.split_whitespace().collect();
@@ -311,7 +349,12 @@ fn read_ids_then_footer<R: BufRead + ?Sized>(r: &mut R) -> Result<Option<IdMaps>
     if read_line(r)? != FOOTER {
         return Err(OcularError::Corrupt(format!("missing `{FOOTER}` sentinel")));
     }
-    Ok(Some(ids))
+    Ok((meta, Some(ids)))
+}
+
+/// [`read_tail_sections`] for loaders that only need the id maps.
+fn read_ids_then_footer<R: BufRead + ?Sized>(r: &mut R) -> Result<Option<IdMaps>, OcularError> {
+    read_tail_sections(r).map(|(_, ids)| ids)
 }
 
 impl Snapshot {
@@ -409,6 +452,18 @@ impl AnySnapshot {
     /// external↔internal id tables to the serving tier, so external-id
     /// requests resolve without access to the original interaction file.
     pub fn save_with_ids<W: Write>(&self, ids: Option<&IdMaps>, w: &mut W) -> std::io::Result<()> {
+        self.save_full(ids, None, w)
+    }
+
+    /// [`AnySnapshot::save_with_ids`] plus the optional `snapshot-meta`
+    /// section carrying live-refresh provenance (retrain generation +
+    /// source-data watermark).
+    pub fn save_full<W: Write>(
+        &self,
+        ids: Option<&IdMaps>,
+        meta: Option<&SnapshotMeta>,
+        w: &mut W,
+    ) -> std::io::Result<()> {
         let mut w = std::io::BufWriter::new(w);
         match self {
             AnySnapshot::Ocular(s) => {
@@ -425,6 +480,9 @@ impl AnySnapshot {
                 writeln!(w, "{V2_PREFIX} {}", m.kind())?;
                 m.save_model(&mut w)?;
             }
+        }
+        if let Some(meta) = meta {
+            write_meta_section(&mut w, meta)?;
         }
         if let Some(ids) = ids {
             write_ids_section(&mut w, ids)?;
@@ -447,11 +505,22 @@ impl AnySnapshot {
     pub fn load_with_ids<R: BufRead>(
         r: &mut R,
     ) -> Result<(AnySnapshot, Option<IdMaps>), OcularError> {
+        let loaded = Self::load_full(r)?;
+        Ok((loaded.snapshot, loaded.ids))
+    }
+
+    /// [`AnySnapshot::load_with_ids`] that also surfaces the optional
+    /// live-refresh metadata section.
+    pub fn load_full<R: BufRead>(r: &mut R) -> Result<LoadedSnapshot, OcularError> {
         let header = read_line(r).map_err(OcularError::from)?;
         if header == V1_HEADER {
             let snapshot = Snapshot::load_payload(r).map_err(OcularError::from)?;
-            let ids = read_ids_then_footer(r)?;
-            return Ok((AnySnapshot::Ocular(snapshot), ids));
+            let (meta, ids) = read_tail_sections(r)?;
+            return Ok(LoadedSnapshot {
+                snapshot: AnySnapshot::Ocular(snapshot),
+                ids,
+                meta,
+            });
         }
         // the separator is part of the required prefix, so `v2wals` (no
         // space) and version strings like `v2.1` are rejected instead of
@@ -465,21 +534,25 @@ impl AnySnapshot {
                     "bad snapshot header, expected `{V1_HEADER}` or `{V2_PREFIX} <kind>`"
                 ))
             })?;
-        if kind == OCULAR_KIND {
-            let snapshot = Snapshot::load_payload(r).map_err(OcularError::from)?;
-            let ids = read_ids_then_footer(r)?;
-            return Ok((AnySnapshot::Ocular(snapshot), ids));
-        }
-        let model: Box<dyn Model> = match kind {
-            Wals::KIND => Box::new(Wals::load_model(r)?),
-            Bpr::KIND => Box::new(Bpr::load_model(r)?),
-            UserKnn::KIND => Box::new(UserKnn::load_model(r)?),
-            ItemKnn::KIND => Box::new(ItemKnn::load_model(r)?),
-            Popularity::KIND => Box::new(Popularity::load_model(r)?),
-            other => return Err(OcularError::UnknownModelKind(other.to_string())),
+        let snapshot = if kind == OCULAR_KIND {
+            AnySnapshot::Ocular(Snapshot::load_payload(r).map_err(OcularError::from)?)
+        } else {
+            let model: Box<dyn Model> = match kind {
+                Wals::KIND => Box::new(Wals::load_model(r)?),
+                Bpr::KIND => Box::new(Bpr::load_model(r)?),
+                UserKnn::KIND => Box::new(UserKnn::load_model(r)?),
+                ItemKnn::KIND => Box::new(ItemKnn::load_model(r)?),
+                Popularity::KIND => Box::new(Popularity::load_model(r)?),
+                other => return Err(OcularError::UnknownModelKind(other.to_string())),
+            };
+            AnySnapshot::Other(model)
         };
-        let ids = read_ids_then_footer(r)?;
-        Ok((AnySnapshot::Other(model), ids))
+        let (meta, ids) = read_tail_sections(r)?;
+        Ok(LoadedSnapshot {
+            snapshot,
+            ids,
+            meta,
+        })
     }
 
     /// Serialises the snapshot (plus optional id maps) as an
@@ -489,6 +562,16 @@ impl AnySnapshot {
     /// sections alongside the model's own, so the `Other`-arm guard of
     /// [`AnySnapshot::save`] applies here too.
     pub fn to_v3_bytes(&self, ids: Option<&IdMaps>) -> Result<Vec<u8>, OcularError> {
+        self.to_v3_bytes_full(ids, None)
+    }
+
+    /// [`AnySnapshot::to_v3_bytes`] plus the optional live-refresh
+    /// metadata section (retrain generation + source-data watermark).
+    pub fn to_v3_bytes_full(
+        &self,
+        ids: Option<&IdMaps>,
+        meta: Option<&SnapshotMeta>,
+    ) -> Result<Vec<u8>, OcularError> {
         let mut w = SectionWriter::new(self.kind());
         match self {
             AnySnapshot::Ocular(s) => s.write_sections(&mut w)?,
@@ -501,6 +584,9 @@ impl AnySnapshot {
                 }
                 m.write_sections(&mut w)?;
             }
+        }
+        if let Some(meta) = meta {
+            meta.write_section(&mut w);
         }
         if let Some(ids) = ids {
             write_ids_sections(&mut w, ids);
@@ -525,12 +611,28 @@ impl AnySnapshot {
         ids: Option<&IdMaps>,
         format: SnapshotFormat,
     ) -> Result<(), OcularError> {
+        self.save_path_full(path, ids, None, format)
+    }
+
+    /// [`AnySnapshot::save_path`] plus the optional live-refresh metadata
+    /// section — what a retrain writes so the serving control plane can
+    /// report the generation and fold in users newer than the watermark.
+    pub fn save_path_full(
+        &self,
+        path: &Path,
+        ids: Option<&IdMaps>,
+        meta: Option<&SnapshotMeta>,
+        format: SnapshotFormat,
+    ) -> Result<(), OcularError> {
         let mut file = std::fs::File::create(path).map_err(OcularError::from)?;
         match format {
             SnapshotFormat::Text => self
-                .save_with_ids(ids, &mut file)
+                .save_full(ids, meta, &mut file)
                 .map_err(OcularError::from),
-            SnapshotFormat::Binary => self.save_binary(ids, &mut file),
+            SnapshotFormat::Binary => {
+                let bytes = self.to_v3_bytes_full(ids, meta)?;
+                file.write_all(&bytes).map_err(OcularError::from)
+            }
         }
     }
 
@@ -538,6 +640,13 @@ impl AnySnapshot {
     /// The factor matrices, cluster index and id maps **borrow** their
     /// large buffers from the region — no per-payload allocation.
     pub fn load_v3(region: ModelBytes) -> Result<(AnySnapshot, Option<IdMaps>), OcularError> {
+        let loaded = Self::load_v3_full(region)?;
+        Ok((loaded.snapshot, loaded.ids))
+    }
+
+    /// [`AnySnapshot::load_v3`] that also surfaces the optional
+    /// live-refresh metadata section.
+    pub fn load_v3_full(region: ModelBytes) -> Result<LoadedSnapshot, OcularError> {
         let r = SectionReader::open(region)?;
         let snapshot = match r.kind() {
             OCULAR_KIND => AnySnapshot::Ocular(Snapshot::read_sections(&r)?),
@@ -548,8 +657,13 @@ impl AnySnapshot {
             Popularity::KIND => AnySnapshot::Other(Box::new(Popularity::read_sections(&r)?)),
             other => return Err(OcularError::UnknownModelKind(other.to_string())),
         };
+        let meta = SnapshotMeta::read_section(&r)?;
         let ids = read_ids_sections(&r)?;
-        Ok((snapshot, ids))
+        Ok(LoadedSnapshot {
+            snapshot,
+            ids,
+            meta,
+        })
     }
 
     /// Loads a snapshot file of **either** format, sniffing the magic
@@ -557,18 +671,36 @@ impl AnySnapshot {
     /// text envelopes keep loading through the line-oriented path — old
     /// snapshots work transparently.
     pub fn load_path(path: &Path) -> Result<(AnySnapshot, Option<IdMaps>), OcularError> {
+        let loaded = Self::load_path_full(path)?;
+        Ok((loaded.snapshot, loaded.ids))
+    }
+
+    /// [`AnySnapshot::load_path`] that also surfaces the optional
+    /// live-refresh metadata (generation + watermark), in either format.
+    pub fn load_path_full(path: &Path) -> Result<LoadedSnapshot, OcularError> {
         let mut prefix = [0u8; 8];
         let mut file = std::fs::File::open(path).map_err(OcularError::from)?;
         let n = file.read(&mut prefix).map_err(OcularError::from)?;
         if is_v3(&prefix[..n]) {
             drop(file);
             let region = ModelBytes::map_file(path).map_err(OcularError::from)?;
-            return Self::load_v3(region);
+            return Self::load_v3_full(region);
         }
         // text path: re-open from the start (the probe consumed bytes)
         let file = std::fs::File::open(path).map_err(OcularError::from)?;
-        Self::load_with_ids(&mut std::io::BufReader::new(file))
+        Self::load_full(&mut std::io::BufReader::new(file))
     }
+}
+
+/// Everything a snapshot file can carry: the model payload, the optional
+/// external-id tables, and the optional live-refresh metadata.
+pub struct LoadedSnapshot {
+    /// The model payload (with its index for `ocular`).
+    pub snapshot: AnySnapshot,
+    /// The training dataset's id tables, if embedded.
+    pub ids: Option<IdMaps>,
+    /// Retrain generation + source-data watermark, if embedded.
+    pub meta: Option<SnapshotMeta>,
 }
 
 #[cfg(test)]
@@ -811,6 +943,77 @@ mod tests {
             AnySnapshot::load_with_ids(&mut tampered.as_bytes()),
             Err(OcularError::Corrupt(_))
         ));
+    }
+
+    fn sample_meta() -> SnapshotMeta {
+        SnapshotMeta {
+            generation: 2,
+            n_users: 2,
+            n_items: 3,
+            nnz: 4,
+        }
+    }
+
+    #[test]
+    fn snapshot_meta_round_trips_in_text_format() {
+        let s = AnySnapshot::Ocular(snapshot());
+        let (meta, ids) = (sample_meta(), sample_ids());
+        let mut buf = Vec::new();
+        s.save_full(Some(&ids), Some(&meta), &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains("snapshot-meta v1 2 2 3 4\n"), "{text}");
+        let loaded = AnySnapshot::load_full(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.meta, Some(meta));
+        assert_eq!(loaded.ids, Some(ids));
+        // legacy loaders tolerate (and discard) the section
+        let (_, got_ids) = AnySnapshot::load_with_ids(&mut buf.as_slice()).unwrap();
+        assert!(got_ids.is_some());
+        assert!(Snapshot::load(&mut buf.as_slice()).is_ok());
+
+        // meta without ids, and a corrupt meta line
+        let mut buf = Vec::new();
+        s.save_full(None, Some(&meta), &mut buf).unwrap();
+        let loaded = AnySnapshot::load_full(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.meta, Some(meta));
+        assert_eq!(loaded.ids, None);
+        let tampered = String::from_utf8(buf)
+            .unwrap()
+            .replace("snapshot-meta v1 2 2 3 4", "snapshot-meta v1 2 2 3");
+        assert!(AnySnapshot::load_full(&mut tampered.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn snapshot_meta_round_trips_in_v3_format() {
+        let s = AnySnapshot::Ocular(snapshot());
+        let (meta, ids) = (sample_meta(), sample_ids());
+        let bytes = s.to_v3_bytes_full(Some(&ids), Some(&meta)).unwrap();
+        let loaded = AnySnapshot::load_v3_full(ModelBytes::from_vec(bytes)).unwrap();
+        assert_eq!(loaded.meta, Some(meta));
+        assert_eq!(loaded.ids, Some(ids));
+        // snapshots without the section load with None
+        let bytes = s.to_v3_bytes(None).unwrap();
+        let loaded = AnySnapshot::load_v3_full(ModelBytes::from_vec(bytes)).unwrap();
+        assert_eq!(loaded.meta, None);
+    }
+
+    #[test]
+    fn snapshot_meta_survives_save_path_in_both_formats() {
+        let dir = std::env::temp_dir().join("ocular_serve_meta_path_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let s = AnySnapshot::Ocular(snapshot());
+        let meta = sample_meta();
+        for (name, format) in [
+            ("snap.txt", SnapshotFormat::Text),
+            ("snap.bin", SnapshotFormat::Binary),
+        ] {
+            let path = dir.join(name);
+            s.save_path_full(&path, None, Some(&meta), format).unwrap();
+            let loaded = AnySnapshot::load_path_full(&path).unwrap();
+            assert_eq!(loaded.meta, Some(meta), "{name}");
+            // the meta-blind loader still works on the same file
+            assert!(AnySnapshot::load_path(&path).is_ok(), "{name}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

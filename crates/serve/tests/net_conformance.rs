@@ -17,7 +17,9 @@ use ocular_serve::json::Json;
 use ocular_serve::net::http;
 use ocular_serve::net::{RunningServer, Server, ServerConfig};
 use ocular_serve::protocol::ErrorCode;
-use ocular_serve::{AnySnapshot, CandidatePolicy, ServeConfig, ServeEngine, WireReply};
+use ocular_serve::{
+    AnySnapshot, CandidatePolicy, EngineBuilder, ServeConfig, ServeEngine, SwapEngine, WireReply,
+};
 use ocular_sparse::io::read_edge_list;
 
 const EDGES: &str = "100\t7\n100\t8\n200\t7\n200\t8\n300\t55\n300\t56\n400\t55\n400\t56\n";
@@ -48,8 +50,8 @@ fn train_fixture(tag: &str) -> (PathBuf, PathBuf) {
 
 /// Builds the same engine the CLI's serve/listen modes build (default
 /// flags), so both transports sit on identical state.
-fn build_engine(edges: &Path, snap: &Path) -> Arc<ServeEngine> {
-    let (snapshot, _ids) = AnySnapshot::load_path(snap).unwrap();
+fn build_engine(edges: &Path, snap: &Path) -> ServeEngine {
+    let loaded = AnySnapshot::load_path_full(snap).unwrap();
     let dataset = read_edge_list(edges.to_str().unwrap(), "\t", None)
         .unwrap()
         .into_dataset();
@@ -62,11 +64,15 @@ fn build_engine(edges: &Path, snap: &Path) -> Arc<ServeEngine> {
         },
         ..Default::default()
     };
-    Arc::new(ServeEngine::from_any(snapshot, dataset, cfg).unwrap())
+    EngineBuilder::from_loaded(loaded)
+        .dataset(dataset)
+        .config(cfg)
+        .build()
+        .unwrap()
 }
 
-fn spawn_server(engine: Arc<ServeEngine>, cfg: ServerConfig) -> RunningServer {
-    Server::bind(engine, "127.0.0.1:0", cfg)
+fn spawn_server(engine: ServeEngine, cfg: ServerConfig) -> RunningServer {
+    Server::bind(Arc::new(SwapEngine::new(engine)), "127.0.0.1:0", cfg)
         .expect("bind ephemeral port")
         .spawn()
 }

@@ -49,26 +49,45 @@ fn arb_response() -> impl Strategy<Value = WireResponse> {
         (0usize..3, 0..=MAX_EXACT),
         proptest::collection::vec((0usize..1 << 20, any::<f64>()), 0..20),
         (any::<bool>(), 0usize..1 << 20, any::<bool>()),
+        // live-refresh additions: fold-in marker + optional model identity
+        (any::<bool>(), any::<bool>(), 0..=MAX_EXACT, 0usize..5),
     )
-        .prop_map(|((which, id), pairs, (with_ids, scored, fallback))| {
-            let echo = match which {
-                0 => Echo::User((id & 0xf_ffff) as usize),
-                1 => Echo::UserId(id),
-                _ => Echo::Cold,
-            };
-            let items: Vec<usize> = pairs.iter().map(|(i, _)| *i).collect();
-            let probs: Vec<f64> = pairs.iter().map(|(_, p)| p.abs()).collect();
-            let item_ids: Option<Vec<u64>> =
-                with_ids.then(|| items.iter().map(|&i| (i as u64 * 37) & MAX_EXACT).collect());
-            WireResponse {
-                echo,
-                items,
-                item_ids,
-                probs,
-                scored,
-                fallback,
-            }
-        })
+        .prop_map(
+            |(
+                (which, id),
+                pairs,
+                (with_ids, scored, fallback),
+                (folded_in, with_gen, generation, kind),
+            )| {
+                let echo = match which {
+                    0 => Echo::User((id & 0xf_ffff) as usize),
+                    1 => Echo::UserId(id),
+                    _ => Echo::Cold,
+                };
+                let items: Vec<usize> = pairs.iter().map(|(i, _)| *i).collect();
+                let probs: Vec<f64> = pairs.iter().map(|(_, p)| p.abs()).collect();
+                let item_ids: Option<Vec<u64>> =
+                    with_ids.then(|| items.iter().map(|&i| (i as u64 * 37) & MAX_EXACT).collect());
+                let kind = match kind {
+                    0 => None,
+                    1 => Some("ocular".to_string()),
+                    2 => Some("wals".to_string()),
+                    3 => Some("popularity".to_string()),
+                    _ => Some("item-knn".to_string()),
+                };
+                WireResponse {
+                    echo,
+                    items,
+                    item_ids,
+                    probs,
+                    scored,
+                    fallback,
+                    folded_in,
+                    model_generation: with_gen.then_some(generation),
+                    kind,
+                }
+            },
+        )
 }
 
 fn arb_error() -> impl Strategy<Value = WireError> {
@@ -81,6 +100,7 @@ fn arb_error() -> impl Strategy<Value = WireError> {
         ErrorCode::BadBasket,
         ErrorCode::Unsupported,
         ErrorCode::Overloaded,
+        ErrorCode::Reloading,
         ErrorCode::Internal,
     ];
     (0usize..CODES.len(), arb_nasty_string()).prop_map(|(c, message)| WireError {

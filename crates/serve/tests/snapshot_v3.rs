@@ -11,7 +11,7 @@ use ocular_bytes::ModelBytes;
 use ocular_core::{fit, OcularConfig};
 use ocular_datasets::planted::{generate, PlantedConfig};
 use ocular_serve::{
-    AnySnapshot, CandidatePolicy, IndexConfig, Request, ServeConfig, ServeEngine, Snapshot,
+    AnySnapshot, CandidatePolicy, EngineBuilder, IndexConfig, Request, ServeConfig, Snapshot,
 };
 use ocular_sparse::{Dataset, IdMaps};
 use proptest::prelude::*;
@@ -173,26 +173,24 @@ fn serves_correctly_from_a_read_only_mapped_file() {
         assert!(region.is_mapped(), "v3 load must map, not read");
     }
     let (loaded, ids) = AnySnapshot::load_v3(region).unwrap();
-    let mapped_engine = ServeEngine::from_any(
-        loaded,
-        r.clone(),
-        ServeConfig {
+    let mapped_engine = EngineBuilder::from_snapshot(loaded)
+        .dataset(r.clone())
+        .config(ServeConfig {
             default_m: 5,
             candidates: CandidatePolicy::Clusters { min_candidates: 5 },
             ..Default::default()
-        },
-    )
-    .unwrap();
-    let owned_engine = ServeEngine::from_any(
-        snapshot_zoo(&r).remove(0),
-        r.clone(),
-        ServeConfig {
+        })
+        .build()
+        .unwrap();
+    let owned_engine = EngineBuilder::from_snapshot(snapshot_zoo(&r).remove(0))
+        .dataset(r.clone())
+        .config(ServeConfig {
             default_m: 5,
             candidates: CandidatePolicy::Clusters { min_candidates: 5 },
             ..Default::default()
-        },
-    )
-    .unwrap();
+        })
+        .build()
+        .unwrap();
     for u in 0..r.n_users() {
         let req = Request::Warm { user: u, m: 5 };
         assert_eq!(

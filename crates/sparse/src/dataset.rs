@@ -22,7 +22,7 @@
 //! `Arc<Dataset>`) can be handed to trainers, evaluators and serving
 //! engines concurrently without copies.
 
-use crate::io::IdMaps;
+use crate::io::{Compactor, IdMaps};
 use crate::split::{Split, SplitConfig};
 use crate::{CsrMatrix, SparseError};
 use std::ops::Deref;
@@ -198,6 +198,150 @@ impl Dataset {
     pub fn split(&self, cfg: &SplitConfig) -> Split {
         Split::new(self, cfg)
     }
+
+    /// Starts a delta batch over this dataset — see [`DatasetBuilder`].
+    pub fn delta_builder(&self) -> DatasetBuilder {
+        DatasetBuilder::from_dataset(self)
+    }
+
+    /// Merges a batch of external `(user, item)` records over this dataset
+    /// in one pass, extending the id maps for never-seen users and items.
+    ///
+    /// Cost is `O(new + unique)` — one sorted-run merge over the existing
+    /// positives plus compaction of the delta records; the original
+    /// interaction log is **not** re-read or re-parsed. The result is
+    /// bit-identical to re-ingesting the concatenated base+delta stream
+    /// from scratch (property-tested), because new externals are assigned
+    /// internal indices in first-appearance order *after* the existing
+    /// ones, exactly as a full re-ingest would.
+    pub fn append_deltas<I>(&self, records: I) -> Result<Dataset, SparseError>
+    where
+        I: IntoIterator<Item = (u64, u64)>,
+    {
+        let mut b = self.delta_builder();
+        for (u, i) in records {
+            b.push(u, i)?;
+        }
+        b.finish()
+    }
+}
+
+/// Incremental extension of an immutable [`Dataset`]: stage delta records
+/// (external ids), then [`finish`](DatasetBuilder::finish) into a new
+/// `Dataset` via **one** sorted-run merge over the existing positives —
+/// `O(new + unique)`, never a re-ingest of the original log.
+///
+/// Never-seen users/items extend the id space in first-appearance order,
+/// so existing internal indices (and therefore any model trained on the
+/// base dataset) stay valid: the base is always an index-prefix of the
+/// result. Under the identity mapping (no id maps) the delta records are
+/// internal indices and the shape grows to cover them.
+pub struct DatasetBuilder {
+    base: Dataset,
+    /// Seeded compactors when the base is id-mapped; `None` = identity.
+    compactors: Option<(Compactor, Compactor)>,
+    staged: StreamingTriplets,
+    pushed: usize,
+    max_row: usize,
+    max_col: usize,
+}
+
+impl DatasetBuilder {
+    /// A builder staging deltas over `base` (the base is cloned; the
+    /// matrix clone is `O(unique)` and id maps are shared by `Arc`).
+    pub fn from_dataset(base: &Dataset) -> DatasetBuilder {
+        let compactors = base.ids().map(|ids| {
+            (
+                Compactor::seeded(ids.users()),
+                Compactor::seeded(ids.items()),
+            )
+        });
+        DatasetBuilder {
+            base: base.clone(),
+            compactors,
+            staged: StreamingTriplets::new(),
+            pushed: 0,
+            max_row: 0,
+            max_col: 0,
+        }
+    }
+
+    /// Stages one delta record, given as **external** ids (internal
+    /// indices under the identity mapping).
+    pub fn push(&mut self, user: u64, item: u64) -> Result<(), SparseError> {
+        let (r, c) = match &mut self.compactors {
+            Some((users, items)) => (users.get(user) as usize, items.get(item) as usize),
+            None => {
+                let r = usize::try_from(user).map_err(|_| SparseError::RowOutOfBounds {
+                    row: usize::MAX,
+                    n_rows: u32::MAX as usize,
+                })?;
+                let c = usize::try_from(item).map_err(|_| SparseError::ColOutOfBounds {
+                    col: usize::MAX,
+                    n_cols: u32::MAX as usize,
+                })?;
+                (r, c)
+            }
+        };
+        self.max_row = self.max_row.max(r);
+        self.max_col = self.max_col.max(c);
+        self.pushed += 1;
+        self.staged.push(r, c)
+    }
+
+    /// Number of delta records staged so far (duplicates included).
+    pub fn staged_records(&self) -> usize {
+        self.pushed
+    }
+
+    /// Number of users the result will have (base + never-seen).
+    pub fn n_users(&self) -> usize {
+        match &self.compactors {
+            Some((users, _)) => users.len(),
+            None if self.pushed > 0 => self.base.n_users().max(self.max_row + 1),
+            None => self.base.n_users(),
+        }
+    }
+
+    /// Number of items the result will have (base + never-seen).
+    pub fn n_items(&self) -> usize {
+        match &self.compactors {
+            Some((_, items)) => items.len(),
+            None if self.pushed > 0 => self.base.n_items().max(self.max_col + 1),
+            None => self.base.n_items(),
+        }
+    }
+
+    /// Merges the staged delta run over the base positives and builds the
+    /// extended dataset. One `O(new + unique)` pass; when no never-seen
+    /// users/items appeared, the result **shares** the base's id-map
+    /// `Arc`, so "same id space" stays checkable by pointer identity.
+    pub fn finish(self) -> Result<Dataset, SparseError> {
+        let (n_users, n_items) = (self.n_users(), self.n_items());
+        if self.pushed == 0 {
+            return Ok(self.base);
+        }
+        let delta = self.staged.into_sorted_pairs();
+        let base_pairs: Vec<(u32, u32)> = self
+            .base
+            .matrix()
+            .iter_nnz()
+            .map(|(r, c)| (r as u32, c as u32))
+            .collect();
+        let merged = merge_dedup(&base_pairs, &delta);
+        let matrix = CsrMatrix::from_sorted_unique_pairs(n_users, n_items, &merged);
+        match self.compactors {
+            Some((users, items)) => {
+                if n_users == self.base.n_users() && n_items == self.base.n_items() {
+                    let ids = self.base.ids_arc().expect("compactors imply id maps");
+                    Dataset::with_ids(matrix, ids)
+                } else {
+                    Dataset::new(matrix, IdMaps::from_compactors(users, items))
+                }
+            }
+            None => Ok(Dataset::from_matrix(matrix)),
+        }
+    }
 }
 
 impl Deref for Dataset {
@@ -358,6 +502,17 @@ impl StreamingTriplets {
                 });
             }
         }
+        let pairs = self.into_sorted_pairs();
+        Ok(CsrMatrix::from_sorted_unique_pairs(n_rows, n_cols, &pairs))
+    }
+
+    /// Collapses all staged runs into one sorted, deduplicated pair list —
+    /// the primitive [`finish`] builds its matrix from, and the sorted run
+    /// a [`crate::DatasetBuilder`] merges over an existing dataset.
+    ///
+    /// [`finish`]: StreamingTriplets::finish
+    pub fn into_sorted_pairs(mut self) -> Vec<(u32, u32)> {
+        self.seal_chunk();
         let mut runs = self.runs;
         while runs.len() >= 2 {
             // merge smallest-last to keep the fold balanced
@@ -366,8 +521,7 @@ impl StreamingTriplets {
             let b = runs.pop().expect("len checked");
             runs.push(merge_dedup(&b, &a));
         }
-        let pairs = runs.pop().unwrap_or_default();
-        Ok(CsrMatrix::from_sorted_unique_pairs(n_rows, n_cols, &pairs))
+        runs.pop().unwrap_or_default()
     }
 }
 
@@ -556,5 +710,74 @@ mod tests {
         let s = StreamingTriplets::new();
         let m = s.finish(3, 3).unwrap();
         assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn into_sorted_pairs_merges_all_runs() {
+        let mut s = StreamingTriplets::with_chunk_capacity(2);
+        for &(r, c) in &[(2usize, 2usize), (0, 1), (0, 1), (1, 3), (2, 0)] {
+            s.push(r, c).unwrap();
+        }
+        assert_eq!(
+            s.into_sorted_pairs(),
+            vec![(0, 1), (1, 3), (2, 0), (2, 2)],
+            "sorted, deduplicated, fully merged"
+        );
+    }
+
+    #[test]
+    fn append_deltas_extends_id_space_in_order() {
+        let ids = IdMaps::new(vec![100, 7, 42], vec![9, 8, 7, 6]).unwrap();
+        let base = Dataset::new(sample(), ids).unwrap();
+        // one repeat pair, one new pair on old ids, one brand-new user
+        let merged = base
+            .append_deltas([(100, 9), (7, 7), (55, 11), (55, 9)])
+            .unwrap();
+        assert_eq!(merged.n_users(), 4);
+        assert_eq!(merged.n_items(), 5);
+        assert_eq!(merged.user_index(55), Some(3), "new user appended last");
+        assert_eq!(merged.item_index(11), Some(4), "new item appended last");
+        // old internal indices are untouched
+        for u in 0..base.n_users() {
+            assert_eq!(merged.user_index(base.external_user(u)), Some(u));
+        }
+        assert_eq!(merged.nnz(), base.nnz() + 3, "repeat pair collapsed");
+        assert!(merged.contains(1, 2), "delta (7, 7) landed on old indices");
+        assert!(merged.contains(3, 0), "delta (55, 9) landed");
+    }
+
+    #[test]
+    fn append_without_new_entities_shares_the_id_arc() {
+        let ids = IdMaps::new(vec![100, 7, 42], vec![9, 8, 7, 6]).unwrap();
+        let base = Dataset::new(sample(), ids).unwrap();
+        let merged = base.append_deltas([(42, 8), (100, 6)]).unwrap();
+        assert_eq!(merged.nnz(), base.nnz() + 2);
+        assert!(
+            Arc::ptr_eq(&base.ids_arc().unwrap(), &merged.ids_arc().unwrap()),
+            "unchanged id space stays pointer-identical"
+        );
+    }
+
+    #[test]
+    fn empty_delta_returns_the_base() {
+        let base = Dataset::from_matrix(sample());
+        let merged = base.append_deltas(std::iter::empty()).unwrap();
+        assert_eq!(merged, base);
+        let b = base.delta_builder();
+        assert_eq!(b.staged_records(), 0);
+        assert_eq!(b.n_users(), base.n_users());
+        assert_eq!(b.n_items(), base.n_items());
+    }
+
+    #[test]
+    fn identity_append_grows_shape() {
+        let base = Dataset::from_matrix(sample()); // 3×4
+        let merged = base.append_deltas([(5, 1), (0, 6)]).unwrap();
+        assert_eq!(merged.n_users(), 6);
+        assert_eq!(merged.n_items(), 7);
+        assert!(merged.contains(5, 1));
+        assert!(merged.contains(0, 6));
+        assert!(merged.contains(0, 0), "base positives survive");
+        assert!(merged.ids().is_none());
     }
 }

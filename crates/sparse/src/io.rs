@@ -316,7 +316,7 @@ impl IdMaps {
 
     /// Internal-constructor used by the readers: the compactors already
     /// hold exactly the lookup tables, so nothing is rebuilt.
-    fn from_compactors(users: Compactor, items: Compactor) -> Self {
+    pub(crate) fn from_compactors(users: Compactor, items: Compactor) -> Self {
         IdMaps {
             users: users.order.into(),
             items: items.order.into(),
@@ -345,6 +345,15 @@ impl IdMaps {
         self.items.len()
     }
 
+    /// Whether `other` extends this map: every internal index here maps
+    /// to the same external id there, on both axes. Delta appends
+    /// ([`crate::Dataset::append_deltas`]) preserve exactly this prefix
+    /// property, so a serving log that grew past its snapshot is already
+    /// aligned to the model's id space and needs no rebuild.
+    pub fn is_prefix_of(&self, other: &IdMaps) -> bool {
+        other.users().starts_with(self.users()) && other.items().starts_with(self.items())
+    }
+
     /// Internal index of an external user id, if seen. O(1).
     pub fn user_index(&self, external: u64) -> Option<usize> {
         self.user_lookup.get(external)
@@ -366,9 +375,9 @@ impl IdMaps {
     }
 }
 
-struct Compactor {
-    map: HashMap<u64, u32>,
-    order: Vec<u64>,
+pub(crate) struct Compactor {
+    pub(crate) map: HashMap<u64, u32>,
+    pub(crate) order: Vec<u64>,
 }
 
 impl Compactor {
@@ -379,7 +388,21 @@ impl Compactor {
         }
     }
 
-    fn get(&mut self, external: u64) -> u32 {
+    /// A compactor pre-populated with an existing id order, so further
+    /// [`get`](Compactor::get) calls extend it in first-appearance order —
+    /// the seed of the delta-merge path ([`crate::DatasetBuilder`]).
+    pub(crate) fn seeded(order: &[u64]) -> Self {
+        let mut map = HashMap::with_capacity(order.len());
+        for (ix, &external) in order.iter().enumerate() {
+            map.insert(external, ix as u32);
+        }
+        Compactor {
+            map,
+            order: order.to_vec(),
+        }
+    }
+
+    pub(crate) fn get(&mut self, external: u64) -> u32 {
         if let Some(&ix) = self.map.get(&external) {
             return ix;
         }
@@ -387,6 +410,10 @@ impl Compactor {
         self.map.insert(external, ix);
         self.order.push(external);
         ix
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.order.len()
     }
 }
 
@@ -414,15 +441,19 @@ impl ParsedInteractions {
     }
 }
 
-fn parse_records<R: BufRead>(
+/// Streams edge-list records (`user<sep>item[<sep>rating]`) into `sink`,
+/// returning how many records the rating threshold dropped. The shared
+/// parsing loop behind the full readers **and** the delta-append path.
+fn for_each_record<R, F>(
     reader: R,
     sep: &str,
     rating_threshold: Option<f64>,
-    chunk_capacity: usize,
-) -> Result<ParsedInteractions, SparseError> {
-    let mut users = Compactor::new();
-    let mut items = Compactor::new();
-    let mut staged = StreamingTriplets::with_chunk_capacity(chunk_capacity);
+    mut sink: F,
+) -> Result<usize, SparseError>
+where
+    R: BufRead,
+    F: FnMut(u64, u64) -> Result<(), SparseError>,
+{
     let mut dropped = 0usize;
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
@@ -456,9 +487,24 @@ fn parse_records<R: BufRead>(
                 continue;
             }
         }
-        staged.push(users.get(u) as usize, items.get(i) as usize)?;
+        sink(u, i)?;
     }
-    let matrix = staged.finish(users.order.len(), items.order.len())?;
+    Ok(dropped)
+}
+
+fn parse_records<R: BufRead>(
+    reader: R,
+    sep: &str,
+    rating_threshold: Option<f64>,
+    chunk_capacity: usize,
+) -> Result<ParsedInteractions, SparseError> {
+    let mut users = Compactor::new();
+    let mut items = Compactor::new();
+    let mut staged = StreamingTriplets::with_chunk_capacity(chunk_capacity);
+    let dropped = for_each_record(reader, sep, rating_threshold, |u, i| {
+        staged.push(users.get(u) as usize, items.get(i) as usize)
+    })?;
+    let matrix = staged.finish(users.len(), items.len())?;
     Ok(ParsedInteractions {
         matrix,
         ids: IdMaps::from_compactors(users, items),
@@ -515,6 +561,41 @@ pub fn read_edge_list_str_chunked(
         rating_threshold,
         chunk_capacity,
     )
+}
+
+/// Streams a delta edge list over an existing dataset through the
+/// delta-merge path ([`crate::DatasetBuilder`]): never-seen users/items
+/// extend the id space in first-appearance order and the new positives
+/// are merged over the existing ones in **one** `O(new + unique)` pass —
+/// the base interaction log is not re-read. Same record format and
+/// threshold semantics as [`read_edge_list`].
+pub fn append_edge_list<P: AsRef<Path>>(
+    base: &Dataset,
+    path: P,
+    sep: &str,
+    rating_threshold: Option<f64>,
+) -> Result<Dataset, SparseError> {
+    let file = std::fs::File::open(path.as_ref())
+        .map_err(|e| SparseError::Io(format!("open {}: {e}", path.as_ref().display())))?;
+    let mut builder = base.delta_builder();
+    for_each_record(BufReader::new(file), sep, rating_threshold, |u, i| {
+        builder.push(u, i)
+    })?;
+    builder.finish()
+}
+
+/// [`append_edge_list`] over an in-memory string — tests and doc examples.
+pub fn append_edge_list_str(
+    base: &Dataset,
+    data: &str,
+    sep: &str,
+    rating_threshold: Option<f64>,
+) -> Result<Dataset, SparseError> {
+    let mut builder = base.delta_builder();
+    for_each_record(BufReader::new(data.as_bytes()), sep, rating_threshold, {
+        |u, i| builder.push(u, i)
+    })?;
+    builder.finish()
 }
 
 /// Reads the MovieLens `UserID::MovieID::Rating::Timestamp` format, keeping

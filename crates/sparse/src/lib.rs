@@ -62,7 +62,7 @@ pub mod stats;
 
 pub use coo::Triplets;
 pub use csr::CsrMatrix;
-pub use dataset::{Dataset, StreamingTriplets};
+pub use dataset::{Dataset, DatasetBuilder, StreamingTriplets};
 pub use io::{IdMaps, RawIdTable};
 pub use split::{Split, SplitConfig};
 

@@ -3,7 +3,7 @@
 //! in-memory path, and the cached CSC dual view must equal the exact
 //! transpose for arbitrary matrices.
 
-use ocular_sparse::io::read_edge_list_str_chunked;
+use ocular_sparse::io::{append_edge_list_str, read_edge_list_str_chunked};
 use ocular_sparse::{CsrMatrix, Dataset, StreamingTriplets, Triplets};
 use proptest::prelude::*;
 
@@ -61,6 +61,80 @@ proptest! {
         prop_assert_eq!(&chunked.ids, &full.ids);
         let (a, b) = (chunked.into_dataset(), full.into_dataset());
         prop_assert_eq!(a, b);
+    }
+
+    /// The delta-merge path must be indistinguishable from a full
+    /// re-ingest of the concatenated base+delta stream: same CSR arrays,
+    /// same id tables, same internal index for every external id — the
+    /// invariant the live-refresh loop (retrain on appended log, hot-swap,
+    /// fold in newer users) rests on.
+    #[test]
+    fn append_deltas_equals_full_reingest(
+        (_, _, base_pairs) in arb_records(),
+        (_, _, delta_pairs) in arb_records(),
+        chunk in 1usize..16,
+    ) {
+        let render = |pairs: &[(usize, usize)]| {
+            let mut text = String::new();
+            for &(r, c) in pairs {
+                text.push_str(&format!("{}\t{}\n", 1000 + r * 13, 7 + c * 11));
+            }
+            text
+        };
+        let base_text = render(&base_pairs);
+        let delta_text = render(&delta_pairs);
+        let base = read_edge_list_str_chunked(&base_text, "\t", None, chunk)
+            .unwrap()
+            .into_dataset();
+
+        // delta-merge path: one merge pass over the existing positives
+        let merged = append_edge_list_str(&base, &delta_text, "\t", None).unwrap();
+        // reference: re-ingest everything from scratch
+        let full_text = format!("{base_text}{delta_text}");
+        let full = read_edge_list_str_chunked(&full_text, "\t", None, chunk)
+            .unwrap()
+            .into_dataset();
+
+        prop_assert_eq!(merged.matrix(), full.matrix());
+        prop_assert_eq!(merged.ids(), full.ids());
+        prop_assert_eq!(&merged, &full);
+        // existing internal indices survive the append (prefix property)
+        if let (Some(b), Some(m)) = (base.ids(), merged.ids()) {
+            prop_assert!(b.is_prefix_of(m));
+        }
+        for u in 0..base.n_users() {
+            prop_assert_eq!(merged.user_index(base.external_user(u)), Some(u));
+        }
+        for i in 0..base.n_items() {
+            prop_assert_eq!(merged.item_index(base.external_item(i)), Some(i));
+        }
+    }
+
+    /// Identity-mapped datasets (no id tables) take the same path with
+    /// internal indices as external ids, growing the shape to cover the
+    /// deltas.
+    #[test]
+    fn append_deltas_identity_mapping(
+        (n, m, base_pairs) in arb_records(),
+        (dn, dm, delta_pairs) in arb_records(),
+    ) {
+        let mut t = Triplets::new(n, m);
+        t.extend_pairs(base_pairs.iter().copied()).unwrap();
+        let base = Dataset::from_matrix(t.into_csr());
+        let merged = base
+            .append_deltas(delta_pairs.iter().map(|&(r, c)| (r as u64, c as u64)))
+            .unwrap();
+
+        let (rn, rm) = (n.max(dn.min(16)), m.max(dm.min(16)));
+        let mut all = Triplets::new(rn.max(16), rm.max(16));
+        all.extend_pairs(base_pairs.iter().copied()).unwrap();
+        all.extend_pairs(delta_pairs.iter().copied()).unwrap();
+        let reference = all.into_csr();
+        prop_assert_eq!(merged.nnz(), reference.nnz());
+        for (r, c) in reference.iter_nnz() {
+            prop_assert!(merged.contains(r, c));
+        }
+        prop_assert!(merged.ids().is_none());
     }
 
     #[test]

@@ -42,16 +42,15 @@ fn engine(policy: CandidatePolicy) -> (ServeEngine, ocular::sparse::Dataset) {
         foldin: train_cfg,
         ..Default::default()
     };
-    let e = ServeEngine::from_model(
-        model,
-        r.clone(),
-        &IndexConfig {
+    let e = EngineBuilder::from_model(model)
+        .dataset(r.clone())
+        .index_config(IndexConfig {
             rel: 0.5,
             floor: 10,
-        },
-        cfg,
-    )
-    .unwrap();
+        })
+        .config(cfg)
+        .build()
+        .unwrap();
     (e, r)
 }
 

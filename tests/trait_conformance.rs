@@ -233,16 +233,15 @@ fn serve_batch_equals_offline_recommend_for_every_kind_across_threads() {
         let expected: Vec<Vec<ScoredItem>> = (0..r.n_rows())
             .map(|u| recommend_of(&snap, u, r.row(u), m))
             .collect();
-        let engine = ServeEngine::from_any(
-            snap,
-            r.clone(),
-            ServeConfig {
+        let engine = EngineBuilder::from_snapshot(snap)
+            .dataset(r.clone())
+            .config(ServeConfig {
                 default_m: m,
                 candidates: CandidatePolicy::FullCatalog,
                 ..Default::default()
-            },
-        )
-        .unwrap();
+            })
+            .build()
+            .unwrap();
         assert_eq!(engine.kind(), kind);
         let requests: Vec<Request> = (0..r.n_rows())
             .map(|user| Request::Warm { user, m })

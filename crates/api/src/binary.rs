@@ -34,7 +34,7 @@
 //! / [`SnapshotModel::read_sections`](crate::SnapshotModel::read_sections).
 
 use crate::error::OcularError;
-use ocular_bytes::{fnv1a64, F64Buf, ModelBytes, Pod, PodBuf, U32Buf, U64Buf};
+use ocular_bytes::{fnv1a64, F32Buf, F64Buf, I8Buf, ModelBytes, Pod, PodBuf, U32Buf, U64Buf};
 use std::sync::Arc;
 
 /// First eight bytes of every v3 binary snapshot.
@@ -127,6 +127,25 @@ impl SectionWriter {
         self.end(name, offset);
     }
 
+    /// Like [`put_pod`](Self::put_pod) but starts the section on a
+    /// **64-byte** boundary, so borrowed views over a 64-aligned region
+    /// (owned storage and mmap pages both are) land on cache-line
+    /// boundaries — the layout the blocked scoring kernels want for
+    /// quantized factor sections. 64-aligned offsets trivially satisfy
+    /// the reader's 8-alignment check.
+    fn put_pod64<T: Pod>(&mut self, name: &str, vals: &[T]) {
+        self.begin(name);
+        while self.buf.len() % 64 != 0 {
+            self.buf.push(0);
+        }
+        let offset = self.buf.len();
+        self.buf.reserve(vals.len() * T::WIDTH);
+        for &v in vals {
+            v.write_le(&mut self.buf);
+        }
+        self.end(name, offset);
+    }
+
     /// Appends an `f64` array section.
     pub fn put_f64s(&mut self, name: &str, vals: &[f64]) {
         self.put_pod(name, vals);
@@ -140,6 +159,18 @@ impl SectionWriter {
     /// Appends a `u32` array section.
     pub fn put_u32s(&mut self, name: &str, vals: &[u32]) {
         self.put_pod(name, vals);
+    }
+
+    /// Appends an `f32` array section on a 64-byte boundary (quantized
+    /// factor payloads).
+    pub fn put_f32s(&mut self, name: &str, vals: &[f32]) {
+        self.put_pod64(name, vals);
+    }
+
+    /// Appends an `i8` array section on a 64-byte boundary (int8-quantized
+    /// factor payloads).
+    pub fn put_i8s(&mut self, name: &str, vals: &[i8]) {
+        self.put_pod64(name, vals);
     }
 
     /// Appends a raw byte section.
@@ -360,6 +391,16 @@ impl SectionReader {
         self.pods(name)
     }
 
+    /// A (zero-copy where possible) `f32` view of a section.
+    pub fn f32s(&self, name: &str) -> Result<F32Buf, OcularError> {
+        self.pods(name)
+    }
+
+    /// A (zero-copy where possible) `i8` view of a section.
+    pub fn i8s(&self, name: &str) -> Result<I8Buf, OcularError> {
+        self.pods(name)
+    }
+
     /// A raw byte view of a section.
     pub fn bytes(&self, name: &str) -> Result<&[u8], OcularError> {
         let (offset, len) = self.find(name)?;
@@ -493,6 +534,29 @@ mod tests {
         w.put_u64s(SnapshotMeta::SECTION, &[1, 2]);
         let r = SectionReader::open(ModelBytes::from_vec(w.finish())).unwrap();
         assert!(SnapshotMeta::read_section(&r).is_err());
+    }
+
+    #[test]
+    fn f32_and_i8_sections_round_trip_on_64_byte_boundaries() {
+        let mut w = SectionWriter::new("quant");
+        w.put_u64s("meta", &[2, 3]);
+        w.put_f32s("if32", &[0.5f32, -1.25, 3.0, 0.0, 9.75, 2.5]);
+        w.put_i8s("ii8", &[-128i8, -7, 0, 7, 127, 1]);
+        w.put_f32s("i8scl", &[0.01f32, 0.02]);
+        let r = SectionReader::open(ModelBytes::from_vec(w.finish())).unwrap();
+        let f = r.f32s("if32").unwrap();
+        assert_eq!(&*f, &[0.5f32, -1.25, 3.0, 0.0, 9.75, 2.5]);
+        let q = r.i8s("ii8").unwrap();
+        assert_eq!(&*q, &[-128i8, -7, 0, 7, 127, 1]);
+        assert_eq!(&*r.f32s("i8scl").unwrap(), &[0.01f32, 0.02]);
+        if cfg!(target_endian = "little") {
+            assert!(f.is_shared(), "f32 sections must borrow the region");
+            assert!(q.is_shared(), "i8 sections must borrow the region");
+            // quantized sections start on cache-line boundaries inside the
+            // 64-aligned region
+            assert_eq!(f.as_slice().as_ptr() as usize % 64, 0);
+            assert_eq!(q.as_slice().as_ptr() as usize % 64, 0);
+        }
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! Criterion benches for the `ocular-serve` request path: the retired
 //! full-sort selection vs the bounded-heap kernel vs co-cluster candidate
-//! generation, plus batched throughput.
+//! generation, batched throughput, and the quantized scoring kernels on a
+//! 100k-item catalog (per-dtype rows: f64 vs f32 vs int8).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ocular_core::{fit, recommend_top_m, OcularConfig, Recommendation};
+use ocular_core::{fit, recommend_top_m, FactorModel, OcularConfig, Recommendation};
 use ocular_datasets::powerlaw::{generate, PowerLawConfig};
-use ocular_serve::{CandidatePolicy, EngineBuilder, IndexConfig, Request, ServeConfig};
+use ocular_serve::{CandidatePolicy, EngineBuilder, IndexConfig, QuantDtype, Request, ServeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 /// The pre-heap selection path: score everything, sort everything.
@@ -138,5 +141,67 @@ fn bench_serve(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serve);
+/// Sparse non-negative synthetic factors — the same shape `serve_latency`
+/// uses for its kernel section (training a 100k-item model here would
+/// dominate the bench with setup time without changing what is measured).
+fn synth_factors(rows: usize, k: usize, active: usize, rng: &mut StdRng) -> ocular_linalg::Matrix {
+    let mut m = ocular_linalg::Matrix::zeros(rows, k);
+    for r in 0..rows {
+        let row = m.row_mut(r);
+        for _ in 0..active {
+            row[rng.gen_range(0..k)] += rng.gen::<f64>();
+        }
+    }
+    m
+}
+
+/// Full-catalog scoring at 100k items × k=64, one row per serving dtype.
+/// At this catalog size the scoring kernel — not candidate generation —
+/// dominates, which is what separates the dtypes.
+fn bench_quant_catalog(c: &mut Criterion) {
+    let (n_items, k, n_users) = (100_000, 64, 512);
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = FactorModel::new(
+        synth_factors(n_users, k, 4, &mut rng),
+        synth_factors(n_items, k, 4, &mut rng),
+        false,
+    );
+    let data =
+        ocular_sparse::Dataset::from_matrix(ocular_sparse::CsrMatrix::empty(n_users, n_items));
+    let mut group = c.benchmark_group("quant_catalog_100k");
+    group.sample_size(20);
+    for (name, quantize) in [
+        ("f64", None),
+        ("f32", Some(QuantDtype::F32)),
+        ("int8", Some(QuantDtype::I8)),
+    ] {
+        let mut builder = EngineBuilder::from_model(model.clone())
+            .dataset(data.clone())
+            .config(ServeConfig {
+                default_m: 50,
+                candidates: CandidatePolicy::FullCatalog,
+                ..Default::default()
+            });
+        if let Some(dtype) = quantize {
+            builder = builder.quantization(dtype);
+        }
+        let engine = builder.build().unwrap();
+        let mut user = 0usize;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                user = (user + 131) % n_users;
+                black_box(
+                    engine
+                        .serve_one(&Request::Warm { user, m: 50 })
+                        .unwrap()
+                        .items
+                        .len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve, bench_quant_catalog);
 criterion_main!(benches);

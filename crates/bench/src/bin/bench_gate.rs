@@ -80,6 +80,13 @@ fn run() -> Result<Vec<String>, String> {
         .iter()
         .map(|kind| field(&serve, &format!("kinds.{kind}.p50_us")))
         .collect::<Result<Vec<f64>, _>>()?;
+    // cold-path tail: fold-in is the cold request's whole cost, so its p99
+    // is gated, not just its p50 — the per-worker scratch reuse claim
+    let cold_p99 = field(&serve, "engine_cold.p99_us")?;
+    // quantized scoring kernels on the large catalog (f64/f32/int8)
+    let quant_f64 = field(&serve, "quant.f64.p50_us")?;
+    let quant_f32 = field(&serve, "quant.f32.p50_us")?;
+    let quant_i8 = field(&serve, "quant.int8.p50_us")?;
     // snapshot cold-start cost, both formats (the v3 zero-copy claim)
     let load_text = field(&serve, "snapshot_load.text_seconds")?;
     let load_binary = field(&serve, "snapshot_load.binary_seconds")?;
@@ -109,6 +116,10 @@ fn run() -> Result<Vec<String>, String> {
                 Json::Num(*p50),
             ));
         }
+        fields.push(("engine_cold_p99_us".to_string(), Json::Num(cold_p99)));
+        fields.push(("quant_f64_p50_us".to_string(), Json::Num(quant_f64)));
+        fields.push(("quant_f32_p50_us".to_string(), Json::Num(quant_f32)));
+        fields.push(("quant_int8_p50_us".to_string(), Json::Num(quant_i8)));
         fields.push((
             "snapshot_load_text_seconds".to_string(),
             Json::Num(load_text),
@@ -184,6 +195,29 @@ fn run() -> Result<Vec<String>, String> {
         let base = field(&baseline, &key)?;
         check(&key, *p50, base);
     }
+    // the cold-path tail gate: fold-in scratch reuse keeps the p99 down,
+    // and a reintroduced per-request allocation shows up here first
+    check(
+        "cold_p99_us",
+        cold_p99,
+        field(&baseline, "engine_cold_p99_us")?,
+    );
+    // quantized kernel gates: no dtype may regress against its baseline…
+    check(
+        "quant_f64_p50",
+        quant_f64,
+        field(&baseline, "quant_f64_p50_us")?,
+    );
+    check(
+        "quant_f32_p50",
+        quant_f32,
+        field(&baseline, "quant_f32_p50_us")?,
+    );
+    check(
+        "quant_i8_p50",
+        quant_i8,
+        field(&baseline, "quant_int8_p50_us")?,
+    );
     // snapshot cold-start gates: neither format may regress…
     check(
         "snap_text_s",
@@ -226,6 +260,24 @@ fn run() -> Result<Vec<String>, String> {
     if net_errors > 0.0 {
         failures.push(format!(
             "loadgen observed {net_errors:.0} transport/protocol errors (must be 0)"
+        ));
+    }
+    // …and, machine-independently within the same run, each narrower
+    // dtype must score the 100k catalog *strictly* faster than the wider
+    // one — the whole point of quantized serving, gated not asserted
+    println!(
+        "bench_gate: quant_ladder   f64={quant_f64:8.1}µs  f32={quant_f32:8.1}µs  int8={quant_i8:8.1}µs"
+    );
+    if quant_f32 >= quant_f64 {
+        failures.push(format!(
+            "f32 full-catalog p50 ({quant_f32:.1}µs) is not strictly below f64's \
+             ({quant_f64:.1}µs)"
+        ));
+    }
+    if quant_i8 >= quant_f32 {
+        failures.push(format!(
+            "int8 full-catalog p50 ({quant_i8:.1}µs) is not strictly below f32's \
+             ({quant_f32:.1}µs)"
         ));
     }
     // …and, machine-independently within the same run, the v3 mmap load

@@ -7,17 +7,23 @@
 //! and (c) the engine in cluster candidate-generation mode, plus batched
 //! throughput and a per-model-kind warm-request row for every baseline
 //! the polymorphic engine can serve (wals, bpr, item-knn, popularity).
+//! A second section measures the quantized scoring kernels (f64 vs f32 vs
+//! int8) on a large synthetic catalog — 100k items by default — where the
+//! memory-bandwidth difference between the dtypes is actually visible.
 //! Flags: `--scale`, `--seed`, `--requests N`, `--m N`,
-//! `--rel R` / `--floor N` (index build knobs), `--out PATH` (default
-//! `BENCH_serve.json`).
+//! `--rel R` / `--floor N` (index build knobs),
+//! `--quant-items N` / `--quant-k N` / `--quant-requests N` (quantized
+//! catalog section), `--out PATH` (default `BENCH_serve.json`).
 
 use ocular_api::Model;
 use ocular_baselines::{BaselineConfigs, Bpr, ItemKnn, Popularity, Wals};
 use ocular_bench::Args;
-use ocular_core::{fit, OcularConfig, Recommendation};
+use ocular_core::{fit, FactorModel, OcularConfig, Recommendation};
 use ocular_datasets::profiles;
 use ocular_serve::json::{obj, Json};
-use ocular_serve::{CandidatePolicy, EngineBuilder, IndexConfig, Request, ServeConfig};
+use ocular_serve::{CandidatePolicy, EngineBuilder, IndexConfig, QuantDtype, Request, ServeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 /// Per-request wall-clock percentiles, in microseconds.
@@ -67,6 +73,21 @@ fn full_sort(model: &ocular_core::FactorModel, r: &ocular_sparse::CsrMatrix, u: 
     });
     candidates.truncate(m);
     std::hint::black_box(candidates.len());
+}
+
+/// Seeded sparse non-negative affiliation factors, shaped like trained
+/// OCuLaR rows (a handful of active clusters each). The scoring kernels
+/// only ever see the factor matrices, so the 100k-catalog dtype
+/// comparison synthesises them instead of paying a full training run.
+fn synth_factors(rows: usize, k: usize, active: usize, rng: &mut StdRng) -> ocular_linalg::Matrix {
+    let mut m = ocular_linalg::Matrix::zeros(rows, k);
+    for r in 0..rows {
+        let row = m.row_mut(r);
+        for _ in 0..active {
+            row[rng.gen_range(0..k)] += rng.gen::<f64>();
+        }
+    }
+    m
 }
 
 fn main() {
@@ -241,6 +262,58 @@ fn main() {
         kind_rows.push((kind, lat));
     }
 
+    // quantized scoring kernels on a large catalog. At the profile sizes
+    // above the whole factor matrix sits in cache and every dtype looks
+    // alike; at 100k items × k=64 the f64 path streams ~50 MB per request
+    // and the narrower dtypes win on memory bandwidth — which is exactly
+    // the claim the bench gate pins (f32 p50 < f64 p50, int8 < f32).
+    let quant_items = args.get("quant-items", 100_000usize).max(1);
+    let quant_k = args.get("quant-k", 64usize).max(1);
+    let quant_users = 2048usize;
+    let quant_requests = args.get("quant-requests", n_requests.min(300)).max(1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+    let qmodel = FactorModel::new(
+        synth_factors(quant_users, quant_k, 4, &mut rng),
+        synth_factors(quant_items, quant_k, 4, &mut rng),
+        false,
+    );
+    let qdata = ocular_sparse::Dataset::from_matrix(ocular_sparse::CsrMatrix::empty(
+        quant_users,
+        quant_items,
+    ));
+    let mut quant_rows: Vec<(&'static str, Latency)> = Vec::new();
+    for (name, quantize) in [
+        ("f64", None),
+        ("f32", Some(QuantDtype::F32)),
+        ("int8", Some(QuantDtype::I8)),
+    ] {
+        let mut builder = EngineBuilder::from_model(qmodel.clone())
+            .dataset(qdata.clone())
+            .config(ServeConfig {
+                default_m: m,
+                candidates: CandidatePolicy::FullCatalog,
+                ..Default::default()
+            });
+        if let Some(dtype) = quantize {
+            builder = builder.quantization(dtype);
+        }
+        let engine = builder.build().expect("quantized engine");
+        let lat = measure(quant_requests, |i| {
+            std::hint::black_box(
+                engine
+                    .serve_one(&Request::Warm {
+                        user: (i * 131) % quant_users,
+                        m,
+                    })
+                    .unwrap()
+                    .items
+                    .len(),
+            );
+        });
+        report(&format!("quant {quant_items}×{quant_k} {name}"), &lat);
+        quant_rows.push((name, lat));
+    }
+
     let lat_json = |l: &Latency| {
         obj(vec![
             ("p50_us", Json::Num(l.p50)),
@@ -283,6 +356,16 @@ fn main() {
                 .iter()
                 .map(|(kind, lat)| (*kind, lat_json(lat)))
                 .collect()),
+        ),
+        (
+            "quant",
+            obj(vec![
+                ("n_items", Json::Num(quant_items as f64)),
+                ("k", Json::Num(quant_k as f64)),
+                ("f64", lat_json(&quant_rows[0].1)),
+                ("f32", lat_json(&quant_rows[1].1)),
+                ("int8", lat_json(&quant_rows[2].1)),
+            ]),
         ),
     ]);
     std::fs::write(&out_path, format!("{doc}\n")).expect("write bench artifact");

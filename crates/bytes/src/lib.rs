@@ -7,7 +7,8 @@
 //!   either **owned** (read or assembled in memory) or **memory-mapped**
 //!   read-only from a file. Mapping makes engine start-up O(1) in model
 //!   size and lets every serve process on a host share one page cache.
-//! * [`F64Buf`] / [`U64Buf`] / [`U32Buf`] — typed slices that either own a
+//! * [`F64Buf`] / [`U64Buf`] / [`U32Buf`] / [`F32Buf`] / [`I8Buf`] —
+//!   typed slices that either own a
 //!   `Vec<T>` or **borrow** a range of a shared [`ModelBytes`] region.
 //!   Large model payloads (factor matrices, cluster-index CSR arrays,
 //!   id-map tables) live in these, so loading a binary snapshot
@@ -25,7 +26,8 @@
 //!
 //! Zero-copy reinterpretation is only performed on little-endian targets
 //! whose region satisfies the type's alignment (the owned backing store
-//! and the container's section layout both guarantee 8-byte alignment).
+//! is 64-byte aligned, mmap bases are page aligned, and the container's
+//! section layout guarantees 8-byte element alignment).
 //! On big-endian targets the typed constructors transparently fall back
 //! to decoding an owned copy, so the on-disk format is portable while the
 //! fast path costs nothing where it matters.
@@ -61,17 +63,26 @@ pub fn fnv1a64_key(key: u64) -> u64 {
     fnv1a64(&key.to_le_bytes())
 }
 
-/// Owned byte storage whose base address is 8-byte aligned (backed by a
-/// `Vec<u64>`), so typed views over it satisfy `f64`/`u64` alignment.
+/// Owned byte storage whose base address is 64-byte aligned (backed by an
+/// over-allocated `Vec<u64>` with the base nudged up to a cache-line
+/// boundary), so typed views satisfy `f64`/`u64` alignment and blocked
+/// scoring kernels see cache-line-aligned factor rows, matching the
+/// page-aligned mmap path.
 struct AlignedBytes {
     words: Vec<u64>,
+    /// Byte offset of the first payload byte within `words` (base is
+    /// 8-aligned; skipping `skip` bytes lands on a 64-byte boundary).
+    skip: usize,
     len: usize,
 }
 
 impl AlignedBytes {
     fn from_bytes(bytes: &[u8]) -> AlignedBytes {
-        let n_words = bytes.len().div_ceil(8);
+        // 7 spare words guarantee a 64-aligned base within the allocation
+        let n_words = bytes.len().div_ceil(8) + 7;
         let mut words = vec![0u64; n_words];
+        let base = words.as_ptr() as usize;
+        let skip = base.next_multiple_of(64) - base;
         if !bytes.is_empty() {
             // SAFETY: `words` owns `n_words * 8` initialised bytes and u64
             // has no invalid bit patterns; we only copy raw bytes in.
@@ -79,20 +90,22 @@ impl AlignedBytes {
             let dst = unsafe {
                 std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), n_words * 8)
             };
-            dst[..bytes.len()].copy_from_slice(bytes);
+            dst[skip..skip + bytes.len()].copy_from_slice(bytes);
         }
         AlignedBytes {
             words,
+            skip,
             len: bytes.len(),
         }
     }
 
     fn as_bytes(&self) -> &[u8] {
-        // SAFETY: the Vec owns at least `len` initialised bytes
-        // (`len <= words.len() * 8`) and u8 has alignment 1.
+        // SAFETY: the Vec owns at least `skip + len` initialised bytes
+        // (`skip + len <= words.len() * 8` by construction) and u8 has
+        // alignment 1.
         #[allow(unsafe_code)]
         unsafe {
-            std::slice::from_raw_parts(self.words.as_ptr().cast::<u8>(), self.len)
+            std::slice::from_raw_parts(self.words.as_ptr().cast::<u8>().add(self.skip), self.len)
         }
     }
 }
@@ -200,7 +213,9 @@ enum RegionRepr {
 }
 
 /// An immutable byte region holding a binary model snapshot — **owned or
-/// memory-mapped** — with an 8-byte-aligned base address either way.
+/// memory-mapped** — with a 64-byte-aligned base address either way
+/// (owned storage is nudged to a cache-line boundary; mappings are page
+/// aligned).
 ///
 /// The owned form backs in-memory round-trips and the portable fallback;
 /// the mapped form is the zero-copy serving path: `N` engine processes
@@ -211,7 +226,7 @@ pub struct ModelBytes {
 }
 
 impl ModelBytes {
-    /// Wraps owned bytes (copied once into 8-aligned storage).
+    /// Wraps owned bytes (copied once into 64-aligned storage).
     pub fn from_vec(bytes: Vec<u8>) -> ModelBytes {
         ModelBytes {
             repr: RegionRepr::Owned(AlignedBytes::from_bytes(&bytes)),
@@ -283,11 +298,13 @@ mod sealed {
     impl Sealed for f64 {}
     impl Sealed for u64 {}
     impl Sealed for u32 {}
+    impl Sealed for f32 {}
+    impl Sealed for i8 {}
 }
 
 /// Plain-old-data element types a [`PodBuf`] can view: fixed-width,
 /// alignment ≤ 8, no invalid bit patterns, stored little-endian on disk.
-/// Sealed — exactly `f64`, `u64` and `u32`.
+/// Sealed — exactly `f64`, `u64`, `u32`, `f32` and `i8`.
 pub trait Pod: sealed::Sealed + Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static {
     /// Element width in bytes.
     const WIDTH: usize;
@@ -327,6 +344,26 @@ impl Pod for u32 {
     }
 }
 
+impl Pod for f32 {
+    const WIDTH: usize = 4;
+    fn from_le(bytes: &[u8]) -> f32 {
+        f32::from_le_bytes(bytes.try_into().expect("width-checked chunk"))
+    }
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl Pod for i8 {
+    const WIDTH: usize = 1;
+    fn from_le(bytes: &[u8]) -> i8 {
+        bytes[0] as i8
+    }
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.push(self as u8);
+    }
+}
+
 enum BufRepr<T: Pod> {
     Owned(Vec<T>),
     Shared {
@@ -352,6 +389,10 @@ pub type F64Buf = PodBuf<f64>;
 pub type U64Buf = PodBuf<u64>;
 /// `u32` payload buffer (item-index lists, id-map table values).
 pub type U32Buf = PodBuf<u32>;
+/// `f32` payload buffer (quantized factor matrices, per-row scales).
+pub type F32Buf = PodBuf<f32>;
+/// `i8` payload buffer (int8-quantized factor matrices).
+pub type I8Buf = PodBuf<i8>;
 
 impl<T: Pod> PodBuf<T> {
     /// A typed view of `n` elements starting `byte_offset` bytes into the
@@ -395,6 +436,7 @@ impl<T: Pod> PodBuf<T> {
     }
 
     /// The elements.
+    #[inline]
     pub fn as_slice(&self) -> &[T] {
         match &self.repr {
             BufRepr::Owned(v) => v,
@@ -521,8 +563,42 @@ mod tests {
         assert_eq!(region.as_bytes(), &bytes[..]);
         assert_eq!(region.len(), 23);
         assert!(!region.is_mapped());
-        // base address is 8-aligned so typed views can borrow
-        assert_eq!(region.as_bytes().as_ptr() as usize % 8, 0);
+        // base address is cache-line-aligned so typed views can borrow
+        // and blocked kernels see 64-aligned rows
+        assert_eq!(region.as_bytes().as_ptr() as usize % 64, 0);
+    }
+
+    #[test]
+    fn owned_region_base_is_64_aligned_across_sizes() {
+        for len in [1usize, 7, 8, 63, 64, 65, 4096 + 13] {
+            let bytes: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let region = ModelBytes::from_vec(bytes.clone());
+            assert_eq!(
+                region.as_bytes().as_ptr() as usize % 64,
+                0,
+                "len {len}: owned base must be 64-aligned"
+            );
+            assert_eq!(region.as_bytes(), &bytes[..]);
+        }
+    }
+
+    #[test]
+    fn f32_and_i8_views_borrow_and_decode() {
+        let mut bytes = Vec::new();
+        for v in [1.5f32, -0.25, 3.0e10] {
+            v.write_le(&mut bytes);
+        }
+        for v in [-128i8, -1, 0, 127] {
+            v.write_le(&mut bytes);
+        }
+        let region = Arc::new(ModelBytes::from_vec(bytes));
+        let f = F32Buf::from_region(&region, 0, 3).unwrap();
+        assert_eq!(&*f, &[1.5f32, -0.25, 3.0e10]);
+        assert_eq!(f.is_shared(), cfg!(target_endian = "little"));
+        let q = I8Buf::from_region(&region, 12, 4).unwrap();
+        assert_eq!(&*q, &[-128i8, -1, 0, 127]);
+        // out-of-range rejected
+        assert!(I8Buf::from_region(&region, 12, 5).is_err());
     }
 
     #[test]

@@ -26,6 +26,29 @@ pub struct FoldIn {
     pub steps: usize,
 }
 
+/// Reusable working memory for [`fold_in_user_with`] — the sorted basket,
+/// the negative sum, the iterate, and the two solver temporaries.
+///
+/// A serving tier folds users in on every cold request; allocating these
+/// five vectors per request is pure tail latency. Keep one scratch per
+/// worker thread (the buffers are cleared and resized on each call, so
+/// results are identical to the allocate-fresh path).
+#[derive(Debug, Clone, Default)]
+pub struct FoldInScratch {
+    positives: Vec<u32>,
+    negsum: Vec<f64>,
+    own: Vec<f64>,
+    grad: Vec<f64>,
+    step: Vec<f64>,
+}
+
+impl FoldInScratch {
+    /// An empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Infers the affiliation vector of a user with the given `basket` of item
 /// indices, against a fitted model's (frozen) item factors.
 ///
@@ -43,28 +66,66 @@ pub fn fold_in_user(
     weight: f64,
     max_steps: usize,
 ) -> FoldIn {
+    let item_sum = model.item_factors.column_sums();
+    fold_in_user_with(
+        model,
+        basket,
+        cfg,
+        weight,
+        max_steps,
+        &item_sum,
+        &mut FoldInScratch::new(),
+    )
+}
+
+/// [`fold_in_user`] against caller-owned working memory: `item_sum` is the
+/// model's `item_factors.column_sums()` (model-constant — compute it once
+/// per loaded model, not once per request) and `scratch` holds the solver
+/// buffers, reusable across calls. Returns exactly what [`fold_in_user`]
+/// returns for the same inputs.
+///
+/// # Panics
+/// In addition to [`fold_in_user`]'s basket checks, panics if
+/// `item_sum.len() != model.k_total()`.
+pub fn fold_in_user_with(
+    model: &FactorModel,
+    basket: &[usize],
+    cfg: &OcularConfig,
+    weight: f64,
+    max_steps: usize,
+    item_sum: &[f64],
+    scratch: &mut FoldInScratch,
+) -> FoldIn {
     let k = model.k_total();
-    let mut positives: Vec<u32> = basket
-        .iter()
-        .map(|&i| {
-            assert!(i < model.n_items(), "basket item {i} out of range");
-            ocular_sparse::col_index(i)
-        })
-        .collect();
-    positives.sort_unstable();
-    let dups = positives.windows(2).any(|w| w[0] == w[1]);
+    assert_eq!(
+        item_sum.len(),
+        k,
+        "item_sum must be the model's column_sums()"
+    );
+    scratch.positives.clear();
+    scratch.positives.extend(basket.iter().map(|&i| {
+        assert!(i < model.n_items(), "basket item {i} out of range");
+        ocular_sparse::col_index(i)
+    }));
+    scratch.positives.sort_unstable();
+    let dups = scratch.positives.windows(2).any(|w| w[0] == w[1]);
     assert!(!dups, "basket contains duplicate items");
 
-    let item_sum = model.item_factors.column_sums();
-    let mut negsum = vec![0.0; k];
-    negative_sum(&model.item_factors, &item_sum, &positives, &mut negsum);
+    scratch.negsum.clear();
+    scratch.negsum.resize(k, 0.0);
+    negative_sum(
+        &model.item_factors,
+        item_sum,
+        &scratch.positives,
+        &mut scratch.negsum,
+    );
     // bias layout: the user-side frozen dimension is k_clusters + 1
     let fixed_dim = model.has_bias().then(|| model.n_clusters() + 1);
     let problem = LocalProblem {
-        positives: &positives,
+        positives: &scratch.positives,
         other: &model.item_factors,
         weights: PosWeights::Uniform(weight),
-        negsum: &negsum,
+        negsum: &scratch.negsum,
         lambda: cfg.lambda,
         fixed_dim,
     };
@@ -76,14 +137,16 @@ pub fn fold_in_user(
 
     // warm start: mean of the basket items' factors (a reasonable prior —
     // the user is "like" their items), bias column forced to 1
-    let mut own = vec![0.0; k];
-    if !positives.is_empty() {
-        for &i in &positives {
+    let own = &mut scratch.own;
+    own.clear();
+    own.resize(k, 0.0);
+    if !scratch.positives.is_empty() {
+        for &i in &scratch.positives {
             for (o, &v) in own.iter_mut().zip(model.item_factors.row(i as usize)) {
                 *o += v;
             }
         }
-        let inv = 1.0 / positives.len() as f64;
+        let inv = 1.0 / scratch.positives.len() as f64;
         for o in own.iter_mut() {
             *o *= inv;
         }
@@ -92,13 +155,15 @@ pub fn fold_in_user(
         own[d] = 1.0;
     }
 
-    let mut grad = vec![0.0; k];
-    let mut scratch = vec![0.0; k];
-    let mut q = problem.objective(&own);
+    scratch.grad.clear();
+    scratch.grad.resize(k, 0.0);
+    scratch.step.clear();
+    scratch.step.resize(k, 0.0);
+    let mut q = problem.objective(own);
     let mut steps = 0;
     for _ in 0..max_steps {
-        problem.gradient(&own, &mut grad);
-        match armijo_step(&mut own, &grad, q, &problem, &ls, &mut scratch) {
+        problem.gradient(own, &mut scratch.grad);
+        match armijo_step(own, &scratch.grad, q, &problem, &ls, &mut scratch.step) {
             StepOutcome::Accepted { q_new, .. } => {
                 q = q_new;
                 steps += 1;
@@ -107,7 +172,7 @@ pub fn fold_in_user(
         }
     }
     FoldIn {
-        factors: own,
+        factors: own.clone(),
         objective: q,
         steps,
     }

@@ -78,7 +78,7 @@ pub use coclusters::{default_threshold, extract_coclusters, CoCluster};
 pub use config::{InitStrategy, OcularConfig, Weighting};
 pub use diagnostics::{diagnose, ModelDiagnostics};
 pub use explain::{explain, Explanation};
-pub use foldin::{fold_in_user, recommend_for_basket, FoldIn};
+pub use foldin::{fold_in_user, fold_in_user_with, recommend_for_basket, FoldIn, FoldInScratch};
 pub use model::FactorModel;
 pub use recommend::{recommend_top_m, Recommendation};
 pub use topm::{top_m_excluding, TopM};

@@ -13,10 +13,14 @@
 //! * Gram matrices `FᵀF` (the wALS "Gram trick" that makes the one-class
 //!   objective tractable) — [`Matrix::gram`];
 //! * bounded top-K selection under the workspace ranking ties convention,
-//!   shared by evaluation and serving — [`topk`].
+//!   shared by evaluation and serving — [`topk`];
+//! * quantized serving representations (`f32`, affine per-row `int8`) with
+//!   blocked, auto-vectorizable score-many kernels — [`quant`].
 //!
-//! Everything is `f64`, row-major, and allocation-conscious: the hot kernels
-//! in [`ops`] write into caller-provided buffers.
+//! The master representation is `f64`, row-major, and
+//! allocation-conscious: the hot kernels in [`ops`] write into
+//! caller-provided buffers. [`quant`] narrows item factors for the serve
+//! path only; training and fold-in stay `f64`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,8 +28,10 @@
 mod cholesky;
 mod matrix;
 pub mod ops;
+pub mod quant;
 pub mod topk;
 
 pub use cholesky::{Cholesky, CholeskyError};
 pub use matrix::Matrix;
+pub use quant::{PreparedQuery, QuantDtype, QuantizedFactors};
 pub use topk::{top_k_excluding, TopK};

@@ -1,6 +1,6 @@
 //! Property tests for the dense linear-algebra substrate.
 
-use ocular_linalg::{ops, Cholesky, Matrix};
+use ocular_linalg::{ops, Cholesky, Matrix, QuantDtype, QuantizedFactors};
 use proptest::prelude::*;
 
 fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
@@ -95,5 +95,104 @@ proptest! {
         let d = ops::dot(&a, &a);
         prop_assert!(d >= 0.0);
         prop_assert!((d.sqrt() - ops::norm(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_dot_matches_dot(a in proptest::collection::vec(-5.0f64..5.0, 0..64),
+                             b in proptest::collection::vec(-5.0f64..5.0, 0..64),
+                             warp in 0usize..70) {
+        let n = a.len().min(b.len());
+        let exact = ops::dot(&a[..n], &b[..n]);
+        prop_assert!((ops::block_dot(&a[..n], &b[..n], warp) - exact).abs() < 1e-9);
+    }
+
+    /// f32 quantization is plain rounding: the per-element round-trip
+    /// error is bounded by one f32 ulp of the value (relative 2⁻²³, with
+    /// an absolute floor for subnormals).
+    #[test]
+    fn f32_quantize_dequantize_error_is_one_ulp(m in arb_matrix(10)) {
+        let q = QuantizedFactors::quantize(&m, QuantDtype::F32);
+        let mut row = vec![0.0; m.cols()];
+        for r in 0..m.rows() {
+            q.dequantize_row(r, &mut row);
+            for (c, (&got, &want)) in row.iter().zip(m.row(r)).enumerate() {
+                let bound = want.abs() * 1.2e-7 + 1e-37;
+                prop_assert!(
+                    (got - want).abs() <= bound,
+                    "row {}, col {}: |{} - {}| > {}", r, c, got, want, bound
+                );
+            }
+        }
+    }
+
+    /// int8 per-row affine quantization: the round-trip error is bounded
+    /// by half a quantization step, `range / (2·254)`, plus f32 rounding
+    /// of the row parameters.
+    #[test]
+    fn i8_quantize_dequantize_error_is_half_a_step(m in arb_matrix(10)) {
+        let q = QuantizedFactors::quantize(&m, QuantDtype::I8);
+        let mut row = vec![0.0; m.cols()];
+        for r in 0..m.rows() {
+            let (mn, mx) = m.row(r).iter().fold(
+                (f64::INFINITY, f64::NEG_INFINITY),
+                |(lo, hi), &v| (lo.min(v), hi.max(v)),
+            );
+            let range = mx - mn;
+            // half a step, plus slack for the f32-stored scale/zero-point
+            let bound = range / (2.0 * 254.0) + 1.2e-7 * (mn.abs().max(mx.abs()) + range) + 1e-30;
+            q.dequantize_row(r, &mut row);
+            for (c, (&got, &want)) in row.iter().zip(m.row(r)).enumerate() {
+                prop_assert!(
+                    (got - want).abs() <= bound,
+                    "row {}, col {}: |{} - {}| > {}", r, c, got, want, bound
+                );
+            }
+        }
+    }
+
+    /// Kernel consistency under quantization: for both dtypes, blocked
+    /// scores stay within the analytic error envelope of the exact f64
+    /// dot. Writing `u = û + εu`, `v = v̂ + εv` (hatted = quantized),
+    /// `|⟨û, v̂⟩ − ⟨u, v⟩| ≤ Σ |u||εv| + |v||εu| + |εu||εv|`, with per-
+    /// element ε bounded by half a quantization step (f32: one ulp).
+    #[test]
+    fn quantized_scores_stay_within_the_analytic_error_envelope(
+        m in arb_matrix(9), row in 0usize..8) {
+        let user = m.row(row % m.rows()).to_vec();
+        let k = m.cols() as f64;
+        let max_abs_user = ops::max_abs(&user);
+        let step = |r: &[f64]| {
+            let (mn, mx) = r.iter().fold(
+                (f64::INFINITY, f64::NEG_INFINITY),
+                |(lo, hi), &v| (lo.min(v), hi.max(v)),
+            );
+            (mx - mn) / 254.0
+        };
+        for dtype in [QuantDtype::F32, QuantDtype::I8] {
+            let q = QuantizedFactors::quantize(&m, dtype);
+            let prepared = q.prepare(&user);
+            let mut out = vec![0.0; m.rows()];
+            q.score_block(&prepared, 0, &mut out);
+            for i in 0..m.rows() {
+                let item = m.row(i);
+                let exact = ops::dot(&user, item);
+                let max_abs_item = ops::max_abs(item);
+                // per-element quantization error for each operand
+                let (eu, ev) = match dtype {
+                    QuantDtype::F32 => (1.2e-7 * max_abs_user, 1.2e-7 * max_abs_item),
+                    // half a step plus f32 rounding of the row's scale
+                    // and zero-point (each bounded by ~2 ulp of max|v|)
+                    QuantDtype::I8 => (
+                        0.5 * step(&user) + 5e-7 * max_abs_user,
+                        0.5 * step(item) + 5e-7 * max_abs_item,
+                    ),
+                };
+                let bound = k * (max_abs_user * ev + max_abs_item * eu + eu * ev) + 1e-9;
+                prop_assert!(
+                    (out[i] - exact).abs() <= bound,
+                    "{} item {}: |{} - {}| > {}", dtype, i, out[i], exact, bound
+                );
+            }
+        }
     }
 }

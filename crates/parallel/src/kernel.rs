@@ -61,24 +61,10 @@ impl AtomicF64 {
 /// (each chunk standing in for one warp's coalesced reads), then a final
 /// tree fold — numerically equivalent to the shared-memory reduction of
 /// [Sanders & Kandrot] the paper follows.
-pub fn block_dot(a: &[f64], b: &[f64], warp: usize) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    let warp = warp.max(1);
-    let mut partials: Vec<f64> = a
-        .chunks(warp)
-        .zip(b.chunks(warp))
-        .map(|(ca, cb)| ops::dot(ca, cb))
-        .collect();
-    // tree reduction
-    while partials.len() > 1 {
-        let half = partials.len().div_ceil(2);
-        for i in 0..partials.len() / 2 {
-            partials[i] += partials[half + i];
-        }
-        partials.truncate(half);
-    }
-    partials.first().copied().unwrap_or(0.0)
-}
+///
+/// The implementation lives in [`ocular_linalg::ops::block_dot`] so
+/// training and serving share one blocked kernel; this is a re-export.
+pub use ocular_linalg::ops::block_dot;
 
 /// `α(p) = 1/(1 − e^{−p})`, clamped like the CPU path.
 #[inline]

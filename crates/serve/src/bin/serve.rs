@@ -9,6 +9,7 @@
 //! serve --train data.tsv --snapshot model.snap \
 //!       [--delta more.tsv]... [--generation 1] \
 //!       [--format text|binary] \
+//!       [--quantize f32|int8]            (ocular + --format binary) \
 //!       [--algo ocular|wals|bpr|user-knn|item-knn|popularity] \
 //!       [--k 8] [--lambda 0.5] [--iters 60] [--seed 0] [--sep '\t'] \
 //!       [--rel 0.5] [--floor 100]        (ocular index build) \
@@ -41,8 +42,17 @@
 //! ```text
 //! serve --model model.snap --interactions data.tsv \
 //!       [--mode clusters|full] [--min-candidates 50] [--m 10] \
+//!       [--quantize f32|int8] \
 //!       [--lambda 0.5] [--threads N] [--batch 256] [--sep '\t']
 //! ```
+//!
+//! `--quantize` at train time stores a narrowed copy of the item factors
+//! (`f32`, or per-row affine `int8`) as extra v3 sections next to the f64
+//! master, and serving scores the catalog through the matching blocked
+//! kernel; at serve time the same flag re-quantizes any OCuLaR snapshot
+//! on load, so old snapshots opt in without retraining. Responses and
+//! `GET /stats` report the active `dtype`. Cold-start fold-in always
+//! solves in f64 and narrows the folded row per request.
 //!
 //! **Listen** (Linux) — same engine behind the non-blocking TCP/HTTP
 //! front-end instead of stdin ([`ocular_serve::net::server`]): request
@@ -97,8 +107,8 @@ use ocular_api::SnapshotMeta;
 use ocular_baselines::{Bpr, BprConfig, ItemKnn, KnnConfig, Popularity, UserKnn, Wals, WalsConfig};
 use ocular_core::{fit, OcularConfig};
 use ocular_serve::{
-    AnySnapshot, CandidatePolicy, EngineBuilder, Request, ServeConfig, ServeEngine, Snapshot,
-    SnapshotFormat, WireReply, WireRequest,
+    AnySnapshot, CandidatePolicy, EngineBuilder, QuantDtype, Request, ServeConfig, ServeEngine,
+    Snapshot, SnapshotFormat, WireReply, WireRequest,
 };
 use ocular_sparse::io::{append_edge_list, read_edge_list};
 use ocular_sparse::{CsrMatrix, Dataset, IdMaps};
@@ -151,6 +161,16 @@ impl Flags {
         self.get(key)
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
+    }
+
+    /// The `--quantize {f32,int8}` flag, when present and well-formed.
+    fn quantize(&self) -> Result<Option<QuantDtype>, String> {
+        match self.get("quantize") {
+            None => Ok(None),
+            Some(s) => QuantDtype::parse(s)
+                .map(Some)
+                .ok_or_else(|| format!("--quantize must be `f32` or `int8`, got `{s}`")),
+        }
     }
 }
 
@@ -215,6 +235,18 @@ fn train_mode(flags: &Flags) -> Result<(), String> {
     let algo = flags.get("algo").unwrap_or("ocular");
     let r = load_dataset(flags, data, sep)?;
     let seed = flags.num("seed", 0u64);
+    let quantize = flags.quantize()?;
+    if quantize.is_some() && algo != "ocular" {
+        return Err(format!(
+            "--quantize only applies to --algo ocular (got `{algo}`)"
+        ));
+    }
+    if quantize.is_some() && flags.get("format").unwrap_or("text") != "binary" {
+        return Err(
+            "--quantize requires --format binary (the text envelope has no quantized sections)"
+                .into(),
+        );
+    }
     let t0 = std::time::Instant::now();
     let snapshot: AnySnapshot = match algo {
         "ocular" => {
@@ -230,7 +262,11 @@ fn train_mode(flags: &Flags) -> Result<(), String> {
                 rel: flags.num("rel", 0.5),
                 floor: flags.num("floor", 100),
             };
-            AnySnapshot::Ocular(Snapshot::build(model, &index_cfg))
+            let mut snap = Snapshot::build(model, &index_cfg);
+            if let Some(dtype) = quantize {
+                snap = snap.with_quantization(dtype);
+            }
+            AnySnapshot::Ocular(snap)
         }
         "wals" => {
             let cfg = WalsConfig {
@@ -369,13 +405,22 @@ fn build_engine(flags: &Flags, floor_generation: u64) -> Result<ServeEngine, Str
         },
         ..Default::default()
     };
-    let engine = EngineBuilder::from_snapshot(loaded.snapshot)
+    let mut builder = EngineBuilder::from_snapshot(loaded.snapshot)
         .dataset(r)
         .config(cfg)
-        .generation(generation)
-        .build()
-        .map_err(|e| e.to_string())?;
-    eprintln!("serving `{kind}` snapshot from {snap_path} (generation {generation})");
+        .generation(generation);
+    // `--quantize` at serve time re-quantizes from the f64 master when
+    // the snapshot does not already carry the requested dtype, so old
+    // snapshots opt in without retraining; without the flag a
+    // snapshot-embedded quantized copy is served as-is
+    if let Some(dtype) = flags.quantize()? {
+        builder = builder.quantization(dtype);
+    }
+    let engine = builder.build().map_err(|e| e.to_string())?;
+    eprintln!(
+        "serving `{kind}` snapshot from {snap_path} (generation {generation}, dtype {})",
+        engine.dtype().unwrap_or("f64")
+    );
     Ok(engine)
 }
 

@@ -14,10 +14,21 @@ use crate::snapshot::{AnySnapshot, LoadedSnapshot, Snapshot, OCULAR_KIND};
 use ocular_api::{validate_basket, Model, OcularError};
 use ocular_core::model::prob_from_affinity;
 use ocular_core::topm::{top_m_excluding, TopM};
-use ocular_core::{fold_in_user, FactorModel, OcularConfig, Recommendation};
-use ocular_linalg::ops;
+use ocular_core::{fold_in_user_with, FactorModel, FoldInScratch, OcularConfig, Recommendation};
+use ocular_linalg::{ops, QuantDtype, QuantizedFactors};
 use ocular_sparse::Dataset;
 use rayon::prelude::*;
+use std::cell::RefCell;
+
+thread_local! {
+    // Cold-request working memory, one set per serving thread (rayon
+    // workers included): the fold-in solver scratch and the dense score
+    // vector. Allocating these per request is what put the cold path's
+    // p99 an order of magnitude over its p50; buffers are cleared and
+    // resized on every use, so served output is unchanged.
+    static FOLD_SCRATCH: RefCell<FoldInScratch> = RefCell::new(FoldInScratch::new());
+    static SCORES: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// How the engine picks the items a request scores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,12 +136,21 @@ pub struct ServedList {
 pub type ServeError = OcularError;
 
 /// The model a loaded snapshot put behind the engine.
+// One lives per engine generation — never in a collection — so the size
+// spread between the inline OCuLaR fast path and the boxed generic path
+// costs nothing, while boxing would add a pointer chase per request.
+#[allow(clippy::large_enum_variant)]
 enum EngineModel {
     /// OCuLaR: factor model + co-cluster candidate index (the specialised
-    /// fast path).
+    /// fast path), optionally with a quantized copy of the item factors
+    /// that scoring dispatches to.
     Ocular {
         model: FactorModel,
         index: ClusterIndex,
+        quant: Option<QuantizedFactors>,
+        /// `item_factors.column_sums()`, cached at build: the fold-in
+        /// solve needs it on every cold request and it is model-constant.
+        item_sum: Vec<f64>,
     },
     /// Any other kind, served through the trait hierarchy.
     Generic(Box<dyn Model>),
@@ -153,6 +173,9 @@ impl EngineModel {
 }
 
 /// What an [`EngineBuilder`] builds an engine around.
+// Builder-only value, consumed once by `build()`; variant size spread is
+// irrelevant.
+#[allow(clippy::large_enum_variant)]
 enum EngineSource {
     /// A loaded snapshot of any kind.
     Any(AnySnapshot),
@@ -187,6 +210,7 @@ pub struct EngineBuilder {
     cfg: ServeConfig,
     index_cfg: IndexConfig,
     generation: u64,
+    quantize: Option<QuantDtype>,
 }
 
 impl EngineBuilder {
@@ -198,6 +222,7 @@ impl EngineBuilder {
             cfg: ServeConfig::default(),
             index_cfg: IndexConfig::default(),
             generation: 0,
+            quantize: None,
         }
     }
 
@@ -219,6 +244,7 @@ impl EngineBuilder {
             cfg: ServeConfig::default(),
             index_cfg: IndexConfig::default(),
             generation: 0,
+            quantize: None,
         }
     }
 
@@ -231,6 +257,7 @@ impl EngineBuilder {
             cfg: ServeConfig::default(),
             index_cfg: IndexConfig::default(),
             generation: 0,
+            quantize: None,
         }
     }
 
@@ -272,22 +299,63 @@ impl EngineBuilder {
         self
     }
 
+    /// Serves the catalog through a quantized item-factor representation
+    /// (`f32` or per-row affine `int8`) instead of the f64 master.
+    ///
+    /// If the snapshot already carries a matching quantized copy (written
+    /// by `--quantize` at train time) it is used as-is; otherwise the
+    /// builder re-quantizes from the f64 master at build time — old
+    /// snapshots opt in without retraining. Only OCuLaR sources have a
+    /// factor representation to narrow; requesting quantization for any
+    /// other kind is an [`OcularError::InvalidConfig`] at build.
+    pub fn quantization(mut self, dtype: QuantDtype) -> Self {
+        self.quantize = Some(dtype);
+        self
+    }
+
     /// Builds the engine, validating dataset ⊇ model.
     pub fn build(self) -> Result<ServeEngine, OcularError> {
         let model = match self.source {
-            EngineSource::Any(AnySnapshot::Ocular(s)) => EngineModel::Ocular {
-                model: s.model,
-                index: s.index,
-            },
-            EngineSource::Any(AnySnapshot::Other(m)) => EngineModel::Generic(m),
-            EngineSource::Model(m) => {
-                let s = Snapshot::build(m, &self.index_cfg);
+            EngineSource::Any(AnySnapshot::Ocular(s)) => {
+                // keep a snapshot-carried copy only when it matches the
+                // requested dtype; otherwise re-quantize from the master
+                let quant = match self.quantize {
+                    Some(dtype) if s.quant.as_ref().map(QuantizedFactors::dtype) != Some(dtype) => {
+                        Some(QuantizedFactors::quantize(&s.model.item_factors, dtype))
+                    }
+                    _ => s.quant,
+                };
+                let item_sum = s.model.item_factors.column_sums();
                 EngineModel::Ocular {
                     model: s.model,
                     index: s.index,
+                    quant,
+                    item_sum,
                 }
             }
-            EngineSource::Boxed(m) => EngineModel::Generic(m),
+            EngineSource::Model(m) => {
+                let s = Snapshot::build(m, &self.index_cfg);
+                let quant = self
+                    .quantize
+                    .map(|dtype| QuantizedFactors::quantize(&s.model.item_factors, dtype));
+                let item_sum = s.model.item_factors.column_sums();
+                EngineModel::Ocular {
+                    model: s.model,
+                    index: s.index,
+                    quant,
+                    item_sum,
+                }
+            }
+            EngineSource::Any(AnySnapshot::Other(m)) | EngineSource::Boxed(m) => {
+                if let Some(dtype) = self.quantize {
+                    return Err(OcularError::InvalidConfig(format!(
+                        "quantized serving ({dtype}) needs an OCuLaR snapshot; kind `{}` \
+                         has no factor representation to narrow",
+                        m.kind()
+                    )));
+                }
+                EngineModel::Generic(m)
+            }
         };
         let owned = self.dataset.ok_or_else(|| {
             OcularError::InvalidConfig(
@@ -439,6 +507,21 @@ impl ServeEngine {
         }
     }
 
+    /// Name of the active quantized scoring dtype (`"f32"` / `"int8"`),
+    /// or `None` when the engine scores through the f64 master —
+    /// reported in wire responses and `/stats`.
+    pub fn dtype(&self) -> Option<&'static str> {
+        self.quant().map(|q| q.dtype().name())
+    }
+
+    /// The quantized item factors scoring dispatches to, if any.
+    fn quant(&self) -> Option<&QuantizedFactors> {
+        match &self.model {
+            EngineModel::Ocular { quant, .. } => quant.as_ref(),
+            EngineModel::Generic(_) => None,
+        }
+    }
+
     /// The model generation this engine serves (0 when never set) —
     /// stamped into responses and `/stats`, kept monotone across hot
     /// swaps by [`crate::swap::SwapEngine`].
@@ -534,7 +617,8 @@ impl ServeEngine {
                 };
                 WireReply::Ok(
                     WireResponse::new(req, list, translate)
-                        .with_model(self.generation, self.kind()),
+                        .with_model(self.generation, self.kind())
+                        .with_dtype(self.dtype()),
                 )
             }
         }
@@ -587,9 +671,20 @@ impl ServeEngine {
     fn serve_cold(&self, basket: &[usize], m: usize) -> Result<ServedList, ServeError> {
         let exclude = validate_basket(basket, self.model.n_items())?;
         match &self.model {
-            EngineModel::Ocular { model, .. } => {
-                let fold =
-                    fold_in_user(model, basket, &self.cfg.foldin, 1.0, self.cfg.foldin_steps);
+            EngineModel::Ocular {
+                model, item_sum, ..
+            } => {
+                let fold = FOLD_SCRATCH.with(|s| {
+                    fold_in_user_with(
+                        model,
+                        basket,
+                        &self.cfg.foldin,
+                        1.0,
+                        self.cfg.foldin_steps,
+                        item_sum,
+                        &mut s.borrow_mut(),
+                    )
+                });
                 Ok(self.select(model, &fold.factors, &exclude, m))
             }
             EngineModel::Generic(model) => {
@@ -651,11 +746,25 @@ impl ServeEngine {
         m: usize,
     ) -> ServedList {
         let n = model.n_items();
-        let mut scores = vec![0.0; n];
-        for (i, s) in scores.iter_mut().enumerate() {
-            *s = prob_from_affinity(ops::dot(factors, model.item_factors.row(i)));
-        }
-        self.select_scores(&scores, exclude, m)
+        SCORES.with(|cell| {
+            let mut scores = cell.borrow_mut();
+            scores.clear();
+            scores.resize(n, 0.0);
+            if let Some(quant) = self.quant() {
+                // blocked quantized kernel over the whole catalog (the user
+                // row — warm or freshly folded-in — narrows per request)
+                let query = quant.prepare(factors);
+                quant.score_block(&query, 0, &mut scores);
+                for s in scores.iter_mut() {
+                    *s = prob_from_affinity(*s);
+                }
+            } else {
+                for (i, s) in scores.iter_mut().enumerate() {
+                    *s = prob_from_affinity(ops::dot(factors, model.item_factors.row(i)));
+                }
+            }
+            self.select_scores(&scores, exclude, m)
+        })
     }
 
     /// Scores only the candidate list (ascending), skipping exclusions.
@@ -667,6 +776,7 @@ impl ServeEngine {
         exclude: &[u32],
         m: usize,
     ) -> ServedList {
+        let query = self.quant().map(|q| q.prepare(factors));
         let mut heap = TopM::new(m);
         let mut cursor = 0usize;
         let mut scored = 0usize;
@@ -679,8 +789,11 @@ impl ServeEngine {
                 cursor += 1;
                 continue;
             }
-            let p = prob_from_affinity(ops::dot(factors, model.item_factors.row(item)));
-            heap.push(item, p);
+            let affinity = match (&query, self.quant()) {
+                (Some(q), Some(quant)) => quant.score_row(q, item),
+                _ => ops::dot(factors, model.item_factors.row(item)),
+            };
+            heap.push(item, prob_from_affinity(affinity));
             scored += 1;
         }
         ServedList {
@@ -1029,6 +1142,121 @@ mod tests {
         for threads in [2usize, 4] {
             assert_eq!(e.serve_batch_threads(&reqs, Some(threads)), reference);
         }
+    }
+
+    #[test]
+    fn quantized_engines_report_dtype_and_score_within_tolerance() {
+        let (model, r, train_cfg) = trained();
+        let cfg = ServeConfig {
+            default_m: 5,
+            candidates: CandidatePolicy::FullCatalog,
+            foldin: train_cfg,
+            ..Default::default()
+        };
+        let f64_engine = EngineBuilder::from_model(model.clone())
+            .dataset(r.clone())
+            .config(cfg.clone())
+            .build()
+            .unwrap();
+        assert_eq!(f64_engine.dtype(), None);
+        for (dtype, name, tol) in [
+            (QuantDtype::F32, "f32", 1e-5),
+            (QuantDtype::I8, "int8", 5e-2),
+        ] {
+            let e = EngineBuilder::from_model(model.clone())
+                .dataset(r.clone())
+                .config(cfg.clone())
+                .quantization(dtype)
+                .build()
+                .unwrap();
+            assert_eq!(e.dtype(), Some(name));
+            for u in 0..e.model().n_users() {
+                let got = e.serve_one(&Request::Warm { user: u, m: 5 }).unwrap();
+                let want = f64_engine
+                    .serve_one(&Request::Warm { user: u, m: 5 })
+                    .unwrap();
+                // per-item probabilities stay within the dtype's error
+                // envelope of the f64 path
+                for (g, w) in got.items.iter().zip(&want.items) {
+                    assert!(
+                        (g.probability - w.probability).abs() <= tol,
+                        "{name} user {u}: |{} - {}| > {tol}",
+                        g.probability,
+                        w.probability
+                    );
+                }
+            }
+            // cold requests fold in at f64 and narrow the folded row
+            let served = e
+                .serve_one(&Request::Cold {
+                    basket: vec![0, 1],
+                    m: 5,
+                })
+                .unwrap();
+            assert_eq!(served.items.len(), 5);
+        }
+    }
+
+    #[test]
+    fn quantized_cluster_policy_serves_both_paths() {
+        let (model, r, train_cfg) = trained();
+        let e = EngineBuilder::from_model(model)
+            .dataset(r)
+            .index_config(IndexConfig {
+                rel: 0.5,
+                floor: 10,
+            })
+            .config(ServeConfig {
+                default_m: 5,
+                candidates: CandidatePolicy::Clusters { min_candidates: 1 },
+                foldin: train_cfg,
+                ..Default::default()
+            })
+            .quantization(QuantDtype::I8)
+            .build()
+            .unwrap();
+        let (mut restricted, mut full) = (0, 0);
+        for u in 0..e.model().n_users() {
+            let served = e.serve_one(&Request::Warm { user: u, m: 3 }).unwrap();
+            assert_eq!(served.items.len(), 3);
+            if served.scored < e.model().n_items() {
+                restricted += 1;
+            } else {
+                full += 1;
+            }
+        }
+        assert!(restricted > 0, "candidate path must be exercised");
+        let _ = full;
+    }
+
+    #[test]
+    fn snapshot_carried_quant_is_adopted_or_requantized() {
+        let (model, r, _) = trained();
+        let snap =
+            Snapshot::build(model, &IndexConfig::default()).with_quantization(QuantDtype::I8);
+        // no builder request: the snapshot's copy is served as-is
+        let e = EngineBuilder::from_snapshot(AnySnapshot::Ocular(snap.clone()))
+            .dataset(r.clone())
+            .build()
+            .unwrap();
+        assert_eq!(e.dtype(), Some("int8"));
+        // a mismatching request re-quantizes from the f64 master
+        let e = EngineBuilder::from_snapshot(AnySnapshot::Ocular(snap))
+            .dataset(r)
+            .quantization(QuantDtype::F32)
+            .build()
+            .unwrap();
+        assert_eq!(e.dtype(), Some("f32"));
+    }
+
+    #[test]
+    fn quantization_rejected_for_generic_kinds() {
+        let (_, r, _) = trained();
+        let built = EngineBuilder::from_recommender(Box::new(Popularity::fit(&r)))
+            .dataset(r)
+            .quantization(QuantDtype::F32)
+            .build();
+        assert!(matches!(built, Err(OcularError::InvalidConfig(_))));
     }
 
     #[test]

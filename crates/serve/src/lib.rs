@@ -75,4 +75,7 @@ pub use engine::{
 pub use index::{ClusterIndex, IndexConfig};
 pub use protocol::{WireError, WireReply, WireRequest, WireResponse, PROTOCOL_VERSION};
 pub use snapshot::{AnySnapshot, LoadedSnapshot, Snapshot, SnapshotFormat, OCULAR_KIND};
+// re-exported so CLI/transport layers name the quantized dtypes without a
+// direct linalg dependency
+pub use ocular_linalg::{QuantDtype, QuantizedFactors};
 pub use swap::SwapEngine;

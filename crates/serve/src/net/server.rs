@@ -702,6 +702,7 @@ fn route(
                 .to_json_with_model(
                     current.generation(),
                     current.kind(),
+                    current.dtype(),
                     swap.swap_count(),
                     swap.reloading(),
                 )

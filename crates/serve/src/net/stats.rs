@@ -213,12 +213,14 @@ impl ServerStats {
 
     /// The `/stats` body with the serving model's identity appended:
     /// which `model_generation` and `kind` answer requests right now,
-    /// how many hot `swaps` have landed, whether a reload is in flight,
-    /// and how many `reloads` were attempted.
+    /// the quantized scoring `dtype` when one is active, how many hot
+    /// `swaps` have landed, whether a reload is in flight, and how many
+    /// `reloads` were attempted.
     pub fn to_json_with_model(
         &self,
         generation: u64,
         kind: &str,
+        dtype: Option<&str>,
         swaps: u64,
         reloading: bool,
     ) -> Json {
@@ -227,6 +229,13 @@ impl ServerStats {
         };
         fields.push(("model_generation".into(), Json::Int(generation)));
         fields.push(("kind".into(), Json::Str(kind.to_string())));
+        fields.push((
+            "dtype".into(),
+            match dtype {
+                Some(d) => Json::Str(d.to_string()),
+                None => Json::Str("f64".to_string()),
+            },
+        ));
         fields.push(("swaps".into(), Json::Int(swaps)));
         fields.push(("reloading".into(), Json::Bool(reloading)));
         fields.push((
@@ -315,12 +324,21 @@ mod tests {
     fn stats_json_carries_the_model_identity() {
         let stats = ServerStats::new(1);
         stats.reloads.store(4, Ordering::Relaxed);
-        let text = stats.to_json_with_model(9, "ocular", 3, true).to_string();
+        let text = stats
+            .to_json_with_model(9, "ocular", None, 3, true)
+            .to_string();
         let back = Json::parse(&text).unwrap();
         assert_eq!(back.get("model_generation").unwrap().as_u64(), Some(9));
         assert_eq!(back.get("kind").unwrap().as_str(), Some("ocular"));
+        assert_eq!(back.get("dtype").unwrap().as_str(), Some("f64"));
         assert_eq!(back.get("swaps").unwrap().as_u64(), Some(3));
         assert_eq!(back.get("reloading"), Some(&Json::Bool(true)));
         assert_eq!(back.get("reloads").unwrap().as_u64(), Some(4));
+        // a quantized engine names its representation
+        let text = stats
+            .to_json_with_model(9, "ocular", Some("int8"), 3, false)
+            .to_string();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.get("dtype").unwrap().as_str(), Some("int8"));
     }
 }

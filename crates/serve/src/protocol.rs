@@ -38,9 +38,11 @@
 //! `"folded_in":true` when a warm user newer than the active snapshot was
 //! served by request-time fold-in (absent means false), and
 //! `"model_generation"` / `"kind"` identify the model that answered —
-//! what lets a client observe a hot swap land. Additive means the v1
-//! shape is unchanged: decoders that ignore unknown fields keep working,
-//! and the version stays `"v": 1`.
+//! what lets a client observe a hot swap land. A fourth additive field,
+//! `"dtype"`, names the quantized scoring representation (`"f32"` /
+//! `"int8"`) when the engine serves one; absent means the f64 master.
+//! Additive means the v1 shape is unchanged: decoders that ignore unknown
+//! fields keep working, and the version stays `"v": 1`.
 //!
 //! Error response — a typed taxonomy mapped from
 //! [`OcularError`], message first for human eyes, machine-readable code
@@ -404,6 +406,10 @@ pub struct WireResponse {
     /// Kind tag of the model that served this request (v1 additive
     /// field, present when the engine knows it).
     pub kind: Option<String>,
+    /// Quantized scoring dtype (`"f32"` / `"int8"`) that answered this
+    /// request (v1 additive field, present only when the engine scores
+    /// through a quantized representation — absent means the f64 master).
+    pub dtype: Option<String>,
 }
 
 impl WireResponse {
@@ -430,6 +436,7 @@ impl WireResponse {
             folded_in: list.folded_in,
             model_generation: None,
             kind: None,
+            dtype: None,
         }
     }
 
@@ -438,6 +445,13 @@ impl WireResponse {
     pub fn with_model(mut self, generation: u64, kind: &str) -> WireResponse {
         self.model_generation = Some(generation);
         self.kind = Some(kind.to_string());
+        self
+    }
+
+    /// Stamps the engine's quantized scoring dtype into the response
+    /// (`None` — the f64 path — leaves the field off the wire).
+    pub fn with_dtype(mut self, dtype: Option<&str>) -> WireResponse {
+        self.dtype = dtype.map(str::to_string);
         self
     }
 
@@ -473,6 +487,9 @@ impl WireResponse {
         }
         if let Some(kind) = &self.kind {
             fields.push(("kind", Json::Str(kind.clone())));
+        }
+        if let Some(dtype) = &self.dtype {
+            fields.push(("dtype", Json::Str(dtype.clone())));
         }
         obj(fields)
     }
@@ -539,6 +556,10 @@ impl WireResponse {
             kind: match v.get("kind") {
                 None => None,
                 Some(k) => Some(k.as_str().ok_or("`kind` must be a string")?.to_string()),
+            },
+            dtype: match v.get("dtype") {
+                None => None,
+                Some(d) => Some(d.as_str().ok_or("`dtype` must be a string")?.to_string()),
             },
         })
     }
@@ -772,6 +793,35 @@ mod tests {
         assert!(!decoded.folded_in);
         assert_eq!(decoded.model_generation, None);
         assert_eq!(decoded.kind, None);
+        assert_eq!(decoded.dtype, None);
+    }
+
+    #[test]
+    fn dtype_field_is_additive_and_round_trips() {
+        let list = ServedList {
+            items: vec![Recommendation {
+                item: 2,
+                probability: 0.5,
+            }],
+            scored: 10,
+            fell_back: false,
+            folded_in: false,
+        };
+        let resp = WireResponse::new(&Request::Warm { user: 1, m: 1 }, &list, None)
+            .with_model(4, "ocular")
+            .with_dtype(Some("int8"));
+        let line = WireReply::Ok(resp.clone()).encode();
+        assert_eq!(
+            line,
+            r#"{"user":1,"items":[2],"probs":[0.5],"scored":10,"fallback":false,"model_generation":4,"kind":"ocular","dtype":"int8"}"#
+        );
+        assert_eq!(
+            WireReply::decode(&line).unwrap(),
+            WireReply::Ok(resp.clone())
+        );
+        // the f64 path leaves the field off the wire entirely
+        let bare = resp.with_dtype(None);
+        assert!(!WireReply::Ok(bare).encode().contains("dtype"));
     }
 
     #[test]

@@ -60,6 +60,7 @@ use ocular_api::{Model, OcularError, SnapshotModel};
 use ocular_baselines::{Bpr, ItemKnn, Popularity, UserKnn, Wals};
 use ocular_bytes::ModelBytes;
 use ocular_core::FactorModel;
+use ocular_linalg::{QuantDtype, QuantizedFactors};
 use ocular_sparse::{IdMaps, RawIdTable};
 use std::io::{BufRead, Read, Write};
 use std::path::Path;
@@ -112,6 +113,13 @@ pub struct Snapshot {
     pub model: FactorModel,
     /// Per-cluster inverted item lists built at snapshot time.
     pub index: ClusterIndex,
+    /// Optional quantized item factors (`f32` or per-row affine `int8`)
+    /// for the serving fast path. Produced at save time by
+    /// [`Snapshot::with_quantization`]; carried only by the v3 binary
+    /// container — the text envelope drops it (the f64 master is always
+    /// present, so a text round-trip loses nothing but the precomputed
+    /// narrow copy).
+    pub quant: Option<QuantizedFactors>,
 }
 
 impl Snapshot {
@@ -119,7 +127,20 @@ impl Snapshot {
     /// given build parameters (see [`ClusterIndex::build`]).
     pub fn build(model: FactorModel, cfg: &IndexConfig) -> Self {
         let index = ClusterIndex::build(&model, cfg);
-        Snapshot { model, index }
+        Snapshot {
+            model,
+            index,
+            quant: None,
+        }
+    }
+
+    /// Attaches a quantized copy of the item factors, derived from the
+    /// f64 master. Serving engines built from this snapshot score the
+    /// catalog through the matching blocked kernel
+    /// ([`QuantizedFactors::score_block`]) instead of the f64 path.
+    pub fn with_quantization(mut self, dtype: QuantDtype) -> Self {
+        self.quant = Some(QuantizedFactors::quantize(&self.model.item_factors, dtype));
+        self
     }
 
     /// Serialises the snapshot (v2 envelope: model + index + sentinel) to
@@ -234,7 +255,11 @@ impl Snapshot {
         }
         let index =
             ClusterIndex::from_parts(rel, n_items, items).map_err(|e| bad(e.to_string()))?;
-        Ok(Snapshot { model, index })
+        Ok(Snapshot {
+            model,
+            index,
+            quant: None,
+        })
     }
 }
 
@@ -365,6 +390,21 @@ impl Snapshot {
         w.put_f64s("idxrel", &[self.index.rel()]);
         w.put_u64s("idxptr", self.index.indptr());
         w.put_u32s("idxdat", self.index.item_data());
+        // quantized item factors (64-byte-aligned sections, see
+        // `put_pod64`) so loaders feed them straight into the blocked
+        // kernels without copying
+        if let Some(q) = &self.quant {
+            match q.dtype() {
+                QuantDtype::F32 => w.put_f32s("if32", q.f32_data()),
+                QuantDtype::I8 => {
+                    let (codes, scale, zero, qsum) = q.i8_parts();
+                    w.put_i8s("ii8", codes);
+                    w.put_f32s("i8scl", scale);
+                    w.put_f32s("i8zp", zero);
+                    w.put_f32s("i8sum", qsum);
+                }
+            }
+        }
         Ok(())
     }
 
@@ -384,7 +424,32 @@ impl Snapshot {
                 model.n_clusters()
             )));
         }
-        Ok(Snapshot { model, index })
+        let (rows, cols) = (model.n_items(), model.item_factors.cols());
+        let quant = if r.has("if32") {
+            Some(
+                QuantizedFactors::from_parts_f32(rows, cols, r.f32s("if32")?)
+                    .map_err(OcularError::Corrupt)?,
+            )
+        } else if r.has("ii8") {
+            Some(
+                QuantizedFactors::from_parts_i8(
+                    rows,
+                    cols,
+                    r.i8s("ii8")?,
+                    r.f32s("i8scl")?,
+                    r.f32s("i8zp")?,
+                    r.f32s("i8sum")?,
+                )
+                .map_err(OcularError::Corrupt)?,
+            )
+        } else {
+            None
+        };
+        Ok(Snapshot {
+            model,
+            index,
+            quant,
+        })
     }
 }
 
@@ -420,6 +485,9 @@ fn read_ids_sections(r: &SectionReader) -> Result<Option<IdMaps>, OcularError> {
 /// A snapshot of *any* model kind — what the polymorphic serving path
 /// loads. OCuLaR snapshots keep their candidate-generation index; every
 /// other kind is a bare [`Model`] trait object.
+// One per load; boxing the OCuLaR variant would cost an indirection on
+// every request for no memory win that matters at this cardinality.
+#[allow(clippy::large_enum_variant)]
 pub enum AnySnapshot {
     /// An OCuLaR model with its co-cluster index.
     Ocular(Snapshot),
@@ -1014,6 +1082,40 @@ mod tests {
             assert!(AnySnapshot::load_path(&path).is_ok(), "{name}");
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quantized_sections_round_trip_in_v3_and_are_dropped_by_text() {
+        for dtype in [QuantDtype::F32, QuantDtype::I8] {
+            let s = snapshot().with_quantization(dtype);
+            assert_eq!(s.quant.as_ref().unwrap().dtype(), dtype);
+            let bytes = AnySnapshot::Ocular(s.clone()).to_v3_bytes(None).unwrap();
+            let (loaded, _) = AnySnapshot::load_v3(ModelBytes::from_vec(bytes.clone())).unwrap();
+            let AnySnapshot::Ocular(loaded) = loaded else {
+                panic!("quantized ocular snapshot must load as ocular");
+            };
+            assert_eq!(loaded, s, "{dtype}: v3 round-trip must preserve quant");
+            // v3 re-serialisation of the loaded snapshot is a fixed point
+            let again = AnySnapshot::Ocular(loaded).to_v3_bytes(None).unwrap();
+            assert_eq!(again, bytes, "{dtype}: v3 must be a fixed point");
+            // the text envelope drops the narrow copy, keeping the master
+            let mut buf = Vec::new();
+            s.save(&mut buf).unwrap();
+            let text_loaded = Snapshot::load(&mut buf.as_slice()).unwrap();
+            assert_eq!(text_loaded.quant, None);
+            assert_eq!(text_loaded.model, s.model);
+        }
+    }
+
+    #[test]
+    fn unquantized_v3_snapshots_load_with_no_quant() {
+        let s = AnySnapshot::Ocular(snapshot());
+        let bytes = s.to_v3_bytes(None).unwrap();
+        let (loaded, _) = AnySnapshot::load_v3(ModelBytes::from_vec(bytes)).unwrap();
+        match loaded {
+            AnySnapshot::Ocular(inner) => assert_eq!(inner.quant, None),
+            AnySnapshot::Other(_) => panic!("must load as ocular"),
+        }
     }
 
     #[test]

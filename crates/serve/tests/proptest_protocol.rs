@@ -50,7 +50,9 @@ fn arb_response() -> impl Strategy<Value = WireResponse> {
         proptest::collection::vec((0usize..1 << 20, any::<f64>()), 0..20),
         (any::<bool>(), 0usize..1 << 20, any::<bool>()),
         // live-refresh additions: fold-in marker + optional model identity
+        // + optional quantized scoring dtype
         (any::<bool>(), any::<bool>(), 0..=MAX_EXACT, 0usize..5),
+        0usize..3,
     )
         .prop_map(
             |(
@@ -58,6 +60,7 @@ fn arb_response() -> impl Strategy<Value = WireResponse> {
                 pairs,
                 (with_ids, scored, fallback),
                 (folded_in, with_gen, generation, kind),
+                dtype,
             )| {
                 let echo = match which {
                     0 => Echo::User((id & 0xf_ffff) as usize),
@@ -75,6 +78,11 @@ fn arb_response() -> impl Strategy<Value = WireResponse> {
                     3 => Some("popularity".to_string()),
                     _ => Some("item-knn".to_string()),
                 };
+                let dtype = match dtype {
+                    0 => None,
+                    1 => Some("f32".to_string()),
+                    _ => Some("int8".to_string()),
+                };
                 WireResponse {
                     echo,
                     items,
@@ -85,6 +93,7 @@ fn arb_response() -> impl Strategy<Value = WireResponse> {
                     folded_in,
                     model_generation: with_gen.then_some(generation),
                     kind,
+                    dtype,
                 }
             },
         )

@@ -15,7 +15,7 @@ use ocular::baselines::{
     BaselineConfigs, Bpr, BprConfig, ItemKnn, Popularity, UserKnn, Wals, WalsConfig,
 };
 use ocular::core::{fit, OcularConfig};
-use ocular::serve::{AnySnapshot, IndexConfig, Snapshot};
+use ocular::serve::{AnySnapshot, IndexConfig, QuantDtype, Snapshot};
 use ocular::sparse::{Dataset, IdMaps};
 
 fn dataset() -> Dataset {
@@ -94,6 +94,17 @@ fn main() {
             let path = out_dir.join("v1-ocular.snap");
             std::fs::write(&path, v1.as_bytes()).expect("write golden");
             println!("wrote {} ({} bytes)", path.display(), v1.len());
+        }
+        // the quantized v3 era: the same ocular model with its f32 and
+        // int8 item-factor sections, in the binary container
+        if let AnySnapshot::Ocular(s) = snap {
+            for dtype in [QuantDtype::F32, QuantDtype::I8] {
+                let q = AnySnapshot::Ocular(s.clone().with_quantization(dtype));
+                let v3 = q.to_v3_bytes(r.ids()).expect("serialise v3");
+                let path = out_dir.join(format!("v3-ocular-{}.snap", dtype.name()));
+                std::fs::write(&path, &v3).expect("write golden");
+                println!("wrote {} ({} bytes)", path.display(), v3.len());
+            }
         }
     }
 }

@@ -73,6 +73,35 @@ fn v1_golden_loads_through_both_loaders() {
 }
 
 #[test]
+fn quantized_v3_goldens_load_and_reserialize_bit_identically() {
+    // the quantized era of the v3 container: the committed f32 and int8
+    // goldens must load with their quantized sections intact and
+    // re-serialise to the exact committed bytes, forever
+    for tag in ["f32", "int8"] {
+        let bytes = golden(&format!("v3-ocular-{tag}.snap"));
+        let (snap, ids) = AnySnapshot::load_v3(ModelBytes::from_vec(bytes.clone()))
+            .unwrap_or_else(|e| panic!("{tag}: golden must load: {e}"));
+        assert_eq!(snap.kind(), "ocular");
+        let ids = ids.unwrap_or_else(|| panic!("{tag}: golden embeds id maps"));
+        assert_eq!(ids.users()[1], 1_007, "{tag}");
+        assert_eq!(ids.items()[2], 506, "{tag}");
+        match &snap {
+            AnySnapshot::Ocular(s) => assert_eq!(
+                s.quant.as_ref().map(|q| q.dtype().name()),
+                Some(tag),
+                "golden must carry its quantized section"
+            ),
+            AnySnapshot::Other(_) => panic!("{tag}: must load as the ocular kind"),
+        }
+        let again = snap.to_v3_bytes(Some(&ids)).unwrap();
+        assert_eq!(
+            again, bytes,
+            "{tag}: quantized golden must re-serialise bit-identically"
+        );
+    }
+}
+
+#[test]
 fn goldens_survive_a_binary_v3_cycle_bit_identically() {
     // the v3 codec must preserve the bit content of every historical
     // snapshot: golden → load → v3 bytes → load → re-serialise text ==

@@ -1,0 +1,81 @@
+//! Accuracy gate for quantized serving: on a seeded power-law catalog,
+//! recall@20 of the f32 and int8 engines must stay within a declared
+//! epsilon of the f64 engine's. Narrowing the factor representation is a
+//! memory/speed trade, not an accuracy cliff — this suite (run in CI) is
+//! what enforces that, with the same epsilons the README documents:
+//! f32 within 0.005 absolute recall, int8 within 0.05.
+
+use ocular::datasets::powerlaw::{generate, PowerLawConfig};
+use ocular::eval::recall_at;
+use ocular::prelude::*;
+
+/// Mean recall@20 of an engine's served lists against held-out positives,
+/// averaged over users that have any (the paper's protocol).
+fn recall_at_20(e: &ServeEngine, test: &ocular::sparse::Dataset) -> f64 {
+    let m = 20;
+    let (mut sum, mut users) = (0.0, 0usize);
+    for u in 0..e.model().n_users() {
+        let held = test.row(u);
+        if held.is_empty() {
+            continue;
+        }
+        let served = e.serve_one(&Request::Warm { user: u, m }).unwrap();
+        let ranked: Vec<usize> = served.items.iter().map(|r| r.item).collect();
+        sum += recall_at(&ranked, held, m);
+        users += 1;
+    }
+    assert!(users > 0, "split must hold out positives for some users");
+    sum / users as f64
+}
+
+#[test]
+fn quantized_recall_at_20_within_epsilon_of_f64() {
+    let data = generate(&PowerLawConfig {
+        n_users: 300,
+        n_items: 200,
+        k: 6,
+        target_nnz: 6_000,
+        seed: 42,
+        ..Default::default()
+    });
+    let split = data.matrix.split(&SplitConfig {
+        train_fraction: 0.75,
+        seed: 9,
+        ..Default::default()
+    });
+    let model = fit(
+        &split.train,
+        &OcularConfig {
+            k: 6,
+            lambda: 0.3,
+            max_iters: 40,
+            seed: 3,
+            ..Default::default()
+        },
+    )
+    .model;
+
+    let engine = |quantize: Option<QuantDtype>| {
+        let mut b = EngineBuilder::from_model(model.clone())
+            .dataset(split.train.clone())
+            .candidates(CandidatePolicy::FullCatalog);
+        if let Some(dtype) = quantize {
+            b = b.quantization(dtype);
+        }
+        b.build().unwrap()
+    };
+
+    let base = recall_at_20(&engine(None), &split.test);
+    assert!(
+        base > 0.2,
+        "f64 reference must actually rank held-out items: recall@20 = {base}"
+    );
+    for (dtype, epsilon) in [(QuantDtype::F32, 0.005), (QuantDtype::I8, 0.05)] {
+        let got = recall_at_20(&engine(Some(dtype)), &split.test);
+        assert!(
+            (got - base).abs() <= epsilon,
+            "{}: recall@20 {got} drifted more than {epsilon} from f64's {base}",
+            dtype.name()
+        );
+    }
+}

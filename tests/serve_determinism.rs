@@ -135,6 +135,58 @@ fn cluster_fallback_is_exact_and_scores_are_model_probabilities() {
     }
 }
 
+/// The quantized engines honour the same batching contract as the f64
+/// path: thread count never changes output, and `serve_batch` answers
+/// exactly what `serve_one` answers — for both dtypes, over warm and
+/// cold requests, through both candidate paths.
+#[test]
+fn quantized_engines_deterministic_across_threads() {
+    let (model, r, train_cfg) = trained();
+    for dtype in [QuantDtype::F32, QuantDtype::I8] {
+        let e = EngineBuilder::from_model(model.clone())
+            .dataset(r.clone())
+            .index_config(IndexConfig {
+                rel: 0.5,
+                floor: 10,
+            })
+            .config(ServeConfig {
+                default_m: 20,
+                candidates: CandidatePolicy::Clusters { min_candidates: 5 },
+                foldin: train_cfg.clone(),
+                ..Default::default()
+            })
+            .quantization(dtype)
+            .build()
+            .unwrap();
+        assert_eq!(e.dtype(), Some(dtype.name()));
+        let requests: Vec<Request> = (0..e.model().n_users())
+            .map(|user| Request::Warm { user, m: 10 })
+            .chain([
+                Request::Cold {
+                    basket: vec![0, 1, 2],
+                    m: 10,
+                },
+                Request::Cold {
+                    basket: vec![40, 41],
+                    m: 10,
+                },
+            ])
+            .collect();
+        let reference = e.serve_batch_threads(&requests, Some(1));
+        for threads in [2usize, 4, 8] {
+            assert_eq!(
+                e.serve_batch_threads(&requests, Some(threads)),
+                reference,
+                "{} engine must be identical at {threads} threads",
+                dtype.name()
+            );
+        }
+        for (req, want) in requests.iter().zip(&reference) {
+            assert_eq!(&e.serve_one(req), want);
+        }
+    }
+}
+
 /// Cold-start serving is a pure function of the request.
 #[test]
 fn cold_start_deterministic() {

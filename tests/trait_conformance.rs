@@ -206,6 +206,44 @@ fn v3_binary_snapshots_agree_with_text_bitwise_for_every_kind() {
 }
 
 #[test]
+fn quantized_v3_snapshots_roundtrip_bitwise_through_the_zoo_harness() {
+    let r = dataset();
+    for dtype in [QuantDtype::F32, QuantDtype::I8] {
+        let snap = ocular::serve::Snapshot::build(ocular_model(&r), &IndexConfig::default())
+            .with_quantization(dtype);
+        let any = AnySnapshot::Ocular(snap.clone());
+        let v3 = any.to_v3_bytes(None).unwrap();
+        let (loaded, ids) =
+            AnySnapshot::load_v3(ocular::bytes::ModelBytes::from_vec(v3.clone())).unwrap();
+        assert_eq!(ids, None);
+        let AnySnapshot::Ocular(cycled) = loaded else {
+            panic!("quantized snapshot must stay the ocular kind")
+        };
+        assert_eq!(
+            cycled, snap,
+            "{dtype}: model, index and quantized sections must round-trip"
+        );
+        // binary serialisation is a fixed point — bit-for-bit
+        assert_eq!(
+            AnySnapshot::Ocular(cycled).to_v3_bytes(None).unwrap(),
+            v3,
+            "{dtype}: v3 serialisation must be stable"
+        );
+        // the text envelope has no quantized sections: saving drops them,
+        // the model itself survives
+        let mut text = Vec::new();
+        AnySnapshot::Ocular(snap.clone()).save(&mut text).unwrap();
+        match AnySnapshot::load(&mut text.as_slice()).unwrap() {
+            AnySnapshot::Ocular(s) => {
+                assert_eq!(s.model, snap.model);
+                assert_eq!(s.quant, None);
+            }
+            AnySnapshot::Other(_) => panic!("text cycle must stay ocular"),
+        }
+    }
+}
+
+#[test]
 fn v1_ocular_snapshots_still_load() {
     let r = dataset();
     let snap = ocular::serve::Snapshot::build(ocular_model(&r), &IndexConfig::default());

@@ -1,12 +1,17 @@
 //! Criterion benches for the `ocular-serve` request path: the retired
 //! full-sort selection vs the bounded-heap kernel vs co-cluster candidate
-//! generation, batched throughput, and the quantized scoring kernels on a
-//! 100k-item catalog (per-dtype rows: f64 vs f32 vs int8).
+//! generation, batched throughput, the quantized scoring kernels on a
+//! 100k-item catalog (per-dtype rows: f64 vs f32 vs int8), and batched
+//! scatter-gather serving through the sharded coordinator at 1/2/4
+//! shards.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ocular_core::{fit, recommend_top_m, FactorModel, OcularConfig, Recommendation};
 use ocular_datasets::powerlaw::{generate, PowerLawConfig};
-use ocular_serve::{CandidatePolicy, EngineBuilder, IndexConfig, QuantDtype, Request, ServeConfig};
+use ocular_serve::{
+    CandidatePolicy, EngineBuilder, IndexConfig, QuantDtype, Request, ServeConfig, ShardedEngine,
+    Snapshot,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -138,6 +143,39 @@ fn bench_serve(c: &mut Criterion) {
     group.bench_function("all_users_top50", |b| {
         b.iter(|| black_box(clusters.serve_batch(&requests).len()))
     });
+    group.finish();
+
+    // batched scatter-gather through the sharded coordinator: warm
+    // requests hash-route to their owning shard, one worker per shard.
+    // The 1-shard row is the coordinator-overhead reference; larger
+    // counts show the partitioned scaling the serve_latency gate pins.
+    let snapshot = Snapshot::build(
+        model.clone(),
+        &IndexConfig {
+            rel: 0.3,
+            floor: 100,
+        },
+    );
+    let mut group = c.benchmark_group("scatter_gather_batch");
+    group.sample_size(10);
+    for n_shards in [1usize, 2, 4] {
+        let coordinator = ShardedEngine::split(
+            snapshot.clone(),
+            &r,
+            n_shards,
+            ServeConfig {
+                default_m: 50,
+                candidates: CandidatePolicy::Clusters { min_candidates: 50 },
+                ..Default::default()
+            },
+            1,
+            None,
+        )
+        .unwrap();
+        group.bench_function(format!("all_users_top50_{n_shards}_shards"), |b| {
+            b.iter(|| black_box(coordinator.serve_batch(&requests).len()))
+        });
+    }
     group.finish();
 }
 

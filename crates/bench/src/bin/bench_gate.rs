@@ -5,10 +5,13 @@
 //! (`ci/bench-baseline.json`) and exits non-zero when p50 serve latency,
 //! train time, or network serving performance regresses more than the
 //! tolerance (default 25%). Latencies and durations gate higher-is-worse;
-//! network throughput gates lower-is-worse. A machine-independent check
-//! compares cluster-mode p50 against the same run's full-sort p50, so
-//! "candidate generation stopped helping" is caught even when absolute
-//! wall-clock differs across runner hardware. Skipped entirely — exit 0 —
+//! network and sharded-coordinator throughput gate lower-is-worse. A
+//! machine-independent check compares cluster-mode p50 against the same
+//! run's full-sort p50, so "candidate generation stopped helping" is
+//! caught even when absolute wall-clock differs across runner hardware;
+//! two more same-run checks bound the scatter-gather coordinator's N=1
+//! overhead at 5% and require 4-shard throughput to beat 1-shard on
+//! multi-core runners. Skipped entirely — exit 0 —
 //! when the `BENCH_BASELINE_RESET` environment variable is set to `1`
 //! (CI sets it from the `bench-baseline-reset` PR label), in which case
 //! the gate prints the JSON to commit as the new baseline.
@@ -99,6 +102,15 @@ fn run() -> Result<Vec<String>, String> {
         .get("errors")
         .and_then(|v| v.as_f64())
         .ok_or("missing field `errors` in net artifact")?;
+    // scatter-gather shard scaling: batched throughput at each shard
+    // count plus the single-thread unsharded row the overhead bound
+    // compares against
+    let shard_base = field(&serve, "shard_scaling.baseline_1thread_rps")?;
+    let shard_counts = [1usize, 2, 4];
+    let shard_rps = shard_counts
+        .iter()
+        .map(|n| field(&serve, &format!("shard_scaling.shards_{n}_rps")))
+        .collect::<Result<Vec<f64>, _>>()?;
 
     if std::env::var("BENCH_BASELINE_RESET").as_deref() == Ok("1") {
         let mut fields = vec![
@@ -131,6 +143,9 @@ fn run() -> Result<Vec<String>, String> {
         fields.push(("net_throughput_rps".to_string(), Json::Num(net_throughput)));
         fields.push(("net_p50_us".to_string(), Json::Num(net_p50)));
         fields.push(("net_p99_us".to_string(), Json::Num(net_p99)));
+        for (n, rps) in shard_counts.iter().zip(&shard_rps) {
+            fields.push((format!("shard_{n}_rps"), Json::Num(*rps)));
+        }
         let fresh = obj(fields
             .iter()
             .map(|(k, v)| (k.as_str(), v.clone()))
@@ -293,6 +308,62 @@ fn run() -> Result<Vec<String>, String> {
         failures.push(format!(
             "binary snapshot load ({load_binary:.5}s) is not strictly below the text path \
              ({load_text:.5}s)"
+        ));
+    }
+    // sharded-coordinator throughput gates in the same direction as
+    // net_rps: no shard count may fall more than the tolerance below its
+    // committed baseline
+    for (n, rps) in shard_counts.iter().zip(&shard_rps) {
+        let key = format!("shard_{n}_rps");
+        let base = field(&baseline, &key)?;
+        let ratio = rps / base;
+        let verdict = if ratio < 1.0 - tolerance {
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "bench_gate: {key:<14} current={rps:10.1}  baseline={base:10.1}  ratio={ratio:5.2}  {verdict}"
+        );
+        if ratio < 1.0 - tolerance {
+            failures.push(format!(
+                "{key} dropped {:.0}% (> {:.0}% tolerance)",
+                (1.0 - ratio) * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    // machine-independent same-run check: at one shard the scatter-gather
+    // coordinator may cost at most 5% of the unsharded engine's batched
+    // throughput on one thread — hash routing and the top-M merge must
+    // stay invisible next to scoring
+    println!(
+        "bench_gate: shard_overhead 1-shard={:10.1}  unsharded(1t)={shard_base:10.1}  overhead={:4.1}%",
+        shard_rps[0],
+        (1.0 - shard_rps[0] / shard_base) * 100.0
+    );
+    if shard_rps[0] < 0.95 * shard_base {
+        failures.push(format!(
+            "1-shard coordinator throughput ({:.1} rps) is more than 5% below the \
+             single-thread unsharded engine ({shard_base:.1} rps)",
+            shard_rps[0]
+        ));
+    }
+    // …and on any multi-core runner, four shards must beat one in the
+    // same run — the scaling claim itself (single-core CI gates only the
+    // overhead bound above, where parallel shards cannot win)
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!(
+        "bench_gate: shard_scaling  1={:8.1}  2={:8.1}  4={:8.1} rps  ({cores} cores)",
+        shard_rps[0], shard_rps[1], shard_rps[2]
+    );
+    if cores > 1 && shard_rps[2] < shard_rps[0] {
+        failures.push(format!(
+            "4-shard throughput ({:.1} rps) fell below 1-shard ({:.1} rps) on a \
+             {cores}-core runner",
+            shard_rps[2], shard_rps[0]
         ));
     }
     Ok(failures)

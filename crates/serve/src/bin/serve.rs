@@ -9,6 +9,7 @@
 //! serve --train data.tsv --snapshot model.snap \
 //!       [--delta more.tsv]... [--generation 1] \
 //!       [--format text|binary] \
+//!       [--shards 4]                     (also write per-shard v3 files) \
 //!       [--quantize f32|int8]            (ocular + --format binary) \
 //!       [--algo ocular|wals|bpr|user-knn|item-knn|popularity] \
 //!       [--k 8] [--lambda 0.5] [--iters 60] [--seed 0] [--sep '\t'] \
@@ -63,9 +64,18 @@
 //! ```text
 //! serve --model model.snap --interactions data.tsv \
 //!       --listen 127.0.0.1:7878 \
+//!       [--shards 4] \
 //!       [--queue-cap 1024] [--batch 256] [--threads 1] \
 //!       [--max-connections 1024]    (+ the serve-mode engine flags)
 //! ```
+//!
+//! `--shards N` (any serve mode) stands up the scatter-gather
+//! coordinator: user rows are hash-partitioned across `N` in-process
+//! worker engines (warm requests route to the owning shard, cold
+//! requests fan out or round-robin), each mmap'ing only its own
+//! per-shard snapshot file when `--train --shards N` wrote them, and
+//! `GET /stats` grows an additive per-shard `shard` array. Responses are
+//! byte-identical to unsharded serving at every shard count.
 //!
 //! `SIGINT`/`SIGTERM` drain in-flight requests and exit cleanly. When
 //! the admission queue (`--queue-cap`) is full, requests are answered
@@ -106,9 +116,11 @@
 use ocular_api::SnapshotMeta;
 use ocular_baselines::{Bpr, BprConfig, ItemKnn, KnnConfig, Popularity, UserKnn, Wals, WalsConfig};
 use ocular_core::{fit, OcularConfig};
+use ocular_serve::shard::AnyEngine;
+use ocular_serve::snapshot::ShardedLoad;
 use ocular_serve::{
-    AnySnapshot, CandidatePolicy, EngineBuilder, QuantDtype, Request, ServeConfig, ServeEngine,
-    Snapshot, SnapshotFormat, WireReply, WireRequest,
+    shard_path, AnySnapshot, CandidatePolicy, EngineBuilder, QuantDtype, Request, ServeConfig,
+    ShardedEngine, Snapshot, SnapshotFormat, WireReply, WireRequest,
 };
 use ocular_sparse::io::{append_edge_list, read_edge_list};
 use ocular_sparse::{CsrMatrix, Dataset, IdMaps};
@@ -333,6 +345,24 @@ fn train_mode(flags: &Flags) -> Result<(), String> {
     snapshot
         .save_path_full(std::path::Path::new(out), r.ids(), Some(&meta), format)
         .map_err(|e| format!("write {out}: {e}"))?;
+    // `--shards N` additionally writes N standalone per-shard v3 section
+    // sets next to the base snapshot (user rows hash-partitioned,
+    // item-side state replicated), so each serve worker mmaps only its
+    // own shard
+    let n_shards: usize = flags.num("shards", 1);
+    if n_shards == 0 {
+        return Err("--shards must be a positive shard count".into());
+    }
+    if n_shards > 1 {
+        let paths = snapshot
+            .save_path_sharded(std::path::Path::new(out), r.ids(), Some(&meta), n_shards)
+            .map_err(|e| format!("write shards of {out}: {e}"))?;
+        eprintln!(
+            "wrote {n_shards} shard snapshots: {} … {}",
+            paths[0].display(),
+            paths[n_shards - 1].display()
+        );
+    }
     eprintln!(
         "trained {} gen={} on {}×{} (nnz={}) in {:.2}s → {out} ({format:?} format, id maps embedded)",
         snapshot.kind(),
@@ -345,22 +375,108 @@ fn train_mode(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// The serving knobs shared by every engine arity.
+fn serve_config(flags: &Flags) -> Result<ServeConfig, String> {
+    let candidates = match flags.get("mode").unwrap_or("clusters") {
+        "full" => CandidatePolicy::FullCatalog,
+        "clusters" => CandidatePolicy::Clusters {
+            min_candidates: flags.num("min-candidates", 50),
+        },
+        other => {
+            return Err(format!(
+                "--mode must be `full` or `clusters`, got `{other}`"
+            ))
+        }
+    };
+    Ok(ServeConfig {
+        default_m: flags.num("m", 10),
+        candidates,
+        // cold-start fold-in solves with the regularization the model was
+        // trained with — the snapshot does not carry it, so `--lambda` here
+        // must match the training run (both default to 0.5)
+        foldin: OcularConfig {
+            lambda: flags.num("lambda", 0.5),
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+}
+
+/// Reassembles the full training id maps from a shard family's
+/// shard-scoped maps (shard users scattered back to their global rows,
+/// items replicated), so the interaction log can be aligned exactly as
+/// in the unsharded path. `None` when the family was trained without id
+/// maps (identity mapping).
+fn merged_shard_ids(load: &ShardedLoad) -> Option<ocular_sparse::IdMaps> {
+    let total: usize = load.global_rows.iter().map(Vec::len).sum();
+    let mut users = vec![0u64; total];
+    let mut items: Option<Vec<u64>> = None;
+    for (loaded, gid) in load.shards.iter().zip(&load.global_rows) {
+        let ids = loaded.ids.as_ref()?;
+        for (&g, &ext) in gid.iter().zip(ids.users()) {
+            users[g as usize] = ext;
+        }
+        items = Some(ids.items().to_vec());
+    }
+    IdMaps::new(users, items?).ok()
+}
+
 /// Loads the snapshot + interactions named by the flags and builds the
 /// engine — the common front half of the stdin and TCP serve modes, and
 /// the body of the hot-reload closure in listen mode. `floor_generation`
 /// keeps reloads monotone: the engine's generation is the larger of the
 /// snapshot's own and this floor (0 for a fresh start).
-fn build_engine(flags: &Flags, floor_generation: u64) -> Result<ServeEngine, String> {
+///
+/// `--shards N` (N > 1) builds the scatter-gather coordinator instead of
+/// one engine: when the per-shard snapshot files written by
+/// `--train --shards N` exist next to `--model`, each in-process worker
+/// mmaps only its own shard file; otherwise the base snapshot is loaded
+/// once and split in memory along the same hash partition.
+fn build_engine(flags: &Flags, floor_generation: u64) -> Result<AnyEngine, String> {
     let snap_path = flags.get("model").expect("checked by caller");
     let data = flags
         .get("interactions")
         .ok_or("serving requires --interactions <edge list> (owned-item exclusion)")?;
     let sep = flags.get("sep").unwrap_or("\t");
+    let n_shards: usize = flags.num("shards", 1);
+    if n_shards == 0 {
+        return Err("--shards must be a positive shard count".into());
+    }
+    let cfg = serve_config(flags)?;
+    let quantize = flags.quantize()?;
+    let path = std::path::Path::new(snap_path);
+
+    // sharded snapshot files on disk: each worker's sections come out of
+    // its own mmap'd shard file — the base file is never touched
+    if n_shards > 1 && shard_path(path, 0, n_shards).exists() {
+        let t_load = std::time::Instant::now();
+        let load = AnySnapshot::load_path_sharded(path, n_shards)
+            .map_err(|e| format!("load shards of {snap_path}: {e}"))?;
+        eprintln!(
+            "snapshot_load_seconds={:.6}",
+            t_load.elapsed().as_secs_f64()
+        );
+        let r = load_dataset(flags, data, sep)?;
+        let r = match merged_shard_ids(&load) {
+            Some(ids) => align_to_ids(r, ids)?,
+            None => r,
+        };
+        let engine = ShardedEngine::assemble(load, &r, cfg, floor_generation, quantize)
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "serving `{}` ×{} shard files from {snap_path} (generation {}, dtype {})",
+            engine.kind(),
+            engine.n_shards(),
+            engine.generation(),
+            engine.dtype().unwrap_or("f64")
+        );
+        return Ok(engine.into());
+    }
+
     // magic-sniffing load: v3 binary containers are mmap'd and borrowed
     // zero-copy, v1/v2 text snapshots parse through the legacy path
     let t_load = std::time::Instant::now();
-    let loaded = AnySnapshot::load_path_full(std::path::Path::new(snap_path))
-        .map_err(|e| format!("load {snap_path}: {e}"))?;
+    let loaded = AnySnapshot::load_path_full(path).map_err(|e| format!("load {snap_path}: {e}"))?;
     eprintln!(
         "snapshot_load_seconds={:.6}",
         t_load.elapsed().as_secs_f64()
@@ -382,29 +498,22 @@ fn build_engine(flags: &Flags, floor_generation: u64) -> Result<ServeEngine, Str
         None => r,
     };
 
-    let candidates = match flags.get("mode").unwrap_or("clusters") {
-        "full" => CandidatePolicy::FullCatalog,
-        "clusters" => CandidatePolicy::Clusters {
-            min_candidates: flags.num("min-candidates", 50),
-        },
-        other => {
+    if n_shards > 1 {
+        let AnySnapshot::Ocular(snap) = loaded.snapshot else {
             return Err(format!(
-                "--mode must be `full` or `clusters`, got `{other}`"
-            ))
-        }
-    };
-    let cfg = ServeConfig {
-        default_m: flags.num("m", 10),
-        candidates,
-        // cold-start fold-in solves with the regularization the model was
-        // trained with — the snapshot does not carry it, so `--lambda` here
-        // must match the training run (both default to 0.5)
-        foldin: OcularConfig {
-            lambda: flags.num("lambda", 0.5),
-            ..Default::default()
-        },
-        ..Default::default()
-    };
+                "--shards requires an `ocular` snapshot (got `{kind}`)"
+            ));
+        };
+        let engine = ShardedEngine::split(snap, &r, n_shards, cfg, generation, quantize)
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "serving `{kind}` split ×{n_shards} in memory from {snap_path} \
+             (generation {generation}, dtype {})",
+            engine.dtype().unwrap_or("f64")
+        );
+        return Ok(engine.into());
+    }
+
     let mut builder = EngineBuilder::from_snapshot(loaded.snapshot)
         .dataset(r)
         .config(cfg)
@@ -413,7 +522,7 @@ fn build_engine(flags: &Flags, floor_generation: u64) -> Result<ServeEngine, Str
     // the snapshot does not already carry the requested dtype, so old
     // snapshots opt in without retraining; without the flag a
     // snapshot-embedded quantized copy is served as-is
-    if let Some(dtype) = flags.quantize()? {
+    if let Some(dtype) = quantize {
         builder = builder.quantization(dtype);
     }
     let engine = builder.build().map_err(|e| e.to_string())?;
@@ -421,7 +530,7 @@ fn build_engine(flags: &Flags, floor_generation: u64) -> Result<ServeEngine, Str
         "serving `{kind}` snapshot from {snap_path} (generation {generation}, dtype {})",
         engine.dtype().unwrap_or("f64")
     );
-    Ok(engine)
+    Ok(engine.into())
 }
 
 /// The JSON-lines stdin transport: decode each line through

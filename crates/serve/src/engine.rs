@@ -189,8 +189,8 @@ enum EngineSource {
 
 /// The one way to construct a [`ServeEngine`] — from a snapshot, an
 /// OCuLaR model, or any boxed [`Model`], plus the serving dataset and
-/// knobs. Replaces the accreted `new` / `from_any` / `from_recommender` /
-/// `from_model` constructors (now thin deprecated shims over this).
+/// knobs. The accreted positional `new` / `from_any` / `from_recommender`
+/// / `from_model` constructors it replaced are gone.
 ///
 /// ```ignore
 /// let engine = EngineBuilder::from_loaded(loaded)   // LoadedSnapshot
@@ -397,62 +397,6 @@ pub struct ServeEngine {
 }
 
 impl ServeEngine {
-    /// Builds an engine from a loaded OCuLaR snapshot and the training
-    /// interactions.
-    #[deprecated(since = "0.1.0", note = "use EngineBuilder::from_snapshot")]
-    pub fn new(
-        snapshot: Snapshot,
-        interactions: Dataset,
-        cfg: ServeConfig,
-    ) -> Result<Self, OcularError> {
-        EngineBuilder::from_snapshot(AnySnapshot::Ocular(snapshot))
-            .dataset(interactions)
-            .config(cfg)
-            .build()
-    }
-
-    /// Builds an engine from a snapshot of *any* model kind.
-    #[deprecated(since = "0.1.0", note = "use EngineBuilder::from_snapshot")]
-    pub fn from_any(
-        snapshot: AnySnapshot,
-        interactions: Dataset,
-        cfg: ServeConfig,
-    ) -> Result<Self, OcularError> {
-        EngineBuilder::from_snapshot(snapshot)
-            .dataset(interactions)
-            .config(cfg)
-            .build()
-    }
-
-    /// Builds an engine around any boxed [`Model`].
-    #[deprecated(since = "0.1.0", note = "use EngineBuilder::from_recommender")]
-    pub fn from_recommender(
-        model: Box<dyn Model>,
-        interactions: Dataset,
-        cfg: ServeConfig,
-    ) -> Result<Self, OcularError> {
-        EngineBuilder::from_recommender(model)
-            .dataset(interactions)
-            .config(cfg)
-            .build()
-    }
-
-    /// Convenience constructor: derives the snapshot (index included) from
-    /// an OCuLaR model with the given index build parameters.
-    #[deprecated(since = "0.1.0", note = "use EngineBuilder::from_model")]
-    pub fn from_model(
-        model: FactorModel,
-        interactions: Dataset,
-        index_cfg: &IndexConfig,
-        cfg: ServeConfig,
-    ) -> Result<Self, OcularError> {
-        EngineBuilder::from_model(model)
-            .dataset(interactions)
-            .index_config(*index_cfg)
-            .config(cfg)
-            .build()
-    }
-
     /// The training interaction store behind the engine — owned-item
     /// exclusion lists plus the external↔internal id maps.
     pub fn dataset(&self) -> &Dataset {
@@ -803,6 +747,151 @@ impl ServeEngine {
             folded_in: false,
         }
     }
+
+    // ---- scatter-gather support --------------------------------------
+    //
+    // The sharded coordinator (`crate::shard::ShardedEngine`) fans one
+    // cold request across every shard engine, each scoring a contiguous
+    // span of the item domain with its replicated item-side state. These
+    // span kernels run exactly the per-item arithmetic of `select_full` /
+    // `select_candidates`, so the coordinator's merged top-M is bitwise
+    // identical to unsharded serving. All of them are OCuLaR-only — the
+    // coordinator rejects generic kinds at construction.
+
+    /// Validates and folds a cold basket on the **calling** thread's
+    /// [`FoldInScratch`], returning the folded user factors plus the
+    /// ascending exclusion list. Scatter-gather runs this once per
+    /// request on the worker that owns it, so cold-path allocation stays
+    /// gated per shard worker, never globally.
+    pub(crate) fn fold_cold(&self, basket: &[usize]) -> Result<(Vec<f64>, Vec<u32>), ServeError> {
+        let exclude = validate_basket(basket, self.model.n_items())?;
+        match &self.model {
+            EngineModel::Ocular {
+                model, item_sum, ..
+            } => {
+                let fold = FOLD_SCRATCH.with(|s| {
+                    fold_in_user_with(
+                        model,
+                        basket,
+                        &self.cfg.foldin,
+                        1.0,
+                        self.cfg.foldin_steps,
+                        item_sum,
+                        &mut s.borrow_mut(),
+                    )
+                });
+                Ok((fold.factors, exclude))
+            }
+            EngineModel::Generic(m) => Err(OcularError::Unsupported {
+                kind: m.name(),
+                capability: "scatter-gather fold-in",
+            }),
+        }
+    }
+
+    /// Replicates [`ServeEngine::select`]'s policy decision for a folded
+    /// factor row: `Some(candidates)` when the cluster path would serve
+    /// it, `None` when the full catalog would. The index is item-side
+    /// state, replicated per shard, so every engine decides identically.
+    pub(crate) fn cold_plan(&self, factors: &[f64], exclude: &[u32], m: usize) -> Option<Vec<u32>> {
+        if let CandidatePolicy::Clusters { min_candidates } = self.cfg.candidates {
+            let candidates = self.index().candidates(factors);
+            let usable = candidates.len() - intersection_size(&candidates, exclude);
+            if usable >= m.max(min_candidates) {
+                return Some(candidates);
+            }
+        }
+        None
+    }
+
+    /// Scores the contiguous item span `start .. start + len` (the span
+    /// analogue of `select_full`), returning the span's top-`m` with
+    /// `exclude` skipped, plus the rows scored (`len`, matching
+    /// `select_full`'s whole-catalog count when spans partition it).
+    pub(crate) fn score_full_span(
+        &self,
+        factors: &[f64],
+        exclude: &[u32],
+        m: usize,
+        start: usize,
+        len: usize,
+    ) -> (Vec<Recommendation>, usize) {
+        let model = self.model();
+        SCORES.with(|cell| {
+            let mut scores = cell.borrow_mut();
+            scores.clear();
+            scores.resize(len, 0.0);
+            if let Some(quant) = self.quant() {
+                // the blocked kernel scores rows independently, so a span
+                // sees the same floats it would inside a whole-catalog call
+                let query = quant.prepare(factors);
+                quant.score_block(&query, start, &mut scores);
+                for s in scores.iter_mut() {
+                    *s = prob_from_affinity(*s);
+                }
+            } else {
+                for (j, s) in scores.iter_mut().enumerate() {
+                    *s = prob_from_affinity(ops::dot(factors, model.item_factors.row(start + j)));
+                }
+            }
+            let mut heap = TopM::new(m);
+            let mut cursor = exclude.partition_point(|&e| (e as usize) < start);
+            for (j, &p) in scores.iter().enumerate() {
+                let item = start + j;
+                if cursor < exclude.len() && exclude[cursor] as usize == item {
+                    cursor += 1;
+                    continue;
+                }
+                heap.push(item, p);
+            }
+            (heap.into_sorted(), len)
+        })
+    }
+
+    /// Scores one contiguous slice of the (ascending) candidate list —
+    /// the span analogue of `select_candidates`. Returns the slice's
+    /// top-`m` and the number of un-excluded candidates scored.
+    pub(crate) fn score_candidates_span(
+        &self,
+        factors: &[f64],
+        candidates: &[u32],
+        exclude: &[u32],
+        m: usize,
+    ) -> (Vec<Recommendation>, usize) {
+        let model = self.model();
+        let query = self.quant().map(|q| q.prepare(factors));
+        let mut heap = TopM::new(m);
+        let mut cursor = 0usize;
+        let mut scored = 0usize;
+        for &c in candidates {
+            let item = c as usize;
+            while cursor < exclude.len() && (exclude[cursor] as usize) < item {
+                cursor += 1;
+            }
+            if cursor < exclude.len() && exclude[cursor] as usize == item {
+                cursor += 1;
+                continue;
+            }
+            let affinity = match (&query, self.quant()) {
+                (Some(q), Some(quant)) => quant.score_row(q, item),
+                _ => ops::dot(factors, model.item_factors.row(item)),
+            };
+            heap.push(item, prob_from_affinity(affinity));
+            scored += 1;
+        }
+        (heap.into_sorted(), scored)
+    }
+
+    /// Whether the cluster policy would report a full-catalog serve as a
+    /// fallback — the `fell_back` flag `select_scores` stamps.
+    pub(crate) fn full_catalog_is_fallback(&self) -> bool {
+        !matches!(self.cfg.candidates, CandidatePolicy::FullCatalog)
+    }
+
+    /// `m == 0` ⇒ the engine's configured default list length.
+    pub(crate) fn effective_m_pub(&self, m: usize) -> usize {
+        self.effective_m(m)
+    }
 }
 
 /// Size of the intersection of two ascending `u32` lists.
@@ -995,21 +1084,6 @@ mod tests {
             EngineBuilder::from_model(model).build(),
             Err(OcularError::InvalidConfig(_))
         ));
-    }
-
-    #[test]
-    fn deprecated_constructors_still_build() {
-        let (model, r, _) = trained();
-        #[allow(deprecated)]
-        let e = ServeEngine::from_model(
-            model,
-            r.clone(),
-            &IndexConfig::default(),
-            ServeConfig::default(),
-        )
-        .unwrap();
-        assert_eq!(e.generation(), 0);
-        assert!(e.serve_one(&Request::Warm { user: 0, m: 3 }).is_ok());
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub mod index;
 pub mod json;
 pub mod net;
 pub mod protocol;
+pub mod shard;
 pub mod snapshot;
 pub mod swap;
 
@@ -74,7 +75,11 @@ pub use engine::{
 };
 pub use index::{ClusterIndex, IndexConfig};
 pub use protocol::{WireError, WireReply, WireRequest, WireResponse, PROTOCOL_VERSION};
-pub use snapshot::{AnySnapshot, LoadedSnapshot, Snapshot, SnapshotFormat, OCULAR_KIND};
+pub use shard::{AnyEngine, ShardStat, ShardedEngine};
+pub use snapshot::{
+    shard_path, AnySnapshot, LoadedSnapshot, ShardedLoad, Snapshot, SnapshotFormat, SnapshotShard,
+    OCULAR_KIND,
+};
 // re-exported so CLI/transport layers name the quantized dtypes without a
 // direct linalg dependency
 pub use ocular_linalg::{QuantDtype, QuantizedFactors};

@@ -705,6 +705,7 @@ fn route(
                     current.dtype(),
                     swap.swap_count(),
                     swap.reloading(),
+                    current.shard_stats().as_deref(),
                 )
                 .to_string();
             body.push('\n');

@@ -1,0 +1,584 @@
+//! Scatter-gather sharded serving: a coordinator over `N` per-shard
+//! [`ServeEngine`]s, one per core, each owning a hash-disjoint slice of
+//! the user rows and a **replicated** copy of the item-side state.
+//!
+//! This is the serving half of the paper's scalability argument (Heckel
+//! et al. §VII): given the item factors, users decompose independently —
+//! so the serving tier can put each user's row (and only it) on one
+//! worker and still answer every request exactly. Three routing rules,
+//! all keyed by [`ocular_bytes::shard_of_key`] — the same rule
+//! [`ocular_sparse::ShardedDataset`] and the sharded snapshot writer use:
+//!
+//! * **Warm requests** go to the one shard that owns the user's row.
+//!   The shard serves it exactly as an unsharded engine would (same
+//!   floats, same ties, same fold-in fallback for post-snapshot users).
+//! * **Cold requests in a batch** go whole to one shard, round-robin:
+//!   the item-side state is replicated, so any shard folds and scores a
+//!   basket bitwise-identically; spreading requests (not one request's
+//!   work) is what scales throughput.
+//! * **Cold requests served one at a time** scatter: the coordinator
+//!   folds the basket once, every shard scores a contiguous span of the
+//!   catalog (or of the candidate list), and the span top-Ms merge
+//!   through the same bounded heap — [`ocular_linalg::TopK`] — whose
+//!   total order (probability descending, ties by ascending item) makes
+//!   the merged list exactly the single-pass selection.
+//!
+//! Because every path reduces to the unsharded engine's arithmetic over
+//! the same data, wire replies are **byte-identical** to unsharded
+//! serving at any shard count, and `N = 1` is the unsharded engine with
+//! one extra table lookup per request.
+
+use crate::engine::{EngineBuilder, Request, ServeConfig, ServeEngine, ServeError, ServedList};
+use crate::protocol::WireReply;
+use crate::snapshot::{AnySnapshot, ShardedLoad, Snapshot};
+use ocular_api::OcularError;
+use ocular_bytes::shard_of_key;
+use ocular_core::Recommendation;
+use ocular_linalg::{QuantDtype, TopK};
+use ocular_sparse::{Dataset, ShardedDataset};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Per-shard serving telemetry, reported by `/stats` as the additive
+/// `shard` field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStat {
+    /// Shard index.
+    pub shard: usize,
+    /// Dataset users owned by this shard.
+    pub users: usize,
+    /// Requests dispatched to this shard since start: warm requests on
+    /// the owning shard, batched cold requests on their round-robin
+    /// shard, and every shard once per scattered cold request.
+    pub requests: u64,
+}
+
+/// The scatter-gather coordinator: `N` shard engines plus the routing
+/// tables. See the [module docs](self). Construct with
+/// [`ShardedEngine::split`] (in-memory partition of one snapshot) or
+/// [`ShardedEngine::assemble`] (from per-shard snapshot files written by
+/// [`AnySnapshot::save_path_sharded`]).
+pub struct ShardedEngine {
+    shards: Vec<Arc<ServeEngine>>,
+    /// Per global user row: `(shard, shard-local row)`.
+    assign: Vec<(u32, u32)>,
+    /// Whether the serving dataset carries id maps (external-id requests
+    /// then route by hash; identity ids route by row index).
+    has_ids: bool,
+    n_items: usize,
+    /// Requests dispatched per shard (see [`ShardStat::requests`]).
+    requests: Vec<AtomicU64>,
+    /// Round-robin cursor for batched cold requests.
+    cold_rr: AtomicU64,
+}
+
+impl ShardedEngine {
+    /// Partitions one OCuLaR snapshot and its serving dataset into
+    /// `n_shards` shard engines, in memory. User-factor rows and dataset
+    /// rows split along the same external-id hash, so shard-local model
+    /// rows line up with shard dataset rows; item factors, cluster index
+    /// and any quantized copy are replicated. `quantize` follows
+    /// [`EngineBuilder::quantization`] semantics on every shard.
+    ///
+    /// The dataset may exceed the model on both axes (dataset ⊇ model);
+    /// post-snapshot users sort after model users inside their shard and
+    /// are served by fold-in, exactly like the unsharded engine.
+    pub fn split(
+        snapshot: Snapshot,
+        dataset: &Dataset,
+        n_shards: usize,
+        cfg: ServeConfig,
+        generation: u64,
+        quantize: Option<QuantDtype>,
+    ) -> Result<ShardedEngine, OcularError> {
+        let (model_users, model_items) = (snapshot.model.n_users(), snapshot.model.n_items());
+        if dataset.n_users() < model_users || dataset.n_items() < model_items {
+            return Err(OcularError::ShapeMismatch {
+                expected: (model_users, model_items),
+                found: (dataset.n_users(), dataset.n_items()),
+            });
+        }
+        let sharded = ShardedDataset::split(dataset, n_shards)
+            .map_err(|e| OcularError::InvalidConfig(e.to_string()))?;
+        let ids: Option<Vec<u64>> = dataset.ids().map(|m| m.users()[..model_users].to_vec());
+        let parts = snapshot.split_users(ids.as_deref(), n_shards)?;
+        let has_ids = dataset.ids().is_some();
+        let n_items = dataset.n_items();
+        let (datasets, global_of, assign) = sharded.into_parts();
+        debug_assert!(parts.iter().zip(&global_of).all(|(p, g)| p
+            .global_rows
+            .iter()
+            .zip(g.iter())
+            .all(|(&a, &b)| a == b as u64)));
+        let engines = datasets
+            .into_iter()
+            .zip(parts)
+            .map(|(ds, part)| {
+                let mut b = EngineBuilder::from_snapshot(AnySnapshot::Ocular(part.snapshot))
+                    .dataset(ds)
+                    .config(cfg.clone())
+                    .generation(generation);
+                if let Some(dtype) = quantize {
+                    b = b.quantization(dtype);
+                }
+                b.build()
+            })
+            .collect::<Result<Vec<ServeEngine>, OcularError>>()?;
+        Ok(Self::from_engines(engines, assign, has_ids, n_items))
+    }
+
+    /// Builds the coordinator from a loaded shard-file family (see
+    /// [`AnySnapshot::load_path_sharded`]) plus the full serving dataset.
+    /// The dataset is re-partitioned with the same hash rule and each
+    /// shard file's `shgid` table must agree with the dataset partition —
+    /// a family written against different ingestion data is a
+    /// [`OcularError::Corrupt`], not a silently misrouted server.
+    ///
+    /// Each shard engine's generation is
+    /// `max(generation_floor, file metadata generation)`, matching the
+    /// unsharded CLI's reload semantics.
+    pub fn assemble(
+        load: ShardedLoad,
+        dataset: &Dataset,
+        cfg: ServeConfig,
+        generation_floor: u64,
+        quantize: Option<QuantDtype>,
+    ) -> Result<ShardedEngine, OcularError> {
+        let n_shards = load.shards.len();
+        let sharded = ShardedDataset::split(dataset, n_shards)
+            .map_err(|e| OcularError::InvalidConfig(e.to_string()))?;
+        let total_model: usize = load.global_rows.iter().map(Vec::len).sum();
+        let has_ids = dataset.ids().is_some();
+        let n_items = dataset.n_items();
+        let (datasets, global_of, assign) = sharded.into_parts();
+        let mut engines = Vec::with_capacity(n_shards);
+        for (s, ((loaded, gid), ds)) in load
+            .shards
+            .into_iter()
+            .zip(load.global_rows)
+            .zip(datasets)
+            .enumerate()
+        {
+            // the dataset's model-row prefix in this shard must be exactly
+            // the rows the shard file claims, in the same order
+            let owned = &global_of[s];
+            let aligned = gid.len() <= owned.len()
+                && gid
+                    .iter()
+                    .zip(owned.iter())
+                    .all(|(&a, &b)| a == u64::from(b))
+                && owned[gid.len()..]
+                    .iter()
+                    .all(|&g| g as usize >= total_model);
+            if !aligned {
+                return Err(OcularError::Corrupt(format!(
+                    "shard {s} snapshot file and dataset disagree on the user \
+                     partition — the snapshot family was written against \
+                     different ingestion data"
+                )));
+            }
+            let generation = generation_floor.max(loaded.meta.as_ref().map_or(0, |m| m.generation));
+            let mut b = EngineBuilder::from_snapshot(loaded.snapshot)
+                .dataset(ds)
+                .config(cfg.clone())
+                .generation(generation);
+            if let Some(dtype) = quantize {
+                b = b.quantization(dtype);
+            }
+            engines.push(b.build()?);
+        }
+        Ok(Self::from_engines(engines, assign, has_ids, n_items))
+    }
+
+    fn from_engines(
+        engines: Vec<ServeEngine>,
+        assign: Vec<(u32, u32)>,
+        has_ids: bool,
+        n_items: usize,
+    ) -> ShardedEngine {
+        let requests = engines.iter().map(|_| AtomicU64::new(0)).collect();
+        ShardedEngine {
+            shards: engines.into_iter().map(Arc::new).collect(),
+            assign,
+            has_ids,
+            n_items,
+            requests,
+            cold_rr: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total dataset users across all shards.
+    pub fn n_users(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Catalog width (identical on every shard).
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// The per-shard engines, in shard order.
+    pub fn engines(&self) -> &[Arc<ServeEngine>] {
+        &self.shards
+    }
+
+    /// The generation being served (identical on every shard).
+    pub fn generation(&self) -> u64 {
+        self.shards[0].generation()
+    }
+
+    /// The kind tag of the model being served.
+    pub fn kind(&self) -> &'static str {
+        self.shards[0].kind()
+    }
+
+    /// Active quantized scoring dtype, if any.
+    pub fn dtype(&self) -> Option<&'static str> {
+        self.shards[0].dtype()
+    }
+
+    /// Per-shard telemetry for `/stats`.
+    pub fn shard_stats(&self) -> Vec<ShardStat> {
+        self.shards
+            .iter()
+            .zip(&self.requests)
+            .enumerate()
+            .map(|(s, (eng, reqs))| ShardStat {
+                shard: s,
+                users: eng.dataset().n_users(),
+                requests: reqs.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Routes one warm request to `(owning shard, shard-local request)`,
+    /// reproducing the unsharded engine's error surface for unknown
+    /// users/ids. Cold requests are not routed here — they either
+    /// scatter ([`ShardedEngine::serve_one`]) or round-robin
+    /// ([`ShardedEngine::serve_batch`]).
+    fn route_warm(&self, req: &Request) -> Result<(usize, Request), ServeError> {
+        match *req {
+            Request::Warm { user, m } => {
+                if user >= self.assign.len() {
+                    return Err(OcularError::UnknownUser {
+                        user,
+                        n_users: self.assign.len(),
+                    });
+                }
+                let (s, l) = self.assign[user];
+                Ok((
+                    s as usize,
+                    Request::Warm {
+                        user: l as usize,
+                        m,
+                    },
+                ))
+            }
+            Request::WarmExternal { user, m } => {
+                if self.has_ids {
+                    // hash routing: the owning shard's id maps resolve the
+                    // id, or answer UnknownExternalId exactly like the
+                    // unsharded maps (an id present anywhere lives there)
+                    Ok((shard_of_key(user, self.shards.len()), req.clone()))
+                } else {
+                    // identity mapping: resolve here (ext < n_users ⇒ row),
+                    // then route the row like any warm request
+                    let g = usize::try_from(user)
+                        .ok()
+                        .filter(|&g| g < self.assign.len())
+                        .ok_or(OcularError::UnknownExternalId {
+                            external: user,
+                            entity: "user",
+                        })?;
+                    let (s, l) = self.assign[g];
+                    Ok((
+                        s as usize,
+                        Request::Warm {
+                            user: l as usize,
+                            m,
+                        },
+                    ))
+                }
+            }
+            Request::Cold { .. } | Request::ColdExternal { .. } => {
+                unreachable!("cold requests are dispatched by the caller")
+            }
+        }
+    }
+
+    /// Serves one request on the calling thread. Warm requests run
+    /// entirely on the owning shard; cold requests fold once and scatter
+    /// the scoring across every shard's span of the item domain.
+    pub fn serve_one(&self, req: &Request) -> Result<ServedList, ServeError> {
+        match req {
+            Request::Warm { .. } | Request::WarmExternal { .. } => {
+                let (s, local) = self.route_warm(req)?;
+                self.requests[s].fetch_add(1, Ordering::Relaxed);
+                self.shards[s].serve_one(&local)
+            }
+            Request::Cold { basket, m } => self.scatter_cold(basket, *m),
+            Request::ColdExternal { basket, m } => {
+                // item maps are replicated: shard 0 resolves exactly like
+                // the unsharded dataset (identity fallback included)
+                let lead = self.shards[0].dataset();
+                let internal = basket
+                    .iter()
+                    .map(|&ext| {
+                        lead.item_index(ext).ok_or(OcularError::UnknownExternalId {
+                            external: ext,
+                            entity: "item",
+                        })
+                    })
+                    .collect::<Result<Vec<usize>, _>>()?;
+                self.scatter_cold(&internal, *m)
+            }
+        }
+    }
+
+    /// The scatter-gather cold path: fold the basket once on the calling
+    /// thread's fold-in scratch, have every shard score its contiguous
+    /// span with its replicated item-side state, and merge the span
+    /// top-Ms through the shared bounded heap.
+    fn scatter_cold(&self, basket: &[usize], m: usize) -> Result<ServedList, ServeError> {
+        let lead = &self.shards[0];
+        let m = lead.effective_m_pub(m);
+        let (factors, exclude) = lead.fold_cold(basket)?;
+        for c in &self.requests {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+        let n = self.shards.len();
+        let mut heap = TopK::new(m);
+        let (scored, fell_back) = match lead.cold_plan(&factors, &exclude, m) {
+            Some(candidates) => {
+                // split the (ascending) candidate list into N contiguous
+                // chunks, first `rem` chunks one longer
+                let (chunk, rem) = (candidates.len() / n, candidates.len() % n);
+                let mut scored = 0usize;
+                let mut start = 0usize;
+                for (s, eng) in self.shards.iter().enumerate() {
+                    let len = chunk + usize::from(s < rem);
+                    let (part, part_scored) = eng.score_candidates_span(
+                        &factors,
+                        &candidates[start..start + len],
+                        &exclude,
+                        m,
+                    );
+                    for r in part {
+                        heap.push(r.item, r.probability);
+                    }
+                    scored += part_scored;
+                    start += len;
+                }
+                (scored, false)
+            }
+            None => {
+                let (chunk, rem) = (self.n_items / n, self.n_items % n);
+                let mut start = 0usize;
+                for (s, eng) in self.shards.iter().enumerate() {
+                    let len = chunk + usize::from(s < rem);
+                    let (part, _) = eng.score_full_span(&factors, &exclude, m, start, len);
+                    for r in part {
+                        heap.push(r.item, r.probability);
+                    }
+                    start += len;
+                }
+                (self.n_items, lead.full_catalog_is_fallback())
+            }
+        };
+        let items = heap
+            .into_sorted()
+            .into_iter()
+            .map(|(probability, item)| Recommendation { item, probability })
+            .collect();
+        Ok(ServedList {
+            items,
+            scored,
+            fell_back,
+            folded_in: false,
+        })
+    }
+
+    /// Serves a batch with one worker thread per shard. Warm requests
+    /// group on their owning shard; cold requests go whole to a
+    /// round-robin shard (replicated item state makes any shard's answer
+    /// byte-identical), so each shard's worker folds its own cold
+    /// requests on its own thread-local scratch. Responses come back in
+    /// request order and every one is identical to
+    /// [`ShardedEngine::serve_one`] output up to the cold path's
+    /// latency/throughput trade (the bytes are the same either way).
+    pub fn serve_batch(&self, requests: &[Request]) -> Vec<Result<ServedList, ServeError>> {
+        let n = self.shards.len();
+        let mut results: Vec<Option<Result<ServedList, ServeError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        let mut groups: Vec<Vec<(usize, Request)>> = vec![Vec::new(); n];
+        for (i, req) in requests.iter().enumerate() {
+            match req {
+                Request::Warm { .. } | Request::WarmExternal { .. } => match self.route_warm(req) {
+                    Ok((s, local)) => {
+                        self.requests[s].fetch_add(1, Ordering::Relaxed);
+                        groups[s].push((i, local));
+                    }
+                    Err(e) => results[i] = Some(Err(e)),
+                },
+                Request::Cold { .. } | Request::ColdExternal { .. } => {
+                    let s = (self.cold_rr.fetch_add(1, Ordering::Relaxed) as usize) % n;
+                    self.requests[s].fetch_add(1, Ordering::Relaxed);
+                    groups[s].push((i, req.clone()));
+                }
+            }
+        }
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = groups
+                .iter()
+                .zip(&self.shards)
+                .filter(|(group, _)| !group.is_empty())
+                .map(|(group, eng)| {
+                    scope.spawn(move || {
+                        group
+                            .iter()
+                            .map(|(i, req)| (*i, eng.serve_one(req)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for worker in workers {
+                for (i, r) in worker.join().expect("shard worker panicked") {
+                    results[i] = Some(r);
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every request routed or answered"))
+            .collect()
+    }
+
+    /// Renders a wire reply. Delegates to shard 0: item-id translation
+    /// reads the replicated item table and the model stamp is identical
+    /// on every shard, so the reply matches the unsharded engine's byte
+    /// for byte.
+    pub fn wire_reply(&self, req: &Request, result: &Result<ServedList, ServeError>) -> WireReply {
+        self.shards[0].wire_reply(req, result)
+    }
+}
+
+/// A serving engine of either arity — one unsharded [`ServeEngine`] or a
+/// [`ShardedEngine`] coordinator — behind the one surface the transports
+/// (stdin CLI, TCP server, hot-swap tier) actually use.
+// One per swap generation, held behind an `Arc` — never in a
+// collection — so the variant size spread costs nothing.
+#[allow(clippy::large_enum_variant)]
+pub enum AnyEngine {
+    /// The unsharded in-process engine.
+    Single(ServeEngine),
+    /// The scatter-gather coordinator.
+    Sharded(ShardedEngine),
+}
+
+impl From<ServeEngine> for AnyEngine {
+    fn from(e: ServeEngine) -> Self {
+        AnyEngine::Single(e)
+    }
+}
+
+impl From<ShardedEngine> for AnyEngine {
+    fn from(e: ShardedEngine) -> Self {
+        AnyEngine::Sharded(e)
+    }
+}
+
+impl AnyEngine {
+    /// Serves one request (see [`ServeEngine::serve_one`] /
+    /// [`ShardedEngine::serve_one`]).
+    pub fn serve_one(&self, req: &Request) -> Result<ServedList, ServeError> {
+        match self {
+            AnyEngine::Single(e) => e.serve_one(req),
+            AnyEngine::Sharded(e) => e.serve_one(req),
+        }
+    }
+
+    /// Serves a batch in request order.
+    pub fn serve_batch(&self, requests: &[Request]) -> Vec<Result<ServedList, ServeError>> {
+        match self {
+            AnyEngine::Single(e) => e.serve_batch(requests),
+            AnyEngine::Sharded(e) => e.serve_batch(requests),
+        }
+    }
+
+    /// Batch serving under an explicit thread count. The sharded
+    /// coordinator ignores the knob — its parallelism *is* the shard
+    /// count, one worker per shard.
+    pub fn serve_batch_threads(
+        &self,
+        requests: &[Request],
+        threads: Option<usize>,
+    ) -> Vec<Result<ServedList, ServeError>> {
+        match self {
+            AnyEngine::Single(e) => e.serve_batch_threads(requests, threads),
+            AnyEngine::Sharded(e) => e.serve_batch(requests),
+        }
+    }
+
+    /// Renders a wire reply for one request/result pair.
+    pub fn wire_reply(&self, req: &Request, result: &Result<ServedList, ServeError>) -> WireReply {
+        match self {
+            AnyEngine::Single(e) => e.wire_reply(req, result),
+            AnyEngine::Sharded(e) => e.wire_reply(req, result),
+        }
+    }
+
+    /// The model generation being served.
+    pub fn generation(&self) -> u64 {
+        match self {
+            AnyEngine::Single(e) => e.generation(),
+            AnyEngine::Sharded(e) => e.generation(),
+        }
+    }
+
+    /// The kind tag of the model being served.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AnyEngine::Single(e) => e.kind(),
+            AnyEngine::Sharded(e) => e.kind(),
+        }
+    }
+
+    /// Active quantized scoring dtype, if any.
+    pub fn dtype(&self) -> Option<&'static str> {
+        match self {
+            AnyEngine::Single(e) => e.dtype(),
+            AnyEngine::Sharded(e) => e.dtype(),
+        }
+    }
+
+    /// Total serving-dataset users.
+    pub fn n_users(&self) -> usize {
+        match self {
+            AnyEngine::Single(e) => e.dataset().n_users(),
+            AnyEngine::Sharded(e) => e.n_users(),
+        }
+    }
+
+    /// Per-shard telemetry — `None` for unsharded engines, so `/stats`
+    /// only grows its `shard` field when sharding is on.
+    pub fn shard_stats(&self) -> Option<Vec<ShardStat>> {
+        match self {
+            AnyEngine::Single(_) => None,
+            AnyEngine::Sharded(e) => Some(e.shard_stats()),
+        }
+    }
+
+    /// The unsharded engine, when that is what this is (tests, embedded
+    /// callers that need [`ServeEngine`]-only accessors).
+    pub fn as_single(&self) -> Option<&ServeEngine> {
+        match self {
+            AnyEngine::Single(e) => Some(e),
+            AnyEngine::Sharded(_) => None,
+        }
+    }
+}

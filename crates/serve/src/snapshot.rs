@@ -58,12 +58,12 @@ use ocular_api::binary::{is_v3, SectionReader, SectionWriter, SnapshotMeta};
 use ocular_api::textio;
 use ocular_api::{Model, OcularError, SnapshotModel};
 use ocular_baselines::{Bpr, ItemKnn, Popularity, UserKnn, Wals};
-use ocular_bytes::ModelBytes;
+use ocular_bytes::{shard_of_key, ModelBytes};
 use ocular_core::FactorModel;
-use ocular_linalg::{QuantDtype, QuantizedFactors};
+use ocular_linalg::{Matrix, QuantDtype, QuantizedFactors};
 use ocular_sparse::{IdMaps, RawIdTable};
 use std::io::{BufRead, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Magic first line of the legacy (OCuLaR-only) snapshot envelope.
 const V1_HEADER: &str = "ocular-snapshot v1";
@@ -757,6 +757,254 @@ impl AnySnapshot {
         // text path: re-open from the start (the probe consumed bytes)
         let file = std::fs::File::open(path).map_err(OcularError::from)?;
         Self::load_full(&mut std::io::BufReader::new(file))
+    }
+}
+
+/// One shard of a user-split snapshot: a standalone [`Snapshot`] over the
+/// shard's user-factor rows (item factors, cluster index and quantized
+/// copy replicated in full), plus the global training rows those
+/// shard-local rows came from, in ascending order.
+pub struct SnapshotShard {
+    /// The shard's snapshot — loadable and servable on its own.
+    pub snapshot: Snapshot,
+    /// Ascending global training row of each shard-local user row.
+    pub global_rows: Vec<u64>,
+}
+
+impl Snapshot {
+    /// Splits the model's user rows into `n_shards` groups by the stable
+    /// hash of each row's external user id ([`ocular_bytes::shard_of_key`]
+    /// over `external_ids`, or over the row index itself under the
+    /// identity mapping), keeping ascending row order inside each group.
+    ///
+    /// The item-side state — item factors, co-cluster index, any
+    /// quantized copy — is **replicated** into every shard rather than
+    /// split: it is what cold fold-in and candidate generation read, and
+    /// replicating it byte-identically is what makes every shard decide
+    /// and score exactly like the unsharded engine. This is the same
+    /// partition rule as [`ocular_sparse::ShardedDataset::split`], so
+    /// shard-local model rows line up with the shard dataset's rows by
+    /// construction.
+    pub fn split_users(
+        &self,
+        external_ids: Option<&[u64]>,
+        n_shards: usize,
+    ) -> Result<Vec<SnapshotShard>, OcularError> {
+        if n_shards == 0 {
+            return Err(OcularError::InvalidConfig(
+                "shard count must be positive".into(),
+            ));
+        }
+        let n_users = self.model.n_users();
+        if let Some(ids) = external_ids {
+            if ids.len() != n_users {
+                return Err(OcularError::InvalidConfig(format!(
+                    "{} external user ids cannot address {n_users} model rows",
+                    ids.len()
+                )));
+            }
+        }
+        let mut groups: Vec<Vec<u64>> = vec![Vec::new(); n_shards];
+        for g in 0..n_users {
+            let ext = external_ids.map_or(g as u64, |ids| ids[g]);
+            groups[shard_of_key(ext, n_shards)].push(g as u64);
+        }
+        let k = self.model.user_factors.cols();
+        Ok(groups
+            .into_iter()
+            .map(|rows| {
+                let mut uf = Matrix::zeros(rows.len(), k);
+                for (l, &g) in rows.iter().enumerate() {
+                    uf.row_mut(l)
+                        .copy_from_slice(self.model.user_factors.row(g as usize));
+                }
+                let model =
+                    FactorModel::new(uf, self.model.item_factors.clone(), self.model.has_bias());
+                SnapshotShard {
+                    snapshot: Snapshot {
+                        model,
+                        index: self.index.clone(),
+                        quant: self.quant.clone(),
+                    },
+                    global_rows: rows,
+                }
+            })
+            .collect())
+    }
+}
+
+/// File path of shard `s` of an `n`-way sharded snapshot:
+/// `{base}.shard-{s}-of-{n}`. The suffix carries both coordinates so a
+/// family of shard files is self-describing on disk and a worker pointed
+/// at the wrong `--shards` count fails loudly instead of mapping a
+/// mismatched file.
+pub fn shard_path(base: &Path, shard: usize, n_shards: usize) -> PathBuf {
+    let mut os = base.as_os_str().to_os_string();
+    os.push(format!(".shard-{shard}-of-{n_shards}"));
+    PathBuf::from(os)
+}
+
+/// A loaded sharded-snapshot family: one [`LoadedSnapshot`] per shard
+/// plus each shard's global-row table, as read back by
+/// [`AnySnapshot::load_path_sharded`].
+pub struct ShardedLoad {
+    /// Per-shard snapshots, in shard order. Every one is `Ocular`.
+    pub shards: Vec<LoadedSnapshot>,
+    /// Per shard: ascending global training row of each shard-local row.
+    pub global_rows: Vec<Vec<u64>>,
+}
+
+impl AnySnapshot {
+    /// Writes the snapshot as `n_shards` standalone v3 shard files next
+    /// to `path` (see [`shard_path`]), splitting the user-factor rows by
+    /// [`Snapshot::split_users`] and replicating the item-side state.
+    ///
+    /// Each shard file is a complete, independently loadable v3 snapshot
+    /// — shard user rows, full item factors, full index, any quantized
+    /// copy, the shard-scoped id maps (shard users × the full item
+    /// table), and the same metadata section — plus two extra sections:
+    /// `shgid` (the global training row of each shard-local row) and
+    /// `shnfo` (`[shard, n_shards]`). A serve worker therefore mmaps
+    /// only its own shard. Only OCuLaR snapshots have user-factor rows
+    /// to split; other kinds are an [`OcularError::InvalidConfig`].
+    pub fn save_path_sharded(
+        &self,
+        path: &Path,
+        ids: Option<&IdMaps>,
+        meta: Option<&SnapshotMeta>,
+        n_shards: usize,
+    ) -> Result<Vec<PathBuf>, OcularError> {
+        let AnySnapshot::Ocular(snap) = self else {
+            return Err(OcularError::InvalidConfig(format!(
+                "sharded snapshots require an OCuLaR model; kind `{}` has no \
+                 user-factor rows to split",
+                self.kind()
+            )));
+        };
+        if let Some(ids) = ids {
+            if ids.n_users() != snap.model.n_users() || ids.n_items() != snap.model.n_items() {
+                return Err(OcularError::InvalidConfig(format!(
+                    "id maps cover {}×{} but the model is {}×{}",
+                    ids.n_users(),
+                    ids.n_items(),
+                    snap.model.n_users(),
+                    snap.model.n_items()
+                )));
+            }
+        }
+        let shards = snap.split_users(ids.map(IdMaps::users), n_shards)?;
+        let mut paths = Vec::with_capacity(n_shards);
+        for (s, shard) in shards.iter().enumerate() {
+            let shard_ids = match ids {
+                None => None,
+                Some(ids) => {
+                    let users: Vec<u64> = shard
+                        .global_rows
+                        .iter()
+                        .map(|&g| ids.users()[g as usize])
+                        .collect();
+                    Some(
+                        IdMaps::new(users, ids.items().to_vec())
+                            .map_err(|e| OcularError::Corrupt(e.to_string()))?,
+                    )
+                }
+            };
+            let mut w = SectionWriter::new(OCULAR_KIND);
+            shard.snapshot.write_sections(&mut w)?;
+            if let Some(meta) = meta {
+                meta.write_section(&mut w);
+            }
+            if let Some(sids) = &shard_ids {
+                write_ids_sections(&mut w, sids);
+            }
+            w.put_u64s("shgid", &shard.global_rows);
+            w.put_u64s("shnfo", &[s as u64, n_shards as u64]);
+            let p = shard_path(path, s, n_shards);
+            std::fs::write(&p, w.finish()).map_err(OcularError::from)?;
+            paths.push(p);
+        }
+        Ok(paths)
+    }
+
+    /// Loads an `n_shards`-way shard family written by
+    /// [`AnySnapshot::save_path_sharded`], memory-mapping each shard file
+    /// zero-copy and validating the family: every file must be an OCuLaR
+    /// v3 shard whose `shnfo` coordinates match its name, and the
+    /// `shgid` tables must be a disjoint ascending cover of
+    /// `0..total_users`.
+    pub fn load_path_sharded(path: &Path, n_shards: usize) -> Result<ShardedLoad, OcularError> {
+        if n_shards == 0 {
+            return Err(OcularError::InvalidConfig(
+                "shard count must be positive".into(),
+            ));
+        }
+        let mut shards = Vec::with_capacity(n_shards);
+        let mut global_rows = Vec::with_capacity(n_shards);
+        for s in 0..n_shards {
+            let p = shard_path(path, s, n_shards);
+            let region = ModelBytes::map_file(&p).map_err(OcularError::from)?;
+            let r = SectionReader::open(region)?;
+            if r.kind() != OCULAR_KIND {
+                return Err(OcularError::Corrupt(format!(
+                    "shard file {} holds kind `{}`, not an OCuLaR shard",
+                    p.display(),
+                    r.kind()
+                )));
+            }
+            let snapshot = Snapshot::read_sections(&r)?;
+            let [shard_id, n] = r.u64_meta::<2>("shnfo")?;
+            if shard_id != s as u64 || n != n_shards as u64 {
+                return Err(OcularError::Corrupt(format!(
+                    "shard file {} says shard {shard_id} of {n}, expected {s} of {n_shards}",
+                    p.display()
+                )));
+            }
+            let gid: Vec<u64> = r.u64s("shgid")?.to_vec();
+            if gid.len() != snapshot.model.n_users() {
+                return Err(OcularError::Corrupt(format!(
+                    "shard file {} maps {} global rows onto {} user rows",
+                    p.display(),
+                    gid.len(),
+                    snapshot.model.n_users()
+                )));
+            }
+            if gid.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(OcularError::Corrupt(format!(
+                    "shard file {} global rows are not strictly ascending",
+                    p.display()
+                )));
+            }
+            let meta = SnapshotMeta::read_section(&r)?;
+            let ids = read_ids_sections(&r)?;
+            shards.push(LoadedSnapshot {
+                snapshot: AnySnapshot::Ocular(snapshot),
+                ids,
+                meta,
+            });
+            global_rows.push(gid);
+        }
+        // the shgid tables must partition 0..total exactly
+        let total: usize = global_rows.iter().map(Vec::len).sum();
+        let mut seen = vec![false; total];
+        for gid in &global_rows {
+            for &g in gid {
+                let g = usize::try_from(g)
+                    .ok()
+                    .filter(|&g| g < total)
+                    .ok_or_else(|| {
+                        OcularError::Corrupt(format!("shard global row {g} outside 0..{total}"))
+                    })?;
+                if std::mem::replace(&mut seen[g], true) {
+                    return Err(OcularError::Corrupt(format!(
+                        "global row {g} claimed by two shards"
+                    )));
+                }
+            }
+        }
+        Ok(ShardedLoad {
+            shards,
+            global_rows,
+        })
     }
 }
 

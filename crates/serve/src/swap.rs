@@ -1,9 +1,10 @@
 //! Zero-downtime snapshot hot-swap: a generation-counted handle that
-//! atomically replaces the [`ServeEngine`] behind a running server.
+//! atomically replaces the [`AnyEngine`] behind a running server —
+//! unsharded engine and sharded scatter-gather coordinator alike.
 //!
 //! The live-refresh loop (append deltas → retrain → redeploy) ends here:
 //! a freshly trained snapshot is loaded **off the request path** (on the
-//! reload caller's thread), built into a complete [`ServeEngine`], and
+//! reload caller's thread), built into a complete engine, and
 //! then published with one brief write-locked pointer store. Requests in
 //! flight keep the `Arc` they grabbed at admission, so they finish
 //! against the engine that admitted them — nothing is dropped, nothing
@@ -17,7 +18,7 @@
 //! while one is in flight answers [`ReloadError::Busy`] (wire code
 //! `reloading`, HTTP 503) instead of queueing.
 
-use crate::engine::ServeEngine;
+use crate::shard::AnyEngine;
 use ocular_api::OcularError;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -25,8 +26,10 @@ use std::sync::{Arc, RwLock};
 /// How a reload produces the next engine: called with the currently
 /// served generation, must return an engine whose generation is strictly
 /// greater (the CLI closure re-loads the snapshot and dataset from disk
-/// and stamps `max(snapshot generation, current + 1)`).
-pub type ReloadFn = Box<dyn Fn(u64) -> Result<ServeEngine, OcularError> + Send + Sync>;
+/// and stamps `max(snapshot generation, current + 1)`). Reloads yield an
+/// [`AnyEngine`], so a sharded deployment rebuilds its whole coordinator
+/// atomically — shards never hot-swap independently.
+pub type ReloadFn = Box<dyn Fn(u64) -> Result<AnyEngine, OcularError> + Send + Sync>;
 
 /// Why a reload did not publish a new engine.
 #[derive(Debug)]
@@ -52,12 +55,13 @@ impl std::fmt::Display for ReloadError {
 
 /// The swap handle every transport holds instead of a bare engine.
 ///
-/// [`SwapEngine::engine`] hands out the current `Arc<ServeEngine>`; the
-/// caller serves its whole request (or batch) against that pinned engine
-/// and drops the `Arc` when done. [`SwapEngine::swap`] publishes a new
+/// [`SwapEngine::engine`] hands out the current `Arc<AnyEngine>` —
+/// unsharded engine or scatter-gather coordinator alike; the caller
+/// serves its whole request (or batch) against that pinned engine and
+/// drops the `Arc` when done. [`SwapEngine::swap`] publishes a new
 /// engine without disturbing pinned ones.
 pub struct SwapEngine {
-    current: RwLock<Arc<ServeEngine>>,
+    current: RwLock<Arc<AnyEngine>>,
     reload: Option<ReloadFn>,
     reload_in_flight: AtomicBool,
     swaps: AtomicU64,
@@ -66,9 +70,9 @@ pub struct SwapEngine {
 impl SwapEngine {
     /// Wraps an engine with no reload source — swaps only happen through
     /// explicit [`SwapEngine::swap`] calls (tests, embedded use).
-    pub fn new(initial: ServeEngine) -> SwapEngine {
+    pub fn new(initial: impl Into<AnyEngine>) -> SwapEngine {
         SwapEngine {
-            current: RwLock::new(Arc::new(initial)),
+            current: RwLock::new(Arc::new(initial.into())),
             reload: None,
             reload_in_flight: AtomicBool::new(false),
             swaps: AtomicU64::new(0),
@@ -78,7 +82,7 @@ impl SwapEngine {
     /// Wraps an engine with a reload source: `POST /admin/reload` and
     /// `SIGHUP` call `reload`, which rebuilds the engine from wherever
     /// the deployment keeps its artifacts (snapshot path + data log).
-    pub fn with_reload(initial: ServeEngine, reload: ReloadFn) -> SwapEngine {
+    pub fn with_reload(initial: impl Into<AnyEngine>, reload: ReloadFn) -> SwapEngine {
         SwapEngine {
             reload: Some(reload),
             ..SwapEngine::new(initial)
@@ -89,7 +93,7 @@ impl SwapEngine {
     /// across their whole request so a concurrent swap never changes the
     /// model mid-request, and the old engine stays mapped until the last
     /// such pin drops.
-    pub fn engine(&self) -> Arc<ServeEngine> {
+    pub fn engine(&self) -> Arc<AnyEngine> {
         Arc::clone(&self.current.read().expect("engine lock poisoned"))
     }
 
@@ -111,8 +115,8 @@ impl SwapEngine {
     /// Publishes `next` as the serving engine. Rejects non-monotone
     /// generations (`next.generation() <= current`) without touching the
     /// serving state. Returns the published generation.
-    pub fn swap(&self, next: ServeEngine) -> Result<u64, OcularError> {
-        let next = Arc::new(next);
+    pub fn swap(&self, next: impl Into<AnyEngine>) -> Result<u64, OcularError> {
+        let next = Arc::new(next.into());
         let generation = next.generation();
         let mut current = self.current.write().expect("engine lock poisoned");
         if generation <= current.generation() {
@@ -149,7 +153,7 @@ impl SwapEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{EngineBuilder, Request};
+    use crate::engine::{EngineBuilder, Request, ServeEngine};
     use ocular_baselines::Popularity;
     use ocular_sparse::{Dataset, Triplets};
 
@@ -174,9 +178,9 @@ mod tests {
         assert_eq!(swap.swap(engine(2, 6)).unwrap(), 2);
         // the pin still serves the old model; fresh grabs see the new one
         assert_eq!(pinned.generation(), 1);
-        assert_eq!(pinned.dataset().n_users(), 4);
+        assert_eq!(pinned.n_users(), 4);
         assert_eq!(swap.generation(), 2);
-        assert_eq!(swap.engine().dataset().n_users(), 6);
+        assert_eq!(swap.engine().n_users(), 6);
         assert_eq!(swap.swap_count(), 1);
         // the old engine dies exactly when the last pin drops
         let weak = Arc::downgrade(&pinned);
@@ -203,7 +207,7 @@ mod tests {
                 if current >= 3 {
                     Err(OcularError::Io("artifact store unreachable".into()))
                 } else {
-                    Ok(engine(current + 1, 4))
+                    Ok(engine(current + 1, 4).into())
                 }
             }),
         );
@@ -228,7 +232,7 @@ mod tests {
             Box::new(move |current| {
                 entered_tx.send(()).unwrap();
                 release_rx.lock().unwrap().recv().unwrap();
-                Ok(engine(current + 1, 4))
+                Ok(engine(current + 1, 4).into())
             }),
         ));
         let slow = {

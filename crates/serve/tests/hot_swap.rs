@@ -23,7 +23,7 @@ use ocular_baselines::Popularity;
 use ocular_serve::json::Json;
 use ocular_serve::net::{http, Server, ServerConfig};
 use ocular_serve::swap::SwapEngine;
-use ocular_serve::{EngineBuilder, ServeEngine};
+use ocular_serve::{AnyEngine, EngineBuilder, ServeEngine};
 use ocular_sparse::{Dataset, Triplets};
 
 const N_USERS: usize = 48;
@@ -92,11 +92,11 @@ fn generation_of(body: &[u8]) -> u64 {
 fn hot_swap_under_load_drops_nothing_and_keeps_generations_monotone() {
     let swap = Arc::new(SwapEngine::with_reload(
         engine(1),
-        Box::new(|current| Ok(engine(current + 1))),
+        Box::new(|current| Ok(engine(current + 1).into())),
     ));
     // watch the initial engine's lifetime from outside
     let first_pin = swap.engine();
-    let first: Weak<ServeEngine> = Arc::downgrade(&first_pin);
+    let first: Weak<AnyEngine> = Arc::downgrade(&first_pin);
     drop(first_pin);
 
     let server = Server::bind(
@@ -205,7 +205,7 @@ fn hot_swap_under_load_drops_nothing_and_keeps_generations_monotone() {
 fn pipelined_requests_survive_a_mid_stream_swap() {
     let swap = Arc::new(SwapEngine::with_reload(
         engine(1),
-        Box::new(|current| Ok(engine(current + 1))),
+        Box::new(|current| Ok(engine(current + 1).into())),
     ));
     let server = Server::bind(Arc::clone(&swap), "127.0.0.1:0", ServerConfig::default())
         .expect("bind ephemeral port")

@@ -18,7 +18,8 @@ use ocular_serve::net::http;
 use ocular_serve::net::{RunningServer, Server, ServerConfig};
 use ocular_serve::protocol::ErrorCode;
 use ocular_serve::{
-    AnySnapshot, CandidatePolicy, EngineBuilder, ServeConfig, ServeEngine, SwapEngine, WireReply,
+    AnySnapshot, CandidatePolicy, EngineBuilder, ServeConfig, ServeEngine, ShardedEngine,
+    SwapEngine, WireReply,
 };
 use ocular_sparse::io::read_edge_list;
 
@@ -48,14 +49,8 @@ fn train_fixture(tag: &str) -> (PathBuf, PathBuf) {
     (edges, snap)
 }
 
-/// Builds the same engine the CLI's serve/listen modes build (default
-/// flags), so both transports sit on identical state.
-fn build_engine(edges: &Path, snap: &Path) -> ServeEngine {
-    let loaded = AnySnapshot::load_path_full(snap).unwrap();
-    let dataset = read_edge_list(edges.to_str().unwrap(), "\t", None)
-        .unwrap()
-        .into_dataset();
-    let cfg = ServeConfig {
+fn serve_cfg() -> ServeConfig {
+    ServeConfig {
         default_m: 10,
         candidates: CandidatePolicy::Clusters { min_candidates: 50 },
         foldin: OcularConfig {
@@ -63,10 +58,19 @@ fn build_engine(edges: &Path, snap: &Path) -> ServeEngine {
             ..Default::default()
         },
         ..Default::default()
-    };
+    }
+}
+
+/// Builds the same engine the CLI's serve/listen modes build (default
+/// flags), so both transports sit on identical state.
+fn build_engine(edges: &Path, snap: &Path) -> ServeEngine {
+    let loaded = AnySnapshot::load_path_full(snap).unwrap();
+    let dataset = read_edge_list(edges.to_str().unwrap(), "\t", None)
+        .unwrap()
+        .into_dataset();
     EngineBuilder::from_loaded(loaded)
         .dataset(dataset)
-        .config(cfg)
+        .config(serve_cfg())
         .build()
         .unwrap()
 }
@@ -186,6 +190,76 @@ fn cli_and_tcp_serve_byte_identical_bodies() {
         WireReply::decode(line).unwrap();
     }
     server.shutdown().unwrap();
+    let _ = std::fs::remove_file(&edges);
+    let _ = std::fs::remove_file(&snap);
+}
+
+/// The scatter-gather coordinator behind the TCP front-end must answer
+/// the whole conformance stream byte-identically to the single engine,
+/// and its `/stats` grows additive per-shard rows (absent unsharded).
+#[test]
+fn sharded_coordinator_serves_byte_identical_bodies_over_tcp() {
+    let (edges, snap) = train_fixture("sharded");
+    let single_server = spawn_server(build_engine(&edges, &snap), ServerConfig::default());
+
+    // the same artifacts, split into a 4-shard coordinator
+    let loaded = AnySnapshot::load_path_full(&snap).unwrap();
+    let generation = loaded.meta.as_ref().map_or(0, |m| m.generation);
+    let AnySnapshot::Ocular(snapshot) = loaded.snapshot else {
+        panic!("fixture trains an ocular snapshot");
+    };
+    let dataset = read_edge_list(edges.to_str().unwrap(), "\t", None)
+        .unwrap()
+        .into_dataset();
+    let n_users = dataset.n_users();
+    let sharded = ShardedEngine::split(snapshot, &dataset, 4, serve_cfg(), generation, None)
+        .expect("split coordinator");
+    let sharded_server = Server::bind(
+        Arc::new(SwapEngine::new(sharded)),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("bind ephemeral port")
+    .spawn();
+
+    let mut single = Client::connect(single_server.addr());
+    let mut scatter = Client::connect(sharded_server.addr());
+    for req in REQUESTS {
+        let a = single.round_trip("POST", "/recommend", req);
+        let b = scatter.round_trip("POST", "/recommend", req);
+        assert_eq!(a.status, b.status, "status diverged on `{req}`");
+        assert_eq!(
+            String::from_utf8(a.body).unwrap(),
+            String::from_utf8(b.body).unwrap(),
+            "bodies diverged on `{req}`"
+        );
+    }
+
+    // per-shard /stats rows reconcile: every user on exactly one shard,
+    // and the engine-reaching requests above were each dispatched once
+    let resp = scatter.round_trip("GET", "/stats", "");
+    assert_eq!(resp.status, 200);
+    let body = String::from_utf8(resp.body).unwrap();
+    let v = Json::parse(body.trim_end()).unwrap();
+    let rows = v.get("shard").and_then(Json::as_array).expect("shard rows");
+    assert_eq!(rows.len(), 4);
+    let users: u64 = rows
+        .iter()
+        .map(|r| r.get("users").and_then(Json::as_u64).unwrap())
+        .sum();
+    assert_eq!(users as usize, n_users);
+    let dispatched: u64 = rows
+        .iter()
+        .map(|r| r.get("requests").and_then(Json::as_u64).unwrap())
+        .sum();
+    assert!(dispatched > 0);
+    // the unsharded server's /stats must not grow the field
+    let resp = single.round_trip("GET", "/stats", "");
+    let body = String::from_utf8(resp.body).unwrap();
+    assert!(Json::parse(body.trim_end()).unwrap().get("shard").is_none());
+
+    single_server.shutdown().unwrap();
+    sharded_server.shutdown().unwrap();
     let _ = std::fs::remove_file(&edges);
     let _ = std::fs::remove_file(&snap);
 }

@@ -1,0 +1,93 @@
+//! Property-based equivalence of [`ShardedDataset`] and the base
+//! [`Dataset`] it partitions: for 1/2/4/8 shards, the shards must be a
+//! disjoint cover of the user rows (contents preserved row-for-row),
+//! merged per-axis statistics must equal the unsharded values, and
+//! external ids must round-trip through the owning shard's maps.
+
+use ocular_sparse::{Dataset, IdMaps, ShardedDataset, Triplets};
+use proptest::prelude::*;
+
+/// Arbitrary datasets in both id regimes: shape, pairs, and optionally
+/// sparse non-contiguous external ids for both axes.
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (1usize..24, 1usize..16, any::<bool>()).prop_flat_map(|(n, m, with_ids)| {
+        proptest::collection::vec((0..n, 0..m), 0..120).prop_map(move |pairs| {
+            let mut t = Triplets::new(n, m);
+            t.extend_pairs(pairs).unwrap();
+            let matrix = t.into_csr();
+            if with_ids {
+                let users = (0..n as u64).map(|u| 500 + u * 17).collect();
+                let items = (0..m as u64).map(|i| 9_000 + i * 31).collect();
+                Dataset::new(matrix, IdMaps::new(users, items).unwrap()).unwrap()
+            } else {
+                Dataset::from_matrix(matrix)
+            }
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn sharded_equals_unsharded(d in arb_dataset(), pow in 0u32..4) {
+        let shards = 1usize << pow; // 1, 2, 4, 8
+        let sharded = ShardedDataset::split(&d, shards).unwrap();
+        prop_assert_eq!(sharded.n_shards(), shards);
+        prop_assert_eq!(sharded.n_users(), d.n_users());
+        prop_assert_eq!(sharded.n_items(), d.n_items());
+
+        // disjoint cover: every global row appears in exactly one shard,
+        // at the slot `assignments` names, with identical contents
+        let covered: usize = sharded.shards().iter().map(|s| s.n_users()).sum();
+        prop_assert_eq!(covered, d.n_users());
+        for g in 0..d.n_users() {
+            let (s, l) = sharded.assignment(g);
+            prop_assert_eq!(sharded.global_of(s)[l] as usize, g);
+            prop_assert_eq!(sharded.shard(s).row(l), d.row(g));
+        }
+        // shard-local order is ascending global order (the invariant that
+        // keeps split model rows aligned with shard dataset rows)
+        for s in 0..shards {
+            prop_assert!(sharded.global_of(s).windows(2).all(|w| w[0] < w[1]));
+            prop_assert_eq!(sharded.shard(s).n_items(), d.n_items());
+        }
+
+        // merged item-side statistics equal the unsharded values
+        prop_assert_eq!(sharded.merged_item_degrees(), d.item_degrees());
+        prop_assert_eq!(sharded.merged_user_degrees(), d.user_degrees());
+        let merged_nnz: usize = sharded.shards().iter().map(|s| s.nnz()).sum();
+        prop_assert_eq!(merged_nnz, d.nnz());
+
+        // id-map round trip through the owning shard
+        match d.ids() {
+            Some(_) => {
+                for g in 0..d.n_users() {
+                    let ext = d.external_user(g);
+                    let (s, l) = sharded.assignment(g);
+                    prop_assert_eq!(sharded.shard(s).user_index(ext), Some(l));
+                    prop_assert_eq!(sharded.shard(s).external_user(l), ext);
+                }
+                for i in 0..d.n_items() {
+                    let ext = d.external_item(i);
+                    for shard in sharded.shards() {
+                        prop_assert_eq!(shard.item_index(ext), Some(i));
+                    }
+                }
+            }
+            None => {
+                // identity base ⇒ identity shards: responses must keep
+                // omitting external ids exactly like the unsharded path
+                for shard in sharded.shards() {
+                    prop_assert!(shard.ids().is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_is_bytewise_the_base(d in arb_dataset()) {
+        let sharded = ShardedDataset::split(&d, 1).unwrap();
+        let s0 = sharded.shard(0);
+        prop_assert_eq!(s0.as_parts(), d.as_parts());
+        prop_assert_eq!(s0.ids(), d.ids());
+    }
+}

@@ -18,7 +18,7 @@
 //! | [`baselines`] | wALS, BPR, user-/item-based kNN, popularity |
 //! | [`community`] | Modularity, Louvain, BIGCLAM comparators |
 //! | [`parallel`] | simulated GPU kernels, parallel trainer, memory model |
-//! | [`serve`] | online serving: snapshots, candidate generation, batching |
+//! | [`serve`] | online serving: snapshots, candidate generation, batching, sharding |
 //!
 //! ## Five-minute tour
 //!
@@ -70,10 +70,10 @@ pub mod prelude {
     pub use ocular_eval::protocol::{evaluate, EvalReport};
     pub use ocular_parallel::fit_parallel;
     pub use ocular_serve::{
-        AnySnapshot, CandidatePolicy, EngineBuilder, QuantDtype, QuantizedFactors, Request,
-        ServeConfig, ServeEngine, ServedList, Snapshot, SwapEngine,
+        AnyEngine, AnySnapshot, CandidatePolicy, EngineBuilder, QuantDtype, QuantizedFactors,
+        Request, ServeConfig, ServeEngine, ServedList, ShardedEngine, Snapshot, SwapEngine,
     };
     pub use ocular_sparse::{
-        CsrMatrix, Dataset, IdMaps, Split, SplitConfig, StreamingTriplets, Triplets,
+        CsrMatrix, Dataset, IdMaps, ShardedDataset, Split, SplitConfig, StreamingTriplets, Triplets,
     };
 }
